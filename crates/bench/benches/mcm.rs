@@ -1,0 +1,47 @@
+//! MCM benches: prints the asymptotic-effectiveness curve and the paper's
+//! worked example, then times the pairwise-matching synthesis at several
+//! problem sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lintra::mcm::{naive_cost, synthesize, Recoding};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_mcm(c: &mut Criterion) {
+    println!("\n=== MCM asymptotic effectiveness (12-bit constants) ===");
+    let mut rng = StdRng::seed_from_u64(1996);
+    let mut instances = Vec::new();
+    for n in [2usize, 8, 32, 128] {
+        let constants: Vec<i64> = (0..n).map(|_| rng.random_range(1..4096i64)).collect();
+        let naive = naive_cost(&constants, Recoding::Csd);
+        let sol = synthesize(&constants, Recoding::Csd);
+        println!(
+            "  n={n:>3}: naive {:.2} adds/const, shared {:.2} adds/const",
+            naive.adds as f64 / n as f64,
+            sol.adds() as f64 / n as f64
+        );
+        instances.push((n, constants));
+    }
+
+    println!("\n=== §5 worked example: {{185, 235}} ===");
+    let sol = synthesize(&[185, 235], Recoding::Binary);
+    println!(
+        "  naive 9+9 -> shared {} adds + {} shifts",
+        sol.cost().adds,
+        sol.cost().shifts
+    );
+
+    let mut g = c.benchmark_group("mcm/synthesize");
+    for (n, constants) in &instances {
+        if *n <= 32 {
+            g.bench_with_input(BenchmarkId::from_parameter(n), constants, |b, cs| {
+                b.iter(|| black_box(synthesize(cs, Recoding::Csd)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mcm);
+criterion_main!(benches);

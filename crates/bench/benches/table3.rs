@@ -1,0 +1,49 @@
+//! Table 3 bench: prints the regenerated multiprocessor table, then times
+//! the schedule-based speedup measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lintra::opt::multi::{self, ProcessorSelection};
+use lintra::opt::TechConfig;
+use lintra::suite::by_name;
+use std::hint::black_box;
+
+fn bench_table3(c: &mut Criterion) {
+    println!("\n=== Table 3 (unfolding + N = R processors, 3.3 V) ===");
+    let rows = lintra_bench::table3_rows(3.3);
+    let mut single = Vec::new();
+    let mut multi_r = Vec::new();
+    for row in &rows {
+        println!(
+            "  {:<9} single x{:.2} | N={} Smax={:.2} V={:.2} multi x{:.2}",
+            row.name,
+            row.single.real.power_reduction(),
+            row.multi.processors,
+            row.multi.speedup,
+            row.multi.scaling.voltage,
+            row.multi.power_reduction()
+        );
+        single.push(row.single.real.power_reduction());
+        multi_r.push(row.multi.power_reduction());
+    }
+    println!(
+        "  averages: single x{:.2}, multi x{:.2}",
+        lintra_bench::mean(&single),
+        lintra_bench::mean(&multi_r)
+    );
+
+    let tech = TechConfig::dac96(3.3);
+    let mut g = c.benchmark_group("table3/optimize_multi");
+    g.sample_size(10);
+    for name in ["chemical", "steam"] {
+        let d = by_name(name).expect("benchmark exists");
+        g.bench_with_input(BenchmarkId::from_parameter(name), &d, |b, d| {
+            b.iter(|| {
+                black_box(multi::optimize(&d.system, &tech, ProcessorSelection::StatesCount))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

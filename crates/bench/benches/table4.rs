@@ -1,0 +1,49 @@
+//! Table 4 bench: prints the regenerated ASIC energy table, then times the
+//! full unfold → Horner → MCM flow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lintra::opt::{asic, TechConfig};
+use lintra::suite::by_name;
+use std::hint::black_box;
+
+fn bench_table4(c: &mut Criterion) {
+    println!("\n=== Table 4 (ASIC: unfold -> Horner -> MCM, 3.3 V -> 1.1 V) ===");
+    let rows = lintra_bench::table4_rows(3.3);
+    let mut factors = Vec::new();
+    for row in &rows {
+        let r = &row.result;
+        println!(
+            "  {:<9} n={:<2} V={:.2} {:>9.2} -> {:>7.3} nJ/sample  x{:.1}",
+            row.name,
+            r.unfolding + 1,
+            r.voltage,
+            r.initial.total_nj(),
+            r.optimized.total_nj(),
+            r.improvement()
+        );
+        factors.push(r.improvement());
+    }
+    println!(
+        "  average x{:.1}, median x{:.1}",
+        lintra_bench::mean(&factors),
+        lintra_bench::median(&factors)
+    );
+
+    // Timing target: a reduced-depth flow (initial 2.0 V needs only a
+    // small unfolding) so the bench finishes quickly; the full-depth
+    // numbers are the printed table above.
+    let tech = TechConfig::dac96(2.0);
+    let cfg = asic::AsicConfig { max_unfolding: 15, ..asic::AsicConfig::default() };
+    let mut g = c.benchmark_group("table4/asic_flow_shallow");
+    g.sample_size(10);
+    for name in ["chemical", "iir6"] {
+        let d = by_name(name).expect("benchmark exists");
+        g.bench_with_input(BenchmarkId::from_parameter(name), &d, |b, d| {
+            b.iter(|| black_box(asic::optimize(&d.system, &tech, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Regenerates Figure 1: normalized gate delay vs supply voltage
+//! (normalized to the delay at 5.0 V), printed as CSV.
+
+fn main() {
+    println!("# Figure 1: normalized gate delay vs V_dd (d(V) = V/(V-Vt)^2, Vt = 0.9, ref 5.0 V)");
+    println!("voltage_v,normalized_delay");
+    for (v, d) in lintra_bench::fig1_series() {
+        println!("{v:.2},{d:.4}");
+    }
+}

@@ -1,0 +1,35 @@
+//! Block vs on-arrival processing latency across the suite (§2's
+//! discussion of the two batch-processing organizations, \[Rob87\] vs
+//! \[Sri94\]).
+
+use lintra::dfg::{build, OpTiming};
+use lintra::linsys::count::{best_unfolding, TrivialityRule};
+use lintra::linsys::unfold;
+use lintra::sched::latency::{batch_latency, BatchArrival};
+use lintra::suite::suite;
+
+fn main() {
+    let t = OpTiming { t_mul: 2.0, t_add: 1.0, t_shift: 0.0 };
+    let period = 20.0; // sample period in gate delays
+    println!("# Latency of the unfolded computation at each design's i_opt");
+    println!("# (sample period {period} gate delays, dataflow limit)");
+    println!(
+        "{:<10} {:>3} | {:>12} {:>12} | {:>12} {:>12}",
+        "design", "i", "block max", "block avg", "onarr max", "onarr avg"
+    );
+    for d in suite() {
+        let i = best_unfolding(&d.system, TrivialityRule::ZeroOne, 1.0, 1.0).unfolding as u32;
+        let g = build::from_unfolded(&unfold(&d.system, i.max(1)));
+        let b = batch_latency(&g, &t, period, BatchArrival::Block);
+        let o = batch_latency(&g, &t, period, BatchArrival::OnArrival);
+        println!(
+            "{:<10} {:>3} | {:>12.1} {:>12.1} | {:>12.1} {:>12.1}",
+            d.name,
+            i.max(1),
+            b.max_latency,
+            b.avg_latency,
+            o.max_latency,
+            o.avg_latency
+        );
+    }
+}

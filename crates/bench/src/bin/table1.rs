@@ -1,0 +1,12 @@
+//! Regenerates Table 1: the example-suite description.
+
+fn main() {
+    println!("Table 1: Description of the Example Suite");
+    println!("{:<10} {:<48} {:>2} {:>2} {:>3}", "Name", "Description", "P", "Q", "R");
+    for row in lintra_bench::table1_rows() {
+        println!(
+            "{:<10} {:<48} {:>2} {:>2} {:>3}",
+            row.name, row.description, row.p, row.q, row.r
+        );
+    }
+}

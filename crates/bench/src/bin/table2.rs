@@ -1,0 +1,68 @@
+//! Regenerates Table 2: power reduction in a single processor using the
+//! unfolding-driven voltage–throughput trade-off.
+//!
+//! Columns mirror the paper: the dense-coefficient analytical prediction
+//! and the real-coefficient heuristic, each with initial ops, chosen
+//! unfolding, unfolded ops (per iteration of `i+1` samples), relative
+//! clock frequency, and the power-reduction factor. Pass `--v0 <volts>`
+//! to change the initial voltage (default 3.3; the paper also quotes 5.0),
+//! and `--freq-only` for the no-voltage-scaling fallback.
+
+use lintra_bench::{mean, table2_rows};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let v0 = args
+        .iter()
+        .position(|a| a == "--v0")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(3.3);
+    let freq_only = args.iter().any(|a| a == "--freq-only");
+
+    println!("Table 2: Power Reduction in a Single Processor (initial V = {v0})");
+    if freq_only {
+        println!("(frequency-reduction/shutdown only — no voltage scaling)");
+    }
+    println!(
+        "{:<9} {:>2} {:>2} {:>3} | {:>6} {:>3} {:>6} {:>6} {:>6} | {:>6} {:>3} {:>6} {:>6} {:>6}",
+        "", "", "", "", "dense", "", "", "", "", "real", "", "", "", ""
+    );
+    println!(
+        "{:<9} {:>2} {:>2} {:>3} | {:>6} {:>3} {:>6} {:>6} {:>6} | {:>6} {:>3} {:>6} {:>6} {:>6}",
+        "Name", "P", "Q", "R", "Ops0", "i", "Ops", "Frq", "Pwr", "Ops0", "i", "Ops", "Frq", "Pwr"
+    );
+    let rows = table2_rows(v0);
+    let mut reductions = Vec::new();
+    for row in &rows {
+        let (p, q, r) = row.dims;
+        let d = &row.result.dense;
+        let e = &row.result.real;
+        let pick = |o: &lintra::opt::single::UnfoldingOutcome| {
+            if freq_only {
+                o.power_reduction_frequency_only()
+            } else {
+                o.power_reduction()
+            }
+        };
+        println!(
+            "{:<9} {:>2} {:>2} {:>3} | {:>6} {:>3} {:>6} {:>6.3} {:>6.2} | {:>6} {:>3} {:>6} {:>6.3} {:>6.2}",
+            row.name,
+            p,
+            q,
+            r,
+            d.ops_initial.total(),
+            d.unfolding,
+            d.ops_unfolded.total(),
+            d.frequency_ratio(),
+            pick(d),
+            e.ops_initial.total(),
+            e.unfolding,
+            e.ops_unfolded.total(),
+            e.frequency_ratio(),
+            pick(e),
+        );
+        reductions.push(pick(e));
+    }
+    println!("\naverage power reduction (real coefficients): x{:.2}", mean(&reductions));
+}

@@ -1,0 +1,42 @@
+//! Regenerates Table 3: power reduction with unfolding plus multiple
+//! processors (`N = R`, measured schedule speedups), side by side with the
+//! single-processor columns of Table 2.
+
+use lintra_bench::{mean, table3_rows};
+
+fn main() {
+    let v0 = 3.3;
+    println!("Table 3: Power Reduction with Unfolding and Multiple Processors (initial V = {v0})");
+    println!(
+        "{:<9} | {:>9} {:>8} | {:>3} {:>10} {:>8} {:>8}",
+        "", "single", "", "", "multi", "", ""
+    );
+    println!(
+        "{:<9} | {:>9} {:>8} | {:>3} {:>10} {:>8} {:>8}",
+        "Name", "Frq", "Pwr", "N", "Smax(N,i)", "V", "Pwr"
+    );
+    let rows = table3_rows(v0);
+    let mut single = Vec::new();
+    let mut multi = Vec::new();
+    for row in &rows {
+        let s = &row.single.real;
+        let m = &row.multi;
+        println!(
+            "{:<9} | {:>9.3} {:>8.2} | {:>3} {:>10.2} {:>8.2} {:>8.2}",
+            row.name,
+            s.frequency_ratio(),
+            s.power_reduction(),
+            m.processors,
+            m.speedup,
+            m.scaling.voltage,
+            m.power_reduction(),
+        );
+        single.push(s.power_reduction());
+        multi.push(m.power_reduction());
+    }
+    println!(
+        "\naverages: single x{:.2}, multiprocessor x{:.2}",
+        mean(&single),
+        mean(&multi)
+    );
+}

@@ -1,0 +1,40 @@
+//! Reproduces the paper's worked examples (§3 and §4): the hypothetical
+//! dense linear computation with P = 1, Q = 1, R = 5.
+
+use lintra::opt::multi::measured_speedup;
+use lintra::opt::{single, TechConfig};
+use lintra::suite::dense_synthetic;
+
+fn main() {
+    let sys = dense_synthetic(1, 1, 5);
+    println!("hypothetical dense computation: P = 1, Q = 1, R = 5\n");
+
+    // §3: single processor at 3.0 V and 5.0 V.
+    for v0 in [3.0, 5.0] {
+        let tech = TechConfig::dac96(v0);
+        let r = single::optimize(&sys, &tech);
+        println!("-- single processor, initial {v0} V --");
+        println!(
+            "i_opt = {}  (paper: 6)   S_max = {:.3}  (paper: ~1.975)",
+            r.dense.unfolding, r.dense.speedup
+        );
+        println!(
+            "voltage {:.2} V -> power reduction x{:.2} (frequency-only: x{:.2})\n",
+            r.dense.scaling.voltage,
+            r.dense.power_reduction(),
+            r.dense.power_reduction_frequency_only()
+        );
+    }
+
+    // §4: two processors at 3.0 V.
+    let tech = TechConfig::dac96(3.0);
+    let s2 = measured_speedup(&sys, 6, 2, &tech);
+    let scaling = tech.voltage.scale_for_slowdown(3.0, s2);
+    println!("-- two processors, initial 3.0 V --");
+    println!("S_max(2, 6) = {s2:.2}  (paper: 2 x 1.975 = 3.95)");
+    println!(
+        "voltage {:.2} V (paper: ~1.7 V) -> power reduction x{:.2}",
+        scaling.voltage,
+        scaling.power_reduction() / 2.0
+    );
+}

@@ -1,0 +1,172 @@
+//! Shared row generators for the table-reproduction binaries and the
+//! Criterion benchmarks — one function per paper table/figure so the `bin`
+//! targets and the `bench` targets print exactly the same numbers.
+
+use lintra::linsys::count::{op_count, TrivialityRule};
+use lintra::linsys::unfold;
+use lintra::opt::multi::ProcessorSelection;
+use lintra::opt::{asic, multi, single, TechConfig};
+use lintra::power::VoltageModel;
+use lintra::suite::{suite, Design};
+
+/// Fig. 1: `(voltage, normalized delay)` samples over `[1.2 V, 5.0 V]`.
+pub fn fig1_series() -> Vec<(f64, f64)> {
+    let m = VoltageModel::dac96();
+    let mut out = Vec::new();
+    let mut v = 1.2;
+    while v <= 5.0 + 1e-9 {
+        out.push((v, m.normalized_delay(v)));
+        v += 0.05;
+    }
+    out
+}
+
+/// One row of Table 1.
+pub struct Table1Row {
+    /// Design name.
+    pub name: &'static str,
+    /// Table-1 description.
+    pub description: &'static str,
+    /// Inputs.
+    pub p: usize,
+    /// Outputs.
+    pub q: usize,
+    /// States.
+    pub r: usize,
+}
+
+/// Table 1: the example-suite description.
+pub fn table1_rows() -> Vec<Table1Row> {
+    suite()
+        .into_iter()
+        .map(|d| {
+            let (p, q, r) = d.dims();
+            Table1Row { name: d.name, description: d.description, p, q, r }
+        })
+        .collect()
+}
+
+/// One row of Table 2 (single processor).
+pub struct Table2Row {
+    /// The design.
+    pub name: &'static str,
+    /// Dimensions `(P, Q, R)`.
+    pub dims: (usize, usize, usize),
+    /// The §3 result (dense analysis + real-coefficient heuristic).
+    pub result: single::SingleProcessorResult,
+}
+
+/// Table 2: unfolding-driven voltage–throughput trade-off on one
+/// processor.
+pub fn table2_rows(initial_voltage: f64) -> Vec<Table2Row> {
+    let tech = TechConfig::dac96(initial_voltage);
+    suite()
+        .into_iter()
+        .map(|d| Table2Row {
+            name: d.name,
+            dims: d.dims(),
+            result: single::optimize(&d.system, &tech),
+        })
+        .collect()
+}
+
+/// One row of Table 3 (multiple processors).
+pub struct Table3Row {
+    /// The design.
+    pub name: &'static str,
+    /// Single-processor reduction (Table 2 baseline).
+    pub single: single::SingleProcessorResult,
+    /// Multiprocessor result with `N = R`.
+    pub multi: multi::MultiProcessorResult,
+}
+
+/// Table 3: unfolding plus `N = R` processors.
+pub fn table3_rows(initial_voltage: f64) -> Vec<Table3Row> {
+    let tech = TechConfig::dac96(initial_voltage);
+    suite()
+        .into_iter()
+        .map(|d| Table3Row {
+            name: d.name,
+            single: single::optimize(&d.system, &tech),
+            multi: multi::optimize(&d.system, &tech, ProcessorSelection::StatesCount),
+        })
+        .collect()
+}
+
+/// One row of Table 4 (ASIC flow).
+pub struct Table4Row {
+    /// The design.
+    pub name: &'static str,
+    /// The ASIC flow result.
+    pub result: asic::AsicResult,
+}
+
+/// Table 4: energy per sample before/after unfold → Horner → MCM.
+pub fn table4_rows(initial_voltage: f64) -> Vec<Table4Row> {
+    let tech = TechConfig::dac96(initial_voltage);
+    let cfg = asic::AsicConfig::default();
+    suite()
+        .into_iter()
+        .map(|d| Table4Row { name: d.name, result: asic::optimize(&d.system, &tech, &cfg) })
+        .collect()
+}
+
+/// The §2 phenomenon: per-sample operation counts of one design across an
+/// unfolding sweep (`(i, muls/sample, adds/sample)`).
+pub fn unfold_sweep(design: &Design, max_i: u32) -> Vec<(u32, f64, f64)> {
+    (0..=max_i)
+        .map(|i| {
+            let u = unfold(&design.system, i);
+            let c = op_count(&u.system, TrivialityRule::ZeroOne);
+            let n = (i + 1) as f64;
+            (i, c.muls as f64 / n, c.adds as f64 / n)
+        })
+        .collect()
+}
+
+/// Mean of a slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Median of a slice (averaging the middle pair for even lengths).
+pub fn median(xs: &[f64]) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_series_shape() {
+        let s = fig1_series();
+        assert!(s.len() > 70);
+        // Normalized to 1 at 5 V, large near the floor.
+        let last = s.last().unwrap();
+        assert!((last.1 - 1.0).abs() < 0.02);
+        assert!(s[0].1 > 20.0);
+    }
+
+    #[test]
+    fn tables_have_eight_rows() {
+        assert_eq!(table1_rows().len(), 8);
+        assert_eq!(table2_rows(3.3).len(), 8);
+        assert_eq!(table3_rows(3.3).len(), 8);
+        assert_eq!(table4_rows(5.0).len(), 8);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+}

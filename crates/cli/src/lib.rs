@@ -1,0 +1,314 @@
+//! Implementation of the `lintra` command-line tool (kept in a library so
+//! the argument handling and command output are unit-testable).
+
+use lintra::linsys::count::{op_count, TrivialityRule};
+use lintra::linsys::unfold;
+use lintra::mcm::{naive_cost, synthesize, Recoding};
+use lintra::opt::multi::ProcessorSelection;
+use lintra::opt::{asic, multi, single, TechConfig};
+use lintra::suite::{by_name, suite, Design};
+use std::fmt;
+use std::io::Write;
+
+/// Error from [`run`].
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad arguments; the message explains what was wrong.
+    Usage(String),
+    /// Writing output failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> CliError {
+        CliError::Io(e)
+    }
+}
+
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+/// Looks up a flag's value in `args` (e.g. `--v0 3.3`).
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(|s| s.as_str())
+}
+
+fn parse_f64(args: &[String], name: &str, default: f64) -> Result<f64, CliError> {
+    match flag_value(args, name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| usage(format!("{name} expects a number, got `{v}`"))),
+    }
+}
+
+fn parse_usize(args: &[String], name: &str) -> Result<Option<usize>, CliError> {
+    match flag_value(args, name) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| usage(format!("{name} expects an integer, got `{v}`"))),
+    }
+}
+
+fn design_arg(args: &[String]) -> Result<Design, CliError> {
+    let name = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or_else(|| usage("expected a design name"))?;
+    by_name(name).ok_or_else(|| {
+        let names: Vec<&str> = suite().iter().map(|d| d.name).collect();
+        usage(format!("unknown design `{name}`; available: {}", names.join(", ")))
+    })
+}
+
+/// Entry point shared by `main` and the tests.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for malformed command lines and
+/// [`CliError::Io`] when writing to `out` fails.
+pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    match args.first().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => help(out),
+        Some("suite") => cmd_suite(out),
+        Some("show") => cmd_show(&args[1..], out),
+        Some("optimize") => cmd_optimize(&args[1..], out),
+        Some("sweep") => cmd_sweep(&args[1..], out),
+        Some("mcm") => cmd_mcm(&args[1..], out),
+        Some(other) => Err(usage(format!("unknown command `{other}`"))),
+    }
+}
+
+fn help(out: &mut impl Write) -> Result<(), CliError> {
+    writeln!(
+        out,
+        "lintra — transformation-based power optimization of linear systems\n\n\
+         commands:\n\
+         \x20 suite                         list the benchmark designs\n\
+         \x20 show <design>                 print a design's dimensions and stats\n\
+         \x20 optimize <design> [--strategy single|multi|asic] [--v0 V] [--processors N]\n\
+         \x20 sweep <design> [--max I]      ops/sample vs unfolding factor\n\
+         \x20 mcm <c1> <c2> ... [--binary]  synthesize a shared shift-add network"
+    )?;
+    Ok(())
+}
+
+fn cmd_suite(out: &mut impl Write) -> Result<(), CliError> {
+    for d in suite() {
+        let (p, q, r) = d.dims();
+        writeln!(out, "{:<10} P={p} Q={q} R={r:<3} {}", d.name, d.description)?;
+    }
+    Ok(())
+}
+
+fn cmd_show(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    let d = design_arg(args)?;
+    let (p, q, r) = d.dims();
+    let ops = op_count(&d.system, TrivialityRule::ZeroOne);
+    writeln!(out, "{} — {}", d.name, d.description)?;
+    writeln!(out, "dimensions: P={p} Q={q} R={r}")?;
+    writeln!(out, "stable: {}", d.system.is_stable())?;
+    writeln!(out, "sparsity: {:.0}%", d.system.sparsity() * 100.0)?;
+    writeln!(out, "ops/sample: {} muls + {} adds", ops.muls, ops.adds)?;
+    writeln!(out, "A =\n{}", d.system.a())?;
+    Ok(())
+}
+
+fn cmd_optimize(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    let d = design_arg(args)?;
+    let v0 = parse_f64(args, "--v0", 3.3)?;
+    let tech = TechConfig::dac96(v0);
+    match flag_value(args, "--strategy").unwrap_or("single") {
+        "single" => {
+            let r = single::optimize(&d.system, &tech);
+            writeln!(out, "strategy: single processor at {v0} V")?;
+            writeln!(
+                out,
+                "unfolding i = {} -> throughput x{:.3} -> {:.2} V -> power / {:.2}",
+                r.real.unfolding,
+                r.real.speedup,
+                r.real.scaling.voltage,
+                r.real.power_reduction()
+            )?;
+            writeln!(
+                out,
+                "(no-voltage-scaling fallback: power / {:.2})",
+                r.real.power_reduction_frequency_only()
+            )?;
+        }
+        "multi" => {
+            let selection = match parse_usize(args, "--processors")? {
+                Some(n) if n == 0 => return Err(usage("--processors must be at least 1")),
+                Some(n) => ProcessorSelection::SearchBest { max: n },
+                None => ProcessorSelection::StatesCount,
+            };
+            let r = multi::optimize(&d.system, &tech, selection);
+            writeln!(out, "strategy: {} processors at {v0} V", r.processors)?;
+            writeln!(
+                out,
+                "unfolding i = {} -> S_max(N,i) = {:.2} -> {:.2} V -> power / {:.2}",
+                r.unfolding,
+                r.speedup,
+                r.scaling.voltage,
+                r.power_reduction()
+            )?;
+        }
+        "asic" => {
+            let r = asic::optimize(&d.system, &tech, &asic::AsicConfig::default());
+            writeln!(out, "strategy: ASIC (unfold -> Horner -> MCM) from {v0} V")?;
+            writeln!(
+                out,
+                "batch n = {} -> {:.2} V; {} multipliers removed",
+                r.unfolding + 1,
+                r.voltage,
+                r.mcm.muls_removed
+            )?;
+            writeln!(out, "initial:   {}", r.initial)?;
+            writeln!(out, "optimized: {}", r.optimized)?;
+            writeln!(out, "energy improvement: x{:.1}", r.improvement())?;
+        }
+        other => return Err(usage(format!("unknown strategy `{other}`"))),
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    let d = design_arg(args)?;
+    let max = parse_usize(args, "--max")?.unwrap_or(16) as u32;
+    writeln!(out, "i,muls_per_sample,adds_per_sample,total")?;
+    for i in 0..=max {
+        let u = unfold(&d.system, i);
+        let c = op_count(&u.system, TrivialityRule::ZeroOne);
+        let n = (i + 1) as f64;
+        let (m, a) = (c.muls as f64 / n, c.adds as f64 / n);
+        writeln!(out, "{i},{m:.2},{a:.2},{:.2}", m + a)?;
+    }
+    Ok(())
+}
+
+fn cmd_mcm(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    let recoding =
+        if args.iter().any(|a| a == "--binary") { Recoding::Binary } else { Recoding::Csd };
+    let constants: Vec<i64> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.parse().map_err(|_| usage(format!("`{a}` is not an integer constant"))))
+        .collect::<Result<_, _>>()?;
+    if constants.is_empty() {
+        return Err(usage("mcm expects at least one integer constant"));
+    }
+    let naive = naive_cost(&constants, recoding);
+    let sol = synthesize(&constants, recoding);
+    if let Err(e) = sol.verify() {
+        return Err(usage(format!("internal error: plan verification failed: {e}")));
+    }
+    writeln!(out, "naive: {} adds + {} shifts", naive.adds, naive.shifts)?;
+    writeln!(out, "shared: {} adds + {} shifts", sol.cost().adds, sol.cost().shifts)?;
+    write!(out, "{sol}")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_ok(args: &[&str]) -> String {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        run(&args, &mut buf).expect("command succeeds");
+        String::from_utf8(buf).expect("utf8 output")
+    }
+
+    fn run_err(args: &[&str]) -> String {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        match run(&args, &mut buf) {
+            Err(CliError::Usage(m)) => m,
+            other => panic!("expected usage error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn help_and_empty() {
+        assert!(run_ok(&[]).contains("commands:"));
+        assert!(run_ok(&["help"]).contains("optimize"));
+    }
+
+    #[test]
+    fn suite_lists_all_designs() {
+        let out = run_ok(&["suite"]);
+        for name in ["ellip", "iir5", "iir6", "iir10", "iir12", "steam", "dist", "chemical"] {
+            assert!(out.contains(name), "missing {name} in {out}");
+        }
+    }
+
+    #[test]
+    fn show_prints_stats() {
+        let out = run_ok(&["show", "chemical"]);
+        assert!(out.contains("P=1 Q=1 R=4"));
+        assert!(out.contains("stable: true"));
+    }
+
+    #[test]
+    fn unknown_design_is_usage_error() {
+        let msg = run_err(&["show", "nonesuch"]);
+        assert!(msg.contains("unknown design"));
+        assert!(msg.contains("ellip"));
+    }
+
+    #[test]
+    fn optimize_single_and_multi() {
+        let out = run_ok(&["optimize", "chemical"]);
+        assert!(out.contains("single processor"));
+        assert!(out.contains("power /"));
+        let out = run_ok(&["optimize", "chemical", "--strategy", "multi"]);
+        assert!(out.contains("processors"));
+        let out = run_ok(&["optimize", "chemical", "--strategy", "multi", "--processors", "2"]);
+        assert!(out.contains("power /"));
+    }
+
+    #[test]
+    fn optimize_rejects_bad_flags() {
+        assert!(run_err(&["optimize", "chemical", "--strategy", "bogus"]).contains("strategy"));
+        assert!(run_err(&["optimize", "chemical", "--v0", "abc"]).contains("--v0"));
+        assert!(run_err(&["optimize", "chemical", "--strategy", "multi", "--processors", "0"])
+            .contains("at least 1"));
+    }
+
+    #[test]
+    fn sweep_emits_csv() {
+        let out = run_ok(&["sweep", "chemical", "--max", "4"]);
+        assert_eq!(out.lines().count(), 6); // header + 5 rows
+        assert!(out.starts_with("i,muls_per_sample"));
+    }
+
+    #[test]
+    fn mcm_paper_example() {
+        let out = run_ok(&["mcm", "185", "235", "--binary"]);
+        assert!(out.contains("naive: 9 adds + 9 shifts"), "{out}");
+        assert!(out.contains("out(185)"));
+    }
+
+    #[test]
+    fn mcm_rejects_non_integers() {
+        assert!(run_err(&["mcm", "12", "abc"]).contains("not an integer"));
+        assert!(run_err(&["mcm"]).contains("at least one"));
+    }
+
+    #[test]
+    fn unknown_command() {
+        assert!(run_err(&["frobnicate"]).contains("unknown command"));
+    }
+}

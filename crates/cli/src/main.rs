@@ -1,0 +1,32 @@
+//! `lintra` — command-line interface to the power-optimization flows.
+//!
+//! ```text
+//! lintra suite                          list the Table-1 benchmarks
+//! lintra show <design>                  print a design's matrices and stats
+//! lintra optimize <design> [options]    run a strategy on a benchmark
+//!     --strategy single|multi|asic      (default single)
+//!     --v0 <volts>                      initial supply voltage (default 3.3)
+//!     --processors <n>                  multi: processor count (default R)
+//! lintra sweep <design> [--max <i>]     ops/sample vs unfolding factor
+//! lintra mcm <c1> <c2> ...              synthesize a shift-add MCM network
+//!     --binary                          binary recoding instead of CSD
+//! ```
+
+use lintra_cli::{run, CliError};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args, &mut std::io::stdout()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `lintra help` for usage");
+            ExitCode::from(2)
+        }
+        Err(CliError::Io(e)) => {
+            eprintln!("io error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! # lintra — transformation-based power optimization of linear systems
+//!
+//! A from-scratch reproduction of *Srivastava & Potkonjak, "Power
+//! Optimization in Programmable Processors and ASIC Implementations of
+//! Linear Systems: Transformation-based Approach", DAC 1996*.
+//!
+//! The paper shows three ways to cut the power of a linear computation
+//! (`S[n] = A·S[n−1] + B·X[n]`, `Y[n] = C·S[n−1] + D·X[n]`):
+//!
+//! 1. **Single processor** — *unfold* the recursion: operations per sample
+//!    first fall, bottom out at `i_opt`, then rise; the saved cycles buy a
+//!    quadratic power win through supply-voltage reduction
+//!    ([`opt::single`]).
+//! 2. **Multiple processors** — for `N ≤ R` processors the unfolded
+//!    computation schedules with linear speedup, buying further voltage
+//!    headroom that outweighs the extra capacitance ([`opt::multi`]).
+//! 3. **Custom ASIC** — the script *unfold → generalized Horner → multiple
+//!    constant multiplication (MCM)* leaves a constant-length feedback
+//!    cycle, so the feed-forward part can be pipelined arbitrarily deep
+//!    and the voltage driven to the technology floor ([`opt::asic`]).
+//!
+//! This facade re-exports the whole workspace; see the sub-crates for the
+//! substrates (matrix algebra, filter design, CDFG IR, MCM synthesis,
+//! scheduling, power models, the Table-1 benchmark suite).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lintra::opt::{single, TechConfig};
+//! use lintra::suite;
+//!
+//! let design = suite::by_name("iir5").expect("benchmark exists");
+//! let result = single::optimize(&design.system, &TechConfig::dac96(3.3));
+//! println!(
+//!     "unfold {}x: {:.2}x fewer cycles/sample, power / {:.2}",
+//!     result.real.unfolding,
+//!     result.real.speedup,
+//!     result.real.power_reduction(),
+//! );
+//! assert!(result.real.power_reduction() >= 1.0);
+//! ```
+
+pub use lintra_dfg as dfg;
+pub use lintra_filters as filters;
+pub use lintra_fixed as fixed;
+pub use lintra_linsys as linsys;
+pub use lintra_matrix as matrix;
+pub use lintra_mcm as mcm;
+pub use lintra_opt as opt;
+pub use lintra_power as power;
+pub use lintra_sched as sched;
+pub use lintra_suite as suite;
+pub use lintra_transform as transform;
+
+/// Everything most programs need.
+pub mod prelude {
+    pub use lintra_dfg::{build as dfg_build, Dfg, NodeKind, OpTiming};
+    pub use lintra_linsys::count::{best_unfolding, op_count, OpCount, TrivialityRule};
+    pub use lintra_linsys::{unfold, StateSpace, UnfoldedSystem};
+    pub use lintra_matrix::Matrix;
+    pub use lintra_mcm::{synthesize as mcm_synthesize, Recoding};
+    pub use lintra_opt::asic::{optimize as optimize_asic, AsicConfig};
+    pub use lintra_opt::multi::{optimize as optimize_multiprocessor, ProcessorSelection};
+    pub use lintra_opt::single::optimize as optimize_single_processor;
+    pub use lintra_opt::TechConfig;
+    pub use lintra_power::{EnergyModel, VoltageModel};
+    pub use lintra_suite::{by_name, suite, Design};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_compiles_and_reexports() {
+        use crate::prelude::*;
+        let m = Matrix::identity(2);
+        assert_eq!(m.rows(), 2);
+        let tech = TechConfig::dac96(3.3);
+        assert_eq!(tech.initial_voltage, 3.3);
+        assert_eq!(suite().len(), 8);
+    }
+}

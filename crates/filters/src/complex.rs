@@ -1,0 +1,202 @@
+//! A minimal complex-number type.
+//!
+//! Only what filter design needs: field arithmetic, polar/exponential
+//! helpers, and the principal square root (used by the band transforms'
+//! quadratic formula).
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A complex number `re + j·im` over `f64`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The imaginary unit.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Creates `re + j·im`.
+    pub fn new(re: f64, im: f64) -> Complex {
+        Complex { re, im }
+    }
+
+    /// Creates from polar form `r·e^{jθ}`.
+    pub fn from_polar(r: f64, theta: f64) -> Complex {
+        Complex { re: r * theta.cos(), im: r * theta.sin() }
+    }
+
+    /// Magnitude `|z|`.
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase angle) in radians.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Complex {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics on division by exact zero.
+    pub fn inv(self) -> Complex {
+        let n = self.norm_sqr();
+        assert!(n != 0.0, "complex division by zero");
+        Complex { re: self.re / n, im: -self.im / n }
+    }
+
+    /// Principal square root.
+    pub fn sqrt(self) -> Complex {
+        let r = self.norm();
+        if r == 0.0 {
+            return Complex::ZERO;
+        }
+        // Stable half-angle formulas.
+        let re = ((r + self.re) / 2.0).sqrt();
+        let im_mag = ((r - self.re) / 2.0).sqrt();
+        Complex { re, im: if self.im >= 0.0 { im_mag } else { -im_mag } }
+    }
+
+    /// Complex exponential `e^z`.
+    pub fn exp(self) -> Complex {
+        Complex::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, s: f64) -> Complex {
+        Complex { re: self.re * s, im: self.im * s }
+    }
+
+    /// `true` when within `tol` of `other` (component-wise).
+    pub fn approx_eq(self, other: Complex, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Complex {
+        Complex { re, im: 0.0 }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex { re: -self.re, im: -self.im }
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}j", self.re, self.im)
+        } else {
+            write!(f, "{}{}j", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        let q = a / b;
+        assert!((q * b).approx_eq(a, 1e-12));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!((Complex::I * Complex::I).approx_eq(Complex::new(-1.0, 0.0), 1e-15));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex::from_polar(2.0, 0.7);
+        assert!((z.norm() - 2.0).abs() < 1e-12);
+        assert!((z.arg() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &(re, im) in
+            &[(4.0, 0.0), (-4.0, 0.0), (0.0, 2.0), (3.0, -4.0), (-1.0, -1.0), (0.0, 0.0)]
+        {
+            let z = Complex::new(re, im);
+            let s = z.sqrt();
+            assert!((s * s).approx_eq(z, 1e-12), "sqrt({z}) = {s}");
+            assert!(s.re >= 0.0, "principal branch violated for {z}");
+        }
+    }
+
+    #[test]
+    fn exp_of_j_pi() {
+        let e = (Complex::I.scale(std::f64::consts::PI)).exp();
+        assert!(e.approx_eq(Complex::new(-1.0, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let z = Complex::new(3.0, 4.0);
+        assert_eq!(z.norm(), 5.0);
+        assert_eq!(z.conj(), Complex::new(3.0, -4.0));
+        assert!((z * z.conj()).approx_eq(Complex::new(25.0, 0.0), 1e-12));
+    }
+}

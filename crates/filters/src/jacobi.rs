@@ -1,0 +1,279 @@
+//! Jacobi elliptic functions and the complete elliptic integral, from
+//! scratch.
+//!
+//! Elliptic (Cauer) filters — two of the four DSP benchmarks in the paper's
+//! Table 1 — need `sn`, `cn`, `dn`, `cd` (also at complex arguments), the
+//! complete elliptic integral `K(k)`, and inverses of the real `sc`
+//! function. Everything here is built on the arithmetic-geometric mean
+//! (AGM) and the descending Landen transformation (Abramowitz & Stegun
+//! §16.12, §16.21).
+
+use crate::Complex;
+
+/// Complete elliptic integral of the first kind `K(k)` (modulus `k`, not
+/// parameter `m = k²`), computed by the AGM.
+///
+/// # Panics
+///
+/// Panics unless `0 <= k < 1`.
+///
+/// # Examples
+///
+/// ```
+/// let k0 = lintra_filters::jacobi::ellipk(0.0);
+/// assert!((k0 - std::f64::consts::FRAC_PI_2).abs() < 1e-15);
+/// ```
+pub fn ellipk(k: f64) -> f64 {
+    assert!((0.0..1.0).contains(&k), "ellipk requires 0 <= k < 1, got {k}");
+    let mut a = 1.0_f64;
+    let mut b = (1.0 - k * k).sqrt();
+    // AGM converges quadratically; cap the iterations because the
+    // termination gap can stall one ulp above any sub-epsilon tolerance.
+    for _ in 0..64 {
+        if (a - b).abs() <= 4.0 * f64::EPSILON * a {
+            break;
+        }
+        let an = 0.5 * (a + b);
+        b = (a * b).sqrt();
+        a = an;
+    }
+    std::f64::consts::FRAC_PI_2 / a
+}
+
+/// Complementary integral `K'(k) = K(√(1−k²))`.
+///
+/// # Panics
+///
+/// Panics unless `0 < k <= 1`.
+pub fn ellipk_comp(k: f64) -> f64 {
+    assert!(k > 0.0 && k <= 1.0, "ellipk_comp requires 0 < k <= 1, got {k}");
+    ellipk((1.0 - k * k).sqrt())
+}
+
+/// Real Jacobi elliptic functions `(sn, cn, dn)(u, k)` via the descending
+/// Landen transformation.
+///
+/// # Panics
+///
+/// Panics unless `0 <= k <= 1`.
+pub fn sn_cn_dn(u: f64, k: f64) -> (f64, f64, f64) {
+    assert!((0.0..=1.0).contains(&k), "modulus must be in [0,1], got {k}");
+    if k == 0.0 {
+        return (u.sin(), u.cos(), 1.0);
+    }
+    if k == 1.0 {
+        let sech = 1.0 / u.cosh();
+        return (u.tanh(), sech, sech);
+    }
+    // AGM ladder.
+    let mut a = vec![1.0_f64];
+    let mut c = vec![k];
+    let mut b = (1.0 - k * k).sqrt();
+    while c.last().copied().expect("non-empty").abs() > 4.0 * f64::EPSILON {
+        let an = 0.5 * (a.last().unwrap() + b);
+        let cn = 0.5 * (a.last().unwrap() - b);
+        b = (a.last().unwrap() * b).sqrt();
+        a.push(an);
+        c.push(cn);
+        if a.len() > 64 {
+            break;
+        }
+    }
+    let n = a.len() - 1;
+    // Downward phi recursion.
+    let mut phi = (1u64 << n) as f64 * a[n] * u;
+    for i in (1..=n).rev() {
+        let s = (c[i] / a[i]) * phi.sin();
+        phi = 0.5 * (phi + s.asin());
+    }
+    let sn = phi.sin();
+    let cn = phi.cos();
+    let dn = (1.0 - k * k * sn * sn).max(0.0).sqrt();
+    (sn, cn, dn)
+}
+
+/// Jacobi `sc(u, k) = sn/cn`.
+///
+/// # Panics
+///
+/// Panics when `cn(u, k)` is zero (at odd multiples of `K`).
+pub fn sc(u: f64, k: f64) -> f64 {
+    let (s, c, _) = sn_cn_dn(u, k);
+    assert!(c != 0.0, "sc undefined at u = {u}");
+    s / c
+}
+
+/// Inverse of the real `sc` function on `[0, K)`: finds `u >= 0` with
+/// `sc(u, k) = x`.
+///
+/// # Panics
+///
+/// Panics for negative `x` or a modulus outside `[0, 1)`.
+pub fn asc(x: f64, k: f64) -> f64 {
+    assert!(x >= 0.0, "asc requires x >= 0, got {x}");
+    assert!((0.0..1.0).contains(&k), "asc modulus must be in [0,1), got {k}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    // sc is continuous and strictly increasing from 0 to +inf on [0, K).
+    let kk = ellipk(k);
+    let mut lo = 0.0_f64;
+    let mut hi = kk * (1.0 - 1e-12);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if sc(mid, k) < x {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Jacobi elliptic functions at a complex argument `u = x + j·y`
+/// (A&S 16.21), returning `(sn, cn, dn)`.
+pub fn sn_cn_dn_complex(u: Complex, k: f64) -> (Complex, Complex, Complex) {
+    let kc = (1.0 - k * k).sqrt();
+    let (s, c, d) = sn_cn_dn(u.re, k);
+    let (s1, c1, d1) = sn_cn_dn(u.im, kc);
+    let m = k * k;
+    let den = c1 * c1 + m * s * s * s1 * s1;
+    let sn = Complex::new(s * d1 / den, c * d * s1 * c1 / den);
+    let cn = Complex::new(c * c1 / den, -s * d * s1 * d1 / den);
+    let dn = Complex::new(d * c1 * d1 / den, -m * s * c * s1 / den);
+    (sn, cn, dn)
+}
+
+/// Jacobi `cd(u, k) = cn/dn` at a complex argument.
+pub fn cd_complex(u: Complex, k: f64) -> Complex {
+    let (_, cn, dn) = sn_cn_dn_complex(u, k);
+    cn / dn
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_at_zero_modulus() {
+        assert!((ellipk(0.0) - std::f64::consts::FRAC_PI_2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn k_known_value() {
+        // K(1/sqrt(2)) = Gamma(1/4)^2 / (4 sqrt(pi)) = 1.854074677...
+        let k = ellipk(std::f64::consts::FRAC_1_SQRT_2);
+        assert!((k - 1.854_074_677_301_372).abs() < 1e-12, "{k}");
+    }
+
+    #[test]
+    fn k_increases_with_modulus() {
+        let mut prev = 0.0;
+        for i in 0..20 {
+            let k = ellipk(i as f64 * 0.049);
+            assert!(k > prev);
+            prev = k;
+        }
+    }
+
+    #[test]
+    fn degenerate_moduli() {
+        let (s, c, d) = sn_cn_dn(0.7, 0.0);
+        assert!((s - 0.7_f64.sin()).abs() < 1e-15);
+        assert!((c - 0.7_f64.cos()).abs() < 1e-15);
+        assert!((d - 1.0).abs() < 1e-15);
+        let (s, c, d) = sn_cn_dn(0.7, 1.0);
+        assert!((s - 0.7_f64.tanh()).abs() < 1e-15);
+        assert!((c - 1.0 / 0.7_f64.cosh()).abs() < 1e-15);
+        assert!((d - c).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pythagorean_identities() {
+        for &k in &[0.1, 0.5, 0.9, 0.999] {
+            for i in -20..=20 {
+                let u = i as f64 * 0.17;
+                let (s, c, d) = sn_cn_dn(u, k);
+                assert!((s * s + c * c - 1.0).abs() < 1e-10, "sn2+cn2 at u={u} k={k}");
+                assert!((d * d + k * k * s * s - 1.0).abs() < 1e-10, "dn2+k2sn2 at u={u} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn quarter_period_values() {
+        for &k in &[0.3, 0.7, 0.95] {
+            let kk = ellipk(k);
+            let (s, c, d) = sn_cn_dn(kk, k);
+            assert!((s - 1.0).abs() < 1e-9, "sn(K)={s} for k={k}");
+            assert!(c.abs() < 1e-9, "cn(K)={c} for k={k}");
+            assert!((d - (1.0 - k * k).sqrt()).abs() < 1e-9, "dn(K)={d} for k={k}");
+        }
+    }
+
+    #[test]
+    fn known_half_quarter_period() {
+        // sn(K/2, k) = 1/sqrt(1 + k').
+        for &k in &[0.2, 0.6, 0.9] {
+            let kk = ellipk(k);
+            let kc = (1.0_f64 - k * k).sqrt();
+            let (s, _, _) = sn_cn_dn(kk / 2.0, k);
+            assert!((s - 1.0 / (1.0 + kc).sqrt()).abs() < 1e-10, "k={k}");
+        }
+    }
+
+    #[test]
+    fn asc_inverts_sc() {
+        for &k in &[0.0, 0.3, 0.8, 0.99] {
+            for &x in &[0.0, 0.1, 1.0, 5.0, 100.0] {
+                let u = asc(x, k);
+                assert!((sc(u, k) - x).abs() <= 1e-8 * (1.0 + x), "k={k} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn complex_reduces_to_real_on_real_axis() {
+        for &k in &[0.2, 0.7] {
+            for i in 0..10 {
+                let u = i as f64 * 0.23;
+                let (s, c, d) = sn_cn_dn(u, k);
+                let (sz, cz, dz) = sn_cn_dn_complex(Complex::from(u), k);
+                assert!(sz.approx_eq(Complex::from(s), 1e-10));
+                assert!(cz.approx_eq(Complex::from(c), 1e-10));
+                assert!(dz.approx_eq(Complex::from(d), 1e-10));
+            }
+        }
+    }
+
+    #[test]
+    fn imaginary_transformation() {
+        // sn(j y, k) = j sc(y, k').
+        let k = 0.6;
+        let kc = (1.0_f64 - k * k).sqrt();
+        for &y in &[0.1, 0.4, 0.9] {
+            let (s, _, _) = sn_cn_dn_complex(Complex::new(0.0, y), k);
+            let expect = Complex::new(0.0, sc(y, kc));
+            assert!(s.approx_eq(expect, 1e-10), "y={y}: {s} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn complex_pythagorean_identity() {
+        let k = 0.55;
+        for &(x, y) in &[(0.3, 0.2), (1.1, -0.4), (-0.7, 0.6)] {
+            let u = Complex::new(x, y);
+            let (s, c, _) = sn_cn_dn_complex(u, k);
+            let lhs = s * s + c * c;
+            assert!(lhs.approx_eq(Complex::ONE, 1e-9), "u={u}: {lhs}");
+        }
+    }
+
+    #[test]
+    fn cd_at_quarter_period_is_zero() {
+        let k = 0.8;
+        let kk = ellipk(k);
+        let z = cd_complex(Complex::from(kk), k);
+        assert!(z.norm() < 1e-9, "cd(K) = {z}");
+    }
+}

@@ -1,0 +1,166 @@
+//! Real polynomials with complex evaluation, used to expand zero-pole-gain
+//! filters into transfer-function coefficients.
+
+use crate::Complex;
+
+/// A real polynomial `c0 + c1·x + … + cn·x^n`, stored lowest degree first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Poly {
+    coeffs: Vec<f64>,
+}
+
+impl Poly {
+    /// Creates a polynomial from coefficients, lowest degree first.
+    /// Trailing zeros are trimmed (the zero polynomial keeps one `0.0`).
+    pub fn new(mut coeffs: Vec<f64>) -> Poly {
+        while coeffs.len() > 1 && coeffs.last() == Some(&0.0) {
+            coeffs.pop();
+        }
+        if coeffs.is_empty() {
+            coeffs.push(0.0);
+        }
+        Poly { coeffs }
+    }
+
+    /// The constant polynomial `1`.
+    pub fn one() -> Poly {
+        Poly { coeffs: vec![1.0] }
+    }
+
+    /// Coefficients, lowest degree first.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Degree (0 for constants, including the zero polynomial).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Builds the monic real polynomial with the given complex roots.
+    ///
+    /// Roots must come in conjugate pairs (or be real) for the result to be
+    /// real; the construction multiplies in complex arithmetic and takes
+    /// real parts, asserting the imaginary residue is negligible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the roots are not closed under conjugation (imaginary
+    /// residue above `1e-6` relative).
+    pub fn from_roots(roots: &[Complex]) -> Poly {
+        let mut acc: Vec<Complex> = vec![Complex::ONE];
+        for &r in roots {
+            let mut next = vec![Complex::ZERO; acc.len() + 1];
+            for (i, &c) in acc.iter().enumerate() {
+                // (x - r) * acc
+                next[i + 1] = next[i + 1] + c;
+                next[i] = next[i] - c * r;
+            }
+            acc = next;
+        }
+        let scale = acc.iter().map(|c| c.norm()).fold(1.0_f64, f64::max);
+        let coeffs = acc
+            .iter()
+            .map(|c| {
+                assert!(
+                    c.im.abs() <= 1e-6 * scale,
+                    "roots not conjugate-closed: residue {} in {roots:?}",
+                    c.im
+                );
+                c.re
+            })
+            .collect();
+        Poly::new(coeffs)
+    }
+
+    /// Evaluates at a complex point (Horner's rule).
+    pub fn eval(&self, x: Complex) -> Complex {
+        let mut acc = Complex::ZERO;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + Complex::from(c);
+        }
+        acc
+    }
+
+    /// Evaluates at a real point.
+    pub fn eval_real(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Product of two polynomials.
+    pub fn mul(&self, other: &Poly) -> Poly {
+        let mut out = vec![0.0; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                out[i + j] += a * b;
+            }
+        }
+        Poly::new(out)
+    }
+
+    /// Multiplies every coefficient by `s`.
+    pub fn scale(&self, s: f64) -> Poly {
+        Poly::new(self.coeffs.iter().map(|c| c * s).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trims_trailing_zeros() {
+        let p = Poly::new(vec![1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(p.coeffs(), &[1.0, 2.0]);
+        assert_eq!(p.degree(), 1);
+        assert_eq!(Poly::new(vec![]).coeffs(), &[0.0]);
+    }
+
+    #[test]
+    fn from_real_roots() {
+        // (x-1)(x-2) = 2 - 3x + x^2
+        let p = Poly::from_roots(&[Complex::from(1.0), Complex::from(2.0)]);
+        assert_eq!(p.coeffs(), &[2.0, -3.0, 1.0]);
+    }
+
+    #[test]
+    fn from_conjugate_pair() {
+        // (x - (1+2j))(x - (1-2j)) = x^2 - 2x + 5
+        let p = Poly::from_roots(&[Complex::new(1.0, 2.0), Complex::new(1.0, -2.0)]);
+        assert_eq!(p.coeffs(), &[5.0, -2.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "conjugate-closed")]
+    fn rejects_unpaired_complex_roots() {
+        let _ = Poly::from_roots(&[Complex::new(0.0, 1.0)]);
+    }
+
+    #[test]
+    fn eval_horner() {
+        let p = Poly::new(vec![1.0, -2.0, 3.0]); // 1 - 2x + 3x^2
+        assert_eq!(p.eval_real(2.0), 9.0);
+        let z = p.eval(Complex::I);
+        // 1 - 2j + 3(-1) = -2 - 2j
+        assert!(z.approx_eq(Complex::new(-2.0, -2.0), 1e-12));
+    }
+
+    #[test]
+    fn product_matches_evaluation() {
+        let a = Poly::new(vec![1.0, 1.0]); // 1 + x
+        let b = Poly::new(vec![2.0, 0.0, 1.0]); // 2 + x^2
+        let c = a.mul(&b);
+        for &x in &[-2.0, 0.0, 0.5, 3.0] {
+            assert!((c.eval_real(x) - a.eval_real(x) * b.eval_real(x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn roots_evaluate_to_zero() {
+        let roots = [Complex::new(-0.5, 0.8), Complex::new(-0.5, -0.8), Complex::from(0.3)];
+        let p = Poly::from_roots(&roots);
+        for &r in &roots {
+            assert!(p.eval(r).norm() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Second-order-section (biquad cascade) realization of digital filters.
+//!
+//! The `iir6` benchmark is described in the paper as a *cascade* IIR
+//! filter, so its state-space matrices must come from a biquad chain rather
+//! than one big direct form; this module does the pole/zero pairing and
+//! coefficient expansion.
+
+use crate::zpk::Domain;
+use crate::{Complex, Poly, Zpk};
+
+/// One second-order (or degenerate first-order) section
+/// `H(z) = (b₀ + b₁z⁻¹ + b₂z⁻²)/(1 + a₁z⁻¹ + a₂z⁻²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Biquad {
+    /// Numerator coefficients `[b0, b1, b2]`.
+    pub b: [f64; 3],
+    /// Denominator coefficients `[1, a1, a2]`.
+    pub a: [f64; 3],
+}
+
+impl Biquad {
+    /// Frequency response at `e^{jω}`.
+    pub fn freq_response(&self, omega: f64) -> Complex {
+        let zi = Complex::from_polar(1.0, -omega);
+        let zi2 = zi * zi;
+        let num = Complex::from(self.b[0]) + zi.scale(self.b[1]) + zi2.scale(self.b[2]);
+        let den = Complex::from(self.a[0]) + zi.scale(self.a[1]) + zi2.scale(self.a[2]);
+        num / den
+    }
+
+    /// Runs the difference equation over an input block (direct form I
+    /// reference implementation).
+    pub fn filter(&self, input: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(input.len());
+        let (mut x1, mut x2, mut y1, mut y2) = (0.0, 0.0, 0.0, 0.0);
+        for &x in input {
+            let y = self.b[0] * x + self.b[1] * x1 + self.b[2] * x2
+                - self.a[1] * y1
+                - self.a[2] * y2;
+            x2 = x1;
+            x1 = x;
+            y2 = y1;
+            y1 = y;
+            out.push(y);
+        }
+        out
+    }
+}
+
+/// A cascade of biquads (second-order sections).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sos {
+    /// The sections, applied first to last.
+    pub sections: Vec<Biquad>,
+}
+
+impl Sos {
+    /// Factors a digital [`Zpk`] into second-order sections.
+    ///
+    /// Poles and zeros are grouped into conjugate pairs; pole pairs are
+    /// ordered by closeness to the unit circle and each is paired with the
+    /// nearest remaining zero pair (the classical noise-motivated pairing).
+    /// The overall gain is folded into the first section.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the filter is analog, improper (more zeros than poles), or
+    /// its pole/zero sets are not closed under conjugation.
+    pub fn from_zpk(filter: &Zpk) -> Sos {
+        assert_eq!(filter.domain(), Domain::Digital, "SOS realization needs a digital filter");
+        let pole_groups = conjugate_groups(filter.poles());
+        let zero_groups = conjugate_groups(filter.zeros());
+        assert!(
+            zero_groups.len() <= pole_groups.len(),
+            "improper filter: more zero sections than pole sections"
+        );
+
+        // Sections with poles nearest the unit circle first (they get first
+        // pick of zeros), emitted in reverse so the cascade ends with them.
+        let mut pole_order: Vec<usize> = (0..pole_groups.len()).collect();
+        pole_order.sort_by(|&i, &j| {
+            let di = (1.0 - group_radius(&pole_groups[i])).abs();
+            let dj = (1.0 - group_radius(&pole_groups[j])).abs();
+            di.partial_cmp(&dj).expect("finite radii")
+        });
+
+        // Two assignment passes keep every section proper (a two-zero
+        // numerator never lands on a one-pole denominator): pair-sized zero
+        // groups go to pair-sized pole groups first, then everything else.
+        let mut assigned: Vec<Vec<Complex>> = vec![Vec::new(); pole_groups.len()];
+        let mut taken = vec![false; pole_groups.len()];
+        let mut leftovers: Vec<Vec<Complex>> = Vec::new();
+        let (pairs, singles): (Vec<_>, Vec<_>) =
+            zero_groups.into_iter().partition(|g| g.len() == 2);
+        for zg in pairs {
+            let zc = group_center(&zg);
+            let best = pole_order
+                .iter()
+                .copied()
+                .filter(|&pi| !taken[pi] && pole_groups[pi].len() == 2)
+                .min_by(|&a, &b| {
+                    let da = (group_center(&pole_groups[a]) - zc).norm();
+                    let db = (group_center(&pole_groups[b]) - zc).norm();
+                    da.partial_cmp(&db).expect("finite distance")
+                });
+            match best {
+                Some(pi) => {
+                    assigned[pi] = zg;
+                    taken[pi] = true;
+                }
+                None => leftovers.push(zg),
+            }
+        }
+        assert!(
+            leftovers.is_empty(),
+            "zero pairs could not be paired with pole pairs (conjugate structure violated)"
+        );
+        for zg in singles {
+            let zc = group_center(&zg);
+            let best = pole_order
+                .iter()
+                .copied()
+                .filter(|&pi| !taken[pi])
+                .min_by(|&a, &b| {
+                    let da = (group_center(&pole_groups[a]) - zc).norm();
+                    let db = (group_center(&pole_groups[b]) - zc).norm();
+                    da.partial_cmp(&db).expect("finite distance")
+                })
+                .expect("at least as many pole groups as zero groups");
+            assigned[best] = zg;
+            taken[best] = true;
+        }
+
+        let mut sections = Vec::with_capacity(pole_groups.len());
+        for &pi in &pole_order {
+            let a = expand(&pole_groups[pi]);
+            let b = expand(&assigned[pi]);
+            sections.push(Biquad { b, a });
+        }
+        // Cascade order: least-peaked (farthest from the circle) first.
+        sections.reverse();
+        if let Some(first) = sections.first_mut() {
+            for c in &mut first.b {
+                *c *= filter.gain();
+            }
+        }
+        Sos { sections }
+    }
+
+    /// Number of sections.
+    pub fn len(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// `true` when there are no sections.
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+
+    /// Frequency response of the cascade at `e^{jω}`.
+    pub fn freq_response(&self, omega: f64) -> Complex {
+        self.sections
+            .iter()
+            .fold(Complex::ONE, |acc, s| acc * s.freq_response(omega))
+    }
+
+    /// Runs the whole cascade over an input block.
+    pub fn filter(&self, input: &[f64]) -> Vec<f64> {
+        let mut data = input.to_vec();
+        for s in &self.sections {
+            data = s.filter(&data);
+        }
+        data
+    }
+}
+
+/// Groups roots into conjugate pairs and singleton reals; pairs of reals
+/// are merged so every group has at most 2 members.
+fn conjugate_groups(roots: &[Complex]) -> Vec<Vec<Complex>> {
+    let mut complexes: Vec<Complex> = roots.iter().copied().filter(|r| r.im > 1e-12).collect();
+    let mut reals: Vec<Complex> =
+        roots.iter().copied().filter(|r| r.im.abs() <= 1e-12).collect();
+    let negatives = roots.iter().filter(|r| r.im < -1e-12).count();
+    assert_eq!(
+        complexes.len(),
+        negatives,
+        "pole/zero set not closed under conjugation: {roots:?}"
+    );
+    let mut groups: Vec<Vec<Complex>> = Vec::new();
+    // Deterministic order.
+    complexes.sort_by(|x, y| x.norm().partial_cmp(&y.norm()).expect("finite").then(
+        x.re.partial_cmp(&y.re).expect("finite"),
+    ));
+    reals.sort_by(|x, y| x.re.partial_cmp(&y.re).expect("finite"));
+    for c in complexes {
+        groups.push(vec![c, c.conj()]);
+    }
+    let mut it = reals.into_iter().peekable();
+    while let Some(r) = it.next() {
+        if let Some(r2) = it.next() {
+            groups.push(vec![r, r2]);
+        } else {
+            groups.push(vec![r]);
+        }
+    }
+    groups
+}
+
+fn group_radius(g: &[Complex]) -> f64 {
+    g.iter().map(|c| c.norm()).fold(0.0, f64::max)
+}
+
+fn group_center(g: &[Complex]) -> Complex {
+    let sum = g.iter().fold(Complex::ZERO, |a, &c| a + c);
+    sum.scale(1.0 / g.len() as f64)
+}
+
+/// Expands ≤ 2 roots into monic `[c0, c1, c2]` coefficients of
+/// `1 + c1 z⁻¹ + c2 z⁻²`.
+fn expand(roots: &[Complex]) -> [f64; 3] {
+    let p = Poly::from_roots(roots);
+    // p(x) = prod (x - r): ascending coefficients; as z^-1 polynomial the
+    // monic section is z^-deg * p(z) read in reverse.
+    let c = p.coeffs();
+    match roots.len() {
+        0 => [1.0, 0.0, 0.0],
+        1 => [1.0, c[0], 0.0],
+        2 => [1.0, c[1], c[0]],
+        n => panic!("section with {n} roots"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{butterworth, elliptic};
+
+    fn lp(n: usize) -> Zpk {
+        butterworth(n).unwrap().to_lowpass(0.4 * std::f64::consts::PI).bilinear(1.0)
+    }
+
+    #[test]
+    fn sos_matches_zpk_response() {
+        for n in 1..=7 {
+            let f = lp(n);
+            let sos = Sos::from_zpk(&f);
+            assert_eq!(sos.len(), n.div_ceil(2));
+            for &w in &[0.0, 0.3, 1.0, 2.0, 3.0] {
+                let a = sos.freq_response(w);
+                let b = f.freq_response(w);
+                assert!(a.approx_eq(b, 1e-9 * (1.0 + b.norm())), "n={n} w={w}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sos_of_elliptic_has_finite_zero_sections() {
+        let f = elliptic(6, 0.5, 50.0)
+            .unwrap()
+            .to_lowpass(0.3 * std::f64::consts::PI)
+            .bilinear(1.0);
+        let sos = Sos::from_zpk(&f);
+        assert_eq!(sos.len(), 3);
+        for &w in &[0.0, 0.5, 1.5, 2.8] {
+            let a = sos.freq_response(w);
+            let b = f.freq_response(w);
+            assert!(a.approx_eq(b, 1e-8 * (1.0 + b.norm())), "w={w}");
+        }
+    }
+
+    #[test]
+    fn biquad_filter_impulse_matches_response_at_dc() {
+        let f = lp(2);
+        let sos = Sos::from_zpk(&f);
+        // Step response settles at H(1) = DC gain.
+        let input = vec![1.0; 400];
+        let out = sos.filter(&input);
+        let dc = f.freq_response(0.0).norm();
+        assert!((out.last().unwrap() - dc).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cascade_filter_equals_section_composition() {
+        let f = lp(4);
+        let sos = Sos::from_zpk(&f);
+        let x: Vec<f64> = (0..64).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let direct = sos.filter(&x);
+        let mut manual = x.clone();
+        for s in &sos.sections {
+            manual = s.filter(&manual);
+        }
+        assert_eq!(direct, manual);
+    }
+
+    #[test]
+    fn odd_order_has_first_order_section() {
+        let f = lp(5);
+        let sos = Sos::from_zpk(&f);
+        let first_order =
+            sos.sections.iter().filter(|s| s.a[2] == 0.0 && s.b[2] == 0.0).count();
+        assert_eq!(first_order, 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! Bit-true fixed-point arithmetic and quantization analysis.
+//!
+//! The §5 ASIC flow quantizes every constant to `w` fractional bits before
+//! MCM synthesis; choosing `w` is a real design decision (too few bits
+//! wrecks the filter, too many bits inflate the shift-add networks). This
+//! crate provides the tooling to make that decision honestly:
+//!
+//! * [`Fixed`] — a two's-complement fixed-point value with an explicit
+//!   binary point, exact add/shift and rounding multiply, plus saturation,
+//! * [`simulate_fixed`] — a bit-true interpreter for
+//!   [`lintra_dfg::Dfg`] graphs where every operation rounds/saturates
+//!   like hardware,
+//! * [`QuantizationReport`]/[`compare_quantized`] — error statistics
+//!   (max/RMS) of a fixed-point run against the `f64` reference,
+//! * [`minimum_fraction_bits`] — smallest wordlength meeting an error
+//!   budget, by linear search,
+//! * [`activity`] — bit-toggle (switching activity) measurement, the `α`
+//!   of the paper's `P = α·C_L·V²·f`, estimated the classical way: count
+//!   Hamming toggles of every node's fixed-point value across consecutive
+//!   evaluations.
+//!
+//! # Examples
+//!
+//! ```
+//! use lintra_fixed::Fixed;
+//!
+//! let a = Fixed::from_f64(0.75, 8);
+//! let b = Fixed::from_f64(-0.25, 8);
+//! assert_eq!((a + b).to_f64(), 0.5);
+//! assert_eq!((a * b).to_f64(), -0.1875);
+//! ```
+
+pub mod activity;
+mod sim;
+mod value;
+
+pub use activity::{measure_activity, ActivityReport};
+pub use sim::{
+    compare_quantized, minimum_fraction_bits, node_values_fixed, simulate_fixed, FixedSimError,
+    QuantizationReport,
+};
+pub use value::Fixed;

@@ -1,0 +1,291 @@
+//! Bit-true fixed-point simulation of dataflow graphs and wordlength
+//! selection.
+
+use crate::Fixed;
+use lintra_dfg::{Dfg, NodeKind};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error from [`simulate_fixed`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FixedSimError {
+    /// An input value was missing.
+    MissingInput {
+        /// `(sample, channel)` of the missing input.
+        key: (usize, usize),
+    },
+    /// A state value was missing.
+    MissingState {
+        /// The state index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for FixedSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FixedSimError::MissingInput { key } => {
+                write!(f, "missing input ({}, {})", key.0, key.1)
+            }
+            FixedSimError::MissingState { index } => write!(f, "missing state {index}"),
+        }
+    }
+}
+
+impl std::error::Error for FixedSimError {}
+
+/// Evaluates one iteration of a graph in fixed point: every `MulConst`
+/// coefficient is quantized to `frac_bits` and every multiply rounds to
+/// nearest, exactly as a hardware datapath with a rounding shifter would.
+///
+/// Returns `(outputs, next_states)` keyed like
+/// [`lintra_dfg::Dfg::simulate`].
+///
+/// # Errors
+///
+/// Returns an error when a referenced state or input is absent.
+#[allow(clippy::type_complexity)]
+pub fn simulate_fixed(
+    g: &Dfg,
+    state: &[Fixed],
+    inputs: &HashMap<(usize, usize), Fixed>,
+    frac_bits: u32,
+) -> Result<(HashMap<(usize, usize), Fixed>, HashMap<usize, Fixed>), FixedSimError> {
+    let (_, outs, states) = node_values_fixed(g, state, inputs, frac_bits)?;
+    Ok((outs, states))
+}
+
+/// Like [`simulate_fixed`] but also returns the value of *every* node —
+/// the raw material for switching-activity estimation.
+///
+/// # Errors
+///
+/// Returns an error when a referenced state or input is absent.
+#[allow(clippy::type_complexity)]
+pub fn node_values_fixed(
+    g: &Dfg,
+    state: &[Fixed],
+    inputs: &HashMap<(usize, usize), Fixed>,
+    frac_bits: u32,
+) -> Result<
+    (Vec<Fixed>, HashMap<(usize, usize), Fixed>, HashMap<usize, Fixed>),
+    FixedSimError,
+> {
+    let mut v: Vec<Fixed> = Vec::with_capacity(g.len());
+    let mut outs = HashMap::new();
+    let mut states = HashMap::new();
+    for (_, n) in g.iter() {
+        let p = |k: usize| -> Fixed { v[n.preds[k].0] };
+        let val = match n.kind {
+            NodeKind::Input { sample, channel } => *inputs
+                .get(&(sample, channel))
+                .ok_or(FixedSimError::MissingInput { key: (sample, channel) })?,
+            NodeKind::StateIn { index } => {
+                *state.get(index).ok_or(FixedSimError::MissingState { index })?
+            }
+            NodeKind::Const(c) => Fixed::from_f64(c, frac_bits),
+            NodeKind::Add => p(0) + p(1),
+            NodeKind::Sub => p(0) - p(1),
+            NodeKind::MulConst(c) => p(0) * Fixed::from_f64(c, frac_bits),
+            NodeKind::Shift(s) => p(0).shifted(s),
+            NodeKind::Neg => -p(0),
+            NodeKind::Delay => p(0),
+            NodeKind::Output { sample, channel } => {
+                let x = p(0);
+                outs.insert((sample, channel), x);
+                x
+            }
+            NodeKind::StateOut { index } => {
+                let x = p(0);
+                states.insert(index, x);
+                x
+            }
+        };
+        v.push(val);
+    }
+    Ok((v, outs, states))
+}
+
+/// Error statistics of a fixed-point run against the `f64` reference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantizationReport {
+    /// Fractional bits used.
+    pub frac_bits: u32,
+    /// Largest absolute output error observed.
+    pub max_error: f64,
+    /// Root-mean-square output error.
+    pub rms_error: f64,
+    /// Number of output samples compared.
+    pub samples: usize,
+}
+
+/// Runs a single-batch graph over a sample stream in both `f64` and fixed
+/// point (with `frac_bits` everywhere: signals and coefficients) and
+/// reports the output error.
+///
+/// The graph is iterated with its `StateOut`/`StateIn` loop closed, so the
+/// report includes accumulated recursive error — the quantity that
+/// actually matters for IIR structures.
+///
+/// # Panics
+///
+/// Panics if the graph references inputs beyond `(batch, channels)` found
+/// in the provided stimulus shape.
+pub fn compare_quantized(
+    g: &Dfg,
+    batch: usize,
+    dims: (usize, usize, usize),
+    stimulus: &[Vec<f64>],
+    frac_bits: u32,
+) -> QuantizationReport {
+    let (p, q, r) = dims;
+    let mut state_f = vec![0.0_f64; r];
+    let mut state_x = vec![Fixed::zero(frac_bits); r];
+    let mut sum_sq = 0.0;
+    let mut max_error = 0.0_f64;
+    let mut samples = 0usize;
+    for chunk in stimulus.chunks(batch) {
+        if chunk.len() < batch {
+            break;
+        }
+        let mut mf = HashMap::new();
+        let mut mx = HashMap::new();
+        for (s, xs) in chunk.iter().enumerate() {
+            for (c, &x) in xs.iter().take(p).enumerate() {
+                mf.insert((s, c), x);
+                mx.insert((s, c), Fixed::from_f64(x, frac_bits));
+            }
+        }
+        let (of, nf) = g.simulate(&state_f, &mf);
+        let (ox, nx) =
+            simulate_fixed(g, &state_x, &mx, frac_bits).expect("shapes match by construction");
+        for s in 0..batch {
+            for c in 0..q {
+                let e = (of[&(s, c)] - ox[&(s, c)].to_f64()).abs();
+                max_error = max_error.max(e);
+                sum_sq += e * e;
+                samples += 1;
+            }
+        }
+        state_f = (0..r).map(|i| nf[&i]).collect();
+        state_x = (0..r).map(|i| nx[&i]).collect();
+    }
+    QuantizationReport {
+        frac_bits,
+        max_error,
+        rms_error: if samples > 0 { (sum_sq / samples as f64).sqrt() } else { 0.0 },
+        samples,
+    }
+}
+
+/// Smallest `frac_bits ∈ [lo, hi]` whose fixed-point run keeps the maximum
+/// output error at or below `budget`; `None` if even `hi` bits miss it.
+pub fn minimum_fraction_bits(
+    g: &Dfg,
+    batch: usize,
+    dims: (usize, usize, usize),
+    stimulus: &[Vec<f64>],
+    budget: f64,
+    range: (u32, u32),
+) -> Option<(u32, QuantizationReport)> {
+    let (lo, hi) = range;
+    for w in lo..=hi {
+        let report = compare_quantized(g, batch, dims, stimulus, w);
+        if report.max_error <= budget {
+            return Some((w, report));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lintra_dfg::build;
+    use lintra_linsys::StateSpace;
+    use lintra_matrix::Matrix;
+
+    fn toy() -> (Dfg, (usize, usize, usize)) {
+        let sys = StateSpace::new(
+            Matrix::from_rows(&[&[0.5, 0.25], &[-0.125, 0.375]]),
+            Matrix::from_rows(&[&[1.0], &[0.5]]),
+            Matrix::from_rows(&[&[0.75, -0.5]]),
+            Matrix::from_rows(&[&[0.25]]),
+        )
+        .unwrap();
+        (build::from_state_space(&sys), (1, 1, 2))
+    }
+
+    fn ramp(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|k| vec![((k % 7) as f64 - 3.0) * 0.125]).collect()
+    }
+
+    #[test]
+    fn dyadic_system_error_is_tiny_and_counted() {
+        // Even with dyadic coefficients the recursion needs a few more
+        // fractional bits each step, so exactness is impossible at any
+        // fixed wordlength — but the rounding error stays at the ulp scale.
+        let (g, dims) = toy();
+        let r = compare_quantized(&g, 1, dims, &ramp(50), 16);
+        assert!(r.max_error < 1e-4, "max error {}", r.max_error);
+        assert!(r.rms_error <= r.max_error);
+        assert_eq!(r.samples, 50);
+        let r24 = compare_quantized(&g, 1, dims, &ramp(50), 24);
+        assert!(r24.max_error < r.max_error.max(1e-9));
+    }
+
+    #[test]
+    fn error_decreases_with_wordlength() {
+        // Non-dyadic coefficients now.
+        let sys = StateSpace::new(
+            Matrix::from_rows(&[&[0.43, 0.21], &[-0.13, 0.39]]),
+            Matrix::from_rows(&[&[0.81], &[0.57]]),
+            Matrix::from_rows(&[&[0.77, -0.31]]),
+            Matrix::from_rows(&[&[0.29]]),
+        )
+        .unwrap();
+        let g = build::from_state_space(&sys);
+        let x = ramp(80);
+        let e8 = compare_quantized(&g, 1, (1, 1, 2), &x, 8).max_error;
+        let e16 = compare_quantized(&g, 1, (1, 1, 2), &x, 16).max_error;
+        let e24 = compare_quantized(&g, 1, (1, 1, 2), &x, 24).max_error;
+        assert!(e16 < e8, "{e16} !< {e8}");
+        assert!(e24 < e16, "{e24} !< {e16}");
+        assert!(e24 < 1e-5);
+    }
+
+    #[test]
+    fn minimum_bits_search() {
+        let (g, dims) = toy();
+        let x = ramp(40);
+        let (w, report) = minimum_fraction_bits(&g, 1, dims, &x, 1e-3, (2, 24)).unwrap();
+        assert!(w <= 16);
+        assert!(report.max_error <= 1e-3);
+        // One bit less must violate the budget (w is minimal) unless w == 2.
+        if w > 2 {
+            let worse = compare_quantized(&g, 1, dims, &x, w - 1);
+            assert!(worse.max_error > 1e-3);
+        }
+    }
+
+    #[test]
+    fn missing_input_reported() {
+        let (g, _) = toy();
+        let err = simulate_fixed(&g, &[Fixed::zero(8), Fixed::zero(8)], &HashMap::new(), 8)
+            .unwrap_err();
+        assert_eq!(err, FixedSimError::MissingInput { key: (0, 0) });
+    }
+
+    #[test]
+    fn impossible_budget_returns_none() {
+        let sys = StateSpace::new(
+            Matrix::from_rows(&[&[0.43]]),
+            Matrix::from_rows(&[&[0.81]]),
+            Matrix::from_rows(&[&[0.77]]),
+            Matrix::from_rows(&[&[0.29]]),
+        )
+        .unwrap();
+        let g = build::from_state_space(&sys);
+        assert!(minimum_fraction_bits(&g, 1, (1, 1, 1), &ramp(30), 0.0, (2, 6)).is_none());
+    }
+}

@@ -1,0 +1,231 @@
+//! The fixed-point value type.
+
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A two's-complement fixed-point number: `raw / 2^frac_bits` held in an
+/// `i64`.
+///
+/// Addition and subtraction require equal binary points (enforced by
+/// assertion, like mismatched units). Multiplication produces a value with
+/// the *same* binary point as the left operand, rounding to nearest — the
+/// behaviour of a hardware multiplier followed by a rounding shifter.
+///
+/// Overflow panics in debug (like Rust integers); use
+/// [`Fixed::saturating_add`] for explicit hardware-style saturation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fixed {
+    raw: i64,
+    frac_bits: u32,
+}
+
+impl Fixed {
+    /// Builds from a raw mantissa.
+    pub fn from_raw(raw: i64, frac_bits: u32) -> Fixed {
+        assert!(frac_bits < 63, "frac_bits must be < 63");
+        Fixed { raw, frac_bits }
+    }
+
+    /// Quantizes a real number (round to nearest).
+    pub fn from_f64(x: f64, frac_bits: u32) -> Fixed {
+        assert!(frac_bits < 63, "frac_bits must be < 63");
+        Fixed { raw: (x * (1u64 << frac_bits) as f64).round() as i64, frac_bits }
+    }
+
+    /// Zero at the given binary point.
+    pub fn zero(frac_bits: u32) -> Fixed {
+        Fixed::from_raw(0, frac_bits)
+    }
+
+    /// The raw mantissa.
+    pub fn raw(&self) -> i64 {
+        self.raw
+    }
+
+    /// The binary point position.
+    pub fn frac_bits(&self) -> u32 {
+        self.frac_bits
+    }
+
+    /// Converts back to `f64` (exact: the mantissa fits in the f64
+    /// significand for all realistic wordlengths).
+    pub fn to_f64(&self) -> f64 {
+        self.raw as f64 / (1u64 << self.frac_bits) as f64
+    }
+
+    /// Arithmetic (sign-preserving) shift: left for positive `amount`,
+    /// rounding right shift for negative.
+    pub fn shifted(&self, amount: i32) -> Fixed {
+        let raw = if amount >= 0 {
+            self.raw << amount
+        } else {
+            let s = (-amount) as u32;
+            // Round to nearest on right shifts (add half-ulp before shift).
+            let half = 1i64 << (s - 1);
+            (self.raw + if self.raw >= 0 { half } else { half - 1 }) >> s
+        };
+        Fixed { raw, frac_bits: self.frac_bits }
+    }
+
+    /// Saturating addition at a given integer wordlength `total_bits`
+    /// (mantissa clamped to `[-2^(total_bits-1), 2^(total_bits-1) - 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the binary points differ or `total_bits` is 0 or > 63.
+    pub fn saturating_add(&self, other: Fixed, total_bits: u32) -> Fixed {
+        assert_eq!(self.frac_bits, other.frac_bits, "binary point mismatch");
+        assert!(total_bits > 0 && total_bits <= 63, "bad wordlength {total_bits}");
+        let max = (1i64 << (total_bits - 1)) - 1;
+        let min = -(1i64 << (total_bits - 1));
+        let sum = self.raw.saturating_add(other.raw).clamp(min, max);
+        Fixed { raw: sum, frac_bits: self.frac_bits }
+    }
+}
+
+impl Add for Fixed {
+    type Output = Fixed;
+
+    /// # Panics
+    ///
+    /// Panics if the binary points differ.
+    fn add(self, rhs: Fixed) -> Fixed {
+        assert_eq!(self.frac_bits, rhs.frac_bits, "binary point mismatch");
+        Fixed { raw: self.raw + rhs.raw, frac_bits: self.frac_bits }
+    }
+}
+
+impl Sub for Fixed {
+    type Output = Fixed;
+
+    /// # Panics
+    ///
+    /// Panics if the binary points differ.
+    fn sub(self, rhs: Fixed) -> Fixed {
+        assert_eq!(self.frac_bits, rhs.frac_bits, "binary point mismatch");
+        Fixed { raw: self.raw - rhs.raw, frac_bits: self.frac_bits }
+    }
+}
+
+impl Mul for Fixed {
+    type Output = Fixed;
+
+    /// Full-precision product rounded back to the left operand's binary
+    /// point (hardware multiplier + rounding shifter).
+    fn mul(self, rhs: Fixed) -> Fixed {
+        let wide = self.raw as i128 * rhs.raw as i128;
+        let s = rhs.frac_bits;
+        let rounded = if s == 0 {
+            wide
+        } else {
+            let half = 1i128 << (s - 1);
+            (wide + if wide >= 0 { half } else { half - 1 }) >> s
+        };
+        Fixed { raw: rounded as i64, frac_bits: self.frac_bits }
+    }
+}
+
+impl Neg for Fixed {
+    type Output = Fixed;
+
+    fn neg(self) -> Fixed {
+        Fixed { raw: -self.raw, frac_bits: self.frac_bits }
+    }
+}
+
+impl fmt::Display for Fixed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (q{})", self.to_f64(), self.frac_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_dyadics() {
+        for &(x, w) in &[(0.5, 4u32), (-0.375, 8), (3.140625, 6), (0.0, 12)] {
+            let f = Fixed::from_f64(x, w);
+            assert_eq!(f.to_f64(), x, "{x} at q{w}");
+        }
+    }
+
+    #[test]
+    fn quantization_rounds_to_nearest() {
+        assert_eq!(Fixed::from_f64(0.1, 4).raw(), 2); // 1.6 -> 2
+        assert_eq!(Fixed::from_f64(-0.1, 4).raw(), -2);
+    }
+
+    #[test]
+    fn exact_addition_and_subtraction() {
+        let a = Fixed::from_f64(1.25, 8);
+        let b = Fixed::from_f64(2.5, 8);
+        assert_eq!((a + b).to_f64(), 3.75);
+        assert_eq!((a - b).to_f64(), -1.25);
+        assert_eq!((-a).to_f64(), -1.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "binary point mismatch")]
+    fn mixed_points_panic() {
+        let _ = Fixed::from_f64(1.0, 4) + Fixed::from_f64(1.0, 8);
+    }
+
+    #[test]
+    fn multiplication_rounds() {
+        // 0.75 * -0.25 = -0.1875, representable at q8.
+        let a = Fixed::from_f64(0.75, 8);
+        let b = Fixed::from_f64(-0.25, 8);
+        assert_eq!((a * b).to_f64(), -0.1875);
+        // 0.3 * 0.3 at q4: 5/16 * 5/16 = 25/256 -> rounds to 2/16.
+        let c = Fixed::from_f64(0.3, 4);
+        assert_eq!((c * c).raw(), 2);
+    }
+
+    #[test]
+    fn multiplication_error_bounded_by_half_ulp() {
+        for i in -100..100i64 {
+            for j in [-77i64, -13, 5, 99] {
+                let a = Fixed::from_raw(i, 8);
+                let b = Fixed::from_raw(j, 8);
+                let exact = a.to_f64() * b.to_f64();
+                let got = (a * b).to_f64();
+                assert!(
+                    (got - exact).abs() <= 0.5 / 256.0 + 1e-12,
+                    "{i} * {j}: {got} vs {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shifts() {
+        let a = Fixed::from_f64(0.75, 8);
+        assert_eq!(a.shifted(2).to_f64(), 3.0);
+        assert_eq!(a.shifted(-1).to_f64(), 0.375);
+        // Rounding right shift, ties away from zero: ±3/256 >> 1 -> ±2/256.
+        assert_eq!(Fixed::from_raw(3, 8).shifted(-1).raw(), 2);
+        assert_eq!(Fixed::from_raw(-3, 8).shifted(-1).raw(), -2);
+        // Non-ties round to nearest: ±5/256 >> 2 -> ±1/256.
+        assert_eq!(Fixed::from_raw(5, 8).shifted(-2).raw(), 1);
+        assert_eq!(Fixed::from_raw(-5, 8).shifted(-2).raw(), -1);
+    }
+
+    #[test]
+    fn saturation() {
+        let big = Fixed::from_raw(120, 0);
+        let s = big.saturating_add(Fixed::from_raw(30, 0), 8);
+        assert_eq!(s.raw(), 127);
+        let neg = Fixed::from_raw(-120, 0);
+        let s = neg.saturating_add(Fixed::from_raw(-30, 0), 8);
+        assert_eq!(s.raw(), -128);
+    }
+
+    #[test]
+    fn ordering_matches_value_order() {
+        let a = Fixed::from_f64(0.5, 8);
+        let b = Fixed::from_f64(0.75, 8);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,167 @@
+//! Zero-order-hold discretization of continuous-time plants.
+//!
+//! The paper's controller benchmarks (`steam`, `dist`, `chemical`, `ellip`)
+//! are discrete-time linear controllers derived from physical plants. We
+//! regenerate them by writing small continuous-time models
+//! (`ẋ = A_c·x + B_c·u`, `y = C·x + D·u`) and sampling with a zero-order
+//! hold:
+//!
+//! ```text
+//! A_d = e^{A_c·T},    B_d = ∫₀ᵀ e^{A_c·τ} dτ · B_c
+//! ```
+//!
+//! computed jointly via the augmented-matrix exponential
+//! `exp([[A_c, B_c], [0, 0]]·T) = [[A_d, B_d], [0, I]]`, which needs no
+//! invertibility of `A_c`.
+
+use crate::{LinsysError, StateSpace};
+use lintra_matrix::{expm, Matrix, MatrixError};
+use std::fmt;
+
+/// Error from [`zoh`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiscretizeError {
+    /// The continuous system's shapes are inconsistent.
+    Shapes(LinsysError),
+    /// The matrix exponential failed (non-square input).
+    Expm(MatrixError),
+    /// The sample period must be positive and finite.
+    BadPeriod(f64),
+}
+
+impl fmt::Display for DiscretizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiscretizeError::Shapes(e) => write!(f, "bad continuous system: {e}"),
+            DiscretizeError::Expm(e) => write!(f, "matrix exponential failed: {e}"),
+            DiscretizeError::BadPeriod(t) => write!(f, "invalid sample period {t}"),
+        }
+    }
+}
+
+impl std::error::Error for DiscretizeError {}
+
+/// Discretizes `(A_c, B_c, C, D)` with a zero-order hold at sample period
+/// `t`. `C` and `D` pass through unchanged.
+///
+/// # Errors
+///
+/// Returns an error on inconsistent shapes or a non-positive period.
+pub fn zoh(
+    a_c: &Matrix,
+    b_c: &Matrix,
+    c: &Matrix,
+    d: &Matrix,
+    t: f64,
+) -> Result<StateSpace, DiscretizeError> {
+    if !(t.is_finite() && t > 0.0) {
+        return Err(DiscretizeError::BadPeriod(t));
+    }
+    let r = a_c.rows();
+    let p = b_c.cols();
+    // Augmented [[A, B], [0, 0]] * T.
+    let mut aug = Matrix::zeros(r + p, r + p);
+    aug.set_block(0, 0, &a_c.scale(t));
+    aug.set_block(0, r, &b_c.scale(t));
+    let e = expm(&aug).map_err(DiscretizeError::Expm)?;
+    let a_d = e.block(0, 0, r, r);
+    let b_d = e.block(0, r, r, p);
+    StateSpace::new(a_d, b_d, c.clone(), d.clone()).map_err(DiscretizeError::Shapes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_plant_matches_analytic() {
+        // xdot = -2x + u  =>  A_d = e^{-2T}, B_d = (1 - e^{-2T})/2.
+        let t = 0.3;
+        let sys = zoh(
+            &Matrix::from_rows(&[&[-2.0]]),
+            &Matrix::from_rows(&[&[1.0]]),
+            &Matrix::from_rows(&[&[1.0]]),
+            &Matrix::from_rows(&[&[0.0]]),
+            t,
+        )
+        .unwrap();
+        let ad = (-2.0_f64 * t).exp();
+        assert!((sys.a()[(0, 0)] - ad).abs() < 1e-12);
+        assert!((sys.b()[(0, 0)] - (1.0 - ad) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integrator_plant_without_invertible_a() {
+        // xdot = u (A = 0): A_d = 1, B_d = T.
+        let sys = zoh(
+            &Matrix::from_rows(&[&[0.0]]),
+            &Matrix::from_rows(&[&[1.0]]),
+            &Matrix::from_rows(&[&[1.0]]),
+            &Matrix::from_rows(&[&[0.0]]),
+            0.25,
+        )
+        .unwrap();
+        assert!((sys.a()[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((sys.b()[(0, 0)] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn double_integrator() {
+        // A = [[0,1],[0,0]]: A_d = [[1,T],[0,1]], B_d = [T^2/2, T].
+        let t = 0.5;
+        let sys = zoh(
+            &Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]),
+            &Matrix::from_rows(&[&[0.0], &[1.0]]),
+            &Matrix::from_rows(&[&[1.0, 0.0]]),
+            &Matrix::from_rows(&[&[0.0]]),
+            t,
+        )
+        .unwrap();
+        assert!(sys.a().approx_eq(&Matrix::from_rows(&[&[1.0, t], &[0.0, 1.0]]), 1e-12));
+        assert!((sys.b()[(0, 0)] - t * t / 2.0).abs() < 1e-12);
+        assert!((sys.b()[(1, 0)] - t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stable_plant_discretizes_stable() {
+        let a = Matrix::from_rows(&[&[-1.0, 0.5], &[-0.2, -3.0]]);
+        let sys = zoh(
+            &a,
+            &Matrix::from_rows(&[&[1.0], &[0.0]]),
+            &Matrix::from_rows(&[&[0.0, 1.0]]),
+            &Matrix::from_rows(&[&[0.0]]),
+            0.1,
+        )
+        .unwrap();
+        assert!(sys.is_stable());
+    }
+
+    #[test]
+    fn rejects_bad_period() {
+        let m = Matrix::from_rows(&[&[0.0]]);
+        assert!(matches!(zoh(&m, &m, &m, &m, 0.0), Err(DiscretizeError::BadPeriod(_))));
+        assert!(matches!(zoh(&m, &m, &m, &m, f64::NAN), Err(DiscretizeError::BadPeriod(_))));
+    }
+
+    #[test]
+    fn zoh_step_response_matches_continuous_at_samples() {
+        // For a step input, the discrete simulation must sit exactly on the
+        // continuous solution x(t) = (1 - e^{-t}) at sample instants.
+        let t = 0.2;
+        let sys = zoh(
+            &Matrix::from_rows(&[&[-1.0]]),
+            &Matrix::from_rows(&[&[1.0]]),
+            &Matrix::from_rows(&[&[1.0]]),
+            &Matrix::from_rows(&[&[0.0]]),
+            t,
+        )
+        .unwrap();
+        let inputs: Vec<Vec<f64>> = (0..50).map(|_| vec![1.0]).collect();
+        let out = sys.simulate(&inputs).unwrap();
+        for (k, y) in out.iter().enumerate() {
+            // Output reads the previous state: y[k] = x(k*T).
+            let expect = 1.0 - (-(k as f64) * t).exp();
+            assert!((y[0] - expect).abs() < 1e-10, "k={k}: {} vs {expect}", y[0]);
+        }
+    }
+}

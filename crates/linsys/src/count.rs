@@ -1,0 +1,455 @@
+//! Coefficient classification and operation counting — the analytical heart
+//! of §2–§3 of the paper.
+//!
+//! Two counting modes coexist:
+//!
+//! * **dense closed forms** ([`dense_op_count`], [`dense_iopt`]): the
+//!   paper's EQ 4/5 analysis assuming every coefficient is non-trivial,
+//! * **empirical counts** ([`op_count`]): walk the actual matrices and skip
+//!   trivial coefficients (0, ±1 — and optionally ±2^k, which become
+//!   shifts on an ASIC). This is what the paper's §3 heuristic uses for
+//!   the real-life benchmarks.
+
+use crate::{unfold, StateSpace};
+use lintra_matrix::Matrix;
+
+/// Classification of a constant coefficient by implementation cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoeffClass {
+    /// Exactly zero: the term disappears.
+    Zero,
+    /// `+1`: a plain wire.
+    One,
+    /// `−1`: folds into a subtraction.
+    MinusOne,
+    /// `±2^k` for integer `k ≠ 0`: a shift (plus sign fold).
+    PowerOfTwo {
+        /// The exponent `k` (may be negative for fractional powers).
+        exponent: i32,
+        /// `true` for negative coefficients.
+        negative: bool,
+    },
+    /// Anything else: a genuine constant multiplication.
+    General,
+}
+
+/// Classifies `c` with absolute tolerance `tol` for the trivial values.
+pub fn classify(c: f64, tol: f64) -> CoeffClass {
+    if c.abs() <= tol {
+        return CoeffClass::Zero;
+    }
+    if (c - 1.0).abs() <= tol {
+        return CoeffClass::One;
+    }
+    if (c + 1.0).abs() <= tol {
+        return CoeffClass::MinusOne;
+    }
+    let mag = c.abs();
+    let k = mag.log2().round() as i32;
+    if k != 0 && (mag - (k as f64).exp2()).abs() <= tol * (k as f64).exp2().max(1.0) {
+        return CoeffClass::PowerOfTwo { exponent: k, negative: c < 0.0 };
+    }
+    CoeffClass::General
+}
+
+/// Which coefficients are exempt from a full multiplication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrivialityRule {
+    /// Only `0` and `±1` are trivial (the paper's programmable-processor
+    /// counting: a shift is still an instruction slot, counted as a mul).
+    #[default]
+    ZeroOne,
+    /// `±2^k` is also exempt and counted as a shift (ASIC counting).
+    ZeroOnePow2,
+}
+
+/// Operation counts for evaluating one iteration of a linear computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCount {
+    /// Constant multiplications.
+    pub muls: u64,
+    /// Two-operand additions/subtractions.
+    pub adds: u64,
+    /// Constant shifts (nonzero only under
+    /// [`TrivialityRule::ZeroOnePow2`]).
+    pub shifts: u64,
+}
+
+impl OpCount {
+    /// `muls + adds` (the §3 instruction count; shifts excluded because the
+    /// paper's processor model has only `+` and `*`).
+    pub fn total(&self) -> u64 {
+        self.muls + self.adds
+    }
+
+    /// Weighted cycle count `wm·muls + wa·adds`.
+    pub fn cycles(&self, wm: f64, wa: f64) -> f64 {
+        self.muls as f64 * wm + self.adds as f64 * wa
+    }
+}
+
+impl std::ops::Add for OpCount {
+    type Output = OpCount;
+
+    fn add(self, rhs: OpCount) -> OpCount {
+        OpCount {
+            muls: self.muls + rhs.muls,
+            adds: self.adds + rhs.adds,
+            shifts: self.shifts + rhs.shifts,
+        }
+    }
+}
+
+/// Tolerance used when classifying coefficients of computed (unfolded)
+/// matrices, where exact zeros survive but roundoff may contaminate ±1.
+pub const CLASSIFY_TOL: f64 = 1e-9;
+
+/// Counts operations for one stacked row group: each row of
+/// `[lhs | rhs] · [v; w]` costs one multiplication per non-trivial
+/// coefficient and `terms − 1` additions, where `terms` counts all nonzero
+/// coefficients in the row.
+fn count_rows(lhs: &Matrix, rhs: &Matrix, rule: TrivialityRule) -> OpCount {
+    debug_assert_eq!(lhs.rows(), rhs.rows());
+    let mut out = OpCount::default();
+    for r in 0..lhs.rows() {
+        let mut terms = 0u64;
+        for &v in lhs.row(r).iter().chain(rhs.row(r)) {
+            match classify(v, CLASSIFY_TOL) {
+                CoeffClass::Zero => {}
+                CoeffClass::One | CoeffClass::MinusOne => terms += 1,
+                CoeffClass::PowerOfTwo { .. } => {
+                    terms += 1;
+                    match rule {
+                        TrivialityRule::ZeroOne => out.muls += 1,
+                        TrivialityRule::ZeroOnePow2 => out.shifts += 1,
+                    }
+                }
+                CoeffClass::General => {
+                    terms += 1;
+                    out.muls += 1;
+                }
+            }
+        }
+        out.adds += terms.saturating_sub(1);
+    }
+    out
+}
+
+/// Empirical operation count for one iteration of the system (all next
+/// states and all outputs).
+pub fn op_count(sys: &StateSpace, rule: TrivialityRule) -> OpCount {
+    count_rows(sys.a(), sys.b(), rule) + count_rows(sys.c(), sys.d(), rule)
+}
+
+/// Dense closed form: multiplications for an `i`-times unfolded dense
+/// system (the paper's `#(*, i)`).
+pub fn dense_muls(p: u64, q: u64, r: u64, i: u64) -> u64 {
+    r * r + (i + 1) * (p + q) * r + (i + 1) * (i + 2) / 2 * p * q
+}
+
+/// Dense closed form: additions (the paper's `#(+, i)`).
+pub fn dense_adds(p: u64, q: u64, r: u64, i: u64) -> u64 {
+    dense_muls(p, q, r, i) - r - (i + 1) * q
+}
+
+/// Dense closed-form count for one iteration of the `i`-times unfolded
+/// system (processing `i + 1` samples).
+pub fn dense_op_count(p: u64, q: u64, r: u64, i: u64) -> OpCount {
+    OpCount { muls: dense_muls(p, q, r, i), adds: dense_adds(p, q, r, i), shifts: 0 }
+}
+
+/// Per-sample operation counts for the dense case (as `f64` since the
+/// per-sample count is fractional).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerSample {
+    /// Multiplications per input sample.
+    pub muls: f64,
+    /// Additions per input sample.
+    pub adds: f64,
+}
+
+impl PerSample {
+    /// `muls + adds` per sample.
+    pub fn total(&self) -> f64 {
+        self.muls + self.adds
+    }
+}
+
+/// Dense per-sample counts at unfolding `i`.
+pub fn dense_ops_per_sample(p: u64, q: u64, r: u64, i: u64) -> PerSample {
+    let n = (i + 1) as f64;
+    PerSample {
+        muls: dense_muls(p, q, r, i) as f64 / n,
+        adds: dense_adds(p, q, r, i) as f64 / n,
+    }
+}
+
+/// The §3 closed-form optimum unfolding for dense matrices, generalized to
+/// per-instruction cycle weights `wm` (multiply) and `wa` (add): the
+/// continuous optimum is `√(2R(R−β)/(PQ)) − 1` with `β = wa/(wm+wa)`; the
+/// integer optimum is its floor or ceiling, whichever yields fewer weighted
+/// cycles per sample (ties broken toward the smaller `i` to save
+/// coefficient memory, as in the paper).
+///
+/// # Panics
+///
+/// Panics if `p`, `q`, or `r` is zero or the weights are not positive.
+pub fn dense_iopt(p: u64, q: u64, r: u64, wm: f64, wa: f64) -> u64 {
+    assert!(p > 0 && q > 0 && r > 0, "dense_iopt requires positive dimensions");
+    assert!(wm > 0.0 && wa > 0.0, "weights must be positive");
+    let beta = wa / (wm + wa);
+    let cont = (2.0 * r as f64 * (r as f64 - beta) / (p * q) as f64).sqrt() - 1.0;
+    let lo = cont.floor().max(0.0) as u64;
+    let hi = cont.ceil().max(0.0) as u64;
+    let cost = |i: u64| {
+        let c = dense_op_count(p, q, r, i);
+        c.cycles(wm, wa) / (i + 1) as f64
+    };
+    // Tie or equal cost: smaller i saves coefficient memory.
+    if cost(lo) <= cost(hi) {
+        lo
+    } else {
+        hi
+    }
+}
+
+/// Result of the §3 unfolding search on real (possibly sparse) matrices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnfoldingChoice {
+    /// The chosen unfolding factor `i`.
+    pub unfolding: u64,
+    /// Operations for one iteration (`i + 1` samples) at the chosen `i`.
+    pub ops: OpCount,
+    /// Weighted cycles per sample at the chosen `i`.
+    pub cycles_per_sample: f64,
+    /// Weighted cycles per sample of the original (`i = 0`) system.
+    pub baseline_cycles_per_sample: f64,
+}
+
+impl UnfoldingChoice {
+    /// The throughput improvement `S_max` = baseline / optimized cycles per
+    /// sample.
+    pub fn speedup(&self) -> f64 {
+        self.baseline_cycles_per_sample / self.cycles_per_sample
+    }
+}
+
+/// The §3 heuristic for non-dense systems: evaluate every `i` from 0 to the
+/// dense-case analytical optimum; if the best is at the boundary, continue
+/// the linear search while the per-sample weighted count keeps declining.
+///
+/// `wm`/`wa` are the cycle weights of multiply and add instructions.
+pub fn best_unfolding(
+    sys: &StateSpace,
+    rule: TrivialityRule,
+    wm: f64,
+    wa: f64,
+) -> UnfoldingChoice {
+    let (p, q, r) = sys.dims();
+    let iopt_dense = dense_iopt(p.max(1) as u64, q.max(1) as u64, r.max(1) as u64, wm, wa);
+
+    let eval = |i: u64| {
+        let ops = op_count(&unfold(sys, i as u32).system, rule);
+        let per = ops.cycles(wm, wa) / (i + 1) as f64;
+        (ops, per)
+    };
+
+    let (ops0, per0) = eval(0);
+    let mut best = UnfoldingChoice {
+        unfolding: 0,
+        ops: ops0,
+        cycles_per_sample: per0,
+        baseline_cycles_per_sample: per0,
+    };
+    for i in 1..=iopt_dense {
+        let (ops, per) = eval(i);
+        if per < best.cycles_per_sample {
+            best = UnfoldingChoice { unfolding: i, ops, cycles_per_sample: per, ..best };
+        }
+    }
+    // Boundary: keep unfolding while it keeps helping.
+    if best.unfolding == iopt_dense {
+        let mut i = iopt_dense + 1;
+        loop {
+            let (ops, per) = eval(i);
+            if per < best.cycles_per_sample {
+                best = UnfoldingChoice { unfolding: i, ops, cycles_per_sample: per, ..best };
+                i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+    best
+}
+
+/// The maximally-fast feedback critical path `CP = t_mul + ⌈log₂(1+R)⌉·t_add`
+/// (§1), independent of the unfolding factor.
+pub fn feedback_critical_path(r: u64, t_mul: f64, t_add: f64) -> f64 {
+    t_mul + ((1 + r) as f64).log2().ceil() * t_add
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lintra_matrix::Matrix;
+
+    #[test]
+    fn classification() {
+        assert_eq!(classify(0.0, 1e-9), CoeffClass::Zero);
+        assert_eq!(classify(1.0, 1e-9), CoeffClass::One);
+        assert_eq!(classify(-1.0, 1e-9), CoeffClass::MinusOne);
+        assert_eq!(classify(4.0, 1e-9), CoeffClass::PowerOfTwo { exponent: 2, negative: false });
+        assert_eq!(
+            classify(-0.25, 1e-9),
+            CoeffClass::PowerOfTwo { exponent: -2, negative: true }
+        );
+        assert_eq!(classify(0.3, 1e-9), CoeffClass::General);
+        assert_eq!(classify(1e-12, 1e-9), CoeffClass::Zero);
+    }
+
+    fn dense_sys(p: usize, q: usize, r: usize) -> StateSpace {
+        // Arbitrary non-trivial coefficients everywhere.
+        let f = |i: usize, j: usize| 0.3 + 0.01 * (i as f64) + 0.007 * (j as f64);
+        StateSpace::new(
+            Matrix::from_fn(r, r, f).scale(0.2), // keep it stable-ish
+            Matrix::from_fn(r, p, f),
+            Matrix::from_fn(q, r, f),
+            Matrix::from_fn(q, p, f),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empirical_matches_dense_formula_at_i0() {
+        for &(p, q, r) in &[(1usize, 1usize, 5usize), (2, 1, 4), (2, 3, 6)] {
+            let sys = dense_sys(p, q, r);
+            let c = op_count(&sys, TrivialityRule::ZeroOne);
+            assert_eq!(c.muls, dense_muls(p as u64, q as u64, r as u64, 0), "muls {p},{q},{r}");
+            assert_eq!(c.adds, dense_adds(p as u64, q as u64, r as u64, 0), "adds {p},{q},{r}");
+        }
+    }
+
+    #[test]
+    fn dense_formula_matches_base_case() {
+        // #(*,0) = (R+P)(R+Q); #(+,0) = (R+P−1)(R+Q).
+        for &(p, q, r) in &[(1u64, 1u64, 5u64), (2, 2, 4), (3, 1, 7)] {
+            assert_eq!(dense_muls(p, q, r, 0), (r + p) * (r + q));
+            assert_eq!(dense_adds(p, q, r, 0), (r + p - 1) * (r + q));
+        }
+    }
+
+    #[test]
+    fn per_sample_count_dips_then_rises() {
+        let (p, q, r) = (1, 1, 8);
+        let i_opt = dense_iopt(p, q, r, 1.0, 1.0);
+        let f = |i| dense_ops_per_sample(p, q, r, i).total();
+        assert!(f(i_opt) < f(0), "unfolding should help");
+        assert!(f(i_opt) <= f(i_opt + 1));
+        if i_opt > 0 {
+            assert!(f(i_opt) <= f(i_opt - 1));
+        }
+        // Far past the optimum it is rising.
+        assert!(f(4 * i_opt + 4) > f(i_opt));
+    }
+
+    #[test]
+    fn paper_worked_example_iopt_and_speedup() {
+        // §3: P = Q = 1, R = 5 gives i_opt = 6 and S_max ≈ 1.975.
+        let i = dense_iopt(1, 1, 5, 1.0, 1.0);
+        assert_eq!(i, 6);
+        let s = dense_ops_per_sample(1, 1, 5, 0).total() / dense_ops_per_sample(1, 1, 5, 6).total();
+        assert!((s - 1.975).abs() < 0.01, "S_max = {s}");
+    }
+
+    #[test]
+    fn iopt_brute_force_agreement() {
+        for &(p, q, r) in &[(1u64, 1, 4), (1, 1, 12), (2, 2, 5), (1, 2, 9), (3, 3, 3)] {
+            let i = dense_iopt(p, q, r, 1.0, 1.0);
+            let f = |i: u64| dense_op_count(p, q, r, i).cycles(1.0, 1.0) / (i + 1) as f64;
+            let brute = (0..200).min_by(|&a, &b| f(a).partial_cmp(&f(b)).unwrap()).unwrap();
+            assert!(
+                (f(i) - f(brute)).abs() < 1e-9,
+                "closed-form i={i} vs brute {brute} for ({p},{q},{r})"
+            );
+        }
+    }
+
+    #[test]
+    fn iopt_with_weighted_instructions() {
+        // Heavier multiplies shift beta downward and i_opt upward (weakly).
+        let even = dense_iopt(1, 1, 6, 1.0, 1.0);
+        let heavy_mul = dense_iopt(1, 1, 6, 10.0, 1.0);
+        assert!(heavy_mul >= even);
+        // Brute-force agreement with weights.
+        let f = |i: u64| dense_op_count(1, 1, 6, i).cycles(10.0, 1.0) / (i + 1) as f64;
+        let brute = (0..100).min_by(|&a, &b| f(a).partial_cmp(&f(b)).unwrap()).unwrap();
+        assert!((f(heavy_mul) - f(brute)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_of_two_rule_moves_muls_to_shifts() {
+        let sys = StateSpace::new(
+            Matrix::from_rows(&[&[0.5, 0.3], &[0.0, -2.0]]),
+            Matrix::from_rows(&[&[1.0], &[4.0]]),
+            Matrix::from_rows(&[&[0.7, 0.0]]),
+            Matrix::from_rows(&[&[0.0]]),
+        )
+        .unwrap();
+        let plain = op_count(&sys, TrivialityRule::ZeroOne);
+        let asic = op_count(&sys, TrivialityRule::ZeroOnePow2);
+        // 0.5, -2, 4 are powers of two; 0.3 and 0.7 general; 1.0 trivial.
+        assert_eq!(plain.muls, 5);
+        assert_eq!(plain.shifts, 0);
+        assert_eq!(asic.muls, 2);
+        assert_eq!(asic.shifts, 3);
+        assert_eq!(plain.adds, asic.adds);
+    }
+
+    #[test]
+    fn identity_system_costs_no_multiplications() {
+        let sys = StateSpace::new(
+            Matrix::identity(3),
+            Matrix::zeros(3, 1),
+            Matrix::zeros(1, 3),
+            Matrix::from_rows(&[&[1.0]]),
+        )
+        .unwrap();
+        let c = op_count(&sys, TrivialityRule::ZeroOne);
+        assert_eq!(c.muls, 0);
+        assert_eq!(c.adds, 0);
+    }
+
+    #[test]
+    fn heuristic_on_dense_matches_closed_form() {
+        let sys = dense_sys(1, 1, 5);
+        let choice = best_unfolding(&sys, TrivialityRule::ZeroOne, 1.0, 1.0);
+        assert_eq!(choice.unfolding, 6);
+        assert!((choice.speedup() - 1.975).abs() < 0.02, "{}", choice.speedup());
+    }
+
+    #[test]
+    fn heuristic_on_diagonal_system_declines_to_unfold() {
+        // A diagonal system gains nothing from unfolding: A^k stays diagonal
+        // and the input-coupling terms only grow.
+        let sys = StateSpace::new(
+            Matrix::from_diag(&[0.5, 0.25]),
+            Matrix::from_rows(&[&[0.3], &[0.6]]),
+            Matrix::from_rows(&[&[0.9, 0.8]]),
+            Matrix::from_rows(&[&[0.2]]),
+        )
+        .unwrap();
+        let choice = best_unfolding(&sys, TrivialityRule::ZeroOne, 1.0, 1.0);
+        assert_eq!(choice.unfolding, 0);
+        assert!((choice.speedup() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_path_formula() {
+        assert_eq!(feedback_critical_path(5, 2.0, 1.0), 2.0 + 3.0);
+        assert_eq!(feedback_critical_path(1, 1.0, 1.0), 2.0);
+        // Independent of unfolding by construction; nothing to assert here
+        // beyond monotonicity in R.
+        assert!(feedback_critical_path(20, 1.0, 1.0) > feedback_critical_path(3, 1.0, 1.0));
+    }
+}

@@ -1,0 +1,320 @@
+//! The state-space representation of a linear computation (EQ 2).
+
+use lintra_matrix::{spectral_radius_estimate, Matrix};
+use std::fmt;
+
+/// Error constructing or simulating a [`StateSpace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinsysError {
+    /// The four matrices do not agree on `(P, Q, R)`.
+    InconsistentShapes {
+        /// Shapes of `(A, B, C, D)` as `(rows, cols)` each.
+        a: (usize, usize),
+        b: (usize, usize),
+        c: (usize, usize),
+        d: (usize, usize),
+    },
+    /// An input or state vector of the wrong length was supplied.
+    BadVectorLength {
+        /// What the vector was for: `"input"` or `"state"`.
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for LinsysError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinsysError::InconsistentShapes { a, b, c, d } => write!(
+                f,
+                "inconsistent state-space shapes: A {}x{}, B {}x{}, C {}x{}, D {}x{}",
+                a.0, a.1, b.0, b.1, c.0, c.1, d.0, d.1
+            ),
+            LinsysError::BadVectorLength { what, expected, actual } => {
+                write!(f, "{what} vector has length {actual}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinsysError {}
+
+/// A `P`-input, `Q`-output, `R`-state discrete-time linear system:
+///
+/// ```text
+/// S[n] = A·S[n−1] + B·X[n]
+/// Y[n] = C·S[n−1] + D·X[n]
+/// ```
+///
+/// (the paper's EQ 2 convention: outputs read the *previous* state, so the
+/// only true feedback cycle is `A·S`).
+///
+/// # Examples
+///
+/// ```
+/// use lintra_linsys::StateSpace;
+/// use lintra_matrix::Matrix;
+///
+/// # fn main() -> Result<(), lintra_linsys::LinsysError> {
+/// let sys = StateSpace::new(
+///     Matrix::from_rows(&[&[0.5]]),
+///     Matrix::from_rows(&[&[1.0]]),
+///     Matrix::from_rows(&[&[1.0]]),
+///     Matrix::from_rows(&[&[0.0]]),
+/// )?;
+/// assert_eq!(sys.dims(), (1, 1, 1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateSpace {
+    a: Matrix,
+    b: Matrix,
+    c: Matrix,
+    d: Matrix,
+}
+
+impl StateSpace {
+    /// Creates a system from its four coefficient matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinsysError::InconsistentShapes`] unless
+    /// `A: R×R`, `B: R×P`, `C: Q×R`, `D: Q×P` for some `(P, Q, R)`.
+    pub fn new(a: Matrix, b: Matrix, c: Matrix, d: Matrix) -> Result<StateSpace, LinsysError> {
+        let r = a.rows();
+        let p = b.cols();
+        let q = c.rows();
+        let consistent = a.cols() == r
+            && b.rows() == r
+            && c.cols() == r
+            && d.rows() == q
+            && d.cols() == p;
+        if !consistent {
+            return Err(LinsysError::InconsistentShapes {
+                a: a.shape(),
+                b: b.shape(),
+                c: c.shape(),
+                d: d.shape(),
+            });
+        }
+        Ok(StateSpace { a, b, c, d })
+    }
+
+    /// State matrix `A` (`R × R`).
+    pub fn a(&self) -> &Matrix {
+        &self.a
+    }
+
+    /// Input matrix `B` (`R × P`).
+    pub fn b(&self) -> &Matrix {
+        &self.b
+    }
+
+    /// Output matrix `C` (`Q × R`).
+    pub fn c(&self) -> &Matrix {
+        &self.c
+    }
+
+    /// Feed-through matrix `D` (`Q × P`).
+    pub fn d(&self) -> &Matrix {
+        &self.d
+    }
+
+    /// `(P, Q, R)` — inputs, outputs, states.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.b.cols(), self.c.rows(), self.a.rows())
+    }
+
+    /// Number of inputs `P`.
+    pub fn num_inputs(&self) -> usize {
+        self.b.cols()
+    }
+
+    /// Number of outputs `Q`.
+    pub fn num_outputs(&self) -> usize {
+        self.c.rows()
+    }
+
+    /// Number of states `R`.
+    pub fn num_states(&self) -> usize {
+        self.a.rows()
+    }
+
+    /// One step: given `S[n−1]` and `X[n]`, returns `(Y[n], S[n])`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinsysError::BadVectorLength`] on mis-sized vectors.
+    pub fn step(&self, state: &[f64], input: &[f64]) -> Result<(Vec<f64>, Vec<f64>), LinsysError> {
+        let (p, _, r) = self.dims();
+        if state.len() != r {
+            return Err(LinsysError::BadVectorLength {
+                what: "state",
+                expected: r,
+                actual: state.len(),
+            });
+        }
+        if input.len() != p {
+            return Err(LinsysError::BadVectorLength {
+                what: "input",
+                expected: p,
+                actual: input.len(),
+            });
+        }
+        let mut y = self.c.mul_vec(state);
+        for (yi, di) in y.iter_mut().zip(self.d.mul_vec(input)) {
+            *yi += di;
+        }
+        let mut s = self.a.mul_vec(state);
+        for (si, bi) in s.iter_mut().zip(self.b.mul_vec(input)) {
+            *si += bi;
+        }
+        Ok((y, s))
+    }
+
+    /// Simulates from the zero state over a sequence of input vectors,
+    /// returning one output vector per sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinsysError::BadVectorLength`] if any input vector has the
+    /// wrong length.
+    pub fn simulate(&self, inputs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, LinsysError> {
+        let mut state = vec![0.0; self.num_states()];
+        let mut out = Vec::with_capacity(inputs.len());
+        for x in inputs {
+            let (y, s) = self.step(&state, x)?;
+            state = s;
+            out.push(y);
+        }
+        Ok(out)
+    }
+
+    /// `true` when the estimated spectral radius of `A` is below 1
+    /// (Schur stability).
+    pub fn is_stable(&self) -> bool {
+        self.num_states() == 0 || spectral_radius_estimate(&self.a, 14).is_stable()
+    }
+
+    /// Fraction of exactly-zero coefficients over all four matrices.
+    pub fn sparsity(&self) -> f64 {
+        let total = (self.a.rows() * self.a.cols()
+            + self.b.rows() * self.b.cols()
+            + self.c.rows() * self.c.cols()
+            + self.d.rows() * self.d.cols()) as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        let zeros: usize = [&self.a, &self.b, &self.c, &self.d]
+            .iter()
+            .map(|m| m.as_slice().iter().filter(|&&x| x == 0.0).count())
+            .sum();
+        zeros as f64 / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> StateSpace {
+        // One-pole low-pass: s' = 0.5 s + x; y = s (previous state!) + 0.25 x
+        StateSpace::new(
+            Matrix::from_rows(&[&[0.5]]),
+            Matrix::from_rows(&[&[1.0]]),
+            Matrix::from_rows(&[&[1.0]]),
+            Matrix::from_rows(&[&[0.25]]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shape_validation() {
+        let err = StateSpace::new(
+            Matrix::zeros(2, 2),
+            Matrix::zeros(3, 1),
+            Matrix::zeros(1, 2),
+            Matrix::zeros(1, 1),
+        )
+        .unwrap_err();
+        assert!(matches!(err, LinsysError::InconsistentShapes { .. }));
+        assert!(err.to_string().contains("B 3x1"));
+    }
+
+    #[test]
+    fn step_uses_previous_state_for_output() {
+        let sys = simple();
+        let (y, s) = sys.step(&[2.0], &[4.0]).unwrap();
+        // y = C*S_prev + D*x = 2 + 1 = 3 ; s = 0.5*2 + 4 = 5
+        assert_eq!(y, vec![3.0]);
+        assert_eq!(s, vec![5.0]);
+    }
+
+    #[test]
+    fn simulate_impulse() {
+        let sys = simple();
+        let inputs: Vec<Vec<f64>> = (0..5).map(|i| vec![if i == 0 { 1.0 } else { 0.0 }]).collect();
+        let out = sys.simulate(&inputs).unwrap();
+        // y0 = D = 0.25 ; then y[n] = 0.5^{n-1} (impulse into state).
+        let flat: Vec<f64> = out.into_iter().map(|v| v[0]).collect();
+        assert_eq!(flat, vec![0.25, 1.0, 0.5, 0.25, 0.125]);
+    }
+
+    #[test]
+    fn vector_length_errors() {
+        let sys = simple();
+        assert!(matches!(
+            sys.step(&[1.0, 2.0], &[0.0]),
+            Err(LinsysError::BadVectorLength { what: "state", .. })
+        ));
+        assert!(matches!(
+            sys.step(&[1.0], &[]),
+            Err(LinsysError::BadVectorLength { what: "input", .. })
+        ));
+    }
+
+    #[test]
+    fn stability() {
+        assert!(simple().is_stable());
+        let unstable = StateSpace::new(
+            Matrix::from_rows(&[&[1.5]]),
+            Matrix::from_rows(&[&[1.0]]),
+            Matrix::from_rows(&[&[1.0]]),
+            Matrix::from_rows(&[&[0.0]]),
+        )
+        .unwrap();
+        assert!(!unstable.is_stable());
+    }
+
+    #[test]
+    fn sparsity_over_all_matrices() {
+        let sys = StateSpace::new(
+            Matrix::identity(2),
+            Matrix::zeros(2, 1),
+            Matrix::zeros(1, 2),
+            Matrix::zeros(1, 1),
+        )
+        .unwrap();
+        // 2 nonzeros out of 9 entries.
+        assert!((sys.sparsity() - 7.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mimo_dims() {
+        let sys = StateSpace::new(
+            Matrix::zeros(3, 3),
+            Matrix::zeros(3, 2),
+            Matrix::zeros(4, 3),
+            Matrix::zeros(4, 2),
+        )
+        .unwrap();
+        assert_eq!(sys.dims(), (2, 4, 3));
+        assert_eq!(sys.num_inputs(), 2);
+        assert_eq!(sys.num_outputs(), 4);
+        assert_eq!(sys.num_states(), 3);
+    }
+}

@@ -1,0 +1,253 @@
+//! The unfolding transformation (EQ 3): batch processing of `i + 1`
+//! consecutive samples per iteration.
+
+use crate::{LinsysError, StateSpace};
+use lintra_matrix::Matrix;
+
+/// An `i`-times unfolded linear system: one iteration consumes `i + 1`
+/// input samples and produces `i + 1` output samples.
+///
+/// Produced by [`unfold`]. The block system is itself a [`StateSpace`] with
+/// `P' = (i+1)·P` inputs and `Q' = (i+1)·Q` outputs over the same `R`
+/// states, with
+///
+/// ```text
+/// A' = A^{i+1}
+/// B' = [A^i B | A^{i−1} B | … | B]
+/// C' = [C; CA; …; CA^i]
+/// D'_{jk} = D (j = k), C·A^{j−k−1}·B (j > k), 0 (j < k)
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnfoldedSystem {
+    /// The block state-space system.
+    pub system: StateSpace,
+    /// The unfolding factor `i` (0 = not unfolded).
+    pub unfolding: u32,
+    /// Dimensions `(P, Q, R)` of the *original* system.
+    pub original_dims: (usize, usize, usize),
+}
+
+impl UnfoldedSystem {
+    /// Samples processed per iteration, `i + 1`.
+    pub fn batch(&self) -> usize {
+        self.unfolding as usize + 1
+    }
+
+    /// Simulates the unfolded system over per-sample inputs of the
+    /// *original* system, batching internally and returning per-sample
+    /// outputs. The input length must be a multiple of the batch size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinsysError::BadVectorLength`] if the input length is not
+    /// a multiple of `i + 1` or a sample has the wrong width.
+    pub fn simulate_samples(&self, inputs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, LinsysError> {
+        let (p, q, _) = self.original_dims;
+        let n = self.batch();
+        if inputs.len() % n != 0 {
+            return Err(LinsysError::BadVectorLength {
+                what: "input",
+                expected: inputs.len().div_ceil(n) * n,
+                actual: inputs.len(),
+            });
+        }
+        let mut state = vec![0.0; self.system.num_states()];
+        let mut out = Vec::with_capacity(inputs.len());
+        for batch in inputs.chunks(n) {
+            let mut flat = Vec::with_capacity(n * p);
+            for x in batch {
+                if x.len() != p {
+                    return Err(LinsysError::BadVectorLength {
+                        what: "input",
+                        expected: p,
+                        actual: x.len(),
+                    });
+                }
+                flat.extend_from_slice(x);
+            }
+            let (y, s) = self.system.step(&state, &flat)?;
+            state = s;
+            for chunk in y.chunks(q) {
+                out.push(chunk.to_vec());
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Unfolds `sys` `i` times (EQ 3 of the paper).
+///
+/// `i = 0` returns the original system (as a trivially unfolded one).
+pub fn unfold(sys: &StateSpace, i: u32) -> UnfoldedSystem {
+    let (p, q, r) = sys.dims();
+    let n = i as usize + 1;
+
+    // Powers of A: A^0 .. A^{i+1}.
+    let mut powers: Vec<Matrix> = Vec::with_capacity(n + 1);
+    powers.push(Matrix::identity(r));
+    for k in 1..=n {
+        powers.push(&powers[k - 1] * sys.a());
+    }
+
+    let a_u = powers[n].clone();
+
+    // B' = [A^i B | ... | A^0 B]
+    let mut b_u = Matrix::zeros(r, n * p);
+    for k in 0..n {
+        let blk = &powers[n - 1 - k] * sys.b();
+        b_u.set_block(0, k * p, &blk);
+    }
+
+    // C' = [C A^0; C A^1; ...; C A^i]
+    let mut c_u = Matrix::zeros(n * q, r);
+    for j in 0..n {
+        let blk = sys.c() * &powers[j];
+        c_u.set_block(j * q, 0, &blk);
+    }
+
+    // D' block lower-triangular Toeplitz.
+    let mut d_u = Matrix::zeros(n * q, n * p);
+    for j in 0..n {
+        for k in 0..=j {
+            let blk = if j == k {
+                sys.d().clone()
+            } else {
+                &(sys.c() * &powers[j - k - 1]) * sys.b()
+            };
+            d_u.set_block(j * q, k * p, &blk);
+        }
+    }
+
+    let system = StateSpace::new(a_u, b_u, c_u, d_u)
+        .expect("unfolded blocks are shape-consistent by construction");
+    UnfoldedSystem { system, unfolding: i, original_dims: (p, q, r) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count::{dense_adds, dense_muls, op_count, TrivialityRule};
+
+    fn sys_siso() -> StateSpace {
+        StateSpace::new(
+            Matrix::from_rows(&[&[0.4, 0.3], &[-0.2, 0.5]]),
+            Matrix::from_rows(&[&[0.7], &[0.9]]),
+            Matrix::from_rows(&[&[0.6, -0.8]]),
+            Matrix::from_rows(&[&[0.35]]),
+        )
+        .unwrap()
+    }
+
+    fn sys_mimo() -> StateSpace {
+        StateSpace::new(
+            Matrix::from_rows(&[&[0.4, 0.12, 0.0], &[0.22, -0.3, 0.41], &[0.0, 0.2, 0.15]]),
+            Matrix::from_rows(&[&[0.5, 0.0], &[0.0, 1.0], &[0.25, -0.75]]),
+            Matrix::from_rows(&[&[1.0, 0.0, 0.3], &[0.0, 0.45, -0.2]]),
+            Matrix::from_rows(&[&[0.0, 0.1], &[0.2, 0.0]]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_unfolding_is_identity() {
+        let sys = sys_mimo();
+        let u = unfold(&sys, 0);
+        assert_eq!(u.system, sys);
+        assert_eq!(u.batch(), 1);
+    }
+
+    #[test]
+    fn unfolded_shapes() {
+        let sys = sys_mimo();
+        let u = unfold(&sys, 3);
+        let (p, q, r) = sys.dims();
+        assert_eq!(u.system.dims(), (4 * p, 4 * q, r));
+        assert_eq!(u.batch(), 4);
+    }
+
+    #[test]
+    fn unfolded_matches_original_simulation_siso() {
+        let sys = sys_siso();
+        let inputs: Vec<Vec<f64>> =
+            (0..24).map(|k| vec![((k * 7 % 11) as f64 - 5.0) * 0.3]).collect();
+        let want = sys.simulate(&inputs).unwrap();
+        for i in [1u32, 2, 3, 5, 7] {
+            let u = unfold(&sys, i);
+            let n = u.batch();
+            let take = (inputs.len() / n) * n;
+            let got = u.simulate_samples(&inputs[..take]).unwrap();
+            for (k, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert!(
+                    (g[0] - w[0]).abs() < 1e-9,
+                    "i={i} sample {k}: {} vs {}",
+                    g[0],
+                    w[0]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unfolded_matches_original_simulation_mimo() {
+        let sys = sys_mimo();
+        let inputs: Vec<Vec<f64>> = (0..30)
+            .map(|k| vec![(k as f64 * 0.37).sin(), (k as f64 * 0.11).cos()])
+            .collect();
+        let want = sys.simulate(&inputs).unwrap();
+        let u = unfold(&sys, 4);
+        let got = u.simulate_samples(&inputs).unwrap();
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            for (a, b) in g.iter().zip(w) {
+                assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_count_of_unfolded_matches_closed_form() {
+        // A dense random-ish system stays dense under unfolding, so the
+        // empirical count of the block system equals EQ 4/5's closed form.
+        let f = |i: usize, j: usize| 0.31 + 0.013 * i as f64 + 0.0071 * j as f64;
+        let sys = StateSpace::new(
+            Matrix::from_fn(3, 3, f).scale(0.3),
+            Matrix::from_fn(3, 2, f),
+            Matrix::from_fn(1, 3, f),
+            Matrix::from_fn(1, 2, f),
+        )
+        .unwrap();
+        for i in 0..6u64 {
+            let u = unfold(&sys, i as u32);
+            let c = op_count(&u.system, TrivialityRule::ZeroOne);
+            assert_eq!(c.muls, dense_muls(2, 1, 3, i), "muls at i={i}");
+            assert_eq!(c.adds, dense_adds(2, 1, 3, i), "adds at i={i}");
+        }
+    }
+
+    #[test]
+    fn structural_zeros_survive_unfolding() {
+        // Diagonal A keeps its zeros in every power, so the unfolded A
+        // block is diagonal too.
+        let sys = StateSpace::new(
+            Matrix::from_diag(&[0.5, -0.25]),
+            Matrix::from_rows(&[&[1.0], &[1.0]]),
+            Matrix::from_rows(&[&[1.0, 1.0]]),
+            Matrix::from_rows(&[&[0.0]]),
+        )
+        .unwrap();
+        let u = unfold(&sys, 3);
+        assert_eq!(u.system.a()[(0, 1)], 0.0);
+        assert_eq!(u.system.a()[(1, 0)], 0.0);
+        assert_eq!(u.system.a()[(0, 0)], 0.5f64.powi(4));
+    }
+
+    #[test]
+    fn batch_length_validation() {
+        let u = unfold(&sys_siso(), 2);
+        let inputs: Vec<Vec<f64>> = (0..7).map(|_| vec![1.0]).collect();
+        assert!(matches!(
+            u.simulate_samples(&inputs),
+            Err(LinsysError::BadVectorLength { .. })
+        ));
+    }
+}

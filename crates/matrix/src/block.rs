@@ -1,0 +1,111 @@
+//! Block composition helpers used when assembling unfolded state-space
+//! matrices (`B_u = [A^i B | … | B]`, block-Toeplitz `D_u`, …).
+
+use crate::Matrix;
+
+/// Horizontally concatenates matrices with equal row counts.
+///
+/// # Panics
+///
+/// Panics if `blocks` is empty or the row counts differ.
+pub fn hstack(blocks: &[&Matrix]) -> Matrix {
+    assert!(!blocks.is_empty(), "hstack requires at least one block");
+    let rows = blocks[0].rows();
+    let cols: usize = blocks.iter().map(|b| b.cols()).sum();
+    let mut out = Matrix::zeros(rows, cols);
+    let mut c0 = 0;
+    for b in blocks {
+        assert_eq!(b.rows(), rows, "hstack row count mismatch");
+        out.set_block(0, c0, b);
+        c0 += b.cols();
+    }
+    out
+}
+
+/// Vertically concatenates matrices with equal column counts.
+///
+/// # Panics
+///
+/// Panics if `blocks` is empty or the column counts differ.
+pub fn vstack(blocks: &[&Matrix]) -> Matrix {
+    assert!(!blocks.is_empty(), "vstack requires at least one block");
+    let cols = blocks[0].cols();
+    let rows: usize = blocks.iter().map(|b| b.rows()).sum();
+    let mut out = Matrix::zeros(rows, cols);
+    let mut r0 = 0;
+    for b in blocks {
+        assert_eq!(b.cols(), cols, "vstack column count mismatch");
+        out.set_block(r0, 0, b);
+        r0 += b.rows();
+    }
+    out
+}
+
+/// Places matrices on the block diagonal, zero elsewhere.
+///
+/// Used to assemble cascade (second-order-section) filter realizations into
+/// a single state-space system.
+pub fn block_diag(blocks: &[&Matrix]) -> Matrix {
+    let rows: usize = blocks.iter().map(|b| b.rows()).sum();
+    let cols: usize = blocks.iter().map(|b| b.cols()).sum();
+    let mut out = Matrix::zeros(rows, cols);
+    let (mut r0, mut c0) = (0, 0);
+    for b in blocks {
+        out.set_block(r0, c0, b);
+        r0 += b.rows();
+        c0 += b.cols();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hstack_layout() {
+        let a = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]);
+        let h = hstack(&[&a, &b]);
+        assert_eq!(h, Matrix::from_rows(&[&[1.0, 3.0, 4.0], &[2.0, 5.0, 6.0]]));
+    }
+
+    #[test]
+    fn vstack_layout() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]);
+        let v = vstack(&[&a, &b]);
+        assert_eq!(v, Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]));
+    }
+
+    #[test]
+    fn block_diag_layout() {
+        let a = Matrix::from_rows(&[&[1.0]]);
+        let b = Matrix::from_rows(&[&[2.0, 3.0], &[4.0, 5.0]]);
+        let d = block_diag(&[&a, &b]);
+        assert_eq!(
+            d,
+            Matrix::from_rows(&[
+                &[1.0, 0.0, 0.0],
+                &[0.0, 2.0, 3.0],
+                &[0.0, 4.0, 5.0]
+            ])
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "hstack row count mismatch")]
+    fn hstack_mismatch_panics() {
+        let a = Matrix::zeros(1, 1);
+        let b = Matrix::zeros(2, 1);
+        let _ = hstack(&[&a, &b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "vstack column count mismatch")]
+    fn vstack_mismatch_panics() {
+        let a = Matrix::zeros(1, 1);
+        let b = Matrix::zeros(1, 2);
+        let _ = vstack(&[&a, &b]);
+    }
+}

@@ -1,0 +1,306 @@
+//! Eigenvalues of real matrices: Householder–Hessenberg reduction followed
+//! by the shifted QR iteration with deflation.
+//!
+//! The suite's stability checks (`ρ(A) < 1`) use the norm-based estimate of
+//! [`crate::spectral_radius_estimate`] for speed; this module provides the
+//! exact answer, used in tests and wherever eigenvalue *positions* matter
+//! (e.g. verifying discretized plant poles).
+
+use crate::Matrix;
+
+/// An eigenvalue as `(re, im)`; complex pairs appear as two conjugate
+/// entries.
+pub type Eigenvalue = (f64, f64);
+
+/// Reduces a square matrix to upper Hessenberg form by Householder
+/// similarity transforms.
+fn hessenberg(a: &Matrix) -> Matrix {
+    let n = a.rows();
+    let mut h = a.clone();
+    for k in 0..n.saturating_sub(2) {
+        // Householder vector for column k below the subdiagonal.
+        let mut x: Vec<f64> = (k + 1..n).map(|i| h[(i, k)]).collect();
+        let alpha = -x[0].signum() * x.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if alpha == 0.0 {
+            continue;
+        }
+        x[0] -= alpha;
+        let norm = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm < 1e-300 {
+            continue;
+        }
+        let v: Vec<f64> = x.iter().map(|e| e / norm).collect();
+        // H := P H P with P = I - 2 v v^T (acting on rows/cols k+1..n).
+        for col in 0..n {
+            let dot: f64 = (0..v.len()).map(|i| v[i] * h[(k + 1 + i, col)]).sum();
+            for i in 0..v.len() {
+                h[(k + 1 + i, col)] -= 2.0 * v[i] * dot;
+            }
+        }
+        for row in 0..n {
+            let dot: f64 = (0..v.len()).map(|j| v[j] * h[(row, k + 1 + j)]).sum();
+            for j in 0..v.len() {
+                h[(row, k + 1 + j)] -= 2.0 * v[j] * dot;
+            }
+        }
+    }
+    h
+}
+
+/// Eigenvalues of the trailing 2×2 block `[[a, b], [c, d]]`.
+fn eig2(a: f64, b: f64, c: f64, d: f64) -> [Eigenvalue; 2] {
+    let tr = a + d;
+    let det = a * d - b * c;
+    let disc = tr * tr / 4.0 - det;
+    if disc >= 0.0 {
+        let s = disc.sqrt();
+        [(tr / 2.0 + s, 0.0), (tr / 2.0 - s, 0.0)]
+    } else {
+        let s = (-disc).sqrt();
+        [(tr / 2.0, s), (tr / 2.0, -s)]
+    }
+}
+
+/// Computes all eigenvalues of a square matrix.
+///
+/// Shifted QR on the Hessenberg form with Givens rotations and standard
+/// deflation; complex pairs are extracted from irreducible 2×2 blocks.
+/// Accuracy is ample for the well-conditioned system matrices used in this
+/// workspace.
+///
+/// # Panics
+///
+/// Panics if `a` is not square. Returns what it has (possibly from a
+/// 2×2 fallback) if a block fails to converge in 500 sweeps — which does
+/// not occur for real-life inputs with the Wilkinson shift.
+pub fn eigenvalues(a: &Matrix) -> Vec<Eigenvalue> {
+    assert!(a.is_square(), "eigenvalues require a square matrix");
+    let mut n = a.rows();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut h = hessenberg(a);
+    let mut out: Vec<Eigenvalue> = Vec::with_capacity(n);
+    let eps = 1e-13;
+    let mut sweeps = 0;
+
+    while n > 0 {
+        if n == 1 {
+            out.push((h[(0, 0)], 0.0));
+            break;
+        }
+        // Deflate: find the largest m < n with a negligible subdiagonal.
+        let mut split = None;
+        for i in (1..n).rev() {
+            let scale = h[(i - 1, i - 1)].abs() + h[(i, i)].abs();
+            if h[(i, i - 1)].abs() <= eps * scale.max(1e-300) {
+                split = Some(i);
+                break;
+            }
+        }
+        if let Some(m) = split {
+            if m == n - 1 {
+                out.push((h[(n - 1, n - 1)], 0.0));
+                n -= 1;
+                continue;
+            }
+            if m == n - 2 {
+                let e = eig2(
+                    h[(n - 2, n - 2)],
+                    h[(n - 2, n - 1)],
+                    h[(n - 1, n - 2)],
+                    h[(n - 1, n - 1)],
+                );
+                out.extend_from_slice(&e);
+                n -= 2;
+                continue;
+            }
+        }
+        // Trailing 2x2 with complex eigenvalues and n == 2: extract.
+        if n == 2 {
+            let e = eig2(h[(0, 0)], h[(0, 1)], h[(1, 0)], h[(1, 1)]);
+            out.extend_from_slice(&e);
+            break;
+        }
+
+        sweeps += 1;
+        if sweeps > 500 * a.rows() {
+            // Give up gracefully on the remaining block.
+            for i in 0..n {
+                out.push((h[(i, i)], 0.0));
+            }
+            break;
+        }
+
+        // Wilkinson shift from the trailing 2x2.
+        let (aa, bb, cc, dd) =
+            (h[(n - 2, n - 2)], h[(n - 2, n - 1)], h[(n - 1, n - 2)], h[(n - 1, n - 1)]);
+        let tr = aa + dd;
+        let det = aa * dd - bb * cc;
+        let disc = tr * tr / 4.0 - det;
+        let shift = if disc >= 0.0 {
+            let s = disc.sqrt();
+            let e1 = tr / 2.0 + s;
+            let e2 = tr / 2.0 - s;
+            if (e1 - dd).abs() < (e2 - dd).abs() {
+                e1
+            } else {
+                e2
+            }
+        } else {
+            // Complex pair: use the real part (implicit double shift would
+            // be faster; a real shift still converges to the 2x2 block).
+            tr / 2.0
+        };
+
+        // QR step on the active block via Givens rotations.
+        for i in 0..n {
+            h[(i, i)] -= shift;
+        }
+        let mut rots: Vec<(usize, f64, f64)> = Vec::with_capacity(n - 1);
+        for i in 0..n - 1 {
+            let (x, y) = (h[(i, i)], h[(i + 1, i)]);
+            let r = x.hypot(y);
+            if r < 1e-300 {
+                rots.push((i, 1.0, 0.0));
+                continue;
+            }
+            let (c, s) = (x / r, y / r);
+            rots.push((i, c, s));
+            for col in i..n {
+                let (u, v) = (h[(i, col)], h[(i + 1, col)]);
+                h[(i, col)] = c * u + s * v;
+                h[(i + 1, col)] = -s * u + c * v;
+            }
+        }
+        for &(i, c, s) in &rots {
+            for row in 0..(i + 2).min(n) {
+                let (u, v) = (h[(row, i)], h[(row, i + 1)]);
+                h[(row, i)] = c * u + s * v;
+                h[(row, i + 1)] = -s * u + c * v;
+            }
+        }
+        for i in 0..n {
+            h[(i, i)] += shift;
+        }
+    }
+    out
+}
+
+/// Exact spectral radius `max |λ|` via [`eigenvalues`].
+pub fn spectral_radius_exact(a: &Matrix) -> f64 {
+    eigenvalues(a).into_iter().map(|(re, im)| re.hypot(im)).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_mags(e: &[Eigenvalue]) -> Vec<f64> {
+        let mut m: Vec<f64> = e.iter().map(|&(r, i)| r.hypot(i)).collect();
+        m.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        m
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = Matrix::from_diag(&[3.0, -1.0, 0.5]);
+        let mut e: Vec<f64> = eigenvalues(&a).iter().map(|&(r, _)| r).collect();
+        e.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((e[0] + 1.0).abs() < 1e-10);
+        assert!((e[1] - 0.5).abs() < 1e-10);
+        assert!((e[2] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rotation_has_complex_pair() {
+        let t = 0.7_f64;
+        let r = 0.9_f64;
+        let a = Matrix::from_rows(&[
+            &[r * t.cos(), -r * t.sin()],
+            &[r * t.sin(), r * t.cos()],
+        ]);
+        let e = eigenvalues(&a);
+        assert_eq!(e.len(), 2);
+        for &(re, im) in &e {
+            assert!((re.hypot(im) - r).abs() < 1e-10, "modulus");
+            assert!((re - r * t.cos()).abs() < 1e-10, "real part");
+        }
+        assert!((e[0].1 + e[1].1).abs() < 1e-12, "conjugate pair");
+    }
+
+    #[test]
+    fn companion_matrix_roots() {
+        // x^3 - 6x^2 + 11x - 6 = (x-1)(x-2)(x-3).
+        let a = Matrix::from_rows(&[
+            &[6.0, -11.0, 6.0],
+            &[1.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0],
+        ]);
+        let mut e: Vec<f64> = eigenvalues(&a).iter().map(|&(r, _)| r).collect();
+        e.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (got, want) in e.iter().zip(&[1.0, 2.0, 3.0]) {
+            assert!((got - want).abs() < 1e-8, "{e:?}");
+        }
+    }
+
+    #[test]
+    fn trace_and_determinant_consistency() {
+        let a = Matrix::from_rows(&[
+            &[0.3, 0.7, -0.2, 0.1],
+            &[-0.4, 0.5, 0.3, 0.2],
+            &[0.1, -0.3, 0.6, 0.5],
+            &[0.2, 0.1, -0.5, 0.4],
+        ]);
+        let e = eigenvalues(&a);
+        assert_eq!(e.len(), 4);
+        let tr: f64 = e.iter().map(|&(r, _)| r).sum();
+        assert!((tr - (0.3 + 0.5 + 0.6 + 0.4)).abs() < 1e-8, "trace {tr}");
+        // Product of eigenvalues = det (complex arithmetic by hand).
+        let (mut pr, mut pi) = (1.0_f64, 0.0_f64);
+        for &(r, i) in &e {
+            let (nr, ni) = (pr * r - pi * i, pr * i + pi * r);
+            pr = nr;
+            pi = ni;
+        }
+        let det = crate::lu::Lu::new(&a).unwrap().det();
+        assert!((pr - det).abs() < 1e-8 && pi.abs() < 1e-8, "det {pr}+{pi}i vs {det}");
+    }
+
+    #[test]
+    fn agrees_with_norm_estimate() {
+        let a = Matrix::from_rows(&[
+            &[0.40, 0.12, 0.00, 0.05],
+            &[0.22, -0.30, 0.41, 0.00],
+            &[0.00, 0.20, 0.15, -0.10],
+            &[0.07, 0.00, 0.30, 0.25],
+        ]);
+        let exact = spectral_radius_exact(&a);
+        let est = crate::spectral_radius_estimate(&a, 14).value;
+        assert!((exact - est).abs() < 0.02 * exact.max(0.1), "{exact} vs {est}");
+    }
+
+    #[test]
+    fn hessenberg_similarity_preserves_eigs() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0, 3.0],
+            &[4.0, 5.0, 6.0],
+            &[7.0, 8.0, 10.0],
+        ]);
+        let h = hessenberg(&a);
+        // Hessenberg structure: zero below the first subdiagonal.
+        assert!(h[(2, 0)].abs() < 1e-12);
+        let mut ea = sorted_mags(&eigenvalues(&a));
+        let mut eh = sorted_mags(&eigenvalues(&h));
+        for (x, y) in ea.iter_mut().zip(eh.iter_mut()) {
+            assert!((*x - *y).abs() < 1e-7, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(eigenvalues(&Matrix::zeros(0, 0)).is_empty());
+        let e = eigenvalues(&Matrix::from_rows(&[&[42.0]]));
+        assert_eq!(e, vec![(42.0, 0.0)]);
+    }
+}

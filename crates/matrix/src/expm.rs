@@ -1,0 +1,135 @@
+//! Matrix exponential via scaling-and-squaring with a \[6/6\] Padé
+//! approximant.
+//!
+//! The controller benchmarks of Table 1 (`steam`, `dist`, `chemical`,
+//! `ellip`) are obtained by zero-order-hold discretization of small
+//! continuous-time plants, which needs `e^{A·T}`; this module provides it.
+
+use crate::{lu::Lu, Matrix, MatrixError};
+
+/// Coefficients of the \[6/6\] Padé approximant of `e^x`:
+/// `p(x) = Σ c_k x^k`, `q(x) = p(-x)`.
+const PADE6: [f64; 7] = [1.0, 0.5, 5.0 / 44.0, 1.0 / 66.0, 1.0 / 792.0, 1.0 / 15_840.0, 1.0 / 665_280.0];
+
+/// Computes the matrix exponential `e^A`.
+///
+/// Uses scaling and squaring: `A` is scaled by `2^-s` until its max-norm is
+/// below 0.5, the \[6/6\] Padé approximant is evaluated, and the result is
+/// squared `s` times. Accuracy is ample for the well-conditioned plant
+/// matrices used in this workspace (entries of magnitude ≲ 10³).
+///
+/// # Errors
+///
+/// Returns [`MatrixError::NotSquare`] for non-square input, and propagates
+/// [`MatrixError::Singular`] if the Padé denominator is singular (which
+/// cannot happen after scaling for finite input, but is reported rather than
+/// unwrapped).
+///
+/// # Examples
+///
+/// ```
+/// use lintra_matrix::{expm, Matrix};
+/// # fn main() -> Result<(), lintra_matrix::MatrixError> {
+/// let a = Matrix::from_diag(&[0.0, 1.0]);
+/// let e = expm(&a)?;
+/// assert!((e[(1, 1)] - 1.0f64.exp()).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn expm(a: &Matrix) -> Result<Matrix, MatrixError> {
+    if !a.is_square() {
+        return Err(MatrixError::NotSquare { shape: a.shape() });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(Matrix::zeros(0, 0));
+    }
+
+    // Scale so that max |entry| * n (a cheap norm bound) is < 0.5.
+    let norm = a.max_abs() * n as f64;
+    let s = if norm > 0.5 { (norm / 0.5).log2().ceil() as u32 } else { 0 };
+    let scaled = a.scale(0.5_f64.powi(s as i32));
+
+    // Evaluate p(A) and q(A) = p(-A) sharing the powers of A.
+    let mut term = Matrix::identity(n);
+    let mut p = term.scale(PADE6[0]);
+    let mut q = term.scale(PADE6[0]);
+    for (k, &c) in PADE6.iter().enumerate().skip(1) {
+        term = &term * &scaled;
+        let t = term.scale(c);
+        if k % 2 == 0 {
+            q = &q + &t;
+        } else {
+            q = &q - &t;
+        }
+        p = &p + &t;
+    }
+
+    let mut e = Lu::new(&q)?.solve(&p)?;
+    for _ in 0..s {
+        e = &e * &e;
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_of_zero_is_identity() {
+        let e = expm(&Matrix::zeros(3, 3)).unwrap();
+        assert!(e.approx_eq(&Matrix::identity(3), 1e-14));
+    }
+
+    #[test]
+    fn exp_of_diagonal() {
+        let a = Matrix::from_diag(&[-1.0, 0.5, 2.0]);
+        let e = expm(&a).unwrap();
+        for (i, &d) in [-1.0, 0.5, 2.0].iter().enumerate() {
+            assert!((e[(i, i)] - f64::exp(d)).abs() < 1e-12);
+        }
+        assert!(e[(0, 1)].abs() < 1e-14);
+    }
+
+    #[test]
+    fn exp_of_nilpotent() {
+        // N = [[0,1],[0,0]] => e^N = I + N exactly.
+        let n = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]);
+        let e = expm(&n).unwrap();
+        assert!(e.approx_eq(&Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]), 1e-14));
+    }
+
+    #[test]
+    fn exp_of_rotation_generator() {
+        // A = [[0,-t],[t,0]] => e^A = rotation by t.
+        let t = 0.7_f64;
+        let a = Matrix::from_rows(&[&[0.0, -t], &[t, 0.0]]);
+        let e = expm(&a).unwrap();
+        let expect =
+            Matrix::from_rows(&[&[t.cos(), -t.sin()], &[t.sin(), t.cos()]]);
+        assert!(e.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn semigroup_property() {
+        // e^{A} * e^{A} = e^{2A}.
+        let a = Matrix::from_rows(&[&[0.1, 0.3, 0.0], &[-0.2, 0.05, 0.4], &[0.0, -0.1, -0.3]]);
+        let e1 = expm(&a).unwrap();
+        let e2 = expm(&a.scale(2.0)).unwrap();
+        assert!((&e1 * &e1).approx_eq(&e2, 1e-11));
+    }
+
+    #[test]
+    fn large_norm_triggers_scaling() {
+        let a = Matrix::from_diag(&[10.0, -10.0]);
+        let e = expm(&a).unwrap();
+        assert!((e[(0, 0)] - 10.0f64.exp()).abs() / 10.0f64.exp() < 1e-10);
+        assert!((e[(1, 1)] - (-10.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(matches!(expm(&Matrix::zeros(2, 3)), Err(MatrixError::NotSquare { .. })));
+    }
+}

@@ -1,0 +1,229 @@
+//! LU factorization with partial pivoting.
+//!
+//! Used for linear solves inside the matrix exponential's Padé step and for
+//! determinant-based sanity checks in the control-plant discretization.
+
+use crate::{Matrix, MatrixError};
+
+/// An LU factorization `P·A = L·U` with partial pivoting.
+///
+/// # Examples
+///
+/// ```
+/// use lintra_matrix::{lu::Lu, Matrix};
+/// # fn main() -> Result<(), lintra_matrix::MatrixError> {
+/// let a = Matrix::from_rows(&[&[4.0, 3.0], &[6.0, 3.0]]);
+/// let lu = Lu::new(&a)?;
+/// let x = lu.solve_vec(&[10.0, 12.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined L (strict lower, unit diagonal implied) and U (upper) factors.
+    lu: Matrix,
+    /// Row permutation: row `i` of the factored matrix is row `perm[i]` of `A`.
+    perm: Vec<usize>,
+    /// Number of row swaps (for the determinant sign).
+    swaps: usize,
+}
+
+impl Lu {
+    /// Factors a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::NotSquare`] for non-square input and
+    /// [`MatrixError::Singular`] when a pivot underflows working precision.
+    pub fn new(a: &Matrix) -> Result<Lu, MatrixError> {
+        if !a.is_square() {
+            return Err(MatrixError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut swaps = 0;
+        for k in 0..n {
+            // Partial pivot: largest |entry| in column k at or below the diagonal.
+            let mut p = k;
+            let mut best = lu[(k, k)].abs();
+            for i in k + 1..n {
+                let v = lu[(i, k)].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best < 1e-300 {
+                return Err(MatrixError::Singular);
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+                swaps += 1;
+            }
+            let pivot = lu[(k, k)];
+            for i in k + 1..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                for j in k + 1..n {
+                    let u = lu[(k, j)];
+                    lu[(i, j)] -= m * u;
+                }
+            }
+        }
+        Ok(Lu { lu, perm, swaps })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A·x = b` for a single right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::ShapeMismatch`] when `b.len()` differs from the
+    /// factored dimension.
+    pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>, MatrixError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(MatrixError::ShapeMismatch {
+                op: "solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Forward substitution on permuted b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[self.perm[i]];
+            for j in 0..i {
+                s -= self.lu[(i, j)] * y[j];
+            }
+            y[i] = s;
+        }
+        // Backward substitution.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in i + 1..n {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A·X = B` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::ShapeMismatch`] when `B.rows()` differs from
+    /// the factored dimension.
+    pub fn solve(&self, b: &Matrix) -> Result<Matrix, MatrixError> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(MatrixError::ShapeMismatch {
+                op: "solve",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for c in 0..b.cols() {
+            let col = self.solve_vec(&b.col(c))?;
+            for (r, v) in col.into_iter().enumerate() {
+                out[(r, c)] = v;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        let sign = if self.swaps % 2 == 0 { 1.0 } else { -1.0 };
+        (0..self.dim()).fold(sign, |acc, i| acc * self.lu[(i, i)])
+    }
+}
+
+/// Solves `A·X = B` in one call (factor + solve).
+///
+/// # Errors
+///
+/// Propagates the factorization and solve errors of [`Lu`].
+pub fn solve(a: &Matrix, b: &Matrix) -> Result<Matrix, MatrixError> {
+    Lu::new(a)?.solve(b)
+}
+
+/// Computes the inverse of a square matrix.
+///
+/// # Errors
+///
+/// Returns an error when `a` is singular or not square.
+pub fn inverse(a: &Matrix) -> Result<Matrix, MatrixError> {
+    Lu::new(a)?.solve(&Matrix::identity(a.rows()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_known_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
+        let x = Lu::new(&a).unwrap().solve_vec(&[8.0, -11.0, -3.0]).unwrap();
+        let expect = [2.0, 3.0, -1.0];
+        for (xi, ei) in x.iter().zip(&expect) {
+            assert!((xi - ei).abs() < 1e-12, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn detects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(Lu::new(&a).unwrap_err(), MatrixError::Singular);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(Lu::new(&a), Err(MatrixError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn determinant_with_pivoting() {
+        // Requires a row swap; det should still come out +(-2).
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[2.0, 0.0]]);
+        assert!((Lu::new(&a).unwrap().det() + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]);
+        let inv = inverse(&a).unwrap();
+        assert!((&a * &inv).approx_eq(&Matrix::identity(2), 1e-12));
+        assert!((&inv * &a).approx_eq(&Matrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn matrix_solve_multiple_rhs() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 5.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 6.0], &[10.0, 5.0]]);
+        let x = solve(&a, &b).unwrap();
+        assert!(x.approx_eq(&Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]), 1e-12));
+    }
+
+    #[test]
+    fn solve_vec_length_mismatch() {
+        let a = Matrix::identity(3);
+        let err = Lu::new(&a).unwrap().solve_vec(&[1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, MatrixError::ShapeMismatch { op: "solve", .. }));
+    }
+}

@@ -1,0 +1,196 @@
+//! Signed-digit recoding of integer constants and single-constant
+//! decomposition costs.
+//!
+//! A constant multiplication `c·x` is realized as a sum of signed, shifted
+//! copies of `x`: `c·x = Σ σ_k · (x ≪ s_k)` with `σ_k ∈ {+1, −1}`. The
+//! digit set comes from either the plain binary expansion of `c` or its
+//! canonical signed digit (CSD) recoding, which has the minimum number of
+//! nonzero digits and never two adjacent nonzeros.
+
+use crate::{Cost, Recoding};
+
+/// One nonzero signed digit: the term `sign · 2^shift`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digit {
+    /// Bit position (shift amount).
+    pub shift: u32,
+    /// `true` for a `−1` digit.
+    pub neg: bool,
+}
+
+impl Digit {
+    /// The value `±2^shift` of this digit.
+    pub fn value(&self) -> i128 {
+        let v = 1i128 << self.shift;
+        if self.neg {
+            -v
+        } else {
+            v
+        }
+    }
+}
+
+/// Recodes `c` into nonzero signed digits under the chosen [`Recoding`],
+/// sorted by increasing shift. `c = Σ digit.value()` always holds.
+///
+/// For [`Recoding::Binary`] and negative `c`, the binary digits of `|c|`
+/// are used with all signs negated (plain binary has no negative digits).
+///
+/// # Examples
+///
+/// ```
+/// use lintra_mcm::{csd::recode, Recoding};
+///
+/// // 7 = 8 - 1 in CSD (2 digits) but 4 + 2 + 1 in binary (3 digits).
+/// assert_eq!(recode(7, Recoding::Csd).len(), 2);
+/// assert_eq!(recode(7, Recoding::Binary).len(), 3);
+/// ```
+pub fn recode(c: i64, recoding: Recoding) -> Vec<Digit> {
+    match recoding {
+        Recoding::Binary => binary_digits(c),
+        Recoding::Csd => csd_digits(c),
+    }
+}
+
+fn binary_digits(c: i64) -> Vec<Digit> {
+    let neg = c < 0;
+    let mut mag = (c as i128).unsigned_abs();
+    let mut out = Vec::new();
+    let mut shift = 0;
+    while mag != 0 {
+        if mag & 1 == 1 {
+            out.push(Digit { shift, neg });
+        }
+        mag >>= 1;
+        shift += 1;
+    }
+    out
+}
+
+fn csd_digits(c: i64) -> Vec<Digit> {
+    let mut v = c as i128;
+    let mut out = Vec::new();
+    let mut shift = 0;
+    while v != 0 {
+        if v & 1 == 1 {
+            // d in {-1, +1}: chosen so (v - d) is divisible by 4 when
+            // possible, which guarantees no adjacent nonzero digits.
+            let d: i128 = 2 - (v & 3);
+            out.push(Digit { shift, neg: d < 0 });
+            v -= d;
+        }
+        v >>= 1;
+        shift += 1;
+    }
+    out
+}
+
+/// Reconstructs the integer value of a digit set.
+pub fn digits_value(digits: &[Digit]) -> i128 {
+    digits.iter().map(Digit::value).sum()
+}
+
+/// Cost of realizing the *single* product `c·x` from its digit expansion:
+/// `n − 1` additions for `n` nonzero digits and one shifter per digit with
+/// a nonzero shift. Trivial constants (0, ±1) are free; `±2^k` is one
+/// shift.
+///
+/// # Examples
+///
+/// ```
+/// use lintra_mcm::{csd::single_constant_cost, Recoding};
+///
+/// assert_eq!(single_constant_cost(0, Recoding::Csd).total(), 0);
+/// assert_eq!(single_constant_cost(-1, Recoding::Csd).total(), 0);
+/// assert_eq!(single_constant_cost(8, Recoding::Csd).shifts, 1);
+/// ```
+pub fn single_constant_cost(c: i64, recoding: Recoding) -> Cost {
+    let digits = recode(c, recoding);
+    if digits.is_empty() {
+        return Cost::default();
+    }
+    Cost {
+        adds: digits.len() - 1,
+        shifts: digits.iter().filter(|d| d.shift > 0).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_value(c: i64, r: Recoding) {
+        let d = recode(c, r);
+        assert_eq!(digits_value(&d), c as i128, "recode({c}, {r:?}) wrong value: {d:?}");
+    }
+
+    #[test]
+    fn recodings_preserve_value() {
+        for c in -1000..=1000 {
+            check_value(c, Recoding::Binary);
+            check_value(c, Recoding::Csd);
+        }
+        for &c in &[i64::MAX, i64::MAX - 1, -(1 << 62), 1 << 40] {
+            check_value(c, Recoding::Binary);
+            check_value(c, Recoding::Csd);
+        }
+    }
+
+    #[test]
+    fn csd_has_no_adjacent_nonzeros() {
+        for c in -4096..=4096i64 {
+            let d = csd_digits(c);
+            for w in d.windows(2) {
+                assert!(w[1].shift > w[0].shift + 1, "adjacent digits for {c}: {d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn csd_never_more_digits_than_binary() {
+        for c in 0..=4096i64 {
+            assert!(
+                csd_digits(c).len() <= binary_digits(c).len(),
+                "CSD worse than binary for {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn known_csd_expansions() {
+        // 7 = 8 - 1
+        let d = csd_digits(7);
+        assert_eq!(d, vec![Digit { shift: 0, neg: true }, Digit { shift: 3, neg: false }]);
+        // 15 = 16 - 1
+        assert_eq!(csd_digits(15).len(), 2);
+        // 5 = 4 + 1 stays binary
+        assert_eq!(csd_digits(5).len(), 2);
+    }
+
+    #[test]
+    fn paper_example_binary_digit_positions() {
+        let d185: Vec<u32> = binary_digits(185).iter().map(|d| d.shift).collect();
+        assert_eq!(d185, vec![0, 3, 4, 5, 7]);
+        let d235: Vec<u32> = binary_digits(235).iter().map(|d| d.shift).collect();
+        assert_eq!(d235, vec![0, 1, 3, 5, 6, 7]);
+    }
+
+    #[test]
+    fn single_costs() {
+        assert_eq!(single_constant_cost(0, Recoding::Binary), Cost { adds: 0, shifts: 0 });
+        assert_eq!(single_constant_cost(1, Recoding::Binary), Cost { adds: 0, shifts: 0 });
+        assert_eq!(single_constant_cost(-1, Recoding::Binary), Cost { adds: 0, shifts: 0 });
+        assert_eq!(single_constant_cost(16, Recoding::Binary), Cost { adds: 0, shifts: 1 });
+        // 185 binary: 5 digits -> 4 adds, 4 shifted digits.
+        assert_eq!(single_constant_cost(185, Recoding::Binary), Cost { adds: 4, shifts: 4 });
+        // 235 binary: 6 digits -> 5 adds, 5 shifted digits.
+        assert_eq!(single_constant_cost(235, Recoding::Binary), Cost { adds: 5, shifts: 5 });
+    }
+
+    #[test]
+    fn negative_binary_digits_all_negative() {
+        let d = binary_digits(-5);
+        assert!(d.iter().all(|x| x.neg));
+        assert_eq!(digits_value(&d), -5);
+    }
+}

@@ -1,0 +1,179 @@
+//! Exhaustive single-constant multiplication (SCM) oracle.
+//!
+//! Breadth-first search over adder graphs: which odd constants are
+//! reachable from `x` with `k` additions/subtractions of shifted,
+//! previously computed values? Classic results say every constant below
+//! 2¹² needs at most 4 adds; this module computes the exact minimum for
+//! small constants and serves as a test oracle for the CSD and pairwise-
+//! matching heuristics (which can never beat it).
+
+use std::collections::HashMap;
+
+/// Maximum magnitude tracked during the search. Optimal adder chains for
+/// the ≤ 9-bit targets the oracle serves very rarely route through larger
+/// intermediates, and the cap keeps the depth-3 BFS fast.
+const VALUE_CAP_BITS: u32 = 13;
+
+/// Exhaustive minimum-adder-count table for single constants.
+///
+/// # Examples
+///
+/// ```
+/// use lintra_mcm::optimal::ScmOracle;
+///
+/// let oracle = ScmOracle::new(2);
+/// assert_eq!(oracle.min_adds(1), Some(0));
+/// assert_eq!(oracle.min_adds(7), Some(1));   // 8 - 1
+/// assert_eq!(oracle.min_adds(45), Some(2));  // (1+4)*9 = 5<<3 + 5
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScmOracle {
+    /// Minimum adds for each reachable odd positive value.
+    table: HashMap<u64, u32>,
+    depth: u32,
+}
+
+impl ScmOracle {
+    /// Builds the oracle by BFS to `max_adds` additions (each level
+    /// combines two already-reachable values under arbitrary shifts).
+    ///
+    /// Values are normalized to odd positives. Depths above 3 get
+    /// expensive; 2–3 is plenty for oracle duty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_adds > 3` (the search space explodes beyond the
+    /// oracle's purpose).
+    pub fn new(max_adds: u32) -> ScmOracle {
+        assert!(max_adds <= 3, "oracle supports at most 3 adds");
+        let cap = 1u64 << VALUE_CAP_BITS;
+        let mut table: HashMap<u64, u32> = HashMap::new();
+        table.insert(1, 0);
+        let mut frontier: Vec<u64> = vec![1];
+        for depth in 1..=max_adds {
+            let known: Vec<u64> = table.keys().copied().collect();
+            let mut next = Vec::new();
+            // New value = |a·2^i ± b| (normalizing by oddness covers the
+            // remaining shift patterns; one operand can always be taken
+            // unshifted after odd-normalization).
+            for &f in &frontier {
+                for &k in &known {
+                    for shift in 0..VALUE_CAP_BITS {
+                        let shifted = (f as u128) << shift;
+                        if shifted > 2 * cap as u128 {
+                            break;
+                        }
+                        let shifted = shifted as u64;
+                        for cand in
+                            [shifted + k, shifted.abs_diff(k), k.wrapping_add(shifted)]
+                        {
+                            let mut v = cand;
+                            if v == 0 || v > cap {
+                                continue;
+                            }
+                            v >>= v.trailing_zeros();
+                            if !table.contains_key(&v) {
+                                table.insert(v, depth);
+                                next.push(v);
+                            }
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+        ScmOracle { table, depth: max_adds }
+    }
+
+    /// Minimum additions to realize `c·x`, or `None` when `c` needs more
+    /// than the oracle's depth (or exceeds the value cap).
+    pub fn min_adds(&self, c: i64) -> Option<u32> {
+        if c == 0 {
+            return Some(0);
+        }
+        let mag = c.unsigned_abs();
+        if mag > (1u64 << VALUE_CAP_BITS) {
+            return None;
+        }
+        let odd = mag >> mag.trailing_zeros();
+        self.table.get(&odd).copied()
+    }
+
+    /// The search depth the oracle was built to.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Number of distinct odd values reachable within the depth.
+    pub fn reachable(&self) -> usize {
+        self.table.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csd::single_constant_cost;
+    use crate::Recoding;
+
+    #[test]
+    fn depth_zero_and_one_values() {
+        let o = ScmOracle::new(1);
+        assert_eq!(o.min_adds(1), Some(0));
+        assert_eq!(o.min_adds(-8), Some(0));
+        assert_eq!(o.min_adds(3), Some(1));
+        assert_eq!(o.min_adds(5), Some(1));
+        assert_eq!(o.min_adds(7), Some(1));
+        assert_eq!(o.min_adds(9), Some(1));
+        assert_eq!(o.min_adds(6), Some(1)); // 3 << 1
+        // 11 needs 2 adds.
+        assert_eq!(o.min_adds(11), None);
+    }
+
+    #[test]
+    fn known_two_add_values() {
+        let o = ScmOracle::new(2);
+        for &c in &[11i64, 13, 19, 21, 23, 25, 27, 45, 51, 85, 153, 255] {
+            assert!(
+                o.min_adds(c).map(|d| d <= 2).unwrap_or(false),
+                "{c} should need <= 2 adds, got {:?}",
+                o.min_adds(c)
+            );
+        }
+        // 1, 3 stay at their shallower depths.
+        assert_eq!(o.min_adds(1), Some(0));
+        assert_eq!(o.min_adds(3), Some(1));
+    }
+
+    #[test]
+    fn csd_never_beats_the_oracle() {
+        let o = ScmOracle::new(3);
+        for c in 1..=512i64 {
+            if let Some(opt) = o.min_adds(c) {
+                let csd = single_constant_cost(c, Recoding::Csd).adds as u32;
+                assert!(csd >= opt, "CSD {csd} beats oracle {opt} for {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_finds_cases_csd_misses() {
+        // 45 = 101101 (binary), CSD needs 3 adds; the adder graph
+        // (x + x<<2) + (x + x<<2)<<3 needs 2.
+        let o = ScmOracle::new(2);
+        assert_eq!(o.min_adds(45), Some(2));
+        assert_eq!(single_constant_cost(45, Recoding::Csd).adds, 3);
+    }
+
+    #[test]
+    fn every_8bit_constant_within_three_adds() {
+        let o = ScmOracle::new(3);
+        for c in 1..=255i64 {
+            assert!(
+                o.min_adds(c).is_some(),
+                "{c} not reachable within 3 adds (reachable set {})",
+                o.reachable()
+            );
+        }
+    }
+}

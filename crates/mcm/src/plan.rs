@@ -1,0 +1,312 @@
+//! The explicit shift-add plan produced by MCM synthesis.
+
+use crate::Cost;
+use std::collections::HashSet;
+use std::fmt;
+
+/// What a [`Term`] multiplies: the input variable `x` or a previously built
+/// intermediate expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Source {
+    /// The multiplied variable `x` itself.
+    Input,
+    /// The intermediate expression at the given index of
+    /// [`McmSolution::exprs`].
+    Expr(usize),
+}
+
+/// One addend `± (source ≪ shift)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Term {
+    /// What is shifted.
+    pub source: Source,
+    /// Left-shift amount.
+    pub shift: u32,
+    /// `true` when the term is subtracted.
+    pub neg: bool,
+}
+
+/// A sum of terms. An expression with `n ≥ 1` terms costs `n − 1`
+/// additions.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Expr {
+    /// The addends. Never empty in a valid solution.
+    pub terms: Vec<Term>,
+}
+
+/// How one requested constant is delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputRef {
+    /// The constant is 0.
+    Zero,
+    /// The constant is `± 2^shift · source` (covers ±1, ±2^k, and shared
+    /// odd parts).
+    Scaled(Term),
+}
+
+/// Error from [`McmSolution::verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyMcmError {
+    /// Index of the offending output.
+    pub output: usize,
+    /// The requested constant.
+    pub expected: i64,
+    /// What the plan actually computes.
+    pub actual: i128,
+}
+
+impl fmt::Display for VerifyMcmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mcm output {} computes {} instead of {}",
+            self.output, self.actual, self.expected
+        )
+    }
+}
+
+impl std::error::Error for VerifyMcmError {}
+
+/// A complete, verifiable shift-add realization of a set of constant
+/// multiplications with a common variable.
+///
+/// Produced by [`crate::synthesize`]. `exprs` holds every expression built
+/// (shared odd-constant expressions and extracted common subexpressions);
+/// each expression only references `Input` or expressions *created before
+/// it*, so a single forward pass (or memoized recursion) evaluates the
+/// plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McmSolution {
+    /// All expressions, in creation order.
+    pub exprs: Vec<Expr>,
+    /// One entry per requested constant, in input order.
+    pub outputs: Vec<(i64, OutputRef)>,
+}
+
+impl McmSolution {
+    /// Value computed by a term, given already-evaluated expression values.
+    fn term_value(term: &Term, values: &[i128]) -> i128 {
+        let base = match term.source {
+            Source::Input => 1i128,
+            Source::Expr(i) => values[i],
+        };
+        let v = base << term.shift;
+        if term.neg {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Evaluates every expression for `x = 1` (so each value *is* the
+    /// constant factor it realizes).
+    ///
+    /// Rewriting during synthesis makes early expressions reference newer
+    /// intermediates, so evaluation is a memoized recursion over the
+    /// reference DAG rather than a single index-order pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan contains a reference cycle (which a correctly
+    /// synthesized plan never does).
+    pub fn expr_values(&self) -> Vec<i128> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum State {
+            Unvisited,
+            InProgress,
+            Done,
+        }
+        fn eval(
+            exprs: &[Expr],
+            i: usize,
+            values: &mut [i128],
+            state: &mut [State],
+        ) -> i128 {
+            match state[i] {
+                State::Done => return values[i],
+                State::InProgress => panic!("mcm plan contains a reference cycle at e{i}"),
+                State::Unvisited => {}
+            }
+            state[i] = State::InProgress;
+            let mut sum = 0i128;
+            for t in &exprs[i].terms {
+                let base = match t.source {
+                    Source::Input => 1i128,
+                    Source::Expr(j) => eval(exprs, j, values, state),
+                };
+                let v = base << t.shift;
+                sum += if t.neg { -v } else { v };
+            }
+            values[i] = sum;
+            state[i] = State::Done;
+            sum
+        }
+
+        let mut values = vec![0i128; self.exprs.len()];
+        let mut state = vec![State::Unvisited; self.exprs.len()];
+        for i in 0..self.exprs.len() {
+            eval(&self.exprs, i, &mut values, &mut state);
+        }
+        values
+    }
+
+    /// The constant factor each output actually computes.
+    pub fn output_values(&self) -> Vec<i128> {
+        let values = self.expr_values();
+        self.outputs
+            .iter()
+            .map(|(_, r)| match r {
+                OutputRef::Zero => 0,
+                OutputRef::Scaled(t) => Self::term_value(t, &values),
+            })
+            .collect()
+    }
+
+    /// Checks that every output computes its requested constant.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first mismatching output.
+    pub fn verify(&self) -> Result<(), VerifyMcmError> {
+        for (i, (v, (c, _))) in self.output_values().iter().zip(&self.outputs).enumerate() {
+            if *v != *c as i128 {
+                return Err(VerifyMcmError { output: i, expected: *c, actual: *v });
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of two-operand additions in the plan: `Σ (terms − 1)` over
+    /// all expressions.
+    pub fn adds(&self) -> usize {
+        self.exprs.iter().map(|e| e.terms.len().saturating_sub(1)).sum()
+    }
+
+    /// Number of distinct shifters: distinct `(source, shift)` pairs with a
+    /// nonzero shift anywhere in the plan (shift networks are shared, as in
+    /// the paper's §5 discussion).
+    pub fn shifts(&self) -> usize {
+        let mut set: HashSet<(Source, u32)> = HashSet::new();
+        for e in &self.exprs {
+            for t in &e.terms {
+                if t.shift > 0 {
+                    set.insert((t.source, t.shift));
+                }
+            }
+        }
+        for (_, r) in &self.outputs {
+            if let OutputRef::Scaled(t) = r {
+                if t.shift > 0 {
+                    set.insert((t.source, t.shift));
+                }
+            }
+        }
+        set.len()
+    }
+
+    /// Combined cost.
+    pub fn cost(&self) -> Cost {
+        Cost { adds: self.adds(), shifts: self.shifts() }
+    }
+}
+
+impl fmt::Display for McmSolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn term(t: &Term) -> String {
+            let src = match t.source {
+                Source::Input => "x".to_string(),
+                Source::Expr(i) => format!("e{i}"),
+            };
+            let shifted = if t.shift > 0 { format!("{src}<<{}", t.shift) } else { src };
+            if t.neg {
+                format!("- {shifted}")
+            } else {
+                format!("+ {shifted}")
+            }
+        }
+        let values = self.expr_values();
+        for (i, e) in self.exprs.iter().enumerate() {
+            let body: Vec<String> = e.terms.iter().map(term).collect();
+            writeln!(f, "e{i} = {}   // = {}*x", body.join(" "), values[i])?;
+        }
+        for (c, r) in &self.outputs {
+            match r {
+                OutputRef::Zero => writeln!(f, "out({c}) = 0")?,
+                OutputRef::Scaled(t) => writeln!(f, "out({c}) = {}", term(t))?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(source: Source, shift: u32, neg: bool) -> Term {
+        Term { source, shift, neg }
+    }
+
+    #[test]
+    fn hand_built_plan_evaluates() {
+        // e0 = x<<2 + x = 5x; out(10) = e0 << 1; out(-5) = -e0.
+        let sol = McmSolution {
+            exprs: vec![Expr {
+                terms: vec![t(Source::Input, 2, false), t(Source::Input, 0, false)],
+            }],
+            outputs: vec![
+                (10, OutputRef::Scaled(t(Source::Expr(0), 1, false))),
+                (-5, OutputRef::Scaled(t(Source::Expr(0), 0, true))),
+                (0, OutputRef::Zero),
+            ],
+        };
+        assert_eq!(sol.expr_values(), vec![5]);
+        assert_eq!(sol.output_values(), vec![10, -5, 0]);
+        sol.verify().unwrap();
+        assert_eq!(sol.adds(), 1);
+        // Distinct shifts: (x,2) and (e0,1).
+        assert_eq!(sol.shifts(), 2);
+    }
+
+    #[test]
+    fn verify_reports_mismatch() {
+        let sol = McmSolution {
+            exprs: vec![Expr { terms: vec![t(Source::Input, 1, false)] }],
+            outputs: vec![(3, OutputRef::Scaled(t(Source::Expr(0), 0, false)))],
+        };
+        let err = sol.verify().unwrap_err();
+        assert_eq!(err, VerifyMcmError { output: 0, expected: 3, actual: 2 });
+        assert!(err.to_string().contains("computes 2 instead of 3"));
+    }
+
+    #[test]
+    fn shared_shifts_counted_once() {
+        // Two expressions both using x<<3: one shifter.
+        let sol = McmSolution {
+            exprs: vec![
+                Expr { terms: vec![t(Source::Input, 3, false), t(Source::Input, 0, false)] },
+                Expr { terms: vec![t(Source::Input, 3, false), t(Source::Input, 0, true)] },
+            ],
+            outputs: vec![
+                (9, OutputRef::Scaled(t(Source::Expr(0), 0, false))),
+                (7, OutputRef::Scaled(t(Source::Expr(1), 0, false))),
+            ],
+        };
+        sol.verify().unwrap();
+        assert_eq!(sol.shifts(), 1);
+        assert_eq!(sol.adds(), 2);
+    }
+
+    #[test]
+    fn display_lists_expressions() {
+        let sol = McmSolution {
+            exprs: vec![Expr {
+                terms: vec![t(Source::Input, 2, false), t(Source::Input, 0, true)],
+            }],
+            outputs: vec![(3, OutputRef::Scaled(t(Source::Expr(0), 0, false)))],
+        };
+        let s = sol.to_string();
+        assert!(s.contains("e0 = + x<<2 - x"), "{s}");
+        assert!(s.contains("out(3)"), "{s}");
+    }
+}

@@ -1,0 +1,203 @@
+//! §5 — the ASIC transformation script: unfold → generalized Horner → MCM.
+//!
+//! The script produces a computation whose only cross-iteration cycle is
+//! the precomputed `A^n·S` product, so arbitrarily many pipeline stages
+//! can be inserted in the feed-forward part and the supply voltage can be
+//! driven to the technology minimum. Energy per sample is then the
+//! (shift-add) operation census at `V_min`, compared against the original
+//! multiply-accumulate datapath at the initial voltage.
+
+use crate::TechConfig;
+use lintra_dfg::{build, OpTiming};
+use lintra_linsys::StateSpace;
+use lintra_mcm::Recoding;
+use lintra_power::EnergyBreakdown;
+use lintra_transform::horner::HornerForm;
+use lintra_transform::mcm_pass::{expand_multiplications, McmPassConfig, McmPassReport};
+
+/// Configuration of the ASIC flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsicConfig {
+    /// Fixed-point fractional bits for the MCM quantization.
+    pub frac_bits: u32,
+    /// MCM digit recoding.
+    pub recoding: Recoding,
+    /// Cap on the unfolding search (batch = unfolding + 1).
+    pub max_unfolding: u32,
+    /// Datapath timing used for the pipelining/voltage feasibility check.
+    pub timing: OpTiming,
+}
+
+impl Default for AsicConfig {
+    fn default() -> Self {
+        AsicConfig {
+            frac_bits: 12,
+            recoding: Recoding::Csd,
+            max_unfolding: 127,
+            timing: OpTiming { t_mul: 2.0, t_add: 1.0, t_shift: 0.0 },
+        }
+    }
+}
+
+/// Result of the ASIC flow on one design (one Table-4 row).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsicResult {
+    /// Unfolding factor chosen (batch = `unfolding + 1`).
+    pub unfolding: u32,
+    /// Operating voltage of the transformed design.
+    pub voltage: f64,
+    /// Energy per sample of the original multiply-accumulate datapath at
+    /// the initial voltage.
+    pub initial: EnergyBreakdown,
+    /// Energy per sample of the transformed (Horner + MCM shift-add)
+    /// datapath at the reduced voltage.
+    pub optimized: EnergyBreakdown,
+    /// MCM pass statistics.
+    pub mcm: McmPassReport,
+}
+
+impl AsicResult {
+    /// Improvement factor (Table 4's last column).
+    pub fn improvement(&self) -> f64 {
+        self.initial.total_j() / self.optimized.total_j()
+    }
+}
+
+/// Smallest unfolding whose pipelined feed-forward leaves enough slack to
+/// run the feedback cycle at `V_min`.
+///
+/// The original design's clock period is its full critical path at the
+/// initial voltage; the transformed design must only close the (constant)
+/// feedback path within `n` sample periods, so the available slowdown is
+/// `n·CP_original/CP_feedback`.
+fn required_unfolding(sys: &StateSpace, tech: &TechConfig, cfg: &AsicConfig) -> u32 {
+    let base_cp = build::from_state_space(sys).critical_path(&cfg.timing).max(1.0);
+    let needed = tech.voltage.slowdown_between(tech.initial_voltage, tech.voltage.v_min());
+    // The feedback path of the Horner form is independent of the unfolding
+    // depth (only A^n·S is in the cycle), so solve for n in closed form
+    // from the depth at n = 1 and verify, bumping if the measured path at
+    // the chosen depth differs by a rounding level.
+    let fb1 = HornerForm::new(sys, 0).to_dfg().feedback_critical_path(&cfg.timing).max(1.0);
+    let mut i = ((needed * fb1 / base_cp).ceil() as i64 - 1).max(0) as u32;
+    loop {
+        i = i.min(cfg.max_unfolding);
+        let fb = HornerForm::new(sys, i).to_dfg().feedback_critical_path(&cfg.timing).max(1.0);
+        let available = (i as f64 + 1.0) * base_cp / fb;
+        if available >= needed || i >= cfg.max_unfolding {
+            return i;
+        }
+        i += 1;
+    }
+}
+
+/// Runs the full §5 script and accounts energy per sample.
+pub fn optimize(sys: &StateSpace, tech: &TechConfig, cfg: &AsicConfig) -> AsicResult {
+    let (p, q, r) = sys.dims();
+
+    // Initial design: maximally fast multiply-accumulate datapath at V0.
+    let base = build::from_state_space(sys);
+    let bc = base.op_counts();
+    let regs0 = (r + p + q) as u64;
+    let initial =
+        tech.energy.energy_per_sample(bc.adds, bc.muls, bc.shifts, regs0, tech.initial_voltage);
+
+    // Transformed design.
+    let unfolding = required_unfolding(sys, tech, cfg);
+    let n = unfolding as u64 + 1;
+    let horner = HornerForm::new(sys, unfolding).to_dfg();
+    let (shifted, mcm) = expand_multiplications(
+        &horner,
+        McmPassConfig { frac_bits: cfg.frac_bits, recoding: cfg.recoding },
+    );
+    let oc = shifted.op_counts();
+    debug_assert_eq!(oc.muls, 0, "mcm pass must remove every multiplier");
+
+    // Feasible voltage: everything the unfolding earned, clamped at V_min.
+    let base_cp = base.critical_path(&cfg.timing).max(1.0);
+    let fb = shifted.feedback_critical_path(&cfg.timing).max(1.0);
+    let available = n as f64 * base_cp / fb;
+    let scaling = tech.voltage.scale_for_slowdown(tech.initial_voltage, available);
+
+    // Per-sample counts: one batch of the transformed graph serves n
+    // samples; registers: state registers once per batch + I/O registers
+    // per sample.
+    let per = |x: u64| -> u64 { x.div_ceil(n) };
+    let regs = per(r as u64) + (p + q) as u64;
+    let optimized = tech.energy.energy_per_sample(
+        per(oc.adds),
+        0,
+        per(oc.shifts),
+        regs,
+        scaling.voltage,
+    );
+
+    AsicResult { unfolding, voltage: scaling.voltage, initial, optimized, mcm }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lintra_suite::{by_name, suite};
+
+    /// 3.3 V keeps the required unfolding (and test time) moderate; the
+    /// single-design floor test below uses 5.0 V.
+    fn tech() -> TechConfig {
+        TechConfig::dac96(3.3)
+    }
+
+    #[test]
+    fn asic_flow_reaches_the_voltage_floor() {
+        let d = by_name("iir5").unwrap();
+        let r = optimize(&d.system, &TechConfig::dac96(5.0), &AsicConfig::default());
+        assert!(
+            (r.voltage - 1.1).abs() < 1e-6,
+            "expected V_min, got {} (unfolding {})",
+            r.voltage,
+            r.unfolding
+        );
+    }
+
+    #[test]
+    fn asic_improvements_are_large() {
+        // Table 4: average/median improvement factors in the tens.
+        let cfg = AsicConfig::default();
+        let t = tech();
+        let mut factors = Vec::new();
+        for d in suite() {
+            let r = optimize(&d.system, &t, &cfg);
+            assert!(r.improvement() > 1.0, "{} got {}", d.name, r.improvement());
+            factors.push(r.improvement());
+        }
+        let avg = factors.iter().sum::<f64>() / factors.len() as f64;
+        assert!(avg > 10.0, "average improvement {avg} ({factors:?})");
+    }
+
+    #[test]
+    fn multipliers_are_fully_eliminated() {
+        let d = by_name("chemical").unwrap();
+        let r = optimize(&d.system, &tech(), &AsicConfig::default());
+        assert!(r.mcm.muls_removed > 0);
+        assert_eq!(r.optimized.mults_j, 0.0);
+    }
+
+    #[test]
+    fn improvement_grows_with_initial_voltage() {
+        let d = by_name("iir6").unwrap();
+        let cfg = AsicConfig::default();
+        let lo = optimize(&d.system, &TechConfig::dac96(3.3), &cfg);
+        let hi = optimize(&d.system, &TechConfig::dac96(5.0), &cfg);
+        assert!(hi.improvement() > lo.improvement());
+    }
+
+    #[test]
+    fn unfolding_is_bounded_and_sufficient() {
+        // Reaching the 1.1 V floor from 5.0 V needs a ~92x slowdown, which
+        // the constant feedback path converts into a batch of roughly
+        // 92·CP_fb/CP_base samples — large but finite and under the cap.
+        for d in suite() {
+            let r = optimize(&d.system, &tech(), &AsicConfig::default());
+            assert!(r.unfolding <= 127, "{} used unfolding {}", d.name, r.unfolding);
+            assert!(r.unfolding >= 8, "{} suspiciously shallow: {}", d.name, r.unfolding);
+        }
+    }
+}

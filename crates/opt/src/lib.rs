@@ -1,0 +1,54 @@
+//! End-to-end power optimization strategies (§3, §4, §5 of the paper).
+//!
+//! * [`single`] — unfolding-driven voltage–throughput trade-off on one
+//!   programmable processor (Table 2),
+//! * [`multi`] — the same plus `N` processors with measured schedule
+//!   speedups (Table 3),
+//! * [`asic`] — the transformation script unfold → generalized Horner →
+//!   MCM for custom datapaths (Table 4).
+//!
+//! # Examples
+//!
+//! ```
+//! use lintra_opt::{single, TechConfig};
+//! use lintra_suite::dense_synthetic;
+//!
+//! let sys = dense_synthetic(1, 1, 5);
+//! let r = single::optimize(&sys, &TechConfig::dac96(3.3));
+//! // The §3 worked example: i_opt = 6, S_max ≈ 1.975.
+//! assert_eq!(r.dense.unfolding, 6);
+//! assert!(r.dense.power_reduction() > 2.0);
+//! ```
+
+pub mod asic;
+pub mod multi;
+pub mod single;
+
+use lintra_power::{EnergyModel, VoltageModel};
+use lintra_sched::ProcessorModel;
+
+/// Shared technology configuration for all optimizers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechConfig {
+    /// Voltage/delay model (Fig. 1).
+    pub voltage: VoltageModel,
+    /// Per-operation energy model.
+    pub energy: EnergyModel,
+    /// Initial supply voltage (3.3 V or 5.0 V in the paper).
+    pub initial_voltage: f64,
+    /// Processor instruction timing.
+    pub processor: ProcessorModel,
+}
+
+impl TechConfig {
+    /// The paper's setup at the given initial voltage: `V_t = 0.9`,
+    /// `V_min = 1.1`, unit-cycle instructions, 16-bit datapath energies.
+    pub fn dac96(initial_voltage: f64) -> TechConfig {
+        TechConfig {
+            voltage: VoltageModel::dac96(),
+            energy: EnergyModel::asic_16bit(),
+            initial_voltage,
+            processor: ProcessorModel::unit(),
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! §4 — unfolding plus multiple processors.
+//!
+//! Adding processors multiplies switched capacitance by `N` but (for
+//! `N ≤ R`, under the zero-communication-cost assumption) speeds the
+//! unfolded computation up by `N`, so the voltage term wins:
+//! `Power(N)/Power(1) = N·(V(N)/V₀)²/S_max(N, i)`. The speedup is
+//! *measured* here by list scheduling the unfolded dataflow graph rather
+//! than assumed.
+
+use crate::TechConfig;
+use lintra_dfg::build;
+use lintra_linsys::count::{best_unfolding, TrivialityRule};
+use lintra_linsys::{unfold, StateSpace};
+use lintra_power::VoltageScaling;
+use lintra_sched::list_schedule;
+
+/// How the number of processors is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProcessorSelection {
+    /// The paper's conservative choice `N = R` (speedup provably linear up
+    /// to there).
+    #[default]
+    StatesCount,
+    /// Sweep `N` and keep the power minimum.
+    SearchBest {
+        /// Largest `N` to consider.
+        max: usize,
+    },
+}
+
+/// Result of the §4 strategy on one design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiProcessorResult {
+    /// Unfolding factor used (the §3 optimum).
+    pub unfolding: u64,
+    /// Number of processors.
+    pub processors: usize,
+    /// Measured `S_max(N, i)`: throughput of `N` processors on the
+    /// unfolded computation over one processor on the original.
+    pub speedup: f64,
+    /// Voltage scaling applied to all processors.
+    pub scaling: VoltageScaling,
+    /// Cycles per sample on one processor, original computation.
+    pub base_cycles_per_sample: f64,
+    /// Cycles per sample on `N` processors, unfolded computation.
+    pub cycles_per_sample: f64,
+}
+
+impl MultiProcessorResult {
+    /// Power-reduction factor relative to the original single-processor
+    /// implementation: `(V₀/V₁)²·S_max/N` (the `N` extra capacitance is
+    /// charged here).
+    pub fn power_reduction(&self) -> f64 {
+        self.scaling.power_reduction() / self.processors as f64
+    }
+}
+
+/// Measures `S_max(N, i)` for a given unfolding and processor count.
+pub fn measured_speedup(sys: &StateSpace, unfolding: u64, n: usize, tech: &TechConfig) -> f64 {
+    let base_graph = build::from_state_space(sys);
+    let base = list_schedule(&base_graph, 1, &tech.processor).length as f64;
+    let unfolded = build::from_unfolded(&unfold(sys, unfolding as u32));
+    let len = list_schedule(&unfolded, n, &tech.processor).length as f64;
+    base / (len / (unfolding + 1) as f64)
+}
+
+/// Runs the §4 strategy: unfold to the §3 optimum, add processors, slow
+/// all of them down by the measured `S_max(N, i)` via voltage reduction.
+pub fn optimize(
+    sys: &StateSpace,
+    tech: &TechConfig,
+    selection: ProcessorSelection,
+) -> MultiProcessorResult {
+    let wm = tech.processor.cycles_mul as f64;
+    let wa = tech.processor.cycles_add as f64;
+    let choice = best_unfolding(sys, TrivialityRule::ZeroOne, wm, wa);
+    let i = choice.unfolding;
+
+    let evaluate = |n: usize| -> MultiProcessorResult {
+        let base_graph = build::from_state_space(sys);
+        let base = list_schedule(&base_graph, 1, &tech.processor).length as f64;
+        let unfolded = build::from_unfolded(&unfold(sys, i as u32));
+        let len = list_schedule(&unfolded, n, &tech.processor).length as f64;
+        let per_sample = len / (i + 1) as f64;
+        let speedup = base / per_sample;
+        let scaling = tech.voltage.scale_for_slowdown(tech.initial_voltage, speedup);
+        MultiProcessorResult {
+            unfolding: i,
+            processors: n,
+            speedup,
+            scaling,
+            base_cycles_per_sample: base,
+            cycles_per_sample: per_sample,
+        }
+    };
+
+    match selection {
+        ProcessorSelection::StatesCount => evaluate(sys.num_states().max(1)),
+        ProcessorSelection::SearchBest { max } => (1..=max.max(1))
+            .map(evaluate)
+            .min_by(|a, b| {
+                // Lower power is better; compare reductions inverted.
+                b.power_reduction()
+                    .partial_cmp(&a.power_reduction())
+                    .expect("finite power values")
+            })
+            .expect("at least one candidate"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::single;
+    use lintra_suite::{by_name, dense_synthetic, suite};
+
+    #[test]
+    fn worked_example_two_processors() {
+        // §4: dense P = Q = 1, R = 5, i = 6, N = 2 at 3.0 V lands near
+        // S ≈ 3.95 and V ≈ 1.7 V.
+        let sys = dense_synthetic(1, 1, 5);
+        let tech = TechConfig::dac96(3.0);
+        let s2 = measured_speedup(&sys, 6, 2, &tech);
+        assert!(
+            s2 > 2.0 * 1.8 && s2 <= 2.0 * 1.975 + 1e-9,
+            "S(2,6) = {s2}, expected close to 3.95"
+        );
+        let v = tech.voltage.scale_for_slowdown(3.0, s2).voltage;
+        assert!((v - 1.7).abs() < 0.15, "voltage {v}");
+    }
+
+    #[test]
+    fn multiprocessor_beats_single_processor_on_dense_designs() {
+        let tech = TechConfig::dac96(3.3);
+        for name in ["ellip", "steam", "iir5"] {
+            let d = by_name(name).unwrap();
+            let s = single::optimize(&d.system, &tech);
+            let m = optimize(&d.system, &tech, ProcessorSelection::StatesCount);
+            assert!(
+                m.power_reduction() >= s.real.power_reduction() * 0.95,
+                "{name}: multi {} vs single {}",
+                m.power_reduction(),
+                s.real.power_reduction()
+            );
+        }
+    }
+
+    #[test]
+    fn speedup_close_to_linear_for_n_up_to_r() {
+        let sys = dense_synthetic(1, 1, 4);
+        let tech = TechConfig::dac96(3.3);
+        let s1 = measured_speedup(&sys, 4, 1, &tech);
+        for n in 2..=4 {
+            let sn = measured_speedup(&sys, 4, n, &tech);
+            assert!(
+                sn >= 0.85 * n as f64 * s1,
+                "S({n}) = {sn} not near-linear (S(1) = {s1})"
+            );
+        }
+    }
+
+    #[test]
+    fn search_best_at_least_matches_states_count() {
+        let d = by_name("chemical").unwrap();
+        let tech = TechConfig::dac96(3.3);
+        let fixed = optimize(&d.system, &tech, ProcessorSelection::StatesCount);
+        let best = optimize(
+            &d.system,
+            &tech,
+            ProcessorSelection::SearchBest { max: d.system.num_states() + 2 },
+        );
+        assert!(best.power_reduction() >= fixed.power_reduction() - 1e-9);
+    }
+
+    #[test]
+    fn suite_average_is_large() {
+        // The paper's abstract: about 8x for multiprocessor on average.
+        let tech = TechConfig::dac96(3.3);
+        let reductions: Vec<f64> = suite()
+            .iter()
+            .map(|d| {
+                optimize(&d.system, &tech, ProcessorSelection::StatesCount).power_reduction()
+            })
+            .collect();
+        let avg = reductions.iter().sum::<f64>() / reductions.len() as f64;
+        assert!(avg > 2.0, "average multiprocessor reduction {avg} ({reductions:?})");
+    }
+
+    #[test]
+    fn voltage_never_below_floor() {
+        let tech = TechConfig::dac96(5.0);
+        for d in suite() {
+            let m = optimize(&d.system, &tech, ProcessorSelection::StatesCount);
+            assert!(m.scaling.voltage >= tech.voltage.v_min() - 1e-12, "{}", d.name);
+        }
+    }
+}

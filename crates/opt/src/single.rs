@@ -1,0 +1,185 @@
+//! §3 — single-processor power reduction via unfolding-driven
+//! voltage–throughput trade-off.
+//!
+//! On one programmable processor throughput is decided solely by the
+//! instruction count per sample. Unfolding to `i_opt` minimizes it, the
+//! clock is slowed by the earned factor `S_max`, and the supply voltage is
+//! dropped to the lowest value that still meets the slower clock. Power
+//! falls by `(V₀/V₁)²·S_max`; if voltage scaling is unavailable, the same
+//! `S_max` still buys a *linear* reduction via clock slowdown or shutdown.
+
+use crate::TechConfig;
+use lintra_linsys::count::{
+    best_unfolding, dense_iopt, dense_op_count, op_count, OpCount, TrivialityRule,
+};
+use lintra_linsys::StateSpace;
+use lintra_power::VoltageScaling;
+
+/// One column group of Table 2 (either the dense-analysis columns or the
+/// real-coefficient heuristic columns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnfoldingOutcome {
+    /// Operations of the original (`i = 0`) system per iteration.
+    pub ops_initial: OpCount,
+    /// Chosen unfolding factor.
+    pub unfolding: u64,
+    /// Operations of one unfolded iteration (`i + 1` samples).
+    pub ops_unfolded: OpCount,
+    /// Throughput improvement `S_max` (per-sample cycle ratio).
+    pub speedup: f64,
+    /// The voltage scaling applied.
+    pub scaling: VoltageScaling,
+}
+
+impl UnfoldingOutcome {
+    /// Relative clock frequency after the trade-off (`1/S_max`; Table 2's
+    /// "Frq" column).
+    pub fn frequency_ratio(&self) -> f64 {
+        1.0 / self.speedup
+    }
+
+    /// Power-reduction factor with voltage scaling (Table 2's "Pwr").
+    pub fn power_reduction(&self) -> f64 {
+        self.scaling.power_reduction()
+    }
+
+    /// Power-reduction factor when the voltage cannot be changed: the §3
+    /// frequency-reduction/shutdown fallback (linear in `S_max`).
+    pub fn power_reduction_frequency_only(&self) -> f64 {
+        self.speedup
+    }
+}
+
+/// Full result of the single-processor strategy on one design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SingleProcessorResult {
+    /// `(P, Q, R)` of the design.
+    pub dims: (usize, usize, usize),
+    /// Predicted outcome assuming dense coefficient matrices (closed
+    /// forms, EQ 4/5).
+    pub dense: UnfoldingOutcome,
+    /// Measured outcome on the actual coefficients (§3 heuristic).
+    pub real: UnfoldingOutcome,
+}
+
+/// Runs the §3 strategy: dense closed-form prediction plus the empirical
+/// heuristic on the actual coefficients, both followed by the
+/// voltage-scaling step.
+pub fn optimize(sys: &StateSpace, tech: &TechConfig) -> SingleProcessorResult {
+    let (p, q, r) = sys.dims();
+    let wm = tech.processor.cycles_mul as f64;
+    let wa = tech.processor.cycles_add as f64;
+
+    // Dense analysis.
+    let (pu, qu, ru) = (p as u64, q as u64, r as u64);
+    let iopt = dense_iopt(pu, qu, ru, wm, wa);
+    let ops0 = dense_op_count(pu, qu, ru, 0);
+    let opsi = dense_op_count(pu, qu, ru, iopt);
+    let dense_speedup = ops0.cycles(wm, wa) / (opsi.cycles(wm, wa) / (iopt + 1) as f64);
+    let dense = UnfoldingOutcome {
+        ops_initial: ops0,
+        unfolding: iopt,
+        ops_unfolded: opsi,
+        speedup: dense_speedup,
+        scaling: tech.voltage.scale_for_slowdown(tech.initial_voltage, dense_speedup),
+    };
+
+    // Real coefficients.
+    let choice = best_unfolding(sys, TrivialityRule::ZeroOne, wm, wa);
+    let real = UnfoldingOutcome {
+        ops_initial: op_count(sys, TrivialityRule::ZeroOne),
+        unfolding: choice.unfolding,
+        ops_unfolded: choice.ops,
+        speedup: choice.speedup(),
+        scaling: tech.voltage.scale_for_slowdown(tech.initial_voltage, choice.speedup()),
+    };
+
+    SingleProcessorResult { dims: (p, q, r), dense, real }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lintra_suite::{by_name, dense_synthetic, suite};
+
+    #[test]
+    fn worked_example_matches_paper_numbers() {
+        // §3: P = Q = 1, R = 5, initial 3.0 V.
+        let sys = dense_synthetic(1, 1, 5);
+        let r = optimize(&sys, &TechConfig::dac96(3.0));
+        assert_eq!(r.dense.unfolding, 6);
+        assert!((r.dense.speedup - 1.975).abs() < 0.01, "S_max {}", r.dense.speedup);
+        // Voltage drops substantially below 3.0 and power reduction beats
+        // the linear fallback.
+        assert!(r.dense.scaling.voltage < 2.5);
+        assert!(r.dense.power_reduction() > r.dense.power_reduction_frequency_only());
+        // Dense synthetic system: the heuristic should agree with the
+        // closed form.
+        assert_eq!(r.real.unfolding, 6);
+        assert!((r.real.speedup - r.dense.speedup).abs() < 0.02);
+    }
+
+    #[test]
+    fn higher_initial_voltage_gives_larger_reduction() {
+        // §3: "If the initial voltage was 5.0 ... an even larger power
+        // reduction".
+        let sys = dense_synthetic(1, 1, 5);
+        let r33 = optimize(&sys, &TechConfig::dac96(3.3));
+        let r50 = optimize(&sys, &TechConfig::dac96(5.0));
+        assert!(r50.dense.power_reduction() > r33.dense.power_reduction());
+    }
+
+    #[test]
+    fn dist_gets_no_reduction() {
+        let d = by_name("dist").unwrap();
+        let r = optimize(&d.system, &TechConfig::dac96(3.3));
+        assert_eq!(r.real.unfolding, 0);
+        assert!((r.real.power_reduction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dense_designs_match_dense_prediction() {
+        for name in ["ellip", "steam"] {
+            let d = by_name(name).unwrap();
+            let r = optimize(&d.system, &TechConfig::dac96(3.3));
+            assert_eq!(r.real.unfolding, r.dense.unfolding, "{name}");
+            assert!(
+                (r.real.power_reduction() - r.dense.power_reduction()).abs()
+                    < 0.05 * r.dense.power_reduction(),
+                "{name}: real {} vs dense {}",
+                r.real.power_reduction(),
+                r.dense.power_reduction()
+            );
+        }
+    }
+
+    #[test]
+    fn suite_average_reduction_is_substantial() {
+        // The paper reports a meaningful average power reduction at 3.3 V
+        // with at least one design (dist) getting none.
+        let results: Vec<f64> = suite()
+            .iter()
+            .map(|d| optimize(&d.system, &TechConfig::dac96(3.3)).real.power_reduction())
+            .collect();
+        let avg = results.iter().sum::<f64>() / results.len() as f64;
+        assert!(avg > 1.5, "average reduction {avg} ({results:?})");
+        assert!(results.iter().any(|&x| (x - 1.0).abs() < 1e-9), "dist should be 1.0");
+    }
+
+    #[test]
+    fn frequency_only_fallback_is_linear() {
+        let sys = dense_synthetic(1, 1, 8);
+        let r = optimize(&sys, &TechConfig::dac96(3.3));
+        assert!((r.dense.power_reduction_frequency_only() - r.dense.speedup).abs() < 1e-12);
+        assert!((r.dense.frequency_ratio() - 1.0 / r.dense.speedup).abs() < 1e-12);
+    }
+
+    #[test]
+    fn real_never_beats_what_its_own_speedup_allows() {
+        for d in suite() {
+            let r = optimize(&d.system, &TechConfig::dac96(3.3));
+            let bound = (3.3 / 1.1_f64).powi(2) * r.real.speedup;
+            assert!(r.real.power_reduction() <= bound + 1e-9, "{}", d.name);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Per-operation energy model for the ASIC experiments (Table 4).
+//!
+//! The paper argues from `P = α·C_L·V²·f`; at the behavioural level this
+//! becomes an *energy per executed operation* of `E_op = C_op·V²` with an
+//! effective switched capacitance per operation class. A 16×16 array
+//! multiplier is modelled as 16 adder-equivalents, a hardwired ASIC shift is
+//! nearly free (routing capacitance only), and a pipeline/state register
+//! costs a fraction of an adder.
+
+use std::fmt;
+
+/// Operation classes that consume energy in a datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpEnergy {
+    /// Two-operand addition or subtraction.
+    Add,
+    /// Multiplication of a variable by a constant (full array multiplier).
+    Mult,
+    /// Constant shift (hardwired wiring on an ASIC).
+    Shift,
+    /// A register (algorithmic delay or pipeline stage) clocked once.
+    Register,
+}
+
+/// Effective switched capacitance per operation class, in farads, plus the
+/// resulting energy accounting.
+///
+/// # Examples
+///
+/// ```
+/// use lintra_power::EnergyModel;
+///
+/// let asic = EnergyModel::asic_16bit();
+/// let e0 = asic.energy_per_sample(10, 10, 0, 5, 5.0);
+/// let e1 = asic.energy_per_sample(40, 0, 30, 5, 1.1);
+/// // Shift-add at low voltage beats multipliers at 5 V.
+/// assert!(e1.total_nj() < e0.total_nj());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Capacitance switched by one addition, farads.
+    pub c_add: f64,
+    /// Capacitance switched by one constant multiplication, farads.
+    pub c_mult: f64,
+    /// Capacitance switched by one constant shift, farads.
+    pub c_shift: f64,
+    /// Capacitance switched by clocking one word register, farads.
+    pub c_register: f64,
+}
+
+impl EnergyModel {
+    /// 16-bit custom-datapath model: `C_add = 5 pF`, multiplier = 16 adder
+    /// equivalents, shift ≈ wiring only, register = half an adder.
+    pub fn asic_16bit() -> EnergyModel {
+        let c_add = 5e-12;
+        EnergyModel {
+            c_add,
+            c_mult: 16.0 * c_add,
+            c_shift: 0.05 * c_add,
+            c_register: 0.5 * c_add,
+        }
+    }
+
+    /// Programmable-processor model: every instruction switches roughly the
+    /// same capacitance (the Tiwari et al. correlation of power with
+    /// instruction count cited in §4), `C_instr = 80 pF` per instruction.
+    pub fn processor_uniform() -> EnergyModel {
+        let c = 80e-12;
+        EnergyModel { c_add: c, c_mult: c, c_shift: c, c_register: 0.0 }
+    }
+
+    /// Capacitance for an operation class.
+    pub fn capacitance(&self, op: OpEnergy) -> f64 {
+        match op {
+            OpEnergy::Add => self.c_add,
+            OpEnergy::Mult => self.c_mult,
+            OpEnergy::Shift => self.c_shift,
+            OpEnergy::Register => self.c_register,
+        }
+    }
+
+    /// Energy in joules of one operation at supply voltage `v`.
+    pub fn energy_of(&self, op: OpEnergy, v: f64) -> f64 {
+        self.capacitance(op) * v * v
+    }
+
+    /// Energy accounting for one processed sample given per-sample operation
+    /// counts at supply voltage `v`.
+    pub fn energy_per_sample(
+        &self,
+        adds: u64,
+        mults: u64,
+        shifts: u64,
+        registers: u64,
+        v: f64,
+    ) -> EnergyBreakdown {
+        EnergyBreakdown {
+            adds_j: adds as f64 * self.energy_of(OpEnergy::Add, v),
+            mults_j: mults as f64 * self.energy_of(OpEnergy::Mult, v),
+            shifts_j: shifts as f64 * self.energy_of(OpEnergy::Shift, v),
+            registers_j: registers as f64 * self.energy_of(OpEnergy::Register, v),
+            voltage: v,
+        }
+    }
+}
+
+/// Energy per processed sample, split by operation class (joules).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Energy spent in additions.
+    pub adds_j: f64,
+    /// Energy spent in constant multiplications.
+    pub mults_j: f64,
+    /// Energy spent in shifts.
+    pub shifts_j: f64,
+    /// Energy spent clocking registers.
+    pub registers_j: f64,
+    /// Supply voltage the breakdown was computed at.
+    pub voltage: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in joules.
+    pub fn total_j(&self) -> f64 {
+        self.adds_j + self.mults_j + self.shifts_j + self.registers_j
+    }
+
+    /// Total energy in nanojoules (the unit of Table 4).
+    pub fn total_nj(&self) -> f64 {
+        self.total_j() * 1e9
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.2} nJ/sample @ {:.2} V (add {:.2}, mult {:.2}, shift {:.2}, reg {:.2})",
+            self.total_nj(),
+            self.voltage,
+            self.adds_j * 1e9,
+            self.mults_j * 1e9,
+            self.shifts_j * 1e9,
+            self.registers_j * 1e9
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplier_is_sixteen_adders() {
+        let m = EnergyModel::asic_16bit();
+        assert!((m.c_mult / m.c_add - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_scales_quadratically_with_voltage() {
+        let m = EnergyModel::asic_16bit();
+        let e5 = m.energy_of(OpEnergy::Add, 5.0);
+        let e25 = m.energy_of(OpEnergy::Add, 2.5);
+        assert!((e5 / e25 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_sums() {
+        let m = EnergyModel::asic_16bit();
+        let b = m.energy_per_sample(2, 1, 4, 3, 3.0);
+        let manual = 2.0 * m.energy_of(OpEnergy::Add, 3.0)
+            + m.energy_of(OpEnergy::Mult, 3.0)
+            + 4.0 * m.energy_of(OpEnergy::Shift, 3.0)
+            + 3.0 * m.energy_of(OpEnergy::Register, 3.0);
+        assert!((b.total_j() - manual).abs() < 1e-24);
+        assert!((b.total_nj() - manual * 1e9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_processor_ignores_op_mix() {
+        let m = EnergyModel::processor_uniform();
+        let a = m.energy_per_sample(10, 0, 0, 0, 3.3).total_j();
+        let b = m.energy_per_sample(0, 10, 0, 0, 3.3).total_j();
+        assert!((a - b).abs() < 1e-24);
+    }
+
+    #[test]
+    fn shifts_much_cheaper_than_mults() {
+        let m = EnergyModel::asic_16bit();
+        assert!(m.c_shift * 100.0 < m.c_mult);
+    }
+
+    #[test]
+    fn display_mentions_unit() {
+        let m = EnergyModel::asic_16bit();
+        let s = m.energy_per_sample(1, 1, 1, 1, 5.0).to_string();
+        assert!(s.contains("nJ/sample"));
+    }
+}

@@ -1,0 +1,317 @@
+//! The gate-delay-vs-voltage curve of Fig. 1 and its inversion.
+
+use std::fmt;
+
+/// First-order CMOS gate-delay model `d(V) = k · V / (V − V_t)²`.
+///
+/// This is the standard long-channel expression behind Fig. 1 of the paper:
+/// delay is monotonically decreasing in `V` and blows up as `V → V_t`, which
+/// reproduces the figure's ~300× normalized delay near threshold. The model
+/// is normalized so that [`VoltageModel::normalized_delay`] is `1.0` at the
+/// reference voltage (5.0 V in the paper's figure).
+///
+/// The default technology ([`VoltageModel::dac96`]) uses `V_t = 0.9 V` and a
+/// minimum feasible supply of `1.1 V` — the paper "conservatively assumes
+/// that voltage can not be lowered below" a technology floor, and its §4
+/// worked example lands at ≈1.7 V for a 3.95× slowdown from 3.0 V, which
+/// this parameterization reproduces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoltageModel {
+    vt: f64,
+    v_min: f64,
+    v_ref: f64,
+}
+
+/// Error constructing a [`VoltageModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VoltageModelError {
+    /// `v_min` must be strictly above the threshold voltage.
+    MinBelowThreshold,
+    /// The reference voltage must be at least `v_min`.
+    RefBelowMin,
+    /// All voltages must be finite and positive.
+    NonPositive,
+}
+
+impl fmt::Display for VoltageModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VoltageModelError::MinBelowThreshold => {
+                write!(f, "minimum supply voltage must exceed the threshold voltage")
+            }
+            VoltageModelError::RefBelowMin => {
+                write!(f, "reference voltage must be at least the minimum supply voltage")
+            }
+            VoltageModelError::NonPositive => {
+                write!(f, "voltages must be finite and positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VoltageModelError {}
+
+impl VoltageModel {
+    /// Creates a model with threshold `vt`, minimum feasible supply `v_min`,
+    /// and normalization reference `v_ref`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `0 < vt < v_min <= v_ref` and all values are
+    /// finite.
+    pub fn new(vt: f64, v_min: f64, v_ref: f64) -> Result<VoltageModel, VoltageModelError> {
+        if !(vt.is_finite() && v_min.is_finite() && v_ref.is_finite()) || vt <= 0.0 {
+            return Err(VoltageModelError::NonPositive);
+        }
+        if v_min <= vt {
+            return Err(VoltageModelError::MinBelowThreshold);
+        }
+        if v_ref < v_min {
+            return Err(VoltageModelError::RefBelowMin);
+        }
+        Ok(VoltageModel { vt, v_min, v_ref })
+    }
+
+    /// The technology used throughout the paper's experiments:
+    /// `V_t = 0.9 V`, `V_min = 1.1 V`, normalized at `5.0 V`.
+    pub fn dac96() -> VoltageModel {
+        VoltageModel { vt: 0.9, v_min: 1.1, v_ref: 5.0 }
+    }
+
+    /// Threshold voltage in volts.
+    pub fn vt(&self) -> f64 {
+        self.vt
+    }
+
+    /// Minimum feasible supply voltage in volts.
+    pub fn v_min(&self) -> f64 {
+        self.v_min
+    }
+
+    /// Reference (normalization) voltage in volts.
+    pub fn v_ref(&self) -> f64 {
+        self.v_ref
+    }
+
+    /// Un-normalized delay `V / (V − V_t)²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v <= vt` (the model is undefined at or below threshold).
+    pub fn raw_delay(&self, v: f64) -> f64 {
+        assert!(v > self.vt, "supply voltage {v} must exceed threshold {}", self.vt);
+        let dv = v - self.vt;
+        v / (dv * dv)
+    }
+
+    /// Gate delay at `v` normalized to the delay at the reference voltage
+    /// (the y-axis of Fig. 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v <= vt`.
+    pub fn normalized_delay(&self, v: f64) -> f64 {
+        self.raw_delay(v) / self.raw_delay(self.v_ref)
+    }
+
+    /// Relative slowdown of gates when moving the supply from `v_from` down
+    /// (or up) to `v_to`: `d(v_to) / d(v_from)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either voltage is at or below threshold.
+    pub fn slowdown_between(&self, v_from: f64, v_to: f64) -> f64 {
+        self.raw_delay(v_to) / self.raw_delay(v_from)
+    }
+
+    /// Finds the supply voltage at which gates are exactly `slowdown` times
+    /// slower than at `v_from`, ignoring the technology floor.
+    ///
+    /// Returns `None` when `slowdown < 1` cannot be realized below `v_from`
+    /// (this crate only models slowing down).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v_from <= vt` or `slowdown` is not finite and `>= 1`.
+    pub fn voltage_for_slowdown(&self, v_from: f64, slowdown: f64) -> Option<f64> {
+        assert!(slowdown.is_finite() && slowdown >= 1.0, "slowdown must be >= 1, got {slowdown}");
+        let target = self.raw_delay(v_from) * slowdown;
+        // d is strictly decreasing on (vt, inf) and d -> inf as v -> vt+,
+        // so a solution in (vt, v_from] always exists. Bisect.
+        let mut lo = self.vt * (1.0 + 1e-12) + 1e-12;
+        let mut hi = v_from;
+        if self.raw_delay(hi) >= target {
+            return Some(hi);
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.raw_delay(mid) > target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(0.5 * (lo + hi))
+    }
+
+    /// Applies a slowdown budget: chooses the lowest feasible voltage (at or
+    /// above `v_min`) at which gates may run `slowdown` times slower, and
+    /// returns the full bookkeeping.
+    ///
+    /// When the exact voltage would fall below `v_min`, the result is
+    /// clamped and the residual slowdown is recorded; it still contributes a
+    /// *linear* power reduction via frequency reduction or shutdown (§3 of
+    /// the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v_from` is not in `(vt, +inf)` or `slowdown < 1`.
+    pub fn scale_for_slowdown(&self, v_from: f64, slowdown: f64) -> VoltageScaling {
+        let exact = self
+            .voltage_for_slowdown(v_from, slowdown)
+            .expect("slowdown >= 1 always has a voltage solution");
+        let voltage = exact.max(self.v_min).min(v_from);
+        let slowdown_at_voltage = self.slowdown_between(v_from, voltage).min(slowdown);
+        VoltageScaling { v_initial: v_from, voltage, slowdown_requested: slowdown, slowdown_at_voltage }
+    }
+}
+
+/// The result of trading a throughput surplus for supply-voltage reduction.
+///
+/// Produced by [`VoltageModel::scale_for_slowdown`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoltageScaling {
+    /// Initial supply voltage.
+    pub v_initial: f64,
+    /// Chosen (possibly clamped) supply voltage.
+    pub voltage: f64,
+    /// Total clock slowdown harvested from the transformation.
+    pub slowdown_requested: f64,
+    /// The part of the slowdown absorbed by voltage reduction
+    /// (`<= slowdown_requested`; smaller iff clamped at `v_min`).
+    pub slowdown_at_voltage: f64,
+}
+
+impl VoltageScaling {
+    /// Power-reduction factor relative to the original implementation at
+    /// `v_initial` delivering the same throughput:
+    /// `(V₀/V₁)² · slowdown_requested`.
+    ///
+    /// The clock frequency always drops by the full requested slowdown (the
+    /// workload per sample shrank by that factor); the voltage term captures
+    /// whatever part of it the supply could absorb.
+    pub fn power_reduction(&self) -> f64 {
+        let vr = self.v_initial / self.voltage;
+        vr * vr * self.slowdown_requested
+    }
+
+    /// The leftover slowdown that could not be converted into voltage
+    /// reduction because of the `v_min` clamp (1.0 when unclamped). This
+    /// part only earns a linear reduction (lower `f` or shutdown).
+    pub fn residual_slowdown(&self) -> f64 {
+        self.slowdown_requested / self.slowdown_at_voltage
+    }
+
+    /// `true` when the technology floor limited the voltage reduction.
+    pub fn clamped(&self) -> bool {
+        self.residual_slowdown() > 1.0 + 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_normalized_at_reference() {
+        let m = VoltageModel::dac96();
+        assert!((m.normalized_delay(5.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_monotone_decreasing() {
+        let m = VoltageModel::dac96();
+        let mut prev = f64::INFINITY;
+        let mut v = 1.0;
+        while v <= 5.0 {
+            let d = m.normalized_delay(v);
+            assert!(d < prev, "delay not decreasing at {v}");
+            prev = d;
+            v += 0.05;
+        }
+    }
+
+    #[test]
+    fn near_threshold_blowup_matches_fig1_scale() {
+        // Fig. 1's y-axis reaches ~300x near the voltage floor.
+        let m = VoltageModel::dac96();
+        let d = m.normalized_delay(1.0);
+        assert!(d > 100.0 && d < 1000.0, "got {d}");
+    }
+
+    #[test]
+    fn voltage_for_slowdown_inverts_delay() {
+        let m = VoltageModel::dac96();
+        for &s in &[1.0, 1.5, 2.0, 3.95, 10.0] {
+            let v = m.voltage_for_slowdown(3.3, s).unwrap();
+            let achieved = m.slowdown_between(3.3, v);
+            assert!((achieved - s).abs() / s < 1e-9, "s={s} achieved={achieved}");
+        }
+    }
+
+    #[test]
+    fn paper_section4_worked_example_voltage() {
+        // §4: two processors on the 6-unfolded dense P=Q=1, R=5 system earn
+        // a 2 * S_max(1) ≈ 3.95x slowdown from 3.0 V; the paper reads ≈1.7 V
+        // off its Fig. 1.
+        let m = VoltageModel::dac96();
+        let v = m.voltage_for_slowdown(3.0, 3.95).unwrap();
+        assert!((v - 1.7).abs() < 0.1, "expected about 1.7 V, got {v}");
+    }
+
+    #[test]
+    fn scaling_clamps_at_v_min() {
+        let m = VoltageModel::dac96();
+        let s = m.scale_for_slowdown(3.3, 1e6);
+        assert_eq!(s.voltage, m.v_min());
+        assert!(s.clamped());
+        assert!(s.residual_slowdown() > 1.0);
+        // Linear residual still counts in the reduction factor.
+        let expect = (3.3 / 1.1_f64).powi(2) * 1e6;
+        assert!((s.power_reduction() - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn unit_slowdown_is_identity() {
+        let m = VoltageModel::dac96();
+        let s = m.scale_for_slowdown(3.3, 1.0);
+        assert_eq!(s.voltage, 3.3);
+        assert!(!s.clamped());
+        assert!((s.power_reduction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadratic_beats_linear_when_unclamped() {
+        let m = VoltageModel::dac96();
+        let s = m.scale_for_slowdown(5.0, 2.0);
+        assert!(!s.clamped());
+        assert!(s.power_reduction() > 2.0);
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert_eq!(
+            VoltageModel::new(1.0, 0.9, 5.0).unwrap_err(),
+            VoltageModelError::MinBelowThreshold
+        );
+        assert_eq!(VoltageModel::new(0.9, 1.1, 1.0).unwrap_err(), VoltageModelError::RefBelowMin);
+        assert_eq!(VoltageModel::new(-1.0, 1.1, 5.0).unwrap_err(), VoltageModelError::NonPositive);
+        assert!(VoltageModel::new(0.9, 1.1, 5.0).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed threshold")]
+    fn delay_below_threshold_panics() {
+        let _ = VoltageModel::dac96().raw_delay(0.5);
+    }
+}

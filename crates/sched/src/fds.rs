@@ -1,0 +1,378 @@
+//! Force-directed scheduling (Paulin & Knight): time-constrained
+//! scheduling that minimizes functional-unit usage.
+//!
+//! The §4 list scheduler answers "how fast with N processors?"; this module
+//! answers the dual high-level-synthesis question the paper's ASIC flow
+//! implies: "how little hardware for a given latency?". Operations are
+//! typed (multiplier vs ALU), every operation gets a mobility interval
+//! `[ASAP, ALAP]` under the latency constraint, and assignments are chosen
+//! one at a time to flatten the expected-concurrency *distribution graphs*
+//! (minimum-force rule).
+
+use crate::ProcessorModel;
+use lintra_dfg::{Dfg, NodeKind};
+use std::fmt;
+
+/// Functional-unit classes for typed resource counting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnitClass {
+    /// Array multiplier.
+    Multiplier,
+    /// Adder/subtractor/shifter ALU.
+    Alu,
+}
+
+/// Classifies an operation node; `None` for non-operations.
+pub fn unit_class(kind: &NodeKind) -> Option<UnitClass> {
+    match kind {
+        NodeKind::MulConst(_) => Some(UnitClass::Multiplier),
+        NodeKind::Add | NodeKind::Sub | NodeKind::Shift(_) => Some(UnitClass::Alu),
+        _ => None,
+    }
+}
+
+/// Error from [`force_directed_schedule`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FdsError {
+    /// The latency constraint is below the critical path.
+    Infeasible {
+        /// Requested latency in cycles.
+        latency: u64,
+        /// Minimum feasible latency (critical path).
+        critical_path: u64,
+    },
+}
+
+impl fmt::Display for FdsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FdsError::Infeasible { latency, critical_path } => write!(
+                f,
+                "latency {latency} is below the critical path {critical_path}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FdsError {}
+
+/// A time-constrained schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FdsSchedule {
+    /// Start cycle per node (`None` for non-operations).
+    pub start: Vec<Option<u64>>,
+    /// Latency constraint the schedule meets.
+    pub latency: u64,
+    /// Multipliers needed (peak concurrent use).
+    pub multipliers: usize,
+    /// ALUs needed (peak concurrent use).
+    pub alus: usize,
+}
+
+impl FdsSchedule {
+    /// Validates precedence feasibility against the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn validate(&self, g: &Dfg, model: &ProcessorModel) -> Result<(), String> {
+        let mut finish = vec![0u64; g.len()];
+        for (id, n) in g.iter() {
+            let ready = n.preds.iter().map(|p| finish[p.0]).max().unwrap_or(0);
+            match (n.kind.is_operation(), self.start[id.0]) {
+                (true, Some(s)) => {
+                    if s < ready {
+                        return Err(format!("node {} starts {s} before ready {ready}", id.0));
+                    }
+                    finish[id.0] = s + model.latency(&n.kind);
+                    if finish[id.0] > self.latency {
+                        return Err(format!("node {} finishes past the latency bound", id.0));
+                    }
+                }
+                (true, None) => return Err(format!("operation {} unscheduled", id.0)),
+                (false, _) => finish[id.0] = ready,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// ASAP start times (operations only), with op latencies from `model`.
+fn asap_times(g: &Dfg, model: &ProcessorModel) -> (Vec<u64>, u64) {
+    let mut finish = vec![0u64; g.len()];
+    let mut start = vec![0u64; g.len()];
+    let mut makespan = 0;
+    for (id, n) in g.iter() {
+        let ready = n.preds.iter().map(|p| finish[p.0]).max().unwrap_or(0);
+        start[id.0] = ready;
+        finish[id.0] = ready + model.latency(&n.kind);
+        makespan = makespan.max(finish[id.0]);
+    }
+    (start, makespan)
+}
+
+/// ALAP start times for a given latency bound.
+fn alap_times(g: &Dfg, model: &ProcessorModel, latency: u64) -> Vec<u64> {
+    let n = g.len();
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (id, node) in g.iter() {
+        for p in &node.preds {
+            succs[p.0].push(id.0);
+        }
+    }
+    // Latest finish allowed per node, then start = finish - latency.
+    let mut lf = vec![latency; n];
+    let mut start = vec![0u64; n];
+    for i in (0..n).rev() {
+        let node = g.node(lintra_dfg::NodeId(i));
+        let own = model.latency(&node.kind);
+        for &s in &succs[i] {
+            let s_node = g.node(lintra_dfg::NodeId(s));
+            let s_start = lf[s] - model.latency(&s_node.kind);
+            lf[i] = lf[i].min(s_start);
+        }
+        start[i] = lf[i].saturating_sub(own);
+    }
+    start
+}
+
+/// Force-directed scheduling under a latency constraint (in cycles of the
+/// given processor model).
+///
+/// # Errors
+///
+/// Returns [`FdsError::Infeasible`] when `latency` is below the graph's
+/// critical path.
+pub fn force_directed_schedule(
+    g: &Dfg,
+    model: &ProcessorModel,
+    latency: u64,
+) -> Result<FdsSchedule, FdsError> {
+    let (asap, critical_path) = asap_times(g, model);
+    if latency < critical_path {
+        return Err(FdsError::Infeasible { latency, critical_path });
+    }
+    let alap = alap_times(g, model, latency);
+
+    let n = g.len();
+    let mut lo = asap.clone();
+    let mut hi = alap.clone();
+    let mut fixed: Vec<Option<u64>> = vec![None; n];
+
+    let ops: Vec<usize> = g
+        .iter()
+        .filter(|(_, node)| node.kind.is_operation())
+        .map(|(id, _)| id.0)
+        .collect();
+
+    // Distribution graph: expected concurrency per (class, cycle).
+    let lat_usize = latency as usize;
+    let horizon = lat_usize.max(1);
+    let dg = |class: UnitClass, lo: &[u64], hi: &[u64], g: &Dfg, model: &ProcessorModel| {
+        let mut d = vec![0.0_f64; horizon];
+        for &i in &ops {
+            let node = g.node(lintra_dfg::NodeId(i));
+            if unit_class(&node.kind) != Some(class) {
+                continue;
+            }
+            let l = model.latency(&node.kind).max(1);
+            let width = (hi[i] - lo[i] + 1) as f64;
+            for s in lo[i]..=hi[i] {
+                for c in s..s + l {
+                    if (c as usize) < horizon {
+                        d[c as usize] += 1.0 / width;
+                    }
+                }
+            }
+        }
+        d
+    };
+
+    loop {
+        // Most constrained unscheduled op first (smallest mobility).
+        let next = ops
+            .iter()
+            .copied()
+            .filter(|&i| fixed[i].is_none())
+            .min_by_key(|&i| (hi[i] - lo[i], i));
+        let Some(i) = next else { break };
+        let node = g.node(lintra_dfg::NodeId(i));
+        let class = unit_class(&node.kind).expect("ops have a class");
+        let l = model.latency(&node.kind).max(1);
+
+        // Pick the start time with the lowest self force.
+        let d = dg(class, &lo, &hi, g, model);
+        let width = (hi[i] - lo[i] + 1) as f64;
+        let mut best_t = lo[i];
+        let mut best_force = f64::INFINITY;
+        for t in lo[i]..=hi[i] {
+            // Force of committing to t: added load at [t, t+l) minus the
+            // average load the op already contributed across its window.
+            let mut force = 0.0;
+            for c in t..t + l {
+                if (c as usize) < horizon {
+                    force += d[c as usize] - 1.0 / width;
+                }
+            }
+            if force < best_force - 1e-12 {
+                best_force = force;
+                best_t = t;
+            }
+        }
+
+        fixed[i] = Some(best_t);
+        lo[i] = best_t;
+        hi[i] = best_t;
+
+        // Propagate the tightened interval (forward and backward).
+        propagate(g, model, &mut lo, &mut hi);
+    }
+
+    // Peak typed usage.
+    let mut mult_use = vec![0usize; horizon];
+    let mut alu_use = vec![0usize; horizon];
+    for &i in &ops {
+        let node = g.node(lintra_dfg::NodeId(i));
+        let l = model.latency(&node.kind).max(1);
+        let s = fixed[i].expect("all ops scheduled");
+        for c in s..s + l {
+            if (c as usize) < horizon {
+                match unit_class(&node.kind).expect("op class") {
+                    UnitClass::Multiplier => mult_use[c as usize] += 1,
+                    UnitClass::Alu => alu_use[c as usize] += 1,
+                }
+            }
+        }
+    }
+    let start = (0..n)
+        .map(|i| if g.node(lintra_dfg::NodeId(i)).kind.is_operation() { fixed[i] } else { None })
+        .collect();
+    Ok(FdsSchedule {
+        start,
+        latency,
+        multipliers: mult_use.into_iter().max().unwrap_or(0),
+        alus: alu_use.into_iter().max().unwrap_or(0),
+    })
+}
+
+/// Restores interval consistency after fixing one op: every op must start
+/// after its predecessors can finish and early enough for its successors.
+fn propagate(g: &Dfg, model: &ProcessorModel, lo: &mut [u64], hi: &mut [u64]) {
+    // Forward: lo[i] >= max(lo[pred] + latency(pred)).
+    for (id, n) in g.iter() {
+        for p in &n.preds {
+            let pl = model.latency(&g.node(*p).kind);
+            let bound = lo[p.0] + pl;
+            if lo[id.0] < bound {
+                lo[id.0] = bound;
+            }
+        }
+    }
+    // Backward: hi[p] + latency(p) <= hi[i] for each edge p -> i... i.e.
+    // hi[p] <= hi[i] - latency(p).
+    let ids: Vec<usize> = (0..g.len()).rev().collect();
+    for i in ids {
+        let n = g.node(lintra_dfg::NodeId(i));
+        for p in &n.preds {
+            let pl = model.latency(&g.node(*p).kind);
+            let bound = hi[i].saturating_sub(pl);
+            if hi[p.0] > bound {
+                hi[p.0] = bound;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lintra_dfg::build;
+    use lintra_linsys::{unfold, StateSpace};
+    use lintra_matrix::Matrix;
+
+    fn dense(r: usize) -> StateSpace {
+        let f = |i: usize, j: usize| 0.31 + 0.011 * i as f64 + 0.0073 * j as f64;
+        StateSpace::new(
+            Matrix::from_fn(r, r, f).scale(0.25),
+            Matrix::from_fn(r, 1, f),
+            Matrix::from_fn(1, r, f),
+            Matrix::from_fn(1, 1, f),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn infeasible_latency_rejected() {
+        let g = build::from_state_space(&dense(3));
+        let m = ProcessorModel::unit();
+        let err = force_directed_schedule(&g, &m, 1).unwrap_err();
+        assert!(matches!(err, FdsError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn schedules_are_valid_at_various_latencies() {
+        let g = build::from_state_space(&dense(4));
+        let m = ProcessorModel::unit();
+        let (_, cp) = asap_times(&g, &m);
+        for slack in [0u64, 2, 5, 10] {
+            let s = force_directed_schedule(&g, &m, cp + slack).unwrap();
+            s.validate(&g, &m).unwrap_or_else(|e| panic!("slack {slack}: {e}"));
+        }
+    }
+
+    #[test]
+    fn more_latency_never_needs_more_hardware() {
+        let g = build::from_unfolded(&unfold(&dense(3), 2));
+        let m = ProcessorModel::unit();
+        let (_, cp) = asap_times(&g, &m);
+        let tight = force_directed_schedule(&g, &m, cp).unwrap();
+        let loose = force_directed_schedule(&g, &m, 2 * cp).unwrap();
+        assert!(loose.multipliers <= tight.multipliers);
+        assert!(loose.alus <= tight.alus);
+    }
+
+    #[test]
+    fn fds_beats_asap_resource_usage() {
+        // ASAP piles every multiplication into the first cycle; FDS with
+        // slack spreads them out.
+        let g = build::from_state_space(&dense(5));
+        let m = ProcessorModel::unit();
+        let (asap, cp) = asap_times(&g, &m);
+        // ASAP peak multiplier usage.
+        let mut usage = std::collections::HashMap::new();
+        for (id, n) in g.iter() {
+            if matches!(n.kind, NodeKind::MulConst(_)) {
+                *usage.entry(asap[id.0]).or_insert(0usize) += 1;
+            }
+        }
+        let asap_peak = usage.values().copied().max().unwrap_or(0);
+        let fds = force_directed_schedule(&g, &m, 2 * cp).unwrap();
+        assert!(
+            fds.multipliers < asap_peak,
+            "fds {} vs asap {asap_peak}",
+            fds.multipliers
+        );
+    }
+
+    #[test]
+    fn resource_usage_meets_work_lower_bound() {
+        let g = build::from_state_space(&dense(4));
+        let m = ProcessorModel::unit();
+        let (_, cp) = asap_times(&g, &m);
+        let latency = cp + 4;
+        let s = force_directed_schedule(&g, &m, latency).unwrap();
+        let muls = g.op_counts().muls;
+        let bound = muls.div_ceil(latency) as usize;
+        assert!(s.multipliers >= bound);
+    }
+
+    #[test]
+    fn dsp_model_multicycle_multiplies_fit() {
+        let g = build::from_state_space(&dense(3));
+        let m = ProcessorModel::dsp();
+        let (_, cp) = asap_times(&g, &m);
+        let s = force_directed_schedule(&g, &m, cp + 3).unwrap();
+        s.validate(&g, &m).unwrap();
+        assert!(s.multipliers >= 1);
+    }
+}

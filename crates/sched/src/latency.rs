@@ -1,0 +1,162 @@
+//! Latency analysis of batch (unfolded) computations: block processing vs
+//! on-arrival processing.
+//!
+//! §2 of the paper notes that an unfolded system can be organized either as
+//! *block processing* (Roberts & Mullis: wait until all `i+1` input samples
+//! of the batch have arrived, then compute) or *on-arrival processing*
+//! (Srivastava & Potkonjak, EDAC'94: start each sub-computation as soon as
+//! its data exists). Throughput is the same; latency is not. This module
+//! measures both on an actual dataflow graph with unbounded resources (the
+//! dataflow limit).
+
+use lintra_dfg::{Dfg, NodeKind, OpTiming};
+
+/// When the samples of a batch become available to the datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchArrival {
+    /// All inputs of the batch are buffered first; computation starts when
+    /// the *last* sample arrives.
+    Block,
+    /// Sample `k` is usable at time `k·T`.
+    OnArrival,
+}
+
+/// Per-output completion times and latency summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyReport {
+    /// `(sample, channel, completion_time)` for every output, in graph
+    /// order.
+    pub completions: Vec<(usize, usize, f64)>,
+    /// Worst latency over outputs: completion − arrival of the matching
+    /// input sample (`j·T`).
+    pub max_latency: f64,
+    /// Mean latency over outputs.
+    pub avg_latency: f64,
+}
+
+/// Computes output completion times of one batch iteration under the given
+/// arrival discipline, with unlimited functional units (the dataflow
+/// bound). `sample_period` is the input inter-arrival time `T`; state is
+/// available at time 0.
+pub fn batch_latency(
+    g: &Dfg,
+    timing: &OpTiming,
+    sample_period: f64,
+    mode: BatchArrival,
+) -> LatencyReport {
+    let last_sample = g
+        .iter()
+        .filter_map(|(_, n)| match n.kind {
+            NodeKind::Input { sample, .. } => Some(sample),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+    let arrival = |sample: usize| match mode {
+        BatchArrival::Block => last_sample as f64 * sample_period,
+        BatchArrival::OnArrival => sample as f64 * sample_period,
+    };
+
+    let mut finish = vec![0.0_f64; g.len()];
+    let mut completions = Vec::new();
+    for (id, n) in g.iter() {
+        let ready = n.preds.iter().map(|p| finish[p.0]).fold(0.0, f64::max);
+        finish[id.0] = match n.kind {
+            NodeKind::Input { sample, .. } => arrival(sample),
+            NodeKind::StateIn { .. } | NodeKind::Const(_) => 0.0,
+            _ => ready + timing.of(&n.kind),
+        };
+        if let NodeKind::Output { sample, channel } = n.kind {
+            completions.push((sample, channel, finish[id.0]));
+        }
+    }
+
+    let latencies: Vec<f64> = completions
+        .iter()
+        .map(|&(s, _, t)| t - s as f64 * sample_period)
+        .collect();
+    let max_latency = latencies.iter().copied().fold(0.0, f64::max);
+    let avg_latency = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<f64>() / latencies.len() as f64
+    };
+    LatencyReport { completions, max_latency, avg_latency }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lintra_dfg::build;
+    use lintra_linsys::{unfold, StateSpace};
+    use lintra_matrix::Matrix;
+
+    fn sys() -> StateSpace {
+        let f = |i: usize, j: usize| 0.23 + 0.013 * i as f64 + 0.007 * j as f64;
+        StateSpace::new(
+            Matrix::from_fn(3, 3, f).scale(0.25),
+            Matrix::from_fn(3, 1, f),
+            Matrix::from_fn(1, 3, f),
+            Matrix::from_fn(1, 1, f),
+        )
+        .unwrap()
+    }
+
+    fn timing() -> OpTiming {
+        OpTiming { t_mul: 2.0, t_add: 1.0, t_shift: 0.0 }
+    }
+
+    #[test]
+    fn on_arrival_never_slower_than_block() {
+        let g = build::from_unfolded(&unfold(&sys(), 4));
+        let t = timing();
+        let block = batch_latency(&g, &t, 10.0, BatchArrival::Block);
+        let onarr = batch_latency(&g, &t, 10.0, BatchArrival::OnArrival);
+        assert_eq!(block.completions.len(), onarr.completions.len());
+        for (b, o) in block.completions.iter().zip(&onarr.completions) {
+            assert!(o.2 <= b.2 + 1e-9, "on-arrival slower for output {:?}", b);
+        }
+        assert!(onarr.max_latency <= block.max_latency);
+        assert!(onarr.avg_latency < block.avg_latency);
+    }
+
+    #[test]
+    fn identical_for_unit_batch() {
+        let g = build::from_state_space(&sys());
+        let t = timing();
+        let block = batch_latency(&g, &t, 10.0, BatchArrival::Block);
+        let onarr = batch_latency(&g, &t, 10.0, BatchArrival::OnArrival);
+        assert_eq!(block, onarr);
+    }
+
+    #[test]
+    fn block_latency_dominated_by_buffering() {
+        // With a long sample period, block latency for sample 0 is at
+        // least (n-1)*T: it waits for the whole batch.
+        let g = build::from_unfolded(&unfold(&sys(), 3));
+        let t = timing();
+        let period = 100.0;
+        let block = batch_latency(&g, &t, period, BatchArrival::Block);
+        let y0 = block
+            .completions
+            .iter()
+            .find(|&&(s, c, _)| s == 0 && c == 0)
+            .expect("output present");
+        assert!(y0.2 >= 3.0 * period, "y0 completes at {}", y0.2);
+        // On arrival, the first output only needs the first input.
+        let onarr = batch_latency(&g, &t, period, BatchArrival::OnArrival);
+        let y0 = onarr
+            .completions
+            .iter()
+            .find(|&&(s, c, _)| s == 0 && c == 0)
+            .expect("output present");
+        assert!(y0.2 < period, "on-arrival y0 completes at {}", y0.2);
+    }
+
+    #[test]
+    fn completion_count_matches_batch() {
+        let g = build::from_unfolded(&unfold(&sys(), 5));
+        let rep = batch_latency(&g, &timing(), 1.0, BatchArrival::OnArrival);
+        assert_eq!(rep.completions.len(), 6);
+    }
+}

@@ -1,0 +1,319 @@
+//! The eight Table-1 designs.
+
+use lintra_filters::{butterworth, chebyshev1, elliptic, ss, Sos};
+use lintra_linsys::{c2d, StateSpace};
+use lintra_matrix::Matrix;
+use std::f64::consts::PI;
+
+/// One benchmark design: a named, documented linear system.
+#[derive(Debug, Clone)]
+pub struct Design {
+    /// Short name as in Table 1 (`ellip`, `iir5`, …).
+    pub name: &'static str,
+    /// Table-1 description.
+    pub description: &'static str,
+    /// The coefficient matrices.
+    pub system: StateSpace,
+    /// Whether the paper treats this design as having dense coefficient
+    /// matrices (`ellip`, `steam`).
+    pub dense: bool,
+}
+
+impl Design {
+    /// `(P, Q, R)` of the system.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        self.system.dims()
+    }
+}
+
+/// Converts filter state-space parts into a [`StateSpace`].
+fn from_parts(p: ss::StateSpaceParts) -> StateSpace {
+    StateSpace::new(p.a, p.b, p.c, p.d).expect("filter realization is shape-consistent")
+}
+
+/// `ellip` — a dense 4-state single-loop servo controller. The continuous
+/// plant couples every state (position, velocity, actuator, sensor lag);
+/// discretization keeps the matrices fully dense.
+fn ellip() -> Design {
+    let a_c = Matrix::from_rows(&[
+        &[-1.2, 0.8, 0.4, -0.3],
+        &[0.5, -2.1, 0.9, 0.6],
+        &[-0.7, 0.4, -1.8, 0.5],
+        &[0.3, -0.6, 0.7, -2.4],
+    ]);
+    let b_c = Matrix::from_rows(&[&[0.9], &[-0.4], &[1.1], &[0.7]]);
+    let c = Matrix::from_rows(&[&[0.8, 0.5, -0.3, 0.9]]);
+    let d = Matrix::from_rows(&[&[0.23]]);
+    let system = c2d::zoh(&a_c, &b_c, &c, &d, 0.35).expect("ellip discretizes");
+    Design {
+        name: "ellip",
+        description: "4-state 1-input linear controller",
+        system,
+        dense: true,
+    }
+}
+
+/// `iir5` / `wdf5` — 5th-order elliptic low-pass. The paper's version is a
+/// wave digital filter; we realize the same transfer function as a cascade
+/// of coupled-form (normalized) sections — like a WDF, a structurally rich
+/// low-sensitivity realization in which every state coefficient is a real
+/// multiplication (see DESIGN.md).
+fn iir5() -> Design {
+    let f = elliptic(5, 0.5, 50.0)
+        .expect("valid elliptic spec")
+        .to_lowpass(0.3 * PI)
+        .bilinear(1.0);
+    let sos = Sos::from_zpk(&f);
+    Design {
+        name: "iir5",
+        description: "5th order elliptic wave digital filter",
+        system: from_parts(ss::sos_to_coupled_state_space(&sos)),
+        dense: false,
+    }
+}
+
+/// `iir6` — 6th-order low-pass elliptic *cascade* (biquad chain).
+fn iir6() -> Design {
+    let f = elliptic(6, 0.5, 60.0)
+        .expect("valid elliptic spec")
+        .to_lowpass(0.25 * PI)
+        .bilinear(1.0);
+    let sos = Sos::from_zpk(&f);
+    Design {
+        name: "iir6",
+        description: "6th order low-pass elliptic cascade IIR filter",
+        system: from_parts(ss::sos_to_coupled_state_space(&sos)),
+        dense: false,
+    }
+}
+
+/// Prewarped analog edge for a digital frequency (bilinear, `fs = 1`).
+fn prewarp(omega: f64) -> f64 {
+    2.0 * (omega / 2.0).tan()
+}
+
+/// `iir10` — 10th-order band-stop Butterworth (order-5 prototype).
+fn iir10() -> Design {
+    let (w1, w2) = (prewarp(0.35 * PI), prewarp(0.55 * PI));
+    let f = butterworth(5)
+        .expect("valid order")
+        .to_bandstop((w1 * w2).sqrt(), w2 - w1)
+        .bilinear(1.0);
+    let sos = Sos::from_zpk(&f);
+    Design {
+        name: "iir10",
+        description: "10th order band-stop Butterworth IIR filter",
+        system: from_parts(ss::sos_to_coupled_state_space(&sos)),
+        dense: false,
+    }
+}
+
+/// `iir12` — 12th-order band-pass Chebyshev (order-6 type-I prototype).
+fn iir12() -> Design {
+    let (w1, w2) = (prewarp(0.3 * PI), prewarp(0.5 * PI));
+    let f = chebyshev1(6, 1.0)
+        .expect("valid spec")
+        .to_bandpass((w1 * w2).sqrt(), w2 - w1)
+        .bilinear(1.0);
+    let sos = Sos::from_zpk(&f);
+    Design {
+        name: "iir12",
+        description: "12th order band-pass Chebyshev IIR filter",
+        system: from_parts(ss::sos_to_coupled_state_space(&sos)),
+        dense: false,
+    }
+}
+
+/// `steam` — dense 5-state, 2-input, 2-output thermal plant controller
+/// (drum pressure, water level, steam flow, fuel dynamics, sensor lag; all
+/// states thermally coupled, so the discretized matrices are dense).
+fn steam() -> Design {
+    let a_c = Matrix::from_rows(&[
+        &[-2.5, 0.6, 0.3, 0.8, -0.2],
+        &[0.4, -1.4, 0.7, -0.3, 0.5],
+        &[-0.6, 0.9, -3.1, 0.4, 0.7],
+        &[0.2, -0.5, 0.6, -1.9, 0.3],
+        &[0.7, 0.3, -0.4, 0.5, -2.7],
+    ]);
+    let b_c = Matrix::from_rows(&[
+        &[1.2, -0.3],
+        &[0.4, 0.9],
+        &[-0.5, 0.6],
+        &[0.8, -0.7],
+        &[0.3, 0.5],
+    ]);
+    let c = Matrix::from_rows(&[&[0.9, 0.4, -0.2, 0.6, 0.3], &[-0.3, 0.7, 0.5, -0.4, 0.8]]);
+    let d = Matrix::from_rows(&[&[0.12, -0.07], &[0.05, 0.21]]);
+    let system = c2d::zoh(&a_c, &b_c, &c, &d, 0.3).expect("steam discretizes");
+    Design { name: "steam", description: "steam power plant controller", system, dense: true }
+}
+
+/// `dist` — distillation column controller in the Wood–Berry spirit:
+/// decoupled first-order lags (diagonal `A`), so unfolding cannot reduce
+/// its operation count — the design the paper reports "no power
+/// reduction" for.
+fn dist() -> Design {
+    // Five first-order lags with distinct time constants.
+    let a_c = Matrix::from_diag(&[-1.0 / 16.7, -1.0 / 21.0, -1.0 / 10.9, -1.0 / 14.4, -1.0 / 8.0]);
+    // Each lag is driven by one of the two inputs (reflux, steam).
+    let b_c = Matrix::from_rows(&[
+        &[12.8 / 16.7, 0.0],
+        &[0.0, -18.9 / 21.0],
+        &[6.6 / 10.9, 0.0],
+        &[0.0, -19.4 / 14.4],
+        &[0.5 / 8.0, 0.3 / 8.0],
+    ]);
+    // Outputs (top/bottom compositions) read their lag states directly.
+    let c = Matrix::from_rows(&[&[1.0, 1.0, 0.0, 0.0, 0.4], &[0.0, 0.0, 1.0, 1.0, -0.3]]);
+    let d = Matrix::zeros(2, 2);
+    let system = c2d::zoh(&a_c, &b_c, &c, &d, 1.0).expect("dist discretizes");
+    Design { name: "dist", description: "distillation plant linear controller", system, dense: false }
+}
+
+/// `chemical` — two stirred-tank reactors in series (concentration and
+/// temperature per tank; block lower-bidiagonal coupling).
+fn chemical() -> Design {
+    let a_c = Matrix::from_rows(&[
+        &[-1.8, 0.4, 0.0, 0.0],
+        &[0.6, -2.2, 0.0, 0.0],
+        &[0.9, 0.0, -1.5, 0.3],
+        &[0.0, 0.8, 0.5, -2.0],
+    ]);
+    let b_c = Matrix::from_rows(&[&[1.0], &[0.3], &[0.0], &[0.2]]);
+    let c = Matrix::from_rows(&[&[0.0, 0.0, 0.7, 0.5]]);
+    let d = Matrix::from_rows(&[&[0.0]]);
+    let system = c2d::zoh(&a_c, &b_c, &c, &d, 0.25).expect("chemical discretizes");
+    Design { name: "chemical", description: "chemical plant controller", system, dense: false }
+}
+
+/// The full Table-1 suite, in the paper's order.
+pub fn suite() -> Vec<Design> {
+    vec![ellip(), iir5(), iir6(), iir10(), iir12(), steam(), dist(), chemical()]
+}
+
+/// Looks a design up by name (`"wdf5"` aliases `"iir5"`).
+pub fn by_name(name: &str) -> Option<Design> {
+    let canonical = if name == "wdf5" { "iir5" } else { name };
+    suite().into_iter().find(|d| d.name == canonical)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lintra_linsys::count::{op_count, TrivialityRule};
+    use lintra_linsys::unfold;
+
+    #[test]
+    fn suite_has_the_paper_dimensions() {
+        let dims: Vec<(&str, (usize, usize, usize))> =
+            suite().iter().map(|d| (d.name, d.dims())).collect();
+        assert_eq!(
+            dims,
+            vec![
+                ("ellip", (1, 1, 4)),
+                ("iir5", (1, 1, 5)),
+                ("iir6", (1, 1, 6)),
+                ("iir10", (1, 1, 10)),
+                ("iir12", (1, 1, 12)),
+                ("steam", (2, 2, 5)),
+                ("dist", (2, 2, 5)),
+                ("chemical", (1, 1, 4)),
+            ]
+        );
+    }
+
+    #[test]
+    fn every_design_is_stable() {
+        for d in suite() {
+            assert!(d.system.is_stable(), "{} unstable", d.name);
+        }
+    }
+
+    #[test]
+    fn dense_designs_are_actually_dense() {
+        for d in suite() {
+            if d.dense {
+                assert!(
+                    d.system.sparsity() < 0.05,
+                    "{} marked dense but has sparsity {}",
+                    d.name,
+                    d.system.sparsity()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn filters_are_sparser_than_dense_but_not_diagonal() {
+        for name in ["iir5", "iir10", "iir12", "iir6"] {
+            let d = by_name(name).unwrap();
+            let s = d.system.sparsity();
+            assert!((0.1..0.9).contains(&s), "{name} sparsity {s}");
+        }
+    }
+
+    #[test]
+    fn dist_gains_nothing_from_unfolding() {
+        let d = by_name("dist").unwrap();
+        let base = op_count(&d.system, TrivialityRule::ZeroOne);
+        for i in 1..=4u32 {
+            let u = unfold(&d.system, i);
+            let ops = op_count(&u.system, TrivialityRule::ZeroOne);
+            let per = ops.total() as f64 / (i + 1) as f64;
+            assert!(
+                per >= base.total() as f64 - 1e-9,
+                "dist improved at i={i}: {per} vs {}",
+                base.total()
+            );
+        }
+    }
+
+    #[test]
+    fn wdf5_alias() {
+        assert_eq!(by_name("wdf5").unwrap().name, "iir5");
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn filter_designs_filter_as_designed() {
+        // iir6 is a 0.25π low-pass: DC passes, 0.8π is crushed.
+        let d = by_name("iir6").unwrap();
+        let step: Vec<Vec<f64>> = (0..600).map(|_| vec![1.0]).collect();
+        let out = d.system.simulate(&step).unwrap();
+        let settled = out.last().unwrap()[0];
+        assert!((settled - 1.0).abs() < 0.07, "DC gain {settled}");
+
+        let hi: Vec<Vec<f64>> = (0..600).map(|k| vec![(0.8 * PI * k as f64).sin()]).collect();
+        let out = d.system.simulate(&hi).unwrap();
+        let tail_peak = out[400..].iter().map(|y| y[0].abs()).fold(0.0, f64::max);
+        assert!(tail_peak < 5e-2, "stopband leak {tail_peak}");
+    }
+
+    #[test]
+    fn iir10_notches_its_stop_band() {
+        let d = by_name("iir10").unwrap();
+        // Tone in the middle of the stop band [0.35π, 0.55π].
+        let tone: Vec<Vec<f64>> = (0..800).map(|k| vec![(0.45 * PI * k as f64).sin()]).collect();
+        let out = d.system.simulate(&tone).unwrap();
+        let tail_peak = out[600..].iter().map(|y| y[0].abs()).fold(0.0, f64::max);
+        assert!(tail_peak < 0.02, "stop-band tone leaks {tail_peak}");
+        // Tone in the passband survives.
+        let tone: Vec<Vec<f64>> = (0..800).map(|k| vec![(0.1 * PI * k as f64).sin()]).collect();
+        let out = d.system.simulate(&tone).unwrap();
+        let tail_peak = out[600..].iter().map(|y| y[0].abs()).fold(0.0, f64::max);
+        assert!(tail_peak > 0.8, "pass-band tone attenuated to {tail_peak}");
+    }
+
+    #[test]
+    fn iir12_passes_its_band_only() {
+        let d = by_name("iir12").unwrap();
+        let probe = |w: f64| {
+            let tone: Vec<Vec<f64>> = (0..1000).map(|k| vec![(w * k as f64).sin()]).collect();
+            let out = d.system.simulate(&tone).unwrap();
+            out[800..].iter().map(|y| y[0].abs()).fold(0.0, f64::max)
+        };
+        assert!(probe(0.4 * PI) > 0.5, "center of band should pass");
+        assert!(probe(0.1 * PI) < 0.05, "below band should stop");
+        assert!(probe(0.8 * PI) < 0.05, "above band should stop");
+    }
+}

@@ -1,0 +1,115 @@
+//! Synthetic system and workload generators.
+
+use lintra_linsys::StateSpace;
+use lintra_matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic dense stable system with arbitrary non-trivial
+/// coefficients everywhere — the "dense coefficient matrices" case of the
+/// paper's analysis (EQ 4/5 hold exactly for these).
+///
+/// # Panics
+///
+/// Panics if any dimension is zero.
+pub fn dense_synthetic(p: usize, q: usize, r: usize) -> StateSpace {
+    assert!(p > 0 && q > 0 && r > 0, "dimensions must be positive");
+    let f = |i: usize, j: usize| 0.37 + 0.013 * i as f64 + 0.0079 * j as f64;
+    // Scale A so its inf-norm is < 1 (Schur stability by norm bound).
+    let a_raw = Matrix::from_fn(r, r, f);
+    let norm: f64 =
+        (0..r).map(|i| a_raw.row(i).iter().map(|x| x.abs()).sum::<f64>()).fold(0.0, f64::max);
+    StateSpace::new(
+        a_raw.scale(0.85 / norm),
+        Matrix::from_fn(r, p, f),
+        Matrix::from_fn(q, r, f),
+        Matrix::from_fn(q, p, f),
+    )
+    .expect("dense synthetic shapes are consistent")
+}
+
+/// A seeded random stable system with approximately the requested fraction
+/// of structurally zero coefficients in each matrix.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero or `sparsity` is outside `[0, 1)`.
+pub fn random_stable(p: usize, q: usize, r: usize, sparsity: f64, seed: u64) -> StateSpace {
+    assert!(p > 0 && q > 0 && r > 0, "dimensions must be positive");
+    assert!((0.0..1.0).contains(&sparsity), "sparsity must be in [0,1)");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gen = |rows: usize, cols: usize| {
+        Matrix::from_fn(rows, cols, |_, _| {
+            if rng.random::<f64>() < sparsity {
+                0.0
+            } else {
+                // Avoid trivial values: keep magnitude in [0.05, 0.95].
+                let mag = 0.05 + 0.9 * rng.random::<f64>();
+                if rng.random::<bool>() {
+                    mag
+                } else {
+                    -mag
+                }
+            }
+        })
+    };
+    let a_raw = gen(r, r);
+    let norm: f64 = (0..r)
+        .map(|i| a_raw.row(i).iter().map(|x| x.abs()).sum::<f64>())
+        .fold(0.0, f64::max);
+    let a = if norm > 0.0 { a_raw.scale(0.85 / norm) } else { a_raw };
+    StateSpace::new(a, gen(r, p), gen(q, r), gen(q, p))
+        .expect("random system shapes are consistent")
+}
+
+/// A seeded random input stimulus: `len` samples of width `p`, uniform in
+/// `[-1, 1]`.
+pub fn stimulus(p: usize, len: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| (0..p).map(|_| rng.random_range(-1.0..1.0)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lintra_linsys::count::{dense_muls, op_count, TrivialityRule};
+
+    #[test]
+    fn dense_synthetic_is_stable_and_dense() {
+        for &(p, q, r) in &[(1usize, 1usize, 5usize), (2, 2, 4), (1, 2, 8)] {
+            let s = dense_synthetic(p, q, r);
+            assert!(s.is_stable());
+            assert_eq!(s.sparsity(), 0.0);
+            let c = op_count(&s, TrivialityRule::ZeroOne);
+            assert_eq!(c.muls, dense_muls(p as u64, q as u64, r as u64, 0));
+        }
+    }
+
+    #[test]
+    fn random_stable_is_stable_and_deterministic() {
+        let a = random_stable(2, 1, 6, 0.4, 42);
+        let b = random_stable(2, 1, 6, 0.4, 42);
+        assert_eq!(a, b);
+        assert!(a.is_stable());
+        let c = random_stable(2, 1, 6, 0.4, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_sparsity_roughly_matches() {
+        let s = random_stable(4, 4, 12, 0.5, 7);
+        let frac = s.sparsity();
+        assert!((0.3..0.7).contains(&frac), "sparsity {frac}");
+    }
+
+    #[test]
+    fn stimulus_shape_and_range() {
+        let x = stimulus(3, 100, 1);
+        assert_eq!(x.len(), 100);
+        assert!(x.iter().all(|v| v.len() == 3));
+        assert!(x.iter().flatten().all(|&v| (-1.0..1.0).contains(&v)));
+        assert_eq!(stimulus(3, 100, 1), x);
+    }
+}

@@ -1,0 +1,34 @@
+//! The paper's example suite (Table 1), regenerated from scratch.
+//!
+//! The DAC'96 paper evaluates on eight real-life linear systems but prints
+//! only their names, descriptions and dimensions. This crate rebuilds a
+//! faithful stand-in for each one (see `DESIGN.md` for the substitution
+//! argument — everything the paper measures depends only on dimensions,
+//! coefficient triviality structure, and stability):
+//!
+//! | name | description | origin here |
+//! |---|---|---|
+//! | `ellip` | 4-state 1-input linear controller (dense) | dense servo plant, ZOH-discretized |
+//! | `iir5` (`wdf5`) | 5th-order elliptic wave digital filter | from-scratch elliptic design, direct form |
+//! | `iir6` | 6th-order low-pass elliptic cascade IIR | elliptic design, biquad cascade |
+//! | `iir10` | 10th-order band-stop Butterworth IIR | Butterworth + band-stop transform |
+//! | `iir12` | 12th-order band-pass Chebyshev IIR | Chebyshev-I + band-pass transform |
+//! | `steam` | steam power plant controller (dense) | dense 5-state thermal plant, ZOH |
+//! | `dist` | distillation plant linear controller | decoupled first-order lags (Wood–Berry-style) |
+//! | `chemical` | chemical plant controller | two CSTRs in series |
+//!
+//! # Examples
+//!
+//! ```
+//! let suite = lintra_suite::suite();
+//! assert_eq!(suite.len(), 8);
+//! for d in &suite {
+//!     assert!(d.system.is_stable(), "{} must be stable", d.name);
+//! }
+//! ```
+
+mod designs;
+mod generators;
+
+pub use designs::{by_name, suite, Design};
+pub use generators::{dense_synthetic, random_stable, stimulus};

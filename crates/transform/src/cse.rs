@@ -1,0 +1,175 @@
+//! Common-subexpression elimination by value numbering.
+//!
+//! The paper lists CSE among the building-block transformations it
+//! composes with unfolding (§0). This pass canonicalizes structurally
+//! identical pure nodes (same operator, same already-numbered operands,
+//! with commutative operand sorting for `Add`) onto one representative.
+
+use lintra_dfg::{Dfg, NodeId, NodeKind};
+use std::collections::HashMap;
+
+/// A hashable structural key for value numbering.
+#[derive(Debug, Clone, PartialEq)]
+enum Key {
+    Input(usize, usize),
+    StateIn(usize),
+    Const(u64),
+    Add(usize, usize),
+    Sub(usize, usize),
+    MulConst(u64, usize),
+    Shift(i32, usize),
+    Neg(usize),
+}
+
+impl Key {
+    fn canon(kind: &NodeKind, preds: &[usize]) -> Option<Key> {
+        Some(match *kind {
+            NodeKind::Input { sample, channel } => Key::Input(sample, channel),
+            NodeKind::StateIn { index } => Key::StateIn(index),
+            NodeKind::Const(c) => Key::Const(c.to_bits()),
+            NodeKind::Add => {
+                let (a, b) = (preds[0].min(preds[1]), preds[0].max(preds[1]));
+                Key::Add(a, b)
+            }
+            NodeKind::Sub => Key::Sub(preds[0], preds[1]),
+            NodeKind::MulConst(c) => Key::MulConst(c.to_bits(), preds[0]),
+            NodeKind::Shift(k) => Key::Shift(k, preds[0]),
+            NodeKind::Neg => Key::Neg(preds[0]),
+            // Side-effecting / boundary nodes are never merged.
+            NodeKind::Delay
+            | NodeKind::Output { .. }
+            | NodeKind::StateOut { .. } => return None,
+        })
+    }
+}
+
+// Manual Eq/Hash via a string-free encoding.
+impl Eq for Key {}
+impl std::hash::Hash for Key {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(self).hash(state);
+        match self {
+            Key::Input(a, b) | Key::Add(a, b) | Key::Sub(a, b) => {
+                a.hash(state);
+                b.hash(state);
+            }
+            Key::StateIn(a) | Key::Neg(a) => a.hash(state),
+            Key::Const(c) => c.hash(state),
+            Key::MulConst(c, p) => {
+                c.hash(state);
+                p.hash(state);
+            }
+            Key::Shift(k, p) => {
+                k.hash(state);
+                p.hash(state);
+            }
+        }
+    }
+}
+
+/// Report from [`eliminate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CseReport {
+    /// Nodes merged away.
+    pub merged: u64,
+}
+
+/// Rebuilds the graph with structurally duplicate pure nodes merged.
+pub fn eliminate(g: &Dfg) -> (Dfg, CseReport) {
+    let mut out = Dfg::new();
+    let mut remap: Vec<NodeId> = Vec::with_capacity(g.len());
+    let mut seen: HashMap<Key, NodeId> = HashMap::new();
+    let mut report = CseReport::default();
+    for (_, n) in g.iter() {
+        let preds_new: Vec<NodeId> = n.preds.iter().map(|p| remap[p.0]).collect();
+        let pred_idx: Vec<usize> = preds_new.iter().map(|p| p.0).collect();
+        let id = match Key::canon(&n.kind, &pred_idx) {
+            Some(key) => {
+                if let Some(&existing) = seen.get(&key) {
+                    report.merged += 1;
+                    existing
+                } else {
+                    let id = out.push(n.kind, preds_new).expect("copy is valid");
+                    seen.insert(key, id);
+                    id
+                }
+            }
+            None => out.push(n.kind, preds_new).expect("copy is valid"),
+        };
+        remap.push(id);
+    }
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap as Map;
+
+    #[test]
+    fn merges_duplicate_multiplications() {
+        let mut g = Dfg::new();
+        let x = g.push(NodeKind::Input { sample: 0, channel: 0 }, vec![]).unwrap();
+        let m1 = g.push(NodeKind::MulConst(0.3), vec![x]).unwrap();
+        let m2 = g.push(NodeKind::MulConst(0.3), vec![x]).unwrap();
+        let a = g.push(NodeKind::Add, vec![m1, m2]).unwrap();
+        g.push(NodeKind::Output { sample: 0, channel: 0 }, vec![a]).unwrap();
+        let (h, report) = eliminate(&g);
+        assert_eq!(report.merged, 1);
+        assert_eq!(h.op_counts().muls, 1);
+        let (o, _) = h.simulate(&[], &Map::from([((0, 0), 2.0)]));
+        assert!((o[&(0, 0)] - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_is_commutative_sub_is_not() {
+        let mut g = Dfg::new();
+        let x = g.push(NodeKind::Input { sample: 0, channel: 0 }, vec![]).unwrap();
+        let y = g.push(NodeKind::Input { sample: 0, channel: 1 }, vec![]).unwrap();
+        let a1 = g.push(NodeKind::Add, vec![x, y]).unwrap();
+        let a2 = g.push(NodeKind::Add, vec![y, x]).unwrap();
+        let s1 = g.push(NodeKind::Sub, vec![x, y]).unwrap();
+        let s2 = g.push(NodeKind::Sub, vec![y, x]).unwrap();
+        let t1 = g.push(NodeKind::Add, vec![a1, a2]).unwrap();
+        let t2 = g.push(NodeKind::Add, vec![s1, s2]).unwrap();
+        let t = g.push(NodeKind::Add, vec![t1, t2]).unwrap();
+        g.push(NodeKind::Output { sample: 0, channel: 0 }, vec![t]).unwrap();
+        let (h, report) = eliminate(&g);
+        // a2 merges into a1; s1/s2 stay distinct.
+        assert_eq!(report.merged, 1);
+        let inputs = Map::from([((0, 0), 5.0), ((0, 1), 2.0)]);
+        let (o1, _) = g.simulate(&[], &inputs);
+        let (o2, _) = h.simulate(&[], &inputs);
+        assert_eq!(o1[&(0, 0)], o2[&(0, 0)]);
+    }
+
+    #[test]
+    fn outputs_never_merge() {
+        let mut g = Dfg::new();
+        let x = g.push(NodeKind::Input { sample: 0, channel: 0 }, vec![]).unwrap();
+        g.push(NodeKind::Output { sample: 0, channel: 0 }, vec![x]).unwrap();
+        g.push(NodeKind::Output { sample: 1, channel: 0 }, vec![x]).unwrap();
+        let (h, report) = eliminate(&g);
+        assert_eq!(report.merged, 0);
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn chained_duplicates_collapse_transitively() {
+        // Two identical chains x*0.5+1.0 collapse entirely.
+        let mut g = Dfg::new();
+        let x = g.push(NodeKind::Input { sample: 0, channel: 0 }, vec![]).unwrap();
+        let c1 = g.push(NodeKind::Const(1.0), vec![]).unwrap();
+        let m1 = g.push(NodeKind::MulConst(0.5), vec![x]).unwrap();
+        let a1 = g.push(NodeKind::Add, vec![m1, c1]).unwrap();
+        let c2 = g.push(NodeKind::Const(1.0), vec![]).unwrap();
+        let m2 = g.push(NodeKind::MulConst(0.5), vec![x]).unwrap();
+        let a2 = g.push(NodeKind::Add, vec![m2, c2]).unwrap();
+        let t = g.push(NodeKind::Add, vec![a1, a2]).unwrap();
+        g.push(NodeKind::Output { sample: 0, channel: 0 }, vec![t]).unwrap();
+        let (h, report) = eliminate(&g);
+        assert_eq!(report.merged, 3); // c2, m2, a2
+        let (o, _) = h.simulate(&[], &Map::from([((0, 0), 4.0)]));
+        assert!((o[&(0, 0)] - 6.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,64 @@
+//! Design a digital filter from a spec, then walk the paper's single-
+//! processor flow on it: unfolding sweep, optimum, voltage scaling — and
+//! verify the unfolded implementation is bit-equivalent to the original.
+//!
+//! ```sh
+//! cargo run --release -p lintra --example dsp_filter_lowpower
+//! ```
+
+use lintra::filters::{elliptic, ss, Sos};
+use lintra::linsys::count::{op_count, TrivialityRule};
+use lintra::linsys::{unfold, StateSpace};
+use lintra::opt::{single, TechConfig};
+use lintra::suite::stimulus;
+
+fn main() {
+    // An 8th-order elliptic low-pass, cascade realization: a sharper
+    // filter than any in the paper's suite.
+    let zpk = elliptic(8, 0.3, 70.0)
+        .expect("valid spec")
+        .to_lowpass(0.2 * std::f64::consts::PI)
+        .bilinear(1.0);
+    let sos = Sos::from_zpk(&zpk);
+    let parts = ss::sos_to_state_space(&sos);
+    let sys = StateSpace::new(parts.a, parts.b, parts.c, parts.d).expect("consistent");
+    let (p, q, r) = sys.dims();
+    println!("designed 8th-order elliptic cascade: P={p} Q={q} R={r}");
+    println!("coefficient sparsity: {:.0}%", sys.sparsity() * 100.0);
+
+    // The headline phenomenon: ops/sample dips, bottoms out, then rises.
+    println!("\n  i   ops/sample");
+    for i in 0..=12u32 {
+        let u = unfold(&sys, i);
+        let ops = op_count(&u.system, TrivialityRule::ZeroOne);
+        let per = ops.total() as f64 / (i + 1) as f64;
+        println!("  {i:>2}   {per:7.2}");
+    }
+
+    let tech = TechConfig::dac96(3.3);
+    let res = single::optimize(&sys, &tech);
+    println!(
+        "\noptimum i = {} -> throughput x{:.2} -> {:.2} V -> power / {:.2}",
+        res.real.unfolding,
+        res.real.speedup,
+        res.real.scaling.voltage,
+        res.real.power_reduction()
+    );
+
+    // Prove the transformation is semantics-preserving on a real signal.
+    let i = res.real.unfolding as u32;
+    let u = unfold(&sys, i);
+    let n = u.batch();
+    let len = 240 / n * n;
+    let input = stimulus(1, len, 2024);
+    let want = sys.simulate(&input).expect("simulate");
+    let got = u.simulate_samples(&input).expect("batched simulate");
+    let max_err = want
+        .iter()
+        .zip(&got)
+        .map(|(a, b)| (a[0] - b[0]).abs())
+        .fold(0.0, f64::max);
+    println!("max |original - unfolded| over {len} samples: {max_err:.3e}");
+    assert!(max_err < 1e-9, "unfolding must preserve the filter exactly");
+    println!("unfolded implementation is sample-exact. done.");
+}

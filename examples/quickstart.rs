@@ -1,0 +1,59 @@
+//! Quickstart: optimize one benchmark with all three strategies.
+//!
+//! ```sh
+//! cargo run --release -p lintra --example quickstart
+//! ```
+
+use lintra::opt::multi::ProcessorSelection;
+use lintra::opt::{asic, multi, single, TechConfig};
+use lintra::suite;
+
+fn main() {
+    let design = suite::by_name("iir5").expect("benchmark exists");
+    let (p, q, r) = design.dims();
+    println!("design: {} — {} (P={p}, Q={q}, R={r})", design.name, design.description);
+
+    let tech = TechConfig::dac96(3.3);
+
+    // 1. Single programmable processor (§3).
+    let s = single::optimize(&design.system, &tech);
+    println!("\n-- single processor, initial {:.1} V --", tech.initial_voltage);
+    println!(
+        "unfolding i = {} (dense analysis would predict i = {})",
+        s.real.unfolding, s.dense.unfolding
+    );
+    println!(
+        "ops/iteration: {} mul + {} add  ->  {} mul + {} add over {} samples",
+        s.real.ops_initial.muls,
+        s.real.ops_initial.adds,
+        s.real.ops_unfolded.muls,
+        s.real.ops_unfolded.adds,
+        s.real.unfolding + 1
+    );
+    println!(
+        "throughput x{:.3} -> voltage {:.2} V -> power / {:.2} (frequency-only fallback: / {:.2})",
+        s.real.speedup,
+        s.real.scaling.voltage,
+        s.real.power_reduction(),
+        s.real.power_reduction_frequency_only()
+    );
+
+    // 2. Multiple processors (§4).
+    let m = multi::optimize(&design.system, &tech, ProcessorSelection::StatesCount);
+    println!("\n-- {} processors (N = R) --", m.processors);
+    println!(
+        "S_max(N,i) = {:.2} (measured by list scheduling) -> {:.2} V -> power / {:.2}",
+        m.speedup,
+        m.scaling.voltage,
+        m.power_reduction()
+    );
+
+    // 3. Custom ASIC (§5): unfold -> Horner -> MCM.
+    let tech5 = TechConfig::dac96(5.0);
+    let a = asic::optimize(&design.system, &tech5, &asic::AsicConfig::default());
+    println!("\n-- ASIC flow, initial {:.1} V --", tech5.initial_voltage);
+    println!("unfolded {} times, multipliers removed: {}", a.unfolding, a.mcm.muls_removed);
+    println!("initial:   {}", a.initial);
+    println!("optimized: {}", a.optimized);
+    println!("energy improvement: x{:.1}", a.improvement());
+}

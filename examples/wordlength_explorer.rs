@@ -1,0 +1,56 @@
+//! Wordlength exploration: pick the MCM quantization honestly.
+//!
+//! The §5 flow quantizes coefficients before MCM synthesis. This example
+//! sweeps the fractional wordlength for one suite design, measures the
+//! bit-true output error of the quantized datapath (recursion closed, so
+//! error accumulation is included), finds the smallest wordlength meeting
+//! a 60 dB error budget, and shows how the MCM shift-add cost grows with
+//! wordlength — the precision/power trade-off.
+//!
+//! ```sh
+//! cargo run --release -p lintra --example wordlength_explorer
+//! ```
+
+use lintra::dfg::build;
+use lintra::fixed::{compare_quantized, minimum_fraction_bits};
+use lintra::mcm::{quantize, synthesize, Recoding};
+use lintra::suite::{by_name, stimulus};
+
+fn main() {
+    let design = by_name("iir6").expect("benchmark exists");
+    let dims = design.dims();
+    let g = build::from_state_space(&design.system);
+    let x = stimulus(dims.0, 400, 42);
+
+    println!("design: {} — bit-true quantization sweep", design.name);
+    println!("\n  bits   max error    rms error   | mcm adds (A-matrix constants)");
+    for w in [6u32, 8, 10, 12, 14, 16, 20] {
+        let report = compare_quantized(&g, 1, dims, &x, w);
+        // MCM cost of one representative instance: all A coefficients by
+        // column 0's driven variable won't exist pre-grouping, so just use
+        // the full A entry set as a cost proxy.
+        let consts: Vec<i64> = design
+            .system
+            .a()
+            .as_slice()
+            .iter()
+            .map(|&c| quantize(c, w))
+            .filter(|&q| q != 0)
+            .collect();
+        let cost = synthesize(&consts, Recoding::Csd).cost();
+        println!(
+            "  {w:>4}   {:>9.2e}   {:>9.2e}   | {} adds + {} shifts",
+            report.max_error, report.rms_error, cost.adds, cost.shifts
+        );
+    }
+
+    let budget = 1e-3; // ~60 dB below the unit-amplitude stimulus
+    match minimum_fraction_bits(&g, 1, dims, &x, budget, (4, 24)) {
+        Some((w, report)) => println!(
+            "\nsmallest wordlength meeting max error <= {budget:.0e}: {w} bits \
+             (max {:.2e}, rms {:.2e} over {} samples)",
+            report.max_error, report.rms_error, report.samples
+        ),
+        None => println!("\nno wordlength up to 24 bits meets {budget:.0e}"),
+    }
+}

@@ -1,0 +1,109 @@
+//! End-to-end integration tests: the full optimization flows on the real
+//! benchmark suite, checking the paper's qualitative results hold.
+
+use lintra::opt::multi::ProcessorSelection;
+use lintra::opt::{asic, multi, single, TechConfig};
+use lintra::suite::{by_name, suite};
+
+#[test]
+fn table2_shape_single_processor() {
+    // Qualitative content of Table 2: every design is at least as good as
+    // doing nothing, dense designs match the dense analysis, `dist` gets
+    // nothing, and the suite average is a meaningful reduction.
+    let tech = TechConfig::dac96(3.3);
+    let mut reductions = Vec::new();
+    for d in suite() {
+        let r = single::optimize(&d.system, &tech);
+        assert!(r.real.power_reduction() >= 1.0 - 1e-9, "{} regressed", d.name);
+        assert!(
+            r.real.speedup <= r.dense.speedup + 1e-9 || !d.dense,
+            "{}: sparse system cannot beat its own dense bound this way",
+            d.name
+        );
+        if d.dense {
+            assert_eq!(r.real.unfolding, r.dense.unfolding, "{}", d.name);
+        }
+        reductions.push(r.real.power_reduction());
+    }
+    let avg = reductions.iter().sum::<f64>() / reductions.len() as f64;
+    assert!(avg > 1.5, "Table 2 average reduction {avg}");
+    // dist: exactly no reduction.
+    let dist = single::optimize(&by_name("dist").unwrap().system, &tech);
+    assert!((dist.real.power_reduction() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn table2_is_better_at_5v_than_3v() {
+    // The paper: average x2 at 3.3 V, x3 at 5.0 V (bigger headroom above
+    // the voltage floor).
+    let suite_avg = |v: f64| {
+        let tech = TechConfig::dac96(v);
+        let r: Vec<f64> = suite()
+            .iter()
+            .map(|d| single::optimize(&d.system, &tech).real.power_reduction())
+            .collect();
+        r.iter().sum::<f64>() / r.len() as f64
+    };
+    assert!(suite_avg(5.0) > suite_avg(3.3));
+}
+
+#[test]
+fn table3_shape_multiprocessor_beats_single() {
+    // Table 3 vs Table 2: with N = R processors the reductions are larger
+    // (on every design that unfolds at all), and the suite average is well
+    // above the single-processor average.
+    let tech = TechConfig::dac96(3.3);
+    let mut single_avg = 0.0;
+    let mut multi_avg = 0.0;
+    for d in suite() {
+        let s = single::optimize(&d.system, &tech).real.power_reduction();
+        let m = multi::optimize(&d.system, &tech, ProcessorSelection::StatesCount)
+            .power_reduction();
+        single_avg += s;
+        multi_avg += m;
+    }
+    single_avg /= suite().len() as f64;
+    multi_avg /= suite().len() as f64;
+    assert!(
+        multi_avg > single_avg,
+        "multiprocessor average {multi_avg} should beat single {single_avg}"
+    );
+}
+
+#[test]
+fn table4_shape_asic_improvements() {
+    // Table 4: improvement factors per design, large average and median,
+    // conservatively clamped at the 1.1 V floor.
+    let tech = TechConfig::dac96(5.0);
+    let cfg = asic::AsicConfig::default();
+    let mut factors: Vec<f64> = suite()
+        .iter()
+        .map(|d| {
+            let r = asic::optimize(&d.system, &tech, &cfg);
+            assert!(r.voltage >= 1.1 - 1e-9, "{} below floor", d.name);
+            r.improvement()
+        })
+        .collect();
+    factors.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let avg = factors.iter().sum::<f64>() / factors.len() as f64;
+    let median = factors[factors.len() / 2];
+    assert!(avg > 10.0, "average {avg}");
+    assert!(median > 10.0, "median {median}");
+    // ASIC beats both processor-based strategies by a wide margin.
+    let single_best = suite()
+        .iter()
+        .map(|d| single::optimize(&d.system, &tech).real.power_reduction())
+        .fold(0.0, f64::max);
+    assert!(avg > single_best);
+}
+
+#[test]
+fn all_strategies_agree_on_problem_dimensions() {
+    for d in suite() {
+        let tech = TechConfig::dac96(3.3);
+        let s = single::optimize(&d.system, &tech);
+        assert_eq!(s.dims, d.dims(), "{}", d.name);
+        let m = multi::optimize(&d.system, &tech, ProcessorSelection::StatesCount);
+        assert_eq!(m.processors, d.dims().2, "{}", d.name);
+    }
+}

@@ -1,0 +1,135 @@
+//! Cross-crate HLS integration tests: pipelining, latency analysis, and
+//! force-directed scheduling composed over the real benchmark suite.
+
+use lintra::dfg::{build, OpTiming};
+use lintra::linsys::unfold;
+use lintra::sched::fds::{force_directed_schedule, FdsError};
+use lintra::sched::latency::{batch_latency, BatchArrival};
+use lintra::sched::{list_schedule, ProcessorModel};
+use lintra::suite::{stimulus, suite};
+use lintra::transform::horner::HornerForm;
+use lintra::transform::mcm_pass::{expand_multiplications, McmPassConfig};
+use lintra::transform::pipeline::insert_registers;
+use std::collections::HashMap;
+
+fn timing() -> OpTiming {
+    OpTiming { t_mul: 2.0, t_add: 1.0, t_shift: 0.0 }
+}
+
+#[test]
+fn pipelining_the_full_asic_graph_preserves_values_and_feedback() {
+    for d in suite() {
+        let (p, q, r) = d.dims();
+        let h = HornerForm::new(&d.system, 3);
+        let g0 = h.to_dfg();
+        let (g1, _) = expand_multiplications(&g0, McmPassConfig::default());
+        let t = timing();
+        let fb_before = g1.feedback_critical_path(&t);
+        let (g2, report) = insert_registers(&g1, 3.0, &t);
+        let fb_after = g2.feedback_critical_path(&t);
+        assert!(fb_after <= fb_before + 1e-9, "{}: feedback path grew", d.name);
+        // Every feed-forward path is cut to one level (+ one op); only the
+        // feedback section — which registers must not touch — may remain
+        // longer.
+        assert!(
+            g2.critical_path(&t) <= (3.0 + t.t_mul).max(fb_after),
+            "{}: cp {} not cut to level (fb {fb_after})",
+            d.name,
+            g2.critical_path(&t)
+        );
+        let _ = report;
+
+        // Semantics unchanged (registers are wires to the simulator).
+        let input = stimulus(p, 4 * h.batch, 5);
+        let run = |g: &lintra::dfg::Dfg| {
+            let mut state = vec![0.0; r];
+            let mut out = Vec::new();
+            for chunk in input.chunks(h.batch) {
+                let mut m = HashMap::new();
+                for (s, xs) in chunk.iter().enumerate() {
+                    for (c, &x) in xs.iter().enumerate() {
+                        m.insert((s, c), x);
+                    }
+                }
+                let (outs, next) = g.simulate(&state, &m);
+                for s in 0..h.batch {
+                    for c in 0..q {
+                        out.push(outs[&(s, c)]);
+                    }
+                }
+                state = (0..r).map(|i| next[&i]).collect();
+            }
+            out
+        };
+        let a = run(&g1);
+        let b = run(&g2);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12, "{}", d.name);
+        }
+    }
+}
+
+#[test]
+fn on_arrival_latency_beats_block_on_every_unfolded_design() {
+    let t = timing();
+    for d in suite() {
+        let g = build::from_unfolded(&unfold(&d.system, 4));
+        let block = batch_latency(&g, &t, 20.0, BatchArrival::Block);
+        let onarr = batch_latency(&g, &t, 20.0, BatchArrival::OnArrival);
+        assert!(
+            onarr.avg_latency < block.avg_latency,
+            "{}: on-arrival {} !< block {}",
+            d.name,
+            onarr.avg_latency,
+            block.avg_latency
+        );
+    }
+}
+
+#[test]
+fn fds_matches_list_scheduler_feasibility() {
+    // For each design: schedule with FDS at the latency the list scheduler
+    // achieves with N processors; FDS must not need more total units than
+    // N (it has typed units, so compare the sum).
+    let model = ProcessorModel::unit();
+    for d in suite().into_iter().filter(|d| d.dims().2 <= 6) {
+        let g = build::from_state_space(&d.system);
+        for n in [2usize, 4] {
+            let ls = list_schedule(&g, n, &model);
+            match force_directed_schedule(&g, &model, ls.length) {
+                Ok(fds) => {
+                    fds.validate(&g, &model).unwrap_or_else(|e| panic!("{}: {e}", d.name));
+                    // Typed units can exceed N slightly (a multiplier and
+                    // an ALU cannot share), but not wildly.
+                    assert!(
+                        fds.multipliers + fds.alus <= 2 * n + 2,
+                        "{} N={n}: {} mult + {} alu",
+                        d.name,
+                        fds.multipliers,
+                        fds.alus
+                    );
+                }
+                Err(FdsError::Infeasible { .. }) => {
+                    panic!("{} N={n}: list-feasible latency infeasible for FDS", d.name)
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fds_hardware_shrinks_with_latency_slack_on_suite() {
+    let model = ProcessorModel::unit();
+    for d in suite().into_iter().filter(|d| d.dims().2 <= 6) {
+        let g = build::from_state_space(&d.system);
+        // Enough processors to be effectively unbounded.
+        let cp = list_schedule(&g, g.len().max(1), &model).length;
+        let tight = force_directed_schedule(&g, &model, cp).expect("cp feasible");
+        let loose = force_directed_schedule(&g, &model, 4 * cp).expect("slack feasible");
+        assert!(
+            loose.multipliers <= tight.multipliers && loose.alus <= tight.alus,
+            "{}: hardware grew with slack",
+            d.name
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! Property-based tests (proptest) on the core invariants.
+
+use lintra::linsys::count::{
+    dense_adds, dense_iopt, dense_muls, dense_op_count, op_count, TrivialityRule,
+};
+use lintra::linsys::unfold;
+use lintra::mcm::{naive_cost, synthesize, Recoding};
+use lintra::power::VoltageModel;
+use lintra::suite::{random_stable, stimulus};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// MCM always computes the right constants and never beats the naive
+    /// decomposition in the wrong direction.
+    #[test]
+    fn mcm_correct_and_no_worse_than_naive(
+        constants in proptest::collection::vec(-4096i64..4096, 1..12),
+        csd in any::<bool>(),
+    ) {
+        let recoding = if csd { Recoding::Csd } else { Recoding::Binary };
+        let sol = synthesize(&constants, recoding);
+        prop_assert!(sol.verify().is_ok(), "plan wrong for {constants:?}:\n{sol}");
+        prop_assert!(sol.adds() <= naive_cost(&constants, recoding).adds);
+    }
+
+    /// Unfolded batch simulation is sample-exact with the original system.
+    #[test]
+    fn unfolding_equivalence(
+        seed in 0u64..1000,
+        p in 1usize..3,
+        q in 1usize..3,
+        r in 1usize..6,
+        i in 0u32..6,
+        sparsity in 0.0f64..0.8,
+    ) {
+        let sys = random_stable(p, q, r, sparsity, seed);
+        let u = unfold(&sys, i);
+        let n = u.batch();
+        let input = stimulus(p, 6 * n, seed ^ 0xabcd);
+        let want = sys.simulate(&input).unwrap();
+        let got = u.simulate_samples(&input).unwrap();
+        for (a, b) in want.iter().zip(&got) {
+            for (x, y) in a.iter().zip(b) {
+                prop_assert!((x - y).abs() < 1e-7, "{x} vs {y}");
+            }
+        }
+    }
+
+    /// The empirical count of a structurally dense random system matches
+    /// the closed forms at every unfolding.
+    #[test]
+    fn dense_closed_forms(
+        seed in 0u64..500,
+        p in 1usize..3,
+        q in 1usize..3,
+        r in 1usize..5,
+        i in 0u64..5,
+    ) {
+        let sys = random_stable(p, q, r, 0.0, seed);
+        let u = unfold(&sys, i as u32);
+        let c = op_count(&u.system, TrivialityRule::ZeroOne);
+        prop_assert_eq!(c.muls, dense_muls(p as u64, q as u64, r as u64, i));
+        prop_assert_eq!(c.adds, dense_adds(p as u64, q as u64, r as u64, i));
+    }
+
+    /// The closed-form i_opt is a true minimum of the per-sample count.
+    #[test]
+    fn iopt_is_global_minimum(
+        p in 1u64..4,
+        q in 1u64..4,
+        r in 1u64..16,
+    ) {
+        let iopt = dense_iopt(p, q, r, 1.0, 1.0);
+        let per = |i: u64| dense_op_count(p, q, r, i).cycles(1.0, 1.0) / (i + 1) as f64;
+        let best = per(iopt);
+        for i in 0..(3 * iopt + 8) {
+            prop_assert!(best <= per(i) + 1e-9, "i={i} beats iopt={iopt}");
+        }
+    }
+
+    /// Voltage inversion: scale_for_slowdown returns a voltage that
+    /// realizes the requested slowdown (or clamps at the floor), and the
+    /// power reduction formula is consistent.
+    #[test]
+    fn voltage_scaling_consistent(
+        v0 in 1.5f64..5.0,
+        slowdown in 1.0f64..50.0,
+    ) {
+        let m = VoltageModel::dac96();
+        let s = m.scale_for_slowdown(v0, slowdown);
+        prop_assert!(s.voltage >= m.v_min() - 1e-12);
+        prop_assert!(s.voltage <= v0 + 1e-12);
+        if !s.clamped() {
+            let achieved = m.slowdown_between(v0, s.voltage);
+            prop_assert!((achieved - slowdown).abs() / slowdown < 1e-6);
+        }
+        let expect = (v0 / s.voltage).powi(2) * slowdown;
+        prop_assert!((s.power_reduction() - expect).abs() < 1e-9 * expect);
+    }
+
+    /// Simulation linearity: the response to a scaled input is the scaled
+    /// response (defining property of a linear system).
+    #[test]
+    fn simulation_is_linear(
+        seed in 0u64..300,
+        alpha in -3.0f64..3.0,
+    ) {
+        let sys = random_stable(2, 2, 4, 0.3, seed);
+        let x = stimulus(2, 24, seed ^ 0x55);
+        let scaled: Vec<Vec<f64>> = x.iter().map(|v| v.iter().map(|&e| alpha * e).collect()).collect();
+        let y = sys.simulate(&x).unwrap();
+        let ys = sys.simulate(&scaled).unwrap();
+        for (a, b) in y.iter().zip(&ys) {
+            for (u, v) in a.iter().zip(b) {
+                prop_assert!((alpha * u - v).abs() < 1e-8);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Gramians of random stable systems satisfy their Lyapunov equations
+    /// and are symmetric.
+    #[test]
+    fn gramians_satisfy_lyapunov(
+        seed in 0u64..200,
+        r in 1usize..5,
+        sparsity in 0.0f64..0.6,
+    ) {
+        use lintra::linsys::gramian::{controllability_gramian, solve_discrete_lyapunov};
+        let sys = random_stable(1, 1, r, sparsity, seed);
+        let wc = controllability_gramian(&sys).unwrap();
+        let rhs = &(&(sys.a() * &wc) * &sys.a().transpose()) + &(sys.b() * &sys.b().transpose());
+        prop_assert!(wc.approx_eq(&rhs, 1e-8 * (1.0 + wc.max_abs())));
+        prop_assert!(wc.approx_eq(&wc.transpose(), 1e-9));
+        // Sanity on the solver's shape validation.
+        let bad = solve_discrete_lyapunov(sys.a(), &lintra::matrix::Matrix::zeros(r + 1, r + 1));
+        prop_assert!(bad.is_err());
+    }
+
+    /// Exact QR eigenvalues agree with the norm-based spectral-radius
+    /// estimate on random stable systems.
+    #[test]
+    fn eigen_radius_matches_estimate(
+        seed in 0u64..200,
+        r in 1usize..6,
+    ) {
+        use lintra::matrix::{spectral_radius_exact, spectral_radius_estimate};
+        let sys = random_stable(1, 1, r, 0.2, seed);
+        let exact = spectral_radius_exact(sys.a());
+        let est = spectral_radius_estimate(sys.a(), 16).value;
+        prop_assert!(exact < 1.0, "stable by construction");
+        prop_assert!((exact - est).abs() <= 0.05 * exact.max(0.05), "{exact} vs {est}");
+    }
+
+    /// Pipelining never changes simulated values and never lengthens the
+    /// feedback path.
+    #[test]
+    fn pipelining_preserves_values(
+        seed in 0u64..100,
+        r in 1usize..4,
+        levels in 1u32..5,
+    ) {
+        use lintra::dfg::{build, OpTiming};
+        use lintra::transform::pipeline::insert_registers;
+        let sys = random_stable(1, 1, r, 0.3, seed);
+        let g = build::from_state_space(&sys);
+        let t = OpTiming { t_mul: 2.0, t_add: 1.0, t_shift: 0.0 };
+        let (h, _) = insert_registers(&g, levels as f64, &t);
+        prop_assert!(h.feedback_critical_path(&t) <= g.feedback_critical_path(&t) + 1e-9);
+        let mut inputs = std::collections::HashMap::new();
+        inputs.insert((0usize, 0usize), 0.7);
+        let state = vec![0.3; r];
+        let (o1, s1) = g.simulate(&state, &inputs);
+        let (o2, s2) = h.simulate(&state, &inputs);
+        prop_assert!((o1[&(0, 0)] - o2[&(0, 0)]).abs() < 1e-12);
+        for i in 0..r {
+            prop_assert!((s1[&i] - s2[&i]).abs() < 1e-12);
+        }
+    }
+
+    /// The single-constant CSD cost is never better than the exhaustive
+    /// adder-graph oracle and never worse than binary recoding.
+    #[test]
+    fn scm_cost_ordering(c in 1i64..400) {
+        use lintra::mcm::csd::single_constant_cost;
+        use lintra::mcm::optimal::ScmOracle;
+        use std::sync::OnceLock;
+        static ORACLE: OnceLock<ScmOracle> = OnceLock::new();
+        let oracle = ORACLE.get_or_init(|| ScmOracle::new(3));
+        let csd = single_constant_cost(c, Recoding::Csd).adds as u32;
+        let bin = single_constant_cost(c, Recoding::Binary).adds as u32;
+        prop_assert!(csd <= bin);
+        if let Some(opt) = oracle.min_adds(c) {
+            prop_assert!(csd >= opt, "CSD {csd} beats the oracle {opt} for {c}");
+        }
+    }
+}
