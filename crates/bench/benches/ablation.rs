@@ -5,7 +5,6 @@
 //! (c) balanced-tree vs chain association (critical-path effect),
 //! (d) triviality class {0, ±1} vs {0, ±1, ±2^k}.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use lintra::dfg::{build, OpTiming};
 use lintra::linsys::count::{op_count, TrivialityRule};
 use lintra::linsys::unfold;
@@ -13,6 +12,7 @@ use lintra::mcm::{naive_cost, synthesize, Recoding};
 use lintra::suite::by_name;
 use lintra::transform::horner::HornerForm;
 use lintra::transform::mcm_pass::{expand_multiplications, McmPassConfig};
+use lintra_bench::timing::bench;
 use std::hint::black_box;
 
 fn ablation_report() {
@@ -20,7 +20,7 @@ fn ablation_report() {
     let n = 7u32;
 
     // (a) MCM vs naive CSD on the Horner state constants.
-    let hf = HornerForm::new(&d.system, n);
+    let hf = HornerForm::new(&d.system, n).expect("iir6 is stable");
     let mut naive_total = 0usize;
     let mut shared_total = 0usize;
     for j in 0..d.system.num_states() {
@@ -36,8 +36,10 @@ fn ablation_report() {
     println!("(a) state-constant adds: naive CSD {naive_total}, pairwise-matched {shared_total}");
 
     // (b) Horner vs direct unfolding at the same depth.
-    let direct = build::from_unfolded(&unfold(&d.system, n)).op_counts();
-    let horner = hf.to_dfg().op_counts();
+    let direct = build::from_unfolded(&unfold(&d.system, n).expect("iir6 is stable"))
+        .expect("valid graph")
+        .op_counts();
+    let horner = hf.to_dfg().expect("valid graph").op_counts();
     println!(
         "(b) ops per batch: direct unfold {} mul {} add; Horner {} mul {} add",
         direct.muls, direct.adds, horner.muls, horner.adds
@@ -47,7 +49,7 @@ fn ablation_report() {
     // chain association pays one sequential add per term on the widest
     // row; the widest row of [A|B] or [C|D] has up to R + P terms.
     let t = OpTiming { t_mul: 2.0, t_add: 1.0, t_shift: 0.0 };
-    let g = build::from_state_space(&d.system);
+    let g = build::from_state_space(&d.system).expect("valid graph");
     let balanced_cp = g.critical_path(&t);
     let widest = (d.system.num_states() + d.system.num_inputs()) as f64;
     let chain_cp = t.t_mul + (widest - 1.0) * t.t_add;
@@ -62,25 +64,23 @@ fn ablation_report() {
     );
 }
 
-fn bench_ablation(c: &mut Criterion) {
+fn main() {
     ablation_report();
 
     let d = by_name("iir6").expect("benchmark exists");
-    let hf = HornerForm::new(&d.system, 7);
-    let g = hf.to_dfg();
-    let mut group = c.benchmark_group("ablation");
-    group.sample_size(10);
-    group.bench_function("horner_build", |b| {
-        b.iter(|| black_box(HornerForm::new(&d.system, 7).to_dfg()))
+    let hf = HornerForm::new(&d.system, 7).expect("iir6 is stable");
+    let g = hf.to_dfg().expect("valid graph");
+    bench("ablation/horner_build", || {
+        black_box(
+            HornerForm::new(&d.system, 7)
+                .map_err(lintra::LintraError::from)
+                .and_then(|hf| hf.to_dfg().map_err(Into::into)),
+        )
     });
-    group.bench_function("direct_unfold_build", |b| {
-        b.iter(|| black_box(build::from_unfolded(&unfold(&d.system, 7))))
+    bench("ablation/direct_unfold_build", || {
+        black_box(unfold(&d.system, 7).map(|u| build::from_unfolded(&u)))
     });
-    group.bench_function("mcm_pass", |b| {
-        b.iter(|| black_box(expand_multiplications(&g, McmPassConfig::default())))
+    bench("ablation/mcm_pass", || {
+        black_box(expand_multiplications(&g, McmPassConfig::default()))
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);

@@ -1,17 +1,14 @@
 //! Figure 1 bench: prints the regenerated delay-vs-voltage series once,
 //! then times its generation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lintra_bench::timing::bench;
 use std::hint::black_box;
 
-fn bench_fig1(c: &mut Criterion) {
+fn main() {
     let series = lintra_bench::fig1_series();
     println!("\n=== Figure 1 (normalized gate delay vs voltage) ===");
     for (v, d) in series.iter().step_by(8) {
         println!("  {v:.2} V -> {d:8.2}x");
     }
-    c.bench_function("fig1/delay_curve", |b| b.iter(|| black_box(lintra_bench::fig1_series())));
+    bench("fig1/delay_curve", || black_box(lintra_bench::fig1_series()));
 }
-
-criterion_group!(benches, bench_fig1);
-criterion_main!(benches);

@@ -2,18 +2,17 @@
 //! worked example, then times the pairwise-matching synthesis at several
 //! problem sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lintra::matrix::rng::SplitMix64;
 use lintra::mcm::{naive_cost, synthesize, Recoding};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lintra_bench::timing::bench;
 use std::hint::black_box;
 
-fn bench_mcm(c: &mut Criterion) {
+fn main() {
     println!("\n=== MCM asymptotic effectiveness (12-bit constants) ===");
-    let mut rng = StdRng::seed_from_u64(1996);
+    let mut rng = SplitMix64::new(1996);
     let mut instances = Vec::new();
     for n in [2usize, 8, 32, 128] {
-        let constants: Vec<i64> = (0..n).map(|_| rng.random_range(1..4096i64)).collect();
+        let constants: Vec<i64> = (0..n).map(|_| rng.range_i64(1, 4096)).collect();
         let naive = naive_cost(&constants, Recoding::Csd);
         let sol = synthesize(&constants, Recoding::Csd);
         println!(
@@ -32,16 +31,11 @@ fn bench_mcm(c: &mut Criterion) {
         sol.cost().shifts
     );
 
-    let mut g = c.benchmark_group("mcm/synthesize");
     for (n, constants) in &instances {
         if *n <= 32 {
-            g.bench_with_input(BenchmarkId::from_parameter(n), constants, |b, cs| {
-                b.iter(|| black_box(synthesize(cs, Recoding::Csd)))
+            bench(&format!("mcm/synthesize/{n}"), || {
+                black_box(synthesize(constants, Recoding::Csd))
             });
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_mcm);
-criterion_main!(benches);

@@ -1,14 +1,14 @@
 //! Table 2 bench: prints the regenerated single-processor table, then
 //! times the full per-design optimization.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lintra::opt::{single, TechConfig};
 use lintra::suite::suite;
+use lintra_bench::timing::bench;
 use std::hint::black_box;
 
-fn bench_table2(c: &mut Criterion) {
+fn main() {
     println!("\n=== Table 2 (single processor, 3.3 V) ===");
-    let rows = lintra_bench::table2_rows(3.3);
+    let rows = lintra_bench::table2_rows(3.3).expect("suite designs optimize");
     let mut reductions = Vec::new();
     for row in &rows {
         let e = &row.result.real;
@@ -24,16 +24,11 @@ fn bench_table2(c: &mut Criterion) {
     println!("  average: x{:.2}", lintra_bench::mean(&reductions));
 
     let tech = TechConfig::dac96(3.3);
-    let mut g = c.benchmark_group("table2/optimize_single");
     for d in suite() {
         if matches!(d.name, "ellip" | "iir5" | "iir12") {
-            g.bench_with_input(BenchmarkId::from_parameter(d.name), &d, |b, d| {
-                b.iter(|| black_box(single::optimize(&d.system, &tech)))
+            bench(&format!("table2/optimize_single/{}", d.name), || {
+                black_box(single::optimize(&d.system, &tech))
             });
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_table2);
-criterion_main!(benches);

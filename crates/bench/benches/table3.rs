@@ -1,15 +1,15 @@
 //! Table 3 bench: prints the regenerated multiprocessor table, then times
 //! the schedule-based speedup measurement.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lintra::opt::multi::{self, ProcessorSelection};
 use lintra::opt::TechConfig;
 use lintra::suite::by_name;
+use lintra_bench::timing::bench;
 use std::hint::black_box;
 
-fn bench_table3(c: &mut Criterion) {
+fn main() {
     println!("\n=== Table 3 (unfolding + N = R processors, 3.3 V) ===");
-    let rows = lintra_bench::table3_rows(3.3);
+    let rows = lintra_bench::table3_rows(3.3).expect("suite designs optimize");
     let mut single = Vec::new();
     let mut multi_r = Vec::new();
     for row in &rows {
@@ -32,18 +32,10 @@ fn bench_table3(c: &mut Criterion) {
     );
 
     let tech = TechConfig::dac96(3.3);
-    let mut g = c.benchmark_group("table3/optimize_multi");
-    g.sample_size(10);
     for name in ["chemical", "steam"] {
         let d = by_name(name).expect("benchmark exists");
-        g.bench_with_input(BenchmarkId::from_parameter(name), &d, |b, d| {
-            b.iter(|| {
-                black_box(multi::optimize(&d.system, &tech, ProcessorSelection::StatesCount))
-            })
+        bench(&format!("table3/optimize_multi/{name}"), || {
+            black_box(multi::optimize(&d.system, &tech, ProcessorSelection::StatesCount))
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_table3);
-criterion_main!(benches);

@@ -1,14 +1,14 @@
 //! Table 4 bench: prints the regenerated ASIC energy table, then times the
 //! full unfold → Horner → MCM flow.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lintra::opt::{asic, TechConfig};
 use lintra::suite::by_name;
+use lintra_bench::timing::bench;
 use std::hint::black_box;
 
-fn bench_table4(c: &mut Criterion) {
+fn main() {
     println!("\n=== Table 4 (ASIC: unfold -> Horner -> MCM, 3.3 V -> 1.1 V) ===");
-    let rows = lintra_bench::table4_rows(3.3);
+    let rows = lintra_bench::table4_rows(3.3).expect("suite designs optimize");
     let mut factors = Vec::new();
     for row in &rows {
         let r = &row.result;
@@ -34,16 +34,10 @@ fn bench_table4(c: &mut Criterion) {
     // numbers are the printed table above.
     let tech = TechConfig::dac96(2.0);
     let cfg = asic::AsicConfig { max_unfolding: 15, ..asic::AsicConfig::default() };
-    let mut g = c.benchmark_group("table4/asic_flow_shallow");
-    g.sample_size(10);
     for name in ["chemical", "iir6"] {
         let d = by_name(name).expect("benchmark exists");
-        g.bench_with_input(BenchmarkId::from_parameter(name), &d, |b, d| {
-            b.iter(|| black_box(asic::optimize(&d.system, &tech, &cfg)))
+        bench(&format!("table4/asic_flow_shallow/{name}"), || {
+            black_box(asic::optimize(&d.system, &tech, &cfg))
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_table4);
-criterion_main!(benches);

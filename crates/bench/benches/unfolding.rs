@@ -2,35 +2,28 @@
 //! representative design, then times the unfolding transformation and the
 //! §3 heuristic search.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lintra::linsys::count::{best_unfolding, TrivialityRule};
 use lintra::linsys::unfold;
 use lintra::suite::{by_name, dense_synthetic};
+use lintra_bench::timing::bench;
 use std::hint::black_box;
 
-fn bench_unfolding(c: &mut Criterion) {
+fn main() {
     let d = by_name("iir5").expect("benchmark exists");
     println!("\n=== Ops/sample vs unfolding (iir5) ===");
-    for (i, m, a) in lintra_bench::unfold_sweep(&d, 12) {
+    for (i, m, a) in lintra_bench::unfold_sweep(&d, 12).expect("iir5 is stable") {
         println!("  i={i:>2}: {:.2} ops/sample ({m:.2} mul + {a:.2} add)", m + a);
     }
 
-    let mut g = c.benchmark_group("unfold/transform");
     for i in [1u32, 4, 8, 16] {
-        g.bench_with_input(BenchmarkId::from_parameter(i), &i, |b, &i| {
-            b.iter(|| black_box(unfold(&d.system, i)))
-        });
+        bench(&format!("unfold/transform/{i}"), || black_box(unfold(&d.system, i)));
     }
-    g.finish();
 
     let dense = dense_synthetic(1, 1, 8);
-    c.bench_function("unfold/heuristic_search_dense_r8", |b| {
-        b.iter(|| black_box(best_unfolding(&dense, TrivialityRule::ZeroOne, 1.0, 1.0)))
+    bench("unfold/heuristic_search_dense_r8", || {
+        black_box(best_unfolding(&dense, TrivialityRule::ZeroOne, 1.0, 1.0))
     });
-    c.bench_function("unfold/heuristic_search_iir5", |b| {
-        b.iter(|| black_box(best_unfolding(&d.system, TrivialityRule::ZeroOne, 1.0, 1.0)))
+    bench("unfold/heuristic_search_iir5", || {
+        black_box(best_unfolding(&d.system, TrivialityRule::ZeroOne, 1.0, 1.0))
     });
 }
-
-criterion_group!(benches, bench_unfolding);
-criterion_main!(benches);

@@ -8,7 +8,7 @@ use lintra::linsys::unfold;
 use lintra::sched::latency::{batch_latency, BatchArrival};
 use lintra::suite::suite;
 
-fn main() {
+fn main() -> Result<(), lintra::LintraError> {
     let t = OpTiming { t_mul: 2.0, t_add: 1.0, t_shift: 0.0 };
     let period = 20.0; // sample period in gate delays
     println!("# Latency of the unfolded computation at each design's i_opt");
@@ -18,8 +18,8 @@ fn main() {
         "design", "i", "block max", "block avg", "onarr max", "onarr avg"
     );
     for d in suite() {
-        let i = best_unfolding(&d.system, TrivialityRule::ZeroOne, 1.0, 1.0).unfolding as u32;
-        let g = build::from_unfolded(&unfold(&d.system, i.max(1)));
+        let i = best_unfolding(&d.system, TrivialityRule::ZeroOne, 1.0, 1.0)?.unfolding as u32;
+        let g = build::from_unfolded(&unfold(&d.system, i.max(1))?)?;
         let b = batch_latency(&g, &t, period, BatchArrival::Block);
         let o = batch_latency(&g, &t, period, BatchArrival::OnArrival);
         println!(
@@ -32,4 +32,5 @@ fn main() {
             o.avg_latency
         );
     }
+    Ok(())
 }

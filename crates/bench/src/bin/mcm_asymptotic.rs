@@ -3,18 +3,16 @@
 //! constant* of the iterative-pairwise-matching solution keeps falling,
 //! while the naive per-constant decomposition stays flat.
 
+use lintra::matrix::rng::SplitMix64;
 use lintra::mcm::{naive_cost, synthesize, Recoding};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn main() {
     let bits = 12u32;
     println!("# MCM asymptotic effectiveness: random {bits}-bit constants");
     println!("n,naive_adds_per_const,mcm_adds_per_const,mcm_total_adds");
-    let mut rng = StdRng::seed_from_u64(1996);
+    let mut rng = SplitMix64::new(1996);
     for n in [2usize, 4, 8, 16, 32, 64, 128, 256] {
-        let constants: Vec<i64> =
-            (0..n).map(|_| rng.random_range(1..(1i64 << bits))).collect();
+        let constants: Vec<i64> = (0..n).map(|_| rng.range_i64(1, 1i64 << bits)).collect();
         let naive = naive_cost(&constants, Recoding::Csd);
         let sol = synthesize(&constants, Recoding::Csd);
         sol.verify().expect("mcm plan must be correct");

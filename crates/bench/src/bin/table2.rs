@@ -10,7 +10,7 @@
 
 use lintra_bench::{mean, table2_rows};
 
-fn main() {
+fn main() -> Result<(), lintra::LintraError> {
     let args: Vec<String> = std::env::args().collect();
     let v0 = args
         .iter()
@@ -32,7 +32,7 @@ fn main() {
         "{:<9} {:>2} {:>2} {:>3} | {:>6} {:>3} {:>6} {:>6} {:>6} | {:>6} {:>3} {:>6} {:>6} {:>6}",
         "Name", "P", "Q", "R", "Ops0", "i", "Ops", "Frq", "Pwr", "Ops0", "i", "Ops", "Frq", "Pwr"
     );
-    let rows = table2_rows(v0);
+    let rows = table2_rows(v0)?;
     let mut reductions = Vec::new();
     for row in &rows {
         let (p, q, r) = row.dims;
@@ -65,4 +65,5 @@ fn main() {
         reductions.push(pick(e));
     }
     println!("\naverage power reduction (real coefficients): x{:.2}", mean(&reductions));
+    Ok(())
 }

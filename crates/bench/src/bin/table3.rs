@@ -4,7 +4,7 @@
 
 use lintra_bench::{mean, table3_rows};
 
-fn main() {
+fn main() -> Result<(), lintra::LintraError> {
     let v0 = 3.3;
     println!("Table 3: Power Reduction with Unfolding and Multiple Processors (initial V = {v0})");
     println!(
@@ -15,7 +15,7 @@ fn main() {
         "{:<9} | {:>9} {:>8} | {:>3} {:>10} {:>8} {:>8}",
         "Name", "Frq", "Pwr", "N", "Smax(N,i)", "V", "Pwr"
     );
-    let rows = table3_rows(v0);
+    let rows = table3_rows(v0)?;
     let mut single = Vec::new();
     let mut multi = Vec::new();
     for row in &rows {
@@ -39,4 +39,5 @@ fn main() {
         mean(&single),
         mean(&multi)
     );
+    Ok(())
 }

@@ -6,7 +6,7 @@
 
 use lintra_bench::{mean, median, table4_rows};
 
-fn main() {
+fn main() -> Result<(), lintra::LintraError> {
     let args: Vec<String> = std::env::args().collect();
     let verbose = args.iter().any(|a| a == "--verbose");
     // The paper does not print Table 4's initial voltage; 3.3 V reproduces
@@ -23,7 +23,7 @@ fn main() {
         "{:<9} {:>4} {:>8} | {:>16} {:>18} {:>12}",
         "Name", "n", "V", "Initial [nJ/smp]", "Optimized [nJ/smp]", "Improvement"
     );
-    let rows = table4_rows(v0);
+    let rows = table4_rows(v0)?;
     let mut factors = Vec::new();
     for row in &rows {
         let r = &row.result;
@@ -58,4 +58,5 @@ fn main() {
         );
         print!("{sol}");
     }
+    Ok(())
 }

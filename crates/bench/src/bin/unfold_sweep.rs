@@ -6,7 +6,7 @@ use lintra::linsys::count::{dense_iopt, dense_ops_per_sample};
 use lintra::suite::suite;
 use lintra_bench::unfold_sweep;
 
-fn main() {
+fn main() -> Result<(), lintra::LintraError> {
     println!("# Per-sample operation counts vs unfolding factor (EQ 4/5)");
     for d in suite() {
         let (p, q, r) = d.dims();
@@ -14,9 +14,10 @@ fn main() {
         let max_i = (3 * iopt + 4).min(40) as u32;
         println!("\n## {} (P={p} Q={q} R={r}; dense i_opt = {iopt})", d.name);
         println!("i,muls_per_sample,adds_per_sample,total,dense_total");
-        for (i, m, a) in unfold_sweep(&d, max_i) {
+        for (i, m, a) in unfold_sweep(&d, max_i)? {
             let dense = dense_ops_per_sample(p as u64, q as u64, r as u64, i as u64);
             println!("{i},{m:.2},{a:.2},{:.2},{:.2}", m + a, dense.total());
         }
     }
+    Ok(())
 }

@@ -5,14 +5,14 @@ use lintra::opt::multi::measured_speedup;
 use lintra::opt::{single, TechConfig};
 use lintra::suite::dense_synthetic;
 
-fn main() {
+fn main() -> Result<(), lintra::LintraError> {
     let sys = dense_synthetic(1, 1, 5);
     println!("hypothetical dense computation: P = 1, Q = 1, R = 5\n");
 
     // §3: single processor at 3.0 V and 5.0 V.
     for v0 in [3.0, 5.0] {
         let tech = TechConfig::dac96(v0);
-        let r = single::optimize(&sys, &tech);
+        let r = single::optimize(&sys, &tech)?;
         println!("-- single processor, initial {v0} V --");
         println!(
             "i_opt = {}  (paper: 6)   S_max = {:.3}  (paper: ~1.975)",
@@ -28,8 +28,8 @@ fn main() {
 
     // §4: two processors at 3.0 V.
     let tech = TechConfig::dac96(3.0);
-    let s2 = measured_speedup(&sys, 6, 2, &tech);
-    let scaling = tech.voltage.scale_for_slowdown(3.0, s2);
+    let s2 = measured_speedup(&sys, 6, 2, &tech)?;
+    let scaling = tech.voltage.scale_for_slowdown(3.0, s2)?;
     println!("-- two processors, initial 3.0 V --");
     println!("S_max(2, 6) = {s2:.2}  (paper: 2 x 1.975 = 3.95)");
     println!(
@@ -37,4 +37,5 @@ fn main() {
         scaling.voltage,
         scaling.power_reduction() / 2.0
     );
+    Ok(())
 }

@@ -1,6 +1,8 @@
 //! Shared row generators for the table-reproduction binaries and the
-//! Criterion benchmarks — one function per paper table/figure so the `bin`
+//! timing benchmarks — one function per paper table/figure so the `bin`
 //! targets and the `bench` targets print exactly the same numbers.
+
+pub mod timing;
 
 use lintra::linsys::count::{op_count, TrivialityRule};
 use lintra::linsys::unfold;
@@ -8,6 +10,7 @@ use lintra::opt::multi::ProcessorSelection;
 use lintra::opt::{asic, multi, single, TechConfig};
 use lintra::power::VoltageModel;
 use lintra::suite::{suite, Design};
+use lintra::LintraError;
 
 /// Fig. 1: `(voltage, normalized delay)` samples over `[1.2 V, 5.0 V]`.
 pub fn fig1_series() -> Vec<(f64, f64)> {
@@ -58,16 +61,22 @@ pub struct Table2Row {
 
 /// Table 2: unfolding-driven voltage–throughput trade-off on one
 /// processor.
-pub fn table2_rows(initial_voltage: f64) -> Vec<Table2Row> {
+///
+/// # Errors
+///
+/// Propagates optimizer failures as a classified [`LintraError`].
+pub fn table2_rows(initial_voltage: f64) -> Result<Vec<Table2Row>, LintraError> {
     let tech = TechConfig::dac96(initial_voltage);
-    suite()
-        .into_iter()
-        .map(|d| Table2Row {
+    let mut rows = Vec::new();
+    for d in suite() {
+        rows.push(Table2Row {
             name: d.name,
             dims: d.dims(),
-            result: single::optimize(&d.system, &tech),
-        })
-        .collect()
+            result: single::optimize(&d.system, &tech)
+                .map_err(|e| LintraError::from(e).context(format!("design {}", d.name)))?,
+        });
+    }
+    Ok(rows)
 }
 
 /// One row of Table 3 (multiple processors).
@@ -81,16 +90,23 @@ pub struct Table3Row {
 }
 
 /// Table 3: unfolding plus `N = R` processors.
-pub fn table3_rows(initial_voltage: f64) -> Vec<Table3Row> {
+///
+/// # Errors
+///
+/// Propagates optimizer failures as a classified [`LintraError`].
+pub fn table3_rows(initial_voltage: f64) -> Result<Vec<Table3Row>, LintraError> {
     let tech = TechConfig::dac96(initial_voltage);
-    suite()
-        .into_iter()
-        .map(|d| Table3Row {
+    let mut rows = Vec::new();
+    for d in suite() {
+        rows.push(Table3Row {
             name: d.name,
-            single: single::optimize(&d.system, &tech),
-            multi: multi::optimize(&d.system, &tech, ProcessorSelection::StatesCount),
-        })
-        .collect()
+            single: single::optimize(&d.system, &tech)
+                .map_err(|e| LintraError::from(e).context(format!("design {}", d.name)))?,
+            multi: multi::optimize(&d.system, &tech, ProcessorSelection::StatesCount)
+                .map_err(|e| LintraError::from(e).context(format!("design {}", d.name)))?,
+        });
+    }
+    Ok(rows)
 }
 
 /// One row of Table 4 (ASIC flow).
@@ -102,26 +118,38 @@ pub struct Table4Row {
 }
 
 /// Table 4: energy per sample before/after unfold → Horner → MCM.
-pub fn table4_rows(initial_voltage: f64) -> Vec<Table4Row> {
+///
+/// # Errors
+///
+/// Propagates optimizer failures as a classified [`LintraError`].
+pub fn table4_rows(initial_voltage: f64) -> Result<Vec<Table4Row>, LintraError> {
     let tech = TechConfig::dac96(initial_voltage);
     let cfg = asic::AsicConfig::default();
-    suite()
-        .into_iter()
-        .map(|d| Table4Row { name: d.name, result: asic::optimize(&d.system, &tech, &cfg) })
-        .collect()
+    let mut rows = Vec::new();
+    for d in suite() {
+        rows.push(Table4Row {
+            name: d.name,
+            result: asic::optimize(&d.system, &tech, &cfg)
+                .map_err(|e| LintraError::from(e).context(format!("design {}", d.name)))?,
+        });
+    }
+    Ok(rows)
 }
 
 /// The §2 phenomenon: per-sample operation counts of one design across an
 /// unfolding sweep (`(i, muls/sample, adds/sample)`).
-pub fn unfold_sweep(design: &Design, max_i: u32) -> Vec<(u32, f64, f64)> {
-    (0..=max_i)
-        .map(|i| {
-            let u = unfold(&design.system, i);
-            let c = op_count(&u.system, TrivialityRule::ZeroOne);
-            let n = (i + 1) as f64;
-            (i, c.muls as f64 / n, c.adds as f64 / n)
-        })
-        .collect()
+/// # Errors
+///
+/// Propagates unfolding failures (unstable system).
+pub fn unfold_sweep(design: &Design, max_i: u32) -> Result<Vec<(u32, f64, f64)>, LintraError> {
+    let mut out = Vec::new();
+    for i in 0..=max_i {
+        let u = unfold(&design.system, i)?;
+        let c = op_count(&u.system, TrivialityRule::ZeroOne);
+        let n = (i + 1) as f64;
+        out.push((i, c.muls as f64 / n, c.adds as f64 / n));
+    }
+    Ok(out)
 }
 
 /// Mean of a slice.
@@ -158,9 +186,9 @@ mod tests {
     #[test]
     fn tables_have_eight_rows() {
         assert_eq!(table1_rows().len(), 8);
-        assert_eq!(table2_rows(3.3).len(), 8);
-        assert_eq!(table3_rows(3.3).len(), 8);
-        assert_eq!(table4_rows(5.0).len(), 8);
+        assert_eq!(table2_rows(3.3).unwrap().len(), 8);
+        assert_eq!(table3_rows(3.3).unwrap().len(), 8);
+        assert_eq!(table4_rows(5.0).unwrap().len(), 8);
     }
 
     #[test]

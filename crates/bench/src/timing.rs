@@ -1,0 +1,77 @@
+//! A minimal, dependency-free timing harness for the `harness = false`
+//! bench targets.
+//!
+//! Replaces the former criterion dependency so tier-1 verification runs
+//! with zero crates-io dependencies. The methodology is deliberately
+//! simple: warm up once, pick an iteration count targeting ~20 ms per
+//! sample, take several samples, and report the *minimum* mean per
+//! iteration (the minimum is the standard noise-robust statistic for
+//! micro-benchmarks on a shared machine).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Number of timed samples per benchmark.
+const SAMPLES: u32 = 5;
+/// Wall-clock budget per sample, in seconds.
+const SAMPLE_BUDGET: f64 = 0.02;
+/// Cap on iterations per sample, so trivially fast bodies still finish.
+const MAX_ITERS: u64 = 10_000;
+
+/// Times `f` and prints one `name: time/iter` line.
+///
+/// The closure's result is passed through [`black_box`] so the optimizer
+/// cannot delete the measured work.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    // Warm-up run doubles as the single-iteration estimate.
+    let t0 = Instant::now();
+    black_box(f());
+    let est = t0.elapsed().as_secs_f64().max(1e-9);
+
+    let iters = ((SAMPLE_BUDGET / est) as u64).clamp(1, MAX_ITERS);
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        best = best.min(t.elapsed().as_secs_f64() / iters as f64);
+    }
+    println!("  bench {name:<40} {:>12}/iter  ({iters} iters x {SAMPLES})", pretty(best));
+}
+
+/// Formats a duration in seconds with an adaptive unit.
+fn pretty(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_units() {
+        assert_eq!(pretty(2.5), "2.500 s");
+        assert_eq!(pretty(0.0025), "2.500 ms");
+        assert_eq!(pretty(2.5e-6), "2.500 us");
+        assert_eq!(pretty(2.5e-8), "25.0 ns");
+    }
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let mut calls = 0u64;
+        bench("noop", || {
+            calls += 1;
+            calls
+        });
+        assert!(calls > 1, "warm-up plus samples must run the body");
+    }
+}

@@ -7,6 +7,7 @@ use lintra::mcm::{naive_cost, synthesize, Recoding};
 use lintra::opt::multi::ProcessorSelection;
 use lintra::opt::{asic, multi, single, TechConfig};
 use lintra::suite::{by_name, suite, Design};
+use lintra::{ErrorClass, LintraError};
 use std::fmt;
 use std::io::Write;
 
@@ -17,6 +18,20 @@ pub enum CliError {
     Usage(String),
     /// Writing output failed.
     Io(std::io::Error),
+    /// A pipeline stage failed; carries the classified error.
+    Pipeline(LintraError),
+}
+
+impl CliError {
+    /// Process exit code: `2` for usage errors, the class-specific code
+    /// ([`ErrorClass::exit_code`]) for pipeline failures.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io(_) => ErrorClass::Io.exit_code(),
+            CliError::Pipeline(e) => e.exit_code(),
+        }
+    }
 }
 
 impl fmt::Display for CliError {
@@ -24,15 +39,42 @@ impl fmt::Display for CliError {
         match self {
             CliError::Usage(m) => write!(f, "{m}"),
             CliError::Io(e) => write!(f, "{e}"),
+            CliError::Pipeline(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl std::error::Error for CliError {}
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Io(e) => Some(e),
+            CliError::Pipeline(e) => Some(e),
+            CliError::Usage(_) => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for CliError {
     fn from(e: std::io::Error) -> CliError {
         CliError::Io(e)
+    }
+}
+
+impl From<LintraError> for CliError {
+    fn from(e: LintraError) -> CliError {
+        CliError::Pipeline(e)
+    }
+}
+
+impl From<lintra::opt::OptError> for CliError {
+    fn from(e: lintra::opt::OptError) -> CliError {
+        CliError::Pipeline(e.into())
+    }
+}
+
+impl From<lintra::linsys::LinsysError> for CliError {
+    fn from(e: lintra::linsys::LinsysError) -> CliError {
+        CliError::Pipeline(e.into())
     }
 }
 
@@ -126,14 +168,25 @@ fn cmd_show(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     Ok(())
 }
 
+fn warn(out: &mut impl Write, diagnostics: &[lintra::opt::Diagnostic]) -> std::io::Result<()> {
+    for d in diagnostics {
+        writeln!(out, "{d}")?;
+    }
+    Ok(())
+}
+
 fn cmd_optimize(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     let d = design_arg(args)?;
     let v0 = parse_f64(args, "--v0", 3.3)?;
+    if !v0.is_finite() || v0 <= 0.0 {
+        return Err(usage(format!("--v0 must be a positive voltage, got {v0}")));
+    }
     let tech = TechConfig::dac96(v0);
     match flag_value(args, "--strategy").unwrap_or("single") {
         "single" => {
-            let r = single::optimize(&d.system, &tech);
+            let r = single::optimize(&d.system, &tech)?;
             writeln!(out, "strategy: single processor at {v0} V")?;
+            warn(out, &r.diagnostics)?;
             writeln!(
                 out,
                 "unfolding i = {} -> throughput x{:.3} -> {:.2} V -> power / {:.2}",
@@ -149,13 +202,15 @@ fn cmd_optimize(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
             )?;
         }
         "multi" => {
+            // A zero processor count flows through as a classified
+            // resource error (exit code 4) rather than a usage error.
             let selection = match parse_usize(args, "--processors")? {
-                Some(n) if n == 0 => return Err(usage("--processors must be at least 1")),
                 Some(n) => ProcessorSelection::SearchBest { max: n },
                 None => ProcessorSelection::StatesCount,
             };
-            let r = multi::optimize(&d.system, &tech, selection);
+            let r = multi::optimize(&d.system, &tech, selection)?;
             writeln!(out, "strategy: {} processors at {v0} V", r.processors)?;
+            warn(out, &r.diagnostics)?;
             writeln!(
                 out,
                 "unfolding i = {} -> S_max(N,i) = {:.2} -> {:.2} V -> power / {:.2}",
@@ -166,8 +221,9 @@ fn cmd_optimize(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
             )?;
         }
         "asic" => {
-            let r = asic::optimize(&d.system, &tech, &asic::AsicConfig::default());
+            let r = asic::optimize(&d.system, &tech, &asic::AsicConfig::default())?;
             writeln!(out, "strategy: ASIC (unfold -> Horner -> MCM) from {v0} V")?;
+            warn(out, &r.diagnostics)?;
             writeln!(
                 out,
                 "batch n = {} -> {:.2} V; {} multipliers removed",
@@ -189,7 +245,7 @@ fn cmd_sweep(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     let max = parse_usize(args, "--max")?.unwrap_or(16) as u32;
     writeln!(out, "i,muls_per_sample,adds_per_sample,total")?;
     for i in 0..=max {
-        let u = unfold(&d.system, i);
+        let u = unfold(&d.system, i)?;
         let c = op_count(&u.system, TrivialityRule::ZeroOne);
         let n = (i + 1) as f64;
         let (m, a) = (c.muls as f64 / n, c.adds as f64 / n);
@@ -211,9 +267,9 @@ fn cmd_mcm(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     }
     let naive = naive_cost(&constants, recoding);
     let sol = synthesize(&constants, recoding);
-    if let Err(e) = sol.verify() {
-        return Err(usage(format!("internal error: plan verification failed: {e}")));
-    }
+    sol.verify().map_err(|e| CliError::Pipeline(LintraError::from(e).context(format!(
+        "verifying the mcm plan for {constants:?}"
+    ))))?;
     writeln!(out, "naive: {} adds + {} shifts", naive.adds, naive.shifts)?;
     writeln!(out, "shared: {} adds + {} shifts", sol.cost().adds, sol.cost().shifts)?;
     write!(out, "{sol}")?;
@@ -231,13 +287,16 @@ mod tests {
         String::from_utf8(buf).expect("utf8 output")
     }
 
-    fn run_err(args: &[&str]) -> String {
+    fn run_err(args: &[&str]) -> CliError {
         let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
         let mut buf = Vec::new();
-        match run(&args, &mut buf) {
-            Err(CliError::Usage(m)) => m,
-            other => panic!("expected usage error, got {other:?}"),
-        }
+        run(&args, &mut buf).expect_err("command should fail")
+    }
+
+    fn usage_msg(args: &[&str]) -> String {
+        let err = run_err(args);
+        assert_eq!(err.exit_code(), 2, "expected a usage error, got {err:?}");
+        err.to_string()
     }
 
     #[test]
@@ -263,7 +322,7 @@ mod tests {
 
     #[test]
     fn unknown_design_is_usage_error() {
-        let msg = run_err(&["show", "nonesuch"]);
+        let msg = usage_msg(&["show", "nonesuch"]);
         assert!(msg.contains("unknown design"));
         assert!(msg.contains("ellip"));
     }
@@ -281,10 +340,29 @@ mod tests {
 
     #[test]
     fn optimize_rejects_bad_flags() {
-        assert!(run_err(&["optimize", "chemical", "--strategy", "bogus"]).contains("strategy"));
-        assert!(run_err(&["optimize", "chemical", "--v0", "abc"]).contains("--v0"));
-        assert!(run_err(&["optimize", "chemical", "--strategy", "multi", "--processors", "0"])
-            .contains("at least 1"));
+        assert!(usage_msg(&["optimize", "chemical", "--strategy", "bogus"]).contains("strategy"));
+        assert!(usage_msg(&["optimize", "chemical", "--v0", "abc"]).contains("--v0"));
+        assert!(usage_msg(&["optimize", "chemical", "--v0", "nan"]).contains("positive"));
+    }
+
+    #[test]
+    fn zero_processors_is_a_resource_error_with_exit_code_4() {
+        let err = run_err(&["optimize", "chemical", "--strategy", "multi", "--processors", "0"]);
+        assert_eq!(err.exit_code(), 4, "got {err:?}");
+        assert!(err.to_string().contains("at least one processor"), "{err}");
+    }
+
+    #[test]
+    fn error_classes_keep_distinct_exit_codes() {
+        use lintra::linsys::LinsysError;
+        let numerical = CliError::Pipeline(
+            LinsysError::UnstableSystem { spectral_radius: 2.0 }.into(),
+        );
+        assert_eq!(numerical.exit_code(), 3);
+        let io = CliError::Io(std::io::Error::other("disk full"));
+        assert_eq!(io.exit_code(), 6);
+        let usage = CliError::Usage("bad flag".into());
+        assert_eq!(usage.exit_code(), 2);
     }
 
     #[test]
@@ -303,12 +381,12 @@ mod tests {
 
     #[test]
     fn mcm_rejects_non_integers() {
-        assert!(run_err(&["mcm", "12", "abc"]).contains("not an integer"));
-        assert!(run_err(&["mcm"]).contains("at least one"));
+        assert!(usage_msg(&["mcm", "12", "abc"]).contains("not an integer"));
+        assert!(usage_msg(&["mcm"]).contains("at least one"));
     }
 
     #[test]
     fn unknown_command() {
-        assert!(run_err(&["frobnicate"]).contains("unknown command"));
+        assert!(usage_msg(&["frobnicate"]).contains("unknown command"));
     }
 }

@@ -19,14 +19,14 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args, &mut std::io::stdout()) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(CliError::Usage(msg)) => {
-            eprintln!("error: {msg}");
-            eprintln!("run `lintra help` for usage");
-            ExitCode::from(2)
-        }
-        Err(CliError::Io(e)) => {
-            eprintln!("io error: {e}");
-            ExitCode::FAILURE
+        Err(err) => {
+            eprintln!("error: {err}");
+            if matches!(err, CliError::Usage(_)) {
+                eprintln!("run `lintra help` for usage");
+            }
+            // Each error class has its own nonzero code (usage/validation
+            // 2, numerical 3, resource 4, convergence 5, io 6).
+            ExitCode::from(err.exit_code().clamp(1, 255) as u8)
         }
     }
 }

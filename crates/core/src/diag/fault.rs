@@ -1,0 +1,145 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! Each helper manufactures one well-defined fault from a seed, using the
+//! in-tree [`SplitMix64`] generator so every run of the harness sees the
+//! exact same poisoned inputs. The four fault classes mirror the
+//! guardrails in the pipeline:
+//!
+//! * [`unstable_system`] — a state matrix with spectral radius ≥ 1, which
+//!   the unfolding/Horner guardrails must reject as
+//!   [`lintra_linsys::LinsysError::UnstableSystem`],
+//! * [`nan_coefficients`] — coefficient matrices with a NaN planted at a
+//!   random position, which [`lintra_linsys::StateSpace::new`] must
+//!   reject as `NonFinite`,
+//! * [`starved_selection`] — a processor selection with zero processors,
+//!   which scheduling must report as
+//!   [`lintra_sched::ScheduleError::NoProcessors`],
+//! * [`sub_threshold_tech`] — a supply voltage below the device
+//!   threshold, which forces the voltage bisection to fail and the
+//!   optimizers to fall back to frequency-only scaling.
+
+use lintra_matrix::rng::SplitMix64;
+use lintra_matrix::Matrix;
+use lintra_opt::multi::ProcessorSelection;
+use lintra_opt::TechConfig;
+
+/// The injectable fault classes, one per pipeline guardrail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// State matrix with `ρ(A) ≥ 1`.
+    UnstableSystem,
+    /// A NaN planted in a coefficient matrix.
+    NanCoefficients,
+    /// Zero processors requested from the scheduler.
+    ResourceStarvation,
+    /// Supply voltage below threshold: delay-curve inversion impossible.
+    BisectionFailure,
+}
+
+impl Fault {
+    /// All fault classes, for exhaustive harness sweeps.
+    pub fn all() -> [Fault; 4] {
+        [
+            Fault::UnstableSystem,
+            Fault::NanCoefficients,
+            Fault::ResourceStarvation,
+            Fault::BisectionFailure,
+        ]
+    }
+}
+
+/// Coefficient matrices `(A, B, C, D)` of a `(p, q, r)` system whose `A`
+/// has spectral radius ≥ 1 by construction: diagonal `1.5` with
+/// off-diagonal entries small enough that every Gershgorin disc stays
+/// right of `|λ| = 1`.
+///
+/// The matrices are finite and shape-consistent, so
+/// `StateSpace::new` accepts them — the instability must be caught by the
+/// spectral-radius guardrails of `unfold` / `HornerForm::new`.
+pub fn unstable_system(p: usize, q: usize, r: usize, seed: u64) -> (Matrix, Matrix, Matrix, Matrix) {
+    let mut rng = SplitMix64::new(seed);
+    let spread = if r > 1 { 0.4 / (r - 1) as f64 } else { 0.0 };
+    let a = Matrix::from_fn(r, r, |i, j| {
+        if i == j {
+            1.5
+        } else {
+            rng.range_f64(-spread, spread)
+        }
+    });
+    let b = Matrix::from_fn(r, p, |_, _| rng.range_f64(-1.0, 1.0));
+    let c = Matrix::from_fn(q, r, |_, _| rng.range_f64(-1.0, 1.0));
+    let d = Matrix::from_fn(q, p, |_, _| rng.range_f64(-1.0, 1.0));
+    (a, b, c, d)
+}
+
+/// Coefficient matrices of a `(p, q, r)` system with exactly one NaN
+/// planted at a seed-chosen position of `A`.
+pub fn nan_coefficients(
+    p: usize,
+    q: usize,
+    r: usize,
+    seed: u64,
+) -> (Matrix, Matrix, Matrix, Matrix) {
+    let mut rng = SplitMix64::new(seed);
+    let poison = (rng.next_below(r as u64) as usize, rng.next_below(r as u64) as usize);
+    let a = Matrix::from_fn(r, r, |i, j| {
+        if (i, j) == poison {
+            f64::NAN
+        } else {
+            rng.range_f64(-0.3, 0.3)
+        }
+    });
+    let b = Matrix::from_fn(r, p, |_, _| rng.range_f64(-1.0, 1.0));
+    let c = Matrix::from_fn(q, r, |_, _| rng.range_f64(-1.0, 1.0));
+    let d = Matrix::from_fn(q, p, |_, _| rng.range_f64(-1.0, 1.0));
+    (a, b, c, d)
+}
+
+/// A processor selection that asks the scheduler for zero processors.
+pub fn starved_selection() -> ProcessorSelection {
+    ProcessorSelection::SearchBest { max: 0 }
+}
+
+/// The paper's technology with the supply forced below the `0.9 V`
+/// threshold, so the delay-curve inversion has no solution.
+pub fn sub_threshold_tech() -> TechConfig {
+    TechConfig::dac96(0.85)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lintra_linsys::{unfold, LinsysError, StateSpace};
+
+    #[test]
+    fn unstable_system_is_accepted_then_rejected_by_unfold() {
+        let (a, b, c, d) = unstable_system(1, 1, 4, 7);
+        let sys = StateSpace::new(a, b, c, d).expect("finite and shape-consistent");
+        assert!(sys.spectral_radius() >= 1.0);
+        assert!(matches!(unfold(&sys, 3), Err(LinsysError::UnstableSystem { .. })));
+    }
+
+    #[test]
+    fn nan_coefficients_are_rejected_at_construction() {
+        let (a, b, c, d) = nan_coefficients(1, 1, 3, 11);
+        assert!(matches!(
+            StateSpace::new(a, b, c, d),
+            Err(LinsysError::NonFinite { what: "A" })
+        ));
+    }
+
+    #[test]
+    fn injection_is_deterministic_in_the_seed() {
+        let (a1, ..) = unstable_system(2, 2, 5, 42);
+        let (a2, ..) = unstable_system(2, 2, 5, 42);
+        assert_eq!(a1, a2);
+        let (a3, ..) = unstable_system(2, 2, 5, 43);
+        assert_ne!(a1, a3);
+    }
+
+    #[test]
+    fn sub_threshold_tech_is_below_vt() {
+        let t = sub_threshold_tech();
+        assert!(t.initial_voltage < t.voltage.vt());
+    }
+}

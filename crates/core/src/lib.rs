@@ -29,8 +29,9 @@
 //! use lintra::opt::{single, TechConfig};
 //! use lintra::suite;
 //!
+//! # fn main() -> Result<(), lintra::LintraError> {
 //! let design = suite::by_name("iir5").expect("benchmark exists");
-//! let result = single::optimize(&design.system, &TechConfig::dac96(3.3));
+//! let result = single::optimize(&design.system, &TechConfig::dac96(3.3))?;
 //! println!(
 //!     "unfold {}x: {:.2}x fewer cycles/sample, power / {:.2}",
 //!     result.real.unfolding,
@@ -38,7 +39,11 @@
 //!     result.real.power_reduction(),
 //! );
 //! assert!(result.real.power_reduction() >= 1.0);
+//! # Ok(())
+//! # }
 //! ```
+
+pub mod diag;
 
 pub use lintra_dfg as dfg;
 pub use lintra_filters as filters;
@@ -52,11 +57,14 @@ pub use lintra_sched as sched;
 pub use lintra_suite as suite;
 pub use lintra_transform as transform;
 
+pub use diag::{ErrorClass, LintraError};
+
 /// Everything most programs need.
 pub mod prelude {
     pub use lintra_dfg::{build as dfg_build, Dfg, NodeKind, OpTiming};
     pub use lintra_linsys::count::{best_unfolding, op_count, OpCount, TrivialityRule};
     pub use lintra_linsys::{unfold, StateSpace, UnfoldedSystem};
+    pub use lintra_matrix::rng::SplitMix64;
     pub use lintra_matrix::Matrix;
     pub use lintra_mcm::{synthesize as mcm_synthesize, Recoding};
     pub use lintra_opt::asic::{optimize as optimize_asic, AsicConfig};
@@ -65,6 +73,8 @@ pub mod prelude {
     pub use lintra_opt::TechConfig;
     pub use lintra_power::{EnergyModel, VoltageModel};
     pub use lintra_suite::{by_name, suite, Design};
+
+    pub use crate::diag::{ErrorClass, LintraError};
 }
 
 #[cfg(test)]

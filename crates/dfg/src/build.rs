@@ -5,7 +5,7 @@
 //! them in a fully balanced binary tree, so the feedback critical path is
 //! `t_mul + ⌈log₂(1+R)⌉·t_add` regardless of unfolding.
 
-use crate::{Dfg, NodeId, NodeKind};
+use crate::{Dfg, DfgError, NodeId, NodeKind};
 use lintra_linsys::count::{classify, CoeffClass, CLASSIFY_TOL};
 use lintra_linsys::{StateSpace, UnfoldedSystem};
 use lintra_matrix::Matrix;
@@ -30,44 +30,62 @@ pub fn plain_term(node: NodeId) -> Term {
 /// Emits the multiplication terms of one matrix row applied to source
 /// nodes, skipping zero coefficients and folding ±1 into wires/negations.
 ///
+/// # Errors
+///
+/// Propagates [`DfgError`] from node insertion.
+///
 /// # Panics
 ///
 /// Panics if `coeffs` and `srcs` have different lengths.
-pub fn row_terms(g: &mut Dfg, coeffs: &[f64], srcs: &[NodeId]) -> Vec<Term> {
+pub fn row_terms(g: &mut Dfg, coeffs: &[f64], srcs: &[NodeId]) -> Result<Vec<Term>, DfgError> {
     assert_eq!(coeffs.len(), srcs.len(), "row/source length mismatch");
-    coeffs
-        .iter()
-        .zip(srcs)
-        .filter_map(|(&c, &s)| coeff_term(g, c, s))
-        .collect()
+    let mut terms = Vec::new();
+    for (&c, &s) in coeffs.iter().zip(srcs) {
+        if let Some(t) = coeff_term(g, c, s)? {
+            terms.push(t);
+        }
+    }
+    Ok(terms)
 }
 
 /// Sums terms into a single pending [`Term`] with a balanced tree; `None`
 /// for an empty list.
-pub fn sum_to_term(g: &mut Dfg, terms: Vec<Term>) -> Option<Term> {
+///
+/// # Errors
+///
+/// Propagates [`DfgError`] from node insertion.
+pub fn sum_to_term(g: &mut Dfg, terms: Vec<Term>) -> Result<Option<Term>, DfgError> {
     balanced_tree(g, terms)
 }
 
 /// Sums terms into a node (`Const(0)` when empty, `Neg` applied if the
 /// tree is negative).
-pub fn sum_to_node(g: &mut Dfg, terms: Vec<Term>) -> NodeId {
+///
+/// # Errors
+///
+/// Propagates [`DfgError`] from node insertion.
+pub fn sum_to_node(g: &mut Dfg, terms: Vec<Term>) -> Result<NodeId, DfgError> {
     balanced_sum(g, terms)
 }
 
 /// Materializes a pending term as a node (applies `Neg` when needed).
-pub fn term_to_node(g: &mut Dfg, t: Term) -> NodeId {
+///
+/// # Errors
+///
+/// Propagates [`DfgError`] from node insertion.
+pub fn term_to_node(g: &mut Dfg, t: Term) -> Result<NodeId, DfgError> {
     if t.neg {
-        g.push(NodeKind::Neg, vec![t.node]).expect("neg arity")
+        g.push(NodeKind::Neg, vec![t.node])
     } else {
-        t.node
+        Ok(t.node)
     }
 }
 
 /// Combines terms with a balanced binary tree of adds/subs; `None` for an
 /// empty list. The returned term may carry a pending negation.
-fn balanced_tree(g: &mut Dfg, mut terms: Vec<Term>) -> Option<Term> {
+fn balanced_tree(g: &mut Dfg, mut terms: Vec<Term>) -> Result<Option<Term>, DfgError> {
     if terms.is_empty() {
-        return None;
+        return Ok(None);
     }
     while terms.len() > 1 {
         let mut next = Vec::with_capacity(terms.len().div_ceil(2));
@@ -79,38 +97,38 @@ fn balanced_tree(g: &mut Dfg, mut terms: Vec<Term>) -> Option<Term> {
             let (a, b) = (pair[0], pair[1]);
             let combined = match (a.neg, b.neg) {
                 (false, false) => {
-                    Term { node: g.push(NodeKind::Add, vec![a.node, b.node]).expect("add"), neg: false }
+                    Term { node: g.push(NodeKind::Add, vec![a.node, b.node])?, neg: false }
                 }
                 (false, true) => {
-                    Term { node: g.push(NodeKind::Sub, vec![a.node, b.node]).expect("sub"), neg: false }
+                    Term { node: g.push(NodeKind::Sub, vec![a.node, b.node])?, neg: false }
                 }
                 (true, false) => {
-                    Term { node: g.push(NodeKind::Sub, vec![b.node, a.node]).expect("sub"), neg: false }
+                    Term { node: g.push(NodeKind::Sub, vec![b.node, a.node])?, neg: false }
                 }
                 (true, true) => {
-                    Term { node: g.push(NodeKind::Add, vec![a.node, b.node]).expect("add"), neg: true }
+                    Term { node: g.push(NodeKind::Add, vec![a.node, b.node])?, neg: true }
                 }
             };
             next.push(combined);
         }
         terms = next;
     }
-    Some(terms[0])
+    Ok(Some(terms[0]))
 }
 
 /// Sums terms to a single node, inserting a `Neg` if the whole tree is
 /// negative, or a `Const(0)` node for an empty list.
-fn balanced_sum(g: &mut Dfg, terms: Vec<Term>) -> NodeId {
-    match balanced_tree(g, terms) {
-        None => g.push(NodeKind::Const(0.0), vec![]).expect("const arity"),
-        Some(t) if t.neg => g.push(NodeKind::Neg, vec![t.node]).expect("neg"),
-        Some(t) => t.node,
+fn balanced_sum(g: &mut Dfg, terms: Vec<Term>) -> Result<NodeId, DfgError> {
+    match balanced_tree(g, terms)? {
+        None => g.push(NodeKind::Const(0.0), vec![]),
+        Some(t) if t.neg => g.push(NodeKind::Neg, vec![t.node]),
+        Some(t) => Ok(t.node),
     }
 }
 
 /// Emits the term for one coefficient applied to `src`, skipping zeros.
-fn coeff_term(g: &mut Dfg, coeff: f64, src: NodeId) -> Option<Term> {
-    match classify(coeff, CLASSIFY_TOL) {
+fn coeff_term(g: &mut Dfg, coeff: f64, src: NodeId) -> Result<Option<Term>, DfgError> {
+    Ok(match classify(coeff, CLASSIFY_TOL) {
         CoeffClass::Zero => None,
         CoeffClass::One => Some(Term { node: src, neg: false }),
         CoeffClass::MinusOne => Some(Term { node: src, neg: true }),
@@ -118,10 +136,10 @@ fn coeff_term(g: &mut Dfg, coeff: f64, src: NodeId) -> Option<Term> {
         // still a constant multiplication node; the ASIC passes in
         // `lintra-transform` rewrite it into a Shift.
         CoeffClass::PowerOfTwo { .. } | CoeffClass::General => Some(Term {
-            node: g.push(NodeKind::MulConst(coeff), vec![src]).expect("mul"),
+            node: g.push(NodeKind::MulConst(coeff), vec![src])?,
             neg: false,
         }),
-    }
+    })
 }
 
 /// Builds one stacked row group `dst_row = [lhs | rhs]·[v; w]`.
@@ -139,62 +157,76 @@ fn build_rows(
     rhs: &Matrix,
     rhs_src: &[NodeId],
     mut sink: impl FnMut(usize) -> NodeKind,
-) {
+) -> Result<(), DfgError> {
     for r in 0..lhs.rows() {
         let mut terms = Vec::new();
         for (j, &src) in lhs_src.iter().enumerate() {
-            if let Some(t) = coeff_term(g, lhs[(r, j)], src) {
+            if let Some(t) = coeff_term(g, lhs[(r, j)], src)? {
                 terms.push(t);
             }
         }
         let mut rhs_terms = Vec::new();
         for (j, &src) in rhs_src.iter().enumerate() {
-            if let Some(t) = coeff_term(g, rhs[(r, j)], src) {
+            if let Some(t) = coeff_term(g, rhs[(r, j)], src)? {
                 rhs_terms.push(t);
             }
         }
-        if let Some(rhs_root) = balanced_tree(g, rhs_terms) {
+        if let Some(rhs_root) = balanced_tree(g, rhs_terms)? {
             terms.push(rhs_root);
         }
-        let root = balanced_sum(g, terms);
+        let root = balanced_sum(g, terms)?;
         let kind = sink(r);
-        g.push(kind, vec![root]).expect("sink arity");
+        g.push(kind, vec![root])?;
     }
+    Ok(())
 }
 
 /// Builds the maximally fast CDFG of one iteration of `sys`
 /// (`S' = A·S + B·X`, `Y = C·S + D·X`), with inputs labelled as sample 0.
-pub fn from_state_space(sys: &StateSpace) -> Dfg {
+///
+/// # Errors
+///
+/// Propagates [`DfgError`] from node insertion.
+pub fn from_state_space(sys: &StateSpace) -> Result<Dfg, DfgError> {
     from_state_space_batched(sys, 1, sys.num_inputs(), sys.num_outputs())
 }
 
 /// Builds the maximally fast CDFG of an unfolded system, labelling inputs
 /// and outputs with their within-batch sample indices.
-pub fn from_unfolded(u: &UnfoldedSystem) -> Dfg {
+///
+/// # Errors
+///
+/// Propagates [`DfgError`] from node insertion.
+pub fn from_unfolded(u: &UnfoldedSystem) -> Result<Dfg, DfgError> {
     let (p, q, _) = u.original_dims;
     from_state_space_batched(&u.system, u.batch(), p, q)
 }
 
 /// Shared builder: the block system's stacked inputs/outputs are labelled
 /// `(sample, channel)` with `channel < p` (resp. `q`).
-fn from_state_space_batched(sys: &StateSpace, batch: usize, p: usize, q: usize) -> Dfg {
+fn from_state_space_batched(
+    sys: &StateSpace,
+    batch: usize,
+    p: usize,
+    q: usize,
+) -> Result<Dfg, DfgError> {
     assert_eq!(sys.num_inputs(), batch * p, "input width does not match batch");
     assert_eq!(sys.num_outputs(), batch * q, "output width does not match batch");
     let mut g = Dfg::new();
-    let states: Vec<NodeId> = (0..sys.num_states())
-        .map(|i| g.push(NodeKind::StateIn { index: i }, vec![]).expect("source"))
-        .collect();
-    let inputs: Vec<NodeId> = (0..sys.num_inputs())
-        .map(|i| {
-            g.push(NodeKind::Input { sample: i / p, channel: i % p }, vec![]).expect("source")
-        })
-        .collect();
-    build_rows(&mut g, sys.a(), &states, sys.b(), &inputs, |r| NodeKind::StateOut { index: r });
+    let mut states = Vec::with_capacity(sys.num_states());
+    for i in 0..sys.num_states() {
+        states.push(g.push(NodeKind::StateIn { index: i }, vec![])?);
+    }
+    let mut inputs = Vec::with_capacity(sys.num_inputs());
+    for i in 0..sys.num_inputs() {
+        inputs.push(g.push(NodeKind::Input { sample: i / p, channel: i % p }, vec![])?);
+    }
+    build_rows(&mut g, sys.a(), &states, sys.b(), &inputs, |r| NodeKind::StateOut { index: r })?;
     build_rows(&mut g, sys.c(), &states, sys.d(), &inputs, |r| NodeKind::Output {
         sample: r / q,
         channel: r % q,
-    });
-    g
+    })?;
+    Ok(g)
 }
 
 #[cfg(test)]
@@ -218,11 +250,11 @@ mod tests {
     #[test]
     fn graph_simulation_matches_state_space_step() {
         let s = sys();
-        let g = from_state_space(&s);
+        let g = from_state_space(&s).unwrap();
         let state = [0.7, -0.4];
         let mut inputs = HashMap::new();
         inputs.insert((0usize, 0usize), 1.3);
-        let (outs, next) = g.simulate(&state, &inputs);
+        let (outs, next) = g.simulate(&state, &inputs).unwrap();
         let (y, sn) = s.step(&state, &[1.3]).unwrap();
         assert!((outs[&(0, 0)] - y[0]).abs() < 1e-12);
         assert!((next[&0] - sn[0]).abs() < 1e-12);
@@ -232,7 +264,7 @@ mod tests {
     #[test]
     fn graph_op_counts_match_linsys_counts() {
         let s = sys();
-        let g = from_state_space(&s);
+        let g = from_state_space(&s).unwrap();
         let c = op_count(&s, TrivialityRule::ZeroOne);
         let gc = g.op_counts();
         assert_eq!(gc.muls, c.muls);
@@ -243,8 +275,8 @@ mod tests {
     fn unfolded_graph_matches_unfolded_counts() {
         let s = sys();
         for i in [1u32, 3, 5] {
-            let u = unfold(&s, i);
-            let g = from_unfolded(&u);
+            let u = unfold(&s, i).unwrap();
+            let g = from_unfolded(&u).unwrap();
             let c = op_count(&u.system, TrivialityRule::ZeroOne);
             let gc = g.op_counts();
             assert_eq!(gc.muls, c.muls, "i={i}");
@@ -266,7 +298,7 @@ mod tests {
         let t = OpTiming { t_mul: 2.0, t_add: 1.0, t_shift: 0.0 };
         let expect = 2.0 + (6.0_f64).log2().ceil();
         for i in 0..5u32 {
-            let g = from_unfolded(&unfold(&dense, i));
+            let g = from_unfolded(&unfold(&dense, i).unwrap()).unwrap();
             assert_eq!(g.feedback_critical_path(&t), expect, "i={i}");
         }
     }
@@ -274,8 +306,8 @@ mod tests {
     #[test]
     fn unfolded_graph_simulates_batches_correctly() {
         let s = sys();
-        let u = unfold(&s, 2);
-        let g = from_unfolded(&u);
+        let u = unfold(&s, 2).unwrap();
+        let g = from_unfolded(&u).unwrap();
         // Reference: plain simulation.
         let xs = [0.5, -1.0, 2.0, 0.25, 0.75, -0.5];
         let inputs: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
@@ -288,7 +320,7 @@ mod tests {
             for (k, &x) in batch.iter().enumerate() {
                 m.insert((k, 0usize), x);
             }
-            let (outs, next) = g.simulate(&state, &m);
+            let (outs, next) = g.simulate(&state, &m).unwrap();
             for k in 0..3 {
                 got.push(outs[&(k, 0)]);
             }
@@ -308,7 +340,7 @@ mod tests {
             Matrix::from_rows(&[&[0.0]]),
         )
         .unwrap();
-        let g = from_state_space(&s);
+        let g = from_state_space(&s).unwrap();
         assert_eq!(g.op_counts().muls, 0);
     }
 
@@ -321,8 +353,8 @@ mod tests {
             Matrix::from_rows(&[&[0.0]]),
         )
         .unwrap();
-        let g = from_state_space(&s);
-        let (outs, next) = g.simulate(&[5.0], &HashMap::from([((0, 0), 9.0)]));
+        let g = from_state_space(&s).unwrap();
+        let (outs, next) = g.simulate(&[5.0], &HashMap::from([((0, 0), 9.0)])).unwrap();
         assert_eq!(next[&0], 0.0);
         assert_eq!(outs[&(0, 0)], 5.0);
     }
@@ -339,7 +371,7 @@ mod tests {
             Matrix::from_fn(1, 7, f),
         )
         .unwrap();
-        let g = from_state_space(&s);
+        let g = from_state_space(&s).unwrap();
         let t = OpTiming { t_mul: 1.0, t_add: 1.0, t_shift: 0.0 };
         // Input path: mul (1) + 3 input-tree adds + 1 joining add = 5.
         assert_eq!(g.critical_path(&t), 5.0);

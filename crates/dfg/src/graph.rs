@@ -84,7 +84,7 @@ pub struct Node {
     pub preds: Vec<NodeId>,
 }
 
-/// Error from [`Dfg::push`].
+/// Error from [`Dfg::push`], [`Dfg::validate`], or [`Dfg::simulate`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DfgError {
     /// Wrong number of predecessors for the operator.
@@ -98,7 +98,30 @@ pub enum DfgError {
     ForwardReference {
         /// The offending predecessor.
         pred: usize,
-        /// The id the new node would get.
+        /// The id the new node would get (or that holds the reference).
+        node: usize,
+    },
+    /// Simulation referenced an input `(sample, channel)` that was not
+    /// supplied.
+    MissingInput {
+        /// Sample offset within the batch.
+        sample: usize,
+        /// Input channel.
+        channel: usize,
+    },
+    /// Simulation referenced a state index beyond the supplied state
+    /// vector.
+    MissingState {
+        /// The missing state index.
+        index: usize,
+        /// Length of the supplied state vector.
+        supplied: usize,
+    },
+    /// Simulation produced a NaN or infinite value at a node (numerical
+    /// sentinel: poisoned inputs or coefficients are reported at the first
+    /// node they reach instead of propagating silently).
+    NonFinite {
+        /// The node whose value became non-finite.
         node: usize,
     },
 }
@@ -111,6 +134,15 @@ impl fmt::Display for DfgError {
             }
             DfgError::ForwardReference { pred, node } => {
                 write!(f, "node {node} references not-yet-created node {pred}")
+            }
+            DfgError::MissingInput { sample, channel } => {
+                write!(f, "simulation is missing input (sample {sample}, channel {channel})")
+            }
+            DfgError::MissingState { index, supplied } => {
+                write!(f, "simulation references state {index} but only {supplied} were supplied")
+            }
+            DfgError::NonFinite { node } => {
+                write!(f, "simulation produced a non-finite value at node {node}")
             }
         }
     }
@@ -222,6 +254,32 @@ impl Dfg {
         self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i), n))
     }
 
+    /// Re-checks the structural invariants ([`Dfg::push`] enforces them on
+    /// construction; transformation passes call this after rewriting a
+    /// graph so a buggy pass is reported as a typed error instead of
+    /// corrupting downstream analyses).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfgError::Arity`] or [`DfgError::ForwardReference`] for
+    /// the first violating node.
+    pub fn validate(&self) -> Result<(), DfgError> {
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.preds.len() != n.kind.arity() {
+                return Err(DfgError::Arity {
+                    expected: n.kind.arity(),
+                    actual: n.preds.len(),
+                });
+            }
+            for p in &n.preds {
+                if p.0 >= i {
+                    return Err(DfgError::ForwardReference { pred: p.0, node: i });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Counts operations by class.
     pub fn op_counts(&self) -> OpCounts {
         let mut c = OpCounts::default();
@@ -260,10 +318,9 @@ impl Dfg {
                 .map(|p| depth[p.0])
                 .fold(f64::NEG_INFINITY, f64::max);
             let start = if from_state { 0.0 } else { pred_depth };
-            // Registers cut combinational paths.
-            let d = if matches!(n.kind, NodeKind::Delay) {
-                f64::NEG_INFINITY
-            } else if start == f64::NEG_INFINITY {
+            // Registers cut combinational paths, and a node no path from
+            // StateIn reaches stays unreachable.
+            let d = if matches!(n.kind, NodeKind::Delay) || start == f64::NEG_INFINITY {
                 f64::NEG_INFINITY
             } else {
                 start + timing.of(&n.kind)
@@ -297,25 +354,29 @@ impl Dfg {
     /// Returns the values of outputs keyed by `(sample, channel)` and of
     /// next states keyed by index.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a referenced state or input is missing.
+    /// Returns [`DfgError::MissingInput`] or [`DfgError::MissingState`] if
+    /// a referenced input or state value was not supplied, and
+    /// [`DfgError::NonFinite`] if any node's value becomes NaN or infinite.
     #[allow(clippy::type_complexity)]
     pub fn simulate(
         &self,
         state: &[f64],
         inputs: &HashMap<(usize, usize), f64>,
-    ) -> (HashMap<(usize, usize), f64>, HashMap<usize, f64>) {
+    ) -> Result<(HashMap<(usize, usize), f64>, HashMap<usize, f64>), DfgError> {
         let mut v = vec![0.0_f64; self.nodes.len()];
         let mut outs = HashMap::new();
         let mut states = HashMap::new();
         for (i, n) in self.nodes.iter().enumerate() {
             let p = |k: usize| v[n.preds[k].0];
-            v[i] = match n.kind {
+            let value = match n.kind {
                 NodeKind::Input { sample, channel } => *inputs
                     .get(&(sample, channel))
-                    .unwrap_or_else(|| panic!("missing input ({sample},{channel})")),
-                NodeKind::StateIn { index } => state[index],
+                    .ok_or(DfgError::MissingInput { sample, channel })?,
+                NodeKind::StateIn { index } => *state
+                    .get(index)
+                    .ok_or(DfgError::MissingState { index, supplied: state.len() })?,
                 NodeKind::Const(c) => c,
                 NodeKind::Add => p(0) + p(1),
                 NodeKind::Sub => p(0) - p(1),
@@ -332,8 +393,12 @@ impl Dfg {
                     p(0)
                 }
             };
+            if !value.is_finite() {
+                return Err(DfgError::NonFinite { node: i });
+            }
+            v[i] = value;
         }
-        (outs, states)
+        Ok((outs, states))
     }
 
     /// Graphviz DOT rendering.
@@ -405,9 +470,41 @@ mod tests {
         let (g, _) = chain();
         let mut inputs = HashMap::new();
         inputs.insert((0, 0), 3.0);
-        let (outs, states) = g.simulate(&[1.0], &inputs);
+        let (outs, states) = g.simulate(&[1.0], &inputs).unwrap();
         assert_eq!(outs[&(0, 0)], 2.0);
         assert_eq!(states[&0], 2.0);
+    }
+
+    #[test]
+    fn missing_input_reported() {
+        let (g, _) = chain();
+        let err = g.simulate(&[1.0], &HashMap::new()).unwrap_err();
+        assert_eq!(err, DfgError::MissingInput { sample: 0, channel: 0 });
+    }
+
+    #[test]
+    fn missing_state_reported() {
+        let (g, _) = chain();
+        let mut inputs = HashMap::new();
+        inputs.insert((0, 0), 3.0);
+        let err = g.simulate(&[], &inputs).unwrap_err();
+        assert_eq!(err, DfgError::MissingState { index: 0, supplied: 0 });
+    }
+
+    #[test]
+    fn non_finite_value_reported() {
+        let (g, _) = chain();
+        let mut inputs = HashMap::new();
+        inputs.insert((0, 0), f64::NAN);
+        let err = g.simulate(&[1.0], &inputs).unwrap_err();
+        assert!(matches!(err, DfgError::NonFinite { .. }));
+    }
+
+    #[test]
+    fn validate_accepts_pushed_graph() {
+        let (g, _) = chain();
+        assert!(g.validate().is_ok());
+        assert!(Dfg::new().validate().is_ok());
     }
 
     #[test]
@@ -467,7 +564,7 @@ mod tests {
         let _ = g.push(NodeKind::Output { sample: 0, channel: 0 }, vec![a]).unwrap();
         let mut inputs = HashMap::new();
         inputs.insert((0, 0), 4.0);
-        let (outs, _) = g.simulate(&[], &inputs);
+        let (outs, _) = g.simulate(&[], &inputs).unwrap();
         assert_eq!(outs[&(0, 0)], 33.0);
     }
 

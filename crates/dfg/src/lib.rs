@@ -32,7 +32,7 @@
 //!     Matrix::from_rows(&[&[0.6, 0.9]]),
 //!     Matrix::from_rows(&[&[0.1]]),
 //! )?;
-//! let g = build::from_state_space(&sys);
+//! let g = build::from_state_space(&sys)?;
 //! // CP = t_mul + ceil(log2(1 + R)) * t_add with R = 2.
 //! let t = OpTiming { t_mul: 2.0, t_add: 1.0, t_shift: 0.0 };
 //! assert_eq!(g.feedback_critical_path(&t), 2.0 + 2.0);

@@ -125,6 +125,8 @@ impl Mul for Complex {
 
 impl Div for Complex {
     type Output = Complex;
+    // Division via the reciprocal: z/w = z * w^-1.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.inv()
     }

@@ -65,7 +65,7 @@ pub fn chebyshev1(n: usize, ripple_db: f64) -> Result<Zpk, DesignFilterError> {
     if n == 0 {
         return Err(DesignFilterError::ZeroOrder);
     }
-    if !(ripple_db > 0.0) {
+    if ripple_db.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         return Err(DesignFilterError::BadRipple { what: "passband ripple must be > 0 dB" });
     }
     let eps = (10f64.powf(ripple_db / 10.0) - 1.0).sqrt();
@@ -79,7 +79,7 @@ pub fn chebyshev1(n: usize, ripple_db: f64) -> Result<Zpk, DesignFilterError> {
     // H(0) = 1 for odd n, 1/sqrt(1+eps^2) for even n.
     let prod = poles.iter().fold(Complex::ONE, |acc, &p| acc * (-p));
     let mut gain = prod.re;
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         gain /= (1.0 + eps * eps).sqrt();
     }
     Ok(Zpk::analog(vec![], poles, gain))
@@ -96,7 +96,7 @@ pub fn chebyshev2(n: usize, atten_db: f64) -> Result<Zpk, DesignFilterError> {
     if n == 0 {
         return Err(DesignFilterError::ZeroOrder);
     }
-    if !(atten_db > 0.0) {
+    if atten_db.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         return Err(DesignFilterError::BadRipple { what: "stopband attenuation must be > 0 dB" });
     }
     let eps = 1.0 / (10f64.powf(atten_db / 10.0) - 1.0).sqrt();
@@ -135,7 +135,7 @@ pub fn elliptic(n: usize, ripple_db: f64, atten_db: f64) -> Result<Zpk, DesignFi
     if n == 0 {
         return Err(DesignFilterError::ZeroOrder);
     }
-    if !(ripple_db > 0.0) {
+    if ripple_db.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         return Err(DesignFilterError::BadRipple { what: "passband ripple must be > 0 dB" });
     }
     if atten_db <= ripple_db {

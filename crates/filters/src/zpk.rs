@@ -124,7 +124,7 @@ impl Zpk {
         let gain = self.gain * self.reflection_ratio();
         let mut zeros: Vec<Complex> =
             self.zeros.iter().map(|&z| Complex::from(w0) / z).collect();
-        zeros.extend(std::iter::repeat(Complex::ZERO).take(relative_degree));
+        zeros.extend(std::iter::repeat_n(Complex::ZERO, relative_degree));
         Zpk {
             zeros,
             poles: self.poles.iter().map(|&p| Complex::from(w0) / p).collect(),
@@ -151,7 +151,7 @@ impl Zpk {
             [half + disc, half - disc]
         };
         let mut zeros: Vec<Complex> = self.zeros.iter().flat_map(|&z| split(z)).collect();
-        zeros.extend(std::iter::repeat(Complex::ZERO).take(relative_degree));
+        zeros.extend(std::iter::repeat_n(Complex::ZERO, relative_degree));
         Zpk {
             zeros,
             poles: self.poles.iter().flat_map(|&p| split(p)).collect(),
@@ -204,7 +204,7 @@ impl Zpk {
         let map = |a: Complex| (c + a) / (c - a);
         let relative_degree = self.poles.len() - self.zeros.len();
         let mut zeros: Vec<Complex> = self.zeros.iter().map(|&z| map(z)).collect();
-        zeros.extend(std::iter::repeat(Complex::from(-1.0)).take(relative_degree));
+        zeros.extend(std::iter::repeat_n(Complex::from(-1.0), relative_degree));
         let poles: Vec<Complex> = self.poles.iter().map(|&p| map(p)).collect();
         // Gain factor Π(c − z)/Π(c − p) — real for conjugate-closed sets.
         let num = self.zeros.iter().fold(Complex::ONE, |acc, &z| acc * (c - z));

@@ -8,7 +8,7 @@
 //! a fixed-point run of a dataflow graph, and turns the toggle counts into
 //! energy with a per-bit-toggle capacitance.
 
-use crate::sim::node_values_fixed;
+use crate::sim::{node_values_fixed, FixedSimError};
 use crate::Fixed;
 use lintra_dfg::{Dfg, NodeKind};
 use std::collections::HashMap;
@@ -47,10 +47,14 @@ impl ActivityReport {
 /// state) and counts, for every node, the Hamming distance between its
 /// values in consecutive evaluations, masked to `word_bits`.
 ///
+/// # Errors
+///
+/// Propagates simulation failures: stimulus not covering the graph's
+/// inputs, or fixed-point overflow.
+///
 /// # Panics
 ///
-/// Panics if `stimulus` does not cover the graph's inputs or
-/// `word_bits` is 0 or > 63.
+/// Panics if `word_bits` is 0 or > 63.
 pub fn measure_activity(
     g: &Dfg,
     batch: usize,
@@ -58,7 +62,7 @@ pub fn measure_activity(
     stimulus: &[Vec<f64>],
     frac_bits: u32,
     word_bits: u32,
-) -> ActivityReport {
+) -> Result<ActivityReport, FixedSimError> {
     assert!(word_bits > 0 && word_bits <= 63, "bad word length {word_bits}");
     let mask: u64 = if word_bits == 63 { u64::MAX >> 1 } else { (1u64 << word_bits) - 1 };
     let r = g
@@ -82,8 +86,7 @@ pub fn measure_activity(
                 inputs.insert((s, c), Fixed::from_f64(x, frac_bits));
             }
         }
-        let (values, _, next) = node_values_fixed(g, &state, &inputs, frac_bits)
-            .expect("stimulus covers the graph inputs");
+        let (values, _, next) = node_values_fixed(g, &state, &inputs, frac_bits)?;
         if let Some(prev_values) = &prev {
             for (i, (a, b)) in values.iter().zip(prev_values).enumerate() {
                 let diff = ((a.raw() as u64) ^ (b.raw() as u64)) & mask;
@@ -98,12 +101,12 @@ pub fn measure_activity(
     }
 
     let transitions = evaluations.saturating_sub(1).max(1);
-    ActivityReport {
+    Ok(ActivityReport {
         toggles_per_eval: toggles.iter().map(|&t| t as f64 / transitions as f64).collect(),
         evaluations,
         total_toggles: total,
         word_bits,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -121,7 +124,7 @@ mod tests {
             Matrix::from_rows(&[&[0.25]]),
         )
         .unwrap();
-        build::from_state_space(&sys)
+        build::from_state_space(&sys).unwrap()
     }
 
     #[test]
@@ -129,7 +132,7 @@ mod tests {
         let g = toy();
         // Zero input forever: after the initial transient everything is 0.
         let x: Vec<Vec<f64>> = (0..40).map(|_| vec![0.0]).collect();
-        let r = measure_activity(&g, 1, 1, &x, 12, 16);
+        let r = measure_activity(&g, 1, 1, &x, 12, 16).unwrap();
         assert_eq!(r.total_toggles, 0, "zero stimulus must not toggle anything");
     }
 
@@ -139,8 +142,8 @@ mod tests {
         let dc: Vec<Vec<f64>> = (0..60).map(|_| vec![0.9]).collect();
         let ac: Vec<Vec<f64>> =
             (0..60).map(|k| vec![if k % 2 == 0 { 0.9 } else { -0.9 }]).collect();
-        let rd = measure_activity(&g, 1, 1, &dc, 12, 16);
-        let ra = measure_activity(&g, 1, 1, &ac, 12, 16);
+        let rd = measure_activity(&g, 1, 1, &dc, 12, 16).unwrap();
+        let ra = measure_activity(&g, 1, 1, &ac, 12, 16).unwrap();
         assert!(
             ra.total_toggles > 2 * rd.total_toggles,
             "ac {} vs dc {}",
@@ -153,7 +156,7 @@ mod tests {
     fn energy_is_quadratic_in_voltage() {
         let g = toy();
         let x: Vec<Vec<f64>> = (0..30).map(|k| vec![(k as f64 * 0.7).sin()]).collect();
-        let r = measure_activity(&g, 1, 1, &x, 12, 16);
+        let r = measure_activity(&g, 1, 1, &x, 12, 16).unwrap();
         let e3 = r.energy_per_evaluation(1e-15, 3.0);
         let e6 = r.energy_per_evaluation(1e-15, 6.0);
         assert!((e6 / e3 - 4.0).abs() < 1e-12);
@@ -163,7 +166,7 @@ mod tests {
     fn report_shape() {
         let g = toy();
         let x: Vec<Vec<f64>> = (0..10).map(|k| vec![k as f64 * 0.05]).collect();
-        let r = measure_activity(&g, 1, 1, &x, 12, 16);
+        let r = measure_activity(&g, 1, 1, &x, 12, 16).unwrap();
         assert_eq!(r.toggles_per_eval.len(), g.len());
         assert_eq!(r.evaluations, 10);
         assert!(r.mean_toggles() > 0.0);

@@ -2,7 +2,7 @@
 //! selection.
 
 use crate::Fixed;
-use lintra_dfg::{Dfg, NodeKind};
+use lintra_dfg::{Dfg, DfgError, NodeKind};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -19,6 +19,15 @@ pub enum FixedSimError {
         /// The state index.
         index: usize,
     },
+    /// The fixed-point mantissa overflowed `i64` at a node — the hardware
+    /// analogue of accumulator overflow.
+    Overflow {
+        /// Id of the overflowing node.
+        node: usize,
+    },
+    /// The `f64` reference simulation failed (only possible from
+    /// [`compare_quantized`], which runs both).
+    Reference(DfgError),
 }
 
 impl fmt::Display for FixedSimError {
@@ -28,11 +37,28 @@ impl fmt::Display for FixedSimError {
                 write!(f, "missing input ({}, {})", key.0, key.1)
             }
             FixedSimError::MissingState { index } => write!(f, "missing state {index}"),
+            FixedSimError::Overflow { node } => {
+                write!(f, "fixed-point overflow at node {node}")
+            }
+            FixedSimError::Reference(e) => write!(f, "reference simulation failed: {e}"),
         }
     }
 }
 
-impl std::error::Error for FixedSimError {}
+impl std::error::Error for FixedSimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FixedSimError::Reference(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DfgError> for FixedSimError {
+    fn from(e: DfgError) -> Self {
+        FixedSimError::Reference(e)
+    }
+}
 
 /// Evaluates one iteration of a graph in fixed point: every `MulConst`
 /// coefficient is quantized to `frac_bits` and every multiply rounds to
@@ -60,7 +86,9 @@ pub fn simulate_fixed(
 ///
 /// # Errors
 ///
-/// Returns an error when a referenced state or input is absent.
+/// Returns an error when a referenced state or input is absent, or when
+/// the mantissa of any node overflows `i64`
+/// ([`FixedSimError::Overflow`] names the offending node).
 #[allow(clippy::type_complexity)]
 pub fn node_values_fixed(
     g: &Dfg,
@@ -74,8 +102,9 @@ pub fn node_values_fixed(
     let mut v: Vec<Fixed> = Vec::with_capacity(g.len());
     let mut outs = HashMap::new();
     let mut states = HashMap::new();
-    for (_, n) in g.iter() {
+    for (id, n) in g.iter() {
         let p = |k: usize| -> Fixed { v[n.preds[k].0] };
+        let overflow = FixedSimError::Overflow { node: id.0 };
         let val = match n.kind {
             NodeKind::Input { sample, channel } => *inputs
                 .get(&(sample, channel))
@@ -84,10 +113,12 @@ pub fn node_values_fixed(
                 *state.get(index).ok_or(FixedSimError::MissingState { index })?
             }
             NodeKind::Const(c) => Fixed::from_f64(c, frac_bits),
-            NodeKind::Add => p(0) + p(1),
-            NodeKind::Sub => p(0) - p(1),
-            NodeKind::MulConst(c) => p(0) * Fixed::from_f64(c, frac_bits),
-            NodeKind::Shift(s) => p(0).shifted(s),
+            NodeKind::Add => p(0).checked_add(p(1)).ok_or(overflow)?,
+            NodeKind::Sub => p(0).checked_sub(p(1)).ok_or(overflow)?,
+            NodeKind::MulConst(c) => {
+                p(0).checked_mul(Fixed::from_f64(c, frac_bits)).ok_or(overflow)?
+            }
+            NodeKind::Shift(s) => p(0).checked_shifted(s).ok_or(overflow)?,
             NodeKind::Neg => -p(0),
             NodeKind::Delay => p(0),
             NodeKind::Output { sample, channel } => {
@@ -127,17 +158,17 @@ pub struct QuantizationReport {
 /// report includes accumulated recursive error — the quantity that
 /// actually matters for IIR structures.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the graph references inputs beyond `(batch, channels)` found
-/// in the provided stimulus shape.
+/// Returns an error when the graph references inputs or states beyond the
+/// provided stimulus shape, or when the fixed-point run overflows.
 pub fn compare_quantized(
     g: &Dfg,
     batch: usize,
     dims: (usize, usize, usize),
     stimulus: &[Vec<f64>],
     frac_bits: u32,
-) -> QuantizationReport {
+) -> Result<QuantizationReport, FixedSimError> {
     let (p, q, r) = dims;
     let mut state_f = vec![0.0_f64; r];
     let mut state_x = vec![Fixed::zero(frac_bits); r];
@@ -156,9 +187,8 @@ pub fn compare_quantized(
                 mx.insert((s, c), Fixed::from_f64(x, frac_bits));
             }
         }
-        let (of, nf) = g.simulate(&state_f, &mf);
-        let (ox, nx) =
-            simulate_fixed(g, &state_x, &mx, frac_bits).expect("shapes match by construction");
+        let (of, nf) = g.simulate(&state_f, &mf)?;
+        let (ox, nx) = simulate_fixed(g, &state_x, &mx, frac_bits)?;
         for s in 0..batch {
             for c in 0..q {
                 let e = (of[&(s, c)] - ox[&(s, c)].to_f64()).abs();
@@ -170,16 +200,22 @@ pub fn compare_quantized(
         state_f = (0..r).map(|i| nf[&i]).collect();
         state_x = (0..r).map(|i| nx[&i]).collect();
     }
-    QuantizationReport {
+    Ok(QuantizationReport {
         frac_bits,
         max_error,
         rms_error: if samples > 0 { (sum_sq / samples as f64).sqrt() } else { 0.0 },
         samples,
-    }
+    })
 }
 
 /// Smallest `frac_bits ∈ [lo, hi]` whose fixed-point run keeps the maximum
-/// output error at or below `budget`; `None` if even `hi` bits miss it.
+/// output error at or below `budget`; `Ok(None)` if even `hi` bits miss
+/// it.
+///
+/// # Errors
+///
+/// Propagates simulation failures (missing stimulus, overflow) from
+/// [`compare_quantized`].
 pub fn minimum_fraction_bits(
     g: &Dfg,
     batch: usize,
@@ -187,15 +223,15 @@ pub fn minimum_fraction_bits(
     stimulus: &[Vec<f64>],
     budget: f64,
     range: (u32, u32),
-) -> Option<(u32, QuantizationReport)> {
+) -> Result<Option<(u32, QuantizationReport)>, FixedSimError> {
     let (lo, hi) = range;
     for w in lo..=hi {
-        let report = compare_quantized(g, batch, dims, stimulus, w);
+        let report = compare_quantized(g, batch, dims, stimulus, w)?;
         if report.max_error <= budget {
-            return Some((w, report));
+            return Ok(Some((w, report)));
         }
     }
-    None
+    Ok(None)
 }
 
 #[cfg(test)]
@@ -213,7 +249,7 @@ mod tests {
             Matrix::from_rows(&[&[0.25]]),
         )
         .unwrap();
-        (build::from_state_space(&sys), (1, 1, 2))
+        (build::from_state_space(&sys).unwrap(), (1, 1, 2))
     }
 
     fn ramp(n: usize) -> Vec<Vec<f64>> {
@@ -226,11 +262,11 @@ mod tests {
         // fractional bits each step, so exactness is impossible at any
         // fixed wordlength — but the rounding error stays at the ulp scale.
         let (g, dims) = toy();
-        let r = compare_quantized(&g, 1, dims, &ramp(50), 16);
+        let r = compare_quantized(&g, 1, dims, &ramp(50), 16).unwrap();
         assert!(r.max_error < 1e-4, "max error {}", r.max_error);
         assert!(r.rms_error <= r.max_error);
         assert_eq!(r.samples, 50);
-        let r24 = compare_quantized(&g, 1, dims, &ramp(50), 24);
+        let r24 = compare_quantized(&g, 1, dims, &ramp(50), 24).unwrap();
         assert!(r24.max_error < r.max_error.max(1e-9));
     }
 
@@ -244,11 +280,11 @@ mod tests {
             Matrix::from_rows(&[&[0.29]]),
         )
         .unwrap();
-        let g = build::from_state_space(&sys);
+        let g = build::from_state_space(&sys).unwrap();
         let x = ramp(80);
-        let e8 = compare_quantized(&g, 1, (1, 1, 2), &x, 8).max_error;
-        let e16 = compare_quantized(&g, 1, (1, 1, 2), &x, 16).max_error;
-        let e24 = compare_quantized(&g, 1, (1, 1, 2), &x, 24).max_error;
+        let e8 = compare_quantized(&g, 1, (1, 1, 2), &x, 8).unwrap().max_error;
+        let e16 = compare_quantized(&g, 1, (1, 1, 2), &x, 16).unwrap().max_error;
+        let e24 = compare_quantized(&g, 1, (1, 1, 2), &x, 24).unwrap().max_error;
         assert!(e16 < e8, "{e16} !< {e8}");
         assert!(e24 < e16, "{e24} !< {e16}");
         assert!(e24 < 1e-5);
@@ -258,12 +294,12 @@ mod tests {
     fn minimum_bits_search() {
         let (g, dims) = toy();
         let x = ramp(40);
-        let (w, report) = minimum_fraction_bits(&g, 1, dims, &x, 1e-3, (2, 24)).unwrap();
+        let (w, report) = minimum_fraction_bits(&g, 1, dims, &x, 1e-3, (2, 24)).unwrap().unwrap();
         assert!(w <= 16);
         assert!(report.max_error <= 1e-3);
         // One bit less must violate the budget (w is minimal) unless w == 2.
         if w > 2 {
-            let worse = compare_quantized(&g, 1, dims, &x, w - 1);
+            let worse = compare_quantized(&g, 1, dims, &x, w - 1).unwrap();
             assert!(worse.max_error > 1e-3);
         }
     }
@@ -277,6 +313,37 @@ mod tests {
     }
 
     #[test]
+    fn overflow_names_the_offending_node() {
+        // An unstable gain of 2 per iteration at a high binary point: the
+        // mantissa doubles every step and must eventually leave i64.
+        let sys = StateSpace::new(
+            Matrix::from_rows(&[&[2.0]]),
+            Matrix::from_rows(&[&[1.0]]),
+            Matrix::from_rows(&[&[1.0]]),
+            Matrix::from_rows(&[&[0.0]]),
+        )
+        .unwrap();
+        let g = build::from_state_space(&sys).unwrap();
+        let mut state = vec![Fixed::from_raw(1, 60)];
+        let mut inputs = HashMap::new();
+        inputs.insert((0usize, 0usize), Fixed::zero(60));
+        let mut saw_overflow = None;
+        for _ in 0..80 {
+            match simulate_fixed(&g, &state, &inputs, 60) {
+                Ok((_, next)) => state = vec![next[&0]],
+                Err(e) => {
+                    saw_overflow = Some(e);
+                    break;
+                }
+            }
+        }
+        match saw_overflow {
+            Some(FixedSimError::Overflow { node }) => assert!(node < g.len()),
+            other => panic!("expected an overflow error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn impossible_budget_returns_none() {
         let sys = StateSpace::new(
             Matrix::from_rows(&[&[0.43]]),
@@ -285,7 +352,7 @@ mod tests {
             Matrix::from_rows(&[&[0.29]]),
         )
         .unwrap();
-        let g = build::from_state_space(&sys);
-        assert!(minimum_fraction_bits(&g, 1, (1, 1, 1), &ramp(30), 0.0, (2, 6)).is_none());
+        let g = build::from_state_space(&sys).unwrap();
+        assert!(minimum_fraction_bits(&g, 1, (1, 1, 1), &ramp(30), 0.0, (2, 6)).unwrap().is_none());
     }
 }

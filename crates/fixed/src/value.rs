@@ -67,6 +67,53 @@ impl Fixed {
         Fixed { raw, frac_bits: self.frac_bits }
     }
 
+    /// Overflow-checked addition: `None` when the raw mantissa sum leaves
+    /// `i64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the binary points differ.
+    pub fn checked_add(&self, other: Fixed) -> Option<Fixed> {
+        assert_eq!(self.frac_bits, other.frac_bits, "binary point mismatch");
+        Some(Fixed { raw: self.raw.checked_add(other.raw)?, frac_bits: self.frac_bits })
+    }
+
+    /// Overflow-checked subtraction: `None` when the raw mantissa
+    /// difference leaves `i64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the binary points differ.
+    pub fn checked_sub(&self, other: Fixed) -> Option<Fixed> {
+        assert_eq!(self.frac_bits, other.frac_bits, "binary point mismatch");
+        Some(Fixed { raw: self.raw.checked_sub(other.raw)?, frac_bits: self.frac_bits })
+    }
+
+    /// Overflow-checked multiplication (same rounding as `*`): `None` when
+    /// the rounded product does not fit the `i64` mantissa.
+    pub fn checked_mul(&self, rhs: Fixed) -> Option<Fixed> {
+        let wide = self.raw as i128 * rhs.raw as i128;
+        let s = rhs.frac_bits;
+        let rounded = if s == 0 {
+            wide
+        } else {
+            let half = 1i128 << (s - 1);
+            (wide + if wide >= 0 { half } else { half - 1 }) >> s
+        };
+        Some(Fixed { raw: i64::try_from(rounded).ok()?, frac_bits: self.frac_bits })
+    }
+
+    /// Overflow-checked shift (same rounding as [`Fixed::shifted`]):
+    /// `None` when a left shift overflows the `i64` mantissa.
+    pub fn checked_shifted(&self, amount: i32) -> Option<Fixed> {
+        let raw = if amount >= 0 {
+            i64::try_from((self.raw as i128) << amount.min(64)).ok()?
+        } else {
+            self.shifted(amount).raw
+        };
+        Some(Fixed { raw, frac_bits: self.frac_bits })
+    }
+
     /// Saturating addition at a given integer wordlength `total_bits`
     /// (mantissa clamped to `[-2^(total_bits-1), 2^(total_bits-1) - 1]`).
     ///
@@ -220,6 +267,23 @@ mod tests {
         let neg = Fixed::from_raw(-120, 0);
         let s = neg.saturating_add(Fixed::from_raw(-30, 0), 8);
         assert_eq!(s.raw(), -128);
+    }
+
+    #[test]
+    fn checked_ops_report_overflow() {
+        let big = Fixed::from_raw(i64::MAX, 8);
+        assert!(big.checked_add(Fixed::from_raw(1, 8)).is_none());
+        assert!(Fixed::from_raw(i64::MIN, 8).checked_sub(Fixed::from_raw(1, 8)).is_none());
+        assert!(big.checked_mul(big).is_none());
+        assert!(Fixed::from_raw(1, 8).checked_shifted(63).is_none());
+        // Non-overflowing checked ops agree with the plain ones.
+        let a = Fixed::from_f64(1.25, 8);
+        let b = Fixed::from_f64(-0.5, 8);
+        assert_eq!(a.checked_add(b), Some(a + b));
+        assert_eq!(a.checked_sub(b), Some(a - b));
+        assert_eq!(a.checked_mul(b), Some(a * b));
+        assert_eq!(a.checked_shifted(-1), Some(a.shifted(-1)));
+        assert_eq!(a.checked_shifted(2), Some(a.shifted(2)));
     }
 
     #[test]

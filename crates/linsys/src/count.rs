@@ -10,7 +10,7 @@
 //!   shifts on an ASIC). This is what the paper's §3 heuristic uses for
 //!   the real-life benchmarks.
 
-use crate::{unfold, StateSpace};
+use crate::{unfold, LinsysError, StateSpace};
 use lintra_matrix::Matrix;
 
 /// Classification of a constant coefficient by implementation cost.
@@ -239,22 +239,28 @@ impl UnfoldingChoice {
 /// the linear search while the per-sample weighted count keeps declining.
 ///
 /// `wm`/`wa` are the cycle weights of multiply and add instructions.
+///
+/// # Errors
+///
+/// Returns [`LinsysError::UnstableSystem`] (from [`unfold`]) when the
+/// system is not Schur stable — the per-sample analysis is meaningless for
+/// a divergent recursion.
 pub fn best_unfolding(
     sys: &StateSpace,
     rule: TrivialityRule,
     wm: f64,
     wa: f64,
-) -> UnfoldingChoice {
+) -> Result<UnfoldingChoice, LinsysError> {
     let (p, q, r) = sys.dims();
     let iopt_dense = dense_iopt(p.max(1) as u64, q.max(1) as u64, r.max(1) as u64, wm, wa);
 
-    let eval = |i: u64| {
-        let ops = op_count(&unfold(sys, i as u32).system, rule);
+    let eval = |i: u64| -> Result<(OpCount, f64), LinsysError> {
+        let ops = op_count(&unfold(sys, i as u32)?.system, rule);
         let per = ops.cycles(wm, wa) / (i + 1) as f64;
-        (ops, per)
+        Ok((ops, per))
     };
 
-    let (ops0, per0) = eval(0);
+    let (ops0, per0) = eval(0)?;
     let mut best = UnfoldingChoice {
         unfolding: 0,
         ops: ops0,
@@ -262,7 +268,7 @@ pub fn best_unfolding(
         baseline_cycles_per_sample: per0,
     };
     for i in 1..=iopt_dense {
-        let (ops, per) = eval(i);
+        let (ops, per) = eval(i)?;
         if per < best.cycles_per_sample {
             best = UnfoldingChoice { unfolding: i, ops, cycles_per_sample: per, ..best };
         }
@@ -271,7 +277,7 @@ pub fn best_unfolding(
     if best.unfolding == iopt_dense {
         let mut i = iopt_dense + 1;
         loop {
-            let (ops, per) = eval(i);
+            let (ops, per) = eval(i)?;
             if per < best.cycles_per_sample {
                 best = UnfoldingChoice { unfolding: i, ops, cycles_per_sample: per, ..best };
                 i += 1;
@@ -280,7 +286,7 @@ pub fn best_unfolding(
             }
         }
     }
-    best
+    Ok(best)
 }
 
 /// The maximally-fast feedback critical path `CP = t_mul + ⌈log₂(1+R)⌉·t_add`
@@ -423,7 +429,7 @@ mod tests {
     #[test]
     fn heuristic_on_dense_matches_closed_form() {
         let sys = dense_sys(1, 1, 5);
-        let choice = best_unfolding(&sys, TrivialityRule::ZeroOne, 1.0, 1.0);
+        let choice = best_unfolding(&sys, TrivialityRule::ZeroOne, 1.0, 1.0).unwrap();
         assert_eq!(choice.unfolding, 6);
         assert!((choice.speedup() - 1.975).abs() < 0.02, "{}", choice.speedup());
     }
@@ -439,7 +445,7 @@ mod tests {
             Matrix::from_rows(&[&[0.2]]),
         )
         .unwrap();
-        let choice = best_unfolding(&sys, TrivialityRule::ZeroOne, 1.0, 1.0);
+        let choice = best_unfolding(&sys, TrivialityRule::ZeroOne, 1.0, 1.0).unwrap();
         assert_eq!(choice.unfolding, 0);
         assert!((choice.speedup() - 1.0).abs() < 1e-12);
     }

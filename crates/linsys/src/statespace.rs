@@ -4,7 +4,7 @@ use lintra_matrix::{spectral_radius_estimate, Matrix};
 use std::fmt;
 
 /// Error constructing or simulating a [`StateSpace`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum LinsysError {
     /// The four matrices do not agree on `(P, Q, R)`.
     InconsistentShapes {
@@ -23,6 +23,17 @@ pub enum LinsysError {
         /// Actual length.
         actual: usize,
     },
+    /// A coefficient matrix contained a NaN or infinite entry.
+    NonFinite {
+        /// Which matrix: `"A"`, `"B"`, `"C"`, or `"D"`.
+        what: &'static str,
+    },
+    /// The state matrix `A` has (estimated) spectral radius ≥ 1, so powers
+    /// of `A` — and therefore the unfolding transformation — diverge.
+    UnstableSystem {
+        /// The estimated spectral radius `ρ(A)`.
+        spectral_radius: f64,
+    },
 }
 
 impl fmt::Display for LinsysError {
@@ -36,6 +47,14 @@ impl fmt::Display for LinsysError {
             LinsysError::BadVectorLength { what, expected, actual } => {
                 write!(f, "{what} vector has length {actual}, expected {expected}")
             }
+            LinsysError::NonFinite { what } => {
+                write!(f, "coefficient matrix {what} contains a NaN or infinite entry")
+            }
+            LinsysError::UnstableSystem { spectral_radius } => write!(
+                f,
+                "system is not Schur stable (estimated spectral radius {spectral_radius:.6} >= 1); \
+                 unfolding would diverge"
+            ),
         }
     }
 }
@@ -83,7 +102,10 @@ impl StateSpace {
     /// # Errors
     ///
     /// Returns [`LinsysError::InconsistentShapes`] unless
-    /// `A: R×R`, `B: R×P`, `C: Q×R`, `D: Q×P` for some `(P, Q, R)`.
+    /// `A: R×R`, `B: R×P`, `C: Q×R`, `D: Q×P` for some `(P, Q, R)`, and
+    /// [`LinsysError::NonFinite`] if any coefficient is NaN or infinite
+    /// (the numerical guardrail that keeps poisoned coefficients from
+    /// silently propagating through the transformation pipeline).
     pub fn new(a: Matrix, b: Matrix, c: Matrix, d: Matrix) -> Result<StateSpace, LinsysError> {
         let r = a.rows();
         let p = b.cols();
@@ -100,6 +122,11 @@ impl StateSpace {
                 c: c.shape(),
                 d: d.shape(),
             });
+        }
+        for (m, what) in [(&a, "A"), (&b, "B"), (&c, "C"), (&d, "D")] {
+            if !m.is_finite() {
+                return Err(LinsysError::NonFinite { what });
+            }
         }
         Ok(StateSpace { a, b, c, d })
     }
@@ -194,10 +221,19 @@ impl StateSpace {
         Ok(out)
     }
 
+    /// Estimated spectral radius `ρ(A)` (0 for stateless systems).
+    pub fn spectral_radius(&self) -> f64 {
+        if self.num_states() == 0 {
+            0.0
+        } else {
+            spectral_radius_estimate(&self.a, 14).value
+        }
+    }
+
     /// `true` when the estimated spectral radius of `A` is below 1
     /// (Schur stability).
     pub fn is_stable(&self) -> bool {
-        self.num_states() == 0 || spectral_radius_estimate(&self.a, 14).is_stable()
+        self.spectral_radius() < 1.0
     }
 
     /// Fraction of exactly-zero coefficients over all four matrices.

@@ -44,7 +44,7 @@ impl UnfoldedSystem {
     pub fn simulate_samples(&self, inputs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, LinsysError> {
         let (p, q, _) = self.original_dims;
         let n = self.batch();
-        if inputs.len() % n != 0 {
+        if !inputs.len().is_multiple_of(n) {
             return Err(LinsysError::BadVectorLength {
                 what: "input",
                 expected: inputs.len().div_ceil(n) * n,
@@ -78,7 +78,21 @@ impl UnfoldedSystem {
 /// Unfolds `sys` `i` times (EQ 3 of the paper).
 ///
 /// `i = 0` returns the original system (as a trivially unfolded one).
-pub fn unfold(sys: &StateSpace, i: u32) -> UnfoldedSystem {
+///
+/// # Errors
+///
+/// Returns [`LinsysError::UnstableSystem`] when the estimated spectral
+/// radius of `A` is ≥ 1: the unfolded blocks contain `A^{i+1}` (and
+/// `C·A^j·B` cross terms), which diverge for unstable `A`, so the
+/// transformation is refused up front instead of silently producing
+/// enormous or overflowing coefficients. [`LinsysError::NonFinite`] is
+/// reported if a block still fails the NaN/∞ sentinel despite the
+/// precheck.
+pub fn unfold(sys: &StateSpace, i: u32) -> Result<UnfoldedSystem, LinsysError> {
+    let rho = sys.spectral_radius();
+    if rho >= 1.0 {
+        return Err(LinsysError::UnstableSystem { spectral_radius: rho });
+    }
     let (p, q, r) = sys.dims();
     let n = i as usize + 1;
 
@@ -100,8 +114,8 @@ pub fn unfold(sys: &StateSpace, i: u32) -> UnfoldedSystem {
 
     // C' = [C A^0; C A^1; ...; C A^i]
     let mut c_u = Matrix::zeros(n * q, r);
-    for j in 0..n {
-        let blk = sys.c() * &powers[j];
+    for (j, pj) in powers.iter().enumerate().take(n) {
+        let blk = sys.c() * pj;
         c_u.set_block(j * q, 0, &blk);
     }
 
@@ -118,9 +132,10 @@ pub fn unfold(sys: &StateSpace, i: u32) -> UnfoldedSystem {
         }
     }
 
-    let system = StateSpace::new(a_u, b_u, c_u, d_u)
-        .expect("unfolded blocks are shape-consistent by construction");
-    UnfoldedSystem { system, unfolding: i, original_dims: (p, q, r) }
+    // The blocks are shape-consistent by construction; `StateSpace::new`
+    // also re-runs the NaN/∞ sentinel over the computed powers.
+    let system = StateSpace::new(a_u, b_u, c_u, d_u)?;
+    Ok(UnfoldedSystem { system, unfolding: i, original_dims: (p, q, r) })
 }
 
 #[cfg(test)]
@@ -151,7 +166,7 @@ mod tests {
     #[test]
     fn zero_unfolding_is_identity() {
         let sys = sys_mimo();
-        let u = unfold(&sys, 0);
+        let u = unfold(&sys, 0).unwrap();
         assert_eq!(u.system, sys);
         assert_eq!(u.batch(), 1);
     }
@@ -159,7 +174,7 @@ mod tests {
     #[test]
     fn unfolded_shapes() {
         let sys = sys_mimo();
-        let u = unfold(&sys, 3);
+        let u = unfold(&sys, 3).unwrap();
         let (p, q, r) = sys.dims();
         assert_eq!(u.system.dims(), (4 * p, 4 * q, r));
         assert_eq!(u.batch(), 4);
@@ -172,7 +187,7 @@ mod tests {
             (0..24).map(|k| vec![((k * 7 % 11) as f64 - 5.0) * 0.3]).collect();
         let want = sys.simulate(&inputs).unwrap();
         for i in [1u32, 2, 3, 5, 7] {
-            let u = unfold(&sys, i);
+            let u = unfold(&sys, i).unwrap();
             let n = u.batch();
             let take = (inputs.len() / n) * n;
             let got = u.simulate_samples(&inputs[..take]).unwrap();
@@ -194,7 +209,7 @@ mod tests {
             .map(|k| vec![(k as f64 * 0.37).sin(), (k as f64 * 0.11).cos()])
             .collect();
         let want = sys.simulate(&inputs).unwrap();
-        let u = unfold(&sys, 4);
+        let u = unfold(&sys, 4).unwrap();
         let got = u.simulate_samples(&inputs).unwrap();
         assert_eq!(got.len(), want.len());
         for (g, w) in got.iter().zip(&want) {
@@ -217,7 +232,7 @@ mod tests {
         )
         .unwrap();
         for i in 0..6u64 {
-            let u = unfold(&sys, i as u32);
+            let u = unfold(&sys, i as u32).unwrap();
             let c = op_count(&u.system, TrivialityRule::ZeroOne);
             assert_eq!(c.muls, dense_muls(2, 1, 3, i), "muls at i={i}");
             assert_eq!(c.adds, dense_adds(2, 1, 3, i), "adds at i={i}");
@@ -235,7 +250,7 @@ mod tests {
             Matrix::from_rows(&[&[0.0]]),
         )
         .unwrap();
-        let u = unfold(&sys, 3);
+        let u = unfold(&sys, 3).unwrap();
         assert_eq!(u.system.a()[(0, 1)], 0.0);
         assert_eq!(u.system.a()[(1, 0)], 0.0);
         assert_eq!(u.system.a()[(0, 0)], 0.5f64.powi(4));
@@ -243,11 +258,31 @@ mod tests {
 
     #[test]
     fn batch_length_validation() {
-        let u = unfold(&sys_siso(), 2);
+        let u = unfold(&sys_siso(), 2).unwrap();
         let inputs: Vec<Vec<f64>> = (0..7).map(|_| vec![1.0]).collect();
         assert!(matches!(
             u.simulate_samples(&inputs),
             Err(LinsysError::BadVectorLength { .. })
         ));
+    }
+
+    #[test]
+    fn unstable_system_refused() {
+        let sys = StateSpace::new(
+            Matrix::from_diag(&[1.5, 0.2]),
+            Matrix::from_rows(&[&[1.0], &[1.0]]),
+            Matrix::from_rows(&[&[1.0, 1.0]]),
+            Matrix::from_rows(&[&[0.0]]),
+        )
+        .unwrap();
+        for i in [0u32, 1, 8] {
+            let err = unfold(&sys, i).unwrap_err();
+            match err {
+                LinsysError::UnstableSystem { spectral_radius } => {
+                    assert!(spectral_radius >= 1.0, "rho {spectral_radius}");
+                }
+                other => panic!("expected UnstableSystem, got {other:?}"),
+            }
+        }
     }
 }

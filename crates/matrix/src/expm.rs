@@ -20,10 +20,11 @@ const PADE6: [f64; 7] = [1.0, 0.5, 5.0 / 44.0, 1.0 / 66.0, 1.0 / 792.0, 1.0 / 15
 ///
 /// # Errors
 ///
-/// Returns [`MatrixError::NotSquare`] for non-square input, and propagates
-/// [`MatrixError::Singular`] if the Padé denominator is singular (which
-/// cannot happen after scaling for finite input, but is reported rather than
-/// unwrapped).
+/// Returns [`MatrixError::NotSquare`] for non-square input,
+/// [`MatrixError::NonFinite`] if the input or the squared result contains
+/// NaN/∞ entries, and propagates [`MatrixError::Singular`] if the Padé
+/// denominator is singular (which cannot happen after scaling for finite
+/// input, but is reported rather than unwrapped).
 ///
 /// # Examples
 ///
@@ -40,6 +41,7 @@ pub fn expm(a: &Matrix) -> Result<Matrix, MatrixError> {
     if !a.is_square() {
         return Err(MatrixError::NotSquare { shape: a.shape() });
     }
+    a.check_finite("expm")?;
     let n = a.rows();
     if n == 0 {
         return Ok(Matrix::zeros(0, 0));
@@ -69,6 +71,7 @@ pub fn expm(a: &Matrix) -> Result<Matrix, MatrixError> {
     for _ in 0..s {
         e = &e * &e;
     }
+    e.check_finite("expm result")?;
     Ok(e)
 }
 

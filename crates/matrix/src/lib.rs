@@ -30,6 +30,7 @@ mod expm;
 pub mod lu;
 mod matrix;
 mod norms;
+pub mod rng;
 
 pub use block::{block_diag, hstack, vstack};
 pub use eigen::{eigenvalues, spectral_radius_exact};
@@ -56,6 +57,11 @@ pub enum MatrixError {
         /// Shape of the offending matrix as `(rows, cols)`.
         shape: (usize, usize),
     },
+    /// An operand or result contained a NaN or infinite entry.
+    NonFinite {
+        /// Human-readable operation name, e.g. `"expm"`.
+        op: &'static str,
+    },
 }
 
 impl std::fmt::Display for MatrixError {
@@ -69,6 +75,9 @@ impl std::fmt::Display for MatrixError {
             MatrixError::Singular => write!(f, "matrix is singular to working precision"),
             MatrixError::NotSquare { shape } => {
                 write!(f, "operation requires a square matrix, got {}x{}", shape.0, shape.1)
+            }
+            MatrixError::NonFinite { op } => {
+                write!(f, "non-finite (NaN or infinite) entry encountered in {op}")
             }
         }
     }

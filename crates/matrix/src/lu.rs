@@ -104,8 +104,8 @@ impl Lu {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut s = b[self.perm[i]];
-            for j in 0..i {
-                s -= self.lu[(i, j)] * y[j];
+            for (j, &yj) in y.iter().enumerate().take(i) {
+                s -= self.lu[(i, j)] * yj;
             }
             y[i] = s;
         }
@@ -113,8 +113,8 @@ impl Lu {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut s = y[i];
-            for j in i + 1..n {
-                s -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                s -= self.lu[(i, j)] * xj;
             }
             x[i] = s / self.lu[(i, i)];
         }
@@ -148,7 +148,7 @@ impl Lu {
 
     /// Determinant of the factored matrix.
     pub fn det(&self) -> f64 {
-        let sign = if self.swaps % 2 == 0 { 1.0 } else { -1.0 };
+        let sign = if self.swaps.is_multiple_of(2) { 1.0 } else { -1.0 };
         (0..self.dim()).fold(sign, |acc, i| acc * self.lu[(i, i)])
     }
 }

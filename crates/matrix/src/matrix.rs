@@ -229,6 +229,25 @@ impl Matrix {
         self.data.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
     }
 
+    /// Returns `true` when every entry is finite (no NaN or ±∞).
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// NaN/Inf sentinel: reports [`MatrixError::NonFinite`] (naming the
+    /// operation for diagnostics) if any entry is NaN or infinite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::NonFinite`] when a non-finite entry exists.
+    pub fn check_finite(&self, op: &'static str) -> Result<(), crate::MatrixError> {
+        if self.is_finite() {
+            Ok(())
+        } else {
+            Err(crate::MatrixError::NonFinite { op })
+        }
+    }
+
     /// Fallible matrix product, reporting shape mismatches as an error
     /// instead of panicking.
     ///

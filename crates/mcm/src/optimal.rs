@@ -72,8 +72,10 @@ impl ScmOracle {
                                 continue;
                             }
                             v >>= v.trailing_zeros();
-                            if !table.contains_key(&v) {
-                                table.insert(v, depth);
+                            if let std::collections::hash_map::Entry::Vacant(slot) =
+                                table.entry(v)
+                            {
+                                slot.insert(depth);
                                 next.push(v);
                             }
                         }

@@ -77,8 +77,7 @@ pub fn synthesize(constants: &[i64], recoding: Recoding) -> McmSolution {
     }
 
     // Iterative pairwise matching over the expression pool.
-    loop {
-        let Some(best) = best_match(&exprs) else { break };
+    while let Some(best) = best_match(&exprs) {
         apply_match(&mut exprs, best);
     }
 
@@ -177,13 +176,13 @@ fn best_match(exprs: &[Expr]) -> Option<Match> {
 /// users.
 fn apply_match(exprs: &mut Vec<Expr>, m: Match) {
     let matched: Vec<Term> = m.src.iter().map(|&a| exprs[m.i].terms[a]).collect();
-    let m0 = matched.iter().map(|t| t.shift).min().expect("match is non-empty");
+    // best_match only produces matches of size >= 2; an empty match would
+    // be a no-op, so bail out instead of panicking on the invariant.
+    let Some(m0) = matched.iter().map(|t| t.shift).min() else {
+        return;
+    };
     // Normalize so the new expression's minimum-shift term is positive.
-    let f = matched
-        .iter()
-        .find(|t| t.shift == m0)
-        .expect("minimum exists")
-        .neg;
+    let f = matched.iter().find(|t| t.shift == m0).map(|t| t.neg).unwrap_or(false);
     let new_expr = Expr {
         terms: matched
             .iter()
@@ -244,7 +243,7 @@ mod tests {
         assert_eq!(sol.adds(), 5, "plan:\n{sol}");
         assert_eq!(sol.shifts(), 5, "plan:\n{sol}");
         // The shared subexpression the paper exhibits computes 169x.
-        let values = sol.expr_values();
+        let values = sol.expr_values().unwrap();
         assert!(values.contains(&169), "values {values:?}\n{sol}");
     }
 

@@ -44,24 +44,38 @@ pub enum OutputRef {
     Scaled(Term),
 }
 
-/// Error from [`McmSolution::verify`].
+/// Error from [`McmSolution::verify`] or [`McmSolution::expr_values`].
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct VerifyMcmError {
-    /// Index of the offending output.
-    pub output: usize,
-    /// The requested constant.
-    pub expected: i64,
-    /// What the plan actually computes.
-    pub actual: i128,
+pub enum VerifyMcmError {
+    /// An output computes a different constant than requested.
+    OutputMismatch {
+        /// Index of the offending output.
+        output: usize,
+        /// The requested constant.
+        expected: i64,
+        /// What the plan actually computes.
+        actual: i128,
+    },
+    /// The plan's expressions reference each other cyclically, so no
+    /// evaluation order exists (a correctly synthesized plan never does
+    /// this; reported instead of panicking so a buggy synthesis pass
+    /// degrades gracefully).
+    ReferenceCycle {
+        /// Index of an expression on the cycle.
+        expr: usize,
+    },
 }
 
 impl fmt::Display for VerifyMcmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "mcm output {} computes {} instead of {}",
-            self.output, self.actual, self.expected
-        )
+        match self {
+            VerifyMcmError::OutputMismatch { output, expected, actual } => {
+                write!(f, "mcm output {output} computes {actual} instead of {expected}")
+            }
+            VerifyMcmError::ReferenceCycle { expr } => {
+                write!(f, "mcm plan contains a reference cycle at e{expr}")
+            }
+        }
     }
 }
 
@@ -105,11 +119,11 @@ impl McmSolution {
     /// intermediates, so evaluation is a memoized recursion over the
     /// reference DAG rather than a single index-order pass.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the plan contains a reference cycle (which a correctly
-    /// synthesized plan never does).
-    pub fn expr_values(&self) -> Vec<i128> {
+    /// Returns [`VerifyMcmError::ReferenceCycle`] if the plan contains a
+    /// reference cycle (which a correctly synthesized plan never does).
+    pub fn expr_values(&self) -> Result<Vec<i128>, VerifyMcmError> {
         #[derive(Clone, Copy, PartialEq)]
         enum State {
             Unvisited,
@@ -121,10 +135,10 @@ impl McmSolution {
             i: usize,
             values: &mut [i128],
             state: &mut [State],
-        ) -> i128 {
+        ) -> Result<i128, VerifyMcmError> {
             match state[i] {
-                State::Done => return values[i],
-                State::InProgress => panic!("mcm plan contains a reference cycle at e{i}"),
+                State::Done => return Ok(values[i]),
+                State::InProgress => return Err(VerifyMcmError::ReferenceCycle { expr: i }),
                 State::Unvisited => {}
             }
             state[i] = State::InProgress;
@@ -132,45 +146,56 @@ impl McmSolution {
             for t in &exprs[i].terms {
                 let base = match t.source {
                     Source::Input => 1i128,
-                    Source::Expr(j) => eval(exprs, j, values, state),
+                    Source::Expr(j) => eval(exprs, j, values, state)?,
                 };
                 let v = base << t.shift;
                 sum += if t.neg { -v } else { v };
             }
             values[i] = sum;
             state[i] = State::Done;
-            sum
+            Ok(sum)
         }
 
         let mut values = vec![0i128; self.exprs.len()];
         let mut state = vec![State::Unvisited; self.exprs.len()];
         for i in 0..self.exprs.len() {
-            eval(&self.exprs, i, &mut values, &mut state);
+            eval(&self.exprs, i, &mut values, &mut state)?;
         }
-        values
+        Ok(values)
     }
 
     /// The constant factor each output actually computes.
-    pub fn output_values(&self) -> Vec<i128> {
-        let values = self.expr_values();
-        self.outputs
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyMcmError::ReferenceCycle`] if the plan contains a
+    /// reference cycle.
+    pub fn output_values(&self) -> Result<Vec<i128>, VerifyMcmError> {
+        let values = self.expr_values()?;
+        Ok(self
+            .outputs
             .iter()
             .map(|(_, r)| match r {
                 OutputRef::Zero => 0,
                 OutputRef::Scaled(t) => Self::term_value(t, &values),
             })
-            .collect()
+            .collect())
     }
 
     /// Checks that every output computes its requested constant.
     ///
     /// # Errors
     ///
-    /// Returns the first mismatching output.
+    /// Returns the first mismatching output, or
+    /// [`VerifyMcmError::ReferenceCycle`] for an unevaluable plan.
     pub fn verify(&self) -> Result<(), VerifyMcmError> {
-        for (i, (v, (c, _))) in self.output_values().iter().zip(&self.outputs).enumerate() {
+        for (i, (v, (c, _))) in self.output_values()?.iter().zip(&self.outputs).enumerate() {
             if *v != *c as i128 {
-                return Err(VerifyMcmError { output: i, expected: *c, actual: *v });
+                return Err(VerifyMcmError::OutputMismatch {
+                    output: i,
+                    expected: *c,
+                    actual: *v,
+                });
             }
         }
         Ok(())
@@ -224,10 +249,11 @@ impl fmt::Display for McmSolution {
                 format!("+ {shifted}")
             }
         }
-        let values = self.expr_values();
+        let values = self.expr_values().unwrap_or_default();
         for (i, e) in self.exprs.iter().enumerate() {
             let body: Vec<String> = e.terms.iter().map(term).collect();
-            writeln!(f, "e{i} = {}   // = {}*x", body.join(" "), values[i])?;
+            let v = values.get(i).copied().unwrap_or(0);
+            writeln!(f, "e{i} = {}   // = {v}*x", body.join(" "))?;
         }
         for (c, r) in &self.outputs {
             match r {
@@ -260,8 +286,8 @@ mod tests {
                 (0, OutputRef::Zero),
             ],
         };
-        assert_eq!(sol.expr_values(), vec![5]);
-        assert_eq!(sol.output_values(), vec![10, -5, 0]);
+        assert_eq!(sol.expr_values().unwrap(), vec![5]);
+        assert_eq!(sol.output_values().unwrap(), vec![10, -5, 0]);
         sol.verify().unwrap();
         assert_eq!(sol.adds(), 1);
         // Distinct shifts: (x,2) and (e0,1).
@@ -275,8 +301,25 @@ mod tests {
             outputs: vec![(3, OutputRef::Scaled(t(Source::Expr(0), 0, false)))],
         };
         let err = sol.verify().unwrap_err();
-        assert_eq!(err, VerifyMcmError { output: 0, expected: 3, actual: 2 });
+        assert_eq!(err, VerifyMcmError::OutputMismatch { output: 0, expected: 3, actual: 2 });
         assert!(err.to_string().contains("computes 2 instead of 3"));
+    }
+
+    #[test]
+    fn reference_cycle_reported_not_panicking() {
+        // e0 references e1 and e1 references e0.
+        let sol = McmSolution {
+            exprs: vec![
+                Expr { terms: vec![t(Source::Expr(1), 0, false)] },
+                Expr { terms: vec![t(Source::Expr(0), 1, false)] },
+            ],
+            outputs: vec![(2, OutputRef::Scaled(t(Source::Expr(1), 0, false)))],
+        };
+        let err = sol.expr_values().unwrap_err();
+        assert!(matches!(err, VerifyMcmError::ReferenceCycle { .. }));
+        assert!(sol.verify().is_err());
+        // Display must not panic either.
+        let _ = format!("{sol}");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! (shift-add) operation census at `V_min`, compared against the original
 //! multiply-accumulate datapath at the initial voltage.
 
-use crate::TechConfig;
+use crate::{scale_or_fallback, DiagCode, Diagnostic, OptError, TechConfig};
 use lintra_dfg::{build, OpTiming};
 use lintra_linsys::StateSpace;
 use lintra_mcm::Recoding;
@@ -40,7 +40,7 @@ impl Default for AsicConfig {
 }
 
 /// Result of the ASIC flow on one design (one Table-4 row).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AsicResult {
     /// Unfolding factor chosen (batch = `unfolding + 1`).
     pub unfolding: u32,
@@ -54,6 +54,9 @@ pub struct AsicResult {
     pub optimized: EnergyBreakdown,
     /// MCM pass statistics.
     pub mcm: McmPassReport,
+    /// Non-fatal warnings (unfolding capped, voltage clamped,
+    /// frequency-only fallback).
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl AsicResult {
@@ -70,45 +73,77 @@ impl AsicResult {
 /// initial voltage; the transformed design must only close the (constant)
 /// feedback path within `n` sample periods, so the available slowdown is
 /// `n·CP_original/CP_feedback`.
-fn required_unfolding(sys: &StateSpace, tech: &TechConfig, cfg: &AsicConfig) -> u32 {
-    let base_cp = build::from_state_space(sys).critical_path(&cfg.timing).max(1.0);
-    let needed = tech.voltage.slowdown_between(tech.initial_voltage, tech.voltage.v_min());
+fn required_unfolding(
+    sys: &StateSpace,
+    tech: &TechConfig,
+    cfg: &AsicConfig,
+    diags: &mut Vec<Diagnostic>,
+) -> Result<u32, OptError> {
+    let base_cp = build::from_state_space(sys)?.critical_path(&cfg.timing).max(1.0);
+    let v0 = tech.initial_voltage;
+    // A supply at (or below) the threshold or the floor has no voltage
+    // headroom for unfolding to buy; ask for no slowdown rather than
+    // evaluating the delay curve outside its domain.
+    let needed = if v0.is_finite() && v0 > tech.voltage.vt() && v0 > tech.voltage.v_min() {
+        tech.voltage.slowdown_between(v0, tech.voltage.v_min())
+    } else {
+        1.0
+    };
     // The feedback path of the Horner form is independent of the unfolding
     // depth (only A^n·S is in the cycle), so solve for n in closed form
     // from the depth at n = 1 and verify, bumping if the measured path at
     // the chosen depth differs by a rounding level.
-    let fb1 = HornerForm::new(sys, 0).to_dfg().feedback_critical_path(&cfg.timing).max(1.0);
+    let fb1 = HornerForm::new(sys, 0)?.to_dfg()?.feedback_critical_path(&cfg.timing).max(1.0);
     let mut i = ((needed * fb1 / base_cp).ceil() as i64 - 1).max(0) as u32;
     loop {
         i = i.min(cfg.max_unfolding);
-        let fb = HornerForm::new(sys, i).to_dfg().feedback_critical_path(&cfg.timing).max(1.0);
+        let fb = HornerForm::new(sys, i)?.to_dfg()?.feedback_critical_path(&cfg.timing).max(1.0);
         let available = (i as f64 + 1.0) * base_cp / fb;
-        if available >= needed || i >= cfg.max_unfolding {
-            return i;
+        if available >= needed {
+            return Ok(i);
+        }
+        if i >= cfg.max_unfolding {
+            diags.push(Diagnostic {
+                code: DiagCode::UnfoldingCapped,
+                message: format!(
+                    "unfolding capped at {i}: available slowdown {available:.2}x is short of \
+                     the {needed:.2}x needed to reach the voltage floor"
+                ),
+            });
+            return Ok(i);
         }
         i += 1;
     }
 }
 
 /// Runs the full §5 script and accounts energy per sample.
-pub fn optimize(sys: &StateSpace, tech: &TechConfig, cfg: &AsicConfig) -> AsicResult {
+///
+/// # Errors
+///
+/// Returns [`OptError::Linsys`] for an unstable or non-finite system and
+/// [`OptError::Dfg`] when a transformation pass produces an invalid graph.
+/// Hitting the unfolding cap or the voltage floor is *not* an error — the
+/// flow degrades to the deepest/lowest feasible point and records a
+/// diagnostic.
+pub fn optimize(sys: &StateSpace, tech: &TechConfig, cfg: &AsicConfig) -> Result<AsicResult, OptError> {
     let (p, q, r) = sys.dims();
+    let mut diagnostics = Vec::new();
 
     // Initial design: maximally fast multiply-accumulate datapath at V0.
-    let base = build::from_state_space(sys);
+    let base = build::from_state_space(sys)?;
     let bc = base.op_counts();
     let regs0 = (r + p + q) as u64;
     let initial =
         tech.energy.energy_per_sample(bc.adds, bc.muls, bc.shifts, regs0, tech.initial_voltage);
 
     // Transformed design.
-    let unfolding = required_unfolding(sys, tech, cfg);
+    let unfolding = required_unfolding(sys, tech, cfg, &mut diagnostics)?;
     let n = unfolding as u64 + 1;
-    let horner = HornerForm::new(sys, unfolding).to_dfg();
+    let horner = HornerForm::new(sys, unfolding)?.to_dfg()?;
     let (shifted, mcm) = expand_multiplications(
         &horner,
         McmPassConfig { frac_bits: cfg.frac_bits, recoding: cfg.recoding },
-    );
+    )?;
     let oc = shifted.op_counts();
     debug_assert_eq!(oc.muls, 0, "mcm pass must remove every multiplier");
 
@@ -116,7 +151,7 @@ pub fn optimize(sys: &StateSpace, tech: &TechConfig, cfg: &AsicConfig) -> AsicRe
     let base_cp = base.critical_path(&cfg.timing).max(1.0);
     let fb = shifted.feedback_critical_path(&cfg.timing).max(1.0);
     let available = n as f64 * base_cp / fb;
-    let scaling = tech.voltage.scale_for_slowdown(tech.initial_voltage, available);
+    let scaling = scale_or_fallback(&tech.voltage, tech.initial_voltage, available, &mut diagnostics)?;
 
     // Per-sample counts: one batch of the transformed graph serves n
     // samples; registers: state registers once per batch + I/O registers
@@ -131,7 +166,7 @@ pub fn optimize(sys: &StateSpace, tech: &TechConfig, cfg: &AsicConfig) -> AsicRe
         scaling.voltage,
     );
 
-    AsicResult { unfolding, voltage: scaling.voltage, initial, optimized, mcm }
+    Ok(AsicResult { unfolding, voltage: scaling.voltage, initial, optimized, mcm, diagnostics })
 }
 
 #[cfg(test)]
@@ -148,7 +183,7 @@ mod tests {
     #[test]
     fn asic_flow_reaches_the_voltage_floor() {
         let d = by_name("iir5").unwrap();
-        let r = optimize(&d.system, &TechConfig::dac96(5.0), &AsicConfig::default());
+        let r = optimize(&d.system, &TechConfig::dac96(5.0), &AsicConfig::default()).unwrap();
         assert!(
             (r.voltage - 1.1).abs() < 1e-6,
             "expected V_min, got {} (unfolding {})",
@@ -164,7 +199,7 @@ mod tests {
         let t = tech();
         let mut factors = Vec::new();
         for d in suite() {
-            let r = optimize(&d.system, &t, &cfg);
+            let r = optimize(&d.system, &t, &cfg).unwrap();
             assert!(r.improvement() > 1.0, "{} got {}", d.name, r.improvement());
             factors.push(r.improvement());
         }
@@ -175,7 +210,7 @@ mod tests {
     #[test]
     fn multipliers_are_fully_eliminated() {
         let d = by_name("chemical").unwrap();
-        let r = optimize(&d.system, &tech(), &AsicConfig::default());
+        let r = optimize(&d.system, &tech(), &AsicConfig::default()).unwrap();
         assert!(r.mcm.muls_removed > 0);
         assert_eq!(r.optimized.mults_j, 0.0);
     }
@@ -184,9 +219,21 @@ mod tests {
     fn improvement_grows_with_initial_voltage() {
         let d = by_name("iir6").unwrap();
         let cfg = AsicConfig::default();
-        let lo = optimize(&d.system, &TechConfig::dac96(3.3), &cfg);
-        let hi = optimize(&d.system, &TechConfig::dac96(5.0), &cfg);
+        let lo = optimize(&d.system, &TechConfig::dac96(3.3), &cfg).unwrap();
+        let hi = optimize(&d.system, &TechConfig::dac96(5.0), &cfg).unwrap();
         assert!(hi.improvement() > lo.improvement());
+    }
+
+    #[test]
+    fn tight_unfolding_cap_degrades_with_diagnostic() {
+        // A cap of 1 cannot possibly buy the ~92x slowdown 5.0 V needs;
+        // the flow must still return a (shallow) result and say why.
+        let d = by_name("iir5").unwrap();
+        let cfg = AsicConfig { max_unfolding: 1, ..AsicConfig::default() };
+        let r = optimize(&d.system, &TechConfig::dac96(5.0), &cfg).unwrap();
+        assert!(r.unfolding <= 1);
+        assert!(r.diagnostics.iter().any(|di| di.code == DiagCode::UnfoldingCapped));
+        assert!(r.voltage > 1.1, "capped flow should not reach the floor, got {}", r.voltage);
     }
 
     #[test]
@@ -195,7 +242,7 @@ mod tests {
         // the constant feedback path converts into a batch of roughly
         // 92·CP_fb/CP_base samples — large but finite and under the cap.
         for d in suite() {
-            let r = optimize(&d.system, &tech(), &AsicConfig::default());
+            let r = optimize(&d.system, &tech(), &AsicConfig::default()).unwrap();
             assert!(r.unfolding <= 127, "{} used unfolding {}", d.name, r.unfolding);
             assert!(r.unfolding >= 8, "{} suspiciously shallow: {}", d.name, r.unfolding);
         }

@@ -13,19 +13,165 @@
 //! use lintra_opt::{single, TechConfig};
 //! use lintra_suite::dense_synthetic;
 //!
+//! # fn main() -> Result<(), lintra_opt::OptError> {
 //! let sys = dense_synthetic(1, 1, 5);
-//! let r = single::optimize(&sys, &TechConfig::dac96(3.3));
+//! let r = single::optimize(&sys, &TechConfig::dac96(3.3))?;
 //! // The §3 worked example: i_opt = 6, S_max ≈ 1.975.
 //! assert_eq!(r.dense.unfolding, 6);
 //! assert!(r.dense.power_reduction() > 2.0);
+//! # Ok(())
+//! # }
 //! ```
 
 pub mod asic;
 pub mod multi;
 pub mod single;
 
-use lintra_power::{EnergyModel, VoltageModel};
-use lintra_sched::ProcessorModel;
+use lintra_dfg::DfgError;
+use lintra_linsys::LinsysError;
+use lintra_power::{EnergyModel, VoltageError, VoltageModel, VoltageScaling};
+use lintra_sched::{ProcessorModel, ScheduleError};
+use std::fmt;
+
+/// Error from any of the three optimization strategies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptError {
+    /// System-level analysis failed (unstable system, non-finite
+    /// coefficients, shape mismatch).
+    Linsys(LinsysError),
+    /// Dataflow-graph construction or validation failed.
+    Dfg(DfgError),
+    /// Scheduling failed (e.g. zero processors requested).
+    Schedule(ScheduleError),
+    /// Voltage-curve inversion failed in a way no fallback covers
+    /// (non-finite slowdown from corrupted analysis values).
+    Voltage(VoltageError),
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::Linsys(e) => write!(f, "system analysis failed: {e}"),
+            OptError::Dfg(e) => write!(f, "dataflow graph construction failed: {e}"),
+            OptError::Schedule(e) => write!(f, "scheduling failed: {e}"),
+            OptError::Voltage(e) => write!(f, "voltage scaling failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OptError::Linsys(e) => Some(e),
+            OptError::Dfg(e) => Some(e),
+            OptError::Schedule(e) => Some(e),
+            OptError::Voltage(e) => Some(e),
+        }
+    }
+}
+
+impl From<LinsysError> for OptError {
+    fn from(e: LinsysError) -> Self {
+        OptError::Linsys(e)
+    }
+}
+
+impl From<DfgError> for OptError {
+    fn from(e: DfgError) -> Self {
+        OptError::Dfg(e)
+    }
+}
+
+impl From<ScheduleError> for OptError {
+    fn from(e: ScheduleError) -> Self {
+        OptError::Schedule(e)
+    }
+}
+
+impl From<VoltageError> for OptError {
+    fn from(e: VoltageError) -> Self {
+        OptError::Voltage(e)
+    }
+}
+
+/// Machine-readable class of a [`Diagnostic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiagCode {
+    /// The technology floor `V_min` limited the voltage reduction; the
+    /// residual slowdown only earns a linear (frequency) reduction.
+    VoltageClamped,
+    /// Voltage scaling was unavailable (supply at or below threshold, or
+    /// bisection failure); the full slowdown was taken as a linear
+    /// frequency reduction instead (§3's fallback).
+    FrequencyOnlyFallback,
+    /// The unfolding search hit its configured cap before reaching the
+    /// slack needed for the voltage floor.
+    UnfoldingCapped,
+}
+
+/// A non-fatal warning emitted while an optimizer degraded gracefully.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Machine-readable class.
+    pub code: DiagCode,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "warning[{:?}]: {}", self.code, self.message)
+    }
+}
+
+/// Shared voltage-scaling step with graceful degradation: when the
+/// delay-curve inversion is unusable (supply at/below threshold), fall
+/// back to a pure frequency reduction — the paper's §3 linear fallback —
+/// and record a diagnostic. Non-finite slowdowns (corrupted upstream
+/// analysis) still fail hard.
+pub(crate) fn scale_or_fallback(
+    model: &VoltageModel,
+    v_from: f64,
+    slowdown: f64,
+    diags: &mut Vec<Diagnostic>,
+) -> Result<VoltageScaling, OptError> {
+    if !slowdown.is_finite() {
+        return Err(OptError::Voltage(VoltageError::InfeasibleSlowdown { slowdown }));
+    }
+    let slowdown = slowdown.max(1.0);
+    match model.scale_for_slowdown(v_from, slowdown) {
+        Ok(s) => {
+            if s.clamped() {
+                diags.push(Diagnostic {
+                    code: DiagCode::VoltageClamped,
+                    message: format!(
+                        "voltage clamped at the {} V technology floor; residual slowdown \
+                         {:.3}x earns only a linear reduction",
+                        model.v_min(),
+                        s.residual_slowdown()
+                    ),
+                });
+            }
+            Ok(s)
+        }
+        Err(e @ (VoltageError::BelowThreshold { .. } | VoltageError::NonConvergence { .. })) => {
+            diags.push(Diagnostic {
+                code: DiagCode::FrequencyOnlyFallback,
+                message: format!(
+                    "voltage scaling unavailable ({e}); applying the {slowdown:.3}x slowdown \
+                     as a frequency reduction only"
+                ),
+            });
+            Ok(VoltageScaling {
+                v_initial: v_from,
+                voltage: v_from,
+                slowdown_requested: slowdown,
+                slowdown_at_voltage: 1.0,
+            })
+        }
+        Err(e) => Err(OptError::Voltage(e)),
+    }
+}
 
 /// Shared technology configuration for all optimizers.
 #[derive(Debug, Clone, Copy, PartialEq)]

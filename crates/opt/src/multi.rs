@@ -7,7 +7,7 @@
 //! *measured* here by list scheduling the unfolded dataflow graph rather
 //! than assumed.
 
-use crate::TechConfig;
+use crate::{scale_or_fallback, Diagnostic, OptError, TechConfig};
 use lintra_dfg::build;
 use lintra_linsys::count::{best_unfolding, TrivialityRule};
 use lintra_linsys::{unfold, StateSpace};
@@ -29,7 +29,7 @@ pub enum ProcessorSelection {
 }
 
 /// Result of the §4 strategy on one design.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiProcessorResult {
     /// Unfolding factor used (the §3 optimum).
     pub unfolding: u64,
@@ -44,6 +44,9 @@ pub struct MultiProcessorResult {
     pub base_cycles_per_sample: f64,
     /// Cycles per sample on `N` processors, unfolded computation.
     pub cycles_per_sample: f64,
+    /// Non-fatal warnings (voltage clamped at the floor, frequency-only
+    /// fallback).
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl MultiProcessorResult {
@@ -56,55 +59,80 @@ impl MultiProcessorResult {
 }
 
 /// Measures `S_max(N, i)` for a given unfolding and processor count.
-pub fn measured_speedup(sys: &StateSpace, unfolding: u64, n: usize, tech: &TechConfig) -> f64 {
-    let base_graph = build::from_state_space(sys);
-    let base = list_schedule(&base_graph, 1, &tech.processor).length as f64;
-    let unfolded = build::from_unfolded(&unfold(sys, unfolding as u32));
-    let len = list_schedule(&unfolded, n, &tech.processor).length as f64;
-    base / (len / (unfolding + 1) as f64)
+///
+/// # Errors
+///
+/// Propagates unfolding failures (unstable or non-finite system), graph
+/// construction failures, and [`lintra_sched::ScheduleError::NoProcessors`]
+/// when `n` is zero.
+pub fn measured_speedup(
+    sys: &StateSpace,
+    unfolding: u64,
+    n: usize,
+    tech: &TechConfig,
+) -> Result<f64, OptError> {
+    let base_graph = build::from_state_space(sys)?;
+    let base = list_schedule(&base_graph, 1, &tech.processor)?.length as f64;
+    let unfolded = build::from_unfolded(&unfold(sys, unfolding as u32)?)?;
+    let len = list_schedule(&unfolded, n, &tech.processor)?.length as f64;
+    Ok(base / (len / (unfolding + 1) as f64))
 }
 
 /// Runs the §4 strategy: unfold to the §3 optimum, add processors, slow
 /// all of them down by the measured `S_max(N, i)` via voltage reduction.
+///
+/// # Errors
+///
+/// Returns [`OptError::Linsys`] / [`OptError::Dfg`] when analysis or graph
+/// construction fails, and [`OptError::Schedule`] when the processor
+/// selection yields zero processors
+/// (`ProcessorSelection::SearchBest { max: 0 }` — resource starvation is
+/// reported, not papered over). Voltage-floor clamping and
+/// threshold-limited supplies degrade gracefully with diagnostics.
 pub fn optimize(
     sys: &StateSpace,
     tech: &TechConfig,
     selection: ProcessorSelection,
-) -> MultiProcessorResult {
+) -> Result<MultiProcessorResult, OptError> {
     let wm = tech.processor.cycles_mul as f64;
     let wa = tech.processor.cycles_add as f64;
-    let choice = best_unfolding(sys, TrivialityRule::ZeroOne, wm, wa);
+    let choice = best_unfolding(sys, TrivialityRule::ZeroOne, wm, wa)?;
     let i = choice.unfolding;
 
-    let evaluate = |n: usize| -> MultiProcessorResult {
-        let base_graph = build::from_state_space(sys);
-        let base = list_schedule(&base_graph, 1, &tech.processor).length as f64;
-        let unfolded = build::from_unfolded(&unfold(sys, i as u32));
-        let len = list_schedule(&unfolded, n, &tech.processor).length as f64;
+    let evaluate = |n: usize| -> Result<MultiProcessorResult, OptError> {
+        let base_graph = build::from_state_space(sys)?;
+        let base = list_schedule(&base_graph, 1, &tech.processor)?.length as f64;
+        let unfolded = build::from_unfolded(&unfold(sys, i as u32)?)?;
+        let len = list_schedule(&unfolded, n, &tech.processor)?.length as f64;
         let per_sample = len / (i + 1) as f64;
         let speedup = base / per_sample;
-        let scaling = tech.voltage.scale_for_slowdown(tech.initial_voltage, speedup);
-        MultiProcessorResult {
+        let mut diagnostics = Vec::new();
+        let scaling =
+            scale_or_fallback(&tech.voltage, tech.initial_voltage, speedup, &mut diagnostics)?;
+        Ok(MultiProcessorResult {
             unfolding: i,
             processors: n,
             speedup,
             scaling,
             base_cycles_per_sample: base,
             cycles_per_sample: per_sample,
-        }
+            diagnostics,
+        })
     };
 
     match selection {
         ProcessorSelection::StatesCount => evaluate(sys.num_states().max(1)),
-        ProcessorSelection::SearchBest { max } => (1..=max.max(1))
-            .map(evaluate)
-            .min_by(|a, b| {
-                // Lower power is better; compare reductions inverted.
-                b.power_reduction()
-                    .partial_cmp(&a.power_reduction())
-                    .expect("finite power values")
-            })
-            .expect("at least one candidate"),
+        ProcessorSelection::SearchBest { max } => {
+            let mut best: Option<MultiProcessorResult> = None;
+            for n in 1..=max {
+                let cand = evaluate(n)?;
+                best = Some(match best {
+                    Some(b) if b.power_reduction() >= cand.power_reduction() => b,
+                    _ => cand,
+                });
+            }
+            best.ok_or(OptError::Schedule(lintra_sched::ScheduleError::NoProcessors))
+        }
     }
 }
 
@@ -120,12 +148,12 @@ mod tests {
         // S ≈ 3.95 and V ≈ 1.7 V.
         let sys = dense_synthetic(1, 1, 5);
         let tech = TechConfig::dac96(3.0);
-        let s2 = measured_speedup(&sys, 6, 2, &tech);
+        let s2 = measured_speedup(&sys, 6, 2, &tech).unwrap();
         assert!(
             s2 > 2.0 * 1.8 && s2 <= 2.0 * 1.975 + 1e-9,
             "S(2,6) = {s2}, expected close to 3.95"
         );
-        let v = tech.voltage.scale_for_slowdown(3.0, s2).voltage;
+        let v = tech.voltage.scale_for_slowdown(3.0, s2).unwrap().voltage;
         assert!((v - 1.7).abs() < 0.15, "voltage {v}");
     }
 
@@ -134,8 +162,8 @@ mod tests {
         let tech = TechConfig::dac96(3.3);
         for name in ["ellip", "steam", "iir5"] {
             let d = by_name(name).unwrap();
-            let s = single::optimize(&d.system, &tech);
-            let m = optimize(&d.system, &tech, ProcessorSelection::StatesCount);
+            let s = single::optimize(&d.system, &tech).unwrap();
+            let m = optimize(&d.system, &tech, ProcessorSelection::StatesCount).unwrap();
             assert!(
                 m.power_reduction() >= s.real.power_reduction() * 0.95,
                 "{name}: multi {} vs single {}",
@@ -149,9 +177,9 @@ mod tests {
     fn speedup_close_to_linear_for_n_up_to_r() {
         let sys = dense_synthetic(1, 1, 4);
         let tech = TechConfig::dac96(3.3);
-        let s1 = measured_speedup(&sys, 4, 1, &tech);
+        let s1 = measured_speedup(&sys, 4, 1, &tech).unwrap();
         for n in 2..=4 {
-            let sn = measured_speedup(&sys, 4, n, &tech);
+            let sn = measured_speedup(&sys, 4, n, &tech).unwrap();
             assert!(
                 sn >= 0.85 * n as f64 * s1,
                 "S({n}) = {sn} not near-linear (S(1) = {s1})"
@@ -163,12 +191,13 @@ mod tests {
     fn search_best_at_least_matches_states_count() {
         let d = by_name("chemical").unwrap();
         let tech = TechConfig::dac96(3.3);
-        let fixed = optimize(&d.system, &tech, ProcessorSelection::StatesCount);
+        let fixed = optimize(&d.system, &tech, ProcessorSelection::StatesCount).unwrap();
         let best = optimize(
             &d.system,
             &tech,
             ProcessorSelection::SearchBest { max: d.system.num_states() + 2 },
-        );
+        )
+        .unwrap();
         assert!(best.power_reduction() >= fixed.power_reduction() - 1e-9);
     }
 
@@ -179,7 +208,7 @@ mod tests {
         let reductions: Vec<f64> = suite()
             .iter()
             .map(|d| {
-                optimize(&d.system, &tech, ProcessorSelection::StatesCount).power_reduction()
+                optimize(&d.system, &tech, ProcessorSelection::StatesCount).unwrap().power_reduction()
             })
             .collect();
         let avg = reductions.iter().sum::<f64>() / reductions.len() as f64;
@@ -187,10 +216,34 @@ mod tests {
     }
 
     #[test]
+    fn zero_processor_search_is_a_typed_error() {
+        let sys = dense_synthetic(1, 1, 3);
+        let tech = TechConfig::dac96(3.3);
+        let err = optimize(&sys, &tech, ProcessorSelection::SearchBest { max: 0 }).unwrap_err();
+        assert!(matches!(err, OptError::Schedule(_)), "{err}");
+    }
+
+    #[test]
+    fn below_threshold_supply_degrades_to_frequency_only() {
+        // A supply at the threshold voltage cannot be inverted; the
+        // optimizer must fall back to a linear frequency reduction and say
+        // so, not panic.
+        let sys = dense_synthetic(1, 1, 5);
+        let tech = TechConfig::dac96(0.9);
+        let m = optimize(&sys, &tech, ProcessorSelection::StatesCount).unwrap();
+        assert_eq!(m.scaling.voltage, 0.9);
+        assert!((m.power_reduction() - m.speedup / m.processors as f64).abs() < 1e-9);
+        assert!(m
+            .diagnostics
+            .iter()
+            .any(|d| d.code == crate::DiagCode::FrequencyOnlyFallback));
+    }
+
+    #[test]
     fn voltage_never_below_floor() {
         let tech = TechConfig::dac96(5.0);
         for d in suite() {
-            let m = optimize(&d.system, &tech, ProcessorSelection::StatesCount);
+            let m = optimize(&d.system, &tech, ProcessorSelection::StatesCount).unwrap();
             assert!(m.scaling.voltage >= tech.voltage.v_min() - 1e-12, "{}", d.name);
         }
     }

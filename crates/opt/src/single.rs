@@ -8,7 +8,7 @@
 //! falls by `(V₀/V₁)²·S_max`; if voltage scaling is unavailable, the same
 //! `S_max` still buys a *linear* reduction via clock slowdown or shutdown.
 
-use crate::TechConfig;
+use crate::{scale_or_fallback, Diagnostic, OptError, TechConfig};
 use lintra_linsys::count::{
     best_unfolding, dense_iopt, dense_op_count, op_count, OpCount, TrivialityRule,
 };
@@ -51,7 +51,7 @@ impl UnfoldingOutcome {
 }
 
 /// Full result of the single-processor strategy on one design.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SingleProcessorResult {
     /// `(P, Q, R)` of the design.
     pub dims: (usize, usize, usize),
@@ -60,15 +60,27 @@ pub struct SingleProcessorResult {
     pub dense: UnfoldingOutcome,
     /// Measured outcome on the actual coefficients (§3 heuristic).
     pub real: UnfoldingOutcome,
+    /// Non-fatal warnings (voltage clamped at the floor, frequency-only
+    /// fallback).
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 /// Runs the §3 strategy: dense closed-form prediction plus the empirical
 /// heuristic on the actual coefficients, both followed by the
 /// voltage-scaling step.
-pub fn optimize(sys: &StateSpace, tech: &TechConfig) -> SingleProcessorResult {
+///
+/// # Errors
+///
+/// Returns [`OptError::Linsys`] when the unfolding analysis rejects the
+/// system (unstable `A`, non-finite coefficients) and [`OptError::Voltage`]
+/// when a computed speedup is non-finite. A supply voltage at or below
+/// threshold is *not* an error: the optimizer degrades to the §3
+/// frequency-only fallback and records a diagnostic.
+pub fn optimize(sys: &StateSpace, tech: &TechConfig) -> Result<SingleProcessorResult, OptError> {
     let (p, q, r) = sys.dims();
     let wm = tech.processor.cycles_mul as f64;
     let wa = tech.processor.cycles_add as f64;
+    let mut diagnostics = Vec::new();
 
     // Dense analysis.
     let (pu, qu, ru) = (p as u64, q as u64, r as u64);
@@ -81,20 +93,20 @@ pub fn optimize(sys: &StateSpace, tech: &TechConfig) -> SingleProcessorResult {
         unfolding: iopt,
         ops_unfolded: opsi,
         speedup: dense_speedup,
-        scaling: tech.voltage.scale_for_slowdown(tech.initial_voltage, dense_speedup),
+        scaling: scale_or_fallback(&tech.voltage, tech.initial_voltage, dense_speedup, &mut diagnostics)?,
     };
 
     // Real coefficients.
-    let choice = best_unfolding(sys, TrivialityRule::ZeroOne, wm, wa);
+    let choice = best_unfolding(sys, TrivialityRule::ZeroOne, wm, wa)?;
     let real = UnfoldingOutcome {
         ops_initial: op_count(sys, TrivialityRule::ZeroOne),
         unfolding: choice.unfolding,
         ops_unfolded: choice.ops,
         speedup: choice.speedup(),
-        scaling: tech.voltage.scale_for_slowdown(tech.initial_voltage, choice.speedup()),
+        scaling: scale_or_fallback(&tech.voltage, tech.initial_voltage, choice.speedup(), &mut diagnostics)?,
     };
 
-    SingleProcessorResult { dims: (p, q, r), dense, real }
+    Ok(SingleProcessorResult { dims: (p, q, r), dense, real, diagnostics })
 }
 
 #[cfg(test)]
@@ -106,7 +118,7 @@ mod tests {
     fn worked_example_matches_paper_numbers() {
         // §3: P = Q = 1, R = 5, initial 3.0 V.
         let sys = dense_synthetic(1, 1, 5);
-        let r = optimize(&sys, &TechConfig::dac96(3.0));
+        let r = optimize(&sys, &TechConfig::dac96(3.0)).unwrap();
         assert_eq!(r.dense.unfolding, 6);
         assert!((r.dense.speedup - 1.975).abs() < 0.01, "S_max {}", r.dense.speedup);
         // Voltage drops substantially below 3.0 and power reduction beats
@@ -124,15 +136,15 @@ mod tests {
         // §3: "If the initial voltage was 5.0 ... an even larger power
         // reduction".
         let sys = dense_synthetic(1, 1, 5);
-        let r33 = optimize(&sys, &TechConfig::dac96(3.3));
-        let r50 = optimize(&sys, &TechConfig::dac96(5.0));
+        let r33 = optimize(&sys, &TechConfig::dac96(3.3)).unwrap();
+        let r50 = optimize(&sys, &TechConfig::dac96(5.0)).unwrap();
         assert!(r50.dense.power_reduction() > r33.dense.power_reduction());
     }
 
     #[test]
     fn dist_gets_no_reduction() {
         let d = by_name("dist").unwrap();
-        let r = optimize(&d.system, &TechConfig::dac96(3.3));
+        let r = optimize(&d.system, &TechConfig::dac96(3.3)).unwrap();
         assert_eq!(r.real.unfolding, 0);
         assert!((r.real.power_reduction() - 1.0).abs() < 1e-9);
     }
@@ -141,7 +153,7 @@ mod tests {
     fn dense_designs_match_dense_prediction() {
         for name in ["ellip", "steam"] {
             let d = by_name(name).unwrap();
-            let r = optimize(&d.system, &TechConfig::dac96(3.3));
+            let r = optimize(&d.system, &TechConfig::dac96(3.3)).unwrap();
             assert_eq!(r.real.unfolding, r.dense.unfolding, "{name}");
             assert!(
                 (r.real.power_reduction() - r.dense.power_reduction()).abs()
@@ -159,7 +171,7 @@ mod tests {
         // with at least one design (dist) getting none.
         let results: Vec<f64> = suite()
             .iter()
-            .map(|d| optimize(&d.system, &TechConfig::dac96(3.3)).real.power_reduction())
+            .map(|d| optimize(&d.system, &TechConfig::dac96(3.3)).unwrap().real.power_reduction())
             .collect();
         let avg = results.iter().sum::<f64>() / results.len() as f64;
         assert!(avg > 1.5, "average reduction {avg} ({results:?})");
@@ -169,7 +181,7 @@ mod tests {
     #[test]
     fn frequency_only_fallback_is_linear() {
         let sys = dense_synthetic(1, 1, 8);
-        let r = optimize(&sys, &TechConfig::dac96(3.3));
+        let r = optimize(&sys, &TechConfig::dac96(3.3)).unwrap();
         assert!((r.dense.power_reduction_frequency_only() - r.dense.speedup).abs() < 1e-12);
         assert!((r.dense.frequency_ratio() - 1.0 / r.dense.speedup).abs() < 1e-12);
     }
@@ -177,7 +189,7 @@ mod tests {
     #[test]
     fn real_never_beats_what_its_own_speedup_allows() {
         for d in suite() {
-            let r = optimize(&d.system, &TechConfig::dac96(3.3));
+            let r = optimize(&d.system, &TechConfig::dac96(3.3)).unwrap();
             let bound = (3.3 / 1.1_f64).powi(2) * r.real.speedup;
             assert!(r.real.power_reduction() <= bound + 1e-9, "{}", d.name);
         }

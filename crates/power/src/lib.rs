@@ -19,12 +19,15 @@
 //! ```
 //! use lintra_power::VoltageModel;
 //!
+//! # fn main() -> Result<(), lintra_power::VoltageError> {
 //! let tech = VoltageModel::dac96();
 //! // A 2x reduction in operations per sample lets the clock run 2x slower;
 //! // find the voltage where gates are exactly 2x slower than at 3.3 V.
-//! let scaled = tech.scale_for_slowdown(3.3, 2.0);
+//! let scaled = tech.scale_for_slowdown(3.3, 2.0)?;
 //! assert!(scaled.voltage < 3.3 && scaled.voltage >= tech.v_min());
 //! assert!(scaled.power_reduction() > 2.0); // quadratic beats linear
+//! # Ok(())
+//! # }
 //! ```
 
 mod energy;
@@ -33,7 +36,7 @@ mod voltage;
 
 pub use energy::{EnergyBreakdown, EnergyModel, OpEnergy};
 pub use shutdown::{power_down_break_even, relative_power, IdleStrategy};
-pub use voltage::{VoltageModel, VoltageModelError, VoltageScaling};
+pub use voltage::{VoltageError, VoltageModel, VoltageModelError, VoltageScaling};
 
 /// Average switching power `P = α·C_L·V_dd²·f` (EQ 1 of the paper).
 ///

@@ -51,6 +51,57 @@ impl fmt::Display for VoltageModelError {
 
 impl std::error::Error for VoltageModelError {}
 
+/// Error from the delay-curve inversion
+/// ([`VoltageModel::voltage_for_slowdown`] /
+/// [`VoltageModel::scale_for_slowdown`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VoltageError {
+    /// The starting supply voltage is at or below the threshold voltage,
+    /// where the delay model is undefined.
+    BelowThreshold {
+        /// The offending supply voltage.
+        voltage: f64,
+        /// The technology threshold voltage.
+        vt: f64,
+    },
+    /// The requested slowdown is not a finite value `>= 1` (this crate only
+    /// models slowing gates down, never speeding them up).
+    InfeasibleSlowdown {
+        /// The offending slowdown factor.
+        slowdown: f64,
+    },
+    /// Bisection failed to invert the delay curve to the requested accuracy
+    /// (e.g. the slowdown is so large the delay target overflows).
+    NonConvergence {
+        /// The requested slowdown factor.
+        slowdown: f64,
+        /// Number of bisection iterations performed before giving up.
+        iterations: u32,
+    },
+}
+
+impl fmt::Display for VoltageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VoltageError::BelowThreshold { voltage, vt } => {
+                write!(f, "supply voltage {voltage} V is at or below threshold {vt} V")
+            }
+            VoltageError::InfeasibleSlowdown { slowdown } => {
+                write!(f, "slowdown factor {slowdown} is infeasible (must be finite and >= 1)")
+            }
+            VoltageError::NonConvergence { slowdown, iterations } => {
+                write!(
+                    f,
+                    "bisection failed to invert the delay curve for slowdown {slowdown} \
+                     after {iterations} iterations"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for VoltageError {}
+
 impl VoltageModel {
     /// Creates a model with threshold `vt`, minimum feasible supply `v_min`,
     /// and normalization reference `v_ref`.
@@ -127,23 +178,39 @@ impl VoltageModel {
     /// Finds the supply voltage at which gates are exactly `slowdown` times
     /// slower than at `v_from`, ignoring the technology floor.
     ///
-    /// Returns `None` when `slowdown < 1` cannot be realized below `v_from`
-    /// (this crate only models slowing down).
+    /// # Errors
     ///
-    /// # Panics
-    ///
-    /// Panics if `v_from <= vt` or `slowdown` is not finite and `>= 1`.
-    pub fn voltage_for_slowdown(&self, v_from: f64, slowdown: f64) -> Option<f64> {
-        assert!(slowdown.is_finite() && slowdown >= 1.0, "slowdown must be >= 1, got {slowdown}");
+    /// * [`VoltageError::BelowThreshold`] when `v_from <= vt`,
+    /// * [`VoltageError::InfeasibleSlowdown`] when `slowdown` is not a
+    ///   finite value `>= 1` (this crate only models slowing down),
+    /// * [`VoltageError::NonConvergence`] when bisection cannot reach the
+    ///   delay target (e.g. the target overflows for an astronomically
+    ///   large slowdown).
+    pub fn voltage_for_slowdown(&self, v_from: f64, slowdown: f64) -> Result<f64, VoltageError> {
+        if !(v_from.is_finite() && v_from > self.vt) {
+            return Err(VoltageError::BelowThreshold { voltage: v_from, vt: self.vt });
+        }
+        if !(slowdown.is_finite() && slowdown >= 1.0) {
+            return Err(VoltageError::InfeasibleSlowdown { slowdown });
+        }
+        const ITERATIONS: u32 = 200;
         let target = self.raw_delay(v_from) * slowdown;
+        if !target.is_finite() {
+            return Err(VoltageError::NonConvergence { slowdown, iterations: 0 });
+        }
         // d is strictly decreasing on (vt, inf) and d -> inf as v -> vt+,
         // so a solution in (vt, v_from] always exists. Bisect.
         let mut lo = self.vt * (1.0 + 1e-12) + 1e-12;
         let mut hi = v_from;
         if self.raw_delay(hi) >= target {
-            return Some(hi);
+            return Ok(hi);
         }
-        for _ in 0..200 {
+        if self.raw_delay(lo) < target {
+            // The target lies beyond the steep near-threshold wall the
+            // bracket can represent in f64.
+            return Err(VoltageError::NonConvergence { slowdown, iterations: 0 });
+        }
+        for _ in 0..ITERATIONS {
             let mid = 0.5 * (lo + hi);
             if self.raw_delay(mid) > target {
                 lo = mid;
@@ -151,7 +218,12 @@ impl VoltageModel {
                 hi = mid;
             }
         }
-        Some(0.5 * (lo + hi))
+        let v = 0.5 * (lo + hi);
+        let achieved = self.raw_delay(v) / self.raw_delay(v_from);
+        if !achieved.is_finite() || (achieved - slowdown).abs() / slowdown > 1e-6 {
+            return Err(VoltageError::NonConvergence { slowdown, iterations: ITERATIONS });
+        }
+        Ok(v)
     }
 
     /// Applies a slowdown budget: chooses the lowest feasible voltage (at or
@@ -159,20 +231,35 @@ impl VoltageModel {
     /// returns the full bookkeeping.
     ///
     /// When the exact voltage would fall below `v_min`, the result is
-    /// clamped and the residual slowdown is recorded; it still contributes a
-    /// *linear* power reduction via frequency reduction or shutdown (§3 of
-    /// the paper).
+    /// clamped ([`VoltageScaling::clamped`] reports this) and the residual
+    /// slowdown is recorded; it still contributes a *linear* power
+    /// reduction via frequency reduction or shutdown (§3 of the paper).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `v_from` is not in `(vt, +inf)` or `slowdown < 1`.
-    pub fn scale_for_slowdown(&self, v_from: f64, slowdown: f64) -> VoltageScaling {
-        let exact = self
-            .voltage_for_slowdown(v_from, slowdown)
-            .expect("slowdown >= 1 always has a voltage solution");
+    /// Propagates [`VoltageError`] from the delay-curve inversion. A
+    /// bisection failure past the `v_min` clamp is *not* an error: when the
+    /// requested slowdown is deeper than the floor allows, the result is
+    /// the clamped scaling at `v_min`.
+    pub fn scale_for_slowdown(
+        &self,
+        v_from: f64,
+        slowdown: f64,
+    ) -> Result<VoltageScaling, VoltageError> {
+        let exact = match self.voltage_for_slowdown(v_from, slowdown) {
+            Ok(v) => v,
+            // The floor would have clamped the answer anyway; degrade to it.
+            Err(VoltageError::NonConvergence { .. }) if slowdown.is_finite() => self.v_min,
+            Err(e) => return Err(e),
+        };
         let voltage = exact.max(self.v_min).min(v_from);
         let slowdown_at_voltage = self.slowdown_between(v_from, voltage).min(slowdown);
-        VoltageScaling { v_initial: v_from, voltage, slowdown_requested: slowdown, slowdown_at_voltage }
+        Ok(VoltageScaling {
+            v_initial: v_from,
+            voltage,
+            slowdown_requested: slowdown,
+            slowdown_at_voltage,
+        })
     }
 }
 
@@ -272,7 +359,7 @@ mod tests {
     #[test]
     fn scaling_clamps_at_v_min() {
         let m = VoltageModel::dac96();
-        let s = m.scale_for_slowdown(3.3, 1e6);
+        let s = m.scale_for_slowdown(3.3, 1e6).unwrap();
         assert_eq!(s.voltage, m.v_min());
         assert!(s.clamped());
         assert!(s.residual_slowdown() > 1.0);
@@ -284,7 +371,7 @@ mod tests {
     #[test]
     fn unit_slowdown_is_identity() {
         let m = VoltageModel::dac96();
-        let s = m.scale_for_slowdown(3.3, 1.0);
+        let s = m.scale_for_slowdown(3.3, 1.0).unwrap();
         assert_eq!(s.voltage, 3.3);
         assert!(!s.clamped());
         assert!((s.power_reduction() - 1.0).abs() < 1e-12);
@@ -293,7 +380,7 @@ mod tests {
     #[test]
     fn quadratic_beats_linear_when_unclamped() {
         let m = VoltageModel::dac96();
-        let s = m.scale_for_slowdown(5.0, 2.0);
+        let s = m.scale_for_slowdown(5.0, 2.0).unwrap();
         assert!(!s.clamped());
         assert!(s.power_reduction() > 2.0);
     }
@@ -313,5 +400,42 @@ mod tests {
     #[should_panic(expected = "must exceed threshold")]
     fn delay_below_threshold_panics() {
         let _ = VoltageModel::dac96().raw_delay(0.5);
+    }
+
+    #[test]
+    fn inversion_below_threshold_is_typed_error() {
+        let m = VoltageModel::dac96();
+        assert!(matches!(
+            m.voltage_for_slowdown(0.5, 2.0),
+            Err(VoltageError::BelowThreshold { .. })
+        ));
+        assert!(matches!(
+            m.scale_for_slowdown(0.5, 2.0),
+            Err(VoltageError::BelowThreshold { .. })
+        ));
+    }
+
+    #[test]
+    fn speedup_request_is_infeasible() {
+        let m = VoltageModel::dac96();
+        for s in [0.5, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                m.voltage_for_slowdown(3.3, s),
+                Err(VoltageError::InfeasibleSlowdown { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn overflowing_target_reports_non_convergence_but_scaling_clamps() {
+        let m = VoltageModel::dac96();
+        // raw_delay(3.3) * 1e308 overflows: bisection cannot represent the
+        // target, so the raw inversion fails ...
+        let err = m.voltage_for_slowdown(3.3, 1e308).unwrap_err();
+        assert!(matches!(err, VoltageError::NonConvergence { .. }));
+        // ... but the clamped scaling degrades gracefully to v_min.
+        let s = m.scale_for_slowdown(3.3, 1e308).unwrap();
+        assert_eq!(s.voltage, m.v_min());
+        assert!(s.clamped());
     }
 }

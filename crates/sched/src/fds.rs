@@ -197,7 +197,8 @@ pub fn force_directed_schedule(
             .min_by_key(|&i| (hi[i] - lo[i], i));
         let Some(i) = next else { break };
         let node = g.node(lintra_dfg::NodeId(i));
-        let class = unit_class(&node.kind).expect("ops have a class");
+        // `ops` only contains operation nodes, which always classify.
+        let Some(class) = unit_class(&node.kind) else { continue };
         let l = model.latency(&node.kind).max(1);
 
         // Pick the start time with the lowest self force.
@@ -234,10 +235,13 @@ pub fn force_directed_schedule(
     for &i in &ops {
         let node = g.node(lintra_dfg::NodeId(i));
         let l = model.latency(&node.kind).max(1);
-        let s = fixed[i].expect("all ops scheduled");
+        // The loop above fixes every op; an unfixed op contributes nothing.
+        let (Some(s), Some(class)) = (fixed[i], unit_class(&node.kind)) else {
+            continue;
+        };
         for c in s..s + l {
             if (c as usize) < horizon {
-                match unit_class(&node.kind).expect("op class") {
+                match class {
                     UnitClass::Multiplier => mult_use[c as usize] += 1,
                     UnitClass::Alu => alu_use[c as usize] += 1,
                 }
@@ -303,7 +307,7 @@ mod tests {
 
     #[test]
     fn infeasible_latency_rejected() {
-        let g = build::from_state_space(&dense(3));
+        let g = build::from_state_space(&dense(3)).unwrap();
         let m = ProcessorModel::unit();
         let err = force_directed_schedule(&g, &m, 1).unwrap_err();
         assert!(matches!(err, FdsError::Infeasible { .. }));
@@ -311,7 +315,7 @@ mod tests {
 
     #[test]
     fn schedules_are_valid_at_various_latencies() {
-        let g = build::from_state_space(&dense(4));
+        let g = build::from_state_space(&dense(4)).unwrap();
         let m = ProcessorModel::unit();
         let (_, cp) = asap_times(&g, &m);
         for slack in [0u64, 2, 5, 10] {
@@ -322,7 +326,7 @@ mod tests {
 
     #[test]
     fn more_latency_never_needs_more_hardware() {
-        let g = build::from_unfolded(&unfold(&dense(3), 2));
+        let g = build::from_unfolded(&unfold(&dense(3), 2).unwrap()).unwrap();
         let m = ProcessorModel::unit();
         let (_, cp) = asap_times(&g, &m);
         let tight = force_directed_schedule(&g, &m, cp).unwrap();
@@ -335,7 +339,7 @@ mod tests {
     fn fds_beats_asap_resource_usage() {
         // ASAP piles every multiplication into the first cycle; FDS with
         // slack spreads them out.
-        let g = build::from_state_space(&dense(5));
+        let g = build::from_state_space(&dense(5)).unwrap();
         let m = ProcessorModel::unit();
         let (asap, cp) = asap_times(&g, &m);
         // ASAP peak multiplier usage.
@@ -356,7 +360,7 @@ mod tests {
 
     #[test]
     fn resource_usage_meets_work_lower_bound() {
-        let g = build::from_state_space(&dense(4));
+        let g = build::from_state_space(&dense(4)).unwrap();
         let m = ProcessorModel::unit();
         let (_, cp) = asap_times(&g, &m);
         let latency = cp + 4;
@@ -368,7 +372,7 @@ mod tests {
 
     #[test]
     fn dsp_model_multicycle_multiplies_fit() {
-        let g = build::from_state_space(&dense(3));
+        let g = build::from_state_space(&dense(3)).unwrap();
         let m = ProcessorModel::dsp();
         let (_, cp) = asap_times(&g, &m);
         let s = force_directed_schedule(&g, &m, cp + 3).unwrap();

@@ -108,7 +108,7 @@ mod tests {
 
     #[test]
     fn on_arrival_never_slower_than_block() {
-        let g = build::from_unfolded(&unfold(&sys(), 4));
+        let g = build::from_unfolded(&unfold(&sys(), 4).unwrap()).unwrap();
         let t = timing();
         let block = batch_latency(&g, &t, 10.0, BatchArrival::Block);
         let onarr = batch_latency(&g, &t, 10.0, BatchArrival::OnArrival);
@@ -122,7 +122,7 @@ mod tests {
 
     #[test]
     fn identical_for_unit_batch() {
-        let g = build::from_state_space(&sys());
+        let g = build::from_state_space(&sys()).unwrap();
         let t = timing();
         let block = batch_latency(&g, &t, 10.0, BatchArrival::Block);
         let onarr = batch_latency(&g, &t, 10.0, BatchArrival::OnArrival);
@@ -133,7 +133,7 @@ mod tests {
     fn block_latency_dominated_by_buffering() {
         // With a long sample period, block latency for sample 0 is at
         // least (n-1)*T: it waits for the whole batch.
-        let g = build::from_unfolded(&unfold(&sys(), 3));
+        let g = build::from_unfolded(&unfold(&sys(), 3).unwrap()).unwrap();
         let t = timing();
         let period = 100.0;
         let block = batch_latency(&g, &t, period, BatchArrival::Block);
@@ -155,7 +155,7 @@ mod tests {
 
     #[test]
     fn completion_count_matches_batch() {
-        let g = build::from_unfolded(&unfold(&sys(), 5));
+        let g = build::from_unfolded(&unfold(&sys(), 5).unwrap()).unwrap();
         let rep = batch_latency(&g, &timing(), 1.0, BatchArrival::OnArrival);
         assert_eq!(rep.completions.len(), 6);
     }

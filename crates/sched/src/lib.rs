@@ -31,10 +31,10 @@
 //!     Matrix::from_rows(&[&[0.9, 0.8]]),
 //!     Matrix::from_rows(&[&[0.6]]),
 //! )?;
-//! let g = build::from_unfolded(&unfold(&sys, 3));
+//! let g = build::from_unfolded(&unfold(&sys, 3)?)?;
 //! let m = ProcessorModel::unit();
-//! let s1 = list_schedule(&g, 1, &m);
-//! let s2 = list_schedule(&g, 2, &m);
+//! let s1 = list_schedule(&g, 1, &m)?;
+//! let s2 = list_schedule(&g, 2, &m)?;
 //! assert!(s2.length <= s1.length);
 //! s2.validate(&g, &m).unwrap();
 //! # Ok(())
@@ -110,6 +110,26 @@ pub struct Schedule {
     pub slots: Vec<Slot>,
 }
 
+/// Error from [`list_schedule`] and [`speedup_curve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// Scheduling was requested onto zero processors (resource
+    /// starvation): no operation could ever be placed.
+    NoProcessors,
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::NoProcessors => {
+                write!(f, "scheduling requires at least one processor")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
 /// Error from [`Schedule::validate`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ValidateScheduleError {
@@ -171,15 +191,16 @@ impl Schedule {
                 let start = start_of[id.0]
                     .ok_or(ValidateScheduleError::Unscheduled { node: id.0 })?;
                 if start < ready {
-                    let bad = n
+                    // `ready` is the max predecessor finish, so a late
+                    // predecessor must exist; fall back to the node itself
+                    // rather than asserting the invariant.
+                    let pred = n
                         .preds
                         .iter()
                         .find(|p| finish[p.0] > start)
-                        .expect("some predecessor finishes late");
-                    return Err(ValidateScheduleError::DependencyViolation {
-                        node: id.0,
-                        pred: bad.0,
-                    });
+                        .map(|p| p.0)
+                        .unwrap_or(id.0);
+                    return Err(ValidateScheduleError::DependencyViolation { node: id.0, pred });
                 }
                 finish[id.0] = start + model.latency(&n.kind);
             } else {
@@ -211,11 +232,17 @@ impl Schedule {
 /// Critical-path-priority list scheduling of `g` onto `n_processors`
 /// homogeneous processors (zero communication cost).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `n_processors == 0`.
-pub fn list_schedule(g: &Dfg, n_processors: usize, model: &ProcessorModel) -> Schedule {
-    assert!(n_processors > 0, "need at least one processor");
+/// Returns [`ScheduleError::NoProcessors`] when `n_processors == 0`.
+pub fn list_schedule(
+    g: &Dfg,
+    n_processors: usize,
+    model: &ProcessorModel,
+) -> Result<Schedule, ScheduleError> {
+    if n_processors == 0 {
+        return Err(ScheduleError::NoProcessors);
+    }
 
     // Priority: longest remaining path (including own latency).
     let mut priority = vec![0u64; g.len()];
@@ -254,7 +281,6 @@ pub fn list_schedule(g: &Dfg, n_processors: usize, model: &ProcessorModel) -> Sc
     fn finish_node(
         i: usize,
         t: u64,
-        g: &Dfg,
         succs: &[Vec<usize>],
         unfinished_preds: &mut [usize],
         finish_time: &mut [u64],
@@ -269,7 +295,6 @@ pub fn list_schedule(g: &Dfg, n_processors: usize, model: &ProcessorModel) -> Sc
                 resolve_queue.push(s);
             }
         }
-        let _ = g;
     }
 
     let mut now = 0u64;
@@ -286,7 +311,6 @@ pub fn list_schedule(g: &Dfg, n_processors: usize, model: &ProcessorModel) -> Sc
                 finish_node(
                     i,
                     ready_at,
-                    g,
                     &succs,
                     &mut unfinished_preds,
                     &mut finish_time,
@@ -330,7 +354,6 @@ pub fn list_schedule(g: &Dfg, n_processors: usize, model: &ProcessorModel) -> Sc
                 finish_node(
                     i,
                     t,
-                    g,
                     &succs,
                     &mut unfinished_preds,
                     &mut finish_time,
@@ -348,18 +371,28 @@ pub fn list_schedule(g: &Dfg, n_processors: usize, model: &ProcessorModel) -> Sc
         .map(|s| s.start + model.latency(&g.node(s.node).kind))
         .max()
         .unwrap_or(0);
-    Schedule { length, processors: n_processors, slots }
+    Ok(Schedule { length, processors: n_processors, slots })
 }
 
 /// Schedule lengths and speedups for `1..=max_processors`.
 ///
 /// Returns `(lengths, speedups)` where `speedups[n-1] =
 /// lengths[0] / lengths[n-1]`.
-pub fn speedup_curve(g: &Dfg, max_processors: usize, model: &ProcessorModel) -> (Vec<u64>, Vec<f64>) {
-    let lengths: Vec<u64> =
-        (1..=max_processors).map(|n| list_schedule(g, n, model).length).collect();
+///
+/// # Errors
+///
+/// Propagates [`ScheduleError`] from the underlying schedules.
+pub fn speedup_curve(
+    g: &Dfg,
+    max_processors: usize,
+    model: &ProcessorModel,
+) -> Result<(Vec<u64>, Vec<f64>), ScheduleError> {
+    let mut lengths: Vec<u64> = Vec::with_capacity(max_processors);
+    for n in 1..=max_processors {
+        lengths.push(list_schedule(g, n, model)?.length);
+    }
     let speedups = lengths.iter().map(|&l| lengths[0] as f64 / l as f64).collect();
-    (lengths, speedups)
+    Ok((lengths, speedups))
 }
 
 #[cfg(test)]
@@ -382,18 +415,18 @@ mod tests {
 
     #[test]
     fn single_processor_length_equals_total_work() {
-        let g = build::from_state_space(&dense(1, 1, 4));
+        let g = build::from_state_space(&dense(1, 1, 4)).unwrap();
         let m = ProcessorModel::unit();
-        let s = list_schedule(&g, 1, &m);
+        let s = list_schedule(&g, 1, &m).unwrap();
         assert_eq!(s.length, m.total_work(&g));
         s.validate(&g, &m).unwrap();
     }
 
     #[test]
     fn more_processors_never_hurt() {
-        let g = build::from_unfolded(&unfold(&dense(1, 1, 5), 4));
+        let g = build::from_unfolded(&unfold(&dense(1, 1, 5), 4).unwrap()).unwrap();
         let m = ProcessorModel::unit();
-        let (lengths, speedups) = speedup_curve(&g, 8, &m);
+        let (lengths, speedups) = speedup_curve(&g, 8, &m).unwrap();
         for w in lengths.windows(2) {
             assert!(w[1] <= w[0], "lengths {lengths:?}");
         }
@@ -402,10 +435,10 @@ mod tests {
 
     #[test]
     fn schedules_are_valid_for_all_processor_counts() {
-        let g = build::from_unfolded(&unfold(&dense(2, 1, 3), 3));
+        let g = build::from_unfolded(&unfold(&dense(2, 1, 3), 3).unwrap()).unwrap();
         for m in [ProcessorModel::unit(), ProcessorModel::dsp()] {
             for n in 1..=6 {
-                let s = list_schedule(&g, n, &m);
+                let s = list_schedule(&g, n, &m).unwrap();
                 s.validate(&g, &m).unwrap_or_else(|e| panic!("n={n}: {e}"));
             }
         }
@@ -413,11 +446,11 @@ mod tests {
 
     #[test]
     fn length_bounded_below_by_work_and_critical_path() {
-        let g = build::from_unfolded(&unfold(&dense(1, 1, 4), 5));
+        let g = build::from_unfolded(&unfold(&dense(1, 1, 4), 5).unwrap()).unwrap();
         let m = ProcessorModel::unit();
         let work = m.total_work(&g);
         for n in 1..=6u64 {
-            let s = list_schedule(&g, n as usize, &m);
+            let s = list_schedule(&g, n as usize, &m).unwrap();
             assert!(s.length >= work.div_ceil(n), "work bound violated at n={n}");
         }
     }
@@ -428,9 +461,9 @@ mod tests {
         // N <= R on unfolded dense computations.
         let r = 4;
         let sys = dense(1, 1, r);
-        let g = build::from_unfolded(&unfold(&sys, 5));
+        let g = build::from_unfolded(&unfold(&sys, 5).unwrap()).unwrap();
         let m = ProcessorModel::unit();
-        let (_, speedups) = speedup_curve(&g, r, &m);
+        let (_, speedups) = speedup_curve(&g, r, &m).unwrap();
         for (idx, &s) in speedups.iter().enumerate() {
             let n = (idx + 1) as f64;
             assert!(
@@ -443,9 +476,9 @@ mod tests {
     #[test]
     fn unbounded_processors_hit_critical_path() {
         let sys = dense(1, 1, 3);
-        let g = build::from_state_space(&sys);
+        let g = build::from_state_space(&sys).unwrap();
         let m = ProcessorModel::unit();
-        let s = list_schedule(&g, 64, &m);
+        let s = list_schedule(&g, 64, &m).unwrap();
         // With unlimited resources the makespan is the graph depth in
         // cycles: mul (1) + tree adds.
         let t = lintra_dfg::OpTiming { t_mul: 1.0, t_add: 1.0, t_shift: 1.0 };
@@ -454,18 +487,26 @@ mod tests {
 
     #[test]
     fn dsp_model_weights_multiplies() {
-        let g = build::from_state_space(&dense(1, 1, 2));
-        let unit = list_schedule(&g, 1, &ProcessorModel::unit()).length;
-        let dsp = list_schedule(&g, 1, &ProcessorModel::dsp()).length;
+        let g = build::from_state_space(&dense(1, 1, 2)).unwrap();
+        let unit = list_schedule(&g, 1, &ProcessorModel::unit()).unwrap().length;
+        let dsp = list_schedule(&g, 1, &ProcessorModel::dsp()).unwrap().length;
         let muls = g.op_counts().muls;
         assert_eq!(dsp, unit + muls);
     }
 
     #[test]
-    fn validator_catches_conflicts() {
-        let g = build::from_state_space(&dense(1, 1, 2));
+    fn zero_processors_is_a_typed_error() {
+        let g = build::from_state_space(&dense(1, 1, 2)).unwrap();
         let m = ProcessorModel::unit();
-        let mut s = list_schedule(&g, 2, &m);
+        assert_eq!(list_schedule(&g, 0, &m).unwrap_err(), ScheduleError::NoProcessors);
+        assert!(speedup_curve(&g, 0, &m).unwrap().0.is_empty());
+    }
+
+    #[test]
+    fn validator_catches_conflicts() {
+        let g = build::from_state_space(&dense(1, 1, 2)).unwrap();
+        let m = ProcessorModel::unit();
+        let mut s = list_schedule(&g, 2, &m).unwrap();
         // Force two ops onto processor 0 at the same start.
         if s.slots.len() >= 2 {
             let start = s.slots[0].start;

@@ -257,7 +257,7 @@ mod tests {
         let d = by_name("dist").unwrap();
         let base = op_count(&d.system, TrivialityRule::ZeroOne);
         for i in 1..=4u32 {
-            let u = unfold(&d.system, i);
+            let u = unfold(&d.system, i).unwrap();
             let ops = op_count(&u.system, TrivialityRule::ZeroOne);
             let per = ops.total() as f64 / (i + 1) as f64;
             assert!(

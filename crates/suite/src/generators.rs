@@ -1,9 +1,8 @@
 //! Synthetic system and workload generators.
 
 use lintra_linsys::StateSpace;
+use lintra_matrix::rng::SplitMix64;
 use lintra_matrix::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A deterministic dense stable system with arbitrary non-trivial
 /// coefficients everywhere — the "dense coefficient matrices" case of the
@@ -37,15 +36,15 @@ pub fn dense_synthetic(p: usize, q: usize, r: usize) -> StateSpace {
 pub fn random_stable(p: usize, q: usize, r: usize, sparsity: f64, seed: u64) -> StateSpace {
     assert!(p > 0 && q > 0 && r > 0, "dimensions must be positive");
     assert!((0.0..1.0).contains(&sparsity), "sparsity must be in [0,1)");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut gen = |rows: usize, cols: usize| {
         Matrix::from_fn(rows, cols, |_, _| {
-            if rng.random::<f64>() < sparsity {
+            if rng.next_f64() < sparsity {
                 0.0
             } else {
                 // Avoid trivial values: keep magnitude in [0.05, 0.95].
-                let mag = 0.05 + 0.9 * rng.random::<f64>();
-                if rng.random::<bool>() {
+                let mag = 0.05 + 0.9 * rng.next_f64();
+                if rng.next_bool() {
                     mag
                 } else {
                     -mag
@@ -65,9 +64,9 @@ pub fn random_stable(p: usize, q: usize, r: usize, sparsity: f64, seed: u64) -> 
 /// A seeded random input stimulus: `len` samples of width `p`, uniform in
 /// `[-1, 1]`.
 pub fn stimulus(p: usize, len: usize, seed: u64) -> Vec<Vec<f64>> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     (0..len)
-        .map(|_| (0..p).map(|_| rng.random_range(-1.0..1.0)).collect())
+        .map(|_| (0..p).map(|_| rng.range_f64(-1.0, 1.0)).collect())
         .collect()
 }
 

@@ -5,7 +5,7 @@
 //! identical pure nodes (same operator, same already-numbered operands,
 //! with commutative operand sorting for `Add`) onto one representative.
 
-use lintra_dfg::{Dfg, NodeId, NodeKind};
+use lintra_dfg::{Dfg, DfgError, NodeId, NodeKind};
 use std::collections::HashMap;
 
 /// A hashable structural key for value numbering.
@@ -75,7 +75,12 @@ pub struct CseReport {
 }
 
 /// Rebuilds the graph with structurally duplicate pure nodes merged.
-pub fn eliminate(g: &Dfg) -> (Dfg, CseReport) {
+///
+/// # Errors
+///
+/// Propagates [`DfgError`] from node insertion; the rebuilt graph is
+/// re-validated before being returned.
+pub fn eliminate(g: &Dfg) -> Result<(Dfg, CseReport), DfgError> {
     let mut out = Dfg::new();
     let mut remap: Vec<NodeId> = Vec::with_capacity(g.len());
     let mut seen: HashMap<Key, NodeId> = HashMap::new();
@@ -89,16 +94,17 @@ pub fn eliminate(g: &Dfg) -> (Dfg, CseReport) {
                     report.merged += 1;
                     existing
                 } else {
-                    let id = out.push(n.kind, preds_new).expect("copy is valid");
+                    let id = out.push(n.kind, preds_new)?;
                     seen.insert(key, id);
                     id
                 }
             }
-            None => out.push(n.kind, preds_new).expect("copy is valid"),
+            None => out.push(n.kind, preds_new)?,
         };
         remap.push(id);
     }
-    (out, report)
+    out.validate()?;
+    Ok((out, report))
 }
 
 #[cfg(test)]
@@ -114,10 +120,10 @@ mod tests {
         let m2 = g.push(NodeKind::MulConst(0.3), vec![x]).unwrap();
         let a = g.push(NodeKind::Add, vec![m1, m2]).unwrap();
         g.push(NodeKind::Output { sample: 0, channel: 0 }, vec![a]).unwrap();
-        let (h, report) = eliminate(&g);
+        let (h, report) = eliminate(&g).unwrap();
         assert_eq!(report.merged, 1);
         assert_eq!(h.op_counts().muls, 1);
-        let (o, _) = h.simulate(&[], &Map::from([((0, 0), 2.0)]));
+        let (o, _) = h.simulate(&[], &Map::from([((0, 0), 2.0)])).unwrap();
         assert!((o[&(0, 0)] - 1.2).abs() < 1e-12);
     }
 
@@ -134,12 +140,12 @@ mod tests {
         let t2 = g.push(NodeKind::Add, vec![s1, s2]).unwrap();
         let t = g.push(NodeKind::Add, vec![t1, t2]).unwrap();
         g.push(NodeKind::Output { sample: 0, channel: 0 }, vec![t]).unwrap();
-        let (h, report) = eliminate(&g);
+        let (h, report) = eliminate(&g).unwrap();
         // a2 merges into a1; s1/s2 stay distinct.
         assert_eq!(report.merged, 1);
         let inputs = Map::from([((0, 0), 5.0), ((0, 1), 2.0)]);
-        let (o1, _) = g.simulate(&[], &inputs);
-        let (o2, _) = h.simulate(&[], &inputs);
+        let (o1, _) = g.simulate(&[], &inputs).unwrap();
+        let (o2, _) = h.simulate(&[], &inputs).unwrap();
         assert_eq!(o1[&(0, 0)], o2[&(0, 0)]);
     }
 
@@ -149,7 +155,7 @@ mod tests {
         let x = g.push(NodeKind::Input { sample: 0, channel: 0 }, vec![]).unwrap();
         g.push(NodeKind::Output { sample: 0, channel: 0 }, vec![x]).unwrap();
         g.push(NodeKind::Output { sample: 1, channel: 0 }, vec![x]).unwrap();
-        let (h, report) = eliminate(&g);
+        let (h, report) = eliminate(&g).unwrap();
         assert_eq!(report.merged, 0);
         assert_eq!(h.len(), 3);
     }
@@ -167,9 +173,9 @@ mod tests {
         let a2 = g.push(NodeKind::Add, vec![m2, c2]).unwrap();
         let t = g.push(NodeKind::Add, vec![a1, a2]).unwrap();
         g.push(NodeKind::Output { sample: 0, channel: 0 }, vec![t]).unwrap();
-        let (h, report) = eliminate(&g);
+        let (h, report) = eliminate(&g).unwrap();
         assert_eq!(report.merged, 3); // c2, m2, a2
-        let (o, _) = h.simulate(&[], &Map::from([((0, 0), 4.0)]));
+        let (o, _) = h.simulate(&[], &Map::from([((0, 0), 4.0)])).unwrap();
         assert!((o[&(0, 0)] - 6.0).abs() < 1e-12);
     }
 }

@@ -16,9 +16,9 @@
 //! which is what lets the feed-forward part be pipelined arbitrarily deep
 //! and the voltage driven to the technology minimum.
 
-use lintra_dfg::{build, Dfg, NodeId, NodeKind};
+use lintra_dfg::{build, Dfg, DfgError, NodeId, NodeKind};
 use lintra_linsys::count::{classify, CoeffClass, CLASSIFY_TOL};
-use lintra_linsys::StateSpace;
+use lintra_linsys::{LinsysError, StateSpace};
 use lintra_matrix::Matrix;
 
 /// The Horner-restructured form of an unfolded linear computation.
@@ -35,7 +35,19 @@ pub struct HornerForm {
 
 impl HornerForm {
     /// Restructures `sys` unfolded `i` times (batch `i + 1`).
-    pub fn new(sys: &StateSpace, unfolding: u32) -> HornerForm {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinsysError::UnstableSystem`] when the estimated spectral
+    /// radius of `A` is ≥ 1 — the Horner form precomputes `A^n` and
+    /// `C·A^k`, which diverge for unstable `A` (same guardrail as
+    /// [`lintra_linsys::unfold`]) — and [`LinsysError::NonFinite`] if a
+    /// precomputed power still contains a NaN/∞ entry.
+    pub fn new(sys: &StateSpace, unfolding: u32) -> Result<HornerForm, LinsysError> {
+        let rho = sys.spectral_radius();
+        if rho >= 1.0 {
+            return Err(LinsysError::UnstableSystem { spectral_radius: rho });
+        }
         let n = unfolding as usize + 1;
         let r = sys.num_states();
         let mut c_powers = Vec::with_capacity(n);
@@ -44,7 +56,10 @@ impl HornerForm {
             c_powers.push(sys.c() * &power);
             power = &power * sys.a();
         }
-        HornerForm { batch: n, a_n: power, c_powers, original: sys.clone() }
+        if !power.is_finite() || c_powers.iter().any(|m| !m.is_finite()) {
+            return Err(LinsysError::NonFinite { what: "A" });
+        }
+        Ok(HornerForm { batch: n, a_n: power, c_powers, original: sys.clone() })
     }
 
     /// The original (non-unfolded) system.
@@ -123,27 +138,34 @@ impl HornerForm {
     /// Inputs are labelled `(sample, channel)`; outputs likewise; states
     /// are shared across the batch. The graph is bit-true with
     /// [`HornerForm::simulate_samples`] (verified in tests).
-    pub fn to_dfg(&self) -> Dfg {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DfgError`] from node insertion; the finished graph is
+    /// re-validated before being returned.
+    pub fn to_dfg(&self) -> Result<Dfg, DfgError> {
         let (p, q, r) = self.original.dims();
         let mut g = Dfg::new();
-        let states: Vec<NodeId> =
-            (0..r).map(|i| g.push(NodeKind::StateIn { index: i }, vec![]).expect("src")).collect();
-        let inputs: Vec<Vec<NodeId>> = (0..self.batch)
-            .map(|s| {
-                (0..p)
-                    .map(|ch| {
-                        g.push(NodeKind::Input { sample: s, channel: ch }, vec![]).expect("src")
-                    })
-                    .collect()
-            })
-            .collect();
+        let mut states: Vec<NodeId> = Vec::with_capacity(r);
+        for i in 0..r {
+            states.push(g.push(NodeKind::StateIn { index: i }, vec![])?);
+        }
+        let mut inputs: Vec<Vec<NodeId>> = Vec::with_capacity(self.batch);
+        for s in 0..self.batch {
+            let mut row = Vec::with_capacity(p);
+            for ch in 0..p {
+                row.push(g.push(NodeKind::Input { sample: s, channel: ch }, vec![])?);
+            }
+            inputs.push(row);
+        }
 
         // V accumulator nodes, per state entry; None while V = 0.
         let mut v: Vec<Option<NodeId>> = vec![None; r];
+        #[allow(clippy::needless_range_loop)] // `j` also indexes `c_powers`
         for j in 0..self.batch {
             // Y_j rows: state part (C A^{j-1}), V part (C), input part (D).
             for row in 0..q {
-                let mut terms = build::row_terms(&mut g, self.c_powers[j].row(row), &states);
+                let mut terms = build::row_terms(&mut g, self.c_powers[j].row(row), &states)?;
                 let v_nodes: Vec<NodeId> = v.iter().flatten().copied().collect();
                 let v_coeffs: Vec<f64> = self
                     .original
@@ -154,12 +176,12 @@ impl HornerForm {
                     .filter(|(_, n)| n.is_some())
                     .map(|(c, _)| *c)
                     .collect();
-                let vterms = build::row_terms(&mut g, &v_coeffs, &v_nodes);
-                let dterms = build::row_terms(&mut g, self.original.d().row(row), &inputs[j]);
-                terms.extend(build::sum_to_term(&mut g, vterms));
-                terms.extend(build::sum_to_term(&mut g, dterms));
-                let root = build::sum_to_node(&mut g, terms);
-                g.push(NodeKind::Output { sample: j, channel: row }, vec![root]).expect("sink");
+                let vterms = build::row_terms(&mut g, &v_coeffs, &v_nodes)?;
+                let dterms = build::row_terms(&mut g, self.original.d().row(row), &inputs[j])?;
+                terms.extend(build::sum_to_term(&mut g, vterms)?);
+                terms.extend(build::sum_to_term(&mut g, dterms)?);
+                let root = build::sum_to_node(&mut g, terms)?;
+                g.push(NodeKind::Output { sample: j, channel: row }, vec![root])?;
             }
             // V_j = A V_{j-1} + B U_j.
             let mut vnext: Vec<Option<NodeId>> = Vec::with_capacity(r);
@@ -174,22 +196,26 @@ impl HornerForm {
                     .filter(|(_, n)| n.is_some())
                     .map(|(c, _)| *c)
                     .collect();
-                let mut terms = build::row_terms(&mut g, &a_coeffs, &v_nodes);
-                terms.extend(build::row_terms(&mut g, self.original.b().row(row), &inputs[j]));
-                vnext.push(build::sum_to_term(&mut g, terms).map(|t| build::term_to_node(&mut g, t)));
+                let mut terms = build::row_terms(&mut g, &a_coeffs, &v_nodes)?;
+                terms.extend(build::row_terms(&mut g, self.original.b().row(row), &inputs[j])?);
+                vnext.push(match build::sum_to_term(&mut g, terms)? {
+                    Some(t) => Some(build::term_to_node(&mut g, t)?),
+                    None => None,
+                });
             }
             v = vnext;
         }
         // S' = A^n S + V_n.
-        for row in 0..r {
-            let mut terms = build::row_terms(&mut g, self.a_n.row(row), &states);
-            if let Some(vn) = v[row] {
+        for (row, vn) in v.iter().enumerate().take(r) {
+            let mut terms = build::row_terms(&mut g, self.a_n.row(row), &states)?;
+            if let Some(vn) = *vn {
                 terms.push(build::plain_term(vn));
             }
-            let root = build::sum_to_node(&mut g, terms);
-            g.push(NodeKind::StateOut { index: row }, vec![root]).expect("sink");
+            let root = build::sum_to_node(&mut g, terms)?;
+            g.push(NodeKind::StateOut { index: row }, vec![root])?;
         }
-        g
+        g.validate()?;
+        Ok(g)
     }
 }
 
@@ -222,7 +248,7 @@ mod tests {
         let xs = inputs(24, 2);
         let want = sys.simulate(&xs).unwrap();
         for i in [0u32, 1, 2, 3, 5] {
-            let h = HornerForm::new(&sys, i);
+            let h = HornerForm::new(&sys, i).unwrap();
             let take = (xs.len() / h.batch) * h.batch;
             let got = h.simulate_samples(&xs[..take]);
             for (k, (g, w)) in got.iter().zip(&want).enumerate() {
@@ -236,8 +262,8 @@ mod tests {
     #[test]
     fn horner_dfg_matches_simulation() {
         let sys = sys_mimo();
-        let h = HornerForm::new(&sys, 3);
-        let g = h.to_dfg();
+        let h = HornerForm::new(&sys, 3).unwrap();
+        let g = h.to_dfg().unwrap();
         let xs = inputs(h.batch, 2);
         let want = h.simulate_samples(&xs);
         let mut m = HashMap::new();
@@ -247,7 +273,7 @@ mod tests {
             }
         }
         let state = [0.0, 0.0, 0.0];
-        let (outs, _) = g.simulate(&state, &m);
+        let (outs, _) = g.simulate(&state, &m).unwrap();
         for (s, w) in want.iter().enumerate() {
             for (c, &wv) in w.iter().enumerate() {
                 assert!((outs[&(s, c)] - wv).abs() < 1e-10, "({s},{c})");
@@ -258,8 +284,8 @@ mod tests {
     #[test]
     fn horner_dfg_with_state_matches_original_over_batches() {
         let sys = sys_mimo();
-        let h = HornerForm::new(&sys, 2);
-        let g = h.to_dfg();
+        let h = HornerForm::new(&sys, 2).unwrap();
+        let g = h.to_dfg().unwrap();
         let xs = inputs(12, 2);
         let want = sys.simulate(&xs).unwrap();
         let mut state = vec![0.0; 3];
@@ -271,7 +297,7 @@ mod tests {
                     m.insert((s, c), v);
                 }
             }
-            let (outs, next) = g.simulate(&state, &m);
+            let (outs, next) = g.simulate(&state, &m).unwrap();
             for s in 0..h.batch {
                 got.push(vec![outs[&(s, 0)], outs[&(s, 1)]]);
             }
@@ -290,9 +316,9 @@ mod tests {
         // linear. Compare growth between n = 4 and n = 8.
         let sys = sys_mimo();
         let direct = |i: u32| {
-            lintra_dfg::build::from_unfolded(&unfold(&sys, i)).op_counts().muls as f64
+            lintra_dfg::build::from_unfolded(&unfold(&sys, i).unwrap()).unwrap().op_counts().muls as f64
         };
-        let horner = |i: u32| HornerForm::new(&sys, i).to_dfg().op_counts().muls as f64;
+        let horner = |i: u32| HornerForm::new(&sys, i).unwrap().to_dfg().unwrap().op_counts().muls as f64;
         let d_growth = direct(7) / direct(3);
         let h_growth = horner(7) / horner(3);
         assert!(h_growth < d_growth, "horner {h_growth} vs direct {d_growth}");
@@ -304,24 +330,24 @@ mod tests {
     fn feedback_path_constant_in_unfolding() {
         let sys = sys_mimo();
         let t = OpTiming { t_mul: 2.0, t_add: 1.0, t_shift: 0.0 };
-        let base = HornerForm::new(&sys, 0).to_dfg().feedback_critical_path(&t);
+        let base = HornerForm::new(&sys, 0).unwrap().to_dfg().unwrap().feedback_critical_path(&t);
         for i in [1u32, 3, 6, 10] {
-            let cp = HornerForm::new(&sys, i).to_dfg().feedback_critical_path(&t);
+            let cp = HornerForm::new(&sys, i).unwrap().to_dfg().unwrap().feedback_critical_path(&t);
             assert!(
                 cp <= base + 1.0,
                 "feedback CP grew with unfolding: {cp} vs {base} at i={i}"
             );
         }
         // Meanwhile the total (pipelineable) path grows.
-        let cp_big = HornerForm::new(&sys, 10).to_dfg().critical_path(&t);
-        let cp_small = HornerForm::new(&sys, 0).to_dfg().critical_path(&t);
+        let cp_big = HornerForm::new(&sys, 10).unwrap().to_dfg().unwrap().critical_path(&t);
+        let cp_small = HornerForm::new(&sys, 0).unwrap().to_dfg().unwrap().critical_path(&t);
         assert!(cp_big > cp_small);
     }
 
     #[test]
     fn state_column_constants_collect_nontrivial_values() {
         let sys = sys_mimo();
-        let h = HornerForm::new(&sys, 2);
+        let h = HornerForm::new(&sys, 2).unwrap();
         for j in 0..3 {
             let consts = h.state_column_constants(j);
             // Expected count: non-trivial entries in column j of A^3 and

@@ -6,7 +6,7 @@
 //! network with iterative pairwise matching, and rebuilds the graph with
 //! `Shift`/`Add`/`Sub`/`Neg` nodes in place of the multipliers.
 
-use lintra_dfg::{Dfg, NodeId, NodeKind};
+use lintra_dfg::{Dfg, DfgError, NodeId, NodeKind};
 use lintra_mcm::{quantize, synthesize, McmSolution, OutputRef, Recoding, Source, Term};
 use std::collections::HashMap;
 
@@ -60,18 +60,18 @@ impl GroupEmitter {
         base: NodeId,
         t: &Term,
         report: &mut McmPassReport,
-    ) -> (NodeId, bool) {
+    ) -> Result<(NodeId, bool), DfgError> {
         let src = match t.source {
             Source::Input => base,
-            Source::Expr(i) => self.expr_node(g, base, i, report),
+            Source::Expr(i) => self.expr_node(g, base, i, report)?,
         };
         let shifted = if t.shift != 0 {
             report.shifts_inserted += 1;
-            g.push(NodeKind::Shift(t.shift as i32), vec![src]).expect("shift arity")
+            g.push(NodeKind::Shift(t.shift as i32), vec![src])?
         } else {
             src
         };
-        (shifted, t.neg)
+        Ok((shifted, t.neg))
     }
 
     fn expr_node(
@@ -80,36 +80,36 @@ impl GroupEmitter {
         base: NodeId,
         idx: usize,
         report: &mut McmPassReport,
-    ) -> NodeId {
+    ) -> Result<NodeId, DfgError> {
         if let Some(n) = self.expr_nodes[idx] {
-            return n;
+            return Ok(n);
         }
         let terms = self.plan.exprs[idx].terms.clone();
         let mut acc: Option<(NodeId, bool)> = None;
         for t in &terms {
-            let (node, neg) = self.term_node(g, base, t, report);
+            let (node, neg) = self.term_node(g, base, t, report)?;
             acc = Some(match acc {
                 None => (node, neg),
                 Some((prev, prev_neg)) => {
                     report.adds_inserted += 1;
-                    let combined = match (prev_neg, neg) {
-                        (false, false) => (g.push(NodeKind::Add, vec![prev, node]).expect("add"), false),
-                        (false, true) => (g.push(NodeKind::Sub, vec![prev, node]).expect("sub"), false),
-                        (true, false) => (g.push(NodeKind::Sub, vec![node, prev]).expect("sub"), false),
-                        (true, true) => (g.push(NodeKind::Add, vec![prev, node]).expect("add"), true),
-                    };
-                    combined
+                    match (prev_neg, neg) {
+                        (false, false) => (g.push(NodeKind::Add, vec![prev, node])?, false),
+                        (false, true) => (g.push(NodeKind::Sub, vec![prev, node])?, false),
+                        (true, false) => (g.push(NodeKind::Sub, vec![node, prev])?, false),
+                        (true, true) => (g.push(NodeKind::Add, vec![prev, node])?, true),
+                    }
                 }
             });
         }
-        let (node, neg) = acc.expect("mcm expressions are never empty");
-        let node = if neg {
-            g.push(NodeKind::Neg, vec![node]).expect("neg arity")
-        } else {
-            node
+        // MCM plans never emit empty expressions; degrade to a zero
+        // constant rather than trusting that invariant with a panic.
+        let (node, neg) = match acc {
+            Some(v) => v,
+            None => (g.push(NodeKind::Const(0.0), vec![])?, false),
         };
+        let node = if neg { g.push(NodeKind::Neg, vec![node])? } else { node };
         self.expr_nodes[idx] = Some(node);
-        node
+        Ok(node)
     }
 
     /// Emits the value `q · base` where `q` is the quantized constant, then
@@ -121,28 +121,28 @@ impl GroupEmitter {
         q: i64,
         frac_bits: u32,
         report: &mut McmPassReport,
-    ) -> NodeId {
+    ) -> Result<NodeId, DfgError> {
         let idx = self.outputs[&q];
         let (_, output) = self.plan.outputs[idx];
         match output {
-            OutputRef::Zero => g.push(NodeKind::Const(0.0), vec![]).expect("const arity"),
+            OutputRef::Zero => g.push(NodeKind::Const(0.0), vec![]),
             OutputRef::Scaled(t) => {
                 let src = match t.source {
                     Source::Input => base,
-                    Source::Expr(i) => self.expr_node(g, base, i, report),
+                    Source::Expr(i) => self.expr_node(g, base, i, report)?,
                 };
                 // Combine the plan shift with the binary-point restore.
                 let total_shift = t.shift as i32 - frac_bits as i32;
                 let shifted = if total_shift != 0 {
                     report.shifts_inserted += 1;
-                    g.push(NodeKind::Shift(total_shift), vec![src]).expect("shift arity")
+                    g.push(NodeKind::Shift(total_shift), vec![src])?
                 } else {
                     src
                 };
                 if t.neg {
-                    g.push(NodeKind::Neg, vec![shifted]).expect("neg arity")
+                    g.push(NodeKind::Neg, vec![shifted])
                 } else {
-                    shifted
+                    Ok(shifted)
                 }
             }
         }
@@ -155,7 +155,15 @@ impl GroupEmitter {
 /// The rebuilt graph computes the *quantized* system: each constant `c` is
 /// replaced by `round(c·2^w)/2^w`. With `w` fractional bits the output
 /// error per multiplication is bounded by `2^{−w−1}·|x|`.
-pub fn expand_multiplications(g: &Dfg, config: McmPassConfig) -> (Dfg, McmPassReport) {
+///
+/// # Errors
+///
+/// Propagates [`DfgError`] from node insertion; the rebuilt graph is
+/// re-validated before being returned.
+pub fn expand_multiplications(
+    g: &Dfg,
+    config: McmPassConfig,
+) -> Result<(Dfg, McmPassReport), DfgError> {
     // Group MulConst nodes by predecessor.
     let mut groups: HashMap<usize, Vec<i64>> = HashMap::new();
     for (_, n) in g.iter() {
@@ -177,20 +185,27 @@ pub fn expand_multiplications(g: &Dfg, config: McmPassConfig) -> (Dfg, McmPassRe
     let mut remap: Vec<NodeId> = Vec::with_capacity(g.len());
     for (_, n) in g.iter() {
         let preds: Vec<NodeId> = n.preds.iter().map(|p| remap[p.0]).collect();
-        let new_id = match n.kind {
-            NodeKind::MulConst(c) => {
-                report.muls_removed += 1;
-                let pred_old = n.preds[0].0;
+        let new_id = match (n.kind, n.preds.first()) {
+            (NodeKind::MulConst(c), Some(pred)) => {
+                let pred_old = pred.0;
                 let base = remap[pred_old];
                 let q = quantize(c, config.frac_bits);
-                let em = emitters.get_mut(&pred_old).expect("group exists");
-                em.output_node(&mut out, base, q, config.frac_bits, &mut report)
+                match emitters.get_mut(&pred_old) {
+                    Some(em) => {
+                        report.muls_removed += 1;
+                        em.output_node(&mut out, base, q, config.frac_bits, &mut report)?
+                    }
+                    // Grouping is keyed by predecessor, so the group always
+                    // exists; keep the multiplier if it somehow does not.
+                    None => out.push(n.kind, preds)?,
+                }
             }
-            kind => out.push(kind, preds).expect("copy preserves validity"),
+            (kind, _) => out.push(kind, preds)?,
         };
         remap.push(new_id);
     }
-    (out, report)
+    out.validate()?;
+    Ok((out, report))
 }
 
 #[cfg(test)]
@@ -215,14 +230,14 @@ mod tests {
     #[test]
     fn rewritten_graph_is_exact_for_dyadic_coefficients() {
         let sys = dyadic_sys();
-        let g = build::from_state_space(&sys);
-        let (h, report) = expand_multiplications(&g, McmPassConfig { frac_bits: 8, recoding: Recoding::Csd });
+        let g = build::from_state_space(&sys).unwrap();
+        let (h, report) = expand_multiplications(&g, McmPassConfig { frac_bits: 8, recoding: Recoding::Csd }).unwrap();
         assert!(report.muls_removed > 0);
         assert_eq!(h.op_counts().muls, 0, "all multipliers must be gone");
         let state = [0.3, -0.7];
         let inputs = Map::from([((0usize, 0usize), 1.25)]);
-        let (o1, s1) = g.simulate(&state, &inputs);
-        let (o2, s2) = h.simulate(&state, &inputs);
+        let (o1, s1) = g.simulate(&state, &inputs).unwrap();
+        let (o2, s2) = h.simulate(&state, &inputs).unwrap();
         assert!((o1[&(0, 0)] - o2[&(0, 0)]).abs() < 1e-12);
         for k in 0..2 {
             assert!((s1[&k] - s2[&k]).abs() < 1e-12);
@@ -238,12 +253,12 @@ mod tests {
             Matrix::from_rows(&[&[0.153]]),
         )
         .unwrap();
-        let g = build::from_state_space(&sys);
-        let (h, _) = expand_multiplications(&g, McmPassConfig { frac_bits: 12, recoding: Recoding::Csd });
+        let g = build::from_state_space(&sys).unwrap();
+        let (h, _) = expand_multiplications(&g, McmPassConfig { frac_bits: 12, recoding: Recoding::Csd }).unwrap();
         let state = [0.4, 0.9];
         let inputs = Map::from([((0usize, 0usize), -0.6)]);
-        let (o1, _) = g.simulate(&state, &inputs);
-        let (o2, _) = h.simulate(&state, &inputs);
+        let (o1, _) = g.simulate(&state, &inputs).unwrap();
+        let (o2, _) = h.simulate(&state, &inputs).unwrap();
         // ~4 coefficients per row, inputs ~1: error well under 4 * 2^-13.
         assert!((o1[&(0, 0)] - o2[&(0, 0)]).abs() < 1e-3);
     }
@@ -261,12 +276,12 @@ mod tests {
         g.push(NodeKind::Output { sample: 0, channel: 0 }, vec![a]).unwrap();
 
         let (h, report) =
-            expand_multiplications(&g, McmPassConfig { frac_bits: 8, recoding: Recoding::Binary });
+            expand_multiplications(&g, McmPassConfig { frac_bits: 8, recoding: Recoding::Binary }).unwrap();
         assert_eq!(report.muls_removed, 2);
         assert!(report.adds_inserted <= 6, "expected shared plan, got {report:?}");
         // Semantics preserved exactly (dyadic).
         let inputs = Map::from([((0usize, 0usize), 3.0)]);
-        let (o, _) = h.simulate(&[], &inputs);
+        let (o, _) = h.simulate(&[], &inputs).unwrap();
         assert!((o[&(0, 0)] - 3.0 * (185.0 + 235.0) / 256.0).abs() < 1e-12);
     }
 
@@ -280,7 +295,7 @@ mod tests {
         let m2 = g.push(NodeKind::MulConst(0.375), vec![y]).unwrap();
         let a = g.push(NodeKind::Add, vec![m1, m2]).unwrap();
         g.push(NodeKind::Output { sample: 0, channel: 0 }, vec![a]).unwrap();
-        let (_, report) = expand_multiplications(&g, McmPassConfig::default());
+        let (_, report) = expand_multiplications(&g, McmPassConfig::default()).unwrap();
         assert_eq!(report.groups, 2);
     }
 
@@ -292,11 +307,11 @@ mod tests {
         let m2 = g.push(NodeKind::MulConst(2.0), vec![x]).unwrap();
         let a = g.push(NodeKind::Add, vec![m1, m2]).unwrap();
         g.push(NodeKind::Output { sample: 0, channel: 0 }, vec![a]).unwrap();
-        let (h, report) = expand_multiplications(&g, McmPassConfig { frac_bits: 4, recoding: Recoding::Csd });
+        let (h, report) = expand_multiplications(&g, McmPassConfig { frac_bits: 4, recoding: Recoding::Csd }).unwrap();
         assert_eq!(report.muls_removed, 2);
         assert_eq!(report.adds_inserted, 0);
         let inputs = Map::from([((0usize, 0usize), 8.0)]);
-        let (o, _) = h.simulate(&[], &inputs);
+        let (o, _) = h.simulate(&[], &inputs).unwrap();
         assert!((o[&(0, 0)] - (8.0 * 1.5)).abs() < 1e-12);
     }
 
@@ -307,7 +322,7 @@ mod tests {
         let s = g.push(NodeKind::StateIn { index: 0 }, vec![]).unwrap();
         let a = g.push(NodeKind::Add, vec![x, s]).unwrap();
         g.push(NodeKind::StateOut { index: 0 }, vec![a]).unwrap();
-        let (h, report) = expand_multiplications(&g, McmPassConfig::default());
+        let (h, report) = expand_multiplications(&g, McmPassConfig::default()).unwrap();
         assert_eq!(report.muls_removed, 0);
         assert_eq!(report.groups, 0);
         assert_eq!(h.len(), g.len());

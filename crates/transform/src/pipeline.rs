@@ -11,7 +11,7 @@
 //! by one level (plus the longest single operation), while the feedback
 //! path is untouched.
 
-use lintra_dfg::{Dfg, NodeId, NodeKind, OpTiming};
+use lintra_dfg::{Dfg, DfgError, NodeId, NodeKind, OpTiming};
 
 /// Report from [`insert_registers`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,9 +33,9 @@ fn feedback_nodes(g: &Dfg) -> Vec<bool> {
     // Reachable from StateIn (forward).
     let mut from_state = vec![false; n];
     for (id, node) in g.iter() {
-        if matches!(node.kind, NodeKind::StateIn { .. }) {
-            from_state[id.0] = true;
-        } else if node.preds.iter().any(|p| from_state[p.0]) {
+        if matches!(node.kind, NodeKind::StateIn { .. })
+            || node.preds.iter().any(|p| from_state[p.0])
+        {
             from_state[id.0] = true;
         }
     }
@@ -61,10 +61,19 @@ fn feedback_nodes(g: &Dfg) -> Vec<bool> {
 /// functional semantics of [`lintra_dfg::Dfg::simulate`] treat registers
 /// as wires) and a [`PipelineReport`].
 ///
+/// # Errors
+///
+/// Propagates [`DfgError`] from node insertion; the rebuilt graph is
+/// re-validated before being returned.
+///
 /// # Panics
 ///
 /// Panics if `level_delay` is not positive.
-pub fn insert_registers(g: &Dfg, level_delay: f64, timing: &OpTiming) -> (Dfg, PipelineReport) {
+pub fn insert_registers(
+    g: &Dfg,
+    level_delay: f64,
+    timing: &OpTiming,
+) -> Result<(Dfg, PipelineReport), DfgError> {
     assert!(level_delay > 0.0, "level delay must be positive");
     let cp_before = g.critical_path(timing);
     let fb = feedback_nodes(g);
@@ -95,41 +104,37 @@ pub fn insert_registers(g: &Dfg, level_delay: f64, timing: &OpTiming) -> (Dfg, P
 
     for (id, node) in g.iter() {
         let my_stage = stage_of(finish[id.0]);
-        let preds: Vec<NodeId> = node
-            .preds
-            .iter()
-            .map(|p| {
-                let mut src = remap[p.0];
-                let crossings = my_stage - stage_of(finish[p.0]);
-                if crossings > 0 && !(fb[p.0] && fb[id.0]) {
-                    for step in 1..=crossings {
-                        src = match reg_cache.get(&(p.0, step)) {
-                            Some(&existing) => existing,
-                            None => {
-                                registers += 1;
-                                let prev = if step == 1 {
-                                    remap[p.0]
-                                } else {
-                                    reg_cache[&(p.0, step - 1)]
-                                };
-                                let reg = out
-                                    .push(NodeKind::Delay, vec![prev])
-                                    .expect("delay arity");
-                                reg_cache.insert((p.0, step), reg);
-                                reg
-                            }
-                        };
-                    }
+        let mut preds: Vec<NodeId> = Vec::with_capacity(node.preds.len());
+        for p in &node.preds {
+            let mut src = remap[p.0];
+            let crossings = my_stage - stage_of(finish[p.0]);
+            if crossings > 0 && !(fb[p.0] && fb[id.0]) {
+                for step in 1..=crossings {
+                    src = match reg_cache.get(&(p.0, step)) {
+                        Some(&existing) => existing,
+                        None => {
+                            registers += 1;
+                            let prev = if step == 1 {
+                                remap[p.0]
+                            } else {
+                                reg_cache[&(p.0, step - 1)]
+                            };
+                            let reg = out.push(NodeKind::Delay, vec![prev])?;
+                            reg_cache.insert((p.0, step), reg);
+                            reg
+                        }
+                    };
                 }
-                src
-            })
-            .collect();
-        remap.push(out.push(node.kind, preds).expect("copy is valid"));
+            }
+            preds.push(src);
+        }
+        remap.push(out.push(node.kind, preds)?);
     }
 
     let cp_after = out.critical_path(timing);
     let levels = (cp_before / level_delay).ceil() as u32;
-    (out, PipelineReport { registers, cp_before, cp_after, levels })
+    out.validate()?;
+    Ok((out, PipelineReport { registers, cp_before, cp_after, levels }))
 }
 
 #[cfg(test)]
@@ -153,13 +158,13 @@ mod tests {
         let g = chain_graph(8);
         let t = OpTiming { t_mul: 1.0, t_add: 1.0, t_shift: 0.0 };
         assert_eq!(g.critical_path(&t), 8.0);
-        let (h, report) = insert_registers(&g, 2.0, &t);
+        let (h, report) = insert_registers(&g, 2.0, &t).unwrap();
         assert!(report.cp_after <= 3.0, "cp_after {}", report.cp_after);
         assert!(report.registers >= 3);
         // Values unchanged.
         let inputs = HashMap::from([((0, 0), 2.0)]);
-        let (o1, _) = g.simulate(&[], &inputs);
-        let (o2, _) = h.simulate(&[], &inputs);
+        let (o1, _) = g.simulate(&[], &inputs).unwrap();
+        let (o2, _) = h.simulate(&[], &inputs).unwrap();
         assert!((o1[&(0, 0)] - o2[&(0, 0)]).abs() < 1e-12);
     }
 
@@ -179,7 +184,7 @@ mod tests {
         g.push(NodeKind::StateOut { index: 0 }, vec![m]).unwrap();
         let t = OpTiming { t_mul: 1.0, t_add: 1.0, t_shift: 0.0 };
         let fb_before = g.feedback_critical_path(&t);
-        let (h, report) = insert_registers(&g, 2.0, &t);
+        let (h, report) = insert_registers(&g, 2.0, &t).unwrap();
         assert!(report.registers > 0);
         assert_eq!(h.feedback_critical_path(&t), fb_before, "feedback path must be untouched");
     }
@@ -200,7 +205,7 @@ mod tests {
         let s = g.push(NodeKind::Add, vec![a1, a2]).unwrap();
         g.push(NodeKind::Output { sample: 0, channel: 0 }, vec![s]).unwrap();
         let t = OpTiming { t_mul: 1.0, t_add: 1.0, t_shift: 0.0 };
-        let (h, _) = insert_registers(&g, 2.0, &t);
+        let (h, _) = insert_registers(&g, 2.0, &t).unwrap();
         // m is consumed at depth 4-ish twice; its register chain must be
         // shared, so the delay count stays small.
         let delays = h.op_counts().delays;
@@ -211,7 +216,7 @@ mod tests {
     fn already_shallow_graph_unchanged() {
         let g = chain_graph(1);
         let t = OpTiming { t_mul: 1.0, t_add: 1.0, t_shift: 0.0 };
-        let (h, report) = insert_registers(&g, 10.0, &t);
+        let (h, report) = insert_registers(&g, 10.0, &t).unwrap();
         assert_eq!(report.registers, 0);
         assert_eq!(h.len(), g.len());
     }

@@ -16,13 +16,13 @@ use lintra::transform::horner::HornerForm;
 use lintra::transform::mcm_pass::{expand_multiplications, McmPassConfig};
 use lintra::transform::pipeline;
 
-fn main() {
+fn main() -> Result<(), lintra::LintraError> {
     let design = suite::by_name("iir6").expect("benchmark exists");
     println!("design: {} — {}", design.name, design.description);
     let timing = OpTiming { t_mul: 2.0, t_add: 1.0, t_shift: 0.0 };
 
     // Stage 0: the original maximally fast datapath.
-    let base = build::from_state_space(&design.system);
+    let base = build::from_state_space(&design.system)?;
     let c0 = base.op_counts();
     println!(
         "\n[0] original:        {:>4} mul {:>4} add   CP {}  feedback CP {}",
@@ -34,7 +34,7 @@ fn main() {
 
     // Stage 1: unfolding (direct form — note the quadratic op growth).
     let n = 6u32;
-    let direct = build::from_unfolded(&unfold(&design.system, n));
+    let direct = build::from_unfolded(&unfold(&design.system, n)?)?;
     let c1 = direct.op_counts();
     println!(
         "[1] unfolded x{n} (direct): {:>4} mul {:>4} add per {} samples",
@@ -45,7 +45,7 @@ fn main() {
 
     // Stage 2: generalized Horner restructuring — linear growth, constant
     // feedback cycle.
-    let horner = HornerForm::new(&design.system, n).to_dfg();
+    let horner = HornerForm::new(&design.system, n)?.to_dfg()?;
     let c2 = horner.op_counts();
     println!(
         "[2] Horner:          {:>4} mul {:>4} add   feedback CP {} (constant in n)",
@@ -55,7 +55,7 @@ fn main() {
     );
 
     // Stage 3: MCM — all multipliers become shared shift-add networks.
-    let (shifted, report) = expand_multiplications(&horner, McmPassConfig::default());
+    let (shifted, report) = expand_multiplications(&horner, McmPassConfig::default())?;
     let c3 = shifted.op_counts();
     println!(
         "[3] after MCM:       {:>4} mul {:>4} add {:>4} shift  ({} multipliers removed in {} groups)",
@@ -64,7 +64,7 @@ fn main() {
 
     // Stage 4: pipeline the feed-forward part down to 3 time units per
     // stage; the feedback path is untouched.
-    let (piped, preport) = pipeline::insert_registers(&shifted, 3.0, &timing);
+    let (piped, preport) = pipeline::insert_registers(&shifted, 3.0, &timing)?;
     println!(
         "[4] pipelined:       CP {} -> {} with {} registers; feedback CP still {}",
         preport.cp_before,
@@ -74,7 +74,7 @@ fn main() {
     );
 
     // Peek at one MCM instance: the constants multiplying state 0.
-    let hf = HornerForm::new(&design.system, n);
+    let hf = HornerForm::new(&design.system, n)?;
     let consts = hf.state_column_constants(0);
     if !consts.is_empty() {
         let q: Vec<i64> = consts.iter().map(|&c| quantize(c, 12)).collect();
@@ -91,10 +91,11 @@ fn main() {
 
     // End to end, with voltage scaling and the energy ledger.
     let tech = TechConfig::dac96(5.0);
-    let result = asic::optimize(&design.system, &tech, &asic::AsicConfig::default());
+    let result = asic::optimize(&design.system, &tech, &asic::AsicConfig::default())?;
     println!("\n-- end-to-end (initial {} V) --", tech.initial_voltage);
     println!("chosen unfolding: {} -> operating at {:.2} V", result.unfolding, result.voltage);
     println!("initial:   {}", result.initial);
     println!("optimized: {}", result.optimized);
     println!("energy per sample improved x{:.1}", result.improvement());
+    Ok(())
 }

@@ -14,25 +14,25 @@ use lintra::opt::TechConfig;
 use lintra::sched::{list_schedule, speedup_curve};
 use lintra::suite;
 
-fn main() {
+fn main() -> Result<(), lintra::LintraError> {
     let design = suite::by_name("steam").expect("benchmark exists");
     let (p, q, r) = design.dims();
     println!("design: {} — {} (P={p} Q={q} R={r})", design.name, design.description);
 
     let tech = TechConfig::dac96(3.3);
-    let choice = best_unfolding(&design.system, TrivialityRule::ZeroOne, 1.0, 1.0);
+    let choice = best_unfolding(&design.system, TrivialityRule::ZeroOne, 1.0, 1.0)?;
     println!("single-processor optimum unfolding: i = {}", choice.unfolding);
 
     // Measured speedup curve of the unfolded computation.
-    let g = build::from_unfolded(&unfold(&design.system, choice.unfolding as u32));
-    let base = list_schedule(&build::from_state_space(&design.system), 1, &tech.processor).length;
-    let (lengths, _) = speedup_curve(&g, r + 3, &tech.processor);
+    let g = build::from_unfolded(&unfold(&design.system, choice.unfolding as u32)?)?;
+    let base = list_schedule(&build::from_state_space(&design.system)?, 1, &tech.processor)?.length;
+    let (lengths, _) = speedup_curve(&g, r + 3, &tech.processor)?;
     println!("\n  N   cycles/batch   S_max(N,i)   voltage   power reduction");
     for (idx, &len) in lengths.iter().enumerate() {
         let n = idx + 1;
         let per_sample = len as f64 / (choice.unfolding + 1) as f64;
         let s = base as f64 / per_sample;
-        let scaling = tech.voltage.scale_for_slowdown(tech.initial_voltage, s);
+        let scaling = tech.voltage.scale_for_slowdown(tech.initial_voltage, s)?;
         let pwr = scaling.power_reduction() / n as f64;
         println!(
             "  {n}   {len:>12}   {s:>10.2}   {v:>6.2} V   / {pwr:.2}",
@@ -41,12 +41,12 @@ fn main() {
     }
 
     let conservative =
-        multi::optimize(&design.system, &tech, ProcessorSelection::StatesCount);
+        multi::optimize(&design.system, &tech, ProcessorSelection::StatesCount)?;
     let best = multi::optimize(
         &design.system,
         &tech,
         ProcessorSelection::SearchBest { max: r + 3 },
-    );
+    )?;
     println!(
         "\npaper's conservative N = R = {}: power / {:.2}",
         conservative.processors,
@@ -57,4 +57,5 @@ fn main() {
         best.processors,
         best.power_reduction()
     );
+    Ok(())
 }

@@ -12,7 +12,7 @@ use lintra::linsys::{unfold, StateSpace};
 use lintra::opt::{single, TechConfig};
 use lintra::suite::stimulus;
 
-fn main() {
+fn main() -> Result<(), lintra::LintraError> {
     // An 8th-order elliptic low-pass, cascade realization: a sharper
     // filter than any in the paper's suite.
     let zpk = elliptic(8, 0.3, 70.0)
@@ -29,14 +29,14 @@ fn main() {
     // The headline phenomenon: ops/sample dips, bottoms out, then rises.
     println!("\n  i   ops/sample");
     for i in 0..=12u32 {
-        let u = unfold(&sys, i);
+        let u = unfold(&sys, i)?;
         let ops = op_count(&u.system, TrivialityRule::ZeroOne);
         let per = ops.total() as f64 / (i + 1) as f64;
         println!("  {i:>2}   {per:7.2}");
     }
 
     let tech = TechConfig::dac96(3.3);
-    let res = single::optimize(&sys, &tech);
+    let res = single::optimize(&sys, &tech)?;
     println!(
         "\noptimum i = {} -> throughput x{:.2} -> {:.2} V -> power / {:.2}",
         res.real.unfolding,
@@ -47,7 +47,7 @@ fn main() {
 
     // Prove the transformation is semantics-preserving on a real signal.
     let i = res.real.unfolding as u32;
-    let u = unfold(&sys, i);
+    let u = unfold(&sys, i)?;
     let n = u.batch();
     let len = 240 / n * n;
     let input = stimulus(1, len, 2024);
@@ -61,4 +61,5 @@ fn main() {
     println!("max |original - unfolded| over {len} samples: {max_err:.3e}");
     assert!(max_err < 1e-9, "unfolding must preserve the filter exactly");
     println!("unfolded implementation is sample-exact. done.");
+    Ok(())
 }

@@ -8,7 +8,7 @@ use lintra::opt::multi::ProcessorSelection;
 use lintra::opt::{asic, multi, single, TechConfig};
 use lintra::suite;
 
-fn main() {
+fn main() -> Result<(), lintra::LintraError> {
     let design = suite::by_name("iir5").expect("benchmark exists");
     let (p, q, r) = design.dims();
     println!("design: {} — {} (P={p}, Q={q}, R={r})", design.name, design.description);
@@ -16,7 +16,7 @@ fn main() {
     let tech = TechConfig::dac96(3.3);
 
     // 1. Single programmable processor (§3).
-    let s = single::optimize(&design.system, &tech);
+    let s = single::optimize(&design.system, &tech)?;
     println!("\n-- single processor, initial {:.1} V --", tech.initial_voltage);
     println!(
         "unfolding i = {} (dense analysis would predict i = {})",
@@ -39,7 +39,7 @@ fn main() {
     );
 
     // 2. Multiple processors (§4).
-    let m = multi::optimize(&design.system, &tech, ProcessorSelection::StatesCount);
+    let m = multi::optimize(&design.system, &tech, ProcessorSelection::StatesCount)?;
     println!("\n-- {} processors (N = R) --", m.processors);
     println!(
         "S_max(N,i) = {:.2} (measured by list scheduling) -> {:.2} V -> power / {:.2}",
@@ -50,10 +50,11 @@ fn main() {
 
     // 3. Custom ASIC (§5): unfold -> Horner -> MCM.
     let tech5 = TechConfig::dac96(5.0);
-    let a = asic::optimize(&design.system, &tech5, &asic::AsicConfig::default());
+    let a = asic::optimize(&design.system, &tech5, &asic::AsicConfig::default())?;
     println!("\n-- ASIC flow, initial {:.1} V --", tech5.initial_voltage);
     println!("unfolded {} times, multipliers removed: {}", a.unfolding, a.mcm.muls_removed);
     println!("initial:   {}", a.initial);
     println!("optimized: {}", a.optimized);
     println!("energy improvement: x{:.1}", a.improvement());
+    Ok(())
 }

@@ -16,16 +16,16 @@ use lintra::fixed::{compare_quantized, minimum_fraction_bits};
 use lintra::mcm::{quantize, synthesize, Recoding};
 use lintra::suite::{by_name, stimulus};
 
-fn main() {
+fn main() -> Result<(), lintra::LintraError> {
     let design = by_name("iir6").expect("benchmark exists");
     let dims = design.dims();
-    let g = build::from_state_space(&design.system);
+    let g = build::from_state_space(&design.system)?;
     let x = stimulus(dims.0, 400, 42);
 
     println!("design: {} — bit-true quantization sweep", design.name);
     println!("\n  bits   max error    rms error   | mcm adds (A-matrix constants)");
     for w in [6u32, 8, 10, 12, 14, 16, 20] {
-        let report = compare_quantized(&g, 1, dims, &x, w);
+        let report = compare_quantized(&g, 1, dims, &x, w)?;
         // MCM cost of one representative instance: all A coefficients by
         // column 0's driven variable won't exist pre-grouping, so just use
         // the full A entry set as a cost proxy.
@@ -45,7 +45,7 @@ fn main() {
     }
 
     let budget = 1e-3; // ~60 dB below the unit-amplitude stimulus
-    match minimum_fraction_bits(&g, 1, dims, &x, budget, (4, 24)) {
+    match minimum_fraction_bits(&g, 1, dims, &x, budget, (4, 24))? {
         Some((w, report)) => println!(
             "\nsmallest wordlength meeting max error <= {budget:.0e}: {w} bits \
              (max {:.2e}, rms {:.2e} over {} samples)",
@@ -53,4 +53,5 @@ fn main() {
         ),
         None => println!("\nno wordlength up to 24 bits meets {budget:.0e}"),
     }
+    Ok(())
 }

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the lint gate. Run from the repository root.
+#
+#   ./scripts/verify.sh
+#
+# 1. release build + full test suite (the ROADMAP tier-1 bar),
+# 2. clippy with warnings denied — including `unwrap_used`/`expect_used`
+#    in the pipeline crates (see [workspace.lints] in Cargo.toml).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+echo "== lint gate: cargo clippy --workspace -- -D warnings =="
+cargo clippy --workspace -- -D warnings
+
+echo "verify: all checks passed"

@@ -13,7 +13,7 @@ fn table2_shape_single_processor() {
     let tech = TechConfig::dac96(3.3);
     let mut reductions = Vec::new();
     for d in suite() {
-        let r = single::optimize(&d.system, &tech);
+        let r = single::optimize(&d.system, &tech).unwrap();
         assert!(r.real.power_reduction() >= 1.0 - 1e-9, "{} regressed", d.name);
         assert!(
             r.real.speedup <= r.dense.speedup + 1e-9 || !d.dense,
@@ -28,7 +28,7 @@ fn table2_shape_single_processor() {
     let avg = reductions.iter().sum::<f64>() / reductions.len() as f64;
     assert!(avg > 1.5, "Table 2 average reduction {avg}");
     // dist: exactly no reduction.
-    let dist = single::optimize(&by_name("dist").unwrap().system, &tech);
+    let dist = single::optimize(&by_name("dist").unwrap().system, &tech).unwrap();
     assert!((dist.real.power_reduction() - 1.0).abs() < 1e-9);
 }
 
@@ -40,7 +40,7 @@ fn table2_is_better_at_5v_than_3v() {
         let tech = TechConfig::dac96(v);
         let r: Vec<f64> = suite()
             .iter()
-            .map(|d| single::optimize(&d.system, &tech).real.power_reduction())
+            .map(|d| single::optimize(&d.system, &tech).unwrap().real.power_reduction())
             .collect();
         r.iter().sum::<f64>() / r.len() as f64
     };
@@ -56,8 +56,9 @@ fn table3_shape_multiprocessor_beats_single() {
     let mut single_avg = 0.0;
     let mut multi_avg = 0.0;
     for d in suite() {
-        let s = single::optimize(&d.system, &tech).real.power_reduction();
+        let s = single::optimize(&d.system, &tech).unwrap().real.power_reduction();
         let m = multi::optimize(&d.system, &tech, ProcessorSelection::StatesCount)
+            .unwrap()
             .power_reduction();
         single_avg += s;
         multi_avg += m;
@@ -79,7 +80,7 @@ fn table4_shape_asic_improvements() {
     let mut factors: Vec<f64> = suite()
         .iter()
         .map(|d| {
-            let r = asic::optimize(&d.system, &tech, &cfg);
+            let r = asic::optimize(&d.system, &tech, &cfg).unwrap();
             assert!(r.voltage >= 1.1 - 1e-9, "{} below floor", d.name);
             r.improvement()
         })
@@ -92,7 +93,7 @@ fn table4_shape_asic_improvements() {
     // ASIC beats both processor-based strategies by a wide margin.
     let single_best = suite()
         .iter()
-        .map(|d| single::optimize(&d.system, &tech).real.power_reduction())
+        .map(|d| single::optimize(&d.system, &tech).unwrap().real.power_reduction())
         .fold(0.0, f64::max);
     assert!(avg > single_best);
 }
@@ -101,9 +102,9 @@ fn table4_shape_asic_improvements() {
 fn all_strategies_agree_on_problem_dimensions() {
     for d in suite() {
         let tech = TechConfig::dac96(3.3);
-        let s = single::optimize(&d.system, &tech);
+        let s = single::optimize(&d.system, &tech).unwrap();
         assert_eq!(s.dims, d.dims(), "{}", d.name);
-        let m = multi::optimize(&d.system, &tech, ProcessorSelection::StatesCount);
+        let m = multi::optimize(&d.system, &tech, ProcessorSelection::StatesCount).unwrap();
         assert_eq!(m.processors, d.dims().2, "{}", d.name);
     }
 }

@@ -14,7 +14,7 @@ use std::collections::HashMap;
 fn run_graph(
     g: &lintra::dfg::Dfg,
     batch: usize,
-    p: usize,
+    _p: usize,
     q: usize,
     r: usize,
     inputs: &[Vec<f64>],
@@ -28,7 +28,7 @@ fn run_graph(
                 m.insert((s, c), v);
             }
         }
-        let (outs, next) = g.simulate(&state, &m);
+        let (outs, next) = g.simulate(&state, &m).unwrap();
         for s in 0..batch {
             out.push((0..q).map(|c| outs[&(s, c)]).collect());
         }
@@ -51,7 +51,7 @@ fn unfolding_preserves_every_design() {
         let input = stimulus(p, 60, 7);
         let want = d.system.simulate(&input).unwrap();
         for i in [1u32, 2, 4] {
-            let u = unfold(&d.system, i);
+            let u = unfold(&d.system, i).unwrap();
             let n = u.batch();
             let take = input.len() / n * n;
             let got = u.simulate_samples(&input[..take]).unwrap();
@@ -67,7 +67,7 @@ fn maximally_fast_graphs_preserve_every_design() {
         let (p, q, r) = d.dims();
         let input = stimulus(p, 30, 11);
         let want = d.system.simulate(&input).unwrap();
-        let g = build::from_state_space(&d.system);
+        let g = build::from_state_space(&d.system).unwrap();
         let got = run_graph(&g, 1, p, q, r, &input);
         let err = max_err(&want, &got);
         assert!(err < 1e-9, "{}: err {err}", d.name);
@@ -79,8 +79,8 @@ fn horner_graphs_preserve_every_design() {
     for d in suite() {
         let (p, q, r) = d.dims();
         let i = 3u32;
-        let h = HornerForm::new(&d.system, i);
-        let g = h.to_dfg();
+        let h = HornerForm::new(&d.system, i).unwrap();
+        let g = h.to_dfg().unwrap();
         let n = h.batch;
         let input = stimulus(p, 10 * n, 13);
         let want = d.system.simulate(&input).unwrap();
@@ -94,9 +94,10 @@ fn horner_graphs_preserve_every_design() {
 fn mcm_rewrite_stays_within_quantization_error() {
     for d in suite() {
         let (p, q, r) = d.dims();
-        let g = build::from_state_space(&d.system);
+        let g = build::from_state_space(&d.system).unwrap();
         let (rewritten, report) =
-            expand_multiplications(&g, McmPassConfig { frac_bits: 20, ..Default::default() });
+            expand_multiplications(&g, McmPassConfig { frac_bits: 20, ..Default::default() })
+                .unwrap();
         assert_eq!(rewritten.op_counts().muls, 0, "{}", d.name);
         assert!(report.muls_removed > 0, "{}", d.name);
         let input = stimulus(p, 40, 17);
@@ -114,8 +115,8 @@ fn mcm_rewrite_stays_within_quantization_error() {
 fn cse_preserves_semantics_on_every_design() {
     for d in suite() {
         let (p, q, r) = d.dims();
-        let g = build::from_unfolded(&unfold(&d.system, 2));
-        let (reduced, _) = cse::eliminate(&g);
+        let g = build::from_unfolded(&unfold(&d.system, 2).unwrap()).unwrap();
+        let (reduced, _) = cse::eliminate(&g).unwrap();
         assert!(reduced.len() <= g.len());
         let input = stimulus(p, 12, 19);
         let want = run_graph(&g, 3, p, q, r, &input);
@@ -130,10 +131,11 @@ fn transform_composition_unfold_horner_mcm() {
     // The full §5 pipeline at once, checked against plain simulation.
     for d in suite() {
         let (p, q, r) = d.dims();
-        let h = HornerForm::new(&d.system, 4);
-        let g = h.to_dfg();
+        let h = HornerForm::new(&d.system, 4).unwrap();
+        let g = h.to_dfg().unwrap();
         let (rewritten, _) =
-            expand_multiplications(&g, McmPassConfig { frac_bits: 22, ..Default::default() });
+            expand_multiplications(&g, McmPassConfig { frac_bits: 22, ..Default::default() })
+                .unwrap();
         let n = h.batch;
         let input = stimulus(p, 8 * n, 23);
         let want = d.system.simulate(&input).unwrap();

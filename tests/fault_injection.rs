@@ -1,0 +1,154 @@
+//! Deterministic fault-injection harness: every fault class in
+//! [`lintra::diag::fault`] is driven through all three optimizers and must
+//! produce either a *typed, classified* error or a *graceful degradation*
+//! with an explanatory diagnostic — never a panic, a NaN result, or a
+//! silent wrong answer.
+
+use lintra::diag::fault::{self, Fault};
+use lintra::linsys::StateSpace;
+use lintra::opt::multi::ProcessorSelection;
+use lintra::opt::{asic, multi, single, DiagCode, OptError, TechConfig};
+use lintra::{ErrorClass, LintraError};
+
+/// A healthy small design for the faults that poison something other than
+/// the system itself (resource starvation, sub-threshold supply).
+fn healthy_system(seed: u64) -> StateSpace {
+    lintra::suite::random_stable(1, 1, 4, 0.2, seed)
+}
+
+fn classify(e: OptError) -> LintraError {
+    LintraError::from(e)
+}
+
+#[test]
+fn every_fault_class_has_a_defined_outcome_in_every_optimizer() {
+    let tech = TechConfig::dac96(3.3);
+    let cfg = asic::AsicConfig::default();
+    for fault in Fault::all() {
+        for seed in [1u64, 17, 99] {
+            match fault {
+                Fault::UnstableSystem => {
+                    let (a, b, c, d) = fault::unstable_system(1, 1, 4, seed);
+                    let sys = StateSpace::new(a, b, c, d).expect("finite inputs");
+                    for err in [
+                        single::optimize(&sys, &tech).map(|_| ()).unwrap_err(),
+                        multi::optimize(&sys, &tech, ProcessorSelection::StatesCount)
+                            .map(|_| ())
+                            .unwrap_err(),
+                        asic::optimize(&sys, &tech, &cfg).map(|_| ()).unwrap_err(),
+                    ] {
+                        let e = classify(err);
+                        assert_eq!(e.class(), ErrorClass::Numerical, "{fault:?}: {e}");
+                        assert_eq!(e.code(), "NUM-UNSTABLE", "{fault:?}: {e}");
+                    }
+                }
+                Fault::NanCoefficients => {
+                    // The guardrail sits at the constructor: poisoned
+                    // coefficients never reach the optimizers at all.
+                    let (a, b, c, d) = fault::nan_coefficients(1, 1, 4, seed);
+                    let err = StateSpace::new(a, b, c, d).unwrap_err();
+                    let e = LintraError::from(err);
+                    assert_eq!(e.class(), ErrorClass::Numerical);
+                    assert_eq!(e.code(), "NUM-NONFINITE");
+                }
+                Fault::ResourceStarvation => {
+                    let sys = healthy_system(seed);
+                    let err = multi::optimize(&sys, &tech, fault::starved_selection())
+                        .map(|_| ())
+                        .unwrap_err();
+                    let e = classify(err);
+                    assert_eq!(e.class(), ErrorClass::Resource, "{e}");
+                    // The single-processor and ASIC flows take no
+                    // processor-count knob and must be unaffected.
+                    single::optimize(&sys, &tech).expect("single unaffected");
+                    asic::optimize(&sys, &tech, &cfg).expect("asic unaffected");
+                }
+                Fault::BisectionFailure => {
+                    let sys = healthy_system(seed);
+                    let bad = fault::sub_threshold_tech();
+                    let s = single::optimize(&sys, &bad).expect("degrades, not errors");
+                    assert_eq!(s.real.scaling.voltage, bad.initial_voltage);
+                    assert_eq!(s.real.scaling.slowdown_at_voltage, 1.0);
+                    assert!(
+                        s.diagnostics.iter().any(|d| d.code == DiagCode::FrequencyOnlyFallback),
+                        "single must explain its frequency-only fallback"
+                    );
+                    assert!(s.real.power_reduction().is_finite());
+                    assert!(s.real.power_reduction() >= 1.0 - 1e-9);
+
+                    let m = multi::optimize(&sys, &bad, ProcessorSelection::StatesCount)
+                        .expect("degrades, not errors");
+                    assert_eq!(m.scaling.voltage, bad.initial_voltage);
+                    assert!(m.diagnostics.iter().any(|d| d.code == DiagCode::FrequencyOnlyFallback));
+                    assert!(m.power_reduction().is_finite());
+
+                    let a = asic::optimize(&sys, &bad, &cfg).expect("degrades, not errors");
+                    assert_eq!(a.voltage, bad.initial_voltage);
+                    assert!(a.diagnostics.iter().any(|d| d.code == DiagCode::FrequencyOnlyFallback));
+                    assert!(a.improvement().is_finite());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn asic_unfolding_cap_degrades_with_diagnostic() {
+    // A tight cap keeps the ASIC flow from reaching the voltage floor; it
+    // must still succeed, scale as far as the cap allows, and say so.
+    let sys = healthy_system(7);
+    let tech = TechConfig::dac96(5.0);
+    let cfg = asic::AsicConfig { max_unfolding: 1, ..asic::AsicConfig::default() };
+    let r = asic::optimize(&sys, &tech, &cfg).expect("capped, not failed");
+    assert!(r.unfolding <= 1);
+    assert!(r.diagnostics.iter().any(|d| d.code == DiagCode::UnfoldingCapped));
+    assert!(r.voltage > tech.voltage.v_min() - 1e-12);
+    assert!(r.improvement().is_finite());
+}
+
+#[test]
+fn voltage_floor_clamp_is_diagnosed_not_silent() {
+    // A deep slowdown pushes the voltage to the 1.1 V floor; the clamp
+    // must be visible in the diagnostics.
+    let sys = lintra::suite::by_name("iir6").expect("benchmark exists").system.clone();
+    let tech = TechConfig::dac96(5.0);
+    let r = asic::optimize(&sys, &tech, &asic::AsicConfig::default()).expect("optimizes");
+    assert!(r.voltage >= tech.voltage.v_min() - 1e-12);
+    if (r.voltage - tech.voltage.v_min()).abs() < 1e-9 {
+        assert!(
+            r.diagnostics.iter().any(|d| d.code == DiagCode::VoltageClamped),
+            "clamping at the floor must produce a diagnostic"
+        );
+    }
+}
+
+#[test]
+fn fault_outcomes_are_deterministic() {
+    // Same seed, same classified outcome — the harness is reproducible.
+    let tech = TechConfig::dac96(3.3);
+    for _ in 0..2 {
+        let (a, b, c, d) = fault::unstable_system(1, 1, 3, 123);
+        let sys = StateSpace::new(a, b, c, d).expect("finite");
+        let e = classify(single::optimize(&sys, &tech).map(|_| ()).unwrap_err());
+        assert_eq!(e.code(), "NUM-UNSTABLE");
+        assert_eq!(e.exit_code(), 3);
+    }
+}
+
+#[test]
+fn error_classes_map_to_distinct_exit_codes() {
+    let mut codes: Vec<i32> = [
+        ErrorClass::Validation,
+        ErrorClass::Numerical,
+        ErrorClass::Resource,
+        ErrorClass::Convergence,
+        ErrorClass::Io,
+    ]
+    .iter()
+    .map(|c| c.exit_code())
+    .collect();
+    assert!(codes.iter().all(|&c| c != 0), "all error exit codes are nonzero");
+    codes.sort_unstable();
+    codes.dedup();
+    assert_eq!(codes.len(), 5, "every class keeps its own exit code");
+}

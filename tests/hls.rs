@@ -20,12 +20,12 @@ fn timing() -> OpTiming {
 fn pipelining_the_full_asic_graph_preserves_values_and_feedback() {
     for d in suite() {
         let (p, q, r) = d.dims();
-        let h = HornerForm::new(&d.system, 3);
-        let g0 = h.to_dfg();
-        let (g1, _) = expand_multiplications(&g0, McmPassConfig::default());
+        let h = HornerForm::new(&d.system, 3).unwrap();
+        let g0 = h.to_dfg().unwrap();
+        let (g1, _) = expand_multiplications(&g0, McmPassConfig::default()).unwrap();
         let t = timing();
         let fb_before = g1.feedback_critical_path(&t);
-        let (g2, report) = insert_registers(&g1, 3.0, &t);
+        let (g2, report) = insert_registers(&g1, 3.0, &t).unwrap();
         let fb_after = g2.feedback_critical_path(&t);
         assert!(fb_after <= fb_before + 1e-9, "{}: feedback path grew", d.name);
         // Every feed-forward path is cut to one level (+ one op); only the
@@ -51,7 +51,7 @@ fn pipelining_the_full_asic_graph_preserves_values_and_feedback() {
                         m.insert((s, c), x);
                     }
                 }
-                let (outs, next) = g.simulate(&state, &m);
+                let (outs, next) = g.simulate(&state, &m).unwrap();
                 for s in 0..h.batch {
                     for c in 0..q {
                         out.push(outs[&(s, c)]);
@@ -73,7 +73,7 @@ fn pipelining_the_full_asic_graph_preserves_values_and_feedback() {
 fn on_arrival_latency_beats_block_on_every_unfolded_design() {
     let t = timing();
     for d in suite() {
-        let g = build::from_unfolded(&unfold(&d.system, 4));
+        let g = build::from_unfolded(&unfold(&d.system, 4).unwrap()).unwrap();
         let block = batch_latency(&g, &t, 20.0, BatchArrival::Block);
         let onarr = batch_latency(&g, &t, 20.0, BatchArrival::OnArrival);
         assert!(
@@ -93,9 +93,9 @@ fn fds_matches_list_scheduler_feasibility() {
     // N (it has typed units, so compare the sum).
     let model = ProcessorModel::unit();
     for d in suite().into_iter().filter(|d| d.dims().2 <= 6) {
-        let g = build::from_state_space(&d.system);
+        let g = build::from_state_space(&d.system).unwrap();
         for n in [2usize, 4] {
-            let ls = list_schedule(&g, n, &model);
+            let ls = list_schedule(&g, n, &model).unwrap();
             match force_directed_schedule(&g, &model, ls.length) {
                 Ok(fds) => {
                     fds.validate(&g, &model).unwrap_or_else(|e| panic!("{}: {e}", d.name));
@@ -121,9 +121,9 @@ fn fds_matches_list_scheduler_feasibility() {
 fn fds_hardware_shrinks_with_latency_slack_on_suite() {
     let model = ProcessorModel::unit();
     for d in suite().into_iter().filter(|d| d.dims().2 <= 6) {
-        let g = build::from_state_space(&d.system);
+        let g = build::from_state_space(&d.system).unwrap();
         // Enough processors to be effectively unbounded.
-        let cp = list_schedule(&g, g.len().max(1), &model).length;
+        let cp = list_schedule(&g, g.len().max(1), &model).unwrap().length;
         let tight = force_directed_schedule(&g, &model, cp).expect("cp feasible");
         let loose = force_directed_schedule(&g, &model, 4 * cp).expect("slack feasible");
         assert!(

@@ -34,7 +34,7 @@ fn claim_s1_s2_critical_path_constant_under_unfolding() {
     let expect = feedback_critical_path(5, t_mul, t_add);
     assert_eq!(expect, t_mul + 3.0 * t_add); // ceil(log2(6)) = 3
     for i in [0u32, 1, 3, 6, 9] {
-        let g = build::from_unfolded(&unfold(&sys, i));
+        let g = build::from_unfolded(&unfold(&sys, i).unwrap()).unwrap();
         assert_eq!(
             g.feedback_critical_path(&timing),
             expect,
@@ -109,7 +109,7 @@ fn claim_s3_frequency_only_is_linear() {
     let rel = relative_power(1.6, IdleStrategy::SlowClock);
     assert!((rel - 1.0 / 1.6).abs() < 1e-12);
     let sys = dense_synthetic(1, 1, 5);
-    let r = single::optimize(&sys, &TechConfig::dac96(3.3));
+    let r = single::optimize(&sys, &TechConfig::dac96(3.3)).unwrap();
     assert!(
         (r.dense.power_reduction_frequency_only() - r.dense.speedup).abs() < 1e-12,
         "frequency-only reduction must equal the speedup"
@@ -125,9 +125,9 @@ fn claim_s4_linear_speedup_up_to_r() {
     let sys = dense_synthetic(1, 1, r);
     let tech = TechConfig::dac96(3.3);
     let i = dense_iopt(1, 1, r as u64, 1.0, 1.0);
-    let s1 = measured_speedup(&sys, i, 1, &tech);
+    let s1 = measured_speedup(&sys, i, 1, &tech).unwrap();
     for n in 2..=r {
-        let sn = measured_speedup(&sys, i, n, &tech);
+        let sn = measured_speedup(&sys, i, n, &tech).unwrap();
         assert!(
             sn >= 0.9 * n as f64 * s1,
             "S({n}) = {sn} not near-linear (S(1) = {s1})"
@@ -142,8 +142,9 @@ fn claim_s4_r_processors_always_help() {
     use lintra::opt::multi::{optimize, ProcessorSelection};
     let sys = dense_synthetic(1, 1, 5);
     let tech = TechConfig::dac96(3.3);
-    let single = single::optimize(&sys, &tech).real.power_reduction();
-    let multi = optimize(&sys, &tech, ProcessorSelection::StatesCount).power_reduction();
+    let single = single::optimize(&sys, &tech).unwrap().real.power_reduction();
+    let multi =
+        optimize(&sys, &tech, ProcessorSelection::StatesCount).unwrap().power_reduction();
     assert!(multi > single, "multi {multi} vs single {single}");
 }
 
@@ -167,7 +168,7 @@ fn claim_s5_mcm_example() {
 fn claim_s5_horner_linear_growth() {
     use lintra::transform::horner::HornerForm;
     let d = by_name("iir6").unwrap();
-    let ops = |i: u32| HornerForm::new(&d.system, i).to_dfg().op_counts();
+    let ops = |i: u32| HornerForm::new(&d.system, i).unwrap().to_dfg().unwrap().op_counts();
     let d1 = ops(5).muls as i64 - ops(4).muls as i64;
     let d2 = ops(9).muls as i64 - ops(8).muls as i64;
     assert_eq!(d1, d2, "per-unfolding multiplication increment must be constant");
@@ -185,6 +186,6 @@ fn claim_s5_voltage_floor() {
     let m = VoltageModel::dac96();
     assert!(m.normalized_delay(m.v_min()) > 10.0, "floor sits in the steep region");
     let d = by_name("chemical").unwrap();
-    let r = optimize(&d.system, &TechConfig::dac96(3.3), &AsicConfig::default());
+    let r = optimize(&d.system, &TechConfig::dac96(3.3), &AsicConfig::default()).unwrap();
     assert!(r.voltage >= m.v_min() - 1e-12);
 }
