@@ -1,0 +1,152 @@
+//! Bench-trajectory harness: times Tables 2–4 and the unfold sweep both
+//! sequentially and through the parallel sweep engine, asserts the two
+//! paths are bit-identical, and writes `BENCH_2.json`.
+//!
+//! Flags:
+//!
+//! - `--out <path>`   report destination (default `BENCH_2.json`)
+//! - `--jobs <N>`     engine worker count (default: all cores)
+//! - `--reps <N>`     timing repetitions, best-of (default 3)
+//! - `--smoke`        single rep — fast CI mode; still validates
+//! - `--check <path>` only parse + schema-validate an existing report
+//!
+//! The written report is always re-parsed and schema-validated before the
+//! process exits 0, so a green run guarantees a well-formed
+//! `lintra-bench-trajectory/v1` document.
+
+use lintra::engine::{CacheStats, SweepCache, ThreadPool};
+use lintra::suite::suite;
+use lintra::LintraError;
+use lintra_bench::json::Json;
+use lintra_bench::report::{to_json, validate, Entry};
+use lintra_bench::timing::measure;
+use lintra_bench::{
+    table2_rows, table2_rows_engine, table3_rows, table3_rows_engine, table4_rows,
+    table4_rows_engine, unfold_sweep, unfold_sweep_cached,
+};
+
+/// Unfolding depth for the sweep workload.
+const SWEEP_MAX_I: u32 = 12;
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// Times one table: sequential rows, engine rows, bit-identity check.
+fn run_table<R: PartialEq + std::fmt::Debug>(
+    name: &'static str,
+    v0: f64,
+    reps: u32,
+    seq: impl Fn() -> Result<Vec<R>, LintraError>,
+    eng: impl Fn() -> Result<(Vec<R>, CacheStats), LintraError>,
+) -> Result<Entry, Box<dyn std::error::Error>> {
+    let seq_rows = seq()?;
+    let (par_rows, cache) = eng()?;
+    if seq_rows != par_rows {
+        return Err(format!("{name}: engine rows differ from sequential rows").into());
+    }
+    let seq_s = measure(reps, || seq().map(|r| r.len()));
+    let par_s = measure(reps, || eng().map(|r| r.0.len()));
+    eprintln!(
+        "  {name}: seq {seq_s:.4}s  engine {par_s:.4}s  speedup x{:.2}  cache hit rate {:.1}%",
+        seq_s / par_s,
+        cache.hit_rate() * 100.0
+    );
+    Ok(Entry { name, v0, rows: seq_rows.len(), seq_s, par_s, cache })
+}
+
+/// The sweep workload: per-sample op counts for every suite design at
+/// unfoldings `0..=SWEEP_MAX_I`, fanned out one design per sweep point.
+fn sweep_entry(
+    pool: &ThreadPool,
+    reps: u32,
+) -> Result<Entry, Box<dyn std::error::Error>> {
+    type SweepRows = Vec<Vec<(u32, f64, f64)>>;
+    let seq = || -> Result<SweepRows, LintraError> {
+        suite().iter().map(|d| unfold_sweep(d, SWEEP_MAX_I)).collect()
+    };
+    let eng = || -> Result<(SweepRows, CacheStats), LintraError> {
+        let results = pool.map(suite(), |d| {
+            let mut cache = SweepCache::new(&d.system);
+            unfold_sweep_cached(SWEEP_MAX_I, &mut cache).map(|rows| (rows, cache.stats()))
+        });
+        let mut rows = Vec::new();
+        let mut stats = CacheStats::default();
+        for res in results {
+            let (r, s) = res.map_err(LintraError::from)??;
+            rows.push(r);
+            stats = stats + s;
+        }
+        Ok((rows, stats))
+    };
+
+    let seq_rows = seq()?;
+    let (par_rows, cache) = eng()?;
+    if seq_rows != par_rows {
+        return Err("unfold_sweep: engine rows differ from sequential rows".into());
+    }
+    let seq_s = measure(reps, || seq().map(|r| r.len()));
+    let par_s = measure(reps, || eng().map(|r| r.0.len()));
+    eprintln!(
+        "  unfold_sweep: seq {seq_s:.4}s  engine {par_s:.4}s  speedup x{:.2}  cache hit rate {:.1}%",
+        seq_s / par_s,
+        cache.hit_rate() * 100.0
+    );
+    Ok(Entry {
+        name: "unfold_sweep",
+        v0: 3.3,
+        rows: seq_rows.len(),
+        seq_s,
+        par_s,
+        cache,
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+
+    if let Some(path) = flag_value(&args, "--check") {
+        let text = std::fs::read_to_string(&path)?;
+        let doc = Json::parse(&text)?;
+        validate(&doc).map_err(|e| format!("{path}: {e}"))?;
+        println!("{path}: valid {}", lintra_bench::report::SCHEMA);
+        return Ok(());
+    }
+
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_2.json".to_string());
+    let jobs = flag_value(&args, "--jobs").and_then(|s| s.parse::<usize>().ok());
+    let reps = flag_value(&args, "--reps")
+        .and_then(|s| s.parse::<u32>().ok())
+        .unwrap_or(if smoke { 1 } else { 3 });
+
+    let pool = match jobs {
+        Some(n) => ThreadPool::new(n),
+        None => ThreadPool::auto(),
+    };
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let v0 = 3.3;
+    eprintln!(
+        "bench_report: {} worker(s) on {} core(s), best of {} rep(s)",
+        pool.jobs(),
+        cores,
+        reps
+    );
+
+    let tables = vec![
+        run_table("table2", v0, reps, || table2_rows(v0), || table2_rows_engine(v0, &pool))?,
+        run_table("table3", v0, reps, || table3_rows(v0), || table3_rows_engine(v0, &pool))?,
+        run_table("table4", v0, reps, || table4_rows(v0), || table4_rows_engine(v0, &pool))?,
+    ];
+    let sweeps = vec![sweep_entry(&pool, reps)?];
+
+    let doc = to_json(cores, pool.jobs(), reps, &tables, &sweeps);
+    let text = doc.render();
+    // Re-parse what will land on disk and gate on the schema: a report the
+    // smoke check would reject must never be written silently.
+    let reparsed = Json::parse(&text)?;
+    validate(&reparsed).map_err(|e| format!("generated report invalid: {e}"))?;
+    std::fs::write(&out, &text)?;
+    println!("wrote {out} ({} bytes, schema valid)", text.len());
+    Ok(())
+}

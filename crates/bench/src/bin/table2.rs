@@ -6,9 +6,12 @@
 //! unfolding, unfolded ops (per iteration of `i+1` samples), relative
 //! clock frequency, and the power-reduction factor. Pass `--v0 <volts>`
 //! to change the initial voltage (default 3.3; the paper also quotes 5.0),
-//! and `--freq-only` for the no-voltage-scaling fallback.
+//! `--freq-only` for the no-voltage-scaling fallback, and `--jobs <N>` to
+//! fan the suite out over the parallel sweep engine (same output, bit for
+//! bit).
 
-use lintra_bench::{mean, table2_rows};
+use lintra::engine::ThreadPool;
+use lintra_bench::{render::render_table2, table2_rows, table2_rows_par};
 
 fn main() -> Result<(), lintra::LintraError> {
     let args: Vec<String> = std::env::args().collect();
@@ -19,51 +22,16 @@ fn main() -> Result<(), lintra::LintraError> {
         .and_then(|s| s.parse::<f64>().ok())
         .unwrap_or(3.3);
     let freq_only = args.iter().any(|a| a == "--freq-only");
+    let jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<usize>().ok());
 
-    println!("Table 2: Power Reduction in a Single Processor (initial V = {v0})");
-    if freq_only {
-        println!("(frequency-reduction/shutdown only — no voltage scaling)");
-    }
-    println!(
-        "{:<9} {:>2} {:>2} {:>3} | {:>6} {:>3} {:>6} {:>6} {:>6} | {:>6} {:>3} {:>6} {:>6} {:>6}",
-        "", "", "", "", "dense", "", "", "", "", "real", "", "", "", ""
-    );
-    println!(
-        "{:<9} {:>2} {:>2} {:>3} | {:>6} {:>3} {:>6} {:>6} {:>6} | {:>6} {:>3} {:>6} {:>6} {:>6}",
-        "Name", "P", "Q", "R", "Ops0", "i", "Ops", "Frq", "Pwr", "Ops0", "i", "Ops", "Frq", "Pwr"
-    );
-    let rows = table2_rows(v0)?;
-    let mut reductions = Vec::new();
-    for row in &rows {
-        let (p, q, r) = row.dims;
-        let d = &row.result.dense;
-        let e = &row.result.real;
-        let pick = |o: &lintra::opt::single::UnfoldingOutcome| {
-            if freq_only {
-                o.power_reduction_frequency_only()
-            } else {
-                o.power_reduction()
-            }
-        };
-        println!(
-            "{:<9} {:>2} {:>2} {:>3} | {:>6} {:>3} {:>6} {:>6.3} {:>6.2} | {:>6} {:>3} {:>6} {:>6.3} {:>6.2}",
-            row.name,
-            p,
-            q,
-            r,
-            d.ops_initial.total(),
-            d.unfolding,
-            d.ops_unfolded.total(),
-            d.frequency_ratio(),
-            pick(d),
-            e.ops_initial.total(),
-            e.unfolding,
-            e.ops_unfolded.total(),
-            e.frequency_ratio(),
-            pick(e),
-        );
-        reductions.push(pick(e));
-    }
-    println!("\naverage power reduction (real coefficients): x{:.2}", mean(&reductions));
+    let rows = match jobs {
+        Some(n) => table2_rows_par(v0, &ThreadPool::new(n))?,
+        None => table2_rows(v0)?,
+    };
+    print!("{}", render_table2(&rows, v0, freq_only));
     Ok(())
 }

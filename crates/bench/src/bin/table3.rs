@@ -1,43 +1,24 @@
 //! Regenerates Table 3: power reduction with unfolding plus multiple
 //! processors (`N = R`, measured schedule speedups), side by side with the
-//! single-processor columns of Table 2.
+//! single-processor columns of Table 2. Pass `--jobs <N>` to fan the suite
+//! out over the parallel sweep engine (same output, bit for bit).
 
-use lintra_bench::{mean, table3_rows};
+use lintra::engine::ThreadPool;
+use lintra_bench::{render::render_table3, table3_rows, table3_rows_par};
 
 fn main() -> Result<(), lintra::LintraError> {
+    let args: Vec<String> = std::env::args().collect();
     let v0 = 3.3;
-    println!("Table 3: Power Reduction with Unfolding and Multiple Processors (initial V = {v0})");
-    println!(
-        "{:<9} | {:>9} {:>8} | {:>3} {:>10} {:>8} {:>8}",
-        "", "single", "", "", "multi", "", ""
-    );
-    println!(
-        "{:<9} | {:>9} {:>8} | {:>3} {:>10} {:>8} {:>8}",
-        "Name", "Frq", "Pwr", "N", "Smax(N,i)", "V", "Pwr"
-    );
-    let rows = table3_rows(v0)?;
-    let mut single = Vec::new();
-    let mut multi = Vec::new();
-    for row in &rows {
-        let s = &row.single.real;
-        let m = &row.multi;
-        println!(
-            "{:<9} | {:>9.3} {:>8.2} | {:>3} {:>10.2} {:>8.2} {:>8.2}",
-            row.name,
-            s.frequency_ratio(),
-            s.power_reduction(),
-            m.processors,
-            m.speedup,
-            m.scaling.voltage,
-            m.power_reduction(),
-        );
-        single.push(s.power_reduction());
-        multi.push(m.power_reduction());
-    }
-    println!(
-        "\naverages: single x{:.2}, multiprocessor x{:.2}",
-        mean(&single),
-        mean(&multi)
-    );
+    let jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<usize>().ok());
+
+    let rows = match jobs {
+        Some(n) => table3_rows_par(v0, &ThreadPool::new(n))?,
+        None => table3_rows(v0)?,
+    };
+    print!("{}", render_table3(&rows, v0));
     Ok(())
 }

@@ -2,9 +2,11 @@
 //! transformation ordering (unfold → generalized Horner → MCM), with the
 //! improvement factors and suite average/median. Voltage is conservatively
 //! clamped at 1.1 V, as in the paper. Pass `--verbose` to also print the
-//! paper's worked MCM example.
+//! paper's worked MCM example, and `--jobs <N>` to fan the suite out over
+//! the parallel sweep engine (same output, bit for bit).
 
-use lintra_bench::{mean, median, table4_rows};
+use lintra::engine::ThreadPool;
+use lintra_bench::{render::render_table4, table4_rows, table4_rows_par};
 
 fn main() -> Result<(), lintra::LintraError> {
     let args: Vec<String> = std::env::args().collect();
@@ -18,31 +20,17 @@ fn main() -> Result<(), lintra::LintraError> {
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse::<f64>().ok())
         .unwrap_or(3.3);
-    println!("Table 4: Improvements in energy per sample (initial V = {v0}, floor 1.1 V)");
-    println!(
-        "{:<9} {:>4} {:>8} | {:>16} {:>18} {:>12}",
-        "Name", "n", "V", "Initial [nJ/smp]", "Optimized [nJ/smp]", "Improvement"
-    );
-    let rows = table4_rows(v0)?;
-    let mut factors = Vec::new();
-    for row in &rows {
-        let r = &row.result;
-        println!(
-            "{:<9} {:>4} {:>8.2} | {:>16.2} {:>18.3} {:>12.1}",
-            row.name,
-            r.unfolding + 1,
-            r.voltage,
-            r.initial.total_nj(),
-            r.optimized.total_nj(),
-            r.improvement(),
-        );
-        factors.push(r.improvement());
-    }
-    println!(
-        "\naverage improvement: x{:.1}   median: x{:.1}",
-        mean(&factors),
-        median(&factors)
-    );
+    let jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<usize>().ok());
+
+    let rows = match jobs {
+        Some(n) => table4_rows_par(v0, &ThreadPool::new(n))?,
+        None => table4_rows(v0)?,
+    };
+    print!("{}", render_table4(&rows, v0));
 
     if verbose {
         use lintra::mcm::{naive_cost, synthesize, Recoding};

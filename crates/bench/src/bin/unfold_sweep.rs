@@ -1,20 +1,61 @@
 //! Regenerates the §2 phenomenon behind EQ 4/5: per-sample operation
 //! counts first fall with unfolding, bottom out at `i_opt`, then rise.
-//! Prints one CSV block per design plus a dense reference.
+//! Prints one CSV block per design plus a dense reference. Pass
+//! `--jobs <N>` to fan the designs out over the parallel sweep engine
+//! (same CSV, bit for bit — each worker unfolds incrementally through a
+//! `SweepCache`).
 
+use lintra::engine::{SweepCache, ThreadPool};
 use lintra::linsys::count::{dense_iopt, dense_ops_per_sample};
 use lintra::suite::suite;
-use lintra_bench::unfold_sweep;
+use lintra::LintraError;
+use lintra_bench::{unfold_sweep, unfold_sweep_cached};
 
 fn main() -> Result<(), lintra::LintraError> {
+    let args: Vec<String> = std::env::args().collect();
+    let jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<usize>().ok());
+
+    let designs = suite();
+    let depths: Vec<u32> = designs
+        .iter()
+        .map(|d| {
+            let (p, q, r) = d.dims();
+            let iopt = dense_iopt(p as u64, q as u64, r as u64, 1.0, 1.0);
+            (3 * iopt + 4).min(40) as u32
+        })
+        .collect();
+
+    let sweeps: Vec<Vec<(u32, f64, f64)>> = match jobs {
+        Some(n) => {
+            let pool = ThreadPool::new(n);
+            let items: Vec<_> = designs.iter().cloned().zip(depths.iter().copied()).collect();
+            let results = pool.map(items, |(d, max_i)| {
+                let mut cache = SweepCache::new(&d.system);
+                unfold_sweep_cached(max_i, &mut cache)
+            });
+            results
+                .into_iter()
+                .map(|r| r.map_err(LintraError::from)?)
+                .collect::<Result<_, LintraError>>()?
+        }
+        None => designs
+            .iter()
+            .zip(&depths)
+            .map(|(d, &max_i)| unfold_sweep(d, max_i))
+            .collect::<Result<_, _>>()?,
+    };
+
     println!("# Per-sample operation counts vs unfolding factor (EQ 4/5)");
-    for d in suite() {
+    for (d, rows) in designs.iter().zip(&sweeps) {
         let (p, q, r) = d.dims();
         let iopt = dense_iopt(p as u64, q as u64, r as u64, 1.0, 1.0);
-        let max_i = (3 * iopt + 4).min(40) as u32;
         println!("\n## {} (P={p} Q={q} R={r}; dense i_opt = {iopt})", d.name);
         println!("i,muls_per_sample,adds_per_sample,total,dense_total");
-        for (i, m, a) in unfold_sweep(&d, max_i)? {
+        for &(i, m, a) in rows {
             let dense = dense_ops_per_sample(p as u64, q as u64, r as u64, i as u64);
             println!("{i},{m:.2},{a:.2},{:.2},{:.2}", m + a, dense.total());
         }

@@ -2,8 +2,12 @@
 //! timing benchmarks — one function per paper table/figure so the `bin`
 //! targets and the `bench` targets print exactly the same numbers.
 
+pub mod json;
+pub mod render;
+pub mod report;
 pub mod timing;
 
+use lintra::engine::{CacheStats, SweepCache, ThreadPool};
 use lintra::linsys::count::{op_count, TrivialityRule};
 use lintra::linsys::unfold;
 use lintra::opt::multi::ProcessorSelection;
@@ -50,6 +54,7 @@ pub fn table1_rows() -> Vec<Table1Row> {
 }
 
 /// One row of Table 2 (single processor).
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table2Row {
     /// The design.
     pub name: &'static str,
@@ -80,6 +85,7 @@ pub fn table2_rows(initial_voltage: f64) -> Result<Vec<Table2Row>, LintraError> 
 }
 
 /// One row of Table 3 (multiple processors).
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table3Row {
     /// The design.
     pub name: &'static str,
@@ -110,6 +116,7 @@ pub fn table3_rows(initial_voltage: f64) -> Result<Vec<Table3Row>, LintraError> 
 }
 
 /// One row of Table 4 (ASIC flow).
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table4Row {
     /// The design.
     pub name: &'static str,
@@ -150,6 +157,165 @@ pub fn unfold_sweep(design: &Design, max_i: u32) -> Result<Vec<(u32, f64, f64)>,
         out.push((i, c.muls as f64 / n, c.adds as f64 / n));
     }
     Ok(out)
+}
+
+/// [`unfold_sweep`] with every step served by the incremental
+/// [`SweepCache`] (bit-identical unfolded systems, so bit-identical
+/// per-sample counts).
+///
+/// # Errors
+///
+/// Propagates unfolding failures (unstable system).
+pub fn unfold_sweep_cached(
+    max_i: u32,
+    cache: &mut SweepCache,
+) -> Result<Vec<(u32, f64, f64)>, LintraError> {
+    let mut out = Vec::new();
+    for i in 0..=max_i {
+        let u = cache.unfolded(i)?;
+        let c = op_count(&u.system, TrivialityRule::ZeroOne);
+        let n = (i + 1) as f64;
+        out.push((i, c.muls as f64 / n, c.adds as f64 / n));
+    }
+    Ok(out)
+}
+
+/// Fans one closure per suite design out over the pool, then merges the
+/// per-design results *in suite order* — so row order, and which design's
+/// error surfaces when several fail, are exactly those of the sequential
+/// `for d in suite()` loop (the deterministic merge of the engine's
+/// determinism contract). A worker panic surfaces as a resource-class
+/// [`LintraError`] naming the design.
+fn suite_fanout<T, F>(pool: &ThreadPool, per_design: F) -> Result<(Vec<T>, CacheStats), LintraError>
+where
+    T: Send,
+    F: Fn(&Design, &mut SweepCache) -> Result<T, LintraError> + Sync,
+{
+    let designs = suite();
+    let names: Vec<&'static str> = designs.iter().map(|d| d.name).collect();
+    let results = pool.map(designs, |d| {
+        let mut cache = SweepCache::new(&d.system);
+        let row = per_design(&d, &mut cache)
+            .map_err(|e| e.context(format!("design {}", d.name)))?;
+        Ok::<_, LintraError>((row, cache.stats()))
+    });
+    let mut rows = Vec::with_capacity(results.len());
+    let mut stats = CacheStats::default();
+    for (res, name) in results.into_iter().zip(names) {
+        let (row, s) =
+            res.map_err(|e| LintraError::from(e).context(format!("design {name}")))??;
+        rows.push(row);
+        stats = stats + s;
+    }
+    Ok((rows, stats))
+}
+
+/// Parallel [`table2_rows`]: one sweep point per design, optimizer search
+/// served by the incremental cache. Returns the rows plus aggregate cache
+/// statistics. Bit-identical rows to the sequential generator (asserted
+/// by `tests/parallel_equivalence.rs`).
+///
+/// # Errors
+///
+/// Identical to [`table2_rows`]; additionally reports a worker panic as a
+/// resource-class error.
+pub fn table2_rows_engine(
+    initial_voltage: f64,
+    pool: &ThreadPool,
+) -> Result<(Vec<Table2Row>, CacheStats), LintraError> {
+    let tech = TechConfig::dac96(initial_voltage);
+    suite_fanout(pool, |d, cache| {
+        Ok(Table2Row {
+            name: d.name,
+            dims: d.dims(),
+            result: single::optimize_cached(&d.system, &tech, cache)?,
+        })
+    })
+}
+
+/// Parallel [`table3_rows`] (see [`table2_rows_engine`] for the contract).
+///
+/// # Errors
+///
+/// Identical to [`table3_rows`]; additionally reports a worker panic as a
+/// resource-class error.
+pub fn table3_rows_engine(
+    initial_voltage: f64,
+    pool: &ThreadPool,
+) -> Result<(Vec<Table3Row>, CacheStats), LintraError> {
+    let tech = TechConfig::dac96(initial_voltage);
+    // The inner N sweep is a single point under `StatesCount`; the fan-out
+    // across designs is where the parallelism lives, so the inner path
+    // runs on one worker.
+    let inner = ThreadPool::new(1);
+    suite_fanout(pool, |d, cache| {
+        Ok(Table3Row {
+            name: d.name,
+            single: single::optimize_cached(&d.system, &tech, cache)?,
+            multi: multi::optimize_with_pool(
+                &d.system,
+                &tech,
+                ProcessorSelection::StatesCount,
+                &inner,
+            )?,
+        })
+    })
+}
+
+/// Parallel [`table4_rows`] (see [`table2_rows_engine`] for the contract).
+///
+/// # Errors
+///
+/// Identical to [`table4_rows`]; additionally reports a worker panic as a
+/// resource-class error.
+pub fn table4_rows_engine(
+    initial_voltage: f64,
+    pool: &ThreadPool,
+) -> Result<(Vec<Table4Row>, CacheStats), LintraError> {
+    let tech = TechConfig::dac96(initial_voltage);
+    let cfg = asic::AsicConfig::default();
+    suite_fanout(pool, |d, cache| {
+        Ok(Table4Row {
+            name: d.name,
+            result: asic::optimize_cached(&d.system, &tech, &cfg, cache)?,
+        })
+    })
+}
+
+/// Parallel [`table2_rows`] without the statistics (drop-in replacement).
+///
+/// # Errors
+///
+/// Identical to [`table2_rows_engine`].
+pub fn table2_rows_par(
+    initial_voltage: f64,
+    pool: &ThreadPool,
+) -> Result<Vec<Table2Row>, LintraError> {
+    table2_rows_engine(initial_voltage, pool).map(|(rows, _)| rows)
+}
+
+/// Parallel [`table3_rows`] without the statistics (drop-in replacement).
+///
+/// # Errors
+///
+/// Identical to [`table3_rows_engine`].
+pub fn table3_rows_par(
+    initial_voltage: f64,
+    pool: &ThreadPool,
+) -> Result<Vec<Table3Row>, LintraError> {
+    table3_rows_engine(initial_voltage, pool).map(|(rows, _)| rows)
+}
+
+/// Parallel [`table4_rows`] without the statistics (drop-in replacement).
+///
+/// # Errors
+///
+/// Identical to [`table4_rows_engine`].
+pub fn table4_rows_par(
+    initial_voltage: f64,
+    pool: &ThreadPool,
+) -> Result<Vec<Table4Row>, LintraError> {
+    table4_rows_engine(initial_voltage, pool).map(|(rows, _)| rows)
 }
 
 /// Mean of a slice.

@@ -1,0 +1,147 @@
+//! Text renderers for the paper tables.
+//!
+//! The `table{2,3,4}` binaries, the golden-snapshot tests, and the CLI
+//! `tables` command all print through these functions, so "what the table
+//! looks like" is defined exactly once — a formatting drift in a binary
+//! can no longer diverge from the committed golden files.
+
+use crate::{mean, median, Table2Row, Table3Row, Table4Row};
+use lintra::opt::single::UnfoldingOutcome;
+use std::fmt::Write as _;
+
+/// Renders Table 2 (single-processor power reduction) exactly as the
+/// `table2` binary prints it.
+pub fn render_table2(rows: &[Table2Row], v0: f64, freq_only: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 2: Power Reduction in a Single Processor (initial V = {v0})");
+    if freq_only {
+        let _ = writeln!(out, "(frequency-reduction/shutdown only — no voltage scaling)");
+    }
+    let _ = writeln!(
+        out,
+        "{:<9} {:>2} {:>2} {:>3} | {:>6} {:>3} {:>6} {:>6} {:>6} | {:>6} {:>3} {:>6} {:>6} {:>6}",
+        "", "", "", "", "dense", "", "", "", "", "real", "", "", "", ""
+    );
+    let _ = writeln!(
+        out,
+        "{:<9} {:>2} {:>2} {:>3} | {:>6} {:>3} {:>6} {:>6} {:>6} | {:>6} {:>3} {:>6} {:>6} {:>6}",
+        "Name", "P", "Q", "R", "Ops0", "i", "Ops", "Frq", "Pwr", "Ops0", "i", "Ops", "Frq", "Pwr"
+    );
+    let mut reductions = Vec::new();
+    for row in rows {
+        let (p, q, r) = row.dims;
+        let d = &row.result.dense;
+        let e = &row.result.real;
+        let pick = |o: &UnfoldingOutcome| {
+            if freq_only {
+                o.power_reduction_frequency_only()
+            } else {
+                o.power_reduction()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{:<9} {:>2} {:>2} {:>3} | {:>6} {:>3} {:>6} {:>6.3} {:>6.2} | {:>6} {:>3} {:>6} {:>6.3} {:>6.2}",
+            row.name,
+            p,
+            q,
+            r,
+            d.ops_initial.total(),
+            d.unfolding,
+            d.ops_unfolded.total(),
+            d.frequency_ratio(),
+            pick(d),
+            e.ops_initial.total(),
+            e.unfolding,
+            e.ops_unfolded.total(),
+            e.frequency_ratio(),
+            pick(e),
+        );
+        reductions.push(pick(e));
+    }
+    let _ = writeln!(out, "\naverage power reduction (real coefficients): x{:.2}", mean(&reductions));
+    out
+}
+
+/// Renders Table 3 (unfolding plus multiple processors) exactly as the
+/// `table3` binary prints it.
+pub fn render_table3(rows: &[Table3Row], v0: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 3: Power Reduction with Unfolding and Multiple Processors (initial V = {v0})"
+    );
+    let _ = writeln!(
+        out,
+        "{:<9} | {:>9} {:>8} | {:>3} {:>10} {:>8} {:>8}",
+        "", "single", "", "", "multi", "", ""
+    );
+    let _ = writeln!(
+        out,
+        "{:<9} | {:>9} {:>8} | {:>3} {:>10} {:>8} {:>8}",
+        "Name", "Frq", "Pwr", "N", "Smax(N,i)", "V", "Pwr"
+    );
+    let mut single = Vec::new();
+    let mut multi = Vec::new();
+    for row in rows {
+        let s = &row.single.real;
+        let m = &row.multi;
+        let _ = writeln!(
+            out,
+            "{:<9} | {:>9.3} {:>8.2} | {:>3} {:>10.2} {:>8.2} {:>8.2}",
+            row.name,
+            s.frequency_ratio(),
+            s.power_reduction(),
+            m.processors,
+            m.speedup,
+            m.scaling.voltage,
+            m.power_reduction(),
+        );
+        single.push(s.power_reduction());
+        multi.push(m.power_reduction());
+    }
+    let _ = writeln!(
+        out,
+        "\naverages: single x{:.2}, multiprocessor x{:.2}",
+        mean(&single),
+        mean(&multi)
+    );
+    out
+}
+
+/// Renders Table 4 (ASIC energy per sample) exactly as the `table4`
+/// binary prints it.
+pub fn render_table4(rows: &[Table4Row], v0: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 4: Improvements in energy per sample (initial V = {v0}, floor 1.1 V)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<9} {:>4} {:>8} | {:>16} {:>18} {:>12}",
+        "Name", "n", "V", "Initial [nJ/smp]", "Optimized [nJ/smp]", "Improvement"
+    );
+    let mut factors = Vec::new();
+    for row in rows {
+        let r = &row.result;
+        let _ = writeln!(
+            out,
+            "{:<9} {:>4} {:>8.2} | {:>16.2} {:>18.3} {:>12.1}",
+            row.name,
+            r.unfolding + 1,
+            r.voltage,
+            r.initial.total_nj(),
+            r.optimized.total_nj(),
+            r.improvement(),
+        );
+        factors.push(r.improvement());
+    }
+    let _ = writeln!(
+        out,
+        "\naverage improvement: x{:.1}   median: x{:.1}",
+        mean(&factors),
+        median(&factors)
+    );
+    out
+}

@@ -1,0 +1,226 @@
+//! Assembly and validation of the bench-trajectory report
+//! (`BENCH_2.json`).
+//!
+//! The `bench_report` binary times each paper table sequentially and
+//! through the parallel sweep engine, checks the two row sets are
+//! bit-identical, and serializes the trajectory here. `validate` is the
+//! schema check reused by `scripts/bench.sh --smoke` (via
+//! `bench_report --check`), so a malformed report fails CI rather than
+//! silently shipping.
+
+use crate::json::Json;
+use lintra::engine::CacheStats;
+
+/// Report schema identifier; bump on breaking layout changes.
+pub const SCHEMA: &str = "lintra-bench-trajectory/v1";
+
+/// One timed workload (a paper table or a sweep).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// Workload name, e.g. `"table2"`.
+    pub name: &'static str,
+    /// Initial supply voltage the workload was run at.
+    pub v0: f64,
+    /// Number of rows (designs) the workload produced.
+    pub rows: usize,
+    /// Best-of-`reps` sequential wall time, seconds.
+    pub seq_s: f64,
+    /// Best-of-`reps` engine (parallel path) wall time, seconds.
+    pub par_s: f64,
+    /// Aggregated incremental-unfold cache counters from the engine run.
+    pub cache: CacheStats,
+}
+
+impl Entry {
+    /// Sequential-over-parallel wall-time ratio (> 1 means the engine
+    /// path was faster).
+    pub fn speedup(&self) -> f64 {
+        if self.par_s > 0.0 {
+            self.seq_s / self.par_s
+        } else {
+            f64::NAN
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::Str(self.name.to_string())),
+            ("v0", Json::Num(self.v0)),
+            ("rows", Json::Num(self.rows as f64)),
+            ("seq_s", Json::Num(self.seq_s)),
+            ("par_s", Json::Num(self.par_s)),
+            ("speedup", Json::Num(self.speedup())),
+            (
+                "cache",
+                Json::obj([
+                    ("hits", Json::Num(self.cache.hits as f64)),
+                    ("misses", Json::Num(self.cache.misses as f64)),
+                    ("hit_rate", Json::Num(self.cache.hit_rate())),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Builds the full `BENCH_2.json` document.
+pub fn to_json(cores: usize, jobs: usize, reps: u32, tables: &[Entry], sweeps: &[Entry]) -> Json {
+    let total = |pick: fn(&Entry) -> f64| {
+        tables.iter().chain(sweeps.iter()).map(pick).sum::<f64>()
+    };
+    let (seq, par) = (total(|e| e.seq_s), total(|e| e.par_s));
+    Json::obj([
+        ("schema", Json::Str(SCHEMA.to_string())),
+        ("cores", Json::Num(cores as f64)),
+        ("jobs", Json::Num(jobs as f64)),
+        ("reps", Json::Num(f64::from(reps))),
+        ("tables", Json::Arr(tables.iter().map(Entry::to_json).collect())),
+        ("sweeps", Json::Arr(sweeps.iter().map(Entry::to_json).collect())),
+        (
+            "totals",
+            Json::obj([
+                ("seq_s", Json::Num(seq)),
+                ("par_s", Json::Num(par)),
+                ("speedup", Json::Num(if par > 0.0 { seq / par } else { f64::NAN })),
+            ]),
+        ),
+    ])
+}
+
+/// Checks a parsed report against the `lintra-bench-trajectory/v1`
+/// schema.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation.
+pub fn validate(doc: &Json) -> Result<(), String> {
+    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return Err(format!("schema field must be {SCHEMA:?}"));
+    }
+    for key in ["cores", "jobs", "reps"] {
+        let v = doc
+            .get(key)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("missing numeric field {key:?}"))?;
+        if v < 1.0 {
+            return Err(format!("{key:?} must be >= 1, got {v}"));
+        }
+    }
+    let tables = doc
+        .get("tables")
+        .and_then(Json::as_arr)
+        .ok_or("missing array field \"tables\"")?;
+    if tables.len() != 3 {
+        return Err(format!("expected 3 table entries, got {}", tables.len()));
+    }
+    let sweeps = doc
+        .get("sweeps")
+        .and_then(Json::as_arr)
+        .ok_or("missing array field \"sweeps\"")?;
+    if sweeps.is_empty() {
+        return Err("expected at least one sweep entry".to_string());
+    }
+    for (kind, entries) in [("tables", tables), ("sweeps", sweeps)] {
+        for e in entries {
+            let name = e
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{kind} entry missing \"name\""))?;
+            for key in ["v0", "rows", "seq_s", "par_s", "speedup"] {
+                let v = e
+                    .get(key)
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| format!("{name}: missing numeric field {key:?}"))?;
+                if key != "speedup" && (v.is_nan() || v < 0.0) {
+                    return Err(format!("{name}: {key:?} must be non-negative, got {v}"));
+                }
+            }
+            let cache = e.get("cache").ok_or_else(|| format!("{name}: missing \"cache\""))?;
+            for key in ["hits", "misses", "hit_rate"] {
+                cache
+                    .get(key)
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| format!("{name}: missing cache field {key:?}"))?;
+            }
+        }
+    }
+    let totals = doc.get("totals").ok_or("missing object field \"totals\"")?;
+    for key in ["seq_s", "par_s", "speedup"] {
+        totals
+            .get(key)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("totals: missing numeric field {key:?}"))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entry(name: &'static str) -> Entry {
+        Entry {
+            name,
+            v0: 3.3,
+            rows: 8,
+            seq_s: 0.2,
+            par_s: 0.1,
+            cache: CacheStats { hits: 30, misses: 10 },
+        }
+    }
+
+    fn sample_doc() -> Json {
+        let tables = [sample_entry("table2"), sample_entry("table3"), sample_entry("table4")];
+        let sweeps = [sample_entry("unfold_sweep")];
+        to_json(4, 4, 3, &tables, &sweeps)
+    }
+
+    #[test]
+    fn generated_report_validates_and_round_trips() {
+        let doc = sample_doc();
+        validate(&doc).expect("fresh report validates");
+        let reparsed = Json::parse(&doc.render()).expect("parses back");
+        validate(&reparsed).expect("round-tripped report validates");
+        assert_eq!(reparsed, doc);
+    }
+
+    #[test]
+    fn speedup_and_totals_are_consistent() {
+        let doc = sample_doc();
+        let totals = doc.get("totals").unwrap();
+        assert!((totals.get("seq_s").unwrap().as_num().unwrap() - 0.8).abs() < 1e-12);
+        assert!((totals.get("speedup").unwrap().as_num().unwrap() - 2.0).abs() < 1e-12);
+        let t0 = &doc.get("tables").unwrap().as_arr().unwrap()[0];
+        assert!((t0.get("speedup").unwrap().as_num().unwrap() - 2.0).abs() < 1e-12);
+        let rate = t0.get("cache").unwrap().get("hit_rate").unwrap().as_num().unwrap();
+        assert!((rate - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_rejects_schema_violations() {
+        let mut doc = sample_doc();
+        if let Json::Obj(m) = &mut doc {
+            m.insert("schema".into(), Json::Str("something-else".into()));
+        }
+        assert!(validate(&doc).is_err());
+
+        let mut doc = sample_doc();
+        if let Json::Obj(m) = &mut doc {
+            m.remove("tables");
+        }
+        assert!(validate(&doc).is_err());
+
+        let mut doc = sample_doc();
+        if let Json::Obj(m) = &mut doc {
+            if let Some(Json::Arr(t)) = m.get_mut("tables") {
+                t.pop();
+            }
+        }
+        assert!(validate(&doc).is_err(), "two tables must be rejected");
+
+        let mut doc = sample_doc();
+        if let Json::Obj(m) = &mut doc {
+            m.insert("cores".into(), Json::Num(0.0));
+        }
+        assert!(validate(&doc).is_err(), "zero cores must be rejected");
+    }
+}

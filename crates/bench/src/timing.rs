@@ -40,6 +40,20 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
     println!("  bench {name:<40} {:>12}/iter  ({iters} iters x {SAMPLES})", pretty(best));
 }
 
+/// Wall-clock time for `reps` runs of `f`, as the best (minimum) seconds
+/// per run — the same noise-robust statistic [`bench`] reports, but
+/// returned instead of printed so the bench-trajectory report can compute
+/// speedups and write them to `BENCH_2.json`.
+pub fn measure<T>(reps: u32, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
 /// Formats a duration in seconds with an adaptive unit.
 fn pretty(secs: f64) -> String {
     if secs >= 1.0 {
@@ -63,6 +77,12 @@ mod tests {
         assert_eq!(pretty(0.0025), "2.500 ms");
         assert_eq!(pretty(2.5e-6), "2.500 us");
         assert_eq!(pretty(2.5e-8), "25.0 ns");
+    }
+
+    #[test]
+    fn measure_returns_finite_positive_seconds() {
+        let s = measure(3, || (0..1000u64).sum::<u64>());
+        assert!(s.is_finite() && s >= 0.0);
     }
 
     #[test]

@@ -1,13 +1,15 @@
 //! Implementation of the `lintra` command-line tool (kept in a library so
 //! the argument handling and command output are unit-testable).
 
+use lintra::engine::{SweepCache, ThreadPool};
 use lintra::linsys::count::{op_count, TrivialityRule};
-use lintra::linsys::unfold;
 use lintra::mcm::{naive_cost, synthesize, Recoding};
 use lintra::opt::multi::ProcessorSelection;
 use lintra::opt::{asic, multi, single, TechConfig};
 use lintra::suite::{by_name, suite, Design};
 use lintra::{ErrorClass, LintraError};
+use lintra_bench::render::{render_table2, render_table3, render_table4};
+use lintra_bench::{table2_rows, table2_rows_par, table3_rows, table3_rows_par, table4_rows, table4_rows_par};
 use std::fmt;
 use std::io::Write;
 
@@ -104,6 +106,15 @@ fn parse_usize(args: &[String], name: &str) -> Result<Option<usize>, CliError> {
     }
 }
 
+/// Parses `--jobs N` into a worker pool (`None` when the flag is absent).
+fn parse_jobs(args: &[String]) -> Result<Option<ThreadPool>, CliError> {
+    match parse_usize(args, "--jobs")? {
+        None => Ok(None),
+        Some(0) => Err(usage("--jobs expects a positive worker count, got `0`")),
+        Some(n) => Ok(Some(ThreadPool::new(n))),
+    }
+}
+
 fn design_arg(args: &[String]) -> Result<Design, CliError> {
     let name = args
         .iter()
@@ -128,6 +139,7 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         Some("show") => cmd_show(&args[1..], out),
         Some("optimize") => cmd_optimize(&args[1..], out),
         Some("sweep") => cmd_sweep(&args[1..], out),
+        Some("tables") => cmd_tables(&args[1..], out),
         Some("mcm") => cmd_mcm(&args[1..], out),
         Some(other) => Err(usage(format!("unknown command `{other}`"))),
     }
@@ -140,9 +152,12 @@ fn help(out: &mut impl Write) -> Result<(), CliError> {
          commands:\n\
          \x20 suite                         list the benchmark designs\n\
          \x20 show <design>                 print a design's dimensions and stats\n\
-         \x20 optimize <design> [--strategy single|multi|asic] [--v0 V] [--processors N]\n\
+         \x20 optimize <design> [--strategy single|multi|asic] [--v0 V] [--processors N] [--jobs N]\n\
          \x20 sweep <design> [--max I]      ops/sample vs unfolding factor\n\
-         \x20 mcm <c1> <c2> ... [--binary]  synthesize a shared shift-add network"
+         \x20 tables [--v0 V] [--jobs N] [--seq]  regenerate paper Tables 2-4\n\
+         \x20 mcm <c1> <c2> ... [--binary]  synthesize a shared shift-add network\n\n\
+         `--jobs N` fans work out over the parallel sweep engine; output is\n\
+         bit-identical to the sequential path."
     )?;
     Ok(())
 }
@@ -208,7 +223,10 @@ fn cmd_optimize(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
                 Some(n) => ProcessorSelection::SearchBest { max: n },
                 None => ProcessorSelection::StatesCount,
             };
-            let r = multi::optimize(&d.system, &tech, selection)?;
+            let r = match parse_jobs(args)? {
+                Some(pool) => multi::optimize_with_pool(&d.system, &tech, selection, &pool)?,
+                None => multi::optimize(&d.system, &tech, selection)?,
+            };
             writeln!(out, "strategy: {} processors at {v0} V", r.processors)?;
             warn(out, &r.diagnostics)?;
             writeln!(
@@ -243,14 +261,44 @@ fn cmd_optimize(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
 fn cmd_sweep(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     let d = design_arg(args)?;
     let max = parse_usize(args, "--max")?.unwrap_or(16) as u32;
+    // Incremental unfolding: step i -> i+1 reuses the A^i / [A^{i-1}B|...]
+    // prefixes instead of re-unfolding from scratch (bit-identical counts).
+    let mut cache = SweepCache::new(&d.system);
     writeln!(out, "i,muls_per_sample,adds_per_sample,total")?;
     for i in 0..=max {
-        let u = unfold(&d.system, i)?;
+        let u = cache.unfolded(i)?;
         let c = op_count(&u.system, TrivialityRule::ZeroOne);
         let n = (i + 1) as f64;
         let (m, a) = (c.muls as f64 / n, c.adds as f64 / n);
         writeln!(out, "{i},{m:.2},{a:.2},{:.2}", m + a)?;
     }
+    Ok(())
+}
+
+fn cmd_tables(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    let v0 = parse_f64(args, "--v0", 3.3)?;
+    if !v0.is_finite() || v0 <= 0.0 {
+        return Err(usage(format!("--v0 must be a positive voltage, got {v0}")));
+    }
+    let seq = args.iter().any(|a| a == "--seq");
+    if seq && flag_value(args, "--jobs").is_some() {
+        return Err(usage("--seq and --jobs are mutually exclusive"));
+    }
+    let (t2, t3, t4) = if seq {
+        (table2_rows(v0)?, table3_rows(v0)?, table4_rows(v0)?)
+    } else {
+        let pool = parse_jobs(args)?.unwrap_or_else(ThreadPool::auto);
+        (
+            table2_rows_par(v0, &pool)?,
+            table3_rows_par(v0, &pool)?,
+            table4_rows_par(v0, &pool)?,
+        )
+    };
+    write!(out, "{}", render_table2(&t2, v0, false))?;
+    writeln!(out)?;
+    write!(out, "{}", render_table3(&t3, v0))?;
+    writeln!(out)?;
+    write!(out, "{}", render_table4(&t4, v0))?;
     Ok(())
 }
 
@@ -370,6 +418,37 @@ mod tests {
         let out = run_ok(&["sweep", "chemical", "--max", "4"]);
         assert_eq!(out.lines().count(), 6); // header + 5 rows
         assert!(out.starts_with("i,muls_per_sample"));
+    }
+
+    #[test]
+    fn tables_renders_all_three_paper_tables() {
+        let out = run_ok(&["tables", "--jobs", "2"]);
+        assert!(out.contains("Table 2: Power Reduction in a Single Processor"), "{out}");
+        assert!(out.contains("Table 3: Power Reduction with Unfolding"), "{out}");
+        assert!(out.contains("Table 4: Improvements in energy per sample"), "{out}");
+    }
+
+    #[test]
+    fn tables_parallel_output_is_bit_identical_to_sequential() {
+        assert_eq!(run_ok(&["tables", "--jobs", "3"]), run_ok(&["tables", "--seq"]));
+    }
+
+    #[test]
+    fn tables_rejects_bad_flags() {
+        assert!(usage_msg(&["tables", "--jobs", "0"]).contains("--jobs"));
+        assert!(usage_msg(&["tables", "--jobs", "abc"]).contains("--jobs"));
+        assert!(usage_msg(&["tables", "--seq", "--jobs", "2"]).contains("mutually exclusive"));
+        assert!(usage_msg(&["tables", "--v0", "-1"]).contains("positive"));
+    }
+
+    #[test]
+    fn optimize_multi_with_jobs_matches_sequential() {
+        let base = &["optimize", "iir5", "--strategy", "multi", "--processors", "3"];
+        let seq = run_ok(base);
+        let par = run_ok(&[base as &[&str], &["--jobs", "2"]].concat());
+        assert_eq!(seq, par);
+        assert!(usage_msg(&["optimize", "iir5", "--strategy", "multi", "--jobs", "0"])
+            .contains("--jobs"));
     }
 
     #[test]

@@ -16,7 +16,12 @@
 //!   [`lintra_sched::ScheduleError::NoProcessors`],
 //! * [`sub_threshold_tech`] — a supply voltage below the device
 //!   threshold, which forces the voltage bisection to fail and the
-//!   optimizers to fall back to frequency-only scaling.
+//!   optimizers to fall back to frequency-only scaling,
+//! * [`panicking_sweep_point`] — a sweep closure that panics on one
+//!   seed-chosen index, which the parallel engine's pool must isolate to
+//!   that index and surface as a resource-class
+//!   [`lintra_engine::EngineError::WorkerPanic`], with every sibling
+//!   point still evaluated and the pool still usable.
 
 use lintra_matrix::rng::SplitMix64;
 use lintra_matrix::Matrix;
@@ -34,16 +39,19 @@ pub enum Fault {
     ResourceStarvation,
     /// Supply voltage below threshold: delay-curve inversion impossible.
     BisectionFailure,
+    /// A sweep point that panics inside a pool worker thread.
+    WorkerPanic,
 }
 
 impl Fault {
     /// All fault classes, for exhaustive harness sweeps.
-    pub fn all() -> [Fault; 4] {
+    pub fn all() -> [Fault; 5] {
         [
             Fault::UnstableSystem,
             Fault::NanCoefficients,
             Fault::ResourceStarvation,
             Fault::BisectionFailure,
+            Fault::WorkerPanic,
         ]
     }
 }
@@ -104,6 +112,19 @@ pub fn starved_selection() -> ProcessorSelection {
 /// threshold, so the delay-curve inversion has no solution.
 pub fn sub_threshold_tech() -> TechConfig {
     TechConfig::dac96(0.85)
+}
+
+/// A sweep closure over `0..n` that panics on exactly one seed-chosen
+/// index and returns the identity everywhere else. Returns the closure
+/// and the poisoned index, for asserting that the engine blames exactly
+/// that sweep point.
+pub fn panicking_sweep_point(n: usize, seed: u64) -> (impl Fn(usize) -> usize + Sync, usize) {
+    let poisoned = SplitMix64::new(seed).next_below(n.max(1) as u64) as usize;
+    let f = move |x: usize| {
+        assert!(x != poisoned, "injected fault: sweep point {x} poisoned");
+        x
+    };
+    (f, poisoned)
 }
 
 #[cfg(test)]

@@ -23,6 +23,7 @@ use std::error::Error;
 use std::fmt;
 
 use lintra_dfg::DfgError;
+use lintra_engine::EngineError;
 use lintra_filters::DesignFilterError;
 use lintra_fixed::FixedSimError;
 use lintra_linsys::c2d::DiscretizeError;
@@ -291,7 +292,16 @@ impl From<OptError> for LintraError {
             OptError::Dfg(inner) => LintraError::from(inner).context("optimizing"),
             OptError::Schedule(inner) => LintraError::from(inner).context("optimizing"),
             OptError::Voltage(inner) => LintraError::from(inner).context("optimizing"),
+            OptError::Engine(inner) => LintraError::from(inner).context("optimizing"),
         }
+    }
+}
+
+impl From<EngineError> for LintraError {
+    fn from(e: EngineError) -> Self {
+        // A worker panic is a resource-layer failure: the sweep point's
+        // computation was lost, siblings and the pool itself survived.
+        LintraError::wrap(ErrorClass::Resource, "RES-WORKER-PANIC", e)
     }
 }
 

@@ -46,6 +46,7 @@
 pub mod diag;
 
 pub use lintra_dfg as dfg;
+pub use lintra_engine as engine;
 pub use lintra_filters as filters;
 pub use lintra_fixed as fixed;
 pub use lintra_linsys as linsys;
@@ -62,6 +63,7 @@ pub use diag::{ErrorClass, LintraError};
 /// Everything most programs need.
 pub mod prelude {
     pub use lintra_dfg::{build as dfg_build, Dfg, NodeKind, OpTiming};
+    pub use lintra_engine::{SweepCache, ThreadPool};
     pub use lintra_linsys::count::{best_unfolding, op_count, OpCount, TrivialityRule};
     pub use lintra_linsys::{unfold, StateSpace, UnfoldedSystem};
     pub use lintra_matrix::rng::SplitMix64;

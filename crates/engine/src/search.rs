@@ -1,0 +1,121 @@
+//! The §3 unfolding search, driven through a [`SweepCache`].
+//!
+//! [`best_unfolding`] replicates [`lintra_linsys::count::best_unfolding`]
+//! step for step — same dense-optimum horizon, same strict-improvement
+//! rule, same boundary extension — but every `unfold(sys, i)` is served by
+//! the incremental cache, so the search costs one *new* power per step
+//! instead of rebuilding the whole block system. Because the cache is
+//! bit-identical to the from-scratch path, the returned
+//! [`UnfoldingChoice`] compares `==` with the sequential one.
+
+use crate::cache::SweepCache;
+use lintra_linsys::count::{dense_iopt, op_count, OpCount, TrivialityRule, UnfoldingChoice};
+use lintra_linsys::LinsysError;
+
+/// Cached version of [`lintra_linsys::count::best_unfolding`]: evaluate
+/// every `i` up to the dense analytical optimum, then keep extending while
+/// the weighted per-sample count strictly improves.
+///
+/// # Errors
+///
+/// Returns [`LinsysError::UnstableSystem`] (via the cache) when the design
+/// is not Schur stable, exactly as the sequential search does.
+pub fn best_unfolding(
+    cache: &mut SweepCache,
+    rule: TrivialityRule,
+    wm: f64,
+    wa: f64,
+) -> Result<UnfoldingChoice, LinsysError> {
+    let (p, q, r) = cache.sys().dims();
+    let iopt_dense = dense_iopt(p.max(1) as u64, q.max(1) as u64, r.max(1) as u64, wm, wa);
+
+    let mut eval = |i: u64| -> Result<(OpCount, f64), LinsysError> {
+        let ops = op_count(&cache.unfolded(i as u32)?.system, rule);
+        let per = ops.cycles(wm, wa) / (i + 1) as f64;
+        Ok((ops, per))
+    };
+
+    let (ops0, per0) = eval(0)?;
+    let mut best = UnfoldingChoice {
+        unfolding: 0,
+        ops: ops0,
+        cycles_per_sample: per0,
+        baseline_cycles_per_sample: per0,
+    };
+    for i in 1..=iopt_dense {
+        let (ops, per) = eval(i)?;
+        if per < best.cycles_per_sample {
+            best = UnfoldingChoice { unfolding: i, ops, cycles_per_sample: per, ..best };
+        }
+    }
+    // Boundary: keep unfolding while it keeps helping.
+    if best.unfolding == iopt_dense {
+        let mut i = iopt_dense + 1;
+        loop {
+            let (ops, per) = eval(i)?;
+            if per < best.cycles_per_sample {
+                best = UnfoldingChoice { unfolding: i, ops, cycles_per_sample: per, ..best };
+                i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lintra_linsys::count::best_unfolding as best_unfolding_seq;
+    use lintra_linsys::StateSpace;
+    use lintra_matrix::Matrix;
+
+    #[test]
+    fn cached_search_equals_sequential_search() {
+        let f = |i: usize, j: usize| 0.3 + 0.01 * (i as f64) + 0.007 * (j as f64);
+        let dense = StateSpace::new(
+            Matrix::from_fn(5, 5, f).scale(0.2),
+            Matrix::from_fn(5, 1, f),
+            Matrix::from_fn(1, 5, f),
+            Matrix::from_fn(1, 1, f),
+        )
+        .unwrap();
+        let diagonal = StateSpace::new(
+            Matrix::from_diag(&[0.5, 0.25]),
+            Matrix::from_rows(&[&[0.3], &[0.6]]),
+            Matrix::from_rows(&[&[0.9, 0.8]]),
+            Matrix::from_rows(&[&[0.2]]),
+        )
+        .unwrap();
+        for sys in [dense, diagonal] {
+            for rule in [TrivialityRule::ZeroOne, TrivialityRule::ZeroOnePow2] {
+                for (wm, wa) in [(1.0, 1.0), (2.0, 1.0), (17.0, 3.0)] {
+                    let want = best_unfolding_seq(&sys, rule, wm, wa).unwrap();
+                    let mut cache = SweepCache::new(&sys);
+                    let got = best_unfolding(&mut cache, rule, wm, wa).unwrap();
+                    assert_eq!(got, want, "rule {rule:?}, wm {wm}, wa {wa}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_search_on_one_cache_is_mostly_hits() {
+        let f = |i: usize, j: usize| 0.3 + 0.01 * (i as f64) + 0.007 * (j as f64);
+        let sys = StateSpace::new(
+            Matrix::from_fn(4, 4, f).scale(0.2),
+            Matrix::from_fn(4, 1, f),
+            Matrix::from_fn(1, 4, f),
+            Matrix::from_fn(1, 1, f),
+        )
+        .unwrap();
+        let mut cache = SweepCache::new(&sys);
+        let first = best_unfolding(&mut cache, TrivialityRule::ZeroOne, 1.0, 1.0).unwrap();
+        let misses_cold = cache.stats().misses;
+        let second = best_unfolding(&mut cache, TrivialityRule::ZeroOnePow2, 1.0, 1.0).unwrap();
+        assert_eq!(first.unfolding, second.unfolding);
+        assert_eq!(cache.stats().misses, misses_cold, "second rule pass recomputes nothing");
+        assert!(cache.stats().hit_rate() > 0.45);
+    }
+}

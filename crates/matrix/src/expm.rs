@@ -135,4 +135,53 @@ mod tests {
     fn rejects_non_square() {
         assert!(matches!(expm(&Matrix::zeros(2, 3)), Err(MatrixError::NotSquare { .. })));
     }
+
+    /// Brute-force truncated Taylor series `Σ A^k / k!` — the slow but
+    /// obviously-correct oracle the Padé implementation is checked
+    /// against. Only valid for modest norms, where the series converges
+    /// fast in f64.
+    fn expm_series(a: &Matrix, terms: u32) -> Matrix {
+        let n = a.rows();
+        let mut sum = Matrix::identity(n);
+        let mut term = Matrix::identity(n);
+        for k in 1..=terms {
+            term = &term * a;
+            term = term.scale(1.0 / f64::from(k));
+            sum = &sum + &term;
+        }
+        sum
+    }
+
+    #[test]
+    fn pade_matches_brute_force_series_on_random_matrices() {
+        use crate::rng::SplitMix64;
+        let mut rng = SplitMix64::new(0x657870_6d);
+        for _ in 0..32 {
+            let n = rng.next_below(5) as usize + 1;
+            let mut a = Matrix::from_fn(n, n, |_, _| 0.0);
+            for i in 0..n {
+                for j in 0..n {
+                    a[(i, j)] = rng.range_f64(-1.5, 1.5);
+                }
+            }
+            let pade = expm(&a).unwrap();
+            let series = expm_series(&a, 60);
+            assert!(
+                pade.approx_eq(&series, 1e-9),
+                "Padé and Taylor series disagree for {n}x{n} matrix:\n{a}"
+            );
+        }
+    }
+
+    #[test]
+    fn pade_matches_series_through_the_scaling_branch() {
+        // max|entry|*n > 0.5 forces scaling-and-squaring; the series
+        // oracle needs no scaling at these norms, so this cross-checks
+        // the squaring chain too.
+        let a = Matrix::from_rows(&[&[1.2, -0.7, 0.3], &[0.4, 0.9, -1.1], &[-0.2, 0.6, 1.4]]);
+        assert!(a.max_abs() * 3.0 > 0.5, "test must exercise the scaling branch");
+        let pade = expm(&a).unwrap();
+        let series = expm_series(&a, 80);
+        assert!(pade.approx_eq(&series, 1e-9));
+    }
 }

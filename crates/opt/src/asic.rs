@@ -9,7 +9,8 @@
 
 use crate::{scale_or_fallback, DiagCode, Diagnostic, OptError, TechConfig};
 use lintra_dfg::{build, OpTiming};
-use lintra_linsys::StateSpace;
+use lintra_engine::SweepCache;
+use lintra_linsys::{LinsysError, StateSpace};
 use lintra_mcm::Recoding;
 use lintra_power::EnergyBreakdown;
 use lintra_transform::horner::HornerForm;
@@ -73,12 +74,16 @@ impl AsicResult {
 /// initial voltage; the transformed design must only close the (constant)
 /// feedback path within `n` sample periods, so the available slowdown is
 /// `n·CP_original/CP_feedback`.
-fn required_unfolding(
+fn required_unfolding<H>(
     sys: &StateSpace,
     tech: &TechConfig,
     cfg: &AsicConfig,
     diags: &mut Vec<Diagnostic>,
-) -> Result<u32, OptError> {
+    horner: &mut H,
+) -> Result<u32, OptError>
+where
+    H: FnMut(u32) -> Result<HornerForm, LinsysError>,
+{
     let base_cp = build::from_state_space(sys)?.critical_path(&cfg.timing).max(1.0);
     let v0 = tech.initial_voltage;
     // A supply at (or below) the threshold or the floor has no voltage
@@ -93,11 +98,11 @@ fn required_unfolding(
     // depth (only A^n·S is in the cycle), so solve for n in closed form
     // from the depth at n = 1 and verify, bumping if the measured path at
     // the chosen depth differs by a rounding level.
-    let fb1 = HornerForm::new(sys, 0)?.to_dfg()?.feedback_critical_path(&cfg.timing).max(1.0);
+    let fb1 = horner(0)?.to_dfg()?.feedback_critical_path(&cfg.timing).max(1.0);
     let mut i = ((needed * fb1 / base_cp).ceil() as i64 - 1).max(0) as u32;
     loop {
         i = i.min(cfg.max_unfolding);
-        let fb = HornerForm::new(sys, i)?.to_dfg()?.feedback_critical_path(&cfg.timing).max(1.0);
+        let fb = horner(i)?.to_dfg()?.feedback_critical_path(&cfg.timing).max(1.0);
         let available = (i as f64 + 1.0) * base_cp / fb;
         if available >= needed {
             return Ok(i);
@@ -126,6 +131,36 @@ fn required_unfolding(
 /// flow degrades to the deepest/lowest feasible point and records a
 /// diagnostic.
 pub fn optimize(sys: &StateSpace, tech: &TechConfig, cfg: &AsicConfig) -> Result<AsicResult, OptError> {
+    optimize_impl(sys, tech, cfg, &mut |i| HornerForm::new(sys, i))
+}
+
+/// [`optimize`] with every Horner restructuring served by the incremental
+/// power chain of a [`SweepCache`] — the unfolding search re-derives
+/// `A^n`/`C·A^k` dozens of times per design, and the cache computes each
+/// power exactly once. Bit-identical to [`optimize`] (asserted by the
+/// differential test layer).
+///
+/// # Errors
+///
+/// Identical to [`optimize`].
+pub fn optimize_cached(
+    sys: &StateSpace,
+    tech: &TechConfig,
+    cfg: &AsicConfig,
+    cache: &mut SweepCache,
+) -> Result<AsicResult, OptError> {
+    optimize_impl(sys, tech, cfg, &mut |i| cache.horner(i))
+}
+
+fn optimize_impl<H>(
+    sys: &StateSpace,
+    tech: &TechConfig,
+    cfg: &AsicConfig,
+    horner: &mut H,
+) -> Result<AsicResult, OptError>
+where
+    H: FnMut(u32) -> Result<HornerForm, LinsysError>,
+{
     let (p, q, r) = sys.dims();
     let mut diagnostics = Vec::new();
 
@@ -137,11 +172,11 @@ pub fn optimize(sys: &StateSpace, tech: &TechConfig, cfg: &AsicConfig) -> Result
         tech.energy.energy_per_sample(bc.adds, bc.muls, bc.shifts, regs0, tech.initial_voltage);
 
     // Transformed design.
-    let unfolding = required_unfolding(sys, tech, cfg, &mut diagnostics)?;
+    let unfolding = required_unfolding(sys, tech, cfg, &mut diagnostics, horner)?;
     let n = unfolding as u64 + 1;
-    let horner = HornerForm::new(sys, unfolding)?.to_dfg()?;
+    let horner_dfg = horner(unfolding)?.to_dfg()?;
     let (shifted, mcm) = expand_multiplications(
-        &horner,
+        &horner_dfg,
         McmPassConfig { frac_bits: cfg.frac_bits, recoding: cfg.recoding },
     )?;
     let oc = shifted.op_counts();
@@ -234,6 +269,19 @@ mod tests {
         assert!(r.unfolding <= 1);
         assert!(r.diagnostics.iter().any(|di| di.code == DiagCode::UnfoldingCapped));
         assert!(r.voltage > 1.1, "capped flow should not reach the floor, got {}", r.voltage);
+    }
+
+    #[test]
+    fn cached_horner_path_is_bit_identical_to_sequential() {
+        let t = tech();
+        let cfg = AsicConfig::default();
+        for d in suite() {
+            let seq = optimize(&d.system, &t, &cfg).unwrap();
+            let mut cache = SweepCache::new(&d.system);
+            let cached = optimize_cached(&d.system, &t, &cfg, &mut cache).unwrap();
+            assert_eq!(cached, seq, "{}", d.name);
+            assert!(cache.stats().hits > 0, "{}: deep search should reuse powers", d.name);
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod multi;
 pub mod single;
 
 use lintra_dfg::DfgError;
+use lintra_engine::EngineError;
 use lintra_linsys::LinsysError;
 use lintra_power::{EnergyModel, VoltageError, VoltageModel, VoltageScaling};
 use lintra_sched::{ProcessorModel, ScheduleError};
@@ -46,6 +47,9 @@ pub enum OptError {
     /// Voltage-curve inversion failed in a way no fallback covers
     /// (non-finite slowdown from corrupted analysis values).
     Voltage(VoltageError),
+    /// A parallel sweep worker failed (a sweep point panicked in the
+    /// engine's thread pool).
+    Engine(EngineError),
 }
 
 impl fmt::Display for OptError {
@@ -55,6 +59,7 @@ impl fmt::Display for OptError {
             OptError::Dfg(e) => write!(f, "dataflow graph construction failed: {e}"),
             OptError::Schedule(e) => write!(f, "scheduling failed: {e}"),
             OptError::Voltage(e) => write!(f, "voltage scaling failed: {e}"),
+            OptError::Engine(e) => write!(f, "parallel sweep failed: {e}"),
         }
     }
 }
@@ -66,6 +71,7 @@ impl std::error::Error for OptError {
             OptError::Dfg(e) => Some(e),
             OptError::Schedule(e) => Some(e),
             OptError::Voltage(e) => Some(e),
+            OptError::Engine(e) => Some(e),
         }
     }
 }
@@ -91,6 +97,12 @@ impl From<ScheduleError> for OptError {
 impl From<VoltageError> for OptError {
     fn from(e: VoltageError) -> Self {
         OptError::Voltage(e)
+    }
+}
+
+impl From<EngineError> for OptError {
+    fn from(e: EngineError) -> Self {
+        OptError::Engine(e)
     }
 }
 

@@ -9,6 +9,7 @@
 
 use crate::{scale_or_fallback, Diagnostic, OptError, TechConfig};
 use lintra_dfg::build;
+use lintra_engine::{SweepCache, ThreadPool};
 use lintra_linsys::count::{best_unfolding, TrivialityRule};
 use lintra_linsys::{unfold, StateSpace};
 use lintra_power::VoltageScaling;
@@ -126,10 +127,84 @@ pub fn optimize(
             let mut best: Option<MultiProcessorResult> = None;
             for n in 1..=max {
                 let cand = evaluate(n)?;
-                best = Some(match best {
-                    Some(b) if b.power_reduction() >= cand.power_reduction() => b,
-                    _ => cand,
-                });
+                best = fold_candidate(best, cand);
+            }
+            best.ok_or(OptError::Schedule(lintra_sched::ScheduleError::NoProcessors))
+        }
+    }
+}
+
+/// The `SearchBest` tie-break, shared by the sequential loop and the
+/// parallel fold: an earlier (smaller-`n`) candidate wins ties, so folding
+/// pool results in ascending `n` order reproduces the sequential choice
+/// exactly.
+fn fold_candidate(
+    best: Option<MultiProcessorResult>,
+    cand: MultiProcessorResult,
+) -> Option<MultiProcessorResult> {
+    Some(match best {
+        Some(b) if b.power_reduction() >= cand.power_reduction() => b,
+        _ => cand,
+    })
+}
+
+/// [`optimize`] with the `N` sweep fanned out over the engine's
+/// [`ThreadPool`] and the unfolding analysis served by an incremental
+/// [`SweepCache`]. Candidates are evaluated concurrently, then folded in
+/// ascending `n` order with the same tie-break as the sequential loop, so
+/// the result is bit-identical to [`optimize`]'s (asserted by the
+/// differential test layer).
+///
+/// # Errors
+///
+/// Identical to [`optimize`], plus [`OptError::Engine`] if a sweep worker
+/// panics. When several `n` fail, the lowest `n`'s error is reported —
+/// the same one the sequential loop would hit first.
+pub fn optimize_with_pool(
+    sys: &StateSpace,
+    tech: &TechConfig,
+    selection: ProcessorSelection,
+    pool: &ThreadPool,
+) -> Result<MultiProcessorResult, OptError> {
+    let wm = tech.processor.cycles_mul as f64;
+    let wa = tech.processor.cycles_add as f64;
+    let mut cache = SweepCache::new(sys);
+    let choice = lintra_engine::best_unfolding(&mut cache, TrivialityRule::ZeroOne, wm, wa)?;
+    let i = choice.unfolding;
+
+    // Hoisted out of the per-n sweep: both graphs and the base schedule
+    // are n-independent. Build is deterministic, so sharing one graph
+    // across workers yields the very lengths the sequential path computes
+    // from its per-n rebuilds.
+    let base_graph = build::from_state_space(sys)?;
+    let base = list_schedule(&base_graph, 1, &tech.processor)?.length as f64;
+    let unfolded = build::from_unfolded(&cache.unfolded(i as u32)?)?;
+
+    let evaluate = |n: usize| -> Result<MultiProcessorResult, OptError> {
+        let len = list_schedule(&unfolded, n, &tech.processor)?.length as f64;
+        let per_sample = len / (i + 1) as f64;
+        let speedup = base / per_sample;
+        let mut diagnostics = Vec::new();
+        let scaling =
+            scale_or_fallback(&tech.voltage, tech.initial_voltage, speedup, &mut diagnostics)?;
+        Ok(MultiProcessorResult {
+            unfolding: i,
+            processors: n,
+            speedup,
+            scaling,
+            base_cycles_per_sample: base,
+            cycles_per_sample: per_sample,
+            diagnostics,
+        })
+    };
+
+    match selection {
+        ProcessorSelection::StatesCount => evaluate(sys.num_states().max(1)),
+        ProcessorSelection::SearchBest { max } => {
+            let candidates = pool.try_map((1..=max).collect(), evaluate)?;
+            let mut best: Option<MultiProcessorResult> = None;
+            for cand in candidates {
+                best = fold_candidate(best, cand?);
             }
             best.ok_or(OptError::Schedule(lintra_sched::ScheduleError::NoProcessors))
         }
@@ -213,6 +288,36 @@ mod tests {
             .collect();
         let avg = reductions.iter().sum::<f64>() / reductions.len() as f64;
         assert!(avg > 2.0, "average multiprocessor reduction {avg} ({reductions:?})");
+    }
+
+    #[test]
+    fn pooled_search_is_bit_identical_to_sequential() {
+        let tech = TechConfig::dac96(3.3);
+        let pool = ThreadPool::new(4);
+        for d in suite() {
+            for selection in [
+                ProcessorSelection::StatesCount,
+                ProcessorSelection::SearchBest { max: d.system.num_states() + 2 },
+            ] {
+                let seq = optimize(&d.system, &tech, selection).unwrap();
+                let par = optimize_with_pool(&d.system, &tech, selection, &pool).unwrap();
+                assert_eq!(par, seq, "{} with {selection:?}", d.name);
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_zero_processor_search_is_a_typed_error() {
+        let sys = dense_synthetic(1, 1, 3);
+        let tech = TechConfig::dac96(3.3);
+        let err = optimize_with_pool(
+            &sys,
+            &tech,
+            ProcessorSelection::SearchBest { max: 0 },
+            &ThreadPool::new(2),
+        )
+        .unwrap_err();
+        assert!(matches!(err, OptError::Schedule(_)), "{err}");
     }
 
     #[test]

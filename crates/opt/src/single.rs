@@ -9,10 +9,11 @@
 //! `S_max` still buys a *linear* reduction via clock slowdown or shutdown.
 
 use crate::{scale_or_fallback, Diagnostic, OptError, TechConfig};
+use lintra_engine::SweepCache;
 use lintra_linsys::count::{
-    best_unfolding, dense_iopt, dense_op_count, op_count, OpCount, TrivialityRule,
+    best_unfolding, dense_iopt, dense_op_count, op_count, OpCount, TrivialityRule, UnfoldingChoice,
 };
-use lintra_linsys::StateSpace;
+use lintra_linsys::{LinsysError, StateSpace};
 use lintra_power::VoltageScaling;
 
 /// One column group of Table 2 (either the dense-analysis columns or the
@@ -77,6 +78,34 @@ pub struct SingleProcessorResult {
 /// threshold is *not* an error: the optimizer degrades to the §3
 /// frequency-only fallback and records a diagnostic.
 pub fn optimize(sys: &StateSpace, tech: &TechConfig) -> Result<SingleProcessorResult, OptError> {
+    optimize_impl(sys, tech, |rule, wm, wa| best_unfolding(sys, rule, wm, wa))
+}
+
+/// [`optimize`] with the unfolding search served by an incremental
+/// [`SweepCache`] — the engine-backed path used by the parallel table
+/// drivers. The cache is bit-identical to the from-scratch unfolder, so
+/// the returned result compares `==` with [`optimize`]'s (asserted by the
+/// differential test layer).
+///
+/// # Errors
+///
+/// Identical to [`optimize`].
+pub fn optimize_cached(
+    sys: &StateSpace,
+    tech: &TechConfig,
+    cache: &mut SweepCache,
+) -> Result<SingleProcessorResult, OptError> {
+    optimize_impl(sys, tech, |rule, wm, wa| lintra_engine::best_unfolding(cache, rule, wm, wa))
+}
+
+fn optimize_impl<F>(
+    sys: &StateSpace,
+    tech: &TechConfig,
+    search: F,
+) -> Result<SingleProcessorResult, OptError>
+where
+    F: FnOnce(TrivialityRule, f64, f64) -> Result<UnfoldingChoice, LinsysError>,
+{
     let (p, q, r) = sys.dims();
     let wm = tech.processor.cycles_mul as f64;
     let wa = tech.processor.cycles_add as f64;
@@ -97,7 +126,7 @@ pub fn optimize(sys: &StateSpace, tech: &TechConfig) -> Result<SingleProcessorRe
     };
 
     // Real coefficients.
-    let choice = best_unfolding(sys, TrivialityRule::ZeroOne, wm, wa)?;
+    let choice = search(TrivialityRule::ZeroOne, wm, wa)?;
     let real = UnfoldingOutcome {
         ops_initial: op_count(sys, TrivialityRule::ZeroOne),
         unfolding: choice.unfolding,
@@ -184,6 +213,17 @@ mod tests {
         let r = optimize(&sys, &TechConfig::dac96(3.3)).unwrap();
         assert!((r.dense.power_reduction_frequency_only() - r.dense.speedup).abs() < 1e-12);
         assert!((r.dense.frequency_ratio() - 1.0 / r.dense.speedup).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cached_search_is_bit_identical_to_sequential() {
+        let tech = TechConfig::dac96(3.3);
+        for d in suite() {
+            let seq = optimize(&d.system, &tech).unwrap();
+            let mut cache = SweepCache::new(&d.system);
+            let cached = optimize_cached(&d.system, &tech, &mut cache).unwrap();
+            assert_eq!(cached, seq, "{}", d.name);
+        }
     }
 
     #[test]

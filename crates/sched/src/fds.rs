@@ -379,4 +379,68 @@ mod tests {
         s.validate(&g, &m).unwrap();
         assert!(s.multipliers >= 1);
     }
+
+    /// Peak concurrent unit usage recomputed from the start times — the
+    /// oracle the reported `multipliers`/`alus` fields are checked
+    /// against.
+    fn peak_usage(g: &Dfg, m: &ProcessorModel, s: &FdsSchedule) -> (usize, usize) {
+        let mut mul = std::collections::HashMap::new();
+        let mut alu = std::collections::HashMap::new();
+        for (id, n) in g.iter() {
+            let Some(start) = s.start[id.0] else { continue };
+            let per_cycle = match unit_class(&n.kind) {
+                Some(UnitClass::Multiplier) => &mut mul,
+                Some(UnitClass::Alu) => &mut alu,
+                None => continue,
+            };
+            for c in start..start + m.latency(&n.kind) {
+                *per_cycle.entry(c).or_insert(0usize) += 1;
+            }
+        }
+        (
+            mul.values().copied().max().unwrap_or(0),
+            alu.values().copied().max().unwrap_or(0),
+        )
+    }
+
+    #[test]
+    fn concurrent_invocations_stay_valid_and_deterministic() {
+        // The sweep engine runs FDS on shared graphs from several worker
+        // threads at once. The scheduler holds no global state, so every
+        // concurrent result must (a) validate, (b) report resource peaks
+        // that match a recount from its own start times, and (c) be
+        // identical across threads and to the single-threaded baseline.
+        let g = build::from_unfolded(&unfold(&dense(4), 3).unwrap()).unwrap();
+        let m = ProcessorModel::unit();
+        let (_, cp) = asap_times(&g, &m);
+        let latencies: Vec<u64> = (0..8).map(|k| cp + k).collect();
+
+        let baseline: Vec<FdsSchedule> = latencies
+            .iter()
+            .map(|&l| force_directed_schedule(&g, &m, l).unwrap())
+            .collect();
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let (g, m, latencies) = (&g, &m, &latencies);
+                    scope.spawn(move || {
+                        latencies
+                            .iter()
+                            .map(|&l| force_directed_schedule(g, m, l).unwrap())
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                let got = h.join().expect("scheduler thread must not panic");
+                assert_eq!(got, baseline, "concurrent schedule diverged");
+                for (s, &l) in got.iter().zip(&latencies) {
+                    s.validate(&g, &m).unwrap_or_else(|e| panic!("latency {l}: {e}"));
+                    let (mul, alu) = peak_usage(&g, &m, s);
+                    assert_eq!((s.multipliers, s.alus), (mul, alu), "latency {l} peaks");
+                }
+            }
+        });
+    }
 }

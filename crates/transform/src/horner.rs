@@ -62,6 +62,32 @@ impl HornerForm {
         Ok(HornerForm { batch: n, a_n: power, c_powers, original: sys.clone() })
     }
 
+    /// Reassembles a Horner form from precomputed parts — `a_n = A^n` and
+    /// `c_powers = [C·A⁰, …, C·A^{n−1}]` with `n = c_powers.len()` — as
+    /// produced by an incremental power-chain cache. Runs the same
+    /// stability and finiteness guardrails as [`HornerForm::new`], so a
+    /// cache-assembled form fails exactly when the from-scratch one would.
+    ///
+    /// # Errors
+    ///
+    /// [`LinsysError::UnstableSystem`] when the estimated spectral radius
+    /// of `A` is ≥ 1; [`LinsysError::NonFinite`] when `a_n` or any
+    /// `c_powers` entry contains a NaN/∞.
+    pub fn from_parts(
+        sys: &StateSpace,
+        a_n: Matrix,
+        c_powers: Vec<Matrix>,
+    ) -> Result<HornerForm, LinsysError> {
+        let rho = sys.spectral_radius();
+        if rho >= 1.0 {
+            return Err(LinsysError::UnstableSystem { spectral_radius: rho });
+        }
+        if !a_n.is_finite() || c_powers.iter().any(|m| !m.is_finite()) {
+            return Err(LinsysError::NonFinite { what: "A" });
+        }
+        Ok(HornerForm { batch: c_powers.len(), a_n, c_powers, original: sys.clone() })
+    }
+
     /// The original (non-unfolded) system.
     pub fn original(&self) -> &StateSpace {
         &self.original

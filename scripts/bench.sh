@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Bench-trajectory harness: times Tables 2-4 and the unfold sweep both
+# sequentially and through the parallel sweep engine, then writes
+# BENCH_2.json (per-workload wall times, speedups, cache hit rates).
+# Run from the repository root.
+#
+#   ./scripts/bench.sh                 # full run (best of 3 reps)
+#   ./scripts/bench.sh --smoke         # 1 rep, then schema-validate
+#   ./scripts/bench.sh --jobs 4        # pin the engine worker count
+#
+# Extra flags are forwarded to the bench_report binary (see
+# crates/bench/src/bin/bench_report.rs for the full list).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="BENCH_2.json"
+echo "== bench: cargo build --release -p lintra-bench =="
+cargo build --release -p lintra-bench --bin bench_report
+
+echo "== bench: bench_report --out ${OUT} $* =="
+./target/release/bench_report --out "${OUT}" "$@"
+
+echo "== bench: schema check =="
+./target/release/bench_report --check "${OUT}"
+
+echo "bench: wrote ${OUT}"

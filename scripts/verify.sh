@@ -18,4 +18,11 @@ cargo test -q
 echo "== lint gate: cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace -- -D warnings
 
+echo "== engine: differential + golden-snapshot tests =="
+cargo test --release -p lintra-engine -q
+cargo test --release -p lintra-bench --test parallel_equivalence --test golden_tables -q
+
+echo "== bench trajectory: scripts/bench.sh --smoke =="
+./scripts/bench.sh --smoke
+
 echo "verify: all checks passed"

@@ -5,6 +5,7 @@
 //! silent wrong answer.
 
 use lintra::diag::fault::{self, Fault};
+use lintra::engine::ThreadPool;
 use lintra::linsys::StateSpace;
 use lintra::opt::multi::ProcessorSelection;
 use lintra::opt::{asic, multi, single, DiagCode, OptError, TechConfig};
@@ -86,6 +87,29 @@ fn every_fault_class_has_a_defined_outcome_in_every_optimizer() {
                     assert_eq!(a.voltage, bad.initial_voltage);
                     assert!(a.diagnostics.iter().any(|d| d.code == DiagCode::FrequencyOnlyFallback));
                     assert!(a.improvement().is_finite());
+                }
+                Fault::WorkerPanic => {
+                    let pool = ThreadPool::new(3);
+                    let (f, poisoned) = fault::panicking_sweep_point(12, seed);
+                    let results = pool.map((0..12).collect(), &f);
+                    for (idx, r) in results.iter().enumerate() {
+                        if idx == poisoned {
+                            let err = r.clone().expect_err("poisoned point must fail");
+                            let e = LintraError::from(err);
+                            assert_eq!(e.class(), ErrorClass::Resource, "{e}");
+                            assert_eq!(e.code(), "RES-WORKER-PANIC", "{e}");
+                            assert!(
+                                e.to_string().contains(&format!("sweep point {poisoned}")),
+                                "error must blame the poisoned index: {e}"
+                            );
+                        } else {
+                            assert_eq!(*r, Ok(idx), "sibling {idx} must still evaluate");
+                        }
+                    }
+                    // No deadlock, no poisoned locks: the same pool keeps
+                    // serving healthy sweeps afterwards.
+                    let healthy = pool.try_map((0..12).collect(), |x: usize| x * 2).unwrap();
+                    assert_eq!(healthy, (0..24).step_by(2).collect::<Vec<_>>());
                 }
             }
         }

@@ -1,0 +1,111 @@
+//! Differential test layer for the parallel sweep engine.
+//!
+//! Every suite design × strategy is run through both the sequential
+//! optimizers and the engine-backed paths (incremental `SweepCache`,
+//! `ThreadPool` fan-out), and the reports are required to be
+//! **bit-identical** — `assert_eq!` on result structs whose `PartialEq`
+//! compares every `f64` exactly, not within a tolerance. Diagnostics are
+//! compared separately so a reordering introduced by the deterministic
+//! merge would fail loudly even if the numbers agreed.
+
+use lintra::engine::{SweepCache, ThreadPool};
+use lintra::opt::multi::ProcessorSelection;
+use lintra::opt::{asic, multi, single, TechConfig};
+use lintra::suite::suite;
+use lintra_bench::{
+    table2_rows, table2_rows_par, table3_rows, table3_rows_par, table4_rows, table4_rows_par,
+};
+
+/// Worker counts exercised by every fan-out test: degenerate (1), the
+/// acceptance configuration (4), and oversubscribed (8 workers, 8
+/// designs).
+const JOBS: [usize; 3] = [1, 4, 8];
+
+#[test]
+fn single_processor_cached_matches_sequential_for_every_design() {
+    for v0 in [3.3, 5.0] {
+        let tech = TechConfig::dac96(v0);
+        for d in suite() {
+            let seq = single::optimize(&d.system, &tech).unwrap();
+            let mut cache = SweepCache::new(&d.system);
+            let cached = single::optimize_cached(&d.system, &tech, &mut cache).unwrap();
+            assert_eq!(seq.diagnostics, cached.diagnostics, "{}: diagnostics order", d.name);
+            assert_eq!(seq, cached, "{} at {v0} V", d.name);
+        }
+    }
+}
+
+#[test]
+fn multi_processor_pooled_matches_sequential_for_every_design() {
+    let tech = TechConfig::dac96(3.3);
+    for jobs in JOBS {
+        let pool = ThreadPool::new(jobs);
+        for d in suite() {
+            let (_, _, r) = d.dims();
+            for selection in
+                [ProcessorSelection::StatesCount, ProcessorSelection::SearchBest { max: r + 2 }]
+            {
+                let seq = multi::optimize(&d.system, &tech, selection).unwrap();
+                let par = multi::optimize_with_pool(&d.system, &tech, selection, &pool).unwrap();
+                assert_eq!(
+                    seq.diagnostics, par.diagnostics,
+                    "{} {selection:?} x{jobs}: diagnostics order",
+                    d.name
+                );
+                assert_eq!(seq, par, "{} {selection:?} with {jobs} worker(s)", d.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn asic_cached_matches_sequential_for_every_design() {
+    let tech = TechConfig::dac96(3.3);
+    let cfg = asic::AsicConfig::default();
+    for d in suite() {
+        let seq = asic::optimize(&d.system, &tech, &cfg).unwrap();
+        let mut cache = SweepCache::new(&d.system);
+        let cached = asic::optimize_cached(&d.system, &tech, &cfg, &mut cache).unwrap();
+        assert_eq!(seq.diagnostics, cached.diagnostics, "{}: diagnostics order", d.name);
+        assert_eq!(seq, cached, "{}", d.name);
+    }
+}
+
+#[test]
+fn table2_parallel_rows_are_bit_identical_at_every_worker_count() {
+    let seq = table2_rows(3.3).unwrap();
+    for jobs in JOBS {
+        let par = table2_rows_par(3.3, &ThreadPool::new(jobs)).unwrap();
+        assert_eq!(seq, par, "table2 with {jobs} worker(s)");
+    }
+}
+
+#[test]
+fn table3_parallel_rows_are_bit_identical_at_every_worker_count() {
+    let seq = table3_rows(3.3).unwrap();
+    for jobs in JOBS {
+        let par = table3_rows_par(3.3, &ThreadPool::new(jobs)).unwrap();
+        assert_eq!(seq, par, "table3 with {jobs} worker(s)");
+    }
+}
+
+#[test]
+fn table4_parallel_rows_are_bit_identical_at_every_worker_count() {
+    let seq = table4_rows(3.3).unwrap();
+    for jobs in JOBS {
+        let par = table4_rows_par(3.3, &ThreadPool::new(jobs)).unwrap();
+        assert_eq!(seq, par, "table4 with {jobs} worker(s)");
+    }
+}
+
+/// Repeated parallel runs are deterministic among themselves (scheduling
+/// noise cannot leak into the report), not just equal to the sequential
+/// baseline once.
+#[test]
+fn parallel_runs_are_reproducible_across_invocations() {
+    let pool = ThreadPool::new(4);
+    let first = table3_rows_par(3.3, &pool).unwrap();
+    for _ in 0..3 {
+        assert_eq!(first, table3_rows_par(3.3, &pool).unwrap());
+    }
+}
