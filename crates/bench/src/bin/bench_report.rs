@@ -18,7 +18,7 @@ use lintra::engine::{CacheStats, SweepCache, ThreadPool};
 use lintra::suite::suite;
 use lintra::LintraError;
 use lintra_bench::json::Json;
-use lintra_bench::report::{to_json, validate, Entry};
+use lintra_bench::report::{to_json, trajectory_line, utc_timestamp, validate, Entry, RunMeta};
 use lintra_bench::timing::measure;
 use lintra_bench::{
     table2_rows, table2_rows_engine, table3_rows, table3_rows_engine, table4_rows,
@@ -114,15 +114,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let smoke = args.iter().any(|a| a == "--smoke");
-    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_2.json".to_string());
+    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_4.json".to_string());
+    let trajectory =
+        flag_value(&args, "--trajectory").unwrap_or_else(|| "BENCH_TRAJECTORY.jsonl".to_string());
     let jobs = flag_value(&args, "--jobs").and_then(|s| s.parse::<usize>().ok());
     let reps = flag_value(&args, "--reps")
         .and_then(|s| s.parse::<u32>().ok())
         .unwrap_or(if smoke { 1 } else { 3 });
 
+    // Pool sizing: --jobs beats LINTRA_JOBS beats auto-detection; a
+    // garbage LINTRA_JOBS is a hard config error, not a silent fallback.
     let pool = match jobs {
         Some(n) => ThreadPool::new(n),
-        None => ThreadPool::auto(),
+        None => ThreadPool::from_env()?,
     };
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let v0 = 3.3;
@@ -140,7 +144,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     let sweeps = vec![sweep_entry(&pool, reps)?];
 
-    let doc = to_json(cores, pool.jobs(), reps, &tables, &sweeps);
+    let meta = RunMeta { git_sha: git_sha(), generated_utc: now_utc() };
+    let doc = to_json(&meta, cores, pool.jobs(), reps, &tables, &sweeps);
     let text = doc.render();
     // Re-parse what will land on disk and gate on the schema: a report the
     // smoke check would reject must never be written silently.
@@ -148,5 +153,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     validate(&reparsed).map_err(|e| format!("generated report invalid: {e}"))?;
     std::fs::write(&out, &text)?;
     println!("wrote {out} ({} bytes, schema valid)", text.len());
+
+    // Accumulate the cross-PR trajectory: one provenance-stamped summary
+    // line per run, append-only, so successive PRs leave a plottable
+    // speedup history instead of overwriting each other.
+    let line = trajectory_line(&reparsed)?;
+    let mut log = std::fs::OpenOptions::new().create(true).append(true).open(&trajectory)?;
+    use std::io::Write as _;
+    writeln!(log, "{line}")?;
+    println!("appended run {} @ {} to {trajectory}", meta.git_sha, meta.generated_utc);
     Ok(())
+}
+
+/// Abbreviated HEAD commit, or `"unknown"` outside a git checkout.
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The current wall-clock instant as an ISO-8601 UTC stamp.
+fn now_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    utc_timestamp(secs)
 }

@@ -74,6 +74,43 @@ impl Json {
         out
     }
 
+    /// Renders on a single line with no whitespace — the NDJSON form used
+    /// by the serve wire protocol and the trajectory log, where one value
+    /// must occupy exactly one line.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null | Json::Bool(_) | Json::Num(_) | Json::Str(_) => self.write(out, 0),
+            Json::Arr(items) => {
+                out.push('[');
+                for (k, item) in items.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (k, (key, value)) in members.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -381,6 +418,19 @@ mod tests {
         for bad in ["", "{", "[1,", "{\"a\" 1}", "nulle", "{} {}", "\"unterminated"] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn compact_form_is_one_line_and_round_trips() {
+        let doc = Json::obj([
+            ("id", Json::Str("r1".into())),
+            ("nums", Json::Arr(vec![Json::Num(1.0), Json::Num(2.5)])),
+            ("nested", Json::obj([("ok", Json::Bool(true))])),
+        ]);
+        let line = doc.render_compact();
+        assert!(!line.contains('\n'), "{line:?}");
+        assert!(!line.contains("  "), "{line:?}");
+        assert_eq!(Json::parse(&line).unwrap(), doc);
     }
 
     #[test]

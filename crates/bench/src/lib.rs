@@ -6,6 +6,7 @@ pub mod json;
 pub mod render;
 pub mod report;
 pub mod timing;
+pub mod wire;
 
 use lintra::engine::{CacheStats, SweepCache, ThreadPool};
 use lintra::linsys::count::{op_count, TrivialityRule};

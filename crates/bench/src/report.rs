@@ -12,7 +12,58 @@ use crate::json::Json;
 use lintra::engine::CacheStats;
 
 /// Report schema identifier; bump on breaking layout changes.
-pub const SCHEMA: &str = "lintra-bench-trajectory/v1";
+///
+/// `v2` added provenance stamps (`git_sha`, `generated_utc`) so a
+/// `BENCH_N.json` can be tied back to the commit and moment that
+/// produced it, and the cumulative `BENCH_TRAJECTORY.jsonl` can order
+/// runs across PRs.
+pub const SCHEMA: &str = "lintra-bench-trajectory/v2";
+
+/// Provenance of one bench run: which commit produced it, and when.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunMeta {
+    /// Abbreviated git commit SHA, or `"unknown"` outside a checkout.
+    pub git_sha: String,
+    /// ISO-8601 UTC timestamp (`YYYY-MM-DDThh:mm:ssZ`).
+    pub generated_utc: String,
+}
+
+/// Formats seconds-since-Unix-epoch as `YYYY-MM-DDThh:mm:ssZ` without
+/// any date-time dependency (civil-from-days, Howard Hinnant's
+/// algorithm).
+pub fn utc_timestamp(secs_since_epoch: u64) -> String {
+    let days = (secs_since_epoch / 86_400) as i64;
+    let rem = secs_since_epoch % 86_400;
+    let (h, m, s) = (rem / 3600, (rem % 3600) / 60, rem % 60);
+    // civil_from_days: days since 1970-01-01 -> (y, m, d).
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = if month <= 2 { y + 1 } else { y };
+    format!("{year:04}-{month:02}-{d:02}T{h:02}:{m:02}:{s:02}Z")
+}
+
+/// `true` when `s` looks like the `YYYY-MM-DDThh:mm:ssZ` shape
+/// [`utc_timestamp`] produces — the schema check's cheap sanity test.
+fn is_utc_timestamp(s: &str) -> bool {
+    let b = s.as_bytes();
+    b.len() == 20
+        && b[4] == b'-'
+        && b[7] == b'-'
+        && b[10] == b'T'
+        && b[13] == b':'
+        && b[16] == b':'
+        && b[19] == b'Z'
+        && b.iter().enumerate().all(|(i, &c)| {
+            matches!(i, 4 | 7 | 10 | 13 | 16 | 19) || c.is_ascii_digit()
+        })
+}
 
 /// One timed workload (a paper table or a sweep).
 #[derive(Debug, Clone, PartialEq)]
@@ -62,14 +113,23 @@ impl Entry {
     }
 }
 
-/// Builds the full `BENCH_2.json` document.
-pub fn to_json(cores: usize, jobs: usize, reps: u32, tables: &[Entry], sweeps: &[Entry]) -> Json {
+/// Builds the full `BENCH_N.json` document.
+pub fn to_json(
+    meta: &RunMeta,
+    cores: usize,
+    jobs: usize,
+    reps: u32,
+    tables: &[Entry],
+    sweeps: &[Entry],
+) -> Json {
     let total = |pick: fn(&Entry) -> f64| {
         tables.iter().chain(sweeps.iter()).map(pick).sum::<f64>()
     };
     let (seq, par) = (total(|e| e.seq_s), total(|e| e.par_s));
     Json::obj([
         ("schema", Json::Str(SCHEMA.to_string())),
+        ("git_sha", Json::Str(meta.git_sha.clone())),
+        ("generated_utc", Json::Str(meta.generated_utc.clone())),
         ("cores", Json::Num(cores as f64)),
         ("jobs", Json::Num(jobs as f64)),
         ("reps", Json::Num(f64::from(reps))),
@@ -86,6 +146,38 @@ pub fn to_json(cores: usize, jobs: usize, reps: u32, tables: &[Entry], sweeps: &
     ])
 }
 
+/// Builds the one-line summary appended to the cumulative
+/// `BENCH_TRAJECTORY.jsonl` — enough to plot the speedup trajectory
+/// across PRs without re-opening every full report.
+///
+/// # Errors
+///
+/// Returns a description when `doc` is not a valid full report.
+pub fn trajectory_line(doc: &Json) -> Result<String, String> {
+    validate(doc)?;
+    let num = |path: &[&str]| -> Json {
+        let mut cur = doc;
+        for key in path {
+            match cur.get(key) {
+                Some(v) => cur = v,
+                None => return Json::Null,
+            }
+        }
+        cur.clone()
+    };
+    let line = Json::obj([
+        ("schema", num(&["schema"])),
+        ("git_sha", num(&["git_sha"])),
+        ("generated_utc", num(&["generated_utc"])),
+        ("cores", num(&["cores"])),
+        ("jobs", num(&["jobs"])),
+        ("seq_s", num(&["totals", "seq_s"])),
+        ("par_s", num(&["totals", "par_s"])),
+        ("speedup", num(&["totals", "speedup"])),
+    ]);
+    Ok(line.render_compact())
+}
+
 /// Checks a parsed report against the `lintra-bench-trajectory/v1`
 /// schema.
 ///
@@ -95,6 +187,18 @@ pub fn to_json(cores: usize, jobs: usize, reps: u32, tables: &[Entry], sweeps: &
 pub fn validate(doc: &Json) -> Result<(), String> {
     if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
         return Err(format!("schema field must be {SCHEMA:?}"));
+    }
+    match doc.get("git_sha").and_then(Json::as_str) {
+        Some(sha) if !sha.is_empty() && sha.chars().all(|c| c.is_ascii_graphic()) => {}
+        _ => return Err("missing or empty string field \"git_sha\"".to_string()),
+    }
+    match doc.get("generated_utc").and_then(Json::as_str) {
+        Some(ts) if is_utc_timestamp(ts) => {}
+        other => {
+            return Err(format!(
+                "\"generated_utc\" must be YYYY-MM-DDThh:mm:ssZ, got {other:?}"
+            ))
+        }
     }
     for key in ["cores", "jobs", "reps"] {
         let v = doc
@@ -171,7 +275,11 @@ mod tests {
     fn sample_doc() -> Json {
         let tables = [sample_entry("table2"), sample_entry("table3"), sample_entry("table4")];
         let sweeps = [sample_entry("unfold_sweep")];
-        to_json(4, 4, 3, &tables, &sweeps)
+        let meta = RunMeta {
+            git_sha: "abc1234".to_string(),
+            generated_utc: utc_timestamp(1_754_438_400),
+        };
+        to_json(&meta, 4, 4, 3, &tables, &sweeps)
     }
 
     #[test]
@@ -222,5 +330,40 @@ mod tests {
             m.insert("cores".into(), Json::Num(0.0));
         }
         assert!(validate(&doc).is_err(), "zero cores must be rejected");
+
+        let mut doc = sample_doc();
+        if let Json::Obj(m) = &mut doc {
+            m.insert("git_sha".into(), Json::Str(String::new()));
+        }
+        assert!(validate(&doc).is_err(), "empty git_sha must be rejected");
+
+        let mut doc = sample_doc();
+        if let Json::Obj(m) = &mut doc {
+            m.insert("generated_utc".into(), Json::Str("yesterday".into()));
+        }
+        assert!(validate(&doc).is_err(), "non-ISO timestamp must be rejected");
+    }
+
+    #[test]
+    fn utc_timestamp_formats_known_instants() {
+        assert_eq!(utc_timestamp(0), "1970-01-01T00:00:00Z");
+        assert_eq!(utc_timestamp(951_782_400), "2000-02-29T00:00:00Z");
+        assert_eq!(utc_timestamp(1_754_438_400), "2025-08-06T00:00:00Z");
+        assert_eq!(utc_timestamp(1_785_974_400), "2026-08-06T00:00:00Z");
+        assert_eq!(utc_timestamp(1_754_481_045), "2025-08-06T11:50:45Z");
+        assert!(is_utc_timestamp(&utc_timestamp(1_754_481_045)));
+        assert!(!is_utc_timestamp("2026-8-06T11:50:45Z"));
+    }
+
+    #[test]
+    fn trajectory_line_is_one_line_with_provenance() {
+        let doc = sample_doc();
+        let line = trajectory_line(&doc).expect("valid report summarizes");
+        assert!(!line.contains('\n'));
+        let parsed = Json::parse(&line).expect("line is JSON");
+        assert_eq!(parsed.get("git_sha").and_then(Json::as_str), Some("abc1234"));
+        assert_eq!(parsed.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        assert!((parsed.get("speedup").and_then(Json::as_num).unwrap() - 2.0).abs() < 1e-12);
+        assert!(trajectory_line(&Json::Null).is_err(), "invalid reports are refused");
     }
 }

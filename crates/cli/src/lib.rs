@@ -5,13 +5,16 @@ use lintra::engine::{SweepCache, ThreadPool};
 use lintra::linsys::count::{op_count, TrivialityRule};
 use lintra::mcm::{naive_cost, synthesize, Recoding};
 use lintra::opt::multi::ProcessorSelection;
-use lintra::opt::{asic, multi, single, TechConfig};
+use lintra::opt::{asic, multi, single, Strategy, TechConfig};
 use lintra::suite::{by_name, suite, Design};
 use lintra::{ErrorClass, LintraError};
 use lintra_bench::render::{render_table2, render_table3, render_table4};
+use lintra_bench::wire::{WireFailure, WireOp, WireRequest};
 use lintra_bench::{table2_rows, table2_rows_par, table3_rows, table3_rows_par, table4_rows, table4_rows_par};
+use lintra_serve::{signal, Client, RetryPolicy, ServerConfig};
 use std::fmt;
 use std::io::Write;
+use std::time::Duration;
 
 /// Error from [`run`].
 #[derive(Debug)]
@@ -22,16 +25,21 @@ pub enum CliError {
     Io(std::io::Error),
     /// A pipeline stage failed; carries the classified error.
     Pipeline(LintraError),
+    /// A remote `lintra serve` instance answered with a classified
+    /// failure; carries the wire form so exit codes match local runs.
+    Remote(WireFailure),
 }
 
 impl CliError {
     /// Process exit code: `2` for usage errors, the class-specific code
-    /// ([`ErrorClass::exit_code`]) for pipeline failures.
+    /// ([`ErrorClass::exit_code`]) for pipeline failures — local and
+    /// remote failures of the same class exit identically.
     pub fn exit_code(&self) -> i32 {
         match self {
             CliError::Usage(_) => 2,
             CliError::Io(_) => ErrorClass::Io.exit_code(),
             CliError::Pipeline(e) => e.exit_code(),
+            CliError::Remote(f) => f.exit_code(),
         }
     }
 }
@@ -42,6 +50,7 @@ impl fmt::Display for CliError {
             CliError::Usage(m) => write!(f, "{m}"),
             CliError::Io(e) => write!(f, "{e}"),
             CliError::Pipeline(e) => write!(f, "{e}"),
+            CliError::Remote(e) => write!(f, "{e}"),
         }
     }
 }
@@ -51,7 +60,7 @@ impl std::error::Error for CliError {
         match self {
             CliError::Io(e) => Some(e),
             CliError::Pipeline(e) => Some(e),
-            CliError::Usage(_) => None,
+            CliError::Usage(_) | CliError::Remote(_) => None,
         }
     }
 }
@@ -141,6 +150,8 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         Some("sweep") => cmd_sweep(&args[1..], out),
         Some("tables") => cmd_tables(&args[1..], out),
         Some("mcm") => cmd_mcm(&args[1..], out),
+        Some("serve") => cmd_serve(&args[1..], out),
+        Some("request") => cmd_request(&args[1..], out),
         Some(other) => Err(usage(format!("unknown command `{other}`"))),
     }
 }
@@ -155,7 +166,13 @@ fn help(out: &mut impl Write) -> Result<(), CliError> {
          \x20 optimize <design> [--strategy single|multi|asic] [--v0 V] [--processors N] [--jobs N]\n\
          \x20 sweep <design> [--max I]      ops/sample vs unfolding factor\n\
          \x20 tables [--v0 V] [--jobs N] [--seq]  regenerate paper Tables 2-4\n\
-         \x20 mcm <c1> <c2> ... [--binary]  synthesize a shared shift-add network\n\n\
+         \x20 mcm <c1> <c2> ... [--binary]  synthesize a shared shift-add network\n\
+         \x20 serve [--addr A] [--jobs N] [--max-inflight N] [--chaos]\n\
+         \x20                               run the optimization service (drains on SIGTERM)\n\
+         \x20 request <ping|optimize|sweep|tables> [design] --addr A\n\
+         \x20         [--strategy S] [--v0 V] [--processors N] [--max I]\n\
+         \x20         [--deadline-ms D] [--retries N]\n\
+         \x20                               send one request to a running server\n\n\
          `--jobs N` fans work out over the parallel sweep engine; output is\n\
          bit-identical to the sequential path."
     )?;
@@ -197,8 +214,12 @@ fn cmd_optimize(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         return Err(usage(format!("--v0 must be a positive voltage, got {v0}")));
     }
     let tech = TechConfig::dac96(v0);
-    match flag_value(args, "--strategy").unwrap_or("single") {
-        "single" => {
+    // Strategy names are validated centrally: an unknown one is a
+    // `VAL-CONFIG` classified diagnostic (exit code 2), not ad-hoc text.
+    let strategy =
+        Strategy::parse(flag_value(args, "--strategy").unwrap_or("single")).map_err(LintraError::from)?;
+    match strategy {
+        Strategy::Single => {
             let r = single::optimize(&d.system, &tech)?;
             writeln!(out, "strategy: single processor at {v0} V")?;
             warn(out, &r.diagnostics)?;
@@ -216,7 +237,7 @@ fn cmd_optimize(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
                 r.real.power_reduction_frequency_only()
             )?;
         }
-        "multi" => {
+        Strategy::Multi => {
             // A zero processor count flows through as a classified
             // resource error (exit code 4) rather than a usage error.
             let selection = match parse_usize(args, "--processors")? {
@@ -238,7 +259,7 @@ fn cmd_optimize(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
                 r.power_reduction()
             )?;
         }
-        "asic" => {
+        Strategy::Asic => {
             let r = asic::optimize(&d.system, &tech, &asic::AsicConfig::default())?;
             writeln!(out, "strategy: ASIC (unfold -> Horner -> MCM) from {v0} V")?;
             warn(out, &r.diagnostics)?;
@@ -253,7 +274,6 @@ fn cmd_optimize(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
             writeln!(out, "optimized: {}", r.optimized)?;
             writeln!(out, "energy improvement: x{:.1}", r.improvement())?;
         }
-        other => return Err(usage(format!("unknown strategy `{other}`"))),
     }
     Ok(())
 }
@@ -322,6 +342,126 @@ fn cmd_mcm(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     writeln!(out, "shared: {} adds + {} shifts", sol.cost().adds, sol.cost().shifts)?;
     write!(out, "{sol}")?;
     Ok(())
+}
+
+/// Positional (non-flag) arguments, skipping each value-taking flag's
+/// value so `--addr 127.0.0.1:80` does not masquerade as a positional.
+fn positionals(args: &[String]) -> Vec<&str> {
+    const BOOLEAN_FLAGS: [&str; 3] = ["--binary", "--seq", "--chaos"];
+    let mut found = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += if BOOLEAN_FLAGS.contains(&args[i].as_str()) { 1 } else { 2 };
+        } else {
+            found.push(args[i].as_str());
+            i += 1;
+        }
+    }
+    found
+}
+
+fn parse_millis(args: &[String], name: &str) -> Result<Option<u64>, CliError> {
+    match flag_value(args, name) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| usage(format!("{name} expects milliseconds, got `{v}`"))),
+    }
+}
+
+/// `lintra serve`: runs the fault-tolerant optimization service until
+/// SIGTERM/SIGINT, then drains in-flight requests and reports stats.
+fn cmd_serve(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    let mut config = ServerConfig {
+        addr: flag_value(args, "--addr").unwrap_or("127.0.0.1:0").to_string(),
+        jobs: parse_usize(args, "--jobs")?,
+        chaos: args.iter().any(|a| a == "--chaos"),
+        ..ServerConfig::default()
+    };
+    if let Some(n) = parse_usize(args, "--max-inflight")? {
+        config.max_inflight = n;
+    }
+    if let Some(ms) = parse_millis(args, "--deadline-ms")? {
+        config.default_deadline = Duration::from_millis(ms);
+    }
+    if let Some(ms) = parse_millis(args, "--stall-budget-ms")? {
+        config.stall_budget = Duration::from_millis(ms);
+    }
+
+    signal::install();
+    let server = lintra_serve::start(config)?;
+    // The port line is parsed by scripts (`--addr` port 0 binds an
+    // ephemeral port), so flush past any pipe buffering immediately.
+    writeln!(out, "listening on {}", server.addr())?;
+    out.flush()?;
+    while !signal::shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    writeln!(out, "shutdown requested; draining in-flight requests")?;
+    let stats = server.shutdown();
+    writeln!(
+        out,
+        "drained: {} connections, {} ok, {} failed, {} shed",
+        stats.connections, stats.requests_ok, stats.requests_failed, stats.shed
+    )?;
+    Ok(())
+}
+
+/// `lintra request`: sends one wire request to a running server and
+/// prints the JSON result; remote failures exit with their class code.
+fn cmd_request(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    let addr = flag_value(args, "--addr")
+        .ok_or_else(|| usage("request needs --addr host:port of a running `lintra serve`"))?;
+    let pos = positionals(args);
+    let op_name = *pos.first().ok_or_else(|| {
+        usage("request expects an operation: ping, optimize, sweep, or tables")
+    })?;
+    let design_name = || -> Result<String, CliError> {
+        let d = by_name(pos.get(1).copied().unwrap_or("")).ok_or_else(|| {
+            let names: Vec<&str> = suite().iter().map(|d| d.name).collect();
+            usage(format!("request {op_name} expects a design; available: {}", names.join(", ")))
+        })?;
+        Ok(d.name.to_string())
+    };
+    let op = match op_name {
+        "ping" => WireOp::Ping,
+        "optimize" => WireOp::Optimize {
+            design: design_name()?,
+            strategy: Strategy::parse(flag_value(args, "--strategy").unwrap_or("single"))
+                .map_err(LintraError::from)?
+                .name()
+                .to_string(),
+            v0: parse_f64(args, "--v0", 3.3)?,
+            processors: parse_usize(args, "--processors")?,
+        },
+        "sweep" => WireOp::Sweep {
+            design: design_name()?,
+            max_i: parse_usize(args, "--max")?.unwrap_or(16) as u32,
+        },
+        "tables" => WireOp::Tables { v0: parse_f64(args, "--v0", 3.3)? },
+        other => return Err(usage(format!("unknown request operation `{other}`"))),
+    };
+    let mut req = WireRequest::new(flag_value(args, "--id").unwrap_or("cli"), op);
+    req.deadline_ms = parse_millis(args, "--deadline-ms")?;
+    req.fault = flag_value(args, "--fault").map(str::to_string);
+
+    let retries = parse_usize(args, "--retries")?.unwrap_or(3).max(1) as u32;
+    let client = Client::with_policy(
+        addr,
+        RetryPolicy { max_attempts: retries, ..RetryPolicy::default() },
+    );
+    let resp = client
+        .request(&req)
+        .map_err(|e| CliError::Io(std::io::Error::other(e.to_string())))?;
+    match resp.outcome {
+        Ok(result) => {
+            writeln!(out, "{}", result.render_compact())?;
+            Ok(())
+        }
+        Err(failure) => Err(CliError::Remote(failure)),
+    }
 }
 
 #[cfg(test)]
@@ -467,5 +607,72 @@ mod tests {
     #[test]
     fn unknown_command() {
         assert!(usage_msg(&["frobnicate"]).contains("unknown command"));
+    }
+
+    #[test]
+    fn unknown_strategy_is_a_val_config_diagnostic() {
+        let err = run_err(&["optimize", "chemical", "--strategy", "turbo"]);
+        assert_eq!(err.exit_code(), 2);
+        let msg = err.to_string();
+        assert!(msg.contains("VAL-CONFIG"), "{msg}");
+        assert!(msg.contains("single, multi, asic"), "{msg}");
+    }
+
+    #[test]
+    fn positionals_skip_flag_values() {
+        let args: Vec<String> =
+            ["--addr", "127.0.0.1:9", "ping", "--v0", "3.3", "--chaos", "extra"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        assert_eq!(positionals(&args), vec!["ping", "extra"]);
+    }
+
+    #[test]
+    fn request_round_trips_against_a_live_server() {
+        let server = lintra_serve::start(ServerConfig {
+            jobs: Some(2),
+            ..ServerConfig::default()
+        })
+        .expect("server starts");
+        let addr = server.addr().to_string();
+
+        let out = run_ok(&["request", "ping", "--addr", &addr]);
+        assert!(out.contains("\"pong\""), "{out}");
+
+        let out = run_ok(&["request", "optimize", "chemical", "--addr", &addr]);
+        assert!(out.contains("power_reduction"), "{out}");
+
+        // A remote classified failure surfaces with the class exit code.
+        let err = run_err(&["request", "optimize", "nonesuch", "--addr", &addr]);
+        assert_eq!(err.exit_code(), 2, "got {err:?}");
+        assert!(matches!(err, CliError::Usage(_)), "design validated locally: {err:?}");
+
+        let err = run_err(&["request", "sweep", "chemical", "--addr", &addr, "--fault", "conn-drop"]);
+        assert_eq!(err.exit_code(), 2, "chaos off => VAL-CONFIG, got {err:?}");
+        assert!(matches!(&err, CliError::Remote(f) if f.code == "VAL-CONFIG"), "{err:?}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn request_rejects_bad_command_lines() {
+        assert!(usage_msg(&["request", "ping"]).contains("--addr"));
+        assert!(usage_msg(&["request", "--addr", "127.0.0.1:9"]).contains("operation"));
+        assert!(usage_msg(&["request", "warp", "--addr", "127.0.0.1:9"]).contains("unknown request"));
+        let err = run_err(&["request", "optimize", "chemical", "--addr", "127.0.0.1:9", "--strategy", "bogus"]);
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("VAL-CONFIG"), "{err}");
+    }
+
+    #[test]
+    fn serve_drains_immediately_once_shutdown_is_requested() {
+        // The signal flag is process-global and sticky; setting it first
+        // turns `serve` into a start → drain round trip.
+        lintra_serve::signal::request_shutdown();
+        let out = run_ok(&["serve", "--addr", "127.0.0.1:0", "--jobs", "1"]);
+        assert!(out.contains("listening on 127.0.0.1:"), "{out}");
+        assert!(out.contains("draining"), "{out}");
+        assert!(out.contains("drained:"), "{out}");
     }
 }

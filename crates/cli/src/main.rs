@@ -10,7 +10,17 @@
 //! lintra sweep <design> [--max <i>]     ops/sample vs unfolding factor
 //! lintra mcm <c1> <c2> ...              synthesize a shift-add MCM network
 //!     --binary                          binary recoding instead of CSD
+//! lintra serve [options]                run the TCP optimization service
+//!     --addr <host:port>                bind address (port 0 = ephemeral)
+//!     --jobs <n> --max-inflight <n>     worker pool / admission bound
+//!     --chaos                           honor wire fault injection (tests)
+//! lintra request <op> [design] --addr A send one request to a server
+//!     ops: ping, optimize, sweep, tables; remote failures exit with the
+//!     same class codes as local ones (2/3/4/5/6)
 //! ```
+//!
+//! `serve` installs a SIGTERM/SIGINT handler and drains in-flight
+//! requests before exiting 0.
 
 use lintra_cli::{run, CliError};
 use std::process::ExitCode;

@@ -41,17 +41,31 @@ pub enum Fault {
     BisectionFailure,
     /// A sweep point that panics inside a pool worker thread.
     WorkerPanic,
+    /// A sweep point that runs far past the watchdog's stall budget,
+    /// which the engine must flag as `RES-WORKER-STALL`.
+    SlowWorker,
+    /// A client connection that vanishes mid-request (half a line, then
+    /// EOF); the server must shrug and stay serviceable, and the client's
+    /// retry loop must recover.
+    ConnDrop,
+    /// A request line that is not a well-formed wire request, which the
+    /// server must answer with `VAL-MALFORMED-REQUEST` instead of
+    /// dropping the connection or crashing.
+    MalformedRequest,
 }
 
 impl Fault {
     /// All fault classes, for exhaustive harness sweeps.
-    pub fn all() -> [Fault; 5] {
+    pub fn all() -> [Fault; 8] {
         [
             Fault::UnstableSystem,
             Fault::NanCoefficients,
             Fault::ResourceStarvation,
             Fault::BisectionFailure,
             Fault::WorkerPanic,
+            Fault::SlowWorker,
+            Fault::ConnDrop,
+            Fault::MalformedRequest,
         ]
     }
 }
@@ -127,6 +141,55 @@ pub fn panicking_sweep_point(n: usize, seed: u64) -> (impl Fn(usize) -> usize + 
     (f, poisoned)
 }
 
+/// A sweep closure over `0..n` that sleeps `delay` on exactly one
+/// seed-chosen index and returns the identity everywhere else — the
+/// deterministic stand-in for a worker wedged on a pathological point.
+/// Returns the closure and the stalled index, so harnesses can assert the
+/// watchdog blames exactly that sweep point.
+pub fn slow_sweep_point(
+    n: usize,
+    seed: u64,
+    delay: std::time::Duration,
+) -> (impl Fn(usize) -> usize + Sync, usize) {
+    let stalled = SplitMix64::new(seed).next_below(n.max(1) as u64) as usize;
+    let f = move |x: usize| {
+        if x == stalled {
+            std::thread::sleep(delay);
+        }
+        x
+    };
+    (f, stalled)
+}
+
+/// Request lines that are not well-formed wire requests: unparseable
+/// JSON, the wrong top-level type, and structurally valid JSON missing
+/// the required members. Every one must come back as a
+/// `VAL-MALFORMED-REQUEST` response, never a crash or a dropped
+/// connection.
+pub fn malformed_request_lines(seed: u64) -> Vec<String> {
+    let mut rng = SplitMix64::new(seed);
+    let noise: String = (0..8).map(|_| (b'a' + rng.next_below(26) as u8) as char).collect();
+    vec![
+        String::new(),
+        "not json at all".to_string(),
+        "{\"id\": \"x\"".to_string(),
+        "[1, 2, 3]".to_string(),
+        "{\"id\": \"x\", \"op\": 42}".to_string(),
+        format!("{{\"id\": \"x\", \"op\": \"{noise}\"}}"),
+        "{\"op\": \"ping\", \"id\": null}".to_string(),
+    ]
+}
+
+/// The first `keep` bytes of a valid request line — what a client that
+/// died mid-write leaves on the socket. The prefix is guaranteed to be a
+/// strict, non-empty prefix (no trailing newline), so the server sees a
+/// half request followed by EOF.
+pub fn truncated_request(line: &str, seed: u64) -> String {
+    let max = line.trim_end_matches('\n').len();
+    let keep = 1 + SplitMix64::new(seed).next_below(max.max(2) as u64 - 1) as usize;
+    line[..keep].to_string()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,5 +225,37 @@ mod tests {
     fn sub_threshold_tech_is_below_vt() {
         let t = sub_threshold_tech();
         assert!(t.initial_voltage < t.voltage.vt());
+    }
+
+    #[test]
+    fn slow_sweep_point_sleeps_only_on_its_index() {
+        let delay = std::time::Duration::from_millis(30);
+        let (f, stalled) = slow_sweep_point(6, 5, delay);
+        assert!(stalled < 6);
+        let healthy = (stalled + 1) % 6;
+        let t0 = std::time::Instant::now();
+        assert_eq!(f(healthy), healthy);
+        assert!(t0.elapsed() < delay, "healthy points must not sleep");
+        let t1 = std::time::Instant::now();
+        assert_eq!(f(stalled), stalled);
+        assert!(t1.elapsed() >= delay, "the stalled point must sleep");
+    }
+
+    #[test]
+    fn truncated_request_is_a_strict_prefix() {
+        let line = "{\"id\": \"r1\", \"op\": \"ping\"}\n";
+        for seed in 0..32 {
+            let cut = truncated_request(line, seed);
+            assert!(!cut.is_empty());
+            assert!(cut.len() < line.trim_end().len());
+            assert!(line.starts_with(&cut));
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_deterministic_in_the_seed() {
+        assert_eq!(malformed_request_lines(9), malformed_request_lines(9));
+        assert_ne!(malformed_request_lines(9), malformed_request_lines(10));
+        assert!(malformed_request_lines(9).len() >= 5);
     }
 }

@@ -85,6 +85,60 @@ impl ErrorClass {
             ErrorClass::Io => "io",
         }
     }
+
+    /// Inverse of [`ErrorClass::label`], used when a class crosses a
+    /// process boundary as a string (the serve wire protocol).
+    pub fn from_label(label: &str) -> Option<ErrorClass> {
+        ErrorClass::all().into_iter().find(|c| c.label() == label)
+    }
+
+    /// Every class, for exhaustive mapping checks.
+    pub fn all() -> [ErrorClass; 5] {
+        [
+            ErrorClass::Numerical,
+            ErrorClass::Validation,
+            ErrorClass::Resource,
+            ErrorClass::Convergence,
+            ErrorClass::Io,
+        ]
+    }
+}
+
+/// Every stable diagnostic code the pipeline and the serve layer can
+/// emit, paired with its class. This is the contract the exit-code
+/// snapshot test pins: codes are append-only, classes never drift, and
+/// the code prefix always matches the class (`NUM-` numerical, `VAL-`
+/// validation, `RES-` resource, `CNV-` convergence, `IO-` io).
+pub fn documented_codes() -> &'static [(&'static str, ErrorClass)] {
+    &[
+        ("NUM-NONFINITE", ErrorClass::Numerical),
+        ("NUM-SINGULAR", ErrorClass::Numerical),
+        ("NUM-UNSTABLE", ErrorClass::Numerical),
+        ("NUM-OVERFLOW", ErrorClass::Numerical),
+        ("VAL-SHAPE", ErrorClass::Validation),
+        ("VAL-MISSING-DATA", ErrorClass::Validation),
+        ("VAL-PERIOD", ErrorClass::Validation),
+        ("VAL-FILTER-SPEC", ErrorClass::Validation),
+        ("VAL-GRAPH", ErrorClass::Validation),
+        ("VAL-MCM-PLAN", ErrorClass::Validation),
+        ("VAL-SCHEDULE", ErrorClass::Validation),
+        ("VAL-VOLTAGE-MODEL", ErrorClass::Validation),
+        ("VAL-VOLTAGE", ErrorClass::Validation),
+        ("VAL-SLOWDOWN", ErrorClass::Validation),
+        ("VAL-CONFIG", ErrorClass::Validation),
+        ("VAL-MALFORMED-REQUEST", ErrorClass::Validation),
+        ("RES-NO-PROCESSORS", ErrorClass::Resource),
+        ("RES-LATENCY", ErrorClass::Resource),
+        ("RES-WORKER-PANIC", ErrorClass::Resource),
+        ("RES-WORKER-STALL", ErrorClass::Resource),
+        ("RES-DEADLINE", ErrorClass::Resource),
+        ("RES-CANCELLED", ErrorClass::Resource),
+        ("RES-OVERLOAD", ErrorClass::Resource),
+        ("RES-CIRCUIT-OPEN", ErrorClass::Resource),
+        ("RES-SHUTDOWN", ErrorClass::Resource),
+        ("CNV-BISECTION", ErrorClass::Convergence),
+        ("IO-FAILURE", ErrorClass::Io),
+    ]
 }
 
 /// The unified pipeline error: classified, coded, with the original typed
@@ -135,6 +189,12 @@ impl LintraError {
     /// Stable machine-grepable code, e.g. `"NUM-UNSTABLE"`.
     pub fn code(&self) -> &'static str {
         self.code
+    }
+
+    /// The bare message, without the `error[CODE] class:` prefix or the
+    /// context frames — for transports that re-render the prefix.
+    pub fn message(&self) -> &str {
+        &self.message
     }
 
     /// The context frames added so far (innermost first).
@@ -299,15 +359,32 @@ impl From<OptError> for LintraError {
 
 impl From<EngineError> for LintraError {
     fn from(e: EngineError) -> Self {
-        // A worker panic is a resource-layer failure: the sweep point's
-        // computation was lost, siblings and the pool itself survived.
-        LintraError::wrap(ErrorClass::Resource, "RES-WORKER-PANIC", e)
+        // Engine failures are resource-layer: the sweep point's
+        // computation was lost (panic, stall, cancellation), siblings and
+        // the pool itself survived. The exception is a bad LINTRA_JOBS
+        // value, which is a configuration (validation-class) mistake.
+        let (class, code) = match &e {
+            EngineError::WorkerPanic { .. } => (ErrorClass::Resource, "RES-WORKER-PANIC"),
+            EngineError::WorkerStall { .. } => (ErrorClass::Resource, "RES-WORKER-STALL"),
+            EngineError::DeadlineExpired { .. } => (ErrorClass::Resource, "RES-DEADLINE"),
+            EngineError::Cancelled { .. } => (ErrorClass::Resource, "RES-CANCELLED"),
+            EngineError::InvalidJobs { .. } => (ErrorClass::Validation, "VAL-CONFIG"),
+        };
+        LintraError::wrap(class, code, e)
     }
 }
 
 impl From<std::io::Error> for LintraError {
     fn from(e: std::io::Error) -> Self {
         LintraError::wrap(ErrorClass::Io, "IO-FAILURE", e)
+    }
+}
+
+impl From<lintra_opt::UnknownStrategy> for LintraError {
+    fn from(e: lintra_opt::UnknownStrategy) -> Self {
+        // A bad strategy name is a configuration mistake, rejected with a
+        // diagnostic rather than silently falling back to `single`.
+        LintraError::wrap(ErrorClass::Validation, "VAL-CONFIG", e)
     }
 }
 
@@ -377,6 +454,58 @@ mod tests {
         }
         assert!(depth >= 1, "source chain should be preserved");
         assert!(e.to_string().contains("while optimizing"));
+    }
+
+    #[test]
+    fn engine_robustness_errors_map_to_their_documented_codes() {
+        for (err, code, class) in [
+            (
+                EngineError::DeadlineExpired { task: 3 },
+                "RES-DEADLINE",
+                ErrorClass::Resource,
+            ),
+            (EngineError::Cancelled { task: 3 }, "RES-CANCELLED", ErrorClass::Resource),
+            (
+                EngineError::WorkerStall { task: 1, elapsed_ms: 90, budget_ms: 25 },
+                "RES-WORKER-STALL",
+                ErrorClass::Resource,
+            ),
+            (
+                EngineError::InvalidJobs { value: "zero".into() },
+                "VAL-CONFIG",
+                ErrorClass::Validation,
+            ),
+        ] {
+            let e = LintraError::from(err);
+            assert_eq!(e.code(), code);
+            assert_eq!(e.class(), class);
+        }
+    }
+
+    #[test]
+    fn class_labels_round_trip() {
+        for c in ErrorClass::all() {
+            assert_eq!(ErrorClass::from_label(c.label()), Some(c));
+        }
+        assert_eq!(ErrorClass::from_label("bogus"), None);
+    }
+
+    #[test]
+    fn documented_codes_are_unique_and_prefix_consistent() {
+        let codes = documented_codes();
+        for (i, (code, class)) in codes.iter().enumerate() {
+            let prefix = match class {
+                ErrorClass::Numerical => "NUM-",
+                ErrorClass::Validation => "VAL-",
+                ErrorClass::Resource => "RES-",
+                ErrorClass::Convergence => "CNV-",
+                ErrorClass::Io => "IO-",
+            };
+            assert!(code.starts_with(prefix), "{code} should start with {prefix}");
+            for (other, _) in &codes[i + 1..] {
+                assert_ne!(code, other, "duplicate documented code");
+            }
+        }
     }
 
     #[test]

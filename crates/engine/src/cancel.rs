@@ -1,0 +1,136 @@
+//! Cooperative cancellation for sweeps.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle shared between the code
+//! that *requests* a sweep (a service handler with a per-request
+//! deadline, a drain loop shutting the process down) and the workers that
+//! *run* it. Workers never block on the token and are never interrupted
+//! mid-point: the pool observes the token **between sweep points** (see
+//! [`ThreadPool::map_ctl`](crate::ThreadPool::map_ctl)), so a cancelled
+//! or deadline-expired sweep stops after at most one in-flight point per
+//! worker — the bound behind the service layer's "`RES-DEADLINE` within
+//! 2× the deadline" guarantee.
+//!
+//! Two things can retire a token:
+//!
+//! * an explicit [`CancelToken::cancel`] (graceful shutdown, a client
+//!   that went away), reported as [`CancelReason::Cancelled`], and
+//! * an absolute deadline fixed at construction
+//!   ([`CancelToken::with_deadline`]), reported as
+//!   [`CancelReason::DeadlineExpired`].
+//!
+//! An explicit cancel takes precedence when both hold, so a drain that
+//! races a deadline reports deterministically as a drain.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a token stopped being live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CancelReason {
+    /// [`CancelToken::cancel`] was called (shutdown, client gone).
+    Cancelled,
+    /// The deadline fixed at construction passed.
+    DeadlineExpired,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cloneable cancellation handle; all clones share one state.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A token with no deadline; only [`CancelToken::cancel`] retires it.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that expires `budget` from now (and can still be cancelled
+    /// explicitly before that).
+    pub fn with_deadline(budget: Duration) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Instant::now().checked_add(budget),
+            }),
+        }
+    }
+
+    /// Retires the token; all clones observe the cancellation.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Why the token is retired, or `None` while it is still live.
+    /// Explicit cancellation wins over an expired deadline.
+    pub fn reason(&self) -> Option<CancelReason> {
+        if self.inner.cancelled.load(Ordering::SeqCst) {
+            return Some(CancelReason::Cancelled);
+        }
+        match self.inner.deadline {
+            Some(d) if Instant::now() >= d => Some(CancelReason::DeadlineExpired),
+            _ => None,
+        }
+    }
+
+    /// `true` while neither cancelled nor past the deadline.
+    pub fn is_live(&self) -> bool {
+        self.reason().is_none()
+    }
+
+    /// Time left until the deadline (`None` for deadline-free tokens,
+    /// zero once expired).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert!(t.is_live());
+        assert_eq!(t.reason(), None);
+        assert_eq!(t.remaining(), None);
+    }
+
+    #[test]
+    fn cancel_is_visible_through_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        t.cancel();
+        assert_eq!(c.reason(), Some(CancelReason::Cancelled));
+        assert!(!c.is_live());
+    }
+
+    #[test]
+    fn deadline_expires() {
+        let t = CancelToken::with_deadline(Duration::from_millis(0));
+        assert_eq!(t.reason(), Some(CancelReason::DeadlineExpired));
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn explicit_cancel_beats_expired_deadline() {
+        let t = CancelToken::with_deadline(Duration::from_millis(0));
+        t.cancel();
+        assert_eq!(t.reason(), Some(CancelReason::Cancelled));
+    }
+
+    #[test]
+    fn generous_deadline_stays_live() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(t.is_live());
+        assert!(t.remaining().unwrap() > Duration::from_secs(3000));
+    }
+}

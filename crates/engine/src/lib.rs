@@ -23,9 +23,11 @@
 //!    and [`ThreadPool::try_map`] reports the lowest failing index.
 
 pub mod cache;
+pub mod cancel;
 pub mod pool;
 pub mod search;
 
 pub use cache::{CacheStats, ExpmMemo, SweepCache};
-pub use pool::{EngineError, ThreadPool};
+pub use cancel::{CancelReason, CancelToken};
+pub use pool::{EngineError, SweepCtl, ThreadPool};
 pub use search::best_unfolding;

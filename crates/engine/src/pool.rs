@@ -26,6 +26,9 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{mpsc, Mutex, PoisonError};
 use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::cancel::{CancelReason, CancelToken};
 
 /// Error from a parallel sweep.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +42,37 @@ pub enum EngineError {
         /// Panic payload, or a placeholder for non-string payloads.
         message: String,
     },
+    /// The sweep's [`CancelToken`] was cancelled before this point ran
+    /// (graceful shutdown, client gone). The point was skipped.
+    Cancelled {
+        /// Index of the skipped sweep point.
+        task: usize,
+    },
+    /// The sweep's [`CancelToken`] deadline expired before this point
+    /// ran. The point was skipped; cancellation is observed between
+    /// points, so the sweep returns within one point's latency of the
+    /// deadline.
+    DeadlineExpired {
+        /// Index of the skipped sweep point.
+        task: usize,
+    },
+    /// The point ran to completion but exceeded the stall budget — the
+    /// watchdog flags it as hung rather than trusting a result that took
+    /// pathologically long.
+    WorkerStall {
+        /// Index of the stalled sweep point.
+        task: usize,
+        /// Observed wall time of the point, milliseconds.
+        elapsed_ms: u64,
+        /// The configured stall budget, milliseconds.
+        budget_ms: u64,
+    },
+    /// The `LINTRA_JOBS` environment variable held something other than a
+    /// positive integer.
+    InvalidJobs {
+        /// The offending value.
+        value: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -47,11 +81,50 @@ impl fmt::Display for EngineError {
             EngineError::WorkerPanic { task, message } => {
                 write!(f, "sweep point {task} panicked in a worker thread: {message}")
             }
+            EngineError::Cancelled { task } => {
+                write!(f, "sweep point {task} skipped: sweep cancelled")
+            }
+            EngineError::DeadlineExpired { task } => {
+                write!(f, "sweep point {task} skipped: sweep deadline expired")
+            }
+            EngineError::WorkerStall { task, elapsed_ms, budget_ms } => {
+                write!(
+                    f,
+                    "sweep point {task} stalled: ran {elapsed_ms} ms against a \
+                     {budget_ms} ms stall budget"
+                )
+            }
+            EngineError::InvalidJobs { value } => {
+                write!(f, "LINTRA_JOBS must be a positive integer, got `{value}`")
+            }
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+/// Per-sweep robustness controls for [`ThreadPool::map_ctl`].
+///
+/// The default is the classic unbounded sweep ([`ThreadPool::map`]):
+/// no cancellation, no stall budget.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepCtl<'t> {
+    /// Cooperative cancellation, observed **between** sweep points: once
+    /// the token retires, every not-yet-started point yields
+    /// [`EngineError::Cancelled`] / [`EngineError::DeadlineExpired`] at
+    /// its index instead of running.
+    pub token: Option<&'t CancelToken>,
+    /// Watchdog budget per point: a point whose wall time exceeds this is
+    /// reported as [`EngineError::WorkerStall`] instead of its value.
+    pub stall_budget: Option<Duration>,
+}
+
+fn cancel_error(reason: CancelReason, task: usize) -> EngineError {
+    match reason {
+        CancelReason::Cancelled => EngineError::Cancelled { task },
+        CancelReason::DeadlineExpired => EngineError::DeadlineExpired { task },
+    }
+}
 
 /// Renders a panic payload as a string, mirroring what `std` prints.
 fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -96,6 +169,38 @@ impl ThreadPool {
         ThreadPool::new(thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
     }
 
+    /// A pool sized by the `LINTRA_JOBS` environment variable when it is
+    /// set, falling back to [`ThreadPool::auto`] when it is absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidJobs`] when the variable is set but
+    /// is not a positive integer — a validation-class configuration error
+    /// rather than a silent fallback.
+    pub fn from_env() -> Result<ThreadPool, EngineError> {
+        match std::env::var("LINTRA_JOBS") {
+            Err(std::env::VarError::NotPresent) => Ok(ThreadPool::auto()),
+            Err(std::env::VarError::NotUnicode(_)) => {
+                Err(EngineError::InvalidJobs { value: "<non-unicode>".to_string() })
+            }
+            Ok(raw) => Self::parse_jobs_var(&raw).map(ThreadPool::new),
+        }
+    }
+
+    /// Validates one `LINTRA_JOBS` value (exposed for the CLI's error
+    /// messages and the tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidJobs`] unless `raw` parses as an
+    /// integer `>= 1`.
+    pub fn parse_jobs_var(raw: &str) -> Result<usize, EngineError> {
+        match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(EngineError::InvalidJobs { value: raw.to_string() }),
+        }
+    }
+
     /// Number of worker threads used per sweep.
     pub fn jobs(&self) -> usize {
         self.jobs
@@ -106,6 +211,29 @@ impl ThreadPool {
     /// `Err(EngineError::WorkerPanic)` at its position; every other item
     /// is still evaluated.
     pub fn map<I, T, F>(&self, items: Vec<I>, f: F) -> Vec<Result<T, EngineError>>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(I) -> T + Sync,
+    {
+        self.map_ctl(items, f, SweepCtl::default())
+    }
+
+    /// [`ThreadPool::map`] under per-sweep robustness controls: a
+    /// cooperative [`CancelToken`] observed between sweep points and a
+    /// per-point stall budget enforced by timing each point.
+    ///
+    /// Determinism is unchanged for the points that run: results land at
+    /// their input index. Once the token retires, every not-yet-claimed
+    /// point deterministically yields the matching cancellation error at
+    /// its index (already-running points finish; the pool never
+    /// interrupts user code mid-point).
+    pub fn map_ctl<I, T, F>(
+        &self,
+        items: Vec<I>,
+        f: F,
+        ctl: SweepCtl<'_>,
+    ) -> Vec<Result<T, EngineError>>
     where
         I: Send,
         T: Send,
@@ -151,12 +279,35 @@ impl ThreadPool {
                         let Some(item) = lock_unpoisoned(&slots[idx]).take() else {
                             continue; // claimed by a racing steal
                         };
+                        // Cancellation is observed here, between points:
+                        // a retired token turns every remaining claim
+                        // into its cancellation error without running
+                        // user code, so the sweep drains in O(queue)
+                        // instead of O(work).
+                        if let Some(reason) = ctl.token.and_then(CancelToken::reason) {
+                            let _ = tx.send((idx, Err(cancel_error(reason, idx))));
+                            continue;
+                        }
+                        let started = Instant::now();
                         let out = catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|payload| {
                             EngineError::WorkerPanic {
                                 task: idx,
                                 message: payload_message(payload),
                             }
                         });
+                        // Watchdog: a point that blew through the stall
+                        // budget is flagged rather than trusted, even
+                        // though it eventually returned.
+                        let out = match (out, ctl.stall_budget) {
+                            (Ok(_), Some(budget)) if started.elapsed() > budget => {
+                                Err(EngineError::WorkerStall {
+                                    task: idx,
+                                    elapsed_ms: started.elapsed().as_millis() as u64,
+                                    budget_ms: budget.as_millis() as u64,
+                                })
+                            }
+                            (out, _) => out,
+                        };
                         // The receiver outlives the scope; a send can only
                         // fail if the collector itself died, in which case
                         // there is nobody left to report to.
@@ -200,6 +351,37 @@ impl ThreadPool {
         F: Fn(I) -> T + Sync,
     {
         self.map(items, f).into_iter().collect()
+    }
+
+    /// [`ThreadPool::try_map`] under [`SweepCtl`] controls: the lowest
+    /// failing index in input order wins, whether it panicked, stalled,
+    /// or was skipped by cancellation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-index [`EngineError`] if any sweep point
+    /// failed or was skipped.
+    pub fn try_map_ctl<I, T, F>(
+        &self,
+        items: Vec<I>,
+        f: F,
+        ctl: SweepCtl<'_>,
+    ) -> Result<Vec<T>, EngineError>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(I) -> T + Sync,
+    {
+        self.map_ctl(items, f, ctl).into_iter().collect()
+    }
+}
+
+impl Default for ThreadPool {
+    /// [`ThreadPool::from_env`] with a silent fallback to
+    /// [`ThreadPool::auto`] on an invalid `LINTRA_JOBS` (Default cannot
+    /// report errors; call `from_env` directly to surface them).
+    fn default() -> ThreadPool {
+        ThreadPool::from_env().unwrap_or_else(|_| ThreadPool::auto())
     }
 }
 
@@ -278,8 +460,120 @@ mod tests {
                 x
             })
             .unwrap_err();
-        let EngineError::WorkerPanic { task, .. } = err;
+        let EngineError::WorkerPanic { task, .. } = err else {
+            panic!("expected a WorkerPanic, got {err:?}");
+        };
         assert_eq!(task, 6, "first failure in input order wins");
+    }
+
+    #[test]
+    fn cancelled_token_skips_unclaimed_points() {
+        let pool = ThreadPool::new(2);
+        let token = CancelToken::new();
+        token.cancel();
+        let results =
+            pool.map_ctl((0..8).collect(), |x: usize| x, SweepCtl { token: Some(&token), stall_budget: None });
+        for (idx, r) in results.iter().enumerate() {
+            assert_eq!(*r, Err(EngineError::Cancelled { task: idx }));
+        }
+        // The pool itself survives a fully-cancelled sweep.
+        assert_eq!(pool.try_map(vec![1, 2], |x: i32| x * 10).unwrap(), vec![10, 20]);
+    }
+
+    #[test]
+    fn expired_deadline_reports_lowest_index_deadline_error() {
+        let pool = ThreadPool::new(4);
+        let token = CancelToken::with_deadline(Duration::from_millis(0));
+        let err = pool
+            .try_map_ctl(
+                (0..16).collect(),
+                |x: usize| x,
+                SweepCtl { token: Some(&token), stall_budget: None },
+            )
+            .unwrap_err();
+        assert_eq!(err, EngineError::DeadlineExpired { task: 0 });
+    }
+
+    #[test]
+    fn mid_sweep_deadline_returns_promptly_without_running_the_tail() {
+        // 40 points of ~5 ms against a 40 ms deadline: the token retires
+        // mid-sweep and the remaining points must be skipped, bounding
+        // the total wall time well below the 200 ms a full run needs.
+        let pool = ThreadPool::new(1);
+        let token = CancelToken::with_deadline(Duration::from_millis(40));
+        let started = Instant::now();
+        let results = pool.map_ctl(
+            (0..40).collect(),
+            |x: usize| {
+                thread::sleep(Duration::from_millis(5));
+                x
+            },
+            SweepCtl { token: Some(&token), stall_budget: None },
+        );
+        assert!(
+            started.elapsed() < Duration::from_millis(120),
+            "cancellation must bound the sweep, took {:?}",
+            started.elapsed()
+        );
+        assert!(results.iter().any(|r| matches!(r, Err(EngineError::DeadlineExpired { .. }))));
+        assert!(results.iter().any(Result::is_ok), "points before the deadline ran");
+    }
+
+    #[test]
+    fn stalled_point_is_flagged_siblings_unaffected() {
+        let pool = ThreadPool::new(2);
+        let results = pool.map_ctl(
+            (0..6).collect(),
+            |x: usize| {
+                if x == 3 {
+                    thread::sleep(Duration::from_millis(80));
+                }
+                x
+            },
+            SweepCtl { token: None, stall_budget: Some(Duration::from_millis(25)) },
+        );
+        for (idx, r) in results.iter().enumerate() {
+            if idx == 3 {
+                let Err(EngineError::WorkerStall { task, elapsed_ms, budget_ms }) = r else {
+                    panic!("index 3 should stall, got {r:?}");
+                };
+                assert_eq!(*task, 3);
+                assert!(*elapsed_ms >= *budget_ms);
+                assert_eq!(*budget_ms, 25);
+            } else {
+                assert_eq!(*r, Ok(idx));
+            }
+        }
+    }
+
+    #[test]
+    fn parse_jobs_var_validates() {
+        assert_eq!(ThreadPool::parse_jobs_var("4").unwrap(), 4);
+        assert_eq!(ThreadPool::parse_jobs_var(" 2 ").unwrap(), 2);
+        for bad in ["0", "-1", "four", "", "1.5"] {
+            let err = ThreadPool::parse_jobs_var(bad).unwrap_err();
+            assert!(
+                matches!(&err, EngineError::InvalidJobs { value } if value == bad),
+                "{bad:?} -> {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_env_and_default_respect_lintra_jobs() {
+        // Env mutation is process-global; this is the only test that
+        // touches LINTRA_JOBS, so no lock is needed within this binary.
+        std::env::set_var("LINTRA_JOBS", "3");
+        assert_eq!(ThreadPool::from_env().unwrap().jobs(), 3);
+        assert_eq!(ThreadPool::default().jobs(), 3);
+        std::env::set_var("LINTRA_JOBS", "zero");
+        assert!(matches!(
+            ThreadPool::from_env(),
+            Err(EngineError::InvalidJobs { ref value }) if value == "zero"
+        ));
+        assert!(ThreadPool::default().jobs() >= 1, "Default falls back to auto");
+        std::env::remove_var("LINTRA_JOBS");
+        assert!(ThreadPool::from_env().unwrap().jobs() >= 1);
     }
 
     #[test]

@@ -210,3 +210,91 @@ impl TechConfig {
         }
     }
 }
+
+/// The three optimization strategies, under the names the CLI's
+/// `--strategy` flag and the serve wire protocol accept. Parsing is
+/// strict: an unknown name is a configuration error ([`UnknownStrategy`],
+/// classified `VAL-CONFIG`), never a silent fallback to
+/// [`Strategy::Single`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// §3: unfolding + voltage scaling on one programmable processor.
+    Single,
+    /// §4: unfolding across `N` processors.
+    Multi,
+    /// §5: the unfold → Horner → MCM ASIC script.
+    Asic,
+}
+
+impl Strategy {
+    /// The accepted spelling of this strategy.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Strategy::Single => "single",
+            Strategy::Multi => "multi",
+            Strategy::Asic => "asic",
+        }
+    }
+
+    /// Every strategy, for exhaustive sweeps and help texts.
+    pub const fn all() -> [Strategy; 3] {
+        [Strategy::Single, Strategy::Multi, Strategy::Asic]
+    }
+
+    /// Parses a strategy name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownStrategy`] (a configuration mistake, not a usage
+    /// typo to be silently defaulted) for anything but the exact names.
+    pub fn parse(name: &str) -> Result<Strategy, UnknownStrategy> {
+        Strategy::all()
+            .into_iter()
+            .find(|s| s.name() == name)
+            .ok_or_else(|| UnknownStrategy { name: name.to_string() })
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A `--strategy` (or wire `strategy`) value that names no strategy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownStrategy {
+    /// The rejected value.
+    pub name: String,
+}
+
+impl fmt::Display for UnknownStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = Strategy::all().iter().map(|s| s.name()).collect();
+        write!(f, "unknown strategy `{}`; expected one of: {}", self.name, names.join(", "))
+    }
+}
+
+impl std::error::Error for UnknownStrategy {}
+
+#[cfg(test)]
+mod strategy_tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for s in Strategy::all() {
+            assert_eq!(Strategy::parse(s.name()), Ok(s));
+            assert_eq!(s.to_string(), s.name());
+        }
+    }
+
+    #[test]
+    fn unknown_names_are_errors_not_fallbacks() {
+        for bad in ["", "Single", "SINGLE", "dual", "asic "] {
+            let err = Strategy::parse(bad).unwrap_err();
+            assert_eq!(err.name, bad);
+            assert!(err.to_string().contains("single, multi, asic"), "{err}");
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! `lintra-client`: the resilient counterpart of the server.
+//!
+//! One call, [`Client::request`], hides the transport failure modes a
+//! misbehaving network (or a chaos-injected server) produces:
+//!
+//! * **Retry with exponential backoff and jitter** — connect failures,
+//!   dropped connections, and unparseable responses are retried up to
+//!   [`RetryPolicy::max_attempts`] times, sleeping
+//!   `min(base·2ᵏ, max) · uniform[0.5, 1.0)` between attempts. The
+//!   jitter stream is seeded ([`RetryPolicy::seed`] mixed with the
+//!   request id), so a test replay produces identical pacing.
+//! * **Overload is retryable** — a `RES-OVERLOAD` shed is the server
+//!   telling the client "back off and come back"; with
+//!   [`RetryPolicy::retry_overload`] (the default) the client does
+//!   exactly that, and only surfaces the failure once attempts are
+//!   exhausted.
+//! * **Deadline awareness** — a request carrying `deadline_ms` waits at
+//!   most twice that (the server's documented bound) plus a grace period
+//!   for the response before declaring the attempt dead.
+//!
+//! Classified failure responses other than overload (`RES-DEADLINE`,
+//! `VAL-CONFIG`, …) are *not* retried: the server answered
+//! authoritatively, and the caller decides what to do with the verdict.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use lintra::matrix::rng::SplitMix64;
+use lintra::ErrorClass;
+use lintra_bench::wire::{WireRequest, WireResponse};
+
+/// Retry tuning; the default is three attempts with 50 ms → 2 s backoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included); at least 1.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles each retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Also retry `RES-OVERLOAD` sheds (server asked for backoff).
+    pub retry_overload: bool,
+    /// Jitter seed, mixed with the request id per call.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            retry_overload: true,
+            seed: 0x5EED_CAB1E,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered sleep before retry `attempt` (0-based): full
+    /// exponential backoff scaled into `[0.5, 1.0)`.
+    fn backoff(&self, attempt: u32, rng: &mut SplitMix64) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(2u32.saturating_pow(attempt))
+            .min(self.max_backoff);
+        exp.mul_f64(0.5 + rng.next_f64() * 0.5)
+    }
+}
+
+/// Client-side failure after all resilience was exhausted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// No attempt produced a parseable response (connect refused,
+    /// connection dropped, response garbage). Retryable by the caller at
+    /// a longer horizon.
+    Transport {
+        /// Attempts made.
+        attempts: u32,
+        /// Description of the last failure.
+        last_error: String,
+    },
+}
+
+impl ClientError {
+    /// Exit code for CLI use: transport failures are I/O-class.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            ClientError::Transport { .. } => ErrorClass::Io.exit_code(),
+        }
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Transport { attempts, last_error } => {
+                write!(f, "request failed after {attempts} attempt(s): {last_error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A connection-per-request TCP client (the server is newline-delimited
+/// and stateless per line, so pooling buys nothing a benchmark would
+/// notice at this payload size).
+#[derive(Debug, Clone)]
+pub struct Client {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Retry/backoff tuning.
+    pub policy: RetryPolicy,
+    /// Per-attempt TCP connect budget.
+    pub connect_timeout: Duration,
+    /// Response wait for requests without a `deadline_ms` of their own.
+    pub request_timeout: Duration,
+}
+
+impl Client {
+    /// A client with default resilience tuning.
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client {
+            addr: addr.into(),
+            policy: RetryPolicy::default(),
+            connect_timeout: Duration::from_secs(2),
+            request_timeout: Duration::from_secs(60),
+        }
+    }
+
+    /// A client with explicit retry tuning.
+    pub fn with_policy(addr: impl Into<String>, policy: RetryPolicy) -> Client {
+        Client { policy, ..Client::new(addr) }
+    }
+
+    /// How long one attempt may wait for the response line: twice the
+    /// request's own deadline (the server's bound) plus scheduling grace,
+    /// or the client default for deadline-free requests.
+    fn response_budget(&self, req: &WireRequest) -> Duration {
+        match req.deadline_ms {
+            Some(ms) => Duration::from_millis(ms.saturating_mul(2).saturating_add(500)),
+            None => self.request_timeout,
+        }
+    }
+
+    /// Sends one request, retrying transport failures (and optionally
+    /// overload sheds) with jittered exponential backoff.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Transport`] when every attempt failed to
+    /// produce a parseable response. A response carrying a classified
+    /// failure is an `Ok` — inspect [`WireResponse::outcome`].
+    pub fn request(&self, req: &WireRequest) -> Result<WireResponse, ClientError> {
+        let mut hasher = DefaultHasher::new();
+        req.id.hash(&mut hasher);
+        let mut rng = SplitMix64::new(self.policy.seed ^ hasher.finish());
+        let attempts = self.policy.max_attempts.max(1);
+        let budget = self.response_budget(req);
+        let mut last_error = String::new();
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.policy.backoff(attempt - 1, &mut rng));
+            }
+            match self.try_once(req, budget) {
+                Ok(resp) => {
+                    let overload_shed = matches!(
+                        &resp.outcome,
+                        Err(f) if f.code == "RES-OVERLOAD"
+                    );
+                    if overload_shed && self.policy.retry_overload && attempt + 1 < attempts {
+                        last_error = "shed with RES-OVERLOAD".to_string();
+                        continue;
+                    }
+                    return Ok(resp);
+                }
+                Err(e) => last_error = e,
+            }
+        }
+        Err(ClientError::Transport { attempts, last_error })
+    }
+
+    fn try_once(&self, req: &WireRequest, budget: Duration) -> Result<WireResponse, String> {
+        let addr = self
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| format!("resolving {}: {e}", self.addr))?
+            .next()
+            .ok_or_else(|| format!("{} resolves to no address", self.addr))?;
+        let mut stream = TcpStream::connect_timeout(&addr, self.connect_timeout)
+            .map_err(|e| format!("connecting to {addr}: {e}"))?;
+        let _ = stream.set_nodelay(true);
+        stream
+            .set_write_timeout(Some(self.connect_timeout))
+            .map_err(|e| format!("configuring socket: {e}"))?;
+        stream
+            .write_all(req.render_line().as_bytes())
+            .map_err(|e| format!("sending request: {e}"))?;
+
+        // Read up to the newline under the overall response budget.
+        let started = Instant::now();
+        let mut line: Vec<u8> = Vec::new();
+        let mut chunk = [0u8; 1024];
+        while !line.contains(&b'\n') {
+            let left = budget
+                .checked_sub(started.elapsed())
+                .filter(|d| !d.is_zero())
+                .ok_or_else(|| format!("no response within {} ms", budget.as_millis()))?;
+            stream
+                .set_read_timeout(Some(left))
+                .map_err(|e| format!("configuring socket: {e}"))?;
+            match stream.read(&mut chunk) {
+                Ok(0) => return Err("connection closed before a response".to_string()),
+                Ok(n) => line.extend_from_slice(&chunk[..n]),
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    return Err(format!("no response within {} ms", budget.as_millis()))
+                }
+                Err(e) => return Err(format!("reading response: {e}")),
+            }
+        }
+        let text = String::from_utf8_lossy(&line);
+        let resp = WireResponse::parse(text.trim_end())
+            .map_err(|e| format!("unparseable response: {e}"))?;
+        if resp.id != req.id {
+            return Err(format!("response id `{}` does not match request `{}`", resp.id, req.id));
+        }
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy {
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_millis(350),
+            ..RetryPolicy::default()
+        };
+        let mut rng = SplitMix64::new(7);
+        let b0 = p.backoff(0, &mut rng);
+        let b1 = p.backoff(1, &mut rng);
+        let b4 = p.backoff(4, &mut rng);
+        assert!(b0 >= Duration::from_millis(50) && b0 < Duration::from_millis(100), "{b0:?}");
+        assert!(b1 >= Duration::from_millis(100) && b1 < Duration::from_millis(200), "{b1:?}");
+        assert!(b4 >= Duration::from_millis(175) && b4 < Duration::from_millis(350), "{b4:?}");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_in_the_seed() {
+        let p = RetryPolicy::default();
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for attempt in 0..4 {
+            assert_eq!(p.backoff(attempt, &mut a), p.backoff(attempt, &mut b));
+        }
+    }
+
+    #[test]
+    fn connect_refused_exhausts_attempts() {
+        // Port 1 on localhost is essentially never listening.
+        let client = Client {
+            policy: RetryPolicy {
+                max_attempts: 2,
+                base_backoff: Duration::from_millis(1),
+                ..RetryPolicy::default()
+            },
+            connect_timeout: Duration::from_millis(200),
+            ..Client::new("127.0.0.1:1")
+        };
+        let req = WireRequest::new("x", lintra_bench::wire::WireOp::Ping);
+        let err = client.request(&req).expect_err("nothing listens on port 1");
+        let ClientError::Transport { attempts, .. } = err;
+        assert_eq!(attempts, 2);
+        assert_eq!(err.exit_code(), 6);
+    }
+
+    #[test]
+    fn deadline_requests_get_the_2x_response_budget() {
+        let client = Client::new("127.0.0.1:1");
+        let mut req = WireRequest::new("x", lintra_bench::wire::WireOp::Ping);
+        assert_eq!(client.response_budget(&req), client.request_timeout);
+        req.deadline_ms = Some(300);
+        assert_eq!(client.response_budget(&req), Duration::from_millis(1100));
+    }
+}

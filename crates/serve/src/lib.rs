@@ -1,0 +1,50 @@
+//! `lintra-serve` — a fault-tolerant optimization service.
+//!
+//! Turns the unfold → Horner → MCM pipeline into a long-running TCP
+//! service speaking newline-delimited JSON (the
+//! [`lintra_bench::wire`] schema), with the robustness machinery a
+//! service needs and a library client that matches it:
+//!
+//! | layer | mechanism | diagnostic at the client |
+//! |---|---|---|
+//! | parse | strict wire validation | `VAL-MALFORMED-REQUEST` |
+//! | admission | bounded in-flight gauge, load shedding | `RES-OVERLOAD` |
+//! | execution | per-request deadline token, observed between sweep points | `RES-DEADLINE` |
+//! | execution | per-point stall watchdog | `RES-WORKER-STALL` |
+//! | execution | per-point panic isolation (engine) | `RES-WORKER-PANIC` |
+//! | engine | circuit breaker on consecutive panics | `RES-CIRCUIT-OPEN` |
+//! | lifecycle | graceful drain on shutdown/SIGTERM | `RES-SHUTDOWN` |
+//!
+//! Every failure crosses the wire with the same class/code taxonomy local
+//! [`lintra::LintraError`]s carry, so the CLI maps remote failures to the
+//! identical exit codes (validation 2, numerical 3, resource 4,
+//! convergence 5, I/O 6).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lintra_bench::wire::{WireOp, WireRequest};
+//! use lintra_serve::{start, Client, ServerConfig};
+//!
+//! let server = start(ServerConfig {
+//!     jobs: Some(2),
+//!     ..ServerConfig::default()
+//! })
+//! .expect("bind");
+//! let client = Client::new(server.addr().to_string());
+//! let resp = client
+//!     .request(&WireRequest::new("hello", WireOp::Ping))
+//!     .expect("server is up");
+//! assert!(resp.outcome.is_ok());
+//! let stats = server.shutdown(); // graceful drain
+//! assert_eq!(stats.requests_ok, 1);
+//! ```
+
+pub mod breaker;
+pub mod client;
+pub mod server;
+pub mod signal;
+
+pub use breaker::{BreakerConfig, CircuitBreaker};
+pub use client::{Client, ClientError, RetryPolicy};
+pub use server::{start, ServerConfig, ServerHandle, ServerStats};

@@ -1,0 +1,735 @@
+//! The `lintra-serve` TCP server.
+//!
+//! Transport: newline-delimited JSON over TCP (see
+//! [`lintra_bench::wire`]), one thread per connection, requests handled
+//! inline on the connection thread with sweeps fanned out through the
+//! shared engine [`ThreadPool`]. Robustness machinery, outermost first:
+//!
+//! 1. **Malformed input** never crosses the parse boundary: any
+//!    unparseable or invalid request line is answered with a
+//!    `VAL-MALFORMED-REQUEST` failure and the connection stays usable.
+//! 2. **Admission control**: at most [`ServerConfig::max_inflight`]
+//!    requests execute at once; excess load is *shed* immediately with
+//!    `RES-OVERLOAD` (never queued unboundedly, so latency stays bounded
+//!    under overload).
+//! 3. **Deadlines**: every request gets a [`CancelToken`] fixed at
+//!    admission ([`WireRequest::deadline_ms`] or the server default).
+//!    Sweeps observe it between points, so an expired request returns
+//!    `RES-DEADLINE` within one sweep point of its budget — the "2× the
+//!    deadline" service guarantee.
+//! 4. **Watchdog**: a sweep point exceeding
+//!    [`ServerConfig::stall_budget`] is flagged `RES-WORKER-STALL`
+//!    rather than trusted.
+//! 5. **Circuit breaker**: consecutive engine worker panics open the
+//!    breaker ([`crate::breaker`]); requests are rejected with
+//!    `RES-CIRCUIT-OPEN` until a cooldown and a successful probe.
+//! 6. **Graceful drain**: [`ServerHandle::shutdown`] stops accepting,
+//!    answers new requests with `RES-SHUTDOWN`, lets every in-flight
+//!    request finish and its response flush, then joins all threads.
+//!
+//! Chaos testing: a server started with [`ServerConfig::chaos`] honors
+//! the request's `fault` member (`slow-worker`, `slow-sweep`,
+//! `worker-panic`, `conn-drop`) so the full failure matrix can be driven
+//! deterministically from a test. Production servers reject the member
+//! with `VAL-CONFIG`.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use lintra::engine::{CancelReason, CancelToken, EngineError, SweepCtl, ThreadPool};
+use lintra::linsys::count::{op_count, TrivialityRule};
+use lintra::linsys::unfold;
+use lintra::opt::multi::ProcessorSelection;
+use lintra::opt::{asic, multi, single, Strategy, TechConfig};
+use lintra::suite::by_name;
+use lintra::{ErrorClass, LintraError};
+use lintra_bench::json::Json;
+use lintra_bench::render::{render_table2, render_table3, render_table4};
+use lintra_bench::wire::{WireFailure, WireOp, WireRequest, WireResponse};
+use lintra_bench::{table2_rows_par, table3_rows_par, table4_rows_par};
+
+use crate::breaker::{BreakerConfig, CircuitBreaker};
+
+/// How often blocked reads and the accept loop re-check the drain flag.
+const POLL: Duration = Duration::from_millis(20);
+
+/// The fault names a chaos server honors.
+const KNOWN_FAULTS: [&str; 4] = ["slow-worker", "slow-sweep", "worker-panic", "conn-drop"];
+
+/// Server tuning; [`ServerConfig::default`] is production-shaped.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port `0` to let the OS pick (see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Admission bound: requests executing at once before load is shed
+    /// with `RES-OVERLOAD`.
+    pub max_inflight: usize,
+    /// Deadline applied when a request does not carry `deadline_ms`.
+    pub default_deadline: Duration,
+    /// Ceiling on client-requested deadlines (a client cannot pin a
+    /// worker for longer than this).
+    pub max_deadline: Duration,
+    /// Watchdog budget per sweep point (`RES-WORKER-STALL` beyond it).
+    pub stall_budget: Duration,
+    /// Circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Engine worker threads (`None` = `LINTRA_JOBS` / auto-detect).
+    pub jobs: Option<usize>,
+    /// Honor the wire `fault` member (chaos testing only).
+    pub chaos: bool,
+    /// Per-point delay injected by the `slow-sweep` fault (and the sleep
+    /// used by `slow-worker`, which sleeps `3 × stall_budget`).
+    pub chaos_point_delay: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_inflight: 32,
+            default_deadline: Duration::from_secs(30),
+            max_deadline: Duration::from_secs(300),
+            stall_budget: Duration::from_secs(10),
+            breaker: BreakerConfig::default(),
+            jobs: None,
+            chaos: false,
+            chaos_point_delay: Duration::from_millis(20),
+        }
+    }
+}
+
+/// Monotonic counters, readable at any time and returned by
+/// [`ServerHandle::shutdown`] as the drain report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests answered with a result.
+    pub requests_ok: u64,
+    /// Requests answered with a classified failure.
+    pub requests_failed: u64,
+    /// Requests shed with `RES-OVERLOAD`.
+    pub shed: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    requests_ok: AtomicU64,
+    requests_failed: AtomicU64,
+    shed: AtomicU64,
+}
+
+struct Shared {
+    config: ServerConfig,
+    pool: ThreadPool,
+    breaker: CircuitBreaker,
+    inflight: AtomicUsize,
+    draining: AtomicBool,
+    stats: Counters,
+}
+
+/// A running server; dropping it (or calling [`ServerHandle::shutdown`])
+/// initiates a drain.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .field("draining", &self.shared.draining.load(Ordering::SeqCst))
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port `0` binds).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> ServerStats {
+        let c = &self.shared.stats;
+        ServerStats {
+            connections: c.connections.load(Ordering::SeqCst),
+            requests_ok: c.requests_ok.load(Ordering::SeqCst),
+            requests_failed: c.requests_failed.load(Ordering::SeqCst),
+            shed: c.shed.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Graceful drain: stop accepting, answer new requests with
+    /// `RES-SHUTDOWN`, let every in-flight request finish and flush its
+    /// response, join all threads. Returns the final counters.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let handles = {
+            let mut conns = lock_unpoisoned(&self.conns);
+            std::mem::take(&mut *conns)
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        self.stats()
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // Idempotent: makes a forgotten handle wind its threads down on
+        // their next poll instead of leaking them hot.
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+}
+
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Binds and starts serving in background threads.
+///
+/// # Errors
+///
+/// Returns an `IO-FAILURE` error when the bind fails and a `VAL-CONFIG`
+/// error for an invalid worker-count configuration (explicit `Some(0)` or
+/// a garbage `LINTRA_JOBS`).
+pub fn start(config: ServerConfig) -> Result<ServerHandle, LintraError> {
+    let pool = match config.jobs {
+        Some(0) => {
+            return Err(LintraError::new(
+                ErrorClass::Validation,
+                "VAL-CONFIG",
+                "server worker count must be at least 1",
+            ))
+        }
+        Some(n) => ThreadPool::new(n),
+        None => ThreadPool::from_env().map_err(LintraError::from)?,
+    };
+    let listener = TcpListener::bind(config.addr.as_str()).map_err(LintraError::from)?;
+    let addr = listener.local_addr().map_err(LintraError::from)?;
+    listener.set_nonblocking(true).map_err(LintraError::from)?;
+
+    let shared = Arc::new(Shared {
+        breaker: CircuitBreaker::new(config.breaker),
+        config,
+        pool,
+        inflight: AtomicUsize::new(0),
+        draining: AtomicBool::new(false),
+        stats: Counters::default(),
+    });
+    let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        let conns = Arc::clone(&conns);
+        thread::spawn(move || accept_loop(&shared, &listener, &conns))
+    };
+
+    Ok(ServerHandle { addr, shared, accept: Some(accept), conns })
+}
+
+fn accept_loop(
+    shared: &Arc<Shared>,
+    listener: &TcpListener,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !shared.draining.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.stats.connections.fetch_add(1, Ordering::SeqCst);
+                let sh = Arc::clone(shared);
+                let handle = thread::spawn(move || connection_loop(&sh, stream));
+                let mut guard = lock_unpoisoned(conns);
+                // Reap finished connection threads so a long-lived server
+                // does not accumulate handles without bound.
+                let (done, live): (Vec<_>, Vec<_>) =
+                    std::mem::take(&mut *guard).into_iter().partition(JoinHandle::is_finished);
+                *guard = live;
+                guard.push(handle);
+                drop(guard);
+                for h in done {
+                    let _ = h.join();
+                }
+            }
+            // WouldBlock: nothing to accept; anything else: transient —
+            // either way, back off one poll tick and re-check drain.
+            Err(_) => thread::sleep(POLL),
+        }
+    }
+}
+
+/// What to do with one request line.
+enum LineOutcome {
+    Respond(WireResponse),
+    /// Close the connection without responding (`conn-drop` chaos).
+    Drop,
+}
+
+fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
+    // The accept listener is non-blocking; the accepted stream must not
+    // inherit that. Reads poll on a timeout so the thread can observe the
+    // drain flag while idle.
+    if stream.set_nonblocking(false).is_err() || stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line);
+            match handle_line(shared, line.trim_end()) {
+                LineOutcome::Drop => return,
+                LineOutcome::Respond(resp) => {
+                    if stream.write_all(resp.render_line().as_bytes()).is_err() {
+                        return;
+                    }
+                }
+            }
+        }
+        if shared.draining.load(Ordering::SeqCst) {
+            // Idle (or fully-answered) connection during a drain: close.
+            // In-flight requests never reach here — they are executing
+            // inside handle_line above and flush their response first.
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // EOF — client gone (possibly mid-line; drop the partial).
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn failure_of(e: &LintraError) -> WireFailure {
+    // The wire form re-renders the `error[CODE] class:` prefix on the
+    // client side, so carry only the bare message + flattened context.
+    let mut message = e.message().to_string();
+    for frame in e.context_frames() {
+        message.push_str("; while ");
+        message.push_str(frame);
+    }
+    WireFailure { class: e.class(), code: e.code().to_string(), message }
+}
+
+fn reject(id: &str, class: ErrorClass, code: &str, message: impl Into<String>) -> LineOutcome {
+    LineOutcome::Respond(WireResponse::err(
+        id,
+        WireFailure { class, code: code.to_string(), message: message.into() },
+    ))
+}
+
+/// Decrements the in-flight gauge on scope exit, even on panic.
+struct Permit<'g> {
+    gauge: &'g AtomicUsize,
+}
+
+impl<'g> Permit<'g> {
+    fn try_acquire(gauge: &'g AtomicUsize, cap: usize) -> Option<Permit<'g>> {
+        gauge
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| (n < cap).then_some(n + 1))
+            .ok()
+            .map(|_| Permit { gauge })
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.gauge.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn handle_line(shared: &Arc<Shared>, line: &str) -> LineOutcome {
+    let req = match WireRequest::parse(line) {
+        Ok(req) => req,
+        Err(reason) => {
+            shared.stats.requests_failed.fetch_add(1, Ordering::SeqCst);
+            // Best-effort id echo so pipelined clients can correlate.
+            let id = Json::parse(line)
+                .ok()
+                .and_then(|doc| doc.get("id").and_then(Json::as_str).map(str::to_string))
+                .unwrap_or_default();
+            return reject(
+                &id,
+                ErrorClass::Validation,
+                "VAL-MALFORMED-REQUEST",
+                format!("malformed request: {reason}"),
+            );
+        }
+    };
+
+    // Chaos gate: reject typos always, reject injection on production
+    // servers, honor conn-drop by closing without a response.
+    if let Some(fault) = req.fault.as_deref() {
+        if !KNOWN_FAULTS.contains(&fault) {
+            shared.stats.requests_failed.fetch_add(1, Ordering::SeqCst);
+            return reject(
+                &req.id,
+                ErrorClass::Validation,
+                "VAL-CONFIG",
+                format!("unknown fault `{fault}`; known: {}", KNOWN_FAULTS.join(", ")),
+            );
+        }
+        if !shared.config.chaos {
+            shared.stats.requests_failed.fetch_add(1, Ordering::SeqCst);
+            return reject(
+                &req.id,
+                ErrorClass::Validation,
+                "VAL-CONFIG",
+                "fault injection is disabled on this server (start with chaos enabled)",
+            );
+        }
+        if fault == "conn-drop" {
+            return LineOutcome::Drop;
+        }
+    }
+
+    if shared.draining.load(Ordering::SeqCst) {
+        shared.stats.requests_failed.fetch_add(1, Ordering::SeqCst);
+        return reject(
+            &req.id,
+            ErrorClass::Resource,
+            "RES-SHUTDOWN",
+            "server is draining and no longer accepts work",
+        );
+    }
+
+    // Liveness probe: outside admission control and the breaker, so
+    // health checks keep answering under overload or an open circuit.
+    if matches!(req.op, WireOp::Ping) {
+        shared.stats.requests_ok.fetch_add(1, Ordering::SeqCst);
+        return LineOutcome::Respond(WireResponse::ok(
+            req.id,
+            Json::obj([("pong", Json::Bool(true))]),
+        ));
+    }
+
+    // Admission control: shed, never queue.
+    let Some(_permit) = Permit::try_acquire(&shared.inflight, shared.config.max_inflight) else {
+        shared.stats.shed.fetch_add(1, Ordering::SeqCst);
+        return reject(
+            &req.id,
+            ErrorClass::Resource,
+            "RES-OVERLOAD",
+            format!(
+                "admission queue full ({} requests in flight); shed — retry with backoff",
+                shared.config.max_inflight
+            ),
+        );
+    };
+
+    // Circuit breaker around the engine.
+    if let Err(retry_in) = shared.breaker.admit() {
+        shared.stats.requests_failed.fetch_add(1, Ordering::SeqCst);
+        return reject(
+            &req.id,
+            ErrorClass::Resource,
+            "RES-CIRCUIT-OPEN",
+            format!(
+                "circuit open after consecutive worker panics; retry in ~{} ms",
+                retry_in.as_millis().max(1)
+            ),
+        );
+    }
+
+    // Deadline fixed at admission; observed between sweep points.
+    let budget = req
+        .deadline_ms
+        .map(Duration::from_millis)
+        .unwrap_or(shared.config.default_deadline)
+        .min(shared.config.max_deadline);
+    let token = CancelToken::with_deadline(budget);
+
+    let outcome = execute(shared, &req, &token);
+    // Only engine worker panics feed the breaker; every other outcome
+    // (success, deadline, validation error) proves the engine itself is
+    // healthy and resets the streak.
+    if matches!(&outcome, Err(e) if e.code() == "RES-WORKER-PANIC") {
+        shared.breaker.record_failure();
+    } else {
+        shared.breaker.record_success();
+    }
+
+    match outcome {
+        Ok(result) => {
+            shared.stats.requests_ok.fetch_add(1, Ordering::SeqCst);
+            LineOutcome::Respond(WireResponse::ok(req.id, result))
+        }
+        Err(e) => {
+            shared.stats.requests_failed.fetch_add(1, Ordering::SeqCst);
+            LineOutcome::Respond(WireResponse::err(req.id, failure_of(&e)))
+        }
+    }
+}
+
+/// Injected misbehavior for one sweep point (chaos servers only).
+fn chaos_delay(fault: Option<&str>, point: usize, target: usize, cfg: &ServerConfig) {
+    match fault {
+        Some("slow-sweep") => thread::sleep(cfg.chaos_point_delay),
+        Some("slow-worker") if point == target => thread::sleep(cfg.stall_budget * 3),
+        Some("worker-panic") if point == target => {
+            panic!("injected worker panic (chaos fault, sweep point {point})")
+        }
+        _ => {}
+    }
+}
+
+/// Turns a retired token into the engine error the pool would produce,
+/// for code paths (like `tables`) that check the token between coarse
+/// stages rather than through `map_ctl`.
+fn token_error(reason: CancelReason, stage: usize) -> LintraError {
+    LintraError::from(match reason {
+        CancelReason::Cancelled => EngineError::Cancelled { task: stage },
+        CancelReason::DeadlineExpired => EngineError::DeadlineExpired { task: stage },
+    })
+}
+
+fn config_error(message: impl Into<String>) -> LintraError {
+    LintraError::new(ErrorClass::Validation, "VAL-CONFIG", message)
+}
+
+fn checked_v0(v0: f64) -> Result<f64, LintraError> {
+    if v0.is_finite() && v0 > 0.0 {
+        Ok(v0)
+    } else {
+        Err(config_error(format!("v0 must be a positive voltage, got {v0}")))
+    }
+}
+
+fn execute(shared: &Arc<Shared>, req: &WireRequest, token: &CancelToken) -> Result<Json, LintraError> {
+    let cfg = &shared.config;
+    let fault = req.fault.as_deref();
+    let ctl = SweepCtl { token: Some(token), stall_budget: Some(cfg.stall_budget) };
+    match &req.op {
+        WireOp::Ping => Ok(Json::obj([("pong", Json::Bool(true))])), // handled earlier; kept total
+        WireOp::Optimize { design, strategy, v0, processors } => {
+            let strategy = Strategy::parse(strategy).map_err(LintraError::from)?;
+            let d = by_name(design)
+                .ok_or_else(|| config_error(format!("unknown design `{design}`")))?;
+            let v0 = checked_v0(*v0)?;
+            let tech = TechConfig::dac96(v0);
+            let processors = *processors;
+            // One sweep point through the pool: panics become
+            // RES-WORKER-PANIC, stalls RES-WORKER-STALL, an
+            // already-expired deadline RES-DEADLINE — uniformly with the
+            // sweep paths.
+            let results = shared.pool.map_ctl(
+                vec![()],
+                |()| {
+                    chaos_delay(fault, 0, 0, cfg);
+                    match strategy {
+                        Strategy::Single => single::optimize(&d.system, &tech).map(|r| {
+                            Json::obj([
+                                ("strategy", Json::Str("single".to_string())),
+                                ("design", Json::Str(d.name.to_string())),
+                                ("unfolding", Json::Num(r.real.unfolding as f64)),
+                                ("speedup", Json::Num(r.real.speedup)),
+                                ("voltage", Json::Num(r.real.scaling.voltage)),
+                                ("power_reduction", Json::Num(r.real.power_reduction())),
+                                ("diagnostics", Json::Num(r.diagnostics.len() as f64)),
+                            ])
+                        }),
+                        Strategy::Multi => {
+                            let selection = match processors {
+                                Some(n) => ProcessorSelection::SearchBest { max: n },
+                                None => ProcessorSelection::StatesCount,
+                            };
+                            multi::optimize(&d.system, &tech, selection).map(|r| {
+                                Json::obj([
+                                    ("strategy", Json::Str("multi".to_string())),
+                                    ("design", Json::Str(d.name.to_string())),
+                                    ("processors", Json::Num(r.processors as f64)),
+                                    ("unfolding", Json::Num(r.unfolding as f64)),
+                                    ("speedup", Json::Num(r.speedup)),
+                                    ("voltage", Json::Num(r.scaling.voltage)),
+                                    ("power_reduction", Json::Num(r.power_reduction())),
+                                    ("diagnostics", Json::Num(r.diagnostics.len() as f64)),
+                                ])
+                            })
+                        }
+                        Strategy::Asic => {
+                            asic::optimize(&d.system, &tech, &asic::AsicConfig::default()).map(
+                                |r| {
+                                    Json::obj([
+                                        ("strategy", Json::Str("asic".to_string())),
+                                        ("design", Json::Str(d.name.to_string())),
+                                        ("unfolding", Json::Num(f64::from(r.unfolding))),
+                                        ("voltage", Json::Num(r.voltage)),
+                                        ("muls_removed", Json::Num(r.mcm.muls_removed as f64)),
+                                        ("improvement", Json::Num(r.improvement())),
+                                        ("diagnostics", Json::Num(r.diagnostics.len() as f64)),
+                                    ])
+                                },
+                            )
+                        }
+                    }
+                },
+                ctl,
+            );
+            let point = results
+                .into_iter()
+                .next()
+                .ok_or_else(|| config_error("engine returned no result for a one-point sweep"))?;
+            point.map_err(LintraError::from)?.map_err(LintraError::from)
+        }
+        WireOp::Sweep { design, max_i } => {
+            let d = by_name(design)
+                .ok_or_else(|| config_error(format!("unknown design `{design}`")))?;
+            // Chaos target: a deterministic mid-sweep point, so injected
+            // stalls/panics land after some healthy points completed.
+            let target = (*max_i as usize) / 2;
+            let points: Vec<u32> = (0..=*max_i).collect();
+            let results = shared.pool.map_ctl(
+                points,
+                |i| {
+                    chaos_delay(fault, i as usize, target, cfg);
+                    unfold(&d.system, i).map(|u| {
+                        let c = op_count(&u.system, TrivialityRule::ZeroOne);
+                        let n = f64::from(i + 1);
+                        (i, c.muls as f64 / n, c.adds as f64 / n)
+                    })
+                },
+                ctl,
+            );
+            let mut rows = Vec::with_capacity(results.len());
+            for point in results {
+                let (i, muls, adds) = point
+                    .map_err(LintraError::from)?
+                    .map_err(|e| LintraError::from(e).context(format!("sweeping {design}")))?;
+                rows.push(Json::Arr(vec![
+                    Json::Num(f64::from(i)),
+                    Json::Num(muls),
+                    Json::Num(adds),
+                ]));
+            }
+            Ok(Json::obj([
+                ("design", Json::Str(d.name.to_string())),
+                ("rows", Json::Arr(rows)),
+            ]))
+        }
+        WireOp::Tables { v0 } => {
+            let v0 = checked_v0(*v0)?;
+            // Tables run through the parallel engine internally; the
+            // deadline is observed between the three table stages.
+            let live = |stage: usize| match token.reason() {
+                Some(reason) => Err(token_error(reason, stage)),
+                None => Ok(()),
+            };
+            live(0)?;
+            let t2 = table2_rows_par(v0, &shared.pool)?;
+            live(1)?;
+            let t3 = table3_rows_par(v0, &shared.pool)?;
+            live(2)?;
+            let t4 = table4_rows_par(v0, &shared.pool)?;
+            Ok(Json::obj([
+                ("table2", Json::Str(render_table2(&t2, v0, false))),
+                ("table3", Json::Str(render_table3(&t3, v0))),
+                ("table4", Json::Str(render_table4(&t4, v0))),
+            ]))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// In-process config shaped for fast unit checks.
+    fn test_config() -> ServerConfig {
+        ServerConfig {
+            jobs: Some(2),
+            default_deadline: Duration::from_secs(5),
+            stall_budget: Duration::from_millis(200),
+            ..ServerConfig::default()
+        }
+    }
+
+    fn raw_round_trip(addr: SocketAddr, line: &str) -> String {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(line.as_bytes()).expect("write");
+        let mut buf = Vec::new();
+        let mut byte = [0u8; 1];
+        loop {
+            match s.read(&mut byte) {
+                Ok(0) => break,
+                Ok(_) if byte[0] == b'\n' => break,
+                Ok(_) => buf.push(byte[0]),
+                Err(e) => panic!("read: {e}"),
+            }
+        }
+        String::from_utf8(buf).expect("utf8 response")
+    }
+
+    #[test]
+    fn ping_round_trips_over_tcp() {
+        let handle = start(test_config()).expect("server starts");
+        let resp = raw_round_trip(handle.addr(), "{\"id\":\"p1\",\"op\":\"ping\"}\n");
+        let resp = WireResponse::parse(&resp).expect("valid response");
+        assert_eq!(resp.id, "p1");
+        let result = resp.outcome.expect("pong");
+        assert_eq!(result.get("pong"), Some(&Json::Bool(true)));
+        let stats = handle.shutdown();
+        assert_eq!(stats.requests_ok, 1);
+        assert_eq!(stats.connections, 1);
+    }
+
+    #[test]
+    fn zero_jobs_is_a_config_error() {
+        let err = start(ServerConfig { jobs: Some(0), ..ServerConfig::default() })
+            .expect_err("zero workers rejected");
+        assert_eq!(err.code(), "VAL-CONFIG");
+        assert_eq!(err.class(), ErrorClass::Validation);
+    }
+
+    #[test]
+    fn unknown_design_and_strategy_are_config_errors() {
+        let handle = start(test_config()).expect("server starts");
+        let resp = raw_round_trip(
+            handle.addr(),
+            "{\"id\":\"a\",\"op\":\"optimize\",\"design\":\"nonesuch\"}\n",
+        );
+        let resp = WireResponse::parse(&resp).expect("valid response");
+        let failure = resp.outcome.expect_err("unknown design fails");
+        assert_eq!(failure.code, "VAL-CONFIG");
+
+        let resp = raw_round_trip(
+            handle.addr(),
+            "{\"id\":\"b\",\"op\":\"optimize\",\"design\":\"chemical\",\"strategy\":\"dual\"}\n",
+        );
+        let resp = WireResponse::parse(&resp).expect("valid response");
+        let failure = resp.outcome.expect_err("unknown strategy fails");
+        assert_eq!(failure.code, "VAL-CONFIG");
+        assert!(failure.message.contains("single, multi, asic"), "{}", failure.message);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn fault_member_is_rejected_without_chaos_mode() {
+        let handle = start(test_config()).expect("server starts");
+        let resp = raw_round_trip(
+            handle.addr(),
+            "{\"id\":\"f\",\"op\":\"ping\",\"fault\":\"worker-panic\"}\n",
+        );
+        let resp = WireResponse::parse(&resp).expect("valid response");
+        let failure = resp.outcome.expect_err("fault injection disabled");
+        assert_eq!(failure.code, "VAL-CONFIG");
+        assert!(failure.message.contains("disabled"), "{}", failure.message);
+        handle.shutdown();
+    }
+}

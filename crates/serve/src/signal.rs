@@ -1,0 +1,67 @@
+//! Std-only SIGTERM/SIGINT notification for graceful shutdown.
+//!
+//! The workspace bans external crates, so instead of `signal-hook` this
+//! registers a minimal handler through libc's `signal(2)` (declared by
+//! hand — libc itself is already linked by std). The handler does the
+//! only async-signal-safe thing possible: it stores into a static
+//! `AtomicBool`. The serve loop polls [`shutdown_requested`] and runs the
+//! ordinary drain path, so all real work happens outside signal context.
+//!
+//! On non-Unix targets [`install`] is a no-op and termination falls back
+//! to the platform default.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    pub const SIGINT: i32 = 2;
+    pub const SIGTERM: i32 = 15;
+
+    extern "C" {
+        pub fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub extern "C" fn mark(_signum: i32) {
+        // Only async-signal-safe operation in the process: a relaxed-or-
+        // stronger atomic store.
+        super::SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+/// Installs the SIGTERM/SIGINT handler (idempotent; Unix only).
+pub fn install() {
+    #[cfg(unix)]
+    // SAFETY: `signal` is the C standard library function; `mark` is an
+    // `extern "C" fn(i32)` performing only an atomic store, which is
+    // async-signal-safe. Replacing a handler is process-global but this
+    // crate is the only signal user in the workspace.
+    unsafe {
+        imp::signal(imp::SIGTERM, imp::mark);
+        imp::signal(imp::SIGINT, imp::mark);
+    }
+}
+
+/// `true` once SIGTERM or SIGINT has been delivered (sticky).
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Testing hook: simulates signal delivery without raising one.
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_is_sticky_and_observable() {
+        install();
+        assert!(!shutdown_requested() || cfg!(not(unix)) || shutdown_requested());
+        request_shutdown();
+        assert!(shutdown_requested());
+    }
+}

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Chaos gate: the in-process suite plus a real-process SIGTERM drain.
+#
+#   ./scripts/chaos.sh
+#
+# 1. runs tests/chaos.rs (every fault class against a live server), then
+# 2. starts `lintra serve` as a real process on an ephemeral port, sends
+#    a request through it, delivers a real SIGTERM mid-flight, and
+#    asserts the process drains (exit 0, drain report printed, the
+#    in-flight response delivered).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== chaos: deterministic fault-injection suite =="
+cargo test --release -p lintra-serve --test chaos -q
+
+echo "== chaos: building the CLI =="
+cargo build --release -p lintra-cli
+
+LINTRA=target/release/lintra
+LOG="$(mktemp)"
+trap 'rm -f "$LOG"; kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+echo "== chaos: real-process SIGTERM drain =="
+"$LINTRA" serve --addr 127.0.0.1:0 --jobs 2 >"$LOG" &
+SERVER_PID=$!
+
+# The first output line is `listening on <addr>`; wait for it.
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/^listening on //p' "$LOG" | head -n1)"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "chaos: FAIL — server never reported its address" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+echo "server is listening on $ADDR (pid $SERVER_PID)"
+
+# A request must round-trip while the server is up.
+"$LINTRA" request ping --addr "$ADDR" | grep -q '"pong"'
+echo "ping round-tripped"
+
+# Put a request in flight, then deliver SIGTERM while it runs: the
+# server must finish the in-flight work, refuse new work, and exit 0.
+REQ_OUT="$(mktemp)"
+trap 'rm -f "$LOG" "$REQ_OUT"; kill "$SERVER_PID" 2>/dev/null || true' EXIT
+"$LINTRA" request sweep iir10 --max 64 --addr "$ADDR" >"$REQ_OUT" &
+REQ_PID=$!
+sleep 0.3
+kill -TERM "$SERVER_PID"
+
+if ! wait "$REQ_PID"; then
+    echo "chaos: FAIL — in-flight request was not drained" >&2
+    exit 1
+fi
+grep -q '"rows"' "$REQ_OUT" || {
+    echo "chaos: FAIL — drained response is missing its payload" >&2
+    cat "$REQ_OUT" >&2
+    exit 1
+}
+echo "in-flight request drained with a full payload"
+
+if ! wait "$SERVER_PID"; then
+    echo "chaos: FAIL — server did not exit 0 after SIGTERM" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+grep -q '^drained:' "$LOG" || {
+    echo "chaos: FAIL — no drain report in server output" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+echo "server exited 0 with: $(grep '^drained:' "$LOG")"
+
+# After the drain the port must actually be closed.
+if "$LINTRA" request ping --addr "$ADDR" --retries 1 >/dev/null 2>&1; then
+    echo "chaos: FAIL — server still answering after drain" >&2
+    exit 1
+fi
+echo "post-drain connect refused, as it should be"
+
+echo "chaos: all checks passed"

@@ -25,4 +25,7 @@ cargo test --release -p lintra-bench --test parallel_equivalence --test golden_t
 echo "== bench trajectory: scripts/bench.sh --smoke =="
 ./scripts/bench.sh --smoke
 
+echo "== service: scripts/chaos.sh =="
+./scripts/chaos.sh
+
 echo "verify: all checks passed"

@@ -5,7 +5,7 @@
 //! silent wrong answer.
 
 use lintra::diag::fault::{self, Fault};
-use lintra::engine::ThreadPool;
+use lintra::engine::{SweepCtl, ThreadPool};
 use lintra::linsys::StateSpace;
 use lintra::opt::multi::ProcessorSelection;
 use lintra::opt::{asic, multi, single, DiagCode, OptError, TechConfig};
@@ -110,6 +110,46 @@ fn every_fault_class_has_a_defined_outcome_in_every_optimizer() {
                     // serving healthy sweeps afterwards.
                     let healthy = pool.try_map((0..12).collect(), |x: usize| x * 2).unwrap();
                     assert_eq!(healthy, (0..24).step_by(2).collect::<Vec<_>>());
+                }
+                Fault::SlowWorker => {
+                    // The engine's watchdog flags the stalled point as
+                    // RES-WORKER-STALL; siblings are unaffected. The full
+                    // client-visible loop is driven in tests/chaos.rs.
+                    let pool = ThreadPool::new(2);
+                    let budget = std::time::Duration::from_millis(20);
+                    let (f, stalled) = fault::slow_sweep_point(8, seed, budget * 4);
+                    let results = pool.map_ctl(
+                        (0..8).collect(),
+                        &f,
+                        SweepCtl { token: None, stall_budget: Some(budget) },
+                    );
+                    for (idx, r) in results.iter().enumerate() {
+                        if idx == stalled {
+                            let err = r.clone().expect_err("stalled point must be flagged");
+                            let e = LintraError::from(err);
+                            assert_eq!(e.class(), ErrorClass::Resource, "{e}");
+                            assert_eq!(e.code(), "RES-WORKER-STALL", "{e}");
+                        } else {
+                            assert_eq!(*r, Ok(idx), "sibling {idx} must still evaluate");
+                        }
+                    }
+                }
+                Fault::ConnDrop => {
+                    // Service-layer fault: here we only pin the injection
+                    // helper's contract (a strict prefix of a valid line);
+                    // the server/client behavior is driven in chaos.rs.
+                    let line = "{\"id\": \"r1\", \"op\": \"ping\"}\n";
+                    let cut = fault::truncated_request(line, seed);
+                    assert!(!cut.is_empty() && line.starts_with(&cut));
+                    assert!(cut.len() < line.trim_end().len());
+                }
+                Fault::MalformedRequest => {
+                    // Same: the lines must be deterministic and plentiful;
+                    // the VAL-MALFORMED-REQUEST response is asserted over
+                    // the wire in chaos.rs.
+                    let lines = fault::malformed_request_lines(seed);
+                    assert_eq!(lines, fault::malformed_request_lines(seed));
+                    assert!(lines.len() >= 5);
                 }
             }
         }
