@@ -24,8 +24,11 @@ fn ablation_report() {
     let mut naive_total = 0usize;
     let mut shared_total = 0usize;
     for j in 0..d.system.num_states() {
-        let q: Vec<i64> =
-            hf.state_column_constants(j).iter().map(|&c| lintra::mcm::quantize(c, 12)).collect();
+        let q: Vec<i64> = hf
+            .state_column_constants(j)
+            .iter()
+            .map(|&c| lintra::mcm::quantize(c, 12))
+            .collect();
         if q.is_empty() {
             continue;
         }
@@ -48,7 +51,11 @@ fn ablation_report() {
     // (c) balanced tree vs chain: critical path of the base design. A
     // chain association pays one sequential add per term on the widest
     // row; the widest row of [A|B] or [C|D] has up to R + P terms.
-    let t = OpTiming { t_mul: 2.0, t_add: 1.0, t_shift: 0.0 };
+    let t = OpTiming {
+        t_mul: 2.0,
+        t_add: 1.0,
+        t_shift: 0.0,
+    };
     let g = build::from_state_space(&d.system).expect("valid graph");
     let balanced_cp = g.critical_path(&t);
     let widest = (d.system.num_states() + d.system.num_inputs()) as f64;

@@ -10,5 +10,8 @@ fn main() {
     for (v, d) in series.iter().step_by(8) {
         println!("  {v:.2} V -> {d:8.2}x");
     }
-    bench("fig1/delay_curve", || black_box(lintra_bench::fig1_series()));
+    bench(
+        "fig1/delay_curve",
+        || black_box(lintra_bench::fig1_series()),
+    );
 }

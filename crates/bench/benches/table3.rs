@@ -35,7 +35,11 @@ fn main() {
     for name in ["chemical", "steam"] {
         let d = by_name(name).expect("benchmark exists");
         bench(&format!("table3/optimize_multi/{name}"), || {
-            black_box(multi::optimize(&d.system, &tech, ProcessorSelection::StatesCount))
+            black_box(multi::optimize(
+                &d.system,
+                &tech,
+                ProcessorSelection::StatesCount,
+            ))
         });
     }
 }

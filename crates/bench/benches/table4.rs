@@ -33,7 +33,10 @@ fn main() {
     // small unfolding) so the bench finishes quickly; the full-depth
     // numbers are the printed table above.
     let tech = TechConfig::dac96(2.0);
-    let cfg = asic::AsicConfig { max_unfolding: 15, ..asic::AsicConfig::default() };
+    let cfg = asic::AsicConfig {
+        max_unfolding: 15,
+        ..asic::AsicConfig::default()
+    };
     for name in ["chemical", "iir6"] {
         let d = by_name(name).expect("benchmark exists");
         bench(&format!("table4/asic_flow_shallow/{name}"), || {

@@ -12,11 +12,16 @@ fn main() {
     let d = by_name("iir5").expect("benchmark exists");
     println!("\n=== Ops/sample vs unfolding (iir5) ===");
     for (i, m, a) in lintra_bench::unfold_sweep(&d, 12).expect("iir5 is stable") {
-        println!("  i={i:>2}: {:.2} ops/sample ({m:.2} mul + {a:.2} add)", m + a);
+        println!(
+            "  i={i:>2}: {:.2} ops/sample ({m:.2} mul + {a:.2} add)",
+            m + a
+        );
     }
 
     for i in [1u32, 4, 8, 16] {
-        bench(&format!("unfold/transform/{i}"), || black_box(unfold(&d.system, i)));
+        bench(&format!("unfold/transform/{i}"), || {
+            black_box(unfold(&d.system, i))
+        });
     }
 
     let dense = dense_synthetic(1, 1, 8);

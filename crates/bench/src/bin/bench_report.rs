@@ -29,7 +29,10 @@ use lintra_bench::{
 const SWEEP_MAX_I: u32 = 12;
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 /// Times one table: sequential rows, engine rows, bit-identity check.
@@ -52,18 +55,25 @@ fn run_table<R: PartialEq + std::fmt::Debug>(
         seq_s / par_s,
         cache.hit_rate() * 100.0
     );
-    Ok(Entry { name, v0, rows: seq_rows.len(), seq_s, par_s, cache })
+    Ok(Entry {
+        name,
+        v0,
+        rows: seq_rows.len(),
+        seq_s,
+        par_s,
+        cache,
+    })
 }
 
 /// The sweep workload: per-sample op counts for every suite design at
 /// unfoldings `0..=SWEEP_MAX_I`, fanned out one design per sweep point.
-fn sweep_entry(
-    pool: &ThreadPool,
-    reps: u32,
-) -> Result<Entry, Box<dyn std::error::Error>> {
+fn sweep_entry(pool: &ThreadPool, reps: u32) -> Result<Entry, Box<dyn std::error::Error>> {
     type SweepRows = Vec<Vec<(u32, f64, f64)>>;
     let seq = || -> Result<SweepRows, LintraError> {
-        suite().iter().map(|d| unfold_sweep(d, SWEEP_MAX_I)).collect()
+        suite()
+            .iter()
+            .map(|d| unfold_sweep(d, SWEEP_MAX_I))
+            .collect()
     };
     let eng = || -> Result<(SweepRows, CacheStats), LintraError> {
         let results = pool.map(suite(), |d| {
@@ -138,13 +148,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let tables = vec![
-        run_table("table2", v0, reps, || table2_rows(v0), || table2_rows_engine(v0, &pool))?,
-        run_table("table3", v0, reps, || table3_rows(v0), || table3_rows_engine(v0, &pool))?,
-        run_table("table4", v0, reps, || table4_rows(v0), || table4_rows_engine(v0, &pool))?,
+        run_table(
+            "table2",
+            v0,
+            reps,
+            || table2_rows(v0),
+            || table2_rows_engine(v0, &pool),
+        )?,
+        run_table(
+            "table3",
+            v0,
+            reps,
+            || table3_rows(v0),
+            || table3_rows_engine(v0, &pool),
+        )?,
+        run_table(
+            "table4",
+            v0,
+            reps,
+            || table4_rows(v0),
+            || table4_rows_engine(v0, &pool),
+        )?,
     ];
     let sweeps = vec![sweep_entry(&pool, reps)?];
 
-    let meta = RunMeta { git_sha: git_sha(), generated_utc: now_utc() };
+    let meta = RunMeta {
+        git_sha: git_sha(),
+        generated_utc: now_utc(),
+    };
     let doc = to_json(&meta, cores, pool.jobs(), reps, &tables, &sweeps);
     let text = doc.render();
     // Re-parse what will land on disk and gate on the schema: a report the
@@ -158,10 +189,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // line per run, append-only, so successive PRs leave a plottable
     // speedup history instead of overwriting each other.
     let line = trajectory_line(&reparsed)?;
-    let mut log = std::fs::OpenOptions::new().create(true).append(true).open(&trajectory)?;
+    let mut log = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&trajectory)?;
     use std::io::Write as _;
     writeln!(log, "{line}")?;
-    println!("appended run {} @ {} to {trajectory}", meta.git_sha, meta.generated_utc);
+    println!(
+        "appended run {} @ {} to {trajectory}",
+        meta.git_sha, meta.generated_utc
+    );
     Ok(())
 }
 

@@ -9,7 +9,11 @@ use lintra::sched::latency::{batch_latency, BatchArrival};
 use lintra::suite::suite;
 
 fn main() -> Result<(), lintra::LintraError> {
-    let t = OpTiming { t_mul: 2.0, t_add: 1.0, t_shift: 0.0 };
+    let t = OpTiming {
+        t_mul: 2.0,
+        t_add: 1.0,
+        t_shift: 0.0,
+    };
     let period = 20.0; // sample period in gate delays
     println!("# Latency of the unfolded computation at each design's i_opt");
     println!("# (sample period {period} gate delays, dataflow limit)");

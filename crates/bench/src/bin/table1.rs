@@ -2,7 +2,10 @@
 
 fn main() {
     println!("Table 1: Description of the Example Suite");
-    println!("{:<10} {:<48} {:>2} {:>2} {:>3}", "Name", "Description", "P", "Q", "R");
+    println!(
+        "{:<10} {:<48} {:>2} {:>2} {:>3}",
+        "Name", "Description", "P", "Q", "R"
+    );
     for row in lintra_bench::table1_rows() {
         println!(
             "{:<10} {:<48} {:>2} {:>2} {:>3}",

@@ -32,7 +32,11 @@ fn main() -> Result<(), lintra::LintraError> {
     let sweeps: Vec<Vec<(u32, f64, f64)>> = match jobs {
         Some(n) => {
             let pool = ThreadPool::new(n);
-            let items: Vec<_> = designs.iter().cloned().zip(depths.iter().copied()).collect();
+            let items: Vec<_> = designs
+                .iter()
+                .cloned()
+                .zip(depths.iter().copied())
+                .collect();
             let results = pool.map(items, |(d, max_i)| {
                 let mut cache = SweepCache::new(&d.system);
                 unfold_sweep_cached(max_i, &mut cache)

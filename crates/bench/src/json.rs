@@ -177,7 +177,10 @@ impl Json {
         let value = parse_value(bytes, &mut pos)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
-            return Err(JsonError { pos, message: "trailing characters after document" });
+            return Err(JsonError {
+                pos,
+                message: "trailing characters after document",
+            });
         }
         Ok(value)
     }
@@ -236,14 +239,20 @@ fn expect(bytes: &[u8], pos: &mut usize, token: &str) -> Result<(), JsonError> {
         *pos += token.len();
         Ok(())
     } else {
-        Err(JsonError { pos: *pos, message: "unexpected token" })
+        Err(JsonError {
+            pos: *pos,
+            message: "unexpected token",
+        })
     }
 }
 
 fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
-        None => Err(JsonError { pos: *pos, message: "unexpected end of input" }),
+        None => Err(JsonError {
+            pos: *pos,
+            message: "unexpected end of input",
+        }),
         Some(b'n') => expect(bytes, pos, "null").map(|()| Json::Null),
         Some(b't') => expect(bytes, pos, "true").map(|()| Json::Bool(true)),
         Some(b'f') => expect(bytes, pos, "false").map(|()| Json::Bool(false)),
@@ -265,7 +274,12 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
                         *pos += 1;
                         return Ok(Json::Arr(items));
                     }
-                    _ => return Err(JsonError { pos: *pos, message: "expected ',' or ']'" }),
+                    _ => {
+                        return Err(JsonError {
+                            pos: *pos,
+                            message: "expected ',' or ']'",
+                        })
+                    }
                 }
             }
         }
@@ -282,7 +296,10 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
                 let key = parse_string(bytes, pos)?;
                 skip_ws(bytes, pos);
                 if bytes.get(*pos) != Some(&b':') {
-                    return Err(JsonError { pos: *pos, message: "expected ':'" });
+                    return Err(JsonError {
+                        pos: *pos,
+                        message: "expected ':'",
+                    });
                 }
                 *pos += 1;
                 let value = parse_value(bytes, pos)?;
@@ -294,7 +311,12 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
                         *pos += 1;
                         return Ok(Json::Obj(members));
                     }
-                    _ => return Err(JsonError { pos: *pos, message: "expected ',' or '}'" }),
+                    _ => {
+                        return Err(JsonError {
+                            pos: *pos,
+                            message: "expected ',' or '}'",
+                        })
+                    }
                 }
             }
         }
@@ -304,13 +326,21 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
 
 fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
     if bytes.get(*pos) != Some(&b'"') {
-        return Err(JsonError { pos: *pos, message: "expected string" });
+        return Err(JsonError {
+            pos: *pos,
+            message: "expected string",
+        });
     }
     *pos += 1;
     let mut out = String::new();
     loop {
         match bytes.get(*pos) {
-            None => return Err(JsonError { pos: *pos, message: "unterminated string" }),
+            None => {
+                return Err(JsonError {
+                    pos: *pos,
+                    message: "unterminated string",
+                })
+            }
             Some(b'"') => {
                 *pos += 1;
                 return Ok(out);
@@ -332,11 +362,19 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                             .and_then(|h| std::str::from_utf8(h).ok())
                             .and_then(|h| u32::from_str_radix(h, 16).ok())
                             .and_then(char::from_u32)
-                            .ok_or(JsonError { pos: *pos, message: "bad \\u escape" })?;
+                            .ok_or(JsonError {
+                                pos: *pos,
+                                message: "bad \\u escape",
+                            })?;
                         out.push(hex);
                         *pos += 4;
                     }
-                    _ => return Err(JsonError { pos: *pos, message: "bad escape" }),
+                    _ => {
+                        return Err(JsonError {
+                            pos: *pos,
+                            message: "bad escape",
+                        })
+                    }
                 }
                 *pos += 1;
             }
@@ -367,7 +405,10 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
         .ok()
         .and_then(|s| s.parse::<f64>().ok())
         .map(Json::Num)
-        .ok_or(JsonError { pos: start, message: "invalid number" })
+        .ok_or(JsonError {
+            pos: start,
+            message: "invalid number",
+        })
 }
 
 #[cfg(test)]
@@ -415,7 +456,15 @@ mod tests {
 
     #[test]
     fn rejects_malformed_documents() {
-        for bad in ["", "{", "[1,", "{\"a\" 1}", "nulle", "{} {}", "\"unterminated"] {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "nulle",
+            "{} {}",
+            "\"unterminated",
+        ] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
         }
     }
@@ -436,7 +485,11 @@ mod tests {
     #[test]
     fn parses_nested_accessors() {
         let v = Json::parse(r#"{"a": {"b": [1, 2.5, "x", true, null]}}"#).unwrap();
-        let arr = v.get("a").and_then(|a| a.get("b")).and_then(Json::as_arr).unwrap();
+        let arr = v
+            .get("a")
+            .and_then(|a| a.get("b"))
+            .and_then(Json::as_arr)
+            .unwrap();
         assert_eq!(arr[0].as_num(), Some(1.0));
         assert_eq!(arr[2].as_str(), Some("x"));
         assert_eq!(arr[3], Json::Bool(true));

@@ -49,7 +49,13 @@ pub fn table1_rows() -> Vec<Table1Row> {
         .into_iter()
         .map(|d| {
             let (p, q, r) = d.dims();
-            Table1Row { name: d.name, description: d.description, p, q, r }
+            Table1Row {
+                name: d.name,
+                description: d.description,
+                p,
+                q,
+                r,
+            }
         })
         .collect()
 }
@@ -196,8 +202,8 @@ where
     let names: Vec<&'static str> = designs.iter().map(|d| d.name).collect();
     let results = pool.map(designs, |d| {
         let mut cache = SweepCache::new(&d.system);
-        let row = per_design(&d, &mut cache)
-            .map_err(|e| e.context(format!("design {}", d.name)))?;
+        let row =
+            per_design(&d, &mut cache).map_err(|e| e.context(format!("design {}", d.name)))?;
         Ok::<_, LintraError>((row, cache.stats()))
     });
     let mut rows = Vec::with_capacity(results.len());

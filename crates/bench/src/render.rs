@@ -13,9 +13,15 @@ use std::fmt::Write as _;
 /// `table2` binary prints it.
 pub fn render_table2(rows: &[Table2Row], v0: f64, freq_only: bool) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table 2: Power Reduction in a Single Processor (initial V = {v0})");
+    let _ = writeln!(
+        out,
+        "Table 2: Power Reduction in a Single Processor (initial V = {v0})"
+    );
     if freq_only {
-        let _ = writeln!(out, "(frequency-reduction/shutdown only — no voltage scaling)");
+        let _ = writeln!(
+            out,
+            "(frequency-reduction/shutdown only — no voltage scaling)"
+        );
     }
     let _ = writeln!(
         out,
@@ -59,7 +65,11 @@ pub fn render_table2(rows: &[Table2Row], v0: f64, freq_only: bool) -> String {
         );
         reductions.push(pick(e));
     }
-    let _ = writeln!(out, "\naverage power reduction (real coefficients): x{:.2}", mean(&reductions));
+    let _ = writeln!(
+        out,
+        "\naverage power reduction (real coefficients): x{:.2}",
+        mean(&reductions)
+    );
     out
 }
 

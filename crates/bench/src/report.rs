@@ -60,9 +60,9 @@ fn is_utc_timestamp(s: &str) -> bool {
         && b[13] == b':'
         && b[16] == b':'
         && b[19] == b'Z'
-        && b.iter().enumerate().all(|(i, &c)| {
-            matches!(i, 4 | 7 | 10 | 13 | 16 | 19) || c.is_ascii_digit()
-        })
+        && b.iter()
+            .enumerate()
+            .all(|(i, &c)| matches!(i, 4 | 7 | 10 | 13 | 16 | 19) || c.is_ascii_digit())
 }
 
 /// One timed workload (a paper table or a sweep).
@@ -122,9 +122,7 @@ pub fn to_json(
     tables: &[Entry],
     sweeps: &[Entry],
 ) -> Json {
-    let total = |pick: fn(&Entry) -> f64| {
-        tables.iter().chain(sweeps.iter()).map(pick).sum::<f64>()
-    };
+    let total = |pick: fn(&Entry) -> f64| tables.iter().chain(sweeps.iter()).map(pick).sum::<f64>();
     let (seq, par) = (total(|e| e.seq_s), total(|e| e.par_s));
     Json::obj([
         ("schema", Json::Str(SCHEMA.to_string())),
@@ -133,14 +131,23 @@ pub fn to_json(
         ("cores", Json::Num(cores as f64)),
         ("jobs", Json::Num(jobs as f64)),
         ("reps", Json::Num(f64::from(reps))),
-        ("tables", Json::Arr(tables.iter().map(Entry::to_json).collect())),
-        ("sweeps", Json::Arr(sweeps.iter().map(Entry::to_json).collect())),
+        (
+            "tables",
+            Json::Arr(tables.iter().map(Entry::to_json).collect()),
+        ),
+        (
+            "sweeps",
+            Json::Arr(sweeps.iter().map(Entry::to_json).collect()),
+        ),
         (
             "totals",
             Json::obj([
                 ("seq_s", Json::Num(seq)),
                 ("par_s", Json::Num(par)),
-                ("speedup", Json::Num(if par > 0.0 { seq / par } else { f64::NAN })),
+                (
+                    "speedup",
+                    Json::Num(if par > 0.0 { seq / par } else { f64::NAN }),
+                ),
             ]),
         ),
     ])
@@ -238,7 +245,9 @@ pub fn validate(doc: &Json) -> Result<(), String> {
                     return Err(format!("{name}: {key:?} must be non-negative, got {v}"));
                 }
             }
-            let cache = e.get("cache").ok_or_else(|| format!("{name}: missing \"cache\""))?;
+            let cache = e
+                .get("cache")
+                .ok_or_else(|| format!("{name}: missing \"cache\""))?;
             for key in ["hits", "misses", "hit_rate"] {
                 cache
                     .get(key)
@@ -268,12 +277,19 @@ mod tests {
             rows: 8,
             seq_s: 0.2,
             par_s: 0.1,
-            cache: CacheStats { hits: 30, misses: 10 },
+            cache: CacheStats {
+                hits: 30,
+                misses: 10,
+            },
         }
     }
 
     fn sample_doc() -> Json {
-        let tables = [sample_entry("table2"), sample_entry("table3"), sample_entry("table4")];
+        let tables = [
+            sample_entry("table2"),
+            sample_entry("table3"),
+            sample_entry("table4"),
+        ];
         let sweeps = [sample_entry("unfold_sweep")];
         let meta = RunMeta {
             git_sha: "abc1234".to_string(),
@@ -299,7 +315,13 @@ mod tests {
         assert!((totals.get("speedup").unwrap().as_num().unwrap() - 2.0).abs() < 1e-12);
         let t0 = &doc.get("tables").unwrap().as_arr().unwrap()[0];
         assert!((t0.get("speedup").unwrap().as_num().unwrap() - 2.0).abs() < 1e-12);
-        let rate = t0.get("cache").unwrap().get("hit_rate").unwrap().as_num().unwrap();
+        let rate = t0
+            .get("cache")
+            .unwrap()
+            .get("hit_rate")
+            .unwrap()
+            .as_num()
+            .unwrap();
         assert!((rate - 0.75).abs() < 1e-12);
     }
 
@@ -341,7 +363,10 @@ mod tests {
         if let Json::Obj(m) = &mut doc {
             m.insert("generated_utc".into(), Json::Str("yesterday".into()));
         }
-        assert!(validate(&doc).is_err(), "non-ISO timestamp must be rejected");
+        assert!(
+            validate(&doc).is_err(),
+            "non-ISO timestamp must be rejected"
+        );
     }
 
     #[test]
@@ -361,9 +386,15 @@ mod tests {
         let line = trajectory_line(&doc).expect("valid report summarizes");
         assert!(!line.contains('\n'));
         let parsed = Json::parse(&line).expect("line is JSON");
-        assert_eq!(parsed.get("git_sha").and_then(Json::as_str), Some("abc1234"));
+        assert_eq!(
+            parsed.get("git_sha").and_then(Json::as_str),
+            Some("abc1234")
+        );
         assert_eq!(parsed.get("schema").and_then(Json::as_str), Some(SCHEMA));
         assert!((parsed.get("speedup").and_then(Json::as_num).unwrap() - 2.0).abs() < 1e-12);
-        assert!(trajectory_line(&Json::Null).is_err(), "invalid reports are refused");
+        assert!(
+            trajectory_line(&Json::Null).is_err(),
+            "invalid reports are refused"
+        );
     }
 }

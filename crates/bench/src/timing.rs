@@ -37,7 +37,10 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
         }
         best = best.min(t.elapsed().as_secs_f64() / iters as f64);
     }
-    println!("  bench {name:<40} {:>12}/iter  ({iters} iters x {SAMPLES})", pretty(best));
+    println!(
+        "  bench {name:<40} {:>12}/iter  ({iters} iters x {SAMPLES})",
+        pretty(best)
+    );
 }
 
 /// Wall-clock time for `reps` runs of `f`, as the best (minimum) seconds

@@ -91,7 +91,12 @@ pub struct WireRequest {
 impl WireRequest {
     /// A request with no deadline override and no fault.
     pub fn new(id: impl Into<String>, op: WireOp) -> WireRequest {
-        WireRequest { id: id.into(), op, deadline_ms: None, fault: None }
+        WireRequest {
+            id: id.into(),
+            op,
+            deadline_ms: None,
+            fault: None,
+        }
     }
 
     fn to_json(&self) -> Json {
@@ -101,7 +106,12 @@ impl WireRequest {
         ];
         match &self.op {
             WireOp::Ping => {}
-            WireOp::Optimize { design, strategy, v0, processors } => {
+            WireOp::Optimize {
+                design,
+                strategy,
+                v0,
+                processors,
+            } => {
                 pairs.push(("design", Json::Str(design.clone())));
                 pairs.push(("strategy", Json::Str(strategy.clone())));
                 pairs.push(("v0", Json::Num(*v0)));
@@ -149,7 +159,10 @@ impl WireRequest {
             .and_then(Json::as_str)
             .ok_or("request needs a string \"id\"")?
             .to_string();
-        let op_name = doc.get("op").and_then(Json::as_str).ok_or("request needs a string \"op\"")?;
+        let op_name = doc
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("request needs a string \"op\"")?;
         let design = || -> Result<String, String> {
             Ok(doc
                 .get("design")
@@ -166,7 +179,11 @@ impl WireRequest {
             "optimize" => {
                 let strategy = doc
                     .get("strategy")
-                    .map(|s| s.as_str().map(str::to_string).ok_or("\"strategy\" must be a string"))
+                    .map(|s| {
+                        s.as_str()
+                            .map(str::to_string)
+                            .ok_or("\"strategy\" must be a string")
+                    })
                     .transpose()?
                     .unwrap_or_else(|| "single".to_string());
                 let processors = doc
@@ -178,7 +195,12 @@ impl WireRequest {
                             .ok_or("\"processors\" must be a non-negative integer")
                     })
                     .transpose()?;
-                WireOp::Optimize { design: design()?, strategy, v0, processors }
+                WireOp::Optimize {
+                    design: design()?,
+                    strategy,
+                    v0,
+                    processors,
+                }
             }
             "sweep" => {
                 let max_i = match doc.get("max_i") {
@@ -189,7 +211,10 @@ impl WireRequest {
                         .map(|n| n as u32)
                         .ok_or(format!("\"max_i\" must be an integer in 0..={MAX_SWEEP_I}"))?,
                 };
-                WireOp::Sweep { design: design()?, max_i }
+                WireOp::Sweep {
+                    design: design()?,
+                    max_i,
+                }
             }
             "tables" => WireOp::Tables { v0 },
             other => return Err(format!("unknown op \"{other}\"")),
@@ -204,10 +229,17 @@ impl WireRequest {
             })
             .transpose()?;
         let fault = doc.get("fault").map(|f| {
-            f.as_str().map(str::to_string).ok_or("\"fault\" must be a string")
+            f.as_str()
+                .map(str::to_string)
+                .ok_or("\"fault\" must be a string")
         });
         let fault = fault.transpose()?;
-        Ok(WireRequest { id, op, deadline_ms, fault })
+        Ok(WireRequest {
+            id,
+            op,
+            deadline_ms,
+            fault,
+        })
     }
 }
 
@@ -232,7 +264,13 @@ impl WireFailure {
 
 impl std::fmt::Display for WireFailure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "error[{}] {}: {}", self.code, self.class.label(), self.message)
+        write!(
+            f,
+            "error[{}] {}: {}",
+            self.code,
+            self.class.label(),
+            self.message
+        )
     }
 }
 
@@ -249,12 +287,18 @@ pub struct WireResponse {
 impl WireResponse {
     /// A success response.
     pub fn ok(id: impl Into<String>, result: Json) -> WireResponse {
-        WireResponse { id: id.into(), outcome: Ok(result) }
+        WireResponse {
+            id: id.into(),
+            outcome: Ok(result),
+        }
     }
 
     /// A failure response.
     pub fn err(id: impl Into<String>, failure: WireFailure) -> WireResponse {
-        WireResponse { id: id.into(), outcome: Err(failure) }
+        WireResponse {
+            id: id.into(),
+            outcome: Err(failure),
+        }
     }
 
     /// Renders the one-line wire form, newline included.
@@ -299,13 +343,21 @@ impl WireResponse {
             .to_string();
         match doc.get("ok") {
             Some(Json::Bool(true)) => {
-                let result = doc.get("result").cloned().ok_or("ok response needs \"result\"")?;
-                Ok(WireResponse { id, outcome: Ok(result) })
+                let result = doc
+                    .get("result")
+                    .cloned()
+                    .ok_or("ok response needs \"result\"")?;
+                Ok(WireResponse {
+                    id,
+                    outcome: Ok(result),
+                })
             }
             Some(Json::Bool(false)) => {
                 let e = doc.get("error").ok_or("error response needs \"error\"")?;
-                let class_label =
-                    e.get("class").and_then(Json::as_str).ok_or("error needs a \"class\"")?;
+                let class_label = e
+                    .get("class")
+                    .and_then(Json::as_str)
+                    .ok_or("error needs a \"class\"")?;
                 let class = ErrorClass::from_label(class_label)
                     .ok_or_else(|| format!("unknown error class \"{class_label}\""))?;
                 let code = e
@@ -318,7 +370,14 @@ impl WireResponse {
                     .and_then(Json::as_str)
                     .unwrap_or_default()
                     .to_string();
-                Ok(WireResponse { id, outcome: Err(WireFailure { class, code, message }) })
+                Ok(WireResponse {
+                    id,
+                    outcome: Err(WireFailure {
+                        class,
+                        code,
+                        message,
+                    }),
+                })
             }
             _ => Err("response needs a boolean \"ok\"".to_string()),
         }
@@ -346,7 +405,10 @@ mod tests {
             },
             WireRequest {
                 id: "r3".into(),
-                op: WireOp::Sweep { design: "iir5".into(), max_i: 12 },
+                op: WireOp::Sweep {
+                    design: "iir5".into(),
+                    max_i: 12,
+                },
                 deadline_ms: None,
                 fault: Some("slow-worker".into()),
             },
@@ -380,9 +442,15 @@ mod tests {
     #[test]
     fn malformed_requests_are_rejected_with_reasons() {
         for bad in lintra::diag::fault::malformed_request_lines(7) {
-            assert!(WireRequest::parse(&bad).is_err(), "{bad:?} should be rejected");
+            assert!(
+                WireRequest::parse(&bad).is_err(),
+                "{bad:?} should be rejected"
+            );
         }
-        assert!(WireRequest::parse("{\"id\":\"x\",\"op\":\"sweep\"}").is_err(), "missing design");
+        assert!(
+            WireRequest::parse("{\"id\":\"x\",\"op\":\"sweep\"}").is_err(),
+            "missing design"
+        );
         assert!(
             WireRequest::parse("{\"id\":\"x\",\"op\":\"sweep\",\"design\":\"iir5\",\"max_i\":1e9}")
                 .is_err(),
@@ -396,10 +464,15 @@ mod tests {
 
     #[test]
     fn optimize_defaults_mirror_the_cli() {
-        let req =
-            WireRequest::parse("{\"id\":\"x\",\"op\":\"optimize\",\"design\":\"chemical\"}")
-                .unwrap();
-        let WireOp::Optimize { strategy, v0, processors, .. } = req.op else {
+        let req = WireRequest::parse("{\"id\":\"x\",\"op\":\"optimize\",\"design\":\"chemical\"}")
+            .unwrap();
+        let WireOp::Optimize {
+            strategy,
+            v0,
+            processors,
+            ..
+        } = req.op
+        else {
             panic!("wrong op");
         };
         assert_eq!(strategy, "single");
@@ -410,7 +483,11 @@ mod tests {
     #[test]
     fn failure_exit_codes_match_the_class_table() {
         for class in ErrorClass::all() {
-            let f = WireFailure { class, code: "X-TEST".into(), message: String::new() };
+            let f = WireFailure {
+                class,
+                code: "X-TEST".into(),
+                message: String::new(),
+            };
             assert_eq!(f.exit_code(), class.exit_code());
         }
     }

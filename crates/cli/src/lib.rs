@@ -10,7 +10,9 @@ use lintra::suite::{by_name, suite, Design};
 use lintra::{ErrorClass, LintraError};
 use lintra_bench::render::{render_table2, render_table3, render_table4};
 use lintra_bench::wire::{WireFailure, WireOp, WireRequest};
-use lintra_bench::{table2_rows, table2_rows_par, table3_rows, table3_rows_par, table4_rows, table4_rows_par};
+use lintra_bench::{
+    table2_rows, table2_rows_par, table3_rows, table3_rows_par, table4_rows, table4_rows_par,
+};
 use lintra_serve::{signal, Client, RetryPolicy, ServerConfig};
 use std::fmt;
 use std::io::Write;
@@ -95,13 +97,18 @@ fn usage(msg: impl Into<String>) -> CliError {
 
 /// Looks up a flag's value in `args` (e.g. `--v0 3.3`).
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(|s| s.as_str())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
 }
 
 fn parse_f64(args: &[String], name: &str, default: f64) -> Result<f64, CliError> {
     match flag_value(args, name) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| usage(format!("{name} expects a number, got `{v}`"))),
+        Some(v) => v
+            .parse()
+            .map_err(|_| usage(format!("{name} expects a number, got `{v}`"))),
     }
 }
 
@@ -131,7 +138,10 @@ fn design_arg(args: &[String]) -> Result<Design, CliError> {
         .ok_or_else(|| usage("expected a design name"))?;
     by_name(name).ok_or_else(|| {
         let names: Vec<&str> = suite().iter().map(|d| d.name).collect();
-        usage(format!("unknown design `{name}`; available: {}", names.join(", ")))
+        usage(format!(
+            "unknown design `{name}`; available: {}",
+            names.join(", ")
+        ))
     })
 }
 
@@ -216,8 +226,8 @@ fn cmd_optimize(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     let tech = TechConfig::dac96(v0);
     // Strategy names are validated centrally: an unknown one is a
     // `VAL-CONFIG` classified diagnostic (exit code 2), not ad-hoc text.
-    let strategy =
-        Strategy::parse(flag_value(args, "--strategy").unwrap_or("single")).map_err(LintraError::from)?;
+    let strategy = Strategy::parse(flag_value(args, "--strategy").unwrap_or("single"))
+        .map_err(LintraError::from)?;
     match strategy {
         Strategy::Single => {
             let r = single::optimize(&d.system, &tech)?;
@@ -323,23 +333,36 @@ fn cmd_tables(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
 }
 
 fn cmd_mcm(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
-    let recoding =
-        if args.iter().any(|a| a == "--binary") { Recoding::Binary } else { Recoding::Csd };
+    let recoding = if args.iter().any(|a| a == "--binary") {
+        Recoding::Binary
+    } else {
+        Recoding::Csd
+    };
     let constants: Vec<i64> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
-        .map(|a| a.parse().map_err(|_| usage(format!("`{a}` is not an integer constant"))))
+        .map(|a| {
+            a.parse()
+                .map_err(|_| usage(format!("`{a}` is not an integer constant")))
+        })
         .collect::<Result<_, _>>()?;
     if constants.is_empty() {
         return Err(usage("mcm expects at least one integer constant"));
     }
     let naive = naive_cost(&constants, recoding);
     let sol = synthesize(&constants, recoding);
-    sol.verify().map_err(|e| CliError::Pipeline(LintraError::from(e).context(format!(
-        "verifying the mcm plan for {constants:?}"
-    ))))?;
+    sol.verify().map_err(|e| {
+        CliError::Pipeline(
+            LintraError::from(e).context(format!("verifying the mcm plan for {constants:?}")),
+        )
+    })?;
     writeln!(out, "naive: {} adds + {} shifts", naive.adds, naive.shifts)?;
-    writeln!(out, "shared: {} adds + {} shifts", sol.cost().adds, sol.cost().shifts)?;
+    writeln!(
+        out,
+        "shared: {} adds + {} shifts",
+        sol.cost().adds,
+        sol.cost().shifts
+    )?;
     write!(out, "{sol}")?;
     Ok(())
 }
@@ -352,7 +375,11 @@ fn positionals(args: &[String]) -> Vec<&str> {
     let mut i = 0;
     while i < args.len() {
         if args[i].starts_with("--") {
-            i += if BOOLEAN_FLAGS.contains(&args[i].as_str()) { 1 } else { 2 };
+            i += if BOOLEAN_FLAGS.contains(&args[i].as_str()) {
+                1
+            } else {
+                2
+            };
         } else {
             found.push(args[i].as_str());
             i += 1;
@@ -375,7 +402,9 @@ fn parse_millis(args: &[String], name: &str) -> Result<Option<u64>, CliError> {
 /// SIGTERM/SIGINT, then drains in-flight requests and reports stats.
 fn cmd_serve(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     let mut config = ServerConfig {
-        addr: flag_value(args, "--addr").unwrap_or("127.0.0.1:0").to_string(),
+        addr: flag_value(args, "--addr")
+            .unwrap_or("127.0.0.1:0")
+            .to_string(),
         jobs: parse_usize(args, "--jobs")?,
         chaos: args.iter().any(|a| a == "--chaos"),
         ..ServerConfig::default()
@@ -415,13 +444,16 @@ fn cmd_request(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     let addr = flag_value(args, "--addr")
         .ok_or_else(|| usage("request needs --addr host:port of a running `lintra serve`"))?;
     let pos = positionals(args);
-    let op_name = *pos.first().ok_or_else(|| {
-        usage("request expects an operation: ping, optimize, sweep, or tables")
-    })?;
+    let op_name = *pos
+        .first()
+        .ok_or_else(|| usage("request expects an operation: ping, optimize, sweep, or tables"))?;
     let design_name = || -> Result<String, CliError> {
         let d = by_name(pos.get(1).copied().unwrap_or("")).ok_or_else(|| {
             let names: Vec<&str> = suite().iter().map(|d| d.name).collect();
-            usage(format!("request {op_name} expects a design; available: {}", names.join(", ")))
+            usage(format!(
+                "request {op_name} expects a design; available: {}",
+                names.join(", ")
+            ))
         })?;
         Ok(d.name.to_string())
     };
@@ -440,7 +472,9 @@ fn cmd_request(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
             design: design_name()?,
             max_i: parse_usize(args, "--max")?.unwrap_or(16) as u32,
         },
-        "tables" => WireOp::Tables { v0: parse_f64(args, "--v0", 3.3)? },
+        "tables" => WireOp::Tables {
+            v0: parse_f64(args, "--v0", 3.3)?,
+        },
         other => return Err(usage(format!("unknown request operation `{other}`"))),
     };
     let mut req = WireRequest::new(flag_value(args, "--id").unwrap_or("cli"), op);
@@ -450,7 +484,10 @@ fn cmd_request(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     let retries = parse_usize(args, "--retries")?.unwrap_or(3).max(1) as u32;
     let client = Client::with_policy(
         addr,
-        RetryPolicy { max_attempts: retries, ..RetryPolicy::default() },
+        RetryPolicy {
+            max_attempts: retries,
+            ..RetryPolicy::default()
+        },
     );
     let resp = client
         .request(&req)
@@ -496,7 +533,9 @@ mod tests {
     #[test]
     fn suite_lists_all_designs() {
         let out = run_ok(&["suite"]);
-        for name in ["ellip", "iir5", "iir6", "iir10", "iir12", "steam", "dist", "chemical"] {
+        for name in [
+            "ellip", "iir5", "iir6", "iir10", "iir12", "steam", "dist", "chemical",
+        ] {
             assert!(out.contains(name), "missing {name} in {out}");
         }
     }
@@ -522,7 +561,14 @@ mod tests {
         assert!(out.contains("power /"));
         let out = run_ok(&["optimize", "chemical", "--strategy", "multi"]);
         assert!(out.contains("processors"));
-        let out = run_ok(&["optimize", "chemical", "--strategy", "multi", "--processors", "2"]);
+        let out = run_ok(&[
+            "optimize",
+            "chemical",
+            "--strategy",
+            "multi",
+            "--processors",
+            "2",
+        ]);
         assert!(out.contains("power /"));
     }
 
@@ -535,7 +581,14 @@ mod tests {
 
     #[test]
     fn zero_processors_is_a_resource_error_with_exit_code_4() {
-        let err = run_err(&["optimize", "chemical", "--strategy", "multi", "--processors", "0"]);
+        let err = run_err(&[
+            "optimize",
+            "chemical",
+            "--strategy",
+            "multi",
+            "--processors",
+            "0",
+        ]);
         assert_eq!(err.exit_code(), 4, "got {err:?}");
         assert!(err.to_string().contains("at least one processor"), "{err}");
     }
@@ -544,7 +597,10 @@ mod tests {
     fn error_classes_keep_distinct_exit_codes() {
         use lintra::linsys::LinsysError;
         let numerical = CliError::Pipeline(
-            LinsysError::UnstableSystem { spectral_radius: 2.0 }.into(),
+            LinsysError::UnstableSystem {
+                spectral_radius: 2.0,
+            }
+            .into(),
         );
         assert_eq!(numerical.exit_code(), 3);
         let io = CliError::Io(std::io::Error::other("disk full"));
@@ -563,14 +619,26 @@ mod tests {
     #[test]
     fn tables_renders_all_three_paper_tables() {
         let out = run_ok(&["tables", "--jobs", "2"]);
-        assert!(out.contains("Table 2: Power Reduction in a Single Processor"), "{out}");
-        assert!(out.contains("Table 3: Power Reduction with Unfolding"), "{out}");
-        assert!(out.contains("Table 4: Improvements in energy per sample"), "{out}");
+        assert!(
+            out.contains("Table 2: Power Reduction in a Single Processor"),
+            "{out}"
+        );
+        assert!(
+            out.contains("Table 3: Power Reduction with Unfolding"),
+            "{out}"
+        );
+        assert!(
+            out.contains("Table 4: Improvements in energy per sample"),
+            "{out}"
+        );
     }
 
     #[test]
     fn tables_parallel_output_is_bit_identical_to_sequential() {
-        assert_eq!(run_ok(&["tables", "--jobs", "3"]), run_ok(&["tables", "--seq"]));
+        assert_eq!(
+            run_ok(&["tables", "--jobs", "3"]),
+            run_ok(&["tables", "--seq"])
+        );
     }
 
     #[test]
@@ -583,12 +651,21 @@ mod tests {
 
     #[test]
     fn optimize_multi_with_jobs_matches_sequential() {
-        let base = &["optimize", "iir5", "--strategy", "multi", "--processors", "3"];
+        let base = &[
+            "optimize",
+            "iir5",
+            "--strategy",
+            "multi",
+            "--processors",
+            "3",
+        ];
         let seq = run_ok(base);
         let par = run_ok(&[base as &[&str], &["--jobs", "2"]].concat());
         assert_eq!(seq, par);
-        assert!(usage_msg(&["optimize", "iir5", "--strategy", "multi", "--jobs", "0"])
-            .contains("--jobs"));
+        assert!(
+            usage_msg(&["optimize", "iir5", "--strategy", "multi", "--jobs", "0"])
+                .contains("--jobs")
+        );
     }
 
     #[test]
@@ -620,11 +697,18 @@ mod tests {
 
     #[test]
     fn positionals_skip_flag_values() {
-        let args: Vec<String> =
-            ["--addr", "127.0.0.1:9", "ping", "--v0", "3.3", "--chaos", "extra"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect();
+        let args: Vec<String> = [
+            "--addr",
+            "127.0.0.1:9",
+            "ping",
+            "--v0",
+            "3.3",
+            "--chaos",
+            "extra",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         assert_eq!(positionals(&args), vec!["ping", "extra"]);
     }
 
@@ -646,11 +730,25 @@ mod tests {
         // A remote classified failure surfaces with the class exit code.
         let err = run_err(&["request", "optimize", "nonesuch", "--addr", &addr]);
         assert_eq!(err.exit_code(), 2, "got {err:?}");
-        assert!(matches!(err, CliError::Usage(_)), "design validated locally: {err:?}");
+        assert!(
+            matches!(err, CliError::Usage(_)),
+            "design validated locally: {err:?}"
+        );
 
-        let err = run_err(&["request", "sweep", "chemical", "--addr", &addr, "--fault", "conn-drop"]);
+        let err = run_err(&[
+            "request",
+            "sweep",
+            "chemical",
+            "--addr",
+            &addr,
+            "--fault",
+            "conn-drop",
+        ]);
         assert_eq!(err.exit_code(), 2, "chaos off => VAL-CONFIG, got {err:?}");
-        assert!(matches!(&err, CliError::Remote(f) if f.code == "VAL-CONFIG"), "{err:?}");
+        assert!(
+            matches!(&err, CliError::Remote(f) if f.code == "VAL-CONFIG"),
+            "{err:?}"
+        );
 
         server.shutdown();
     }
@@ -659,8 +757,18 @@ mod tests {
     fn request_rejects_bad_command_lines() {
         assert!(usage_msg(&["request", "ping"]).contains("--addr"));
         assert!(usage_msg(&["request", "--addr", "127.0.0.1:9"]).contains("operation"));
-        assert!(usage_msg(&["request", "warp", "--addr", "127.0.0.1:9"]).contains("unknown request"));
-        let err = run_err(&["request", "optimize", "chemical", "--addr", "127.0.0.1:9", "--strategy", "bogus"]);
+        assert!(
+            usage_msg(&["request", "warp", "--addr", "127.0.0.1:9"]).contains("unknown request")
+        );
+        let err = run_err(&[
+            "request",
+            "optimize",
+            "chemical",
+            "--addr",
+            "127.0.0.1:9",
+            "--strategy",
+            "bogus",
+        ]);
         assert_eq!(err.exit_code(), 2);
         assert!(err.to_string().contains("VAL-CONFIG"), "{err}");
     }

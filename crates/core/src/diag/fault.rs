@@ -78,7 +78,12 @@ impl Fault {
 /// The matrices are finite and shape-consistent, so
 /// `StateSpace::new` accepts them — the instability must be caught by the
 /// spectral-radius guardrails of `unfold` / `HornerForm::new`.
-pub fn unstable_system(p: usize, q: usize, r: usize, seed: u64) -> (Matrix, Matrix, Matrix, Matrix) {
+pub fn unstable_system(
+    p: usize,
+    q: usize,
+    r: usize,
+    seed: u64,
+) -> (Matrix, Matrix, Matrix, Matrix) {
     let mut rng = SplitMix64::new(seed);
     let spread = if r > 1 { 0.4 / (r - 1) as f64 } else { 0.0 };
     let a = Matrix::from_fn(r, r, |i, j| {
@@ -103,7 +108,10 @@ pub fn nan_coefficients(
     seed: u64,
 ) -> (Matrix, Matrix, Matrix, Matrix) {
     let mut rng = SplitMix64::new(seed);
-    let poison = (rng.next_below(r as u64) as usize, rng.next_below(r as u64) as usize);
+    let poison = (
+        rng.next_below(r as u64) as usize,
+        rng.next_below(r as u64) as usize,
+    );
     let a = Matrix::from_fn(r, r, |i, j| {
         if (i, j) == poison {
             f64::NAN
@@ -168,7 +176,9 @@ pub fn slow_sweep_point(
 /// connection.
 pub fn malformed_request_lines(seed: u64) -> Vec<String> {
     let mut rng = SplitMix64::new(seed);
-    let noise: String = (0..8).map(|_| (b'a' + rng.next_below(26) as u8) as char).collect();
+    let noise: String = (0..8)
+        .map(|_| (b'a' + rng.next_below(26) as u8) as char)
+        .collect();
     vec![
         String::new(),
         "not json at all".to_string(),
@@ -200,7 +210,10 @@ mod tests {
         let (a, b, c, d) = unstable_system(1, 1, 4, 7);
         let sys = StateSpace::new(a, b, c, d).expect("finite and shape-consistent");
         assert!(sys.spectral_radius() >= 1.0);
-        assert!(matches!(unfold(&sys, 3), Err(LinsysError::UnstableSystem { .. })));
+        assert!(matches!(
+            unfold(&sys, 3),
+            Err(LinsysError::UnstableSystem { .. })
+        ));
     }
 
     #[test]

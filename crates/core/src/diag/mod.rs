@@ -155,7 +155,13 @@ pub struct LintraError {
 impl LintraError {
     /// Builds a fresh error with no source.
     pub fn new(class: ErrorClass, code: &'static str, message: impl Into<String>) -> LintraError {
-        LintraError { class, code, message: message.into(), context: Vec::new(), source: None }
+        LintraError {
+            class,
+            code,
+            message: message.into(),
+            context: Vec::new(),
+            source: None,
+        }
     }
 
     /// Wraps a typed per-crate error, keeping it as the source.
@@ -210,7 +216,13 @@ impl LintraError {
 
 impl fmt::Display for LintraError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "error[{}] {}: {}", self.code, self.class.label(), self.message)?;
+        write!(
+            f,
+            "error[{}] {}: {}",
+            self.code,
+            self.class.label(),
+            self.message
+        )?;
         for frame in &self.context {
             write!(f, "\n  while {frame}")?;
         }
@@ -243,9 +255,7 @@ impl From<LinsysError> for LintraError {
             LinsysError::NonFinite { .. } => (ErrorClass::Numerical, "NUM-NONFINITE"),
             LinsysError::UnstableSystem { .. } => (ErrorClass::Numerical, "NUM-UNSTABLE"),
             LinsysError::InconsistentShapes { .. } => (ErrorClass::Validation, "VAL-SHAPE"),
-            LinsysError::BadVectorLength { .. } => {
-                (ErrorClass::Validation, "VAL-MISSING-DATA")
-            }
+            LinsysError::BadVectorLength { .. } => (ErrorClass::Validation, "VAL-MISSING-DATA"),
         };
         LintraError::wrap(class, code, e)
     }
@@ -412,7 +422,10 @@ mod tests {
 
     #[test]
     fn unstable_system_classifies_as_numerical() {
-        let e: LintraError = LinsysError::UnstableSystem { spectral_radius: 1.5 }.into();
+        let e: LintraError = LinsysError::UnstableSystem {
+            spectral_radius: 1.5,
+        }
+        .into();
         assert_eq!(e.class(), ErrorClass::Numerical);
         assert_eq!(e.code(), "NUM-UNSTABLE");
         assert!(e.to_string().contains("spectral radius"));
@@ -435,8 +448,11 @@ mod tests {
 
     #[test]
     fn bisection_failure_classifies_as_convergence() {
-        let e: LintraError =
-            VoltageError::NonConvergence { slowdown: 1e308, iterations: 0 }.into();
+        let e: LintraError = VoltageError::NonConvergence {
+            slowdown: 1e308,
+            iterations: 0,
+        }
+        .into();
         assert_eq!(e.class(), ErrorClass::Convergence);
         assert_eq!(e.exit_code(), 5);
     }
@@ -464,14 +480,24 @@ mod tests {
                 "RES-DEADLINE",
                 ErrorClass::Resource,
             ),
-            (EngineError::Cancelled { task: 3 }, "RES-CANCELLED", ErrorClass::Resource),
             (
-                EngineError::WorkerStall { task: 1, elapsed_ms: 90, budget_ms: 25 },
+                EngineError::Cancelled { task: 3 },
+                "RES-CANCELLED",
+                ErrorClass::Resource,
+            ),
+            (
+                EngineError::WorkerStall {
+                    task: 1,
+                    elapsed_ms: 90,
+                    budget_ms: 25,
+                },
                 "RES-WORKER-STALL",
                 ErrorClass::Resource,
             ),
             (
-                EngineError::InvalidJobs { value: "zero".into() },
+                EngineError::InvalidJobs {
+                    value: "zero".into(),
+                },
                 "VAL-CONFIG",
                 ErrorClass::Validation,
             ),
@@ -501,7 +527,10 @@ mod tests {
                 ErrorClass::Convergence => "CNV-",
                 ErrorClass::Io => "IO-",
             };
-            assert!(code.starts_with(prefix), "{code} should start with {prefix}");
+            assert!(
+                code.starts_with(prefix),
+                "{code} should start with {prefix}"
+            );
             for (other, _) in &codes[i + 1..] {
                 assert_ne!(code, other, "duplicate documented code");
             }
@@ -516,7 +545,9 @@ mod tests {
         assert_eq!(e.context_frames().len(), 2);
         let s = e.to_string();
         let a = s.find("writing the report").expect("inner frame present");
-        let b = s.find("running the asic flow").expect("outer frame present");
+        let b = s
+            .find("running the asic flow")
+            .expect("outer frame present");
         assert!(a < b, "inner frame should print first");
     }
 }

@@ -96,18 +96,22 @@ fn balanced_tree(g: &mut Dfg, mut terms: Vec<Term>) -> Result<Option<Term>, DfgE
             }
             let (a, b) = (pair[0], pair[1]);
             let combined = match (a.neg, b.neg) {
-                (false, false) => {
-                    Term { node: g.push(NodeKind::Add, vec![a.node, b.node])?, neg: false }
-                }
-                (false, true) => {
-                    Term { node: g.push(NodeKind::Sub, vec![a.node, b.node])?, neg: false }
-                }
-                (true, false) => {
-                    Term { node: g.push(NodeKind::Sub, vec![b.node, a.node])?, neg: false }
-                }
-                (true, true) => {
-                    Term { node: g.push(NodeKind::Add, vec![a.node, b.node])?, neg: true }
-                }
+                (false, false) => Term {
+                    node: g.push(NodeKind::Add, vec![a.node, b.node])?,
+                    neg: false,
+                },
+                (false, true) => Term {
+                    node: g.push(NodeKind::Sub, vec![a.node, b.node])?,
+                    neg: false,
+                },
+                (true, false) => Term {
+                    node: g.push(NodeKind::Sub, vec![b.node, a.node])?,
+                    neg: false,
+                },
+                (true, true) => Term {
+                    node: g.push(NodeKind::Add, vec![a.node, b.node])?,
+                    neg: true,
+                },
             };
             next.push(combined);
         }
@@ -130,8 +134,14 @@ fn balanced_sum(g: &mut Dfg, terms: Vec<Term>) -> Result<NodeId, DfgError> {
 fn coeff_term(g: &mut Dfg, coeff: f64, src: NodeId) -> Result<Option<Term>, DfgError> {
     Ok(match classify(coeff, CLASSIFY_TOL) {
         CoeffClass::Zero => None,
-        CoeffClass::One => Some(Term { node: src, neg: false }),
-        CoeffClass::MinusOne => Some(Term { node: src, neg: true }),
+        CoeffClass::One => Some(Term {
+            node: src,
+            neg: false,
+        }),
+        CoeffClass::MinusOne => Some(Term {
+            node: src,
+            neg: true,
+        }),
         // In the processor-oriented maximally fast form a power of two is
         // still a constant multiplication node; the ASIC passes in
         // `lintra-transform` rewrite it into a Shift.
@@ -210,8 +220,16 @@ fn from_state_space_batched(
     p: usize,
     q: usize,
 ) -> Result<Dfg, DfgError> {
-    assert_eq!(sys.num_inputs(), batch * p, "input width does not match batch");
-    assert_eq!(sys.num_outputs(), batch * q, "output width does not match batch");
+    assert_eq!(
+        sys.num_inputs(),
+        batch * p,
+        "input width does not match batch"
+    );
+    assert_eq!(
+        sys.num_outputs(),
+        batch * q,
+        "output width does not match batch"
+    );
     let mut g = Dfg::new();
     let mut states = Vec::with_capacity(sys.num_states());
     for i in 0..sys.num_states() {
@@ -219,12 +237,22 @@ fn from_state_space_batched(
     }
     let mut inputs = Vec::with_capacity(sys.num_inputs());
     for i in 0..sys.num_inputs() {
-        inputs.push(g.push(NodeKind::Input { sample: i / p, channel: i % p }, vec![])?);
+        inputs.push(g.push(
+            NodeKind::Input {
+                sample: i / p,
+                channel: i % p,
+            },
+            vec![],
+        )?);
     }
-    build_rows(&mut g, sys.a(), &states, sys.b(), &inputs, |r| NodeKind::StateOut { index: r })?;
-    build_rows(&mut g, sys.c(), &states, sys.d(), &inputs, |r| NodeKind::Output {
-        sample: r / q,
-        channel: r % q,
+    build_rows(&mut g, sys.a(), &states, sys.b(), &inputs, |r| {
+        NodeKind::StateOut { index: r }
+    })?;
+    build_rows(&mut g, sys.c(), &states, sys.d(), &inputs, |r| {
+        NodeKind::Output {
+            sample: r / q,
+            channel: r % q,
+        }
     })?;
     Ok(g)
 }
@@ -295,7 +323,11 @@ mod tests {
             Matrix::from_fn(1, 1, f),
         )
         .unwrap();
-        let t = OpTiming { t_mul: 2.0, t_add: 1.0, t_shift: 0.0 };
+        let t = OpTiming {
+            t_mul: 2.0,
+            t_add: 1.0,
+            t_shift: 0.0,
+        };
         let expect = 2.0 + (6.0_f64).log2().ceil();
         for i in 0..5u32 {
             let g = from_unfolded(&unfold(&dense, i).unwrap()).unwrap();
@@ -372,7 +404,11 @@ mod tests {
         )
         .unwrap();
         let g = from_state_space(&s).unwrap();
-        let t = OpTiming { t_mul: 1.0, t_add: 1.0, t_shift: 0.0 };
+        let t = OpTiming {
+            t_mul: 1.0,
+            t_add: 1.0,
+            t_shift: 0.0,
+        };
         // Input path: mul (1) + 3 input-tree adds + 1 joining add = 5.
         assert_eq!(g.critical_path(&t), 5.0);
         // Feedback path: mul (1) + ceil(log2(1+R)) = 1 add -> 2.

@@ -136,10 +136,16 @@ impl fmt::Display for DfgError {
                 write!(f, "node {node} references not-yet-created node {pred}")
             }
             DfgError::MissingInput { sample, channel } => {
-                write!(f, "simulation is missing input (sample {sample}, channel {channel})")
+                write!(
+                    f,
+                    "simulation is missing input (sample {sample}, channel {channel})"
+                )
             }
             DfgError::MissingState { index, supplied } => {
-                write!(f, "simulation references state {index} but only {supplied} were supplied")
+                write!(
+                    f,
+                    "simulation references state {index} but only {supplied} were supplied"
+                )
             }
             DfgError::NonFinite { node } => {
                 write!(f, "simulation produced a non-finite value at node {node}")
@@ -164,7 +170,11 @@ pub struct OpTiming {
 
 impl Default for OpTiming {
     fn default() -> Self {
-        OpTiming { t_mul: 2.0, t_add: 1.0, t_shift: 0.0 }
+        OpTiming {
+            t_mul: 2.0,
+            t_add: 1.0,
+            t_shift: 0.0,
+        }
     }
 }
 
@@ -218,12 +228,18 @@ impl Dfg {
     /// Returns [`DfgError`] on arity mismatch or forward references.
     pub fn push(&mut self, kind: NodeKind, preds: Vec<NodeId>) -> Result<NodeId, DfgError> {
         if preds.len() != kind.arity() {
-            return Err(DfgError::Arity { expected: kind.arity(), actual: preds.len() });
+            return Err(DfgError::Arity {
+                expected: kind.arity(),
+                actual: preds.len(),
+            });
         }
         let id = self.nodes.len();
         for p in &preds {
             if p.0 >= id {
-                return Err(DfgError::ForwardReference { pred: p.0, node: id });
+                return Err(DfgError::ForwardReference {
+                    pred: p.0,
+                    node: id,
+                });
             }
         }
         self.nodes.push(Node { kind, preds });
@@ -374,9 +390,10 @@ impl Dfg {
                 NodeKind::Input { sample, channel } => *inputs
                     .get(&(sample, channel))
                     .ok_or(DfgError::MissingInput { sample, channel })?,
-                NodeKind::StateIn { index } => *state
-                    .get(index)
-                    .ok_or(DfgError::MissingState { index, supplied: state.len() })?,
+                NodeKind::StateIn { index } => *state.get(index).ok_or(DfgError::MissingState {
+                    index,
+                    supplied: state.len(),
+                })?,
                 NodeKind::Const(c) => c,
                 NodeKind::Add => p(0) + p(1),
                 NodeKind::Sub => p(0) - p(1),
@@ -435,11 +452,27 @@ mod tests {
     fn chain() -> (Dfg, NodeId) {
         // y = 0.5 * (x + s)
         let mut g = Dfg::new();
-        let x = g.push(NodeKind::Input { sample: 0, channel: 0 }, vec![]).unwrap();
+        let x = g
+            .push(
+                NodeKind::Input {
+                    sample: 0,
+                    channel: 0,
+                },
+                vec![],
+            )
+            .unwrap();
         let s = g.push(NodeKind::StateIn { index: 0 }, vec![]).unwrap();
         let a = g.push(NodeKind::Add, vec![x, s]).unwrap();
         let m = g.push(NodeKind::MulConst(0.5), vec![a]).unwrap();
-        let y = g.push(NodeKind::Output { sample: 0, channel: 0 }, vec![m]).unwrap();
+        let y = g
+            .push(
+                NodeKind::Output {
+                    sample: 0,
+                    channel: 0,
+                },
+                vec![m],
+            )
+            .unwrap();
         let _ = g.push(NodeKind::StateOut { index: 0 }, vec![m]).unwrap();
         (g, y)
     }
@@ -450,11 +483,17 @@ mod tests {
         let x = g.push(NodeKind::Const(1.0), vec![]).unwrap();
         assert_eq!(
             g.push(NodeKind::Add, vec![x]).unwrap_err(),
-            DfgError::Arity { expected: 2, actual: 1 }
+            DfgError::Arity {
+                expected: 2,
+                actual: 1
+            }
         );
         assert_eq!(
             g.push(NodeKind::Const(2.0), vec![x]).unwrap_err(),
-            DfgError::Arity { expected: 0, actual: 1 }
+            DfgError::Arity {
+                expected: 0,
+                actual: 1
+            }
         );
     }
 
@@ -479,7 +518,13 @@ mod tests {
     fn missing_input_reported() {
         let (g, _) = chain();
         let err = g.simulate(&[1.0], &HashMap::new()).unwrap_err();
-        assert_eq!(err, DfgError::MissingInput { sample: 0, channel: 0 });
+        assert_eq!(
+            err,
+            DfgError::MissingInput {
+                sample: 0,
+                channel: 0
+            }
+        );
     }
 
     #[test]
@@ -488,7 +533,13 @@ mod tests {
         let mut inputs = HashMap::new();
         inputs.insert((0, 0), 3.0);
         let err = g.simulate(&[], &inputs).unwrap_err();
-        assert_eq!(err, DfgError::MissingState { index: 0, supplied: 0 });
+        assert_eq!(
+            err,
+            DfgError::MissingState {
+                index: 0,
+                supplied: 0
+            }
+        );
     }
 
     #[test]
@@ -519,7 +570,11 @@ mod tests {
     #[test]
     fn critical_path_chains_delays() {
         let (g, _) = chain();
-        let t = OpTiming { t_mul: 2.0, t_add: 1.0, t_shift: 0.0 };
+        let t = OpTiming {
+            t_mul: 2.0,
+            t_add: 1.0,
+            t_shift: 0.0,
+        };
         assert_eq!(g.critical_path(&t), 3.0);
         assert_eq!(g.feedback_critical_path(&t), 3.0);
     }
@@ -528,12 +583,32 @@ mod tests {
     fn registers_cut_paths() {
         // x -> * -> D -> + -> y : CP = max(mul, add) not mul+add.
         let mut g = Dfg::new();
-        let x = g.push(NodeKind::Input { sample: 0, channel: 0 }, vec![]).unwrap();
+        let x = g
+            .push(
+                NodeKind::Input {
+                    sample: 0,
+                    channel: 0,
+                },
+                vec![],
+            )
+            .unwrap();
         let m = g.push(NodeKind::MulConst(0.3), vec![x]).unwrap();
         let d = g.push(NodeKind::Delay, vec![m]).unwrap();
         let a = g.push(NodeKind::Add, vec![d, x]).unwrap();
-        let _ = g.push(NodeKind::Output { sample: 0, channel: 0 }, vec![a]).unwrap();
-        let t = OpTiming { t_mul: 2.0, t_add: 1.0, t_shift: 0.0 };
+        let _ = g
+            .push(
+                NodeKind::Output {
+                    sample: 0,
+                    channel: 0,
+                },
+                vec![a],
+            )
+            .unwrap();
+        let t = OpTiming {
+            t_mul: 2.0,
+            t_add: 1.0,
+            t_shift: 0.0,
+        };
         assert_eq!(g.critical_path(&t), 2.0);
     }
 
@@ -541,7 +616,15 @@ mod tests {
     fn feedback_path_ignores_input_only_paths() {
         // Long input-only chain, short state chain.
         let mut g = Dfg::new();
-        let x = g.push(NodeKind::Input { sample: 0, channel: 0 }, vec![]).unwrap();
+        let x = g
+            .push(
+                NodeKind::Input {
+                    sample: 0,
+                    channel: 0,
+                },
+                vec![],
+            )
+            .unwrap();
         let mut acc = x;
         for _ in 0..5 {
             acc = g.push(NodeKind::MulConst(0.9), vec![acc]).unwrap();
@@ -549,7 +632,11 @@ mod tests {
         let s = g.push(NodeKind::StateIn { index: 0 }, vec![]).unwrap();
         let sum = g.push(NodeKind::Add, vec![acc, s]).unwrap();
         let _ = g.push(NodeKind::StateOut { index: 0 }, vec![sum]).unwrap();
-        let t = OpTiming { t_mul: 2.0, t_add: 1.0, t_shift: 0.0 };
+        let t = OpTiming {
+            t_mul: 2.0,
+            t_add: 1.0,
+            t_shift: 0.0,
+        };
         assert_eq!(g.critical_path(&t), 11.0);
         assert_eq!(g.feedback_critical_path(&t), 1.0);
     }
@@ -557,11 +644,27 @@ mod tests {
     #[test]
     fn shift_simulation() {
         let mut g = Dfg::new();
-        let x = g.push(NodeKind::Input { sample: 0, channel: 0 }, vec![]).unwrap();
+        let x = g
+            .push(
+                NodeKind::Input {
+                    sample: 0,
+                    channel: 0,
+                },
+                vec![],
+            )
+            .unwrap();
         let up = g.push(NodeKind::Shift(3), vec![x]).unwrap();
         let dn = g.push(NodeKind::Shift(-2), vec![x]).unwrap();
         let a = g.push(NodeKind::Add, vec![up, dn]).unwrap();
-        let _ = g.push(NodeKind::Output { sample: 0, channel: 0 }, vec![a]).unwrap();
+        let _ = g
+            .push(
+                NodeKind::Output {
+                    sample: 0,
+                    channel: 0,
+                },
+                vec![a],
+            )
+            .unwrap();
         let mut inputs = HashMap::new();
         inputs.insert((0, 0), 4.0);
         let (outs, _) = g.simulate(&[], &inputs).unwrap();

@@ -54,7 +54,10 @@ impl std::ops::Add for CacheStats {
     type Output = CacheStats;
 
     fn add(self, rhs: CacheStats) -> CacheStats {
-        CacheStats { hits: self.hits + rhs.hits, misses: self.misses + rhs.misses }
+        CacheStats {
+            hits: self.hits + rhs.hits,
+            misses: self.misses + rhs.misses,
+        }
     }
 }
 
@@ -132,7 +135,9 @@ impl SweepCache {
     /// sentinel in [`StateSpace::new`].
     pub fn unfolded(&mut self, i: u32) -> Result<UnfoldedSystem, LinsysError> {
         if self.rho >= 1.0 {
-            return Err(LinsysError::UnstableSystem { spectral_radius: self.rho });
+            return Err(LinsysError::UnstableSystem {
+                spectral_radius: self.rho,
+            });
         }
         let (p, q, r) = self.sys.dims();
         let n = i as usize + 1;
@@ -185,7 +190,11 @@ impl SweepCache {
         }
 
         let system = StateSpace::new(a_u, b_u, c_u, d_u)?;
-        Ok(UnfoldedSystem { system, unfolding: i, original_dims: (p, q, r) })
+        Ok(UnfoldedSystem {
+            system,
+            unfolding: i,
+            original_dims: (p, q, r),
+        })
     }
 
     /// The Horner restructuring of the design at `unfolding`, assembled
@@ -198,7 +207,9 @@ impl SweepCache {
     /// [`LinsysError::UnstableSystem`] and [`LinsysError::NonFinite`].
     pub fn horner(&mut self, unfolding: u32) -> Result<HornerForm, LinsysError> {
         if self.rho >= 1.0 {
-            return Err(LinsysError::UnstableSystem { spectral_radius: self.rho });
+            return Err(LinsysError::UnstableSystem {
+                spectral_radius: self.rho,
+            });
         }
         let n = unfolding as usize + 1;
         // HornerForm::new computes n C·A^k products and n A-multiplies.
@@ -209,11 +220,7 @@ impl SweepCache {
             computed += 1;
         }
         self.stats.absorb(required, computed);
-        HornerForm::from_parts(
-            &self.sys,
-            self.powers[n].clone(),
-            self.ca[..n].to_vec(),
-        )
+        HornerForm::from_parts(&self.sys, self.powers[n].clone(), self.ca[..n].to_vec())
     }
 }
 
@@ -238,7 +245,10 @@ fn matrix_bit_hash(m: &Matrix) -> u64 {
 /// same `f64` bit pattern.
 fn matrix_bits_eq(a: &Matrix, b: &Matrix) -> bool {
     a.shape() == b.shape()
-        && a.as_slice().iter().zip(b.as_slice()).all(|(x, y)| x.to_bits() == y.to_bits())
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
 }
 
 /// Memoized [`expm`]: repeated exponentials of the same matrix (the suite
@@ -272,8 +282,10 @@ impl ExpmMemo {
     /// input fails identically every time and stays cheap).
     pub fn expm(&mut self, a: &Matrix) -> Result<Matrix, MatrixError> {
         let h = matrix_bit_hash(a);
-        if let Some((_, _, e)) =
-            self.entries.iter().find(|(eh, ea, _)| *eh == h && matrix_bits_eq(ea, a))
+        if let Some((_, _, e)) = self
+            .entries
+            .iter()
+            .find(|(eh, ea, _)| *eh == h && matrix_bits_eq(ea, a))
         {
             self.stats.hits += 1;
             return Ok(e.clone());
@@ -316,7 +328,11 @@ mod tests {
         let sys = sys_mimo();
         let mut cache = SweepCache::new(&sys);
         for i in [7u32, 0, 3, 9, 3, 1] {
-            assert_eq!(cache.unfolded(i).unwrap(), unfold(&sys, i).unwrap(), "i = {i}");
+            assert_eq!(
+                cache.unfolded(i).unwrap(),
+                unfold(&sys, i).unwrap(),
+                "i = {i}"
+            );
         }
     }
 
@@ -328,7 +344,10 @@ mod tests {
         assert_eq!(after_first.hits, 0, "cold cache computes everything");
         cache.unfolded(5).unwrap();
         let after_second = cache.stats();
-        assert_eq!(after_second.misses, after_first.misses, "warm repeat computes nothing");
+        assert_eq!(
+            after_second.misses, after_first.misses,
+            "warm repeat computes nothing"
+        );
         assert!(after_second.hits > 0);
         assert!(cache.stats().hit_rate() > 0.4);
     }

@@ -88,7 +88,9 @@ impl CancelToken {
     /// Time left until the deadline (`None` for deadline-free tokens,
     /// zero once expired).
     pub fn remaining(&self) -> Option<Duration> {
-        self.inner.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+        self.inner
+            .deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
     }
 }
 

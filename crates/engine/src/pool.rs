@@ -79,7 +79,10 @@ impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::WorkerPanic { task, message } => {
-                write!(f, "sweep point {task} panicked in a worker thread: {message}")
+                write!(
+                    f,
+                    "sweep point {task} panicked in a worker thread: {message}"
+                )
             }
             EngineError::Cancelled { task } => {
                 write!(f, "sweep point {task} skipped: sweep cancelled")
@@ -87,7 +90,11 @@ impl fmt::Display for EngineError {
             EngineError::DeadlineExpired { task } => {
                 write!(f, "sweep point {task} skipped: sweep deadline expired")
             }
-            EngineError::WorkerStall { task, elapsed_ms, budget_ms } => {
+            EngineError::WorkerStall {
+                task,
+                elapsed_ms,
+                budget_ms,
+            } => {
                 write!(
                     f,
                     "sweep point {task} stalled: ran {elapsed_ms} ms against a \
@@ -166,7 +173,11 @@ impl ThreadPool {
     /// A pool sized to the machine (`std::thread::available_parallelism`,
     /// falling back to 1 when the platform cannot tell).
     pub fn auto() -> ThreadPool {
-        ThreadPool::new(thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+        ThreadPool::new(
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
     }
 
     /// A pool sized by the `LINTRA_JOBS` environment variable when it is
@@ -180,9 +191,9 @@ impl ThreadPool {
     pub fn from_env() -> Result<ThreadPool, EngineError> {
         match std::env::var("LINTRA_JOBS") {
             Err(std::env::VarError::NotPresent) => Ok(ThreadPool::auto()),
-            Err(std::env::VarError::NotUnicode(_)) => {
-                Err(EngineError::InvalidJobs { value: "<non-unicode>".to_string() })
-            }
+            Err(std::env::VarError::NotUnicode(_)) => Err(EngineError::InvalidJobs {
+                value: "<non-unicode>".to_string(),
+            }),
             Ok(raw) => Self::parse_jobs_var(&raw).map(ThreadPool::new),
         }
     }
@@ -197,7 +208,9 @@ impl ThreadPool {
     pub fn parse_jobs_var(raw: &str) -> Result<usize, EngineError> {
         match raw.trim().parse::<usize>() {
             Ok(n) if n >= 1 => Ok(n),
-            _ => Err(EngineError::InvalidJobs { value: raw.to_string() }),
+            _ => Err(EngineError::InvalidJobs {
+                value: raw.to_string(),
+            }),
         }
     }
 
@@ -446,7 +459,10 @@ mod tests {
             }
         }
         // The pool is reusable after a panic.
-        assert_eq!(pool.try_map(vec![1, 2, 3], |x: i32| x + 1).unwrap(), vec![2, 3, 4]);
+        assert_eq!(
+            pool.try_map(vec![1, 2, 3], |x: i32| x + 1).unwrap(),
+            vec![2, 3, 4]
+        );
     }
 
     #[test]
@@ -471,13 +487,22 @@ mod tests {
         let pool = ThreadPool::new(2);
         let token = CancelToken::new();
         token.cancel();
-        let results =
-            pool.map_ctl((0..8).collect(), |x: usize| x, SweepCtl { token: Some(&token), stall_budget: None });
+        let results = pool.map_ctl(
+            (0..8).collect(),
+            |x: usize| x,
+            SweepCtl {
+                token: Some(&token),
+                stall_budget: None,
+            },
+        );
         for (idx, r) in results.iter().enumerate() {
             assert_eq!(*r, Err(EngineError::Cancelled { task: idx }));
         }
         // The pool itself survives a fully-cancelled sweep.
-        assert_eq!(pool.try_map(vec![1, 2], |x: i32| x * 10).unwrap(), vec![10, 20]);
+        assert_eq!(
+            pool.try_map(vec![1, 2], |x: i32| x * 10).unwrap(),
+            vec![10, 20]
+        );
     }
 
     #[test]
@@ -488,7 +513,10 @@ mod tests {
             .try_map_ctl(
                 (0..16).collect(),
                 |x: usize| x,
-                SweepCtl { token: Some(&token), stall_budget: None },
+                SweepCtl {
+                    token: Some(&token),
+                    stall_budget: None,
+                },
             )
             .unwrap_err();
         assert_eq!(err, EngineError::DeadlineExpired { task: 0 });
@@ -508,15 +536,23 @@ mod tests {
                 thread::sleep(Duration::from_millis(5));
                 x
             },
-            SweepCtl { token: Some(&token), stall_budget: None },
+            SweepCtl {
+                token: Some(&token),
+                stall_budget: None,
+            },
         );
         assert!(
             started.elapsed() < Duration::from_millis(120),
             "cancellation must bound the sweep, took {:?}",
             started.elapsed()
         );
-        assert!(results.iter().any(|r| matches!(r, Err(EngineError::DeadlineExpired { .. }))));
-        assert!(results.iter().any(Result::is_ok), "points before the deadline ran");
+        assert!(results
+            .iter()
+            .any(|r| matches!(r, Err(EngineError::DeadlineExpired { .. }))));
+        assert!(
+            results.iter().any(Result::is_ok),
+            "points before the deadline ran"
+        );
     }
 
     #[test]
@@ -530,11 +566,19 @@ mod tests {
                 }
                 x
             },
-            SweepCtl { token: None, stall_budget: Some(Duration::from_millis(25)) },
+            SweepCtl {
+                token: None,
+                stall_budget: Some(Duration::from_millis(25)),
+            },
         );
         for (idx, r) in results.iter().enumerate() {
             if idx == 3 {
-                let Err(EngineError::WorkerStall { task, elapsed_ms, budget_ms }) = r else {
+                let Err(EngineError::WorkerStall {
+                    task,
+                    elapsed_ms,
+                    budget_ms,
+                }) = r
+                else {
                     panic!("index 3 should stall, got {r:?}");
                 };
                 assert_eq!(*task, 3);
@@ -571,7 +615,10 @@ mod tests {
             ThreadPool::from_env(),
             Err(EngineError::InvalidJobs { ref value }) if value == "zero"
         ));
-        assert!(ThreadPool::default().jobs() >= 1, "Default falls back to auto");
+        assert!(
+            ThreadPool::default().jobs() >= 1,
+            "Default falls back to auto"
+        );
         std::env::remove_var("LINTRA_JOBS");
         assert!(ThreadPool::from_env().unwrap().jobs() >= 1);
     }

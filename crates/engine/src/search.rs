@@ -45,7 +45,12 @@ pub fn best_unfolding(
     for i in 1..=iopt_dense {
         let (ops, per) = eval(i)?;
         if per < best.cycles_per_sample {
-            best = UnfoldingChoice { unfolding: i, ops, cycles_per_sample: per, ..best };
+            best = UnfoldingChoice {
+                unfolding: i,
+                ops,
+                cycles_per_sample: per,
+                ..best
+            };
         }
     }
     // Boundary: keep unfolding while it keeps helping.
@@ -54,7 +59,12 @@ pub fn best_unfolding(
         loop {
             let (ops, per) = eval(i)?;
             if per < best.cycles_per_sample {
-                best = UnfoldingChoice { unfolding: i, ops, cycles_per_sample: per, ..best };
+                best = UnfoldingChoice {
+                    unfolding: i,
+                    ops,
+                    cycles_per_sample: per,
+                    ..best
+                };
                 i += 1;
             } else {
                 break;
@@ -115,7 +125,11 @@ mod tests {
         let misses_cold = cache.stats().misses;
         let second = best_unfolding(&mut cache, TrivialityRule::ZeroOnePow2, 1.0, 1.0).unwrap();
         assert_eq!(first.unfolding, second.unfolding);
-        assert_eq!(cache.stats().misses, misses_cold, "second rule pass recomputes nothing");
+        assert_eq!(
+            cache.stats().misses,
+            misses_cold,
+            "second rule pass recomputes nothing"
+        );
         assert!(cache.stats().hit_rate() > 0.45);
     }
 }

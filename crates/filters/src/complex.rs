@@ -31,7 +31,10 @@ impl Complex {
 
     /// Creates from polar form `r·e^{jθ}`.
     pub fn from_polar(r: f64, theta: f64) -> Complex {
-        Complex { re: r * theta.cos(), im: r * theta.sin() }
+        Complex {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
     }
 
     /// Magnitude `|z|`.
@@ -51,7 +54,10 @@ impl Complex {
 
     /// Complex conjugate.
     pub fn conj(self) -> Complex {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Multiplicative inverse.
@@ -62,7 +68,10 @@ impl Complex {
     pub fn inv(self) -> Complex {
         let n = self.norm_sqr();
         assert!(n != 0.0, "complex division by zero");
-        Complex { re: self.re / n, im: -self.im / n }
+        Complex {
+            re: self.re / n,
+            im: -self.im / n,
+        }
     }
 
     /// Principal square root.
@@ -74,7 +83,10 @@ impl Complex {
         // Stable half-angle formulas.
         let re = ((r + self.re) / 2.0).sqrt();
         let im_mag = ((r - self.re) / 2.0).sqrt();
-        Complex { re, im: if self.im >= 0.0 { im_mag } else { -im_mag } }
+        Complex {
+            re,
+            im: if self.im >= 0.0 { im_mag } else { -im_mag },
+        }
     }
 
     /// Complex exponential `e^z`.
@@ -84,7 +96,10 @@ impl Complex {
 
     /// Scales by a real factor.
     pub fn scale(self, s: f64) -> Complex {
-        Complex { re: self.re * s, im: self.im * s }
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 
     /// `true` when within `tol` of `other` (component-wise).
@@ -102,14 +117,20 @@ impl From<f64> for Complex {
 impl Add for Complex {
     type Output = Complex;
     fn add(self, rhs: Complex) -> Complex {
-        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+        Complex {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
 impl Sub for Complex {
     type Output = Complex;
     fn sub(self, rhs: Complex) -> Complex {
-        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+        Complex {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -135,7 +156,10 @@ impl Div for Complex {
 impl Neg for Complex {
     type Output = Complex;
     fn neg(self) -> Complex {
-        Complex { re: -self.re, im: -self.im }
+        Complex {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -178,9 +202,14 @@ mod tests {
 
     #[test]
     fn sqrt_squares_back() {
-        for &(re, im) in
-            &[(4.0, 0.0), (-4.0, 0.0), (0.0, 2.0), (3.0, -4.0), (-1.0, -1.0), (0.0, 0.0)]
-        {
+        for &(re, im) in &[
+            (4.0, 0.0),
+            (-4.0, 0.0),
+            (0.0, 2.0),
+            (3.0, -4.0),
+            (-1.0, -1.0),
+            (0.0, 0.0),
+        ] {
             let z = Complex::new(re, im);
             let s = z.sqrt();
             assert!((s * s).approx_eq(z, 1e-12), "sqrt({z}) = {s}");

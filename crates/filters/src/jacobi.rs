@@ -24,7 +24,10 @@ use crate::Complex;
 /// assert!((k0 - std::f64::consts::FRAC_PI_2).abs() < 1e-15);
 /// ```
 pub fn ellipk(k: f64) -> f64 {
-    assert!((0.0..1.0).contains(&k), "ellipk requires 0 <= k < 1, got {k}");
+    assert!(
+        (0.0..1.0).contains(&k),
+        "ellipk requires 0 <= k < 1, got {k}"
+    );
     let mut a = 1.0_f64;
     let mut b = (1.0 - k * k).sqrt();
     // AGM converges quadratically; cap the iterations because the
@@ -46,7 +49,10 @@ pub fn ellipk(k: f64) -> f64 {
 ///
 /// Panics unless `0 < k <= 1`.
 pub fn ellipk_comp(k: f64) -> f64 {
-    assert!(k > 0.0 && k <= 1.0, "ellipk_comp requires 0 < k <= 1, got {k}");
+    assert!(
+        k > 0.0 && k <= 1.0,
+        "ellipk_comp requires 0 < k <= 1, got {k}"
+    );
     ellipk((1.0 - k * k).sqrt())
 }
 
@@ -57,7 +63,10 @@ pub fn ellipk_comp(k: f64) -> f64 {
 ///
 /// Panics unless `0 <= k <= 1`.
 pub fn sn_cn_dn(u: f64, k: f64) -> (f64, f64, f64) {
-    assert!((0.0..=1.0).contains(&k), "modulus must be in [0,1], got {k}");
+    assert!(
+        (0.0..=1.0).contains(&k),
+        "modulus must be in [0,1], got {k}"
+    );
     if k == 0.0 {
         return (u.sin(), u.cos(), 1.0);
     }
@@ -111,7 +120,10 @@ pub fn sc(u: f64, k: f64) -> f64 {
 /// Panics for negative `x` or a modulus outside `[0, 1)`.
 pub fn asc(x: f64, k: f64) -> f64 {
     assert!(x >= 0.0, "asc requires x >= 0, got {x}");
-    assert!((0.0..1.0).contains(&k), "asc modulus must be in [0,1), got {k}");
+    assert!(
+        (0.0..1.0).contains(&k),
+        "asc modulus must be in [0,1), got {k}"
+    );
     if x == 0.0 {
         return 0.0;
     }
@@ -194,8 +206,14 @@ mod tests {
             for i in -20..=20 {
                 let u = i as f64 * 0.17;
                 let (s, c, d) = sn_cn_dn(u, k);
-                assert!((s * s + c * c - 1.0).abs() < 1e-10, "sn2+cn2 at u={u} k={k}");
-                assert!((d * d + k * k * s * s - 1.0).abs() < 1e-10, "dn2+k2sn2 at u={u} k={k}");
+                assert!(
+                    (s * s + c * c - 1.0).abs() < 1e-10,
+                    "sn2+cn2 at u={u} k={k}"
+                );
+                assert!(
+                    (d * d + k * k * s * s - 1.0).abs() < 1e-10,
+                    "dn2+k2sn2 at u={u} k={k}"
+                );
             }
         }
     }
@@ -207,7 +225,10 @@ mod tests {
             let (s, c, d) = sn_cn_dn(kk, k);
             assert!((s - 1.0).abs() < 1e-9, "sn(K)={s} for k={k}");
             assert!(c.abs() < 1e-9, "cn(K)={c} for k={k}");
-            assert!((d - (1.0 - k * k).sqrt()).abs() < 1e-9, "dn(K)={d} for k={k}");
+            assert!(
+                (d - (1.0 - k * k).sqrt()).abs() < 1e-9,
+                "dn(K)={d} for k={k}"
+            );
         }
     }
 

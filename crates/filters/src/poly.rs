@@ -157,7 +157,11 @@ mod tests {
 
     #[test]
     fn roots_evaluate_to_zero() {
-        let roots = [Complex::new(-0.5, 0.8), Complex::new(-0.5, -0.8), Complex::from(0.3)];
+        let roots = [
+            Complex::new(-0.5, 0.8),
+            Complex::new(-0.5, -0.8),
+            Complex::from(0.3),
+        ];
         let p = Poly::from_roots(&roots);
         for &r in &roots {
             assert!(p.eval(r).norm() < 1e-12);

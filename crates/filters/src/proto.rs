@@ -66,7 +66,9 @@ pub fn chebyshev1(n: usize, ripple_db: f64) -> Result<Zpk, DesignFilterError> {
         return Err(DesignFilterError::ZeroOrder);
     }
     if ripple_db.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
-        return Err(DesignFilterError::BadRipple { what: "passband ripple must be > 0 dB" });
+        return Err(DesignFilterError::BadRipple {
+            what: "passband ripple must be > 0 dB",
+        });
     }
     let eps = (10f64.powf(ripple_db / 10.0) - 1.0).sqrt();
     let a = (1.0 / eps).asinh() / n as f64;
@@ -97,7 +99,9 @@ pub fn chebyshev2(n: usize, atten_db: f64) -> Result<Zpk, DesignFilterError> {
         return Err(DesignFilterError::ZeroOrder);
     }
     if atten_db.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
-        return Err(DesignFilterError::BadRipple { what: "stopband attenuation must be > 0 dB" });
+        return Err(DesignFilterError::BadRipple {
+            what: "stopband attenuation must be > 0 dB",
+        });
     }
     let eps = 1.0 / (10f64.powf(atten_db / 10.0) - 1.0).sqrt();
     let a = (1.0 / eps).asinh() / n as f64;
@@ -136,7 +140,9 @@ pub fn elliptic(n: usize, ripple_db: f64, atten_db: f64) -> Result<Zpk, DesignFi
         return Err(DesignFilterError::ZeroOrder);
     }
     if ripple_db.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
-        return Err(DesignFilterError::BadRipple { what: "passband ripple must be > 0 dB" });
+        return Err(DesignFilterError::BadRipple {
+            what: "passband ripple must be > 0 dB",
+        });
     }
     if atten_db <= ripple_db {
         return Err(DesignFilterError::BadRipple {
@@ -193,7 +199,10 @@ pub fn elliptic(n: usize, ripple_db: f64, atten_db: f64) -> Result<Zpk, DesignFi
     if odd {
         let arg = Complex::new(1.0, -v0).scale(kk);
         let p = Complex::I * cd_complex(arg, k);
-        debug_assert!(p.im.abs() < 1e-8 * (1.0 + p.re.abs()), "real pole has residue {p}");
+        debug_assert!(
+            p.im.abs() < 1e-8 * (1.0 + p.re.abs()),
+            "real pole has residue {p}"
+        );
         poles.push(Complex::from(p.re));
     }
 
@@ -260,7 +269,10 @@ mod tests {
             w += 0.002;
         }
         assert!(max_seen <= 1.0 + 1e-9, "passband exceeds unity: {max_seen}");
-        assert!((min_seen - floor).abs() < 1e-3, "ripple floor {min_seen} vs {floor}");
+        assert!(
+            (min_seen - floor).abs() < 1e-3,
+            "ripple floor {min_seen} vs {floor}"
+        );
         // Even order: H(0) at the ripple floor.
         assert!((mag(&f, 0.0) - floor).abs() < 1e-9);
         // Odd order: H(0) = 1.
@@ -292,7 +304,10 @@ mod tests {
                 peak = peak.max(m);
                 w += 0.01;
             }
-            assert!(peak > 0.95 * ceiling, "n={n}: stopband peak {peak} vs {ceiling}");
+            assert!(
+                peak > 0.95 * ceiling,
+                "n={n}: stopband peak {peak} vs {ceiling}"
+            );
             for &p in f.poles() {
                 assert!(p.re < 0.0, "unstable pole {p}");
             }
@@ -300,8 +315,14 @@ mod tests {
         // Odd order: one zero at infinity (n-1 finite zeros).
         assert_eq!(chebyshev2(5, 40.0).unwrap().zeros().len(), 4);
         assert_eq!(chebyshev2(6, 40.0).unwrap().zeros().len(), 6);
-        assert!(matches!(chebyshev2(0, 40.0), Err(DesignFilterError::ZeroOrder)));
-        assert!(matches!(chebyshev2(4, 0.0), Err(DesignFilterError::BadRipple { .. })));
+        assert!(matches!(
+            chebyshev2(0, 40.0),
+            Err(DesignFilterError::ZeroOrder)
+        ));
+        assert!(matches!(
+            chebyshev2(4, 0.0),
+            Err(DesignFilterError::BadRipple { .. })
+        ));
     }
 
     #[test]
@@ -337,7 +358,10 @@ mod tests {
             let mut ws = edge;
             while ws <= 20.0 {
                 let m = mag(&f, ws);
-                assert!(m <= stop * 1.05, "n={n}: stopband {m} at {ws} (spec {stop})");
+                assert!(
+                    m <= stop * 1.05,
+                    "n={n}: stopband {m} at {ws} (spec {stop})"
+                );
                 ws += 0.05;
             }
             // Poles stable.
@@ -353,7 +377,10 @@ mod tests {
         let f = elliptic(5, rp, rs).unwrap();
         let floor = 10f64.powf(-rp / 20.0);
         let m = mag(&f, 1.0);
-        assert!((m - floor).abs() < 1e-6, "edge magnitude {m} vs floor {floor}");
+        assert!(
+            (m - floor).abs() < 1e-6,
+            "edge magnitude {m} vs floor {floor}"
+        );
     }
 
     #[test]
@@ -367,10 +394,22 @@ mod tests {
     #[test]
     fn design_error_cases() {
         assert_eq!(butterworth(0).unwrap_err(), DesignFilterError::ZeroOrder);
-        assert_eq!(chebyshev1(0, 1.0).unwrap_err(), DesignFilterError::ZeroOrder);
-        assert!(matches!(chebyshev1(3, 0.0), Err(DesignFilterError::BadRipple { .. })));
-        assert!(matches!(elliptic(3, 1.0, 0.5), Err(DesignFilterError::BadRipple { .. })));
-        assert!(matches!(elliptic(3, -1.0, 40.0), Err(DesignFilterError::BadRipple { .. })));
+        assert_eq!(
+            chebyshev1(0, 1.0).unwrap_err(),
+            DesignFilterError::ZeroOrder
+        );
+        assert!(matches!(
+            chebyshev1(3, 0.0),
+            Err(DesignFilterError::BadRipple { .. })
+        ));
+        assert!(matches!(
+            elliptic(3, 1.0, 0.5),
+            Err(DesignFilterError::BadRipple { .. })
+        ));
+        assert!(matches!(
+            elliptic(3, -1.0, 40.0),
+            Err(DesignFilterError::BadRipple { .. })
+        ));
     }
 
     #[test]

@@ -34,9 +34,8 @@ impl Biquad {
         let mut out = Vec::with_capacity(input.len());
         let (mut x1, mut x2, mut y1, mut y2) = (0.0, 0.0, 0.0, 0.0);
         for &x in input {
-            let y = self.b[0] * x + self.b[1] * x1 + self.b[2] * x2
-                - self.a[1] * y1
-                - self.a[2] * y2;
+            let y =
+                self.b[0] * x + self.b[1] * x1 + self.b[2] * x2 - self.a[1] * y1 - self.a[2] * y2;
             x2 = x1;
             x1 = x;
             y2 = y1;
@@ -67,7 +66,11 @@ impl Sos {
     /// Panics if the filter is analog, improper (more zeros than poles), or
     /// its pole/zero sets are not closed under conjugation.
     pub fn from_zpk(filter: &Zpk) -> Sos {
-        assert_eq!(filter.domain(), Domain::Digital, "SOS realization needs a digital filter");
+        assert_eq!(
+            filter.domain(),
+            Domain::Digital,
+            "SOS realization needs a digital filter"
+        );
         let pole_groups = conjugate_groups(filter.poles());
         let zero_groups = conjugate_groups(filter.zeros());
         assert!(
@@ -178,8 +181,11 @@ impl Sos {
 /// are merged so every group has at most 2 members.
 fn conjugate_groups(roots: &[Complex]) -> Vec<Vec<Complex>> {
     let mut complexes: Vec<Complex> = roots.iter().copied().filter(|r| r.im > 1e-12).collect();
-    let mut reals: Vec<Complex> =
-        roots.iter().copied().filter(|r| r.im.abs() <= 1e-12).collect();
+    let mut reals: Vec<Complex> = roots
+        .iter()
+        .copied()
+        .filter(|r| r.im.abs() <= 1e-12)
+        .collect();
     let negatives = roots.iter().filter(|r| r.im < -1e-12).count();
     assert_eq!(
         complexes.len(),
@@ -188,9 +194,12 @@ fn conjugate_groups(roots: &[Complex]) -> Vec<Vec<Complex>> {
     );
     let mut groups: Vec<Vec<Complex>> = Vec::new();
     // Deterministic order.
-    complexes.sort_by(|x, y| x.norm().partial_cmp(&y.norm()).expect("finite").then(
-        x.re.partial_cmp(&y.re).expect("finite"),
-    ));
+    complexes.sort_by(|x, y| {
+        x.norm()
+            .partial_cmp(&y.norm())
+            .expect("finite")
+            .then(x.re.partial_cmp(&y.re).expect("finite"))
+    });
     reals.sort_by(|x, y| x.re.partial_cmp(&y.re).expect("finite"));
     for c in complexes {
         groups.push(vec![c, c.conj()]);
@@ -236,7 +245,10 @@ mod tests {
     use crate::{butterworth, elliptic};
 
     fn lp(n: usize) -> Zpk {
-        butterworth(n).unwrap().to_lowpass(0.4 * std::f64::consts::PI).bilinear(1.0)
+        butterworth(n)
+            .unwrap()
+            .to_lowpass(0.4 * std::f64::consts::PI)
+            .bilinear(1.0)
     }
 
     #[test]
@@ -248,7 +260,10 @@ mod tests {
             for &w in &[0.0, 0.3, 1.0, 2.0, 3.0] {
                 let a = sos.freq_response(w);
                 let b = f.freq_response(w);
-                assert!(a.approx_eq(b, 1e-9 * (1.0 + b.norm())), "n={n} w={w}: {a} vs {b}");
+                assert!(
+                    a.approx_eq(b, 1e-9 * (1.0 + b.norm())),
+                    "n={n} w={w}: {a} vs {b}"
+                );
             }
         }
     }
@@ -296,8 +311,11 @@ mod tests {
     fn odd_order_has_first_order_section() {
         let f = lp(5);
         let sos = Sos::from_zpk(&f);
-        let first_order =
-            sos.sections.iter().filter(|s| s.a[2] == 0.0 && s.b[2] == 0.0).count();
+        let first_order = sos
+            .sections
+            .iter()
+            .filter(|s| s.a[2] == 0.0 && s.b[2] == 0.0)
+            .count();
         assert_eq!(first_order, 1);
     }
 }

@@ -56,7 +56,11 @@ impl StateSpaceParts {
 /// Panics unless `a[0] == 1`, `b.len() == a.len()`, and the order is at
 /// least 1.
 pub fn tf_to_state_space(b: &[f64], a: &[f64]) -> StateSpaceParts {
-    assert_eq!(a.first(), Some(&1.0), "denominator must be monic (a[0] = 1)");
+    assert_eq!(
+        a.first(),
+        Some(&1.0),
+        "denominator must be monic (a[0] = 1)"
+    );
     assert_eq!(b.len(), a.len(), "b and a must have equal length");
     let n = a.len() - 1;
     assert!(n >= 1, "order must be at least 1");
@@ -74,7 +78,12 @@ pub fn tf_to_state_space(b: &[f64], a: &[f64]) -> StateSpaceParts {
         cm[(0, j)] = b[j + 1] - b[0] * a[j + 1];
     }
     let dm = Matrix::from_rows(&[&[b[0]]]);
-    StateSpaceParts { a: am, b: bm, c: cm, d: dm }
+    StateSpaceParts {
+        a: am,
+        b: bm,
+        c: cm,
+        d: dm,
+    }
 }
 
 /// Realizes one biquad in transposed direct form II; degenerate
@@ -264,7 +273,10 @@ mod tests {
 
     #[test]
     fn biquad_state_space_matches_biquad_filter() {
-        let q = Biquad { b: [0.2, 0.4, 0.2], a: [1.0, -0.5, 0.25] };
+        let q = Biquad {
+            b: [0.2, 0.4, 0.2],
+            a: [1.0, -0.5, 0.25],
+        };
         let ss = biquad_to_state_space(&q);
         let x = impulse(50);
         let want = q.filter(&x);
@@ -331,7 +343,10 @@ mod tests {
 
     #[test]
     fn coupled_biquad_falls_back_for_real_poles() {
-        let q = Biquad { b: [1.0, 0.3, 0.02], a: [1.0, -0.7, 0.12] }; // poles 0.3, 0.4
+        let q = Biquad {
+            b: [1.0, 0.3, 0.02],
+            a: [1.0, -0.7, 0.12],
+        }; // poles 0.3, 0.4
         let ss = coupled_biquad_to_state_space(&q);
         let df = biquad_to_state_space(&q);
         assert_eq!(ss.a, df.a);
@@ -356,8 +371,14 @@ mod tests {
 
     #[test]
     fn series_composition_is_series_filtering() {
-        let q1 = Biquad { b: [1.0, 0.5, 0.0], a: [1.0, -0.3, 0.0] };
-        let q2 = Biquad { b: [0.7, 0.0, 0.1], a: [1.0, 0.2, -0.1] };
+        let q1 = Biquad {
+            b: [1.0, 0.5, 0.0],
+            a: [1.0, -0.3, 0.0],
+        };
+        let q2 = Biquad {
+            b: [0.7, 0.0, 0.1],
+            a: [1.0, 0.2, -0.1],
+        };
         let ss = series(&biquad_to_state_space(&q1), &biquad_to_state_space(&q2));
         let x = impulse(40);
         let want = q2.filter(&q1.filter(&x));

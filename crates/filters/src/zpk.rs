@@ -28,12 +28,22 @@ pub struct Zpk {
 impl Zpk {
     /// Creates an analog zero-pole-gain filter.
     pub fn analog(zeros: Vec<Complex>, poles: Vec<Complex>, gain: f64) -> Zpk {
-        Zpk { zeros, poles, gain, domain: Domain::Analog }
+        Zpk {
+            zeros,
+            poles,
+            gain,
+            domain: Domain::Analog,
+        }
     }
 
     /// Creates a digital zero-pole-gain filter.
     pub fn digital(zeros: Vec<Complex>, poles: Vec<Complex>, gain: f64) -> Zpk {
-        Zpk { zeros, poles, gain, domain: Domain::Digital }
+        Zpk {
+            zeros,
+            poles,
+            gain,
+            domain: Domain::Digital,
+        }
     }
 
     /// The zeros.
@@ -63,8 +73,14 @@ impl Zpk {
 
     /// Evaluates `H` at an arbitrary complex point.
     pub fn eval(&self, v: Complex) -> Complex {
-        let num = self.zeros.iter().fold(Complex::from(self.gain), |acc, &z| acc * (v - z));
-        let den = self.poles.iter().fold(Complex::ONE, |acc, &p| acc * (v - p));
+        let num = self
+            .zeros
+            .iter()
+            .fold(Complex::from(self.gain), |acc, &z| acc * (v - z));
+        let den = self
+            .poles
+            .iter()
+            .fold(Complex::ONE, |acc, &p| acc * (v - p));
         num / den
     }
 
@@ -78,7 +94,11 @@ impl Zpk {
     }
 
     fn assert_analog(&self, what: &str) {
-        assert_eq!(self.domain, Domain::Analog, "{what} applies to analog filters only");
+        assert_eq!(
+            self.domain,
+            Domain::Analog,
+            "{what} applies to analog filters only"
+        );
     }
 
     /// `Π(−zᵢ)/Π(−pⱼ)` as a real number (imaginary residue asserted small);
@@ -122,8 +142,7 @@ impl Zpk {
         assert!(w0 > 0.0, "cutoff must be positive");
         let relative_degree = self.poles.len() - self.zeros.len();
         let gain = self.gain * self.reflection_ratio();
-        let mut zeros: Vec<Complex> =
-            self.zeros.iter().map(|&z| Complex::from(w0) / z).collect();
+        let mut zeros: Vec<Complex> = self.zeros.iter().map(|&z| Complex::from(w0) / z).collect();
         zeros.extend(std::iter::repeat_n(Complex::ZERO, relative_degree));
         Zpk {
             zeros,
@@ -142,7 +161,10 @@ impl Zpk {
     /// parameters.
     pub fn to_bandpass(&self, w0: f64, bw: f64) -> Zpk {
         self.assert_analog("to_bandpass");
-        assert!(w0 > 0.0 && bw > 0.0, "center and bandwidth must be positive");
+        assert!(
+            w0 > 0.0 && bw > 0.0,
+            "center and bandwidth must be positive"
+        );
         let relative_degree = self.poles.len() - self.zeros.len();
         let split = |a: Complex| -> [Complex; 2] {
             // Roots of s^2 - a*bw*s + w0^2.
@@ -169,7 +191,10 @@ impl Zpk {
     /// parameters.
     pub fn to_bandstop(&self, w0: f64, bw: f64) -> Zpk {
         self.assert_analog("to_bandstop");
-        assert!(w0 > 0.0 && bw > 0.0, "center and bandwidth must be positive");
+        assert!(
+            w0 > 0.0 && bw > 0.0,
+            "center and bandwidth must be positive"
+        );
         let relative_degree = self.poles.len() - self.zeros.len();
         let split = |a: Complex| -> [Complex; 2] {
             // Roots of s^2 - (bw/a)*s + w0^2.
@@ -207,14 +232,25 @@ impl Zpk {
         zeros.extend(std::iter::repeat_n(Complex::from(-1.0), relative_degree));
         let poles: Vec<Complex> = self.poles.iter().map(|&p| map(p)).collect();
         // Gain factor Π(c − z)/Π(c − p) — real for conjugate-closed sets.
-        let num = self.zeros.iter().fold(Complex::ONE, |acc, &z| acc * (c - z));
-        let den = self.poles.iter().fold(Complex::ONE, |acc, &p| acc * (c - p));
+        let num = self
+            .zeros
+            .iter()
+            .fold(Complex::ONE, |acc, &z| acc * (c - z));
+        let den = self
+            .poles
+            .iter()
+            .fold(Complex::ONE, |acc, &p| acc * (c - p));
         let factor = num / den;
         assert!(
             factor.im.abs() <= 1e-9 * (1.0 + factor.re.abs()),
             "pole/zero set not conjugate-closed under bilinear"
         );
-        Zpk { zeros, poles, gain: self.gain * factor.re, domain: Domain::Digital }
+        Zpk {
+            zeros,
+            poles,
+            gain: self.gain * factor.re,
+            domain: Domain::Digital,
+        }
     }
 
     /// Expands into transfer-function coefficient vectors `(b, a)` in
@@ -318,7 +354,10 @@ mod tests {
             let mapped = (s * s + Complex::from(w0 * w0)) / (s.scale(bw));
             let lhs = g.freq_response(w);
             let rhs = f.eval(mapped);
-            assert!(lhs.approx_eq(rhs, 1e-8 * (1.0 + rhs.norm())), "w={w}: {lhs} vs {rhs}");
+            assert!(
+                lhs.approx_eq(rhs, 1e-8 * (1.0 + rhs.norm())),
+                "w={w}: {lhs} vs {rhs}"
+            );
         }
         // Center frequency maps to the prototype's DC.
         let center = g.freq_response(w0);
@@ -337,7 +376,10 @@ mod tests {
             let mapped = s.scale(bw) / (s * s + Complex::from(w0 * w0));
             let lhs = g.freq_response(w);
             let rhs = f.eval(mapped);
-            assert!(lhs.approx_eq(rhs, 1e-8 * (1.0 + rhs.norm())), "w={w}: {lhs} vs {rhs}");
+            assert!(
+                lhs.approx_eq(rhs, 1e-8 * (1.0 + rhs.norm())),
+                "w={w}: {lhs} vs {rhs}"
+            );
         }
         // Deep notch at the center.
         assert!(g.freq_response(w0).norm() < 1e-9);

@@ -63,8 +63,15 @@ pub fn measure_activity(
     frac_bits: u32,
     word_bits: u32,
 ) -> Result<ActivityReport, FixedSimError> {
-    assert!(word_bits > 0 && word_bits <= 63, "bad word length {word_bits}");
-    let mask: u64 = if word_bits == 63 { u64::MAX >> 1 } else { (1u64 << word_bits) - 1 };
+    assert!(
+        word_bits > 0 && word_bits <= 63,
+        "bad word length {word_bits}"
+    );
+    let mask: u64 = if word_bits == 63 {
+        u64::MAX >> 1
+    } else {
+        (1u64 << word_bits) - 1
+    };
     let r = g
         .iter()
         .filter(|(_, n)| matches!(n.kind, NodeKind::StateIn { .. }))
@@ -102,7 +109,10 @@ pub fn measure_activity(
 
     let transitions = evaluations.saturating_sub(1).max(1);
     Ok(ActivityReport {
-        toggles_per_eval: toggles.iter().map(|&t| t as f64 / transitions as f64).collect(),
+        toggles_per_eval: toggles
+            .iter()
+            .map(|&t| t as f64 / transitions as f64)
+            .collect(),
         evaluations,
         total_toggles: total,
         word_bits,
@@ -140,8 +150,9 @@ mod tests {
     fn alternating_input_toggles_more_than_dc() {
         let g = toy();
         let dc: Vec<Vec<f64>> = (0..60).map(|_| vec![0.9]).collect();
-        let ac: Vec<Vec<f64>> =
-            (0..60).map(|k| vec![if k % 2 == 0 { 0.9 } else { -0.9 }]).collect();
+        let ac: Vec<Vec<f64>> = (0..60)
+            .map(|k| vec![if k % 2 == 0 { 0.9 } else { -0.9 }])
+            .collect();
         let rd = measure_activity(&g, 1, 1, &dc, 12, 16).unwrap();
         let ra = measure_activity(&g, 1, 1, &ac, 12, 16).unwrap();
         assert!(

@@ -96,7 +96,11 @@ pub fn node_values_fixed(
     inputs: &HashMap<(usize, usize), Fixed>,
     frac_bits: u32,
 ) -> Result<
-    (Vec<Fixed>, HashMap<(usize, usize), Fixed>, HashMap<usize, Fixed>),
+    (
+        Vec<Fixed>,
+        HashMap<(usize, usize), Fixed>,
+        HashMap<usize, Fixed>,
+    ),
     FixedSimError,
 > {
     let mut v: Vec<Fixed> = Vec::with_capacity(g.len());
@@ -106,18 +110,22 @@ pub fn node_values_fixed(
         let p = |k: usize| -> Fixed { v[n.preds[k].0] };
         let overflow = FixedSimError::Overflow { node: id.0 };
         let val = match n.kind {
-            NodeKind::Input { sample, channel } => *inputs
-                .get(&(sample, channel))
-                .ok_or(FixedSimError::MissingInput { key: (sample, channel) })?,
-            NodeKind::StateIn { index } => {
-                *state.get(index).ok_or(FixedSimError::MissingState { index })?
+            NodeKind::Input { sample, channel } => {
+                *inputs
+                    .get(&(sample, channel))
+                    .ok_or(FixedSimError::MissingInput {
+                        key: (sample, channel),
+                    })?
             }
+            NodeKind::StateIn { index } => *state
+                .get(index)
+                .ok_or(FixedSimError::MissingState { index })?,
             NodeKind::Const(c) => Fixed::from_f64(c, frac_bits),
             NodeKind::Add => p(0).checked_add(p(1)).ok_or(overflow)?,
             NodeKind::Sub => p(0).checked_sub(p(1)).ok_or(overflow)?,
-            NodeKind::MulConst(c) => {
-                p(0).checked_mul(Fixed::from_f64(c, frac_bits)).ok_or(overflow)?
-            }
+            NodeKind::MulConst(c) => p(0)
+                .checked_mul(Fixed::from_f64(c, frac_bits))
+                .ok_or(overflow)?,
             NodeKind::Shift(s) => p(0).checked_shifted(s).ok_or(overflow)?,
             NodeKind::Neg => -p(0),
             NodeKind::Delay => p(0),
@@ -203,7 +211,11 @@ pub fn compare_quantized(
     Ok(QuantizationReport {
         frac_bits,
         max_error,
-        rms_error: if samples > 0 { (sum_sq / samples as f64).sqrt() } else { 0.0 },
+        rms_error: if samples > 0 {
+            (sum_sq / samples as f64).sqrt()
+        } else {
+            0.0
+        },
         samples,
     })
 }
@@ -253,7 +265,9 @@ mod tests {
     }
 
     fn ramp(n: usize) -> Vec<Vec<f64>> {
-        (0..n).map(|k| vec![((k % 7) as f64 - 3.0) * 0.125]).collect()
+        (0..n)
+            .map(|k| vec![((k % 7) as f64 - 3.0) * 0.125])
+            .collect()
     }
 
     #[test]
@@ -282,9 +296,15 @@ mod tests {
         .unwrap();
         let g = build::from_state_space(&sys).unwrap();
         let x = ramp(80);
-        let e8 = compare_quantized(&g, 1, (1, 1, 2), &x, 8).unwrap().max_error;
-        let e16 = compare_quantized(&g, 1, (1, 1, 2), &x, 16).unwrap().max_error;
-        let e24 = compare_quantized(&g, 1, (1, 1, 2), &x, 24).unwrap().max_error;
+        let e8 = compare_quantized(&g, 1, (1, 1, 2), &x, 8)
+            .unwrap()
+            .max_error;
+        let e16 = compare_quantized(&g, 1, (1, 1, 2), &x, 16)
+            .unwrap()
+            .max_error;
+        let e24 = compare_quantized(&g, 1, (1, 1, 2), &x, 24)
+            .unwrap()
+            .max_error;
         assert!(e16 < e8, "{e16} !< {e8}");
         assert!(e24 < e16, "{e24} !< {e16}");
         assert!(e24 < 1e-5);
@@ -294,7 +314,9 @@ mod tests {
     fn minimum_bits_search() {
         let (g, dims) = toy();
         let x = ramp(40);
-        let (w, report) = minimum_fraction_bits(&g, 1, dims, &x, 1e-3, (2, 24)).unwrap().unwrap();
+        let (w, report) = minimum_fraction_bits(&g, 1, dims, &x, 1e-3, (2, 24))
+            .unwrap()
+            .unwrap();
         assert!(w <= 16);
         assert!(report.max_error <= 1e-3);
         // One bit less must violate the budget (w is minimal) unless w == 2.
@@ -307,8 +329,8 @@ mod tests {
     #[test]
     fn missing_input_reported() {
         let (g, _) = toy();
-        let err = simulate_fixed(&g, &[Fixed::zero(8), Fixed::zero(8)], &HashMap::new(), 8)
-            .unwrap_err();
+        let err =
+            simulate_fixed(&g, &[Fixed::zero(8), Fixed::zero(8)], &HashMap::new(), 8).unwrap_err();
         assert_eq!(err, FixedSimError::MissingInput { key: (0, 0) });
     }
 
@@ -353,6 +375,10 @@ mod tests {
         )
         .unwrap();
         let g = build::from_state_space(&sys).unwrap();
-        assert!(minimum_fraction_bits(&g, 1, (1, 1, 1), &ramp(30), 0.0, (2, 6)).unwrap().is_none());
+        assert!(
+            minimum_fraction_bits(&g, 1, (1, 1, 1), &ramp(30), 0.0, (2, 6))
+                .unwrap()
+                .is_none()
+        );
     }
 }

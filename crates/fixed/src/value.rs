@@ -29,7 +29,10 @@ impl Fixed {
     /// Quantizes a real number (round to nearest).
     pub fn from_f64(x: f64, frac_bits: u32) -> Fixed {
         assert!(frac_bits < 63, "frac_bits must be < 63");
-        Fixed { raw: (x * (1u64 << frac_bits) as f64).round() as i64, frac_bits }
+        Fixed {
+            raw: (x * (1u64 << frac_bits) as f64).round() as i64,
+            frac_bits,
+        }
     }
 
     /// Zero at the given binary point.
@@ -64,7 +67,10 @@ impl Fixed {
             let half = 1i64 << (s - 1);
             (self.raw + if self.raw >= 0 { half } else { half - 1 }) >> s
         };
-        Fixed { raw, frac_bits: self.frac_bits }
+        Fixed {
+            raw,
+            frac_bits: self.frac_bits,
+        }
     }
 
     /// Overflow-checked addition: `None` when the raw mantissa sum leaves
@@ -75,7 +81,10 @@ impl Fixed {
     /// Panics if the binary points differ.
     pub fn checked_add(&self, other: Fixed) -> Option<Fixed> {
         assert_eq!(self.frac_bits, other.frac_bits, "binary point mismatch");
-        Some(Fixed { raw: self.raw.checked_add(other.raw)?, frac_bits: self.frac_bits })
+        Some(Fixed {
+            raw: self.raw.checked_add(other.raw)?,
+            frac_bits: self.frac_bits,
+        })
     }
 
     /// Overflow-checked subtraction: `None` when the raw mantissa
@@ -86,7 +95,10 @@ impl Fixed {
     /// Panics if the binary points differ.
     pub fn checked_sub(&self, other: Fixed) -> Option<Fixed> {
         assert_eq!(self.frac_bits, other.frac_bits, "binary point mismatch");
-        Some(Fixed { raw: self.raw.checked_sub(other.raw)?, frac_bits: self.frac_bits })
+        Some(Fixed {
+            raw: self.raw.checked_sub(other.raw)?,
+            frac_bits: self.frac_bits,
+        })
     }
 
     /// Overflow-checked multiplication (same rounding as `*`): `None` when
@@ -100,7 +112,10 @@ impl Fixed {
             let half = 1i128 << (s - 1);
             (wide + if wide >= 0 { half } else { half - 1 }) >> s
         };
-        Some(Fixed { raw: i64::try_from(rounded).ok()?, frac_bits: self.frac_bits })
+        Some(Fixed {
+            raw: i64::try_from(rounded).ok()?,
+            frac_bits: self.frac_bits,
+        })
     }
 
     /// Overflow-checked shift (same rounding as [`Fixed::shifted`]):
@@ -111,7 +126,10 @@ impl Fixed {
         } else {
             self.shifted(amount).raw
         };
-        Some(Fixed { raw, frac_bits: self.frac_bits })
+        Some(Fixed {
+            raw,
+            frac_bits: self.frac_bits,
+        })
     }
 
     /// Saturating addition at a given integer wordlength `total_bits`
@@ -122,11 +140,17 @@ impl Fixed {
     /// Panics if the binary points differ or `total_bits` is 0 or > 63.
     pub fn saturating_add(&self, other: Fixed, total_bits: u32) -> Fixed {
         assert_eq!(self.frac_bits, other.frac_bits, "binary point mismatch");
-        assert!(total_bits > 0 && total_bits <= 63, "bad wordlength {total_bits}");
+        assert!(
+            total_bits > 0 && total_bits <= 63,
+            "bad wordlength {total_bits}"
+        );
         let max = (1i64 << (total_bits - 1)) - 1;
         let min = -(1i64 << (total_bits - 1));
         let sum = self.raw.saturating_add(other.raw).clamp(min, max);
-        Fixed { raw: sum, frac_bits: self.frac_bits }
+        Fixed {
+            raw: sum,
+            frac_bits: self.frac_bits,
+        }
     }
 }
 
@@ -138,7 +162,10 @@ impl Add for Fixed {
     /// Panics if the binary points differ.
     fn add(self, rhs: Fixed) -> Fixed {
         assert_eq!(self.frac_bits, rhs.frac_bits, "binary point mismatch");
-        Fixed { raw: self.raw + rhs.raw, frac_bits: self.frac_bits }
+        Fixed {
+            raw: self.raw + rhs.raw,
+            frac_bits: self.frac_bits,
+        }
     }
 }
 
@@ -150,7 +177,10 @@ impl Sub for Fixed {
     /// Panics if the binary points differ.
     fn sub(self, rhs: Fixed) -> Fixed {
         assert_eq!(self.frac_bits, rhs.frac_bits, "binary point mismatch");
-        Fixed { raw: self.raw - rhs.raw, frac_bits: self.frac_bits }
+        Fixed {
+            raw: self.raw - rhs.raw,
+            frac_bits: self.frac_bits,
+        }
     }
 }
 
@@ -168,7 +198,10 @@ impl Mul for Fixed {
             let half = 1i128 << (s - 1);
             (wide + if wide >= 0 { half } else { half - 1 }) >> s
         };
-        Fixed { raw: rounded as i64, frac_bits: self.frac_bits }
+        Fixed {
+            raw: rounded as i64,
+            frac_bits: self.frac_bits,
+        }
     }
 }
 
@@ -176,7 +209,10 @@ impl Neg for Fixed {
     type Output = Fixed;
 
     fn neg(self) -> Fixed {
-        Fixed { raw: -self.raw, frac_bits: self.frac_bits }
+        Fixed {
+            raw: -self.raw,
+            frac_bits: self.frac_bits,
+        }
     }
 }
 
@@ -273,7 +309,9 @@ mod tests {
     fn checked_ops_report_overflow() {
         let big = Fixed::from_raw(i64::MAX, 8);
         assert!(big.checked_add(Fixed::from_raw(1, 8)).is_none());
-        assert!(Fixed::from_raw(i64::MIN, 8).checked_sub(Fixed::from_raw(1, 8)).is_none());
+        assert!(Fixed::from_raw(i64::MIN, 8)
+            .checked_sub(Fixed::from_raw(1, 8))
+            .is_none());
         assert!(big.checked_mul(big).is_none());
         assert!(Fixed::from_raw(1, 8).checked_shifted(63).is_none());
         // Non-overflowing checked ops agree with the plain ones.

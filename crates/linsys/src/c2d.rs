@@ -117,7 +117,9 @@ mod tests {
             t,
         )
         .unwrap();
-        assert!(sys.a().approx_eq(&Matrix::from_rows(&[&[1.0, t], &[0.0, 1.0]]), 1e-12));
+        assert!(sys
+            .a()
+            .approx_eq(&Matrix::from_rows(&[&[1.0, t], &[0.0, 1.0]]), 1e-12));
         assert!((sys.b()[(0, 0)] - t * t / 2.0).abs() < 1e-12);
         assert!((sys.b()[(1, 0)] - t).abs() < 1e-12);
     }
@@ -139,8 +141,14 @@ mod tests {
     #[test]
     fn rejects_bad_period() {
         let m = Matrix::from_rows(&[&[0.0]]);
-        assert!(matches!(zoh(&m, &m, &m, &m, 0.0), Err(DiscretizeError::BadPeriod(_))));
-        assert!(matches!(zoh(&m, &m, &m, &m, f64::NAN), Err(DiscretizeError::BadPeriod(_))));
+        assert!(matches!(
+            zoh(&m, &m, &m, &m, 0.0),
+            Err(DiscretizeError::BadPeriod(_))
+        ));
+        assert!(matches!(
+            zoh(&m, &m, &m, &m, f64::NAN),
+            Err(DiscretizeError::BadPeriod(_))
+        ));
     }
 
     #[test]

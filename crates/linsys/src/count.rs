@@ -47,7 +47,10 @@ pub fn classify(c: f64, tol: f64) -> CoeffClass {
     let mag = c.abs();
     let k = mag.log2().round() as i32;
     if k != 0 && (mag - (k as f64).exp2()).abs() <= tol * (k as f64).exp2().max(1.0) {
-        return CoeffClass::PowerOfTwo { exponent: k, negative: c < 0.0 };
+        return CoeffClass::PowerOfTwo {
+            exponent: k,
+            negative: c < 0.0,
+        };
     }
     CoeffClass::General
 }
@@ -155,7 +158,11 @@ pub fn dense_adds(p: u64, q: u64, r: u64, i: u64) -> u64 {
 /// Dense closed-form count for one iteration of the `i`-times unfolded
 /// system (processing `i + 1` samples).
 pub fn dense_op_count(p: u64, q: u64, r: u64, i: u64) -> OpCount {
-    OpCount { muls: dense_muls(p, q, r, i), adds: dense_adds(p, q, r, i), shifts: 0 }
+    OpCount {
+        muls: dense_muls(p, q, r, i),
+        adds: dense_adds(p, q, r, i),
+        shifts: 0,
+    }
 }
 
 /// Per-sample operation counts for the dense case (as `f64` since the
@@ -195,7 +202,10 @@ pub fn dense_ops_per_sample(p: u64, q: u64, r: u64, i: u64) -> PerSample {
 ///
 /// Panics if `p`, `q`, or `r` is zero or the weights are not positive.
 pub fn dense_iopt(p: u64, q: u64, r: u64, wm: f64, wa: f64) -> u64 {
-    assert!(p > 0 && q > 0 && r > 0, "dense_iopt requires positive dimensions");
+    assert!(
+        p > 0 && q > 0 && r > 0,
+        "dense_iopt requires positive dimensions"
+    );
     assert!(wm > 0.0 && wa > 0.0, "weights must be positive");
     let beta = wa / (wm + wa);
     let cont = (2.0 * r as f64 * (r as f64 - beta) / (p * q) as f64).sqrt() - 1.0;
@@ -270,7 +280,12 @@ pub fn best_unfolding(
     for i in 1..=iopt_dense {
         let (ops, per) = eval(i)?;
         if per < best.cycles_per_sample {
-            best = UnfoldingChoice { unfolding: i, ops, cycles_per_sample: per, ..best };
+            best = UnfoldingChoice {
+                unfolding: i,
+                ops,
+                cycles_per_sample: per,
+                ..best
+            };
         }
     }
     // Boundary: keep unfolding while it keeps helping.
@@ -279,7 +294,12 @@ pub fn best_unfolding(
         loop {
             let (ops, per) = eval(i)?;
             if per < best.cycles_per_sample {
-                best = UnfoldingChoice { unfolding: i, ops, cycles_per_sample: per, ..best };
+                best = UnfoldingChoice {
+                    unfolding: i,
+                    ops,
+                    cycles_per_sample: per,
+                    ..best
+                };
                 i += 1;
             } else {
                 break;
@@ -305,10 +325,19 @@ mod tests {
         assert_eq!(classify(0.0, 1e-9), CoeffClass::Zero);
         assert_eq!(classify(1.0, 1e-9), CoeffClass::One);
         assert_eq!(classify(-1.0, 1e-9), CoeffClass::MinusOne);
-        assert_eq!(classify(4.0, 1e-9), CoeffClass::PowerOfTwo { exponent: 2, negative: false });
+        assert_eq!(
+            classify(4.0, 1e-9),
+            CoeffClass::PowerOfTwo {
+                exponent: 2,
+                negative: false
+            }
+        );
         assert_eq!(
             classify(-0.25, 1e-9),
-            CoeffClass::PowerOfTwo { exponent: -2, negative: true }
+            CoeffClass::PowerOfTwo {
+                exponent: -2,
+                negative: true
+            }
         );
         assert_eq!(classify(0.3, 1e-9), CoeffClass::General);
         assert_eq!(classify(1e-12, 1e-9), CoeffClass::Zero);
@@ -331,8 +360,16 @@ mod tests {
         for &(p, q, r) in &[(1usize, 1usize, 5usize), (2, 1, 4), (2, 3, 6)] {
             let sys = dense_sys(p, q, r);
             let c = op_count(&sys, TrivialityRule::ZeroOne);
-            assert_eq!(c.muls, dense_muls(p as u64, q as u64, r as u64, 0), "muls {p},{q},{r}");
-            assert_eq!(c.adds, dense_adds(p as u64, q as u64, r as u64, 0), "adds {p},{q},{r}");
+            assert_eq!(
+                c.muls,
+                dense_muls(p as u64, q as u64, r as u64, 0),
+                "muls {p},{q},{r}"
+            );
+            assert_eq!(
+                c.adds,
+                dense_adds(p as u64, q as u64, r as u64, 0),
+                "adds {p},{q},{r}"
+            );
         }
     }
 
@@ -373,7 +410,9 @@ mod tests {
         for &(p, q, r) in &[(1u64, 1, 4), (1, 1, 12), (2, 2, 5), (1, 2, 9), (3, 3, 3)] {
             let i = dense_iopt(p, q, r, 1.0, 1.0);
             let f = |i: u64| dense_op_count(p, q, r, i).cycles(1.0, 1.0) / (i + 1) as f64;
-            let brute = (0..200).min_by(|&a, &b| f(a).partial_cmp(&f(b)).unwrap()).unwrap();
+            let brute = (0..200)
+                .min_by(|&a, &b| f(a).partial_cmp(&f(b)).unwrap())
+                .unwrap();
             assert!(
                 (f(i) - f(brute)).abs() < 1e-9,
                 "closed-form i={i} vs brute {brute} for ({p},{q},{r})"
@@ -389,7 +428,9 @@ mod tests {
         assert!(heavy_mul >= even);
         // Brute-force agreement with weights.
         let f = |i: u64| dense_op_count(1, 1, 6, i).cycles(10.0, 1.0) / (i + 1) as f64;
-        let brute = (0..100).min_by(|&a, &b| f(a).partial_cmp(&f(b)).unwrap()).unwrap();
+        let brute = (0..100)
+            .min_by(|&a, &b| f(a).partial_cmp(&f(b)).unwrap())
+            .unwrap();
         assert!((f(heavy_mul) - f(brute)).abs() < 1e-9);
     }
 
@@ -431,7 +472,11 @@ mod tests {
         let sys = dense_sys(1, 1, 5);
         let choice = best_unfolding(&sys, TrivialityRule::ZeroOne, 1.0, 1.0).unwrap();
         assert_eq!(choice.unfolding, 6);
-        assert!((choice.speedup() - 1.975).abs() < 0.02, "{}", choice.speedup());
+        assert!(
+            (choice.speedup() - 1.975).abs() < 0.02,
+            "{}",
+            choice.speedup()
+        );
     }
 
     #[test]

@@ -26,7 +26,11 @@ pub fn solve_discrete_lyapunov(a: &Matrix, q: &Matrix) -> Result<Matrix, MatrixE
         return Err(MatrixError::NotSquare { shape: a.shape() });
     }
     if q.shape() != a.shape() {
-        return Err(MatrixError::ShapeMismatch { op: "lyapunov", lhs: a.shape(), rhs: q.shape() });
+        return Err(MatrixError::ShapeMismatch {
+            op: "lyapunov",
+            lhs: a.shape(),
+            rhs: q.shape(),
+        });
     }
     let mut x = q.clone();
     let mut ak = a.clone();
@@ -105,7 +109,10 @@ mod tests {
     fn unstable_system_rejected() {
         let a = Matrix::from_rows(&[&[1.5]]);
         let q = Matrix::from_rows(&[&[1.0]]);
-        assert_eq!(solve_discrete_lyapunov(&a, &q).unwrap_err(), MatrixError::Singular);
+        assert_eq!(
+            solve_discrete_lyapunov(&a, &q).unwrap_err(),
+            MatrixError::Singular
+        );
     }
 
     #[test]
@@ -138,7 +145,10 @@ mod tests {
             Matrix::from_rows(&[&[0.0]]),
         )
         .unwrap();
-        for w in [controllability_gramian(&sys).unwrap(), observability_gramian(&sys).unwrap()] {
+        for w in [
+            controllability_gramian(&sys).unwrap(),
+            observability_gramian(&sys).unwrap(),
+        ] {
             assert!(w.approx_eq(&w.transpose(), 1e-10), "symmetry");
             for i in 0..2 {
                 assert!(w[(i, i)] > 0.0, "positive diagonal");

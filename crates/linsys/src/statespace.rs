@@ -44,11 +44,18 @@ impl fmt::Display for LinsysError {
                 "inconsistent state-space shapes: A {}x{}, B {}x{}, C {}x{}, D {}x{}",
                 a.0, a.1, b.0, b.1, c.0, c.1, d.0, d.1
             ),
-            LinsysError::BadVectorLength { what, expected, actual } => {
+            LinsysError::BadVectorLength {
+                what,
+                expected,
+                actual,
+            } => {
                 write!(f, "{what} vector has length {actual}, expected {expected}")
             }
             LinsysError::NonFinite { what } => {
-                write!(f, "coefficient matrix {what} contains a NaN or infinite entry")
+                write!(
+                    f,
+                    "coefficient matrix {what} contains a NaN or infinite entry"
+                )
             }
             LinsysError::UnstableSystem { spectral_radius } => write!(
                 f,
@@ -110,11 +117,8 @@ impl StateSpace {
         let r = a.rows();
         let p = b.cols();
         let q = c.rows();
-        let consistent = a.cols() == r
-            && b.rows() == r
-            && c.cols() == r
-            && d.rows() == q
-            && d.cols() == p;
+        let consistent =
+            a.cols() == r && b.rows() == r && c.cols() == r && d.rows() == q && d.cols() == p;
         if !consistent {
             return Err(LinsysError::InconsistentShapes {
                 a: a.shape(),
@@ -293,7 +297,9 @@ mod tests {
     #[test]
     fn simulate_impulse() {
         let sys = simple();
-        let inputs: Vec<Vec<f64>> = (0..5).map(|i| vec![if i == 0 { 1.0 } else { 0.0 }]).collect();
+        let inputs: Vec<Vec<f64>> = (0..5)
+            .map(|i| vec![if i == 0 { 1.0 } else { 0.0 }])
+            .collect();
         let out = sys.simulate(&inputs).unwrap();
         // y0 = D = 0.25 ; then y[n] = 0.5^{n-1} (impulse into state).
         let flat: Vec<f64> = out.into_iter().map(|v| v[0]).collect();

@@ -91,7 +91,9 @@ impl UnfoldedSystem {
 pub fn unfold(sys: &StateSpace, i: u32) -> Result<UnfoldedSystem, LinsysError> {
     let rho = sys.spectral_radius();
     if rho >= 1.0 {
-        return Err(LinsysError::UnstableSystem { spectral_radius: rho });
+        return Err(LinsysError::UnstableSystem {
+            spectral_radius: rho,
+        });
     }
     let (p, q, r) = sys.dims();
     let n = i as usize + 1;
@@ -135,7 +137,11 @@ pub fn unfold(sys: &StateSpace, i: u32) -> Result<UnfoldedSystem, LinsysError> {
     // The blocks are shape-consistent by construction; `StateSpace::new`
     // also re-runs the NaN/∞ sentinel over the computed powers.
     let system = StateSpace::new(a_u, b_u, c_u, d_u)?;
-    Ok(UnfoldedSystem { system, unfolding: i, original_dims: (p, q, r) })
+    Ok(UnfoldedSystem {
+        system,
+        unfolding: i,
+        original_dims: (p, q, r),
+    })
 }
 
 #[cfg(test)]
@@ -183,8 +189,9 @@ mod tests {
     #[test]
     fn unfolded_matches_original_simulation_siso() {
         let sys = sys_siso();
-        let inputs: Vec<Vec<f64>> =
-            (0..24).map(|k| vec![((k * 7 % 11) as f64 - 5.0) * 0.3]).collect();
+        let inputs: Vec<Vec<f64>> = (0..24)
+            .map(|k| vec![((k * 7 % 11) as f64 - 5.0) * 0.3])
+            .collect();
         let want = sys.simulate(&inputs).unwrap();
         for i in [1u32, 2, 3, 5, 7] {
             let u = unfold(&sys, i).unwrap();

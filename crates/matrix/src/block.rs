@@ -75,7 +75,10 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 2.0]]);
         let b = Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]);
         let v = vstack(&[&a, &b]);
-        assert_eq!(v, Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]));
+        assert_eq!(
+            v,
+            Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]])
+        );
     }
 
     #[test]
@@ -85,11 +88,7 @@ mod tests {
         let d = block_diag(&[&a, &b]);
         assert_eq!(
             d,
-            Matrix::from_rows(&[
-                &[1.0, 0.0, 0.0],
-                &[0.0, 2.0, 3.0],
-                &[0.0, 4.0, 5.0]
-            ])
+            Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 2.0, 3.0], &[0.0, 4.0, 5.0]])
         );
     }
 

@@ -133,8 +133,12 @@ pub fn eigenvalues(a: &Matrix) -> Vec<Eigenvalue> {
         }
 
         // Wilkinson shift from the trailing 2x2.
-        let (aa, bb, cc, dd) =
-            (h[(n - 2, n - 2)], h[(n - 2, n - 1)], h[(n - 1, n - 2)], h[(n - 1, n - 1)]);
+        let (aa, bb, cc, dd) = (
+            h[(n - 2, n - 2)],
+            h[(n - 2, n - 1)],
+            h[(n - 1, n - 2)],
+            h[(n - 1, n - 1)],
+        );
         let tr = aa + dd;
         let det = aa * dd - bb * cc;
         let disc = tr * tr / 4.0 - det;
@@ -189,7 +193,10 @@ pub fn eigenvalues(a: &Matrix) -> Vec<Eigenvalue> {
 
 /// Exact spectral radius `max |λ|` via [`eigenvalues`].
 pub fn spectral_radius_exact(a: &Matrix) -> f64 {
-    eigenvalues(a).into_iter().map(|(re, im)| re.hypot(im)).fold(0.0, f64::max)
+    eigenvalues(a)
+        .into_iter()
+        .map(|(re, im)| re.hypot(im))
+        .fold(0.0, f64::max)
 }
 
 #[cfg(test)]
@@ -216,10 +223,7 @@ mod tests {
     fn rotation_has_complex_pair() {
         let t = 0.7_f64;
         let r = 0.9_f64;
-        let a = Matrix::from_rows(&[
-            &[r * t.cos(), -r * t.sin()],
-            &[r * t.sin(), r * t.cos()],
-        ]);
+        let a = Matrix::from_rows(&[&[r * t.cos(), -r * t.sin()], &[r * t.sin(), r * t.cos()]]);
         let e = eigenvalues(&a);
         assert_eq!(e.len(), 2);
         for &(re, im) in &e {
@@ -232,11 +236,7 @@ mod tests {
     #[test]
     fn companion_matrix_roots() {
         // x^3 - 6x^2 + 11x - 6 = (x-1)(x-2)(x-3).
-        let a = Matrix::from_rows(&[
-            &[6.0, -11.0, 6.0],
-            &[1.0, 0.0, 0.0],
-            &[0.0, 1.0, 0.0],
-        ]);
+        let a = Matrix::from_rows(&[&[6.0, -11.0, 6.0], &[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]);
         let mut e: Vec<f64> = eigenvalues(&a).iter().map(|&(r, _)| r).collect();
         e.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for (got, want) in e.iter().zip(&[1.0, 2.0, 3.0]) {
@@ -264,7 +264,10 @@ mod tests {
             pi = ni;
         }
         let det = crate::lu::Lu::new(&a).unwrap().det();
-        assert!((pr - det).abs() < 1e-8 && pi.abs() < 1e-8, "det {pr}+{pi}i vs {det}");
+        assert!(
+            (pr - det).abs() < 1e-8 && pi.abs() < 1e-8,
+            "det {pr}+{pi}i vs {det}"
+        );
     }
 
     #[test]
@@ -277,16 +280,15 @@ mod tests {
         ]);
         let exact = spectral_radius_exact(&a);
         let est = crate::spectral_radius_estimate(&a, 14).value;
-        assert!((exact - est).abs() < 0.02 * exact.max(0.1), "{exact} vs {est}");
+        assert!(
+            (exact - est).abs() < 0.02 * exact.max(0.1),
+            "{exact} vs {est}"
+        );
     }
 
     #[test]
     fn hessenberg_similarity_preserves_eigs() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0, 3.0],
-            &[4.0, 5.0, 6.0],
-            &[7.0, 8.0, 10.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 10.0]]);
         let h = hessenberg(&a);
         // Hessenberg structure: zero below the first subdiagonal.
         assert!(h[(2, 0)].abs() < 1e-12);

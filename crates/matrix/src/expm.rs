@@ -9,7 +9,15 @@ use crate::{lu::Lu, Matrix, MatrixError};
 
 /// Coefficients of the \[6/6\] Padé approximant of `e^x`:
 /// `p(x) = Σ c_k x^k`, `q(x) = p(-x)`.
-const PADE6: [f64; 7] = [1.0, 0.5, 5.0 / 44.0, 1.0 / 66.0, 1.0 / 792.0, 1.0 / 15_840.0, 1.0 / 665_280.0];
+const PADE6: [f64; 7] = [
+    1.0,
+    0.5,
+    5.0 / 44.0,
+    1.0 / 66.0,
+    1.0 / 792.0,
+    1.0 / 15_840.0,
+    1.0 / 665_280.0,
+];
 
 /// Computes the matrix exponential `e^A`.
 ///
@@ -49,7 +57,11 @@ pub fn expm(a: &Matrix) -> Result<Matrix, MatrixError> {
 
     // Scale so that max |entry| * n (a cheap norm bound) is < 0.5.
     let norm = a.max_abs() * n as f64;
-    let s = if norm > 0.5 { (norm / 0.5).log2().ceil() as u32 } else { 0 };
+    let s = if norm > 0.5 {
+        (norm / 0.5).log2().ceil() as u32
+    } else {
+        0
+    };
     let scaled = a.scale(0.5_f64.powi(s as i32));
 
     // Evaluate p(A) and q(A) = p(-A) sharing the powers of A.
@@ -109,8 +121,7 @@ mod tests {
         let t = 0.7_f64;
         let a = Matrix::from_rows(&[&[0.0, -t], &[t, 0.0]]);
         let e = expm(&a).unwrap();
-        let expect =
-            Matrix::from_rows(&[&[t.cos(), -t.sin()], &[t.sin(), t.cos()]]);
+        let expect = Matrix::from_rows(&[&[t.cos(), -t.sin()], &[t.sin(), t.cos()]]);
         assert!(e.approx_eq(&expect, 1e-12));
     }
 
@@ -133,7 +144,10 @@ mod tests {
 
     #[test]
     fn rejects_non_square() {
-        assert!(matches!(expm(&Matrix::zeros(2, 3)), Err(MatrixError::NotSquare { .. })));
+        assert!(matches!(
+            expm(&Matrix::zeros(2, 3)),
+            Err(MatrixError::NotSquare { .. })
+        ));
     }
 
     /// Brute-force truncated Taylor series `Σ A^k / k!` — the slow but
@@ -179,7 +193,10 @@ mod tests {
         // oracle needs no scaling at these norms, so this cross-checks
         // the squaring chain too.
         let a = Matrix::from_rows(&[&[1.2, -0.7, 0.3], &[0.4, 0.9, -1.1], &[-0.2, 0.6, 1.4]]);
-        assert!(a.max_abs() * 3.0 > 0.5, "test must exercise the scaling branch");
+        assert!(
+            a.max_abs() * 3.0 > 0.5,
+            "test must exercise the scaling branch"
+        );
         let pade = expm(&a).unwrap();
         let series = expm_series(&a, 80);
         assert!(pade.approx_eq(&series, 1e-9));

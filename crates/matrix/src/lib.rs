@@ -74,7 +74,11 @@ impl std::fmt::Display for MatrixError {
             ),
             MatrixError::Singular => write!(f, "matrix is singular to working precision"),
             MatrixError::NotSquare { shape } => {
-                write!(f, "operation requires a square matrix, got {}x{}", shape.0, shape.1)
+                write!(
+                    f,
+                    "operation requires a square matrix, got {}x{}",
+                    shape.0, shape.1
+                )
             }
             MatrixError::NonFinite { op } => {
                 write!(f, "non-finite (NaN or infinite) entry encountered in {op}")

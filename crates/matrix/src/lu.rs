@@ -148,7 +148,11 @@ impl Lu {
 
     /// Determinant of the factored matrix.
     pub fn det(&self) -> f64 {
-        let sign = if self.swaps.is_multiple_of(2) { 1.0 } else { -1.0 };
+        let sign = if self.swaps.is_multiple_of(2) {
+            1.0
+        } else {
+            -1.0
+        };
         (0..self.dim()).fold(sign, |acc, i| acc * self.lu[(i, i)])
     }
 }
@@ -224,6 +228,9 @@ mod tests {
     fn solve_vec_length_mismatch() {
         let a = Matrix::identity(3);
         let err = Lu::new(&a).unwrap().solve_vec(&[1.0, 2.0]).unwrap_err();
-        assert!(matches!(err, MatrixError::ShapeMismatch { op: "solve", .. }));
+        assert!(matches!(
+            err,
+            MatrixError::ShapeMismatch { op: "solve", .. }
+        ));
     }
 }

@@ -29,7 +29,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -66,10 +70,19 @@ impl Matrix {
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for (i, r) in rows.iter().enumerate() {
-            assert_eq!(r.len(), cols, "row {i} has length {} expected {cols}", r.len());
+            assert_eq!(
+                r.len(),
+                cols,
+                "row {i} has length {} expected {cols}",
+                r.len()
+            );
             data.extend_from_slice(r);
         }
-        Matrix { rows: rows.len(), cols, data }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Creates a square diagonal matrix from the given diagonal entries.
@@ -129,7 +142,11 @@ impl Matrix {
     ///
     /// Panics if `r >= self.rows()`.
     pub fn row(&self, r: usize) -> &[f64] {
-        assert!(r < self.rows, "row index {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row index {r} out of bounds for {} rows",
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -139,14 +156,21 @@ impl Matrix {
     ///
     /// Panics if `c >= self.cols()`.
     pub fn col(&self, c: usize) -> Vec<f64> {
-        assert!(c < self.cols, "column index {c} out of bounds for {} cols", self.cols);
+        assert!(
+            c < self.cols,
+            "column index {c} out of bounds for {} cols",
+            self.cols
+        );
         (0..self.rows).map(|r| self[(r, c)]).collect()
     }
 
     /// Iterates over `(row, col, value)` triples in row-major order.
     pub fn entries(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         let cols = self.cols;
-        self.data.iter().enumerate().map(move |(k, &v)| (k / cols, k % cols, v))
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(k, &v)| (k / cols, k % cols, v))
     }
 
     /// Returns the transpose.
@@ -169,7 +193,13 @@ impl Matrix {
     ///
     /// Panics if `v.len() != self.cols()`.
     pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
-        assert_eq!(v.len(), self.cols, "vector length {} != cols {}", v.len(), self.cols);
+        assert_eq!(
+            v.len(),
+            self.cols,
+            "vector length {} != cols {}",
+            v.len(),
+            self.cols
+        );
         (0..self.rows)
             .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
             .collect()
@@ -182,7 +212,11 @@ impl Matrix {
     ///
     /// Panics if the matrix is not square.
     pub fn pow(&self, mut e: u32) -> Matrix {
-        assert!(self.is_square(), "pow requires a square matrix, got {:?}", self.shape());
+        assert!(
+            self.is_square(),
+            "pow requires a square matrix, got {:?}",
+            self.shape()
+        );
         let mut base = self.clone();
         let mut acc = Matrix::identity(self.rows);
         while e > 0 {
@@ -203,7 +237,10 @@ impl Matrix {
     ///
     /// Panics if the requested block exceeds the matrix bounds.
     pub fn block(&self, r0: usize, c0: usize, nr: usize, nc: usize) -> Matrix {
-        assert!(r0 + nr <= self.rows && c0 + nc <= self.cols, "block out of bounds");
+        assert!(
+            r0 + nr <= self.rows && c0 + nc <= self.cols,
+            "block out of bounds"
+        );
         Matrix::from_fn(nr, nc, |i, j| self[(r0 + i, c0 + j)])
     }
 
@@ -283,7 +320,11 @@ impl Matrix {
     /// at most `tol`.
     pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
         self.shape() == other.shape()
-            && self.data.iter().zip(&other.data).all(|(a, b)| (a - b).abs() <= tol)
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
     }
 
     /// Fraction of exactly-zero entries, in `[0, 1]`; `0` for empty matrices.
@@ -300,14 +341,24 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -462,7 +513,11 @@ mod tests {
         let err = a.try_mul(&b).unwrap_err();
         assert_eq!(
             err,
-            MatrixError::ShapeMismatch { op: "mul", lhs: (2, 3), rhs: (2, 3) }
+            MatrixError::ShapeMismatch {
+                op: "mul",
+                lhs: (2, 3),
+                rhs: (2, 3)
+            }
         );
     }
 

@@ -37,7 +37,10 @@ impl SpectralRadius {
 pub fn spectral_radius_estimate(a: &Matrix, iterations: u32) -> SpectralRadius {
     assert!(a.is_square(), "spectral radius requires a square matrix");
     if a.rows() == 0 {
-        return SpectralRadius { value: 0.0, iterations: 0 };
+        return SpectralRadius {
+            value: 0.0,
+            iterations: 0,
+        };
     }
     // Maintain m = A^k / s with ln s tracked in `log_scale`, rescaling each
     // squaring to dodge overflow/underflow of the explicit powers.
@@ -48,7 +51,10 @@ pub fn spectral_radius_estimate(a: &Matrix, iterations: u32) -> SpectralRadius {
         let norm = inf_norm(&m);
         if norm == 0.0 {
             // Nilpotent: every eigenvalue is 0.
-            return SpectralRadius { value: 0.0, iterations };
+            return SpectralRadius {
+                value: 0.0,
+                iterations,
+            };
         }
         m = m.scale(1.0 / norm);
         // (m/n)^2 scales the tracked power by (s*n)^2.

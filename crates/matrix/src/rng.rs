@@ -87,18 +87,24 @@ mod tests {
 
     #[test]
     fn deterministic_and_seed_sensitive() {
-        let s1: Vec<u64> = (0..8).map({
-            let mut r = SplitMix64::new(7);
-            move |_| r.next_u64()
-        }).collect();
-        let s2: Vec<u64> = (0..8).map({
-            let mut r = SplitMix64::new(7);
-            move |_| r.next_u64()
-        }).collect();
-        let s3: Vec<u64> = (0..8).map({
-            let mut r = SplitMix64::new(8);
-            move |_| r.next_u64()
-        }).collect();
+        let s1: Vec<u64> = (0..8)
+            .map({
+                let mut r = SplitMix64::new(7);
+                move |_| r.next_u64()
+            })
+            .collect();
+        let s2: Vec<u64> = (0..8)
+            .map({
+                let mut r = SplitMix64::new(7);
+                move |_| r.next_u64()
+            })
+            .collect();
+        let s3: Vec<u64> = (0..8)
+            .map({
+                let mut r = SplitMix64::new(8);
+                move |_| r.next_u64()
+            })
+            .collect();
         assert_eq!(s1, s2);
         assert_ne!(s1, s3);
     }

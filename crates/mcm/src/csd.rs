@@ -121,7 +121,11 @@ mod tests {
 
     fn check_value(c: i64, r: Recoding) {
         let d = recode(c, r);
-        assert_eq!(digits_value(&d), c as i128, "recode({c}, {r:?}) wrong value: {d:?}");
+        assert_eq!(
+            digits_value(&d),
+            c as i128,
+            "recode({c}, {r:?}) wrong value: {d:?}"
+        );
     }
 
     #[test]
@@ -141,7 +145,10 @@ mod tests {
         for c in -4096..=4096i64 {
             let d = csd_digits(c);
             for w in d.windows(2) {
-                assert!(w[1].shift > w[0].shift + 1, "adjacent digits for {c}: {d:?}");
+                assert!(
+                    w[1].shift > w[0].shift + 1,
+                    "adjacent digits for {c}: {d:?}"
+                );
             }
         }
     }
@@ -160,7 +167,19 @@ mod tests {
     fn known_csd_expansions() {
         // 7 = 8 - 1
         let d = csd_digits(7);
-        assert_eq!(d, vec![Digit { shift: 0, neg: true }, Digit { shift: 3, neg: false }]);
+        assert_eq!(
+            d,
+            vec![
+                Digit {
+                    shift: 0,
+                    neg: true
+                },
+                Digit {
+                    shift: 3,
+                    neg: false
+                }
+            ]
+        );
         // 15 = 16 - 1
         assert_eq!(csd_digits(15).len(), 2);
         // 5 = 4 + 1 stays binary
@@ -177,14 +196,32 @@ mod tests {
 
     #[test]
     fn single_costs() {
-        assert_eq!(single_constant_cost(0, Recoding::Binary), Cost { adds: 0, shifts: 0 });
-        assert_eq!(single_constant_cost(1, Recoding::Binary), Cost { adds: 0, shifts: 0 });
-        assert_eq!(single_constant_cost(-1, Recoding::Binary), Cost { adds: 0, shifts: 0 });
-        assert_eq!(single_constant_cost(16, Recoding::Binary), Cost { adds: 0, shifts: 1 });
+        assert_eq!(
+            single_constant_cost(0, Recoding::Binary),
+            Cost { adds: 0, shifts: 0 }
+        );
+        assert_eq!(
+            single_constant_cost(1, Recoding::Binary),
+            Cost { adds: 0, shifts: 0 }
+        );
+        assert_eq!(
+            single_constant_cost(-1, Recoding::Binary),
+            Cost { adds: 0, shifts: 0 }
+        );
+        assert_eq!(
+            single_constant_cost(16, Recoding::Binary),
+            Cost { adds: 0, shifts: 1 }
+        );
         // 185 binary: 5 digits -> 4 adds, 4 shifted digits.
-        assert_eq!(single_constant_cost(185, Recoding::Binary), Cost { adds: 4, shifts: 4 });
+        assert_eq!(
+            single_constant_cost(185, Recoding::Binary),
+            Cost { adds: 4, shifts: 4 }
+        );
         // 235 binary: 6 digits -> 5 adds, 5 shifted digits.
-        assert_eq!(single_constant_cost(235, Recoding::Binary), Cost { adds: 5, shifts: 5 });
+        assert_eq!(
+            single_constant_cost(235, Recoding::Binary),
+            Cost { adds: 5, shifts: 5 }
+        );
     }
 
     #[test]

@@ -79,7 +79,10 @@ impl std::ops::Add for Cost {
     type Output = Cost;
 
     fn add(self, rhs: Cost) -> Cost {
-        Cost { adds: self.adds + rhs.adds, shifts: self.shifts + rhs.shifts }
+        Cost {
+            adds: self.adds + rhs.adds,
+            shifts: self.shifts + rhs.shifts,
+        }
     }
 }
 
@@ -106,7 +109,12 @@ mod tests {
 
     #[test]
     fn quantize_round_trip_of_dyadic() {
-        for &(c, w, q) in &[(0.5, 4, 8i64), (-0.375, 8, -96), (1.0, 12, 4096), (0.0, 8, 0)] {
+        for &(c, w, q) in &[
+            (0.5, 4, 8i64),
+            (-0.375, 8, -96),
+            (1.0, 12, 4096),
+            (0.0, 8, 0),
+        ] {
             assert_eq!(quantize(c, w), q, "c={c} w={w}");
             assert!((q as f64 / (1u64 << w) as f64 - c).abs() < 1e-12);
         }

@@ -64,16 +64,13 @@ impl ScmOracle {
                             break;
                         }
                         let shifted = shifted as u64;
-                        for cand in
-                            [shifted + k, shifted.abs_diff(k), k.wrapping_add(shifted)]
-                        {
+                        for cand in [shifted + k, shifted.abs_diff(k), k.wrapping_add(shifted)] {
                             let mut v = cand;
                             if v == 0 || v > cap {
                                 continue;
                             }
                             v >>= v.trailing_zeros();
-                            if let std::collections::hash_map::Entry::Vacant(slot) =
-                                table.entry(v)
+                            if let std::collections::hash_map::Entry::Vacant(slot) = table.entry(v)
                             {
                                 slot.insert(depth);
                                 next.push(v);
@@ -84,7 +81,10 @@ impl ScmOracle {
             }
             frontier = next;
         }
-        ScmOracle { table, depth: max_adds }
+        ScmOracle {
+            table,
+            depth: max_adds,
+        }
     }
 
     /// Minimum additions to realize `c·x`, or `None` when `c` needs more
@@ -128,7 +128,7 @@ mod tests {
         assert_eq!(o.min_adds(7), Some(1));
         assert_eq!(o.min_adds(9), Some(1));
         assert_eq!(o.min_adds(6), Some(1)); // 3 << 1
-        // 11 needs 2 adds.
+                                            // 11 needs 2 adds.
         assert_eq!(o.min_adds(11), None);
     }
 

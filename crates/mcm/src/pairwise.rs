@@ -66,14 +66,25 @@ pub fn synthesize(constants: &[i64], recoding: Recoding) -> McmSolution {
                 exprs.push(Expr {
                     terms: digits
                         .iter()
-                        .map(|d| Term { source: Source::Input, shift: d.shift, neg: d.neg })
+                        .map(|d| Term {
+                            source: Source::Input,
+                            shift: d.shift,
+                            neg: d.neg,
+                        })
                         .collect(),
                 });
                 exprs.len() - 1
             });
             Source::Expr(idx)
         };
-        outputs.push((c, OutputRef::Scaled(Term { source, shift: e, neg })));
+        outputs.push((
+            c,
+            OutputRef::Scaled(Term {
+                source,
+                shift: e,
+                neg,
+            }),
+        ));
     }
 
     // Iterative pairwise matching over the expression pool.
@@ -113,11 +124,21 @@ fn image(t: &Term, shift: i64, flip: bool) -> Option<Term> {
     if s < 0 {
         return None;
     }
-    Some(Term { source: t.source, shift: s as u32, neg: t.neg ^ flip })
+    Some(Term {
+        source: t.source,
+        shift: s as u32,
+        neg: t.neg ^ flip,
+    })
 }
 
 /// Finds the matched index sets for a fixed pair and candidate transform.
-fn match_under(exprs: &[Expr], i: usize, j: usize, shift: i64, flip: bool) -> (Vec<usize>, Vec<usize>) {
+fn match_under(
+    exprs: &[Expr],
+    i: usize,
+    j: usize,
+    shift: i64,
+    flip: bool,
+) -> (Vec<usize>, Vec<usize>) {
     let (mut src, mut dst) = (Vec::new(), Vec::new());
     let mut used_dst = vec![false; exprs[j].terms.len()];
     for (a, t) in exprs[i].terms.iter().enumerate() {
@@ -125,7 +146,9 @@ fn match_under(exprs: &[Expr], i: usize, j: usize, shift: i64, flip: bool) -> (V
         if i == j && (dst.contains(&a)) {
             continue;
         }
-        let Some(want) = image(t, shift, flip) else { continue };
+        let Some(want) = image(t, shift, flip) else {
+            continue;
+        };
         let found = exprs[j].terms.iter().enumerate().position(|(b, u)| {
             !used_dst[b] && *u == want && !(i == j && (b == a || src.contains(&b)))
         });
@@ -161,7 +184,14 @@ fn best_match(exprs: &[Expr]) -> Option<Match> {
                 }
                 let (src, dst) = match_under(exprs, i, j, shift, flip);
                 if src.len() >= 2 {
-                    let cand = Match { i, j, shift, flip, src, dst };
+                    let cand = Match {
+                        i,
+                        j,
+                        shift,
+                        flip,
+                        src,
+                        dst,
+                    };
                     if best.as_ref().is_none_or(|b| cand.len() > b.len()) {
                         best = Some(cand);
                     }
@@ -182,17 +212,29 @@ fn apply_match(exprs: &mut Vec<Expr>, m: Match) {
         return;
     };
     // Normalize so the new expression's minimum-shift term is positive.
-    let f = matched.iter().find(|t| t.shift == m0).map(|t| t.neg).unwrap_or(false);
+    let f = matched
+        .iter()
+        .find(|t| t.shift == m0)
+        .map(|t| t.neg)
+        .unwrap_or(false);
     let new_expr = Expr {
         terms: matched
             .iter()
-            .map(|t| Term { source: t.source, shift: t.shift - m0, neg: t.neg ^ f })
+            .map(|t| Term {
+                source: t.source,
+                shift: t.shift - m0,
+                neg: t.neg ^ f,
+            })
             .collect(),
     };
     let k = exprs.len();
     exprs.push(new_expr);
 
-    let ref_i = Term { source: Source::Expr(k), shift: m0, neg: f };
+    let ref_i = Term {
+        source: Source::Expr(k),
+        shift: m0,
+        neg: f,
+    };
     let ref_j = Term {
         source: Source::Expr(k),
         shift: (m0 as i64 + m.shift) as u32,

@@ -69,8 +69,15 @@ pub enum VerifyMcmError {
 impl fmt::Display for VerifyMcmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            VerifyMcmError::OutputMismatch { output, expected, actual } => {
-                write!(f, "mcm output {output} computes {actual} instead of {expected}")
+            VerifyMcmError::OutputMismatch {
+                output,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "mcm output {output} computes {actual} instead of {expected}"
+                )
             }
             VerifyMcmError::ReferenceCycle { expr } => {
                 write!(f, "mcm plan contains a reference cycle at e{expr}")
@@ -204,7 +211,10 @@ impl McmSolution {
     /// Number of two-operand additions in the plan: `Σ (terms − 1)` over
     /// all expressions.
     pub fn adds(&self) -> usize {
-        self.exprs.iter().map(|e| e.terms.len().saturating_sub(1)).sum()
+        self.exprs
+            .iter()
+            .map(|e| e.terms.len().saturating_sub(1))
+            .sum()
     }
 
     /// Number of distinct shifters: distinct `(source, shift)` pairs with a
@@ -231,7 +241,10 @@ impl McmSolution {
 
     /// Combined cost.
     pub fn cost(&self) -> Cost {
-        Cost { adds: self.adds(), shifts: self.shifts() }
+        Cost {
+            adds: self.adds(),
+            shifts: self.shifts(),
+        }
     }
 }
 
@@ -242,7 +255,11 @@ impl fmt::Display for McmSolution {
                 Source::Input => "x".to_string(),
                 Source::Expr(i) => format!("e{i}"),
             };
-            let shifted = if t.shift > 0 { format!("{src}<<{}", t.shift) } else { src };
+            let shifted = if t.shift > 0 {
+                format!("{src}<<{}", t.shift)
+            } else {
+                src
+            };
             if t.neg {
                 format!("- {shifted}")
             } else {
@@ -297,11 +314,20 @@ mod tests {
     #[test]
     fn verify_reports_mismatch() {
         let sol = McmSolution {
-            exprs: vec![Expr { terms: vec![t(Source::Input, 1, false)] }],
+            exprs: vec![Expr {
+                terms: vec![t(Source::Input, 1, false)],
+            }],
             outputs: vec![(3, OutputRef::Scaled(t(Source::Expr(0), 0, false)))],
         };
         let err = sol.verify().unwrap_err();
-        assert_eq!(err, VerifyMcmError::OutputMismatch { output: 0, expected: 3, actual: 2 });
+        assert_eq!(
+            err,
+            VerifyMcmError::OutputMismatch {
+                output: 0,
+                expected: 3,
+                actual: 2
+            }
+        );
         assert!(err.to_string().contains("computes 2 instead of 3"));
     }
 
@@ -310,8 +336,12 @@ mod tests {
         // e0 references e1 and e1 references e0.
         let sol = McmSolution {
             exprs: vec![
-                Expr { terms: vec![t(Source::Expr(1), 0, false)] },
-                Expr { terms: vec![t(Source::Expr(0), 1, false)] },
+                Expr {
+                    terms: vec![t(Source::Expr(1), 0, false)],
+                },
+                Expr {
+                    terms: vec![t(Source::Expr(0), 1, false)],
+                },
             ],
             outputs: vec![(2, OutputRef::Scaled(t(Source::Expr(1), 0, false)))],
         };
@@ -327,8 +357,12 @@ mod tests {
         // Two expressions both using x<<3: one shifter.
         let sol = McmSolution {
             exprs: vec![
-                Expr { terms: vec![t(Source::Input, 3, false), t(Source::Input, 0, false)] },
-                Expr { terms: vec![t(Source::Input, 3, false), t(Source::Input, 0, true)] },
+                Expr {
+                    terms: vec![t(Source::Input, 3, false), t(Source::Input, 0, false)],
+                },
+                Expr {
+                    terms: vec![t(Source::Input, 3, false), t(Source::Input, 0, true)],
+                },
             ],
             outputs: vec![
                 (9, OutputRef::Scaled(t(Source::Expr(0), 0, false))),

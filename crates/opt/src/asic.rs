@@ -35,7 +35,11 @@ impl Default for AsicConfig {
             frac_bits: 12,
             recoding: Recoding::Csd,
             max_unfolding: 127,
-            timing: OpTiming { t_mul: 2.0, t_add: 1.0, t_shift: 0.0 },
+            timing: OpTiming {
+                t_mul: 2.0,
+                t_add: 1.0,
+                t_shift: 0.0,
+            },
         }
     }
 }
@@ -84,7 +88,9 @@ fn required_unfolding<H>(
 where
     H: FnMut(u32) -> Result<HornerForm, LinsysError>,
 {
-    let base_cp = build::from_state_space(sys)?.critical_path(&cfg.timing).max(1.0);
+    let base_cp = build::from_state_space(sys)?
+        .critical_path(&cfg.timing)
+        .max(1.0);
     let v0 = tech.initial_voltage;
     // A supply at (or below) the threshold or the floor has no voltage
     // headroom for unfolding to buy; ask for no slowdown rather than
@@ -98,11 +104,17 @@ where
     // depth (only A^n·S is in the cycle), so solve for n in closed form
     // from the depth at n = 1 and verify, bumping if the measured path at
     // the chosen depth differs by a rounding level.
-    let fb1 = horner(0)?.to_dfg()?.feedback_critical_path(&cfg.timing).max(1.0);
+    let fb1 = horner(0)?
+        .to_dfg()?
+        .feedback_critical_path(&cfg.timing)
+        .max(1.0);
     let mut i = ((needed * fb1 / base_cp).ceil() as i64 - 1).max(0) as u32;
     loop {
         i = i.min(cfg.max_unfolding);
-        let fb = horner(i)?.to_dfg()?.feedback_critical_path(&cfg.timing).max(1.0);
+        let fb = horner(i)?
+            .to_dfg()?
+            .feedback_critical_path(&cfg.timing)
+            .max(1.0);
         let available = (i as f64 + 1.0) * base_cp / fb;
         if available >= needed {
             return Ok(i);
@@ -130,7 +142,11 @@ where
 /// Hitting the unfolding cap or the voltage floor is *not* an error — the
 /// flow degrades to the deepest/lowest feasible point and records a
 /// diagnostic.
-pub fn optimize(sys: &StateSpace, tech: &TechConfig, cfg: &AsicConfig) -> Result<AsicResult, OptError> {
+pub fn optimize(
+    sys: &StateSpace,
+    tech: &TechConfig,
+    cfg: &AsicConfig,
+) -> Result<AsicResult, OptError> {
     optimize_impl(sys, tech, cfg, &mut |i| HornerForm::new(sys, i))
 }
 
@@ -169,7 +185,8 @@ where
     let bc = base.op_counts();
     let regs0 = (r + p + q) as u64;
     let initial =
-        tech.energy.energy_per_sample(bc.adds, bc.muls, bc.shifts, regs0, tech.initial_voltage);
+        tech.energy
+            .energy_per_sample(bc.adds, bc.muls, bc.shifts, regs0, tech.initial_voltage);
 
     // Transformed design.
     let unfolding = required_unfolding(sys, tech, cfg, &mut diagnostics, horner)?;
@@ -177,7 +194,10 @@ where
     let horner_dfg = horner(unfolding)?.to_dfg()?;
     let (shifted, mcm) = expand_multiplications(
         &horner_dfg,
-        McmPassConfig { frac_bits: cfg.frac_bits, recoding: cfg.recoding },
+        McmPassConfig {
+            frac_bits: cfg.frac_bits,
+            recoding: cfg.recoding,
+        },
     )?;
     let oc = shifted.op_counts();
     debug_assert_eq!(oc.muls, 0, "mcm pass must remove every multiplier");
@@ -186,22 +206,30 @@ where
     let base_cp = base.critical_path(&cfg.timing).max(1.0);
     let fb = shifted.feedback_critical_path(&cfg.timing).max(1.0);
     let available = n as f64 * base_cp / fb;
-    let scaling = scale_or_fallback(&tech.voltage, tech.initial_voltage, available, &mut diagnostics)?;
+    let scaling = scale_or_fallback(
+        &tech.voltage,
+        tech.initial_voltage,
+        available,
+        &mut diagnostics,
+    )?;
 
     // Per-sample counts: one batch of the transformed graph serves n
     // samples; registers: state registers once per batch + I/O registers
     // per sample.
     let per = |x: u64| -> u64 { x.div_ceil(n) };
     let regs = per(r as u64) + (p + q) as u64;
-    let optimized = tech.energy.energy_per_sample(
-        per(oc.adds),
-        0,
-        per(oc.shifts),
-        regs,
-        scaling.voltage,
-    );
+    let optimized =
+        tech.energy
+            .energy_per_sample(per(oc.adds), 0, per(oc.shifts), regs, scaling.voltage);
 
-    Ok(AsicResult { unfolding, voltage: scaling.voltage, initial, optimized, mcm, diagnostics })
+    Ok(AsicResult {
+        unfolding,
+        voltage: scaling.voltage,
+        initial,
+        optimized,
+        mcm,
+        diagnostics,
+    })
 }
 
 #[cfg(test)]
@@ -264,11 +292,21 @@ mod tests {
         // A cap of 1 cannot possibly buy the ~92x slowdown 5.0 V needs;
         // the flow must still return a (shallow) result and say why.
         let d = by_name("iir5").unwrap();
-        let cfg = AsicConfig { max_unfolding: 1, ..AsicConfig::default() };
+        let cfg = AsicConfig {
+            max_unfolding: 1,
+            ..AsicConfig::default()
+        };
         let r = optimize(&d.system, &TechConfig::dac96(5.0), &cfg).unwrap();
         assert!(r.unfolding <= 1);
-        assert!(r.diagnostics.iter().any(|di| di.code == DiagCode::UnfoldingCapped));
-        assert!(r.voltage > 1.1, "capped flow should not reach the floor, got {}", r.voltage);
+        assert!(r
+            .diagnostics
+            .iter()
+            .any(|di| di.code == DiagCode::UnfoldingCapped));
+        assert!(
+            r.voltage > 1.1,
+            "capped flow should not reach the floor, got {}",
+            r.voltage
+        );
     }
 
     #[test]
@@ -280,7 +318,11 @@ mod tests {
             let mut cache = SweepCache::new(&d.system);
             let cached = optimize_cached(&d.system, &t, &cfg, &mut cache).unwrap();
             assert_eq!(cached, seq, "{}", d.name);
-            assert!(cache.stats().hits > 0, "{}: deep search should reuse powers", d.name);
+            assert!(
+                cache.stats().hits > 0,
+                "{}: deep search should reuse powers",
+                d.name
+            );
         }
     }
 
@@ -291,8 +333,18 @@ mod tests {
         // 92·CP_fb/CP_base samples — large but finite and under the cap.
         for d in suite() {
             let r = optimize(&d.system, &tech(), &AsicConfig::default()).unwrap();
-            assert!(r.unfolding <= 127, "{} used unfolding {}", d.name, r.unfolding);
-            assert!(r.unfolding >= 8, "{} suspiciously shallow: {}", d.name, r.unfolding);
+            assert!(
+                r.unfolding <= 127,
+                "{} used unfolding {}",
+                d.name,
+                r.unfolding
+            );
+            assert!(
+                r.unfolding >= 8,
+                "{} suspiciously shallow: {}",
+                d.name,
+                r.unfolding
+            );
         }
     }
 }

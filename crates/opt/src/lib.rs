@@ -148,7 +148,9 @@ pub(crate) fn scale_or_fallback(
     diags: &mut Vec<Diagnostic>,
 ) -> Result<VoltageScaling, OptError> {
     if !slowdown.is_finite() {
-        return Err(OptError::Voltage(VoltageError::InfeasibleSlowdown { slowdown }));
+        return Err(OptError::Voltage(VoltageError::InfeasibleSlowdown {
+            slowdown,
+        }));
     }
     let slowdown = slowdown.max(1.0);
     match model.scale_for_slowdown(v_from, slowdown) {
@@ -251,7 +253,9 @@ impl Strategy {
         Strategy::all()
             .into_iter()
             .find(|s| s.name() == name)
-            .ok_or_else(|| UnknownStrategy { name: name.to_string() })
+            .ok_or_else(|| UnknownStrategy {
+                name: name.to_string(),
+            })
     }
 }
 
@@ -271,7 +275,12 @@ pub struct UnknownStrategy {
 impl fmt::Display for UnknownStrategy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let names: Vec<&str> = Strategy::all().iter().map(|s| s.name()).collect();
-        write!(f, "unknown strategy `{}`; expected one of: {}", self.name, names.join(", "))
+        write!(
+            f,
+            "unknown strategy `{}`; expected one of: {}",
+            self.name,
+            names.join(", ")
+        )
     }
 }
 

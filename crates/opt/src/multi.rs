@@ -108,8 +108,12 @@ pub fn optimize(
         let per_sample = len / (i + 1) as f64;
         let speedup = base / per_sample;
         let mut diagnostics = Vec::new();
-        let scaling =
-            scale_or_fallback(&tech.voltage, tech.initial_voltage, speedup, &mut diagnostics)?;
+        let scaling = scale_or_fallback(
+            &tech.voltage,
+            tech.initial_voltage,
+            speedup,
+            &mut diagnostics,
+        )?;
         Ok(MultiProcessorResult {
             unfolding: i,
             processors: n,
@@ -129,7 +133,9 @@ pub fn optimize(
                 let cand = evaluate(n)?;
                 best = fold_candidate(best, cand);
             }
-            best.ok_or(OptError::Schedule(lintra_sched::ScheduleError::NoProcessors))
+            best.ok_or(OptError::Schedule(
+                lintra_sched::ScheduleError::NoProcessors,
+            ))
         }
     }
 }
@@ -185,8 +191,12 @@ pub fn optimize_with_pool(
         let per_sample = len / (i + 1) as f64;
         let speedup = base / per_sample;
         let mut diagnostics = Vec::new();
-        let scaling =
-            scale_or_fallback(&tech.voltage, tech.initial_voltage, speedup, &mut diagnostics)?;
+        let scaling = scale_or_fallback(
+            &tech.voltage,
+            tech.initial_voltage,
+            speedup,
+            &mut diagnostics,
+        )?;
         Ok(MultiProcessorResult {
             unfolding: i,
             processors: n,
@@ -206,7 +216,9 @@ pub fn optimize_with_pool(
             for cand in candidates {
                 best = fold_candidate(best, cand?);
             }
-            best.ok_or(OptError::Schedule(lintra_sched::ScheduleError::NoProcessors))
+            best.ok_or(OptError::Schedule(
+                lintra_sched::ScheduleError::NoProcessors,
+            ))
         }
     }
 }
@@ -270,7 +282,9 @@ mod tests {
         let best = optimize(
             &d.system,
             &tech,
-            ProcessorSelection::SearchBest { max: d.system.num_states() + 2 },
+            ProcessorSelection::SearchBest {
+                max: d.system.num_states() + 2,
+            },
         )
         .unwrap();
         assert!(best.power_reduction() >= fixed.power_reduction() - 1e-9);
@@ -283,11 +297,16 @@ mod tests {
         let reductions: Vec<f64> = suite()
             .iter()
             .map(|d| {
-                optimize(&d.system, &tech, ProcessorSelection::StatesCount).unwrap().power_reduction()
+                optimize(&d.system, &tech, ProcessorSelection::StatesCount)
+                    .unwrap()
+                    .power_reduction()
             })
             .collect();
         let avg = reductions.iter().sum::<f64>() / reductions.len() as f64;
-        assert!(avg > 2.0, "average multiprocessor reduction {avg} ({reductions:?})");
+        assert!(
+            avg > 2.0,
+            "average multiprocessor reduction {avg} ({reductions:?})"
+        );
     }
 
     #[test]
@@ -297,7 +316,9 @@ mod tests {
         for d in suite() {
             for selection in [
                 ProcessorSelection::StatesCount,
-                ProcessorSelection::SearchBest { max: d.system.num_states() + 2 },
+                ProcessorSelection::SearchBest {
+                    max: d.system.num_states() + 2,
+                },
             ] {
                 let seq = optimize(&d.system, &tech, selection).unwrap();
                 let par = optimize_with_pool(&d.system, &tech, selection, &pool).unwrap();
@@ -349,7 +370,11 @@ mod tests {
         let tech = TechConfig::dac96(5.0);
         for d in suite() {
             let m = optimize(&d.system, &tech, ProcessorSelection::StatesCount).unwrap();
-            assert!(m.scaling.voltage >= tech.voltage.v_min() - 1e-12, "{}", d.name);
+            assert!(
+                m.scaling.voltage >= tech.voltage.v_min() - 1e-12,
+                "{}",
+                d.name
+            );
         }
     }
 }

@@ -95,7 +95,9 @@ pub fn optimize_cached(
     tech: &TechConfig,
     cache: &mut SweepCache,
 ) -> Result<SingleProcessorResult, OptError> {
-    optimize_impl(sys, tech, |rule, wm, wa| lintra_engine::best_unfolding(cache, rule, wm, wa))
+    optimize_impl(sys, tech, |rule, wm, wa| {
+        lintra_engine::best_unfolding(cache, rule, wm, wa)
+    })
 }
 
 fn optimize_impl<F>(
@@ -122,7 +124,12 @@ where
         unfolding: iopt,
         ops_unfolded: opsi,
         speedup: dense_speedup,
-        scaling: scale_or_fallback(&tech.voltage, tech.initial_voltage, dense_speedup, &mut diagnostics)?,
+        scaling: scale_or_fallback(
+            &tech.voltage,
+            tech.initial_voltage,
+            dense_speedup,
+            &mut diagnostics,
+        )?,
     };
 
     // Real coefficients.
@@ -132,10 +139,20 @@ where
         unfolding: choice.unfolding,
         ops_unfolded: choice.ops,
         speedup: choice.speedup(),
-        scaling: scale_or_fallback(&tech.voltage, tech.initial_voltage, choice.speedup(), &mut diagnostics)?,
+        scaling: scale_or_fallback(
+            &tech.voltage,
+            tech.initial_voltage,
+            choice.speedup(),
+            &mut diagnostics,
+        )?,
     };
 
-    Ok(SingleProcessorResult { dims: (p, q, r), dense, real, diagnostics })
+    Ok(SingleProcessorResult {
+        dims: (p, q, r),
+        dense,
+        real,
+        diagnostics,
+    })
 }
 
 #[cfg(test)]
@@ -149,7 +166,11 @@ mod tests {
         let sys = dense_synthetic(1, 1, 5);
         let r = optimize(&sys, &TechConfig::dac96(3.0)).unwrap();
         assert_eq!(r.dense.unfolding, 6);
-        assert!((r.dense.speedup - 1.975).abs() < 0.01, "S_max {}", r.dense.speedup);
+        assert!(
+            (r.dense.speedup - 1.975).abs() < 0.01,
+            "S_max {}",
+            r.dense.speedup
+        );
         // Voltage drops substantially below 3.0 and power reduction beats
         // the linear fallback.
         assert!(r.dense.scaling.voltage < 2.5);
@@ -200,11 +221,19 @@ mod tests {
         // with at least one design (dist) getting none.
         let results: Vec<f64> = suite()
             .iter()
-            .map(|d| optimize(&d.system, &TechConfig::dac96(3.3)).unwrap().real.power_reduction())
+            .map(|d| {
+                optimize(&d.system, &TechConfig::dac96(3.3))
+                    .unwrap()
+                    .real
+                    .power_reduction()
+            })
             .collect();
         let avg = results.iter().sum::<f64>() / results.len() as f64;
         assert!(avg > 1.5, "average reduction {avg} ({results:?})");
-        assert!(results.iter().any(|&x| (x - 1.0).abs() < 1e-9), "dist should be 1.0");
+        assert!(
+            results.iter().any(|&x| (x - 1.0).abs() < 1e-9),
+            "dist should be 1.0"
+        );
     }
 
     #[test]

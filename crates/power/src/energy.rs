@@ -66,7 +66,12 @@ impl EnergyModel {
     /// instruction count cited in §4), `C_instr = 80 pF` per instruction.
     pub fn processor_uniform() -> EnergyModel {
         let c = 80e-12;
-        EnergyModel { c_add: c, c_mult: c, c_shift: c, c_register: 0.0 }
+        EnergyModel {
+            c_add: c,
+            c_mult: c,
+            c_shift: c,
+            c_register: 0.0,
+        }
     }
 
     /// Capacitance for an operation class.

@@ -39,11 +39,17 @@ pub fn relative_power(speedup: f64, strategy: IdleStrategy) -> f64 {
     match strategy {
         IdleStrategy::SlowClock => busy,
         IdleStrategy::ClockGate { idle_fraction } => {
-            assert!((0.0..=1.0).contains(&idle_fraction), "idle fraction out of range");
+            assert!(
+                (0.0..=1.0).contains(&idle_fraction),
+                "idle fraction out of range"
+            );
             busy + (1.0 - busy) * idle_fraction
         }
         IdleStrategy::PowerDown { wakeup_overhead } => {
-            assert!(wakeup_overhead >= 0.0, "wakeup overhead must be non-negative");
+            assert!(
+                wakeup_overhead >= 0.0,
+                "wakeup overhead must be non-negative"
+            );
             busy + wakeup_overhead * busy
         }
     }
@@ -101,8 +107,18 @@ mod tests {
     #[test]
     fn power_down_overhead_accounted() {
         let s = 4.0;
-        let free = relative_power(s, IdleStrategy::PowerDown { wakeup_overhead: 0.0 });
-        let costly = relative_power(s, IdleStrategy::PowerDown { wakeup_overhead: 0.5 });
+        let free = relative_power(
+            s,
+            IdleStrategy::PowerDown {
+                wakeup_overhead: 0.0,
+            },
+        );
+        let costly = relative_power(
+            s,
+            IdleStrategy::PowerDown {
+                wakeup_overhead: 0.5,
+            },
+        );
         assert!((free - 0.25).abs() < 1e-12);
         assert!((costly - 0.375).abs() < 1e-12);
     }
@@ -113,7 +129,14 @@ mod tests {
         assert!((be - 6.0).abs() < 1e-12);
         // Past the threshold power-down wins; below it gating wins.
         let gate = |s| relative_power(s, IdleStrategy::ClockGate { idle_fraction: 0.1 });
-        let down = |s| relative_power(s, IdleStrategy::PowerDown { wakeup_overhead: 0.5 });
+        let down = |s| {
+            relative_power(
+                s,
+                IdleStrategy::PowerDown {
+                    wakeup_overhead: 0.5,
+                },
+            )
+        };
         assert!(down(8.0) < gate(8.0));
         assert!(down(4.0) > gate(4.0));
         assert!(power_down_break_even(0.0, 0.5).is_none());

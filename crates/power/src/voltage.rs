@@ -37,10 +37,16 @@ impl fmt::Display for VoltageModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VoltageModelError::MinBelowThreshold => {
-                write!(f, "minimum supply voltage must exceed the threshold voltage")
+                write!(
+                    f,
+                    "minimum supply voltage must exceed the threshold voltage"
+                )
             }
             VoltageModelError::RefBelowMin => {
-                write!(f, "reference voltage must be at least the minimum supply voltage")
+                write!(
+                    f,
+                    "reference voltage must be at least the minimum supply voltage"
+                )
             }
             VoltageModelError::NonPositive => {
                 write!(f, "voltages must be finite and positive")
@@ -84,12 +90,21 @@ impl fmt::Display for VoltageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VoltageError::BelowThreshold { voltage, vt } => {
-                write!(f, "supply voltage {voltage} V is at or below threshold {vt} V")
+                write!(
+                    f,
+                    "supply voltage {voltage} V is at or below threshold {vt} V"
+                )
             }
             VoltageError::InfeasibleSlowdown { slowdown } => {
-                write!(f, "slowdown factor {slowdown} is infeasible (must be finite and >= 1)")
+                write!(
+                    f,
+                    "slowdown factor {slowdown} is infeasible (must be finite and >= 1)"
+                )
             }
-            VoltageError::NonConvergence { slowdown, iterations } => {
+            VoltageError::NonConvergence {
+                slowdown,
+                iterations,
+            } => {
                 write!(
                     f,
                     "bisection failed to invert the delay curve for slowdown {slowdown} \
@@ -126,7 +141,11 @@ impl VoltageModel {
     /// The technology used throughout the paper's experiments:
     /// `V_t = 0.9 V`, `V_min = 1.1 V`, normalized at `5.0 V`.
     pub fn dac96() -> VoltageModel {
-        VoltageModel { vt: 0.9, v_min: 1.1, v_ref: 5.0 }
+        VoltageModel {
+            vt: 0.9,
+            v_min: 1.1,
+            v_ref: 5.0,
+        }
     }
 
     /// Threshold voltage in volts.
@@ -150,7 +169,11 @@ impl VoltageModel {
     ///
     /// Panics if `v <= vt` (the model is undefined at or below threshold).
     pub fn raw_delay(&self, v: f64) -> f64 {
-        assert!(v > self.vt, "supply voltage {v} must exceed threshold {}", self.vt);
+        assert!(
+            v > self.vt,
+            "supply voltage {v} must exceed threshold {}",
+            self.vt
+        );
         let dv = v - self.vt;
         v / (dv * dv)
     }
@@ -188,7 +211,10 @@ impl VoltageModel {
     ///   large slowdown).
     pub fn voltage_for_slowdown(&self, v_from: f64, slowdown: f64) -> Result<f64, VoltageError> {
         if !(v_from.is_finite() && v_from > self.vt) {
-            return Err(VoltageError::BelowThreshold { voltage: v_from, vt: self.vt });
+            return Err(VoltageError::BelowThreshold {
+                voltage: v_from,
+                vt: self.vt,
+            });
         }
         if !(slowdown.is_finite() && slowdown >= 1.0) {
             return Err(VoltageError::InfeasibleSlowdown { slowdown });
@@ -196,7 +222,10 @@ impl VoltageModel {
         const ITERATIONS: u32 = 200;
         let target = self.raw_delay(v_from) * slowdown;
         if !target.is_finite() {
-            return Err(VoltageError::NonConvergence { slowdown, iterations: 0 });
+            return Err(VoltageError::NonConvergence {
+                slowdown,
+                iterations: 0,
+            });
         }
         // d is strictly decreasing on (vt, inf) and d -> inf as v -> vt+,
         // so a solution in (vt, v_from] always exists. Bisect.
@@ -208,7 +237,10 @@ impl VoltageModel {
         if self.raw_delay(lo) < target {
             // The target lies beyond the steep near-threshold wall the
             // bracket can represent in f64.
-            return Err(VoltageError::NonConvergence { slowdown, iterations: 0 });
+            return Err(VoltageError::NonConvergence {
+                slowdown,
+                iterations: 0,
+            });
         }
         for _ in 0..ITERATIONS {
             let mid = 0.5 * (lo + hi);
@@ -221,7 +253,10 @@ impl VoltageModel {
         let v = 0.5 * (lo + hi);
         let achieved = self.raw_delay(v) / self.raw_delay(v_from);
         if !achieved.is_finite() || (achieved - slowdown).abs() / slowdown > 1e-6 {
-            return Err(VoltageError::NonConvergence { slowdown, iterations: ITERATIONS });
+            return Err(VoltageError::NonConvergence {
+                slowdown,
+                iterations: ITERATIONS,
+            });
         }
         Ok(v)
     }
@@ -391,8 +426,14 @@ mod tests {
             VoltageModel::new(1.0, 0.9, 5.0).unwrap_err(),
             VoltageModelError::MinBelowThreshold
         );
-        assert_eq!(VoltageModel::new(0.9, 1.1, 1.0).unwrap_err(), VoltageModelError::RefBelowMin);
-        assert_eq!(VoltageModel::new(-1.0, 1.1, 5.0).unwrap_err(), VoltageModelError::NonPositive);
+        assert_eq!(
+            VoltageModel::new(0.9, 1.1, 1.0).unwrap_err(),
+            VoltageModelError::RefBelowMin
+        );
+        assert_eq!(
+            VoltageModel::new(-1.0, 1.1, 5.0).unwrap_err(),
+            VoltageModelError::NonPositive
+        );
         assert!(VoltageModel::new(0.9, 1.1, 5.0).is_ok());
     }
 

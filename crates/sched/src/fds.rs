@@ -46,7 +46,10 @@ pub enum FdsError {
 impl fmt::Display for FdsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FdsError::Infeasible { latency, critical_path } => write!(
+            FdsError::Infeasible {
+                latency,
+                critical_path,
+            } => write!(
                 f,
                 "latency {latency} is below the critical path {critical_path}"
             ),
@@ -150,7 +153,10 @@ pub fn force_directed_schedule(
 ) -> Result<FdsSchedule, FdsError> {
     let (asap, critical_path) = asap_times(g, model);
     if latency < critical_path {
-        return Err(FdsError::Infeasible { latency, critical_path });
+        return Err(FdsError::Infeasible {
+            latency,
+            critical_path,
+        });
     }
     let alap = alap_times(g, model, latency);
 
@@ -198,7 +204,9 @@ pub fn force_directed_schedule(
         let Some(i) = next else { break };
         let node = g.node(lintra_dfg::NodeId(i));
         // `ops` only contains operation nodes, which always classify.
-        let Some(class) = unit_class(&node.kind) else { continue };
+        let Some(class) = unit_class(&node.kind) else {
+            continue;
+        };
         let l = model.latency(&node.kind).max(1);
 
         // Pick the start time with the lowest self force.
@@ -249,7 +257,13 @@ pub fn force_directed_schedule(
         }
     }
     let start = (0..n)
-        .map(|i| if g.node(lintra_dfg::NodeId(i)).kind.is_operation() { fixed[i] } else { None })
+        .map(|i| {
+            if g.node(lintra_dfg::NodeId(i)).kind.is_operation() {
+                fixed[i]
+            } else {
+                None
+            }
+        })
         .collect();
     Ok(FdsSchedule {
         start,
@@ -320,7 +334,8 @@ mod tests {
         let (_, cp) = asap_times(&g, &m);
         for slack in [0u64, 2, 5, 10] {
             let s = force_directed_schedule(&g, &m, cp + slack).unwrap();
-            s.validate(&g, &m).unwrap_or_else(|e| panic!("slack {slack}: {e}"));
+            s.validate(&g, &m)
+                .unwrap_or_else(|e| panic!("slack {slack}: {e}"));
         }
     }
 
@@ -436,7 +451,8 @@ mod tests {
                 let got = h.join().expect("scheduler thread must not panic");
                 assert_eq!(got, baseline, "concurrent schedule diverged");
                 for (s, &l) in got.iter().zip(&latencies) {
-                    s.validate(&g, &m).unwrap_or_else(|e| panic!("latency {l}: {e}"));
+                    s.validate(&g, &m)
+                        .unwrap_or_else(|e| panic!("latency {l}: {e}"));
                     let (mul, alu) = peak_usage(&g, &m, s);
                     assert_eq!((s.multipliers, s.alus), (mul, alu), "latency {l} peaks");
                 }

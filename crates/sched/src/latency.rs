@@ -81,7 +81,11 @@ pub fn batch_latency(
     } else {
         latencies.iter().sum::<f64>() / latencies.len() as f64
     };
-    LatencyReport { completions, max_latency, avg_latency }
+    LatencyReport {
+        completions,
+        max_latency,
+        avg_latency,
+    }
 }
 
 #[cfg(test)]
@@ -103,7 +107,11 @@ mod tests {
     }
 
     fn timing() -> OpTiming {
-        OpTiming { t_mul: 2.0, t_add: 1.0, t_shift: 0.0 }
+        OpTiming {
+            t_mul: 2.0,
+            t_add: 1.0,
+            t_shift: 0.0,
+        }
     }
 
     #[test]

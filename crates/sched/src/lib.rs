@@ -64,12 +64,20 @@ pub struct ProcessorModel {
 impl ProcessorModel {
     /// Every instruction takes one cycle (§4 assumption iv).
     pub fn unit() -> ProcessorModel {
-        ProcessorModel { cycles_mul: 1, cycles_add: 1, cycles_shift: 1 }
+        ProcessorModel {
+            cycles_mul: 1,
+            cycles_add: 1,
+            cycles_shift: 1,
+        }
     }
 
     /// A DSP-flavoured model: two-cycle multiplies.
     pub fn dsp() -> ProcessorModel {
-        ProcessorModel { cycles_mul: 2, cycles_add: 1, cycles_shift: 1 }
+        ProcessorModel {
+            cycles_mul: 2,
+            cycles_add: 1,
+            cycles_shift: 1,
+        }
     }
 
     /// Latency of a node; `0` for non-operations.
@@ -158,7 +166,11 @@ impl fmt::Display for ValidateScheduleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ValidateScheduleError::ResourceConflict { processor, nodes } => {
-                write!(f, "nodes {} and {} overlap on processor {processor}", nodes.0, nodes.1)
+                write!(
+                    f,
+                    "nodes {} and {} overlap on processor {processor}",
+                    nodes.0, nodes.1
+                )
             }
             ValidateScheduleError::DependencyViolation { node, pred } => {
                 write!(f, "node {node} starts before predecessor {pred} finishes")
@@ -188,8 +200,8 @@ impl Schedule {
         for (id, n) in g.iter() {
             let ready = n.preds.iter().map(|p| finish[p.0]).max().unwrap_or(0);
             if n.kind.is_operation() {
-                let start = start_of[id.0]
-                    .ok_or(ValidateScheduleError::Unscheduled { node: id.0 })?;
+                let start =
+                    start_of[id.0].ok_or(ValidateScheduleError::Unscheduled { node: id.0 })?;
                 if start < ready {
                     // `ready` is the max predecessor finish, so a late
                     // predecessor must exist; fall back to the node itself
@@ -334,7 +346,11 @@ pub fn list_schedule(
             match (data_ready, proc) {
                 (true, Some(p)) => {
                     let lat = model.latency(&g.node(NodeId(i)).kind);
-                    slots.push(Slot { node: NodeId(i), start: now, processor: p });
+                    slots.push(Slot {
+                        node: NodeId(i),
+                        start: now,
+                        processor: p,
+                    });
                     proc_free[p] = now + lat;
                     pending.push((now + lat, i));
                 }
@@ -371,7 +387,11 @@ pub fn list_schedule(
         .map(|s| s.start + model.latency(&g.node(s.node).kind))
         .max()
         .unwrap_or(0);
-    Ok(Schedule { length, processors: n_processors, slots })
+    Ok(Schedule {
+        length,
+        processors: n_processors,
+        slots,
+    })
 }
 
 /// Schedule lengths and speedups for `1..=max_processors`.
@@ -391,7 +411,10 @@ pub fn speedup_curve(
     for n in 1..=max_processors {
         lengths.push(list_schedule(g, n, model)?.length);
     }
-    let speedups = lengths.iter().map(|&l| lengths[0] as f64 / l as f64).collect();
+    let speedups = lengths
+        .iter()
+        .map(|&l| lengths[0] as f64 / l as f64)
+        .collect();
     Ok((lengths, speedups))
 }
 
@@ -481,14 +504,20 @@ mod tests {
         let s = list_schedule(&g, 64, &m).unwrap();
         // With unlimited resources the makespan is the graph depth in
         // cycles: mul (1) + tree adds.
-        let t = lintra_dfg::OpTiming { t_mul: 1.0, t_add: 1.0, t_shift: 1.0 };
+        let t = lintra_dfg::OpTiming {
+            t_mul: 1.0,
+            t_add: 1.0,
+            t_shift: 1.0,
+        };
         assert_eq!(s.length as f64, g.critical_path(&t));
     }
 
     #[test]
     fn dsp_model_weights_multiplies() {
         let g = build::from_state_space(&dense(1, 1, 2)).unwrap();
-        let unit = list_schedule(&g, 1, &ProcessorModel::unit()).unwrap().length;
+        let unit = list_schedule(&g, 1, &ProcessorModel::unit())
+            .unwrap()
+            .length;
         let dsp = list_schedule(&g, 1, &ProcessorModel::dsp()).unwrap().length;
         let muls = g.op_counts().muls;
         assert_eq!(dsp, unit + muls);
@@ -498,7 +527,10 @@ mod tests {
     fn zero_processors_is_a_typed_error() {
         let g = build::from_state_space(&dense(1, 1, 2)).unwrap();
         let m = ProcessorModel::unit();
-        assert_eq!(list_schedule(&g, 0, &m).unwrap_err(), ScheduleError::NoProcessors);
+        assert_eq!(
+            list_schedule(&g, 0, &m).unwrap_err(),
+            ScheduleError::NoProcessors
+        );
         assert!(speedup_curve(&g, 0, &m).unwrap().0.is_empty());
     }
 

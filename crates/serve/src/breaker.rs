@@ -31,7 +31,10 @@ pub struct BreakerConfig {
 
 impl Default for BreakerConfig {
     fn default() -> BreakerConfig {
-        BreakerConfig { threshold: 3, cooldown: Duration::from_secs(5) }
+        BreakerConfig {
+            threshold: 3,
+            cooldown: Duration::from_secs(5),
+        }
     }
 }
 
@@ -54,14 +57,18 @@ impl CircuitBreaker {
     pub fn new(config: BreakerConfig) -> CircuitBreaker {
         CircuitBreaker {
             config,
-            state: Mutex::new(State::Closed { consecutive_failures: 0 }),
+            state: Mutex::new(State::Closed {
+                consecutive_failures: 0,
+            }),
         }
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, State> {
         // A panic while holding this one-word lock leaves no invariant to
         // protect; keep serving with the last-written state.
-        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Asks to run one request through the engine.
@@ -92,24 +99,34 @@ impl CircuitBreaker {
     /// error like a deadline): resets the failure streak, closes a
     /// half-open breaker.
     pub fn record_success(&self) {
-        *self.lock() = State::Closed { consecutive_failures: 0 };
+        *self.lock() = State::Closed {
+            consecutive_failures: 0,
+        };
     }
 
     /// Reports an engine worker panic.
     pub fn record_failure(&self) {
         let mut state = self.lock();
         *state = match *state {
-            State::Closed { consecutive_failures } => {
+            State::Closed {
+                consecutive_failures,
+            } => {
                 let n = consecutive_failures + 1;
                 if n >= self.config.threshold {
-                    State::Open { since: Instant::now() }
+                    State::Open {
+                        since: Instant::now(),
+                    }
                 } else {
-                    State::Closed { consecutive_failures: n }
+                    State::Closed {
+                        consecutive_failures: n,
+                    }
                 }
             }
             // A failed probe (or a straggler failing while open) re-arms
             // the full cooldown.
-            State::HalfOpen | State::Open { .. } => State::Open { since: Instant::now() },
+            State::HalfOpen | State::Open { .. } => State::Open {
+                since: Instant::now(),
+            },
         };
     }
 
@@ -149,7 +166,10 @@ mod tests {
         b.record_failure();
         b.record_success();
         b.record_failure();
-        assert!(b.admit().is_ok(), "streak was reset, one failure is below threshold");
+        assert!(
+            b.admit().is_ok(),
+            "streak was reset, one failure is below threshold"
+        );
     }
 
     #[test]
@@ -160,7 +180,10 @@ mod tests {
         assert_eq!(b.state_label(), "open");
         let retry_in = b.admit().expect_err("open breaker rejects");
         assert!(retry_in <= Duration::from_millis(1000));
-        assert!(retry_in > Duration::from_millis(500), "cooldown just started");
+        assert!(
+            retry_in > Duration::from_millis(500),
+            "cooldown just started"
+        );
     }
 
     #[test]

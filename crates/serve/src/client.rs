@@ -97,8 +97,14 @@ impl ClientError {
 impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ClientError::Transport { attempts, last_error } => {
-                write!(f, "request failed after {attempts} attempt(s): {last_error}")
+            ClientError::Transport {
+                attempts,
+                last_error,
+            } => {
+                write!(
+                    f,
+                    "request failed after {attempts} attempt(s): {last_error}"
+                )
             }
         }
     }
@@ -134,7 +140,10 @@ impl Client {
 
     /// A client with explicit retry tuning.
     pub fn with_policy(addr: impl Into<String>, policy: RetryPolicy) -> Client {
-        Client { policy, ..Client::new(addr) }
+        Client {
+            policy,
+            ..Client::new(addr)
+        }
     }
 
     /// How long one attempt may wait for the response line: twice the
@@ -181,7 +190,10 @@ impl Client {
                 Err(e) => last_error = e,
             }
         }
-        Err(ClientError::Transport { attempts, last_error })
+        Err(ClientError::Transport {
+            attempts,
+            last_error,
+        })
     }
 
     fn try_once(&self, req: &WireRequest, budget: Duration) -> Result<WireResponse, String> {
@@ -226,7 +238,10 @@ impl Client {
         let resp = WireResponse::parse(text.trim_end())
             .map_err(|e| format!("unparseable response: {e}"))?;
         if resp.id != req.id {
-            return Err(format!("response id `{}` does not match request `{}`", resp.id, req.id));
+            return Err(format!(
+                "response id `{}` does not match request `{}`",
+                resp.id, req.id
+            ));
         }
         Ok(resp)
     }
@@ -247,9 +262,18 @@ mod tests {
         let b0 = p.backoff(0, &mut rng);
         let b1 = p.backoff(1, &mut rng);
         let b4 = p.backoff(4, &mut rng);
-        assert!(b0 >= Duration::from_millis(50) && b0 < Duration::from_millis(100), "{b0:?}");
-        assert!(b1 >= Duration::from_millis(100) && b1 < Duration::from_millis(200), "{b1:?}");
-        assert!(b4 >= Duration::from_millis(175) && b4 < Duration::from_millis(350), "{b4:?}");
+        assert!(
+            b0 >= Duration::from_millis(50) && b0 < Duration::from_millis(100),
+            "{b0:?}"
+        );
+        assert!(
+            b1 >= Duration::from_millis(100) && b1 < Duration::from_millis(200),
+            "{b1:?}"
+        );
+        assert!(
+            b4 >= Duration::from_millis(175) && b4 < Duration::from_millis(350),
+            "{b4:?}"
+        );
     }
 
     #[test]

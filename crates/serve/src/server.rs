@@ -239,7 +239,12 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, LintraError> {
         thread::spawn(move || accept_loop(&shared, &listener, &conns))
     };
 
-    Ok(ServerHandle { addr, shared, accept: Some(accept), conns })
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+        conns,
+    })
 }
 
 fn accept_loop(
@@ -256,8 +261,9 @@ fn accept_loop(
                 let mut guard = lock_unpoisoned(conns);
                 // Reap finished connection threads so a long-lived server
                 // does not accumulate handles without bound.
-                let (done, live): (Vec<_>, Vec<_>) =
-                    std::mem::take(&mut *guard).into_iter().partition(JoinHandle::is_finished);
+                let (done, live): (Vec<_>, Vec<_>) = std::mem::take(&mut *guard)
+                    .into_iter()
+                    .partition(JoinHandle::is_finished);
                 *guard = live;
                 guard.push(handle);
                 drop(guard);
@@ -325,13 +331,21 @@ fn failure_of(e: &LintraError) -> WireFailure {
         message.push_str("; while ");
         message.push_str(frame);
     }
-    WireFailure { class: e.class(), code: e.code().to_string(), message }
+    WireFailure {
+        class: e.class(),
+        code: e.code().to_string(),
+        message,
+    }
 }
 
 fn reject(id: &str, class: ErrorClass, code: &str, message: impl Into<String>) -> LineOutcome {
     LineOutcome::Respond(WireResponse::err(
         id,
-        WireFailure { class, code: code.to_string(), message: message.into() },
+        WireFailure {
+            class,
+            code: code.to_string(),
+            message: message.into(),
+        },
     ))
 }
 
@@ -343,7 +357,9 @@ struct Permit<'g> {
 impl<'g> Permit<'g> {
     fn try_acquire(gauge: &'g AtomicUsize, cap: usize) -> Option<Permit<'g>> {
         gauge
-            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| (n < cap).then_some(n + 1))
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < cap).then_some(n + 1)
+            })
             .ok()
             .map(|_| Permit { gauge })
     }
@@ -383,7 +399,10 @@ fn handle_line(shared: &Arc<Shared>, line: &str) -> LineOutcome {
                 &req.id,
                 ErrorClass::Validation,
                 "VAL-CONFIG",
-                format!("unknown fault `{fault}`; known: {}", KNOWN_FAULTS.join(", ")),
+                format!(
+                    "unknown fault `{fault}`; known: {}",
+                    KNOWN_FAULTS.join(", ")
+                ),
             );
         }
         if !shared.config.chaos {
@@ -508,17 +527,31 @@ fn checked_v0(v0: f64) -> Result<f64, LintraError> {
     if v0.is_finite() && v0 > 0.0 {
         Ok(v0)
     } else {
-        Err(config_error(format!("v0 must be a positive voltage, got {v0}")))
+        Err(config_error(format!(
+            "v0 must be a positive voltage, got {v0}"
+        )))
     }
 }
 
-fn execute(shared: &Arc<Shared>, req: &WireRequest, token: &CancelToken) -> Result<Json, LintraError> {
+fn execute(
+    shared: &Arc<Shared>,
+    req: &WireRequest,
+    token: &CancelToken,
+) -> Result<Json, LintraError> {
     let cfg = &shared.config;
     let fault = req.fault.as_deref();
-    let ctl = SweepCtl { token: Some(token), stall_budget: Some(cfg.stall_budget) };
+    let ctl = SweepCtl {
+        token: Some(token),
+        stall_budget: Some(cfg.stall_budget),
+    };
     match &req.op {
         WireOp::Ping => Ok(Json::obj([("pong", Json::Bool(true))])), // handled earlier; kept total
-        WireOp::Optimize { design, strategy, v0, processors } => {
+        WireOp::Optimize {
+            design,
+            strategy,
+            v0,
+            processors,
+        } => {
             let strategy = Strategy::parse(strategy).map_err(LintraError::from)?;
             let d = by_name(design)
                 .ok_or_else(|| config_error(format!("unknown design `{design}`")))?;
@@ -691,8 +724,11 @@ mod tests {
 
     #[test]
     fn zero_jobs_is_a_config_error() {
-        let err = start(ServerConfig { jobs: Some(0), ..ServerConfig::default() })
-            .expect_err("zero workers rejected");
+        let err = start(ServerConfig {
+            jobs: Some(0),
+            ..ServerConfig::default()
+        })
+        .expect_err("zero workers rejected");
         assert_eq!(err.code(), "VAL-CONFIG");
         assert_eq!(err.class(), ErrorClass::Validation);
     }
@@ -715,7 +751,11 @@ mod tests {
         let resp = WireResponse::parse(&resp).expect("valid response");
         let failure = resp.outcome.expect_err("unknown strategy fails");
         assert_eq!(failure.code, "VAL-CONFIG");
-        assert!(failure.message.contains("single, multi, asic"), "{}", failure.message);
+        assert!(
+            failure.message.contains("single, multi, asic"),
+            "{}",
+            failure.message
+        );
         handle.shutdown();
     }
 

@@ -145,7 +145,12 @@ fn steam() -> Design {
     let c = Matrix::from_rows(&[&[0.9, 0.4, -0.2, 0.6, 0.3], &[-0.3, 0.7, 0.5, -0.4, 0.8]]);
     let d = Matrix::from_rows(&[&[0.12, -0.07], &[0.05, 0.21]]);
     let system = c2d::zoh(&a_c, &b_c, &c, &d, 0.3).expect("steam discretizes");
-    Design { name: "steam", description: "steam power plant controller", system, dense: true }
+    Design {
+        name: "steam",
+        description: "steam power plant controller",
+        system,
+        dense: true,
+    }
 }
 
 /// `dist` — distillation column controller in the Wood–Berry spirit:
@@ -154,7 +159,13 @@ fn steam() -> Design {
 /// reduction" for.
 fn dist() -> Design {
     // Five first-order lags with distinct time constants.
-    let a_c = Matrix::from_diag(&[-1.0 / 16.7, -1.0 / 21.0, -1.0 / 10.9, -1.0 / 14.4, -1.0 / 8.0]);
+    let a_c = Matrix::from_diag(&[
+        -1.0 / 16.7,
+        -1.0 / 21.0,
+        -1.0 / 10.9,
+        -1.0 / 14.4,
+        -1.0 / 8.0,
+    ]);
     // Each lag is driven by one of the two inputs (reflux, steam).
     let b_c = Matrix::from_rows(&[
         &[12.8 / 16.7, 0.0],
@@ -167,7 +178,12 @@ fn dist() -> Design {
     let c = Matrix::from_rows(&[&[1.0, 1.0, 0.0, 0.0, 0.4], &[0.0, 0.0, 1.0, 1.0, -0.3]]);
     let d = Matrix::zeros(2, 2);
     let system = c2d::zoh(&a_c, &b_c, &c, &d, 1.0).expect("dist discretizes");
-    Design { name: "dist", description: "distillation plant linear controller", system, dense: false }
+    Design {
+        name: "dist",
+        description: "distillation plant linear controller",
+        system,
+        dense: false,
+    }
 }
 
 /// `chemical` — two stirred-tank reactors in series (concentration and
@@ -183,12 +199,26 @@ fn chemical() -> Design {
     let c = Matrix::from_rows(&[&[0.0, 0.0, 0.7, 0.5]]);
     let d = Matrix::from_rows(&[&[0.0]]);
     let system = c2d::zoh(&a_c, &b_c, &c, &d, 0.25).expect("chemical discretizes");
-    Design { name: "chemical", description: "chemical plant controller", system, dense: false }
+    Design {
+        name: "chemical",
+        description: "chemical plant controller",
+        system,
+        dense: false,
+    }
 }
 
 /// The full Table-1 suite, in the paper's order.
 pub fn suite() -> Vec<Design> {
-    vec![ellip(), iir5(), iir6(), iir10(), iir12(), steam(), dist(), chemical()]
+    vec![
+        ellip(),
+        iir5(),
+        iir6(),
+        iir10(),
+        iir12(),
+        steam(),
+        dist(),
+        chemical(),
+    ]
 }
 
 /// Looks a design up by name (`"wdf5"` aliases `"iir5"`).
@@ -283,7 +313,9 @@ mod tests {
         let settled = out.last().unwrap()[0];
         assert!((settled - 1.0).abs() < 0.07, "DC gain {settled}");
 
-        let hi: Vec<Vec<f64>> = (0..600).map(|k| vec![(0.8 * PI * k as f64).sin()]).collect();
+        let hi: Vec<Vec<f64>> = (0..600)
+            .map(|k| vec![(0.8 * PI * k as f64).sin()])
+            .collect();
         let out = d.system.simulate(&hi).unwrap();
         let tail_peak = out[400..].iter().map(|y| y[0].abs()).fold(0.0, f64::max);
         assert!(tail_peak < 5e-2, "stopband leak {tail_peak}");
@@ -293,12 +325,16 @@ mod tests {
     fn iir10_notches_its_stop_band() {
         let d = by_name("iir10").unwrap();
         // Tone in the middle of the stop band [0.35π, 0.55π].
-        let tone: Vec<Vec<f64>> = (0..800).map(|k| vec![(0.45 * PI * k as f64).sin()]).collect();
+        let tone: Vec<Vec<f64>> = (0..800)
+            .map(|k| vec![(0.45 * PI * k as f64).sin()])
+            .collect();
         let out = d.system.simulate(&tone).unwrap();
         let tail_peak = out[600..].iter().map(|y| y[0].abs()).fold(0.0, f64::max);
         assert!(tail_peak < 0.02, "stop-band tone leaks {tail_peak}");
         // Tone in the passband survives.
-        let tone: Vec<Vec<f64>> = (0..800).map(|k| vec![(0.1 * PI * k as f64).sin()]).collect();
+        let tone: Vec<Vec<f64>> = (0..800)
+            .map(|k| vec![(0.1 * PI * k as f64).sin()])
+            .collect();
         let out = d.system.simulate(&tone).unwrap();
         let tail_peak = out[600..].iter().map(|y| y[0].abs()).fold(0.0, f64::max);
         assert!(tail_peak > 0.8, "pass-band tone attenuated to {tail_peak}");

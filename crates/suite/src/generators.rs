@@ -16,8 +16,9 @@ pub fn dense_synthetic(p: usize, q: usize, r: usize) -> StateSpace {
     let f = |i: usize, j: usize| 0.37 + 0.013 * i as f64 + 0.0079 * j as f64;
     // Scale A so its inf-norm is < 1 (Schur stability by norm bound).
     let a_raw = Matrix::from_fn(r, r, f);
-    let norm: f64 =
-        (0..r).map(|i| a_raw.row(i).iter().map(|x| x.abs()).sum::<f64>()).fold(0.0, f64::max);
+    let norm: f64 = (0..r)
+        .map(|i| a_raw.row(i).iter().map(|x| x.abs()).sum::<f64>())
+        .fold(0.0, f64::max);
     StateSpace::new(
         a_raw.scale(0.85 / norm),
         Matrix::from_fn(r, p, f),
@@ -56,7 +57,11 @@ pub fn random_stable(p: usize, q: usize, r: usize, sparsity: f64, seed: u64) -> 
     let norm: f64 = (0..r)
         .map(|i| a_raw.row(i).iter().map(|x| x.abs()).sum::<f64>())
         .fold(0.0, f64::max);
-    let a = if norm > 0.0 { a_raw.scale(0.85 / norm) } else { a_raw };
+    let a = if norm > 0.0 {
+        a_raw.scale(0.85 / norm)
+    } else {
+        a_raw
+    };
     StateSpace::new(a, gen(r, p), gen(q, r), gen(q, p))
         .expect("random system shapes are consistent")
 }

@@ -36,9 +36,7 @@ impl Key {
             NodeKind::Shift(k) => Key::Shift(k, preds[0]),
             NodeKind::Neg => Key::Neg(preds[0]),
             // Side-effecting / boundary nodes are never merged.
-            NodeKind::Delay
-            | NodeKind::Output { .. }
-            | NodeKind::StateOut { .. } => return None,
+            NodeKind::Delay | NodeKind::Output { .. } | NodeKind::StateOut { .. } => return None,
         })
     }
 }
@@ -115,11 +113,26 @@ mod tests {
     #[test]
     fn merges_duplicate_multiplications() {
         let mut g = Dfg::new();
-        let x = g.push(NodeKind::Input { sample: 0, channel: 0 }, vec![]).unwrap();
+        let x = g
+            .push(
+                NodeKind::Input {
+                    sample: 0,
+                    channel: 0,
+                },
+                vec![],
+            )
+            .unwrap();
         let m1 = g.push(NodeKind::MulConst(0.3), vec![x]).unwrap();
         let m2 = g.push(NodeKind::MulConst(0.3), vec![x]).unwrap();
         let a = g.push(NodeKind::Add, vec![m1, m2]).unwrap();
-        g.push(NodeKind::Output { sample: 0, channel: 0 }, vec![a]).unwrap();
+        g.push(
+            NodeKind::Output {
+                sample: 0,
+                channel: 0,
+            },
+            vec![a],
+        )
+        .unwrap();
         let (h, report) = eliminate(&g).unwrap();
         assert_eq!(report.merged, 1);
         assert_eq!(h.op_counts().muls, 1);
@@ -130,8 +143,24 @@ mod tests {
     #[test]
     fn add_is_commutative_sub_is_not() {
         let mut g = Dfg::new();
-        let x = g.push(NodeKind::Input { sample: 0, channel: 0 }, vec![]).unwrap();
-        let y = g.push(NodeKind::Input { sample: 0, channel: 1 }, vec![]).unwrap();
+        let x = g
+            .push(
+                NodeKind::Input {
+                    sample: 0,
+                    channel: 0,
+                },
+                vec![],
+            )
+            .unwrap();
+        let y = g
+            .push(
+                NodeKind::Input {
+                    sample: 0,
+                    channel: 1,
+                },
+                vec![],
+            )
+            .unwrap();
         let a1 = g.push(NodeKind::Add, vec![x, y]).unwrap();
         let a2 = g.push(NodeKind::Add, vec![y, x]).unwrap();
         let s1 = g.push(NodeKind::Sub, vec![x, y]).unwrap();
@@ -139,7 +168,14 @@ mod tests {
         let t1 = g.push(NodeKind::Add, vec![a1, a2]).unwrap();
         let t2 = g.push(NodeKind::Add, vec![s1, s2]).unwrap();
         let t = g.push(NodeKind::Add, vec![t1, t2]).unwrap();
-        g.push(NodeKind::Output { sample: 0, channel: 0 }, vec![t]).unwrap();
+        g.push(
+            NodeKind::Output {
+                sample: 0,
+                channel: 0,
+            },
+            vec![t],
+        )
+        .unwrap();
         let (h, report) = eliminate(&g).unwrap();
         // a2 merges into a1; s1/s2 stay distinct.
         assert_eq!(report.merged, 1);
@@ -152,9 +188,31 @@ mod tests {
     #[test]
     fn outputs_never_merge() {
         let mut g = Dfg::new();
-        let x = g.push(NodeKind::Input { sample: 0, channel: 0 }, vec![]).unwrap();
-        g.push(NodeKind::Output { sample: 0, channel: 0 }, vec![x]).unwrap();
-        g.push(NodeKind::Output { sample: 1, channel: 0 }, vec![x]).unwrap();
+        let x = g
+            .push(
+                NodeKind::Input {
+                    sample: 0,
+                    channel: 0,
+                },
+                vec![],
+            )
+            .unwrap();
+        g.push(
+            NodeKind::Output {
+                sample: 0,
+                channel: 0,
+            },
+            vec![x],
+        )
+        .unwrap();
+        g.push(
+            NodeKind::Output {
+                sample: 1,
+                channel: 0,
+            },
+            vec![x],
+        )
+        .unwrap();
         let (h, report) = eliminate(&g).unwrap();
         assert_eq!(report.merged, 0);
         assert_eq!(h.len(), 3);
@@ -164,7 +222,15 @@ mod tests {
     fn chained_duplicates_collapse_transitively() {
         // Two identical chains x*0.5+1.0 collapse entirely.
         let mut g = Dfg::new();
-        let x = g.push(NodeKind::Input { sample: 0, channel: 0 }, vec![]).unwrap();
+        let x = g
+            .push(
+                NodeKind::Input {
+                    sample: 0,
+                    channel: 0,
+                },
+                vec![],
+            )
+            .unwrap();
         let c1 = g.push(NodeKind::Const(1.0), vec![]).unwrap();
         let m1 = g.push(NodeKind::MulConst(0.5), vec![x]).unwrap();
         let a1 = g.push(NodeKind::Add, vec![m1, c1]).unwrap();
@@ -172,7 +238,14 @@ mod tests {
         let m2 = g.push(NodeKind::MulConst(0.5), vec![x]).unwrap();
         let a2 = g.push(NodeKind::Add, vec![m2, c2]).unwrap();
         let t = g.push(NodeKind::Add, vec![a1, a2]).unwrap();
-        g.push(NodeKind::Output { sample: 0, channel: 0 }, vec![t]).unwrap();
+        g.push(
+            NodeKind::Output {
+                sample: 0,
+                channel: 0,
+            },
+            vec![t],
+        )
+        .unwrap();
         let (h, report) = eliminate(&g).unwrap();
         assert_eq!(report.merged, 3); // c2, m2, a2
         let (o, _) = h.simulate(&[], &Map::from([((0, 0), 4.0)])).unwrap();

@@ -46,7 +46,9 @@ impl HornerForm {
     pub fn new(sys: &StateSpace, unfolding: u32) -> Result<HornerForm, LinsysError> {
         let rho = sys.spectral_radius();
         if rho >= 1.0 {
-            return Err(LinsysError::UnstableSystem { spectral_radius: rho });
+            return Err(LinsysError::UnstableSystem {
+                spectral_radius: rho,
+            });
         }
         let n = unfolding as usize + 1;
         let r = sys.num_states();
@@ -59,7 +61,12 @@ impl HornerForm {
         if !power.is_finite() || c_powers.iter().any(|m| !m.is_finite()) {
             return Err(LinsysError::NonFinite { what: "A" });
         }
-        Ok(HornerForm { batch: n, a_n: power, c_powers, original: sys.clone() })
+        Ok(HornerForm {
+            batch: n,
+            a_n: power,
+            c_powers,
+            original: sys.clone(),
+        })
     }
 
     /// Reassembles a Horner form from precomputed parts — `a_n = A^n` and
@@ -80,12 +87,19 @@ impl HornerForm {
     ) -> Result<HornerForm, LinsysError> {
         let rho = sys.spectral_radius();
         if rho >= 1.0 {
-            return Err(LinsysError::UnstableSystem { spectral_radius: rho });
+            return Err(LinsysError::UnstableSystem {
+                spectral_radius: rho,
+            });
         }
         if !a_n.is_finite() || c_powers.iter().any(|m| !m.is_finite()) {
             return Err(LinsysError::NonFinite { what: "A" });
         }
-        Ok(HornerForm { batch: c_powers.len(), a_n, c_powers, original: sys.clone() })
+        Ok(HornerForm {
+            batch: c_powers.len(),
+            a_n,
+            c_powers,
+            original: sys.clone(),
+        })
     }
 
     /// The original (non-unfolded) system.
@@ -102,7 +116,11 @@ impl HornerForm {
     /// sample has the wrong width.
     pub fn simulate_samples(&self, inputs: &[Vec<f64>]) -> Vec<Vec<f64>> {
         let (p, _, r) = self.original.dims();
-        assert_eq!(inputs.len() % self.batch, 0, "input length must be a batch multiple");
+        assert_eq!(
+            inputs.len() % self.batch,
+            0,
+            "input length must be a batch multiple"
+        );
         let a = self.original.a();
         let b = self.original.b();
         let d = self.original.d();
@@ -180,7 +198,13 @@ impl HornerForm {
         for s in 0..self.batch {
             let mut row = Vec::with_capacity(p);
             for ch in 0..p {
-                row.push(g.push(NodeKind::Input { sample: s, channel: ch }, vec![])?);
+                row.push(g.push(
+                    NodeKind::Input {
+                        sample: s,
+                        channel: ch,
+                    },
+                    vec![],
+                )?);
             }
             inputs.push(row);
         }
@@ -207,7 +231,13 @@ impl HornerForm {
                 terms.extend(build::sum_to_term(&mut g, vterms)?);
                 terms.extend(build::sum_to_term(&mut g, dterms)?);
                 let root = build::sum_to_node(&mut g, terms)?;
-                g.push(NodeKind::Output { sample: j, channel: row }, vec![root])?;
+                g.push(
+                    NodeKind::Output {
+                        sample: j,
+                        channel: row,
+                    },
+                    vec![root],
+                )?;
             }
             // V_j = A V_{j-1} + B U_j.
             let mut vnext: Vec<Option<NodeId>> = Vec::with_capacity(r);
@@ -223,7 +253,11 @@ impl HornerForm {
                     .map(|(c, _)| *c)
                     .collect();
                 let mut terms = build::row_terms(&mut g, &a_coeffs, &v_nodes)?;
-                terms.extend(build::row_terms(&mut g, self.original.b().row(row), &inputs[j])?);
+                terms.extend(build::row_terms(
+                    &mut g,
+                    self.original.b().row(row),
+                    &inputs[j],
+                )?);
                 vnext.push(match build::sum_to_term(&mut g, terms)? {
                     Some(t) => Some(build::term_to_node(&mut g, t)?),
                     None => None,
@@ -342,12 +376,25 @@ mod tests {
         // linear. Compare growth between n = 4 and n = 8.
         let sys = sys_mimo();
         let direct = |i: u32| {
-            lintra_dfg::build::from_unfolded(&unfold(&sys, i).unwrap()).unwrap().op_counts().muls as f64
+            lintra_dfg::build::from_unfolded(&unfold(&sys, i).unwrap())
+                .unwrap()
+                .op_counts()
+                .muls as f64
         };
-        let horner = |i: u32| HornerForm::new(&sys, i).unwrap().to_dfg().unwrap().op_counts().muls as f64;
+        let horner = |i: u32| {
+            HornerForm::new(&sys, i)
+                .unwrap()
+                .to_dfg()
+                .unwrap()
+                .op_counts()
+                .muls as f64
+        };
         let d_growth = direct(7) / direct(3);
         let h_growth = horner(7) / horner(3);
-        assert!(h_growth < d_growth, "horner {h_growth} vs direct {d_growth}");
+        assert!(
+            h_growth < d_growth,
+            "horner {h_growth} vs direct {d_growth}"
+        );
         // Horner growth ratio should be close to the batch ratio 8/4 = 2.
         assert!(h_growth < 2.3, "horner growth {h_growth}");
     }
@@ -355,18 +402,38 @@ mod tests {
     #[test]
     fn feedback_path_constant_in_unfolding() {
         let sys = sys_mimo();
-        let t = OpTiming { t_mul: 2.0, t_add: 1.0, t_shift: 0.0 };
-        let base = HornerForm::new(&sys, 0).unwrap().to_dfg().unwrap().feedback_critical_path(&t);
+        let t = OpTiming {
+            t_mul: 2.0,
+            t_add: 1.0,
+            t_shift: 0.0,
+        };
+        let base = HornerForm::new(&sys, 0)
+            .unwrap()
+            .to_dfg()
+            .unwrap()
+            .feedback_critical_path(&t);
         for i in [1u32, 3, 6, 10] {
-            let cp = HornerForm::new(&sys, i).unwrap().to_dfg().unwrap().feedback_critical_path(&t);
+            let cp = HornerForm::new(&sys, i)
+                .unwrap()
+                .to_dfg()
+                .unwrap()
+                .feedback_critical_path(&t);
             assert!(
                 cp <= base + 1.0,
                 "feedback CP grew with unfolding: {cp} vs {base} at i={i}"
             );
         }
         // Meanwhile the total (pipelineable) path grows.
-        let cp_big = HornerForm::new(&sys, 10).unwrap().to_dfg().unwrap().critical_path(&t);
-        let cp_small = HornerForm::new(&sys, 0).unwrap().to_dfg().unwrap().critical_path(&t);
+        let cp_big = HornerForm::new(&sys, 10)
+            .unwrap()
+            .to_dfg()
+            .unwrap()
+            .critical_path(&t);
+        let cp_small = HornerForm::new(&sys, 0)
+            .unwrap()
+            .to_dfg()
+            .unwrap()
+            .critical_path(&t);
         assert!(cp_big > cp_small);
     }
 

@@ -21,7 +21,10 @@ pub struct McmPassConfig {
 
 impl Default for McmPassConfig {
     fn default() -> Self {
-        McmPassConfig { frac_bits: 12, recoding: Recoding::Csd }
+        McmPassConfig {
+            frac_bits: 12,
+            recoding: Recoding::Csd,
+        }
     }
 }
 
@@ -51,7 +54,11 @@ impl GroupEmitter {
     fn new(constants: &[i64], recoding: Recoding) -> GroupEmitter {
         let plan = synthesize(constants, recoding);
         let outputs = constants.iter().enumerate().map(|(i, &c)| (c, i)).collect();
-        GroupEmitter { expr_nodes: vec![None; plan.exprs.len()], plan, outputs }
+        GroupEmitter {
+            expr_nodes: vec![None; plan.exprs.len()],
+            plan,
+            outputs,
+        }
     }
 
     fn term_node(
@@ -107,7 +114,11 @@ impl GroupEmitter {
             Some(v) => v,
             None => (g.push(NodeKind::Const(0.0), vec![])?, false),
         };
-        let node = if neg { g.push(NodeKind::Neg, vec![node])? } else { node };
+        let node = if neg {
+            g.push(NodeKind::Neg, vec![node])?
+        } else {
+            node
+        };
         self.expr_nodes[idx] = Some(node);
         Ok(node)
     }
@@ -168,10 +179,16 @@ pub fn expand_multiplications(
     let mut groups: HashMap<usize, Vec<i64>> = HashMap::new();
     for (_, n) in g.iter() {
         if let NodeKind::MulConst(c) = n.kind {
-            groups.entry(n.preds[0].0).or_default().push(quantize(c, config.frac_bits));
+            groups
+                .entry(n.preds[0].0)
+                .or_default()
+                .push(quantize(c, config.frac_bits));
         }
     }
-    let mut report = McmPassReport { groups: groups.len() as u64, ..Default::default() };
+    let mut report = McmPassReport {
+        groups: groups.len() as u64,
+        ..Default::default()
+    };
     let mut emitters: HashMap<usize, GroupEmitter> = groups
         .into_iter()
         .map(|(pred, mut consts)| {
@@ -231,7 +248,14 @@ mod tests {
     fn rewritten_graph_is_exact_for_dyadic_coefficients() {
         let sys = dyadic_sys();
         let g = build::from_state_space(&sys).unwrap();
-        let (h, report) = expand_multiplications(&g, McmPassConfig { frac_bits: 8, recoding: Recoding::Csd }).unwrap();
+        let (h, report) = expand_multiplications(
+            &g,
+            McmPassConfig {
+                frac_bits: 8,
+                recoding: Recoding::Csd,
+            },
+        )
+        .unwrap();
         assert!(report.muls_removed > 0);
         assert_eq!(h.op_counts().muls, 0, "all multipliers must be gone");
         let state = [0.3, -0.7];
@@ -254,7 +278,14 @@ mod tests {
         )
         .unwrap();
         let g = build::from_state_space(&sys).unwrap();
-        let (h, _) = expand_multiplications(&g, McmPassConfig { frac_bits: 12, recoding: Recoding::Csd }).unwrap();
+        let (h, _) = expand_multiplications(
+            &g,
+            McmPassConfig {
+                frac_bits: 12,
+                recoding: Recoding::Csd,
+            },
+        )
+        .unwrap();
         let state = [0.4, 0.9];
         let inputs = Map::from([((0usize, 0usize), -0.6)]);
         let (o1, _) = g.simulate(&state, &inputs).unwrap();
@@ -269,16 +300,40 @@ mod tests {
         // MCM plan shares the 169 subexpression, so the rewrite inserts
         // fewer adds than independent CSD decomposition would.
         let mut g = Dfg::new();
-        let x = g.push(NodeKind::Input { sample: 0, channel: 0 }, vec![]).unwrap();
+        let x = g
+            .push(
+                NodeKind::Input {
+                    sample: 0,
+                    channel: 0,
+                },
+                vec![],
+            )
+            .unwrap();
         let m1 = g.push(NodeKind::MulConst(185.0 / 256.0), vec![x]).unwrap();
         let m2 = g.push(NodeKind::MulConst(235.0 / 256.0), vec![x]).unwrap();
         let a = g.push(NodeKind::Add, vec![m1, m2]).unwrap();
-        g.push(NodeKind::Output { sample: 0, channel: 0 }, vec![a]).unwrap();
+        g.push(
+            NodeKind::Output {
+                sample: 0,
+                channel: 0,
+            },
+            vec![a],
+        )
+        .unwrap();
 
-        let (h, report) =
-            expand_multiplications(&g, McmPassConfig { frac_bits: 8, recoding: Recoding::Binary }).unwrap();
+        let (h, report) = expand_multiplications(
+            &g,
+            McmPassConfig {
+                frac_bits: 8,
+                recoding: Recoding::Binary,
+            },
+        )
+        .unwrap();
         assert_eq!(report.muls_removed, 2);
-        assert!(report.adds_inserted <= 6, "expected shared plan, got {report:?}");
+        assert!(
+            report.adds_inserted <= 6,
+            "expected shared plan, got {report:?}"
+        );
         // Semantics preserved exactly (dyadic).
         let inputs = Map::from([((0usize, 0usize), 3.0)]);
         let (o, _) = h.simulate(&[], &inputs).unwrap();
@@ -289,12 +344,35 @@ mod tests {
     fn groups_keyed_by_predecessor() {
         // Same constant on two different variables: two groups.
         let mut g = Dfg::new();
-        let x = g.push(NodeKind::Input { sample: 0, channel: 0 }, vec![]).unwrap();
-        let y = g.push(NodeKind::Input { sample: 0, channel: 1 }, vec![]).unwrap();
+        let x = g
+            .push(
+                NodeKind::Input {
+                    sample: 0,
+                    channel: 0,
+                },
+                vec![],
+            )
+            .unwrap();
+        let y = g
+            .push(
+                NodeKind::Input {
+                    sample: 0,
+                    channel: 1,
+                },
+                vec![],
+            )
+            .unwrap();
         let m1 = g.push(NodeKind::MulConst(0.375), vec![x]).unwrap();
         let m2 = g.push(NodeKind::MulConst(0.375), vec![y]).unwrap();
         let a = g.push(NodeKind::Add, vec![m1, m2]).unwrap();
-        g.push(NodeKind::Output { sample: 0, channel: 0 }, vec![a]).unwrap();
+        g.push(
+            NodeKind::Output {
+                sample: 0,
+                channel: 0,
+            },
+            vec![a],
+        )
+        .unwrap();
         let (_, report) = expand_multiplications(&g, McmPassConfig::default()).unwrap();
         assert_eq!(report.groups, 2);
     }
@@ -302,12 +380,34 @@ mod tests {
     #[test]
     fn trivial_and_negative_constants() {
         let mut g = Dfg::new();
-        let x = g.push(NodeKind::Input { sample: 0, channel: 0 }, vec![]).unwrap();
+        let x = g
+            .push(
+                NodeKind::Input {
+                    sample: 0,
+                    channel: 0,
+                },
+                vec![],
+            )
+            .unwrap();
         let m1 = g.push(NodeKind::MulConst(-0.5), vec![x]).unwrap();
         let m2 = g.push(NodeKind::MulConst(2.0), vec![x]).unwrap();
         let a = g.push(NodeKind::Add, vec![m1, m2]).unwrap();
-        g.push(NodeKind::Output { sample: 0, channel: 0 }, vec![a]).unwrap();
-        let (h, report) = expand_multiplications(&g, McmPassConfig { frac_bits: 4, recoding: Recoding::Csd }).unwrap();
+        g.push(
+            NodeKind::Output {
+                sample: 0,
+                channel: 0,
+            },
+            vec![a],
+        )
+        .unwrap();
+        let (h, report) = expand_multiplications(
+            &g,
+            McmPassConfig {
+                frac_bits: 4,
+                recoding: Recoding::Csd,
+            },
+        )
+        .unwrap();
         assert_eq!(report.muls_removed, 2);
         assert_eq!(report.adds_inserted, 0);
         let inputs = Map::from([((0usize, 0usize), 8.0)]);
@@ -318,7 +418,15 @@ mod tests {
     #[test]
     fn graph_without_multiplications_is_unchanged_semantically() {
         let mut g = Dfg::new();
-        let x = g.push(NodeKind::Input { sample: 0, channel: 0 }, vec![]).unwrap();
+        let x = g
+            .push(
+                NodeKind::Input {
+                    sample: 0,
+                    channel: 0,
+                },
+                vec![],
+            )
+            .unwrap();
         let s = g.push(NodeKind::StateIn { index: 0 }, vec![]).unwrap();
         let a = g.push(NodeKind::Add, vec![x, s]).unwrap();
         g.push(NodeKind::StateOut { index: 0 }, vec![a]).unwrap();

@@ -134,7 +134,15 @@ pub fn insert_registers(
     let cp_after = out.critical_path(timing);
     let levels = (cp_before / level_delay).ceil() as u32;
     out.validate()?;
-    Ok((out, PipelineReport { registers, cp_before, cp_after, levels }))
+    Ok((
+        out,
+        PipelineReport {
+            registers,
+            cp_before,
+            cp_after,
+            levels,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -144,19 +152,38 @@ mod tests {
 
     fn chain_graph(n: usize) -> Dfg {
         let mut g = Dfg::new();
-        let x = g.push(NodeKind::Input { sample: 0, channel: 0 }, vec![]).unwrap();
+        let x = g
+            .push(
+                NodeKind::Input {
+                    sample: 0,
+                    channel: 0,
+                },
+                vec![],
+            )
+            .unwrap();
         let mut acc = x;
         for _ in 0..n {
             acc = g.push(NodeKind::MulConst(0.9), vec![acc]).unwrap();
         }
-        g.push(NodeKind::Output { sample: 0, channel: 0 }, vec![acc]).unwrap();
+        g.push(
+            NodeKind::Output {
+                sample: 0,
+                channel: 0,
+            },
+            vec![acc],
+        )
+        .unwrap();
         g
     }
 
     #[test]
     fn cuts_long_chains() {
         let g = chain_graph(8);
-        let t = OpTiming { t_mul: 1.0, t_add: 1.0, t_shift: 0.0 };
+        let t = OpTiming {
+            t_mul: 1.0,
+            t_add: 1.0,
+            t_shift: 0.0,
+        };
         assert_eq!(g.critical_path(&t), 8.0);
         let (h, report) = insert_registers(&g, 2.0, &t).unwrap();
         assert!(report.cp_after <= 3.0, "cp_after {}", report.cp_after);
@@ -173,7 +200,15 @@ mod tests {
         // s' = 0.9*(s + x): the mul/add are in the feedback loop.
         let mut g = Dfg::new();
         let s = g.push(NodeKind::StateIn { index: 0 }, vec![]).unwrap();
-        let x = g.push(NodeKind::Input { sample: 0, channel: 0 }, vec![]).unwrap();
+        let x = g
+            .push(
+                NodeKind::Input {
+                    sample: 0,
+                    channel: 0,
+                },
+                vec![],
+            )
+            .unwrap();
         // Long feed-forward preprocessing of x.
         let mut xa = x;
         for _ in 0..6 {
@@ -182,11 +217,19 @@ mod tests {
         let sum = g.push(NodeKind::Add, vec![s, xa]).unwrap();
         let m = g.push(NodeKind::MulConst(0.9), vec![sum]).unwrap();
         g.push(NodeKind::StateOut { index: 0 }, vec![m]).unwrap();
-        let t = OpTiming { t_mul: 1.0, t_add: 1.0, t_shift: 0.0 };
+        let t = OpTiming {
+            t_mul: 1.0,
+            t_add: 1.0,
+            t_shift: 0.0,
+        };
         let fb_before = g.feedback_critical_path(&t);
         let (h, report) = insert_registers(&g, 2.0, &t).unwrap();
         assert!(report.registers > 0);
-        assert_eq!(h.feedback_critical_path(&t), fb_before, "feedback path must be untouched");
+        assert_eq!(
+            h.feedback_critical_path(&t),
+            fb_before,
+            "feedback path must be untouched"
+        );
     }
 
     #[test]
@@ -194,7 +237,15 @@ mod tests {
         // One deep value consumed by two late users: the register chain is
         // built once.
         let mut g = Dfg::new();
-        let x = g.push(NodeKind::Input { sample: 0, channel: 0 }, vec![]).unwrap();
+        let x = g
+            .push(
+                NodeKind::Input {
+                    sample: 0,
+                    channel: 0,
+                },
+                vec![],
+            )
+            .unwrap();
         let m = g.push(NodeKind::MulConst(2.0), vec![x]).unwrap();
         let mut deep = x;
         for _ in 0..4 {
@@ -203,8 +254,19 @@ mod tests {
         let a1 = g.push(NodeKind::Add, vec![m, deep]).unwrap();
         let a2 = g.push(NodeKind::Add, vec![m, deep]).unwrap();
         let s = g.push(NodeKind::Add, vec![a1, a2]).unwrap();
-        g.push(NodeKind::Output { sample: 0, channel: 0 }, vec![s]).unwrap();
-        let t = OpTiming { t_mul: 1.0, t_add: 1.0, t_shift: 0.0 };
+        g.push(
+            NodeKind::Output {
+                sample: 0,
+                channel: 0,
+            },
+            vec![s],
+        )
+        .unwrap();
+        let t = OpTiming {
+            t_mul: 1.0,
+            t_add: 1.0,
+            t_shift: 0.0,
+        };
         let (h, _) = insert_registers(&g, 2.0, &t).unwrap();
         // m is consumed at depth 4-ish twice; its register chain must be
         // shared, so the delay count stays small.
@@ -215,7 +277,11 @@ mod tests {
     #[test]
     fn already_shallow_graph_unchanged() {
         let g = chain_graph(1);
-        let t = OpTiming { t_mul: 1.0, t_add: 1.0, t_shift: 0.0 };
+        let t = OpTiming {
+            t_mul: 1.0,
+            t_add: 1.0,
+            t_shift: 0.0,
+        };
         let (h, report) = insert_registers(&g, 10.0, &t).unwrap();
         assert_eq!(report.registers, 0);
         assert_eq!(h.len(), g.len());

@@ -19,7 +19,11 @@ use lintra::transform::pipeline;
 fn main() -> Result<(), lintra::LintraError> {
     let design = suite::by_name("iir6").expect("benchmark exists");
     println!("design: {} — {}", design.name, design.description);
-    let timing = OpTiming { t_mul: 2.0, t_add: 1.0, t_shift: 0.0 };
+    let timing = OpTiming {
+        t_mul: 2.0,
+        t_add: 1.0,
+        t_shift: 0.0,
+    };
 
     // Stage 0: the original maximally fast datapath.
     let base = build::from_state_space(&design.system)?;
@@ -93,7 +97,10 @@ fn main() -> Result<(), lintra::LintraError> {
     let tech = TechConfig::dac96(5.0);
     let result = asic::optimize(&design.system, &tech, &asic::AsicConfig::default())?;
     println!("\n-- end-to-end (initial {} V) --", tech.initial_voltage);
-    println!("chosen unfolding: {} -> operating at {:.2} V", result.unfolding, result.voltage);
+    println!(
+        "chosen unfolding: {} -> operating at {:.2} V",
+        result.unfolding, result.voltage
+    );
     println!("initial:   {}", result.initial);
     println!("optimized: {}", result.optimized);
     println!("energy per sample improved x{:.1}", result.improvement());

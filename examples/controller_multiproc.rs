@@ -17,15 +17,26 @@ use lintra::suite;
 fn main() -> Result<(), lintra::LintraError> {
     let design = suite::by_name("steam").expect("benchmark exists");
     let (p, q, r) = design.dims();
-    println!("design: {} — {} (P={p} Q={q} R={r})", design.name, design.description);
+    println!(
+        "design: {} — {} (P={p} Q={q} R={r})",
+        design.name, design.description
+    );
 
     let tech = TechConfig::dac96(3.3);
     let choice = best_unfolding(&design.system, TrivialityRule::ZeroOne, 1.0, 1.0)?;
-    println!("single-processor optimum unfolding: i = {}", choice.unfolding);
+    println!(
+        "single-processor optimum unfolding: i = {}",
+        choice.unfolding
+    );
 
     // Measured speedup curve of the unfolded computation.
     let g = build::from_unfolded(&unfold(&design.system, choice.unfolding as u32)?)?;
-    let base = list_schedule(&build::from_state_space(&design.system)?, 1, &tech.processor)?.length;
+    let base = list_schedule(
+        &build::from_state_space(&design.system)?,
+        1,
+        &tech.processor,
+    )?
+    .length;
     let (lengths, _) = speedup_curve(&g, r + 3, &tech.processor)?;
     println!("\n  N   cycles/batch   S_max(N,i)   voltage   power reduction");
     for (idx, &len) in lengths.iter().enumerate() {
@@ -40,8 +51,7 @@ fn main() -> Result<(), lintra::LintraError> {
         );
     }
 
-    let conservative =
-        multi::optimize(&design.system, &tech, ProcessorSelection::StatesCount)?;
+    let conservative = multi::optimize(&design.system, &tech, ProcessorSelection::StatesCount)?;
     let best = multi::optimize(
         &design.system,
         &tech,

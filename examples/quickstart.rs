@@ -11,13 +11,19 @@ use lintra::suite;
 fn main() -> Result<(), lintra::LintraError> {
     let design = suite::by_name("iir5").expect("benchmark exists");
     let (p, q, r) = design.dims();
-    println!("design: {} — {} (P={p}, Q={q}, R={r})", design.name, design.description);
+    println!(
+        "design: {} — {} (P={p}, Q={q}, R={r})",
+        design.name, design.description
+    );
 
     let tech = TechConfig::dac96(3.3);
 
     // 1. Single programmable processor (§3).
     let s = single::optimize(&design.system, &tech)?;
-    println!("\n-- single processor, initial {:.1} V --", tech.initial_voltage);
+    println!(
+        "\n-- single processor, initial {:.1} V --",
+        tech.initial_voltage
+    );
     println!(
         "unfolding i = {} (dense analysis would predict i = {})",
         s.real.unfolding, s.dense.unfolding
@@ -52,7 +58,10 @@ fn main() -> Result<(), lintra::LintraError> {
     let tech5 = TechConfig::dac96(5.0);
     let a = asic::optimize(&design.system, &tech5, &asic::AsicConfig::default())?;
     println!("\n-- ASIC flow, initial {:.1} V --", tech5.initial_voltage);
-    println!("unfolded {} times, multipliers removed: {}", a.unfolding, a.mcm.muls_removed);
+    println!(
+        "unfolded {} times, multipliers removed: {}",
+        a.unfolding, a.mcm.muls_removed
+    );
     println!("initial:   {}", a.initial);
     println!("optimized: {}", a.optimized);
     println!("energy improvement: x{:.1}", a.improvement());

@@ -55,7 +55,9 @@ fn fast_client(server: &ServerHandle) -> Client {
 
 #[allow(clippy::expect_used)] // test helper; a transport failure should abort the test
 fn ping(client: &Client, id: &str) -> WireResponse {
-    client.request(&WireRequest::new(id, WireOp::Ping)).expect("ping transport")
+    client
+        .request(&WireRequest::new(id, WireOp::Ping))
+        .expect("ping transport")
 }
 
 fn healthy_optimize(id: &str) -> WireRequest {
@@ -74,10 +76,20 @@ fn healthy_optimize(id: &str) -> WireRequest {
 #[allow(clippy::expect_used)] // test helper; a transport failure should abort the test
 fn assert_serviceable(client: &Client, tag: &str) {
     let resp = ping(client, &format!("live-{tag}"));
-    assert!(resp.outcome.is_ok(), "{tag}: ping must succeed after the fault");
-    let resp = client.request(&healthy_optimize(&format!("work-{tag}"))).expect("transport");
-    let result = resp.outcome.unwrap_or_else(|f| panic!("{tag}: healthy work failed: {f}"));
-    assert!(result.get("power_reduction").is_some(), "{tag}: result payload intact");
+    assert!(
+        resp.outcome.is_ok(),
+        "{tag}: ping must succeed after the fault"
+    );
+    let resp = client
+        .request(&healthy_optimize(&format!("work-{tag}")))
+        .expect("transport");
+    let result = resp
+        .outcome
+        .unwrap_or_else(|f| panic!("{tag}: healthy work failed: {f}"));
+    assert!(
+        result.get("power_reduction").is_some(),
+        "{tag}: result payload intact"
+    );
 }
 
 #[test]
@@ -90,7 +102,9 @@ fn malformed_requests_get_val_malformed_and_the_connection_survives() {
         stream.write_all(bad.as_bytes()).expect("write");
         stream.write_all(b"\n").expect("write");
         let mut line = String::new();
-        reader.read_line(&mut line).expect("server answers each bad line");
+        reader
+            .read_line(&mut line)
+            .expect("server answers each bad line");
         let resp = WireResponse::parse(&line).expect("response parses");
         let failure = resp.outcome.expect_err("malformed must fail");
         assert_eq!(failure.code, "VAL-MALFORMED-REQUEST", "line {k}: {bad:?}");
@@ -100,7 +114,11 @@ fn malformed_requests_get_val_malformed_and_the_connection_survives() {
 
     // The same connection still serves valid requests afterwards.
     stream
-        .write_all(WireRequest::new("after", WireOp::Ping).render_line().as_bytes())
+        .write_all(
+            WireRequest::new("after", WireOp::Ping)
+                .render_line()
+                .as_bytes(),
+        )
         .expect("write");
     let mut line = String::new();
     reader.read_line(&mut line).expect("read");
@@ -127,7 +145,10 @@ fn a_client_dying_mid_write_leaves_the_server_serviceable() {
         let mut rest = Vec::new();
         let mut s = stream;
         s.read_to_end(&mut rest).expect("read");
-        assert!(rest.is_empty(), "no response to half a request, got {rest:?}");
+        assert!(
+            rest.is_empty(),
+            "no response to half a request, got {rest:?}"
+        );
     }
     assert_serviceable(&fast_client(&server), "truncated");
     server.shutdown();
@@ -162,7 +183,10 @@ fn deadline_expiring_mid_sweep_returns_res_deadline_within_twice_the_deadline() 
     let deadline_ms = 300;
     let req = WireRequest {
         id: "deadline".to_string(),
-        op: WireOp::Sweep { design: "chemical".to_string(), max_i: 200 },
+        op: WireOp::Sweep {
+            design: "chemical".to_string(),
+            max_i: 200,
+        },
         deadline_ms: Some(deadline_ms),
         fault: Some("slow-sweep".to_string()),
     };
@@ -187,7 +211,10 @@ fn an_already_expired_deadline_never_hangs() {
     let client = fast_client(&server);
     let req = WireRequest {
         id: "tiny".to_string(),
-        op: WireOp::Sweep { design: "iir5".to_string(), max_i: 64 },
+        op: WireOp::Sweep {
+            design: "iir5".to_string(),
+            max_i: 64,
+        },
         deadline_ms: Some(1),
         fault: Some("slow-sweep".to_string()),
     };
@@ -195,7 +222,10 @@ fn an_already_expired_deadline_never_hangs() {
     let resp = client.request(&req).expect("transport");
     let failure = resp.outcome.expect_err("1 ms budget must expire");
     assert_eq!(failure.code, "RES-DEADLINE");
-    assert!(started.elapsed() < Duration::from_secs(2), "no hang on expired budgets");
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "no hang on expired budgets"
+    );
     server.shutdown();
 }
 
@@ -216,19 +246,30 @@ fn consecutive_worker_panics_open_the_breaker_then_a_probe_recovers_it() {
     }
 
     // The breaker is now open: even a healthy request is rejected fast.
-    let resp = client.request(&healthy_optimize("rejected")).expect("transport");
+    let resp = client
+        .request(&healthy_optimize("rejected"))
+        .expect("transport");
     let failure = resp.outcome.expect_err("open breaker rejects");
     assert_eq!(failure.code, "RES-CIRCUIT-OPEN");
     assert_eq!(failure.class, ErrorClass::Resource);
 
     // Liveness probes bypass the breaker.
-    assert!(ping(&client, "bypass").outcome.is_ok(), "ping must bypass the breaker");
+    assert!(
+        ping(&client, "bypass").outcome.is_ok(),
+        "ping must bypass the breaker"
+    );
 
     // After the cooldown, the next request is the half-open probe; it
     // succeeds and closes the breaker for everyone.
     std::thread::sleep(Duration::from_millis(200));
-    let resp = client.request(&healthy_optimize("probe")).expect("transport");
-    assert!(resp.outcome.is_ok(), "probe closes the breaker: {:?}", resp.outcome);
+    let resp = client
+        .request(&healthy_optimize("probe"))
+        .expect("transport");
+    assert!(
+        resp.outcome.is_ok(),
+        "probe closes the breaker: {:?}",
+        resp.outcome
+    );
     assert_serviceable(&client, "breaker");
     server.shutdown();
 }
@@ -248,7 +289,10 @@ fn overload_is_shed_with_res_overload_not_queued() {
             let client = Client::new(addr);
             let req = WireRequest {
                 id: "filler".to_string(),
-                op: WireOp::Sweep { design: "chemical".to_string(), max_i: 30 },
+                op: WireOp::Sweep {
+                    design: "chemical".to_string(),
+                    max_i: 30,
+                },
                 deadline_ms: None,
                 fault: Some("slow-sweep".to_string()),
             };
@@ -260,9 +304,15 @@ fn overload_is_shed_with_res_overload_not_queued() {
     // ... so an impatient client (retries disabled) is shed immediately.
     let impatient = Client::with_policy(
         addr.clone(),
-        RetryPolicy { max_attempts: 1, retry_overload: false, ..RetryPolicy::default() },
+        RetryPolicy {
+            max_attempts: 1,
+            retry_overload: false,
+            ..RetryPolicy::default()
+        },
     );
-    let resp = impatient.request(&healthy_optimize("shed")).expect("transport");
+    let resp = impatient
+        .request(&healthy_optimize("shed"))
+        .expect("transport");
     let failure = resp.outcome.expect_err("must be shed");
     assert_eq!(failure.code, "RES-OVERLOAD");
     assert_eq!(failure.class, ErrorClass::Resource);
@@ -278,8 +328,14 @@ fn overload_is_shed_with_res_overload_not_queued() {
             ..RetryPolicy::default()
         },
     );
-    let resp = patient.request(&healthy_optimize("patient")).expect("transport");
-    assert!(resp.outcome.is_ok(), "retry-with-backoff must eventually land: {:?}", resp.outcome);
+    let resp = patient
+        .request(&healthy_optimize("patient"))
+        .expect("transport");
+    assert!(
+        resp.outcome.is_ok(),
+        "retry-with-backoff must eventually land: {:?}",
+        resp.outcome
+    );
 
     assert!(filler.join().expect("filler thread").outcome.is_ok());
     let stats = server.shutdown();
@@ -293,10 +349,15 @@ fn conn_drop_injection_closes_without_response_and_server_survives() {
     let mut req = WireRequest::new("dropme", WireOp::Ping);
     req.fault = Some("conn-drop".to_string());
     let mut stream = TcpStream::connect(server.addr()).expect("connect");
-    stream.write_all(req.render_line().as_bytes()).expect("write");
+    stream
+        .write_all(req.render_line().as_bytes())
+        .expect("write");
     let mut buf = Vec::new();
     stream.read_to_end(&mut buf).expect("read");
-    assert!(buf.is_empty(), "conn-drop must close without a response, got {buf:?}");
+    assert!(
+        buf.is_empty(),
+        "conn-drop must close without a response, got {buf:?}"
+    );
 
     assert_serviceable(&fast_client(&server), "conn-drop");
     server.shutdown();
@@ -322,7 +383,8 @@ fn client_retry_with_backoff_recovers_from_a_dropped_connection() {
         let req = WireRequest::parse(&line).expect("valid request");
         let resp = WireResponse::ok(req.id, Json::obj([("pong", Json::Bool(true))]));
         let mut c2 = c2;
-        c2.write_all(resp.render_line().as_bytes()).expect("write response");
+        c2.write_all(resp.render_line().as_bytes())
+            .expect("write response");
     });
 
     let client = Client::with_policy(
@@ -333,7 +395,9 @@ fn client_retry_with_backoff_recovers_from_a_dropped_connection() {
             ..RetryPolicy::default()
         },
     );
-    let resp = client.request(&WireRequest::new("retry", WireOp::Ping)).expect("retry bridges");
+    let resp = client
+        .request(&WireRequest::new("retry", WireOp::Ping))
+        .expect("retry bridges");
     assert!(resp.outcome.is_ok());
     fake.join().expect("fake server");
 }
@@ -350,7 +414,10 @@ fn shutdown_drains_inflight_requests_and_rejects_new_work() {
             let client = Client::new(addr);
             let req = WireRequest {
                 id: "inflight".to_string(),
-                op: WireOp::Sweep { design: "chemical".to_string(), max_i: 20 },
+                op: WireOp::Sweep {
+                    design: "chemical".to_string(),
+                    max_i: 20,
+                },
                 deadline_ms: None,
                 fault: Some("slow-sweep".to_string()),
             };
@@ -365,19 +432,27 @@ fn shutdown_drains_inflight_requests_and_rejects_new_work() {
 
     // The in-flight sweep completed with a real result, not an error.
     let resp = inflight.join().expect("in-flight thread");
-    let result = resp.outcome.expect("in-flight request must complete during drain");
+    let result = resp
+        .outcome
+        .expect("in-flight request must complete during drain");
     assert_eq!(
         result.get("rows").and_then(Json::as_arr).map(<[Json]>::len),
         Some(21),
         "full sweep delivered"
     );
     assert!(stats.requests_ok >= 1);
-    assert!(drained_in < Duration::from_secs(5), "drain is bounded, took {drained_in:?}");
+    assert!(
+        drained_in < Duration::from_secs(5),
+        "drain is bounded, took {drained_in:?}"
+    );
 
     // After the drain, the server is gone: new work cannot land.
     let late = Client::with_policy(
         addr,
-        RetryPolicy { max_attempts: 1, ..RetryPolicy::default() },
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        },
     );
     match late.request(&WireRequest::new("late", WireOp::Ping)) {
         Err(_) => {} // connection refused — listener closed

@@ -14,7 +14,11 @@ fn table2_shape_single_processor() {
     let mut reductions = Vec::new();
     for d in suite() {
         let r = single::optimize(&d.system, &tech).unwrap();
-        assert!(r.real.power_reduction() >= 1.0 - 1e-9, "{} regressed", d.name);
+        assert!(
+            r.real.power_reduction() >= 1.0 - 1e-9,
+            "{} regressed",
+            d.name
+        );
         assert!(
             r.real.speedup <= r.dense.speedup + 1e-9 || !d.dense,
             "{}: sparse system cannot beat its own dense bound this way",
@@ -40,7 +44,12 @@ fn table2_is_better_at_5v_than_3v() {
         let tech = TechConfig::dac96(v);
         let r: Vec<f64> = suite()
             .iter()
-            .map(|d| single::optimize(&d.system, &tech).unwrap().real.power_reduction())
+            .map(|d| {
+                single::optimize(&d.system, &tech)
+                    .unwrap()
+                    .real
+                    .power_reduction()
+            })
             .collect();
         r.iter().sum::<f64>() / r.len() as f64
     };
@@ -56,7 +65,10 @@ fn table3_shape_multiprocessor_beats_single() {
     let mut single_avg = 0.0;
     let mut multi_avg = 0.0;
     for d in suite() {
-        let s = single::optimize(&d.system, &tech).unwrap().real.power_reduction();
+        let s = single::optimize(&d.system, &tech)
+            .unwrap()
+            .real
+            .power_reduction();
         let m = multi::optimize(&d.system, &tech, ProcessorSelection::StatesCount)
             .unwrap()
             .power_reduction();
@@ -93,7 +105,12 @@ fn table4_shape_asic_improvements() {
     // ASIC beats both processor-based strategies by a wide margin.
     let single_best = suite()
         .iter()
-        .map(|d| single::optimize(&d.system, &tech).unwrap().real.power_reduction())
+        .map(|d| {
+            single::optimize(&d.system, &tech)
+                .unwrap()
+                .real
+                .power_reduction()
+        })
         .fold(0.0, f64::max);
     assert!(avg > single_best);
 }

@@ -95,9 +95,14 @@ fn mcm_rewrite_stays_within_quantization_error() {
     for d in suite() {
         let (p, q, r) = d.dims();
         let g = build::from_state_space(&d.system).unwrap();
-        let (rewritten, report) =
-            expand_multiplications(&g, McmPassConfig { frac_bits: 20, ..Default::default() })
-                .unwrap();
+        let (rewritten, report) = expand_multiplications(
+            &g,
+            McmPassConfig {
+                frac_bits: 20,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(rewritten.op_counts().muls, 0, "{}", d.name);
         assert!(report.muls_removed > 0, "{}", d.name);
         let input = stimulus(p, 40, 17);
@@ -133,9 +138,14 @@ fn transform_composition_unfold_horner_mcm() {
         let (p, q, r) = d.dims();
         let h = HornerForm::new(&d.system, 4).unwrap();
         let g = h.to_dfg().unwrap();
-        let (rewritten, _) =
-            expand_multiplications(&g, McmPassConfig { frac_bits: 22, ..Default::default() })
-                .unwrap();
+        let (rewritten, _) = expand_multiplications(
+            &g,
+            McmPassConfig {
+                frac_bits: 22,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let n = h.batch;
         let input = stimulus(p, 8 * n, 23);
         let want = d.system.simulate(&input).unwrap();

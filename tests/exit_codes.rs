@@ -19,9 +19,17 @@ fn class_exit_codes_are_frozen() {
         (ErrorClass::Convergence, 5),
         (ErrorClass::Io, 6),
     ];
-    assert_eq!(ErrorClass::all().len(), expected.len(), "a new class needs a frozen code here");
+    assert_eq!(
+        ErrorClass::all().len(),
+        expected.len(),
+        "a new class needs a frozen code here"
+    );
     for (class, code) in expected {
-        assert_eq!(class.exit_code(), code, "{class:?} renumbered — breaking change");
+        assert_eq!(
+            class.exit_code(),
+            code,
+            "{class:?} renumbered — breaking change"
+        );
     }
 }
 
@@ -89,7 +97,10 @@ fn wire_failures_exit_like_local_failures_of_the_same_class() {
 #[test]
 fn cli_error_variants_keep_their_codes() {
     assert_eq!(CliError::Usage("bad".into()).exit_code(), 2);
-    assert_eq!(CliError::Io(std::io::Error::other("disk full")).exit_code(), 6);
+    assert_eq!(
+        CliError::Io(std::io::Error::other("disk full")).exit_code(),
+        6
+    );
     let pipeline = CliError::Pipeline(LintraError::new(
         ErrorClass::Convergence,
         "CNV-TEST",

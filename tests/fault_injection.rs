@@ -71,7 +71,9 @@ fn every_fault_class_has_a_defined_outcome_in_every_optimizer() {
                     assert_eq!(s.real.scaling.voltage, bad.initial_voltage);
                     assert_eq!(s.real.scaling.slowdown_at_voltage, 1.0);
                     assert!(
-                        s.diagnostics.iter().any(|d| d.code == DiagCode::FrequencyOnlyFallback),
+                        s.diagnostics
+                            .iter()
+                            .any(|d| d.code == DiagCode::FrequencyOnlyFallback),
                         "single must explain its frequency-only fallback"
                     );
                     assert!(s.real.power_reduction().is_finite());
@@ -80,12 +82,18 @@ fn every_fault_class_has_a_defined_outcome_in_every_optimizer() {
                     let m = multi::optimize(&sys, &bad, ProcessorSelection::StatesCount)
                         .expect("degrades, not errors");
                     assert_eq!(m.scaling.voltage, bad.initial_voltage);
-                    assert!(m.diagnostics.iter().any(|d| d.code == DiagCode::FrequencyOnlyFallback));
+                    assert!(m
+                        .diagnostics
+                        .iter()
+                        .any(|d| d.code == DiagCode::FrequencyOnlyFallback));
                     assert!(m.power_reduction().is_finite());
 
                     let a = asic::optimize(&sys, &bad, &cfg).expect("degrades, not errors");
                     assert_eq!(a.voltage, bad.initial_voltage);
-                    assert!(a.diagnostics.iter().any(|d| d.code == DiagCode::FrequencyOnlyFallback));
+                    assert!(a
+                        .diagnostics
+                        .iter()
+                        .any(|d| d.code == DiagCode::FrequencyOnlyFallback));
                     assert!(a.improvement().is_finite());
                 }
                 Fault::WorkerPanic => {
@@ -121,7 +129,10 @@ fn every_fault_class_has_a_defined_outcome_in_every_optimizer() {
                     let results = pool.map_ctl(
                         (0..8).collect(),
                         &f,
-                        SweepCtl { token: None, stall_budget: Some(budget) },
+                        SweepCtl {
+                            token: None,
+                            stall_budget: Some(budget),
+                        },
                     );
                     for (idx, r) in results.iter().enumerate() {
                         if idx == stalled {
@@ -162,10 +173,16 @@ fn asic_unfolding_cap_degrades_with_diagnostic() {
     // must still succeed, scale as far as the cap allows, and say so.
     let sys = healthy_system(7);
     let tech = TechConfig::dac96(5.0);
-    let cfg = asic::AsicConfig { max_unfolding: 1, ..asic::AsicConfig::default() };
+    let cfg = asic::AsicConfig {
+        max_unfolding: 1,
+        ..asic::AsicConfig::default()
+    };
     let r = asic::optimize(&sys, &tech, &cfg).expect("capped, not failed");
     assert!(r.unfolding <= 1);
-    assert!(r.diagnostics.iter().any(|d| d.code == DiagCode::UnfoldingCapped));
+    assert!(r
+        .diagnostics
+        .iter()
+        .any(|d| d.code == DiagCode::UnfoldingCapped));
     assert!(r.voltage > tech.voltage.v_min() - 1e-12);
     assert!(r.improvement().is_finite());
 }
@@ -174,13 +191,18 @@ fn asic_unfolding_cap_degrades_with_diagnostic() {
 fn voltage_floor_clamp_is_diagnosed_not_silent() {
     // A deep slowdown pushes the voltage to the 1.1 V floor; the clamp
     // must be visible in the diagnostics.
-    let sys = lintra::suite::by_name("iir6").expect("benchmark exists").system.clone();
+    let sys = lintra::suite::by_name("iir6")
+        .expect("benchmark exists")
+        .system
+        .clone();
     let tech = TechConfig::dac96(5.0);
     let r = asic::optimize(&sys, &tech, &asic::AsicConfig::default()).expect("optimizes");
     assert!(r.voltage >= tech.voltage.v_min() - 1e-12);
     if (r.voltage - tech.voltage.v_min()).abs() < 1e-9 {
         assert!(
-            r.diagnostics.iter().any(|d| d.code == DiagCode::VoltageClamped),
+            r.diagnostics
+                .iter()
+                .any(|d| d.code == DiagCode::VoltageClamped),
             "clamping at the floor must produce a diagnostic"
         );
     }
@@ -211,7 +233,10 @@ fn error_classes_map_to_distinct_exit_codes() {
     .iter()
     .map(|c| c.exit_code())
     .collect();
-    assert!(codes.iter().all(|&c| c != 0), "all error exit codes are nonzero");
+    assert!(
+        codes.iter().all(|&c| c != 0),
+        "all error exit codes are nonzero"
+    );
     codes.sort_unstable();
     codes.dedup();
     assert_eq!(codes.len(), 5, "every class keeps its own exit code");

@@ -13,7 +13,11 @@ use lintra::transform::pipeline::insert_registers;
 use std::collections::HashMap;
 
 fn timing() -> OpTiming {
-    OpTiming { t_mul: 2.0, t_add: 1.0, t_shift: 0.0 }
+    OpTiming {
+        t_mul: 2.0,
+        t_add: 1.0,
+        t_shift: 0.0,
+    }
 }
 
 #[test]
@@ -27,7 +31,11 @@ fn pipelining_the_full_asic_graph_preserves_values_and_feedback() {
         let fb_before = g1.feedback_critical_path(&t);
         let (g2, report) = insert_registers(&g1, 3.0, &t).unwrap();
         let fb_after = g2.feedback_critical_path(&t);
-        assert!(fb_after <= fb_before + 1e-9, "{}: feedback path grew", d.name);
+        assert!(
+            fb_after <= fb_before + 1e-9,
+            "{}: feedback path grew",
+            d.name
+        );
         // Every feed-forward path is cut to one level (+ one op); only the
         // feedback section — which registers must not touch — may remain
         // longer.
@@ -98,7 +106,8 @@ fn fds_matches_list_scheduler_feasibility() {
             let ls = list_schedule(&g, n, &model).unwrap();
             match force_directed_schedule(&g, &model, ls.length) {
                 Ok(fds) => {
-                    fds.validate(&g, &model).unwrap_or_else(|e| panic!("{}: {e}", d.name));
+                    fds.validate(&g, &model)
+                        .unwrap_or_else(|e| panic!("{}: {e}", d.name));
                     // Typed units can exceed N slightly (a multiplier and
                     // an ALU cannot share), but not wildly.
                     assert!(

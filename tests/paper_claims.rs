@@ -29,7 +29,11 @@ fn claim_s1_base_case_counts() {
 #[test]
 fn claim_s1_s2_critical_path_constant_under_unfolding() {
     let (t_mul, t_add) = (2.0, 1.0);
-    let timing = OpTiming { t_mul, t_add, t_shift: 0.0 };
+    let timing = OpTiming {
+        t_mul,
+        t_add,
+        t_shift: 0.0,
+    };
     let sys = dense_synthetic(1, 1, 5);
     let expect = feedback_critical_path(5, t_mul, t_add);
     assert_eq!(expect, t_mul + 3.0 * t_add); // ceil(log2(6)) = 3
@@ -85,7 +89,10 @@ fn claim_s3_iopt_is_floor_or_ceil() {
         let iopt = dense_iopt(p, q, r, 1.0, 1.0);
         let lo = cont.floor().max(0.0) as u64;
         let hi = cont.ceil().max(0.0) as u64;
-        assert!(iopt == lo || iopt == hi, "({p},{q},{r}): iopt {iopt} not in {{{lo},{hi}}}");
+        assert!(
+            iopt == lo || iopt == hi,
+            "({p},{q},{r}): iopt {iopt} not in {{{lo},{hi}}}"
+        );
     }
 }
 
@@ -142,9 +149,13 @@ fn claim_s4_r_processors_always_help() {
     use lintra::opt::multi::{optimize, ProcessorSelection};
     let sys = dense_synthetic(1, 1, 5);
     let tech = TechConfig::dac96(3.3);
-    let single = single::optimize(&sys, &tech).unwrap().real.power_reduction();
-    let multi =
-        optimize(&sys, &tech, ProcessorSelection::StatesCount).unwrap().power_reduction();
+    let single = single::optimize(&sys, &tech)
+        .unwrap()
+        .real
+        .power_reduction();
+    let multi = optimize(&sys, &tech, ProcessorSelection::StatesCount)
+        .unwrap()
+        .power_reduction();
     assert!(multi > single, "multi {multi} vs single {single}");
 }
 
@@ -168,10 +179,19 @@ fn claim_s5_mcm_example() {
 fn claim_s5_horner_linear_growth() {
     use lintra::transform::horner::HornerForm;
     let d = by_name("iir6").unwrap();
-    let ops = |i: u32| HornerForm::new(&d.system, i).unwrap().to_dfg().unwrap().op_counts();
+    let ops = |i: u32| {
+        HornerForm::new(&d.system, i)
+            .unwrap()
+            .to_dfg()
+            .unwrap()
+            .op_counts()
+    };
     let d1 = ops(5).muls as i64 - ops(4).muls as i64;
     let d2 = ops(9).muls as i64 - ops(8).muls as i64;
-    assert_eq!(d1, d2, "per-unfolding multiplication increment must be constant");
+    assert_eq!(
+        d1, d2,
+        "per-unfolding multiplication increment must be constant"
+    );
     let a1 = ops(5).adds as i64 - ops(4).adds as i64;
     let a2 = ops(9).adds as i64 - ops(8).adds as i64;
     assert_eq!(a1, a2, "per-unfolding addition increment must be constant");
@@ -184,7 +204,10 @@ fn claim_s5_horner_linear_growth() {
 fn claim_s5_voltage_floor() {
     use lintra::opt::asic::{optimize, AsicConfig};
     let m = VoltageModel::dac96();
-    assert!(m.normalized_delay(m.v_min()) > 10.0, "floor sits in the steep region");
+    assert!(
+        m.normalized_delay(m.v_min()) > 10.0,
+        "floor sits in the steep region"
+    );
     let d = by_name("chemical").unwrap();
     let r = optimize(&d.system, &TechConfig::dac96(3.3), &AsicConfig::default()).unwrap();
     assert!(r.voltage >= m.v_min() - 1e-12);

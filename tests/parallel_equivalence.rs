@@ -29,7 +29,11 @@ fn single_processor_cached_matches_sequential_for_every_design() {
             let seq = single::optimize(&d.system, &tech).unwrap();
             let mut cache = SweepCache::new(&d.system);
             let cached = single::optimize_cached(&d.system, &tech, &mut cache).unwrap();
-            assert_eq!(seq.diagnostics, cached.diagnostics, "{}: diagnostics order", d.name);
+            assert_eq!(
+                seq.diagnostics, cached.diagnostics,
+                "{}: diagnostics order",
+                d.name
+            );
             assert_eq!(seq, cached, "{} at {v0} V", d.name);
         }
     }
@@ -42,9 +46,10 @@ fn multi_processor_pooled_matches_sequential_for_every_design() {
         let pool = ThreadPool::new(jobs);
         for d in suite() {
             let (_, _, r) = d.dims();
-            for selection in
-                [ProcessorSelection::StatesCount, ProcessorSelection::SearchBest { max: r + 2 }]
-            {
+            for selection in [
+                ProcessorSelection::StatesCount,
+                ProcessorSelection::SearchBest { max: r + 2 },
+            ] {
                 let seq = multi::optimize(&d.system, &tech, selection).unwrap();
                 let par = multi::optimize_with_pool(&d.system, &tech, selection, &pool).unwrap();
                 assert_eq!(
@@ -66,7 +71,11 @@ fn asic_cached_matches_sequential_for_every_design() {
         let seq = asic::optimize(&d.system, &tech, &cfg).unwrap();
         let mut cache = SweepCache::new(&d.system);
         let cached = asic::optimize_cached(&d.system, &tech, &cfg, &mut cache).unwrap();
-        assert_eq!(seq.diagnostics, cached.diagnostics, "{}: diagnostics order", d.name);
+        assert_eq!(
+            seq.diagnostics, cached.diagnostics,
+            "{}: diagnostics order",
+            d.name
+        );
         assert_eq!(seq, cached, "{}", d.name);
     }
 }

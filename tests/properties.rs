@@ -19,7 +19,11 @@ fn mcm_correct_and_no_worse_than_naive() {
     for _ in 0..64 {
         let n = rng.next_below(11) as usize + 1;
         let constants: Vec<i64> = (0..n).map(|_| rng.range_i64(-4096, 4096)).collect();
-        let recoding = if rng.next_bool() { Recoding::Csd } else { Recoding::Binary };
+        let recoding = if rng.next_bool() {
+            Recoding::Csd
+        } else {
+            Recoding::Binary
+        };
         let sol = synthesize(&constants, recoding);
         assert!(sol.verify().is_ok(), "plan wrong for {constants:?}:\n{sol}");
         assert!(sol.adds() <= naive_cost(&constants, recoding).adds);
@@ -61,7 +65,10 @@ fn unfolding_unstable_system_is_typed_error() {
         let seed = rng.next_u64();
         let (a, b, c, d) = lintra::diag::fault::unstable_system(1, 1, r, seed);
         let sys = lintra::linsys::StateSpace::new(a, b, c, d).unwrap();
-        assert!(sys.spectral_radius() >= 1.0, "fault construction must be unstable");
+        assert!(
+            sys.spectral_radius() >= 1.0,
+            "fault construction must be unstable"
+        );
         let i = rng.next_below(5) as u32 + 1;
         match unfold(&sys, i) {
             Err(LinsysError::UnstableSystem { spectral_radius }) => {
@@ -92,7 +99,8 @@ fn fixed_overflow_reports_offending_node() {
     let mut rng = SplitMix64::new(0x6f7666);
     for _ in 0..16 {
         let mut state = vec![Fixed::from_raw(rng.range_i64(1, 1 << 40), frac)];
-        let inputs = std::collections::HashMap::from([((0usize, 0usize), Fixed::from_f64(1.0, frac))]);
+        let inputs =
+            std::collections::HashMap::from([((0usize, 0usize), Fixed::from_f64(1.0, frac))]);
         let mut saw_overflow = false;
         for _ in 0..80 {
             match simulate_fixed(&g, &state, &inputs, frac) {
@@ -205,8 +213,10 @@ fn simulation_is_linear() {
         let alpha = rng.range_f64(-3.0, 3.0);
         let sys = random_stable(2, 2, 4, 0.3, seed);
         let x = stimulus(2, 24, seed ^ 0x55);
-        let scaled: Vec<Vec<f64>> =
-            x.iter().map(|v| v.iter().map(|&e| alpha * e).collect()).collect();
+        let scaled: Vec<Vec<f64>> = x
+            .iter()
+            .map(|v| v.iter().map(|&e| alpha * e).collect())
+            .collect();
         let y = sys.simulate(&x).unwrap();
         let ys = sys.simulate(&scaled).unwrap();
         for (a, b) in y.iter().zip(&ys) {
@@ -251,7 +261,10 @@ fn eigen_radius_matches_estimate() {
         let exact = spectral_radius_exact(sys.a());
         let est = spectral_radius_estimate(sys.a(), 16).value;
         assert!(exact < 1.0, "stable by construction");
-        assert!((exact - est).abs() <= 0.05 * exact.max(0.05), "{exact} vs {est}");
+        assert!(
+            (exact - est).abs() <= 0.05 * exact.max(0.05),
+            "{exact} vs {est}"
+        );
     }
 }
 
@@ -268,7 +281,11 @@ fn pipelining_preserves_values() {
         let levels = rng.next_below(4) as u32 + 1;
         let sys = random_stable(1, 1, r, 0.3, seed);
         let g = build::from_state_space(&sys).unwrap();
-        let t = OpTiming { t_mul: 2.0, t_add: 1.0, t_shift: 0.0 };
+        let t = OpTiming {
+            t_mul: 2.0,
+            t_add: 1.0,
+            t_shift: 0.0,
+        };
         let (h, _) = insert_registers(&g, levels as f64, &t).unwrap();
         assert!(h.feedback_critical_path(&t) <= g.feedback_critical_path(&t) + 1e-9);
         let mut inputs = std::collections::HashMap::new();
@@ -329,6 +346,9 @@ fn sweep_cache_incremental_unfold_matches_scratch() {
         // still be bit-identical.
         let replay = cache.unfolded(5).unwrap();
         assert_eq!(replay, unfold(&sys, 5).unwrap());
-        assert!(cache.stats().hits > 0, "trajectory reuse must register as cache hits");
+        assert!(
+            cache.stats().hits > 0,
+            "trajectory reuse must register as cache hits"
+        );
     }
 }
