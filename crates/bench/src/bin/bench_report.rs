@@ -7,8 +7,12 @@
 //! - `--out <path>`   report destination (default `BENCH_2.json`)
 //! - `--jobs <N>`     engine worker count (default: all cores)
 //! - `--reps <N>`     timing repetitions, best-of (default 3)
-//! - `--smoke`        single rep — fast CI mode; still validates
+//! - `--smoke`        single rep — fast CI mode; still validates, and the
+//!   report (plus its trajectory line) is tagged `"smoke": true` so
+//!   trajectory consumers can filter the noisy timings out
 //! - `--check <path>` only parse + schema-validate an existing report
+//! - `--trajectory-summary <path>` only read a `BENCH_TRAJECTORY.jsonl`,
+//!   drop smoke-tagged lines, and print the real-run speedup history
 //!
 //! The written report is always re-parsed and schema-validated before the
 //! process exits 0, so a green run guarantees a well-formed
@@ -18,7 +22,9 @@ use lintra::engine::{CacheStats, SweepCache, ThreadPool};
 use lintra::suite::suite;
 use lintra::LintraError;
 use lintra_bench::json::Json;
-use lintra_bench::report::{to_json, trajectory_line, utc_timestamp, validate, Entry, RunMeta};
+use lintra_bench::report::{
+    real_trajectory_lines, to_json, trajectory_line, utc_timestamp, validate, Entry, RunMeta,
+};
 use lintra_bench::timing::measure;
 use lintra_bench::{
     table2_rows, table2_rows_engine, table3_rows, table3_rows_engine, table4_rows,
@@ -123,6 +129,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         return Ok(());
     }
 
+    if let Some(path) = flag_value(&args, "--trajectory-summary") {
+        let text = std::fs::read_to_string(&path)?;
+        let (real, smoke) = real_trajectory_lines(&text).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "{path}: {} real run(s), {smoke} smoke run(s) filtered",
+            real.len()
+        );
+        for line in &real {
+            let s = |key: &str| line.get(key).and_then(Json::as_str).unwrap_or("?");
+            let n = |key: &str| line.get(key).and_then(Json::as_num).unwrap_or(f64::NAN);
+            println!(
+                "  {} @ {}  jobs={}  speedup x{:.2}",
+                s("git_sha"),
+                s("generated_utc"),
+                n("jobs"),
+                n("speedup"),
+            );
+        }
+        return Ok(());
+    }
+
     let smoke = args.iter().any(|a| a == "--smoke");
     let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_4.json".to_string());
     let trajectory =
@@ -176,7 +203,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         git_sha: git_sha(),
         generated_utc: now_utc(),
     };
-    let doc = to_json(&meta, cores, pool.jobs(), reps, &tables, &sweeps);
+    let doc = to_json(&meta, cores, pool.jobs(), reps, smoke, &tables, &sweeps);
     let text = doc.render();
     // Re-parse what will land on disk and gate on the schema: a report the
     // smoke check would reject must never be written silently.
@@ -196,8 +223,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     use std::io::Write as _;
     writeln!(log, "{line}")?;
     println!(
-        "appended run {} @ {} to {trajectory}",
-        meta.git_sha, meta.generated_utc
+        "appended run {} @ {} to {trajectory}{}",
+        meta.git_sha,
+        meta.generated_utc,
+        if smoke { " (smoke-tagged)" } else { "" }
     );
     Ok(())
 }

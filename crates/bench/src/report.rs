@@ -16,8 +16,15 @@ use lintra::engine::CacheStats;
 /// `v2` added provenance stamps (`git_sha`, `generated_utc`) so a
 /// `BENCH_N.json` can be tied back to the commit and moment that
 /// produced it, and the cumulative `BENCH_TRAJECTORY.jsonl` can order
-/// runs across PRs.
-pub const SCHEMA: &str = "lintra-bench-trajectory/v2";
+/// runs across PRs. `v3` added the boolean `smoke` flag: `--smoke` runs
+/// (single rep, CI gate) are tagged so trajectory consumers can filter
+/// them out instead of plotting their noisy timings alongside real runs.
+pub const SCHEMA: &str = "lintra-bench-trajectory/v3";
+
+/// Schema-family prefix shared by every trajectory line version.
+/// [`real_trajectory_lines`] accepts any version with this prefix so
+/// the cumulative log stays readable across schema bumps.
+pub const SCHEMA_PREFIX: &str = "lintra-bench-trajectory/";
 
 /// Provenance of one bench run: which commit produced it, and when.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -113,12 +120,14 @@ impl Entry {
     }
 }
 
-/// Builds the full `BENCH_N.json` document.
+/// Builds the full `BENCH_N.json` document. `smoke` marks a fast CI
+/// run whose timings are not measurement-grade.
 pub fn to_json(
     meta: &RunMeta,
     cores: usize,
     jobs: usize,
     reps: u32,
+    smoke: bool,
     tables: &[Entry],
     sweeps: &[Entry],
 ) -> Json {
@@ -131,6 +140,7 @@ pub fn to_json(
         ("cores", Json::Num(cores as f64)),
         ("jobs", Json::Num(jobs as f64)),
         ("reps", Json::Num(f64::from(reps))),
+        ("smoke", Json::Bool(smoke)),
         (
             "tables",
             Json::Arr(tables.iter().map(Entry::to_json).collect()),
@@ -178,11 +188,54 @@ pub fn trajectory_line(doc: &Json) -> Result<String, String> {
         ("generated_utc", num(&["generated_utc"])),
         ("cores", num(&["cores"])),
         ("jobs", num(&["jobs"])),
+        ("smoke", num(&["smoke"])),
         ("seq_s", num(&["totals", "seq_s"])),
         ("par_s", num(&["totals", "par_s"])),
         ("speedup", num(&["totals", "speedup"])),
     ]);
     Ok(line.render_compact())
+}
+
+/// Splits a cumulative `BENCH_TRAJECTORY.jsonl` into the real
+/// measurement lines and a count of filtered smoke lines.
+///
+/// Smoke runs (single rep, CI gate) are tagged `"smoke": true` since
+/// schema v3; lines carrying that tag are dropped here so consumers
+/// plot only measurement-grade runs. Lines from older schema versions
+/// without the flag are kept — they predate the tag, and any known
+/// smoke entries among them were re-tagged in place. Every line must
+/// still be JSON from the `lintra-bench-trajectory/` family; anything
+/// else is a hard error, not a silent skip.
+///
+/// # Errors
+///
+/// Returns a description (with its 1-based line number) of the first
+/// line that is not a trajectory summary.
+pub fn real_trajectory_lines(text: &str) -> Result<(Vec<Json>, usize), String> {
+    let mut real = Vec::new();
+    let mut smoke = 0usize;
+    for (idx, raw) in text.lines().enumerate() {
+        let raw = raw.trim();
+        if raw.is_empty() {
+            continue;
+        }
+        let line = Json::parse(raw).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        match line.get("schema").and_then(Json::as_str) {
+            Some(s) if s.starts_with(SCHEMA_PREFIX) => {}
+            other => {
+                return Err(format!(
+                    "line {}: schema {other:?} is not from the {SCHEMA_PREFIX}* family",
+                    idx + 1
+                ))
+            }
+        }
+        if line.get("smoke").and_then(Json::as_bool) == Some(true) {
+            smoke += 1;
+        } else {
+            real.push(line);
+        }
+    }
+    Ok((real, smoke))
 }
 
 /// Checks a parsed report against the `lintra-bench-trajectory/v1`
@@ -215,6 +268,9 @@ pub fn validate(doc: &Json) -> Result<(), String> {
         if v < 1.0 {
             return Err(format!("{key:?} must be >= 1, got {v}"));
         }
+    }
+    if doc.get("smoke").and_then(Json::as_bool).is_none() {
+        return Err("missing boolean field \"smoke\"".to_string());
     }
     let tables = doc
         .get("tables")
@@ -295,7 +351,7 @@ mod tests {
             git_sha: "abc1234".to_string(),
             generated_utc: utc_timestamp(1_754_438_400),
         };
-        to_json(&meta, 4, 4, 3, &tables, &sweeps)
+        to_json(&meta, 4, 4, 3, false, &tables, &sweeps)
     }
 
     #[test]
@@ -367,6 +423,24 @@ mod tests {
             validate(&doc).is_err(),
             "non-ISO timestamp must be rejected"
         );
+
+        let mut doc = sample_doc();
+        if let Json::Obj(m) = &mut doc {
+            m.remove("smoke");
+        }
+        assert!(
+            validate(&doc).is_err(),
+            "missing smoke flag must be rejected"
+        );
+
+        let mut doc = sample_doc();
+        if let Json::Obj(m) = &mut doc {
+            m.insert("smoke".into(), Json::Str("yes".into()));
+        }
+        assert!(
+            validate(&doc).is_err(),
+            "non-boolean smoke must be rejected"
+        );
     }
 
     #[test]
@@ -391,10 +465,39 @@ mod tests {
             Some("abc1234")
         );
         assert_eq!(parsed.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        assert_eq!(parsed.get("smoke").and_then(Json::as_bool), Some(false));
         assert!((parsed.get("speedup").and_then(Json::as_num).unwrap() - 2.0).abs() < 1e-12);
         assert!(
             trajectory_line(&Json::Null).is_err(),
             "invalid reports are refused"
+        );
+    }
+
+    #[test]
+    fn real_trajectory_lines_filter_smoke_and_keep_legacy() {
+        // A v2-era line without the flag, a re-tagged v2 smoke line, and
+        // a current v3 real run: only the two real runs survive.
+        let log = concat!(
+            "{\"schema\":\"lintra-bench-trajectory/v2\",\"git_sha\":\"aaa\",\"speedup\":2.0}\n",
+            "{\"schema\":\"lintra-bench-trajectory/v2\",\"git_sha\":\"bbb\",\"smoke\":true}\n",
+            "\n",
+            "{\"schema\":\"lintra-bench-trajectory/v3\",\"git_sha\":\"ccc\",\"smoke\":false}\n",
+        );
+        let (real, smoke) = real_trajectory_lines(log).expect("family lines parse");
+        assert_eq!(smoke, 1);
+        let shas: Vec<_> = real
+            .iter()
+            .map(|l| l.get("git_sha").and_then(Json::as_str))
+            .collect();
+        assert_eq!(shas, [Some("aaa"), Some("ccc")]);
+
+        assert!(
+            real_trajectory_lines("not json\n").is_err(),
+            "garbage lines are a hard error"
+        );
+        assert!(
+            real_trajectory_lines("{\"schema\":\"other/v1\"}\n").is_err(),
+            "foreign schemas are a hard error"
         );
     }
 }

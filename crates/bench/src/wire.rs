@@ -18,12 +18,40 @@
 //! The optional `fault` member is the chaos-testing hook: servers started
 //! with fault injection enabled honor it (`slow-worker`, `slow-sweep`,
 //! `worker-panic`, `conn-drop`), production servers reject it.
+//!
+//! # Versions
+//!
+//! `lintra-wire/v2` added idempotency: a request may declare its version
+//! with the `wire` member and carry a client-supplied `request_id` key.
+//! A server with a journal persists each keyed request before executing
+//! it and answers a retried `request_id` with the journaled, bit-identical
+//! result instead of recomputing. The compatibility contract:
+//!
+//! * a v1 frame (no `wire`, no `request_id`) parses and behaves exactly
+//!   as before — v1 clients need no change;
+//! * a v2 frame against a v1 server is safe: v1 servers ignore unknown
+//!   members, so the request executes (without dedup);
+//! * a frame declaring an *unknown* version parses structurally but must
+//!   be rejected by the server with `VAL-CONFIG`
+//!   ([`WireRequest::check_version`]) — never misinterpreted.
 
 use crate::json::Json;
 use lintra::ErrorClass;
 
-/// Wire-protocol identifier; bump on breaking changes.
-pub const WIRE_SCHEMA: &str = "lintra-serve/v1";
+/// First wire-protocol version: correlation ids, deadlines, chaos faults.
+pub const WIRE_V1: &str = "lintra-wire/v1";
+
+/// Second wire-protocol version: adds `wire` (declared version) and
+/// `request_id` (idempotency key) members; v1 frames still parse.
+pub const WIRE_V2: &str = "lintra-wire/v2";
+
+/// The current wire-protocol identifier; bump on breaking changes.
+pub const WIRE_SCHEMA: &str = WIRE_V2;
+
+/// Ceiling on the `request_id` idempotency key length, bytes: the key is
+/// persisted in the write-ahead journal, so unbounded keys would let a
+/// client bloat the durability layer.
+pub const MAX_REQUEST_ID_LEN: usize = 128;
 
 /// Ceiling on `sweep`'s `max_i`: a request asking for a deeper unfolding
 /// sweep than any caller legitimately needs is load, not work, and is
@@ -86,24 +114,66 @@ pub struct WireRequest {
     /// Chaos-injection hook; only honored by servers started with fault
     /// injection enabled.
     pub fault: Option<String>,
+    /// Idempotency key ([`WIRE_V2`]): a durable server journals keyed
+    /// requests and answers a retried key with the journaled result.
+    pub request_id: Option<String>,
+    /// Declared wire version (`None` = a v1 frame, which predates the
+    /// member). Servers reject unknown versions via [`check_version`].
+    ///
+    /// [`check_version`]: WireRequest::check_version
+    pub wire: Option<String>,
 }
 
 impl WireRequest {
-    /// A request with no deadline override and no fault.
+    /// A request with no deadline override, no fault, and no
+    /// idempotency key — the v1-compatible shape.
     pub fn new(id: impl Into<String>, op: WireOp) -> WireRequest {
         WireRequest {
             id: id.into(),
             op,
             deadline_ms: None,
             fault: None,
+            request_id: None,
+            wire: None,
+        }
+    }
+
+    /// Attaches an idempotency key, upgrading the frame to [`WIRE_V2`].
+    #[must_use]
+    pub fn with_request_id(mut self, request_id: impl Into<String>) -> WireRequest {
+        self.request_id = Some(request_id.into());
+        self.wire = Some(WIRE_V2.to_string());
+        self
+    }
+
+    /// Validates the declared wire version against the versions this
+    /// build speaks.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch for an unknown version —
+    /// the server wraps it as a `VAL-CONFIG` response (a *configuration*
+    /// disagreement between peers, distinct from the syntactic
+    /// `VAL-MALFORMED-REQUEST`).
+    pub fn check_version(&self) -> Result<(), String> {
+        match self.wire.as_deref() {
+            None | Some(WIRE_V1) | Some(WIRE_V2) => Ok(()),
+            Some(other) => Err(format!(
+                "unsupported wire version \"{other}\" (this server speaks {WIRE_V1} and {WIRE_V2})"
+            )),
         }
     }
 
     fn to_json(&self) -> Json {
-        let mut pairs = vec![
-            ("id", Json::Str(self.id.clone())),
-            ("op", Json::Str(self.op.name().to_string())),
-        ];
+        let mut pairs = Vec::new();
+        if let Some(wire) = &self.wire {
+            pairs.push(("wire", Json::Str(wire.clone())));
+        }
+        pairs.push(("id", Json::Str(self.id.clone())));
+        if let Some(rid) = &self.request_id {
+            pairs.push(("request_id", Json::Str(rid.clone())));
+        }
+        pairs.push(("op", Json::Str(self.op.name().to_string())));
         match &self.op {
             WireOp::Ping => {}
             WireOp::Optimize {
@@ -234,11 +304,39 @@ impl WireRequest {
                 .ok_or("\"fault\" must be a string")
         });
         let fault = fault.transpose()?;
+        let wire = doc
+            .get("wire")
+            .map(|w| {
+                w.as_str()
+                    .map(str::to_string)
+                    .ok_or("\"wire\" must be a string")
+            })
+            .transpose()?;
+        let request_id = doc
+            .get("request_id")
+            .map(|r| {
+                let rid = r.as_str().ok_or("\"request_id\" must be a string")?;
+                if rid.is_empty() {
+                    return Err("\"request_id\" must not be empty".to_string());
+                }
+                if rid.len() > MAX_REQUEST_ID_LEN {
+                    return Err(format!(
+                        "\"request_id\" must be at most {MAX_REQUEST_ID_LEN} bytes"
+                    ));
+                }
+                if !rid.bytes().all(|b| b.is_ascii_graphic()) {
+                    return Err("\"request_id\" must be printable ASCII with no spaces".to_string());
+                }
+                Ok::<String, String>(rid.to_string())
+            })
+            .transpose()?;
         Ok(WireRequest {
             id,
             op,
             deadline_ms,
             fault,
+            request_id,
+            wire,
         })
     }
 }
@@ -393,26 +491,29 @@ mod tests {
         let cases = [
             WireRequest::new("r1", WireOp::Ping),
             WireRequest {
-                id: "r2".into(),
-                op: WireOp::Optimize {
-                    design: "chemical".into(),
-                    strategy: "multi".into(),
-                    v0: 5.0,
-                    processors: Some(3),
-                },
                 deadline_ms: Some(2500),
-                fault: None,
+                ..WireRequest::new(
+                    "r2",
+                    WireOp::Optimize {
+                        design: "chemical".into(),
+                        strategy: "multi".into(),
+                        v0: 5.0,
+                        processors: Some(3),
+                    },
+                )
             },
             WireRequest {
-                id: "r3".into(),
-                op: WireOp::Sweep {
-                    design: "iir5".into(),
-                    max_i: 12,
-                },
-                deadline_ms: None,
                 fault: Some("slow-worker".into()),
+                ..WireRequest::new(
+                    "r3",
+                    WireOp::Sweep {
+                        design: "iir5".into(),
+                        max_i: 12,
+                    },
+                )
             },
             WireRequest::new("r4", WireOp::Tables { v0: 3.3 }),
+            WireRequest::new("r5", WireOp::Tables { v0: 3.3 }).with_request_id("job-42"),
         ];
         for req in cases {
             let line = req.render_line();
@@ -460,6 +561,66 @@ mod tests {
             WireRequest::parse("{\"id\":\"x\",\"op\":\"ping\",\"deadline_ms\":0}").is_err(),
             "zero deadline must be rejected"
         );
+    }
+
+    #[test]
+    fn v1_frames_still_parse_as_the_compatibility_path() {
+        // A frame rendered before the `wire`/`request_id` members existed.
+        let req = WireRequest::parse("{\"id\":\"x\",\"op\":\"ping\"}").unwrap();
+        assert_eq!(req.wire, None);
+        assert_eq!(req.request_id, None);
+        assert!(req.check_version().is_ok());
+
+        // An explicit v1 declaration is also accepted.
+        let req = WireRequest::parse("{\"wire\":\"lintra-wire/v1\",\"id\":\"x\",\"op\":\"ping\"}")
+            .unwrap();
+        assert_eq!(req.wire.as_deref(), Some(WIRE_V1));
+        assert!(req.check_version().is_ok());
+    }
+
+    #[test]
+    fn v2_request_ids_round_trip_and_declare_the_version() {
+        let req = WireRequest::new("r9", WireOp::Ping).with_request_id("retry-me-7");
+        assert_eq!(req.wire.as_deref(), Some(WIRE_V2));
+        let line = req.render_line();
+        assert!(line.contains("\"wire\":\"lintra-wire/v2\""), "{line}");
+        assert!(line.contains("\"request_id\":\"retry-me-7\""), "{line}");
+        let back = WireRequest::parse(&line).unwrap();
+        assert_eq!(back, req);
+        assert!(back.check_version().is_ok());
+    }
+
+    #[test]
+    fn unknown_wire_versions_parse_but_fail_version_negotiation() {
+        // Structurally valid, semantically from the future: the parse
+        // succeeds (so the server can answer with the right correlation
+        // id) and check_version carries the rejection.
+        let req = WireRequest::parse("{\"wire\":\"lintra-wire/v9\",\"id\":\"x\",\"op\":\"ping\"}")
+            .unwrap();
+        let err = req.check_version().unwrap_err();
+        assert!(err.contains("lintra-wire/v9"), "{err}");
+        assert!(err.contains(WIRE_V2), "{err}");
+
+        // A non-string version is a syntax error, not a negotiation one.
+        assert!(WireRequest::parse("{\"wire\":2,\"id\":\"x\",\"op\":\"ping\"}").is_err());
+    }
+
+    #[test]
+    fn request_id_keys_are_bounded_printable_ascii() {
+        let ok = |rid: &str| {
+            WireRequest::parse(&format!(
+                "{{\"id\":\"x\",\"op\":\"ping\",\"request_id\":{rid}}}"
+            ))
+        };
+        assert!(ok("\"a\"").is_ok());
+        assert!(ok(&format!("\"{}\"", "k".repeat(MAX_REQUEST_ID_LEN))).is_ok());
+        assert!(ok("\"\"").is_err(), "empty key");
+        assert!(
+            ok(&format!("\"{}\"", "k".repeat(MAX_REQUEST_ID_LEN + 1))).is_err(),
+            "oversized key"
+        );
+        assert!(ok("\"has space\"").is_err(), "embedded space");
+        assert!(ok("42").is_err(), "non-string key");
     }
 
     #[test]

@@ -162,6 +162,7 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         Some("mcm") => cmd_mcm(&args[1..], out),
         Some("serve") => cmd_serve(&args[1..], out),
         Some("request") => cmd_request(&args[1..], out),
+        Some("recover") => cmd_recover(&args[1..], out),
         Some(other) => Err(usage(format!("unknown command `{other}`"))),
     }
 }
@@ -177,12 +178,16 @@ fn help(out: &mut impl Write) -> Result<(), CliError> {
          \x20 sweep <design> [--max I]      ops/sample vs unfolding factor\n\
          \x20 tables [--v0 V] [--jobs N] [--seq]  regenerate paper Tables 2-4\n\
          \x20 mcm <c1> <c2> ... [--binary]  synthesize a shared shift-add network\n\
-         \x20 serve [--addr A] [--jobs N] [--max-inflight N] [--chaos]\n\
-         \x20                               run the optimization service (drains on SIGTERM)\n\
+         \x20 serve [--addr A] [--jobs N] [--max-inflight N] [--chaos] [--journal-dir DIR]\n\
+         \x20                               run the optimization service (drains on SIGTERM);\n\
+         \x20                               --journal-dir makes it durable: write-ahead journal,\n\
+         \x20                               crash recovery, request_id dedup, cache snapshots\n\
          \x20 request <ping|optimize|sweep|tables> [design] --addr A\n\
          \x20         [--strategy S] [--v0 V] [--processors N] [--max I]\n\
-         \x20         [--deadline-ms D] [--retries N]\n\
-         \x20                               send one request to a running server\n\n\
+         \x20         [--deadline-ms D] [--retries N] [--request-id K]\n\
+         \x20                               send one request to a running server;\n\
+         \x20                               --request-id K makes the request idempotent\n\
+         \x20 recover <dir>                 inspect a durability directory read-only\n\n\
          `--jobs N` fans work out over the parallel sweep engine; output is\n\
          bit-identical to the sequential path."
     )?;
@@ -418,9 +423,27 @@ fn cmd_serve(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     if let Some(ms) = parse_millis(args, "--stall-budget-ms")? {
         config.stall_budget = Duration::from_millis(ms);
     }
+    if let Some(dir) = flag_value(args, "--journal-dir") {
+        config.journal_dir = Some(std::path::PathBuf::from(dir));
+    }
 
     signal::install();
     let server = lintra_serve::start(config)?;
+    // Recovery happens inside start(), before the listener opened; the
+    // report line is parsed by the crash-recovery gate.
+    if let Some(rec) = server.recovery() {
+        writeln!(
+            out,
+            "recovered: {} answered, {} replayed, torn_tail={}, journal_quarantined={}, \
+             snapshots {} loaded / {} quarantined",
+            rec.answered,
+            rec.replayed,
+            rec.torn_tail,
+            rec.journal_quarantined.is_some(),
+            rec.snapshots_loaded,
+            rec.snapshots_quarantined
+        )?;
+    }
     // The port line is parsed by scripts (`--addr` port 0 binds an
     // ephemeral port), so flush past any pipe buffering immediately.
     writeln!(out, "listening on {}", server.addr())?;
@@ -432,8 +455,13 @@ fn cmd_serve(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     let stats = server.shutdown();
     writeln!(
         out,
-        "drained: {} connections, {} ok, {} failed, {} shed",
-        stats.connections, stats.requests_ok, stats.requests_failed, stats.shed
+        "drained: {} connections, {} ok, {} failed, {} shed, {} deduped, {} replayed",
+        stats.connections,
+        stats.requests_ok,
+        stats.requests_failed,
+        stats.shed,
+        stats.deduped,
+        stats.replayed
     )?;
     Ok(())
 }
@@ -480,6 +508,9 @@ fn cmd_request(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     let mut req = WireRequest::new(flag_value(args, "--id").unwrap_or("cli"), op);
     req.deadline_ms = parse_millis(args, "--deadline-ms")?;
     req.fault = flag_value(args, "--fault").map(str::to_string);
+    if let Some(rid) = flag_value(args, "--request-id") {
+        req = req.with_request_id(rid);
+    }
 
     let retries = parse_usize(args, "--retries")?.unwrap_or(3).max(1) as u32;
     let client = Client::with_policy(
@@ -499,6 +530,97 @@ fn cmd_request(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         }
         Err(failure) => Err(CliError::Remote(failure)),
     }
+}
+
+/// `lintra recover`: read-only inspection of a durability directory —
+/// what a durable server would find there, without starting one.
+fn cmd_recover(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    use lintra_serve::journal::{scan, RecordKind, ScanOutcome, JOURNAL_FILE, SNAPSHOT_DIR};
+
+    let dir = positionals(args)
+        .first()
+        .map(std::path::PathBuf::from)
+        .ok_or_else(|| usage("recover expects a durability directory"))?;
+    if !dir.is_dir() {
+        return Err(usage(format!("`{}` is not a directory", dir.display())));
+    }
+
+    let journal_path = dir.join(JOURNAL_FILE);
+    if journal_path.exists() {
+        let bytes = std::fs::read(&journal_path)?;
+        let (records, outcome) = scan(&bytes);
+        let mut settled: std::collections::HashMap<&str, RecordKind> =
+            std::collections::HashMap::new();
+        let mut admitted: Vec<&str> = Vec::new();
+        for r in &records {
+            match r.kind {
+                RecordKind::Admit => {
+                    if !settled.contains_key(r.rid.as_str()) && !admitted.contains(&r.rid.as_str())
+                    {
+                        admitted.push(&r.rid);
+                    }
+                }
+                kind => {
+                    admitted.retain(|rid| *rid != r.rid);
+                    settled.insert(&r.rid, kind);
+                }
+            }
+        }
+        let state = match &outcome {
+            ScanOutcome::Clean => "clean".to_string(),
+            ScanOutcome::TornTail { valid_len } => {
+                format!("torn tail (valid through byte {valid_len}; a restart truncates it)")
+            }
+            ScanOutcome::Corrupt { offset, detail } => {
+                format!("CORRUPT at byte {offset}: {detail} (a restart quarantines it)")
+            }
+        };
+        writeln!(out, "journal: {} records, {state}", records.len())?;
+        writeln!(
+            out,
+            "keys: {} settled, {} incomplete",
+            settled.len(),
+            admitted.len()
+        )?;
+        for rid in &admitted {
+            writeln!(out, "incomplete: {rid} (will replay on restart)")?;
+        }
+    } else {
+        writeln!(out, "journal: none at {}", journal_path.display())?;
+    }
+
+    let snap_dir = dir.join(SNAPSHOT_DIR);
+    if snap_dir.is_dir() {
+        let mut entries: Vec<_> = std::fs::read_dir(&snap_dir)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("snap"))
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            match lintra::engine::snapshot::load(&path) {
+                Ok(cache) => {
+                    let s = cache.stats();
+                    writeln!(
+                        out,
+                        "snapshot {name}: ok ({} cached products)",
+                        s.hits + s.misses
+                    )?;
+                }
+                Err(lintra::engine::SnapshotError::Corrupt { detail }) => {
+                    writeln!(out, "snapshot {name}: CORRUPT ({detail})")?;
+                }
+                Err(lintra::engine::SnapshotError::Io(e)) => return Err(CliError::Io(e)),
+            }
+        }
+    } else {
+        writeln!(out, "snapshots: none")?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -771,6 +893,43 @@ mod tests {
         ]);
         assert_eq!(err.exit_code(), 2);
         assert!(err.to_string().contains("VAL-CONFIG"), "{err}");
+    }
+
+    #[test]
+    fn recover_reports_an_empty_directory_and_rejects_bad_args() {
+        let dir = std::env::temp_dir().join(format!("lintra-cli-recover-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let out = run_ok(&["recover", dir.to_str().expect("utf8 path")]);
+        assert!(out.contains("journal: none"), "{out}");
+        assert!(out.contains("snapshots: none"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        assert!(usage_msg(&["recover"]).contains("durability directory"));
+        assert!(usage_msg(&["recover", "/nonesuch-lintra-dir"]).contains("not a directory"));
+    }
+
+    #[test]
+    fn serve_with_a_journal_dir_reports_recovery_and_dedup_counters() {
+        lintra_serve::signal::request_shutdown();
+        let dir = std::env::temp_dir().join(format!("lintra-cli-serve-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = run_ok(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--jobs",
+            "1",
+            "--journal-dir",
+            dir.to_str().expect("utf8 path"),
+        ]);
+        assert!(
+            out.contains("recovered: 0 answered, 0 replayed"),
+            "fresh directory recovers empty: {out}"
+        );
+        assert!(out.contains("deduped"), "{out}");
+        // The directory (and an empty journal) now exists for next time.
+        assert!(dir.join("journal.log").exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

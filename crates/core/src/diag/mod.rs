@@ -136,8 +136,11 @@ pub fn documented_codes() -> &'static [(&'static str, ErrorClass)] {
         ("RES-OVERLOAD", ErrorClass::Resource),
         ("RES-CIRCUIT-OPEN", ErrorClass::Resource),
         ("RES-SHUTDOWN", ErrorClass::Resource),
+        ("RES-DUPLICATE-REQUEST", ErrorClass::Resource),
         ("CNV-BISECTION", ErrorClass::Convergence),
         ("IO-FAILURE", ErrorClass::Io),
+        ("IO-JOURNAL-CORRUPT", ErrorClass::Io),
+        ("IO-SNAPSHOT-CORRUPT", ErrorClass::Io),
     ]
 }
 
@@ -381,6 +384,22 @@ impl From<EngineError> for LintraError {
             EngineError::InvalidJobs { .. } => (ErrorClass::Validation, "VAL-CONFIG"),
         };
         LintraError::wrap(class, code, e)
+    }
+}
+
+impl From<lintra_engine::SnapshotError> for LintraError {
+    fn from(e: lintra_engine::SnapshotError) -> Self {
+        // A snapshot that fails its checksum or invariants is quarantined
+        // by the caller; plain filesystem failures stay IO-FAILURE so
+        // scripts can tell "disk broken" from "file broken".
+        match &e {
+            lintra_engine::SnapshotError::Corrupt { .. } => {
+                LintraError::wrap(ErrorClass::Io, "IO-SNAPSHOT-CORRUPT", e)
+            }
+            lintra_engine::SnapshotError::Io(_) => {
+                LintraError::wrap(ErrorClass::Io, "IO-FAILURE", e)
+            }
+        }
     }
 }
 

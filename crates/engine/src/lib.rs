@@ -26,8 +26,10 @@ pub mod cache;
 pub mod cancel;
 pub mod pool;
 pub mod search;
+pub mod snapshot;
 
 pub use cache::{CacheStats, ExpmMemo, SweepCache};
 pub use cancel::{CancelReason, CancelToken};
 pub use pool::{EngineError, SweepCtl, ThreadPool};
 pub use search::best_unfolding;
+pub use snapshot::SnapshotError;

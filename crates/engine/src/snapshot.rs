@@ -1,0 +1,531 @@
+//! Crash-safe binary snapshots of a [`SweepCache`].
+//!
+//! An unfolded sweep is the expensive artifact of the whole pipeline: the
+//! `A^k` / `A^k·B` / `C·A^k` / `C·A^k·B` chains a [`SweepCache`] holds are
+//! pure functions of the design, so they can be persisted across process
+//! restarts and reused bit-for-bit. This module serializes a cache to a
+//! dependency-free binary format with the durability properties a
+//! write-behind store needs:
+//!
+//! * **Atomic visibility** — [`save`] writes to a temporary sibling file,
+//!   fsyncs it, and renames it over the destination, so a reader never
+//!   observes a half-written snapshot, even across `kill -9` or power
+//!   loss mid-write.
+//! * **Checksummed loads** — the payload carries a CRC32 ([`crc32`],
+//!   IEEE polynomial); [`load`] verifies it before deserializing, so a
+//!   flipped bit is a classified [`SnapshotError::Corrupt`], never a
+//!   silently wrong matrix or a panic.
+//! * **Structural validation** — after the checksum, the decoded cache is
+//!   checked against the [`SweepCache`] invariants (`powers[0] = I`,
+//!   coupling chains no longer than the power chain, finite entries via
+//!   [`StateSpace::new`]); any violation is also `Corrupt`.
+//! * **Quarantine, not deletion** — [`quarantine`] renames a corrupt file
+//!   to a `.quarantined-<n>` sibling so the evidence survives for
+//!   inspection while the caller starts over with a cold cache.
+//!
+//! The on-disk layout (all integers little-endian):
+//!
+//! ```text
+//! magic  b"LSNP"            4 bytes
+//! version u32               format version, currently 1
+//! crc     u32               CRC32 (IEEE) of the payload bytes
+//! len     u64               payload length in bytes
+//! payload                   rho, sys {A,B,C,D}, powers, ab, ca, cab, stats
+//! ```
+//!
+//! Matrices are encoded as `rows u64, cols u64, rows·cols f64-bit
+//! patterns`, so a snapshot round-trips every value bit-identically — the
+//! same contract the cache itself keeps with the from-scratch unfold.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use lintra_linsys::StateSpace;
+use lintra_matrix::Matrix;
+
+use crate::cache::{CacheStats, SweepCache};
+
+/// Snapshot format magic bytes.
+const MAGIC: [u8; 4] = *b"LSNP";
+
+/// Snapshot format version; bump on layout changes.
+const VERSION: u32 = 1;
+
+/// CRC32 (IEEE 802.3 polynomial, reflected), byte-at-a-time.
+///
+/// Shared by the snapshot format here and the request journal in the
+/// serve layer, so both durability artifacts use one checksum.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Failure loading or saving a snapshot.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The file exists but is not a valid snapshot: bad magic, bad
+    /// version, checksum mismatch, truncation, or an invariant violation
+    /// in the decoded cache. The file should be quarantined.
+    Corrupt {
+        /// What exactly failed to verify.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O failed: {e}"),
+            SnapshotError::Corrupt { detail } => {
+                write!(f, "snapshot failed verification: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            SnapshotError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> SnapshotError {
+        SnapshotError::Io(e)
+    }
+}
+
+fn corrupt(detail: impl Into<String>) -> SnapshotError {
+    SnapshotError::Corrupt {
+        detail: detail.into(),
+    }
+}
+
+// --- encoding -------------------------------------------------------------
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_matrix(out: &mut Vec<u8>, m: &Matrix) {
+    put_u64(out, m.rows() as u64);
+    put_u64(out, m.cols() as u64);
+    for &v in m.as_slice() {
+        put_f64(out, v);
+    }
+}
+
+fn put_matrices(out: &mut Vec<u8>, ms: &[Matrix]) {
+    put_u64(out, ms.len() as u64);
+    for m in ms {
+        put_matrix(out, m);
+    }
+}
+
+/// Serializes the cache payload (everything after the header).
+fn encode_payload(cache: &SweepCache) -> Vec<u8> {
+    let (sys, rho, powers, ab, ca, cab, stats) = cache.snapshot_parts();
+    let mut out = Vec::new();
+    put_f64(&mut out, rho);
+    put_matrix(&mut out, sys.a());
+    put_matrix(&mut out, sys.b());
+    put_matrix(&mut out, sys.c());
+    put_matrix(&mut out, sys.d());
+    put_matrices(&mut out, powers);
+    put_matrices(&mut out, ab);
+    put_matrices(&mut out, ca);
+    put_matrices(&mut out, cab);
+    put_u64(&mut out, stats.hits);
+    put_u64(&mut out, stats.misses);
+    out
+}
+
+// --- decoding -------------------------------------------------------------
+
+struct Reader<'b> {
+    bytes: &'b [u8],
+    pos: usize,
+}
+
+impl<'b> Reader<'b> {
+    fn take(&mut self, n: usize) -> Result<&'b [u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| corrupt(format!("payload truncated at byte {}", self.pos)))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let b = self.take(8)?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(b);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn dim(&mut self, what: &str) -> Result<usize, SnapshotError> {
+        let v = self.u64()?;
+        // A dimension bigger than the remaining payload could even hold is
+        // corruption, not a huge-but-valid snapshot; reject before any
+        // allocation is sized by attacker-controlled garbage.
+        if v > (self.bytes.len() / 8) as u64 {
+            return Err(corrupt(format!(
+                "{what} dimension {v} exceeds payload size"
+            )));
+        }
+        Ok(v as usize)
+    }
+
+    fn matrix(&mut self, what: &str) -> Result<Matrix, SnapshotError> {
+        let rows = self.dim(what)?;
+        let cols = self.dim(what)?;
+        let n = rows
+            .checked_mul(cols)
+            .filter(|&n| n <= self.bytes.len() / 8)
+            .ok_or_else(|| corrupt(format!("{what} shape {rows}x{cols} exceeds payload size")))?;
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(self.f64()?);
+        }
+        if rows == 0 || cols == 0 {
+            return Err(corrupt(format!(
+                "{what} has an empty dimension ({rows}x{cols})"
+            )));
+        }
+        Ok(Matrix::from_vec(rows, cols, data))
+    }
+
+    fn matrices(&mut self, what: &str) -> Result<Vec<Matrix>, SnapshotError> {
+        let n = self.dim(what)?;
+        (0..n)
+            .map(|i| self.matrix(&format!("{what}[{i}]")))
+            .collect()
+    }
+}
+
+fn decode_payload(bytes: &[u8]) -> Result<SweepCache, SnapshotError> {
+    let mut r = Reader { bytes, pos: 0 };
+    let rho = r.f64()?;
+    let a = r.matrix("A")?;
+    let b = r.matrix("B")?;
+    let c = r.matrix("C")?;
+    let d = r.matrix("D")?;
+    let sys = StateSpace::new(a, b, c, d)
+        .map_err(|e| corrupt(format!("decoded system fails validation: {e}")))?;
+    let powers = r.matrices("powers")?;
+    let ab = r.matrices("ab")?;
+    let ca = r.matrices("ca")?;
+    let cab = r.matrices("cab")?;
+    let stats = CacheStats {
+        hits: r.u64()?,
+        misses: r.u64()?,
+    };
+    if r.pos != bytes.len() {
+        return Err(corrupt(format!(
+            "{} trailing bytes after payload",
+            bytes.len() - r.pos
+        )));
+    }
+    SweepCache::from_snapshot_parts(sys, rho, powers, ab, ca, cab, stats)
+        .map_err(|detail| corrupt(format!("decoded cache violates invariants: {detail}")))
+}
+
+// --- file format ----------------------------------------------------------
+
+/// Serializes the cache to the full on-disk byte form (header included).
+pub fn to_bytes(cache: &SweepCache) -> Vec<u8> {
+    let payload = encode_payload(cache);
+    let mut out = Vec::with_capacity(payload.len() + 20);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    put_u64(&mut out, payload.len() as u64);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Parses the full on-disk byte form back into a cache.
+///
+/// # Errors
+///
+/// [`SnapshotError::Corrupt`] on bad magic, unsupported version, length
+/// mismatch, checksum mismatch, or invariant violations — never a panic.
+pub fn from_bytes(bytes: &[u8]) -> Result<SweepCache, SnapshotError> {
+    if bytes.len() < 20 {
+        return Err(corrupt(format!(
+            "file too short for a header ({} bytes)",
+            bytes.len()
+        )));
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(corrupt("bad magic (not a lintra snapshot)"));
+    }
+    let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    if version != VERSION {
+        return Err(corrupt(format!("unsupported snapshot version {version}")));
+    }
+    let want_crc = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+    let len = u64::from_le_bytes([
+        bytes[12], bytes[13], bytes[14], bytes[15], bytes[16], bytes[17], bytes[18], bytes[19],
+    ]);
+    let payload = &bytes[20..];
+    if payload.len() as u64 != len {
+        return Err(corrupt(format!(
+            "payload length mismatch: header says {len}, file has {}",
+            payload.len()
+        )));
+    }
+    let got_crc = crc32(payload);
+    if got_crc != want_crc {
+        return Err(corrupt(format!(
+            "checksum mismatch: stored {want_crc:#010x}, computed {got_crc:#010x}"
+        )));
+    }
+    decode_payload(payload)
+}
+
+/// Atomically persists the cache to `path`: write a temporary sibling,
+/// fsync it, rename it into place, fsync the directory (best-effort).
+///
+/// # Errors
+///
+/// [`SnapshotError::Io`] when any filesystem step fails; the destination
+/// is either the previous snapshot or the new one, never a mix.
+pub fn save(cache: &SweepCache, path: &Path) -> Result<(), SnapshotError> {
+    let bytes = to_bytes(cache);
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    // Durability of the rename itself: fsync the containing directory.
+    // Failure here only widens the crash window; the rename is still
+    // atomic, so ignore errors (some filesystems refuse dir fsync).
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Loads and verifies a snapshot from `path`.
+///
+/// # Errors
+///
+/// [`SnapshotError::Io`] when the file cannot be read and
+/// [`SnapshotError::Corrupt`] when it fails any verification step.
+pub fn load(path: &Path) -> Result<SweepCache, SnapshotError> {
+    let bytes = std::fs::read(path)?;
+    from_bytes(&bytes)
+}
+
+/// Moves a corrupt file aside to `<path>.quarantined-<n>` (first free
+/// `n`), preserving the evidence while the caller starts fresh.
+///
+/// # Errors
+///
+/// Propagates the rename failure.
+pub fn quarantine(path: &Path) -> Result<PathBuf, std::io::Error> {
+    for n in 0..u32::MAX {
+        let candidate = PathBuf::from(format!("{}.quarantined-{n}", path.display()));
+        if !candidate.exists() {
+            std::fs::rename(path, &candidate)?;
+            return Ok(candidate);
+        }
+    }
+    Err(std::io::Error::other("no free quarantine slot"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys_mimo() -> StateSpace {
+        StateSpace::new(
+            Matrix::from_rows(&[&[0.4, 0.12, 0.0], &[0.22, -0.3, 0.41], &[0.0, 0.2, 0.15]]),
+            Matrix::from_rows(&[&[0.5, 0.0], &[0.0, 1.0], &[0.25, -0.75]]),
+            Matrix::from_rows(&[&[1.0, 0.0, 0.3], &[0.0, 0.45, -0.2]]),
+            Matrix::from_rows(&[&[0.0, 0.1], &[0.2, 0.0]]),
+        )
+        .unwrap()
+    }
+
+    fn warm_cache() -> SweepCache {
+        let mut cache = SweepCache::new(&sys_mimo());
+        for i in [0u32, 3, 7] {
+            cache.unfolded(i).unwrap();
+        }
+        cache.horner(5).unwrap();
+        cache
+    }
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lintra-snap-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("cache.snap")
+    }
+
+    #[test]
+    fn byte_round_trip_is_bit_identical() {
+        let mut original = warm_cache();
+        let bytes = to_bytes(&original);
+        let mut restored = from_bytes(&bytes).expect("round trip");
+        assert_eq!(restored.stats(), original.stats());
+        assert_eq!(
+            restored.spectral_radius().to_bits(),
+            original.spectral_radius().to_bits()
+        );
+        for i in 0..=9u32 {
+            assert_eq!(
+                restored.unfolded(i).unwrap(),
+                original.unfolded(i).unwrap(),
+                "i = {i}"
+            );
+        }
+        // The warm prefix must be served without recomputation.
+        let mut fresh = from_bytes(&bytes).unwrap();
+        let before = fresh.stats();
+        fresh.unfolded(7).unwrap();
+        assert_eq!(
+            fresh.stats().misses,
+            before.misses,
+            "restored cache recomputed a warm prefix"
+        );
+    }
+
+    #[test]
+    fn save_load_round_trips_through_disk() {
+        let path = tmp_path("roundtrip");
+        let cache = warm_cache();
+        save(&cache, &path).expect("save");
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "temp file must not survive a save"
+        );
+        let mut restored = load(&path).expect("load");
+        assert_eq!(restored.unfolded(7).unwrap(), unfold_reference(7));
+        std::fs::remove_file(&path).ok();
+    }
+
+    fn unfold_reference(i: u32) -> lintra_linsys::UnfoldedSystem {
+        lintra_linsys::unfold(&sys_mimo(), i).unwrap()
+    }
+
+    #[test]
+    fn every_single_bit_flip_in_the_header_and_payload_is_caught() {
+        let bytes = to_bytes(&warm_cache());
+        let mut rng_positions: Vec<usize> = (0..bytes.len()).step_by(97).collect();
+        rng_positions.extend([0, 4, 8, 12, 20, bytes.len() - 1]);
+        for pos in rng_positions {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x10;
+            assert!(
+                from_bytes(&bad).is_err(),
+                "flipping a bit at byte {pos} was not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncations_are_classified_not_panics() {
+        let bytes = to_bytes(&warm_cache());
+        for keep in [0, 1, 3, 4, 19, 20, 21, bytes.len() / 2, bytes.len() - 1] {
+            let err = from_bytes(&bytes[..keep]).expect_err("truncated snapshot must fail");
+            assert!(
+                matches!(err, SnapshotError::Corrupt { .. }),
+                "{keep}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_rejected() {
+        let mut bytes = to_bytes(&warm_cache());
+        bytes[0] = b'X';
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(SnapshotError::Corrupt { .. })
+        ));
+        let mut bytes = to_bytes(&warm_cache());
+        bytes[4] = 9;
+        // Version is inside the header, not the payload CRC; still caught.
+        let err = from_bytes(&bytes).expect_err("future version must be rejected");
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn quarantine_moves_the_file_aside() {
+        let path = tmp_path("quarantine");
+        std::fs::write(&path, b"garbage").unwrap();
+        let moved = quarantine(&path).expect("quarantine");
+        assert!(!path.exists());
+        assert!(moved.exists());
+        assert!(moved.to_string_lossy().contains(".quarantined-0"));
+        // A second corrupt file gets the next slot, not an overwrite.
+        std::fs::write(&path, b"garbage2").unwrap();
+        let moved2 = quarantine(&path).expect("second quarantine");
+        assert!(moved2.to_string_lossy().contains(".quarantined-1"));
+        std::fs::remove_file(&moved).ok();
+        std::fs::remove_file(&moved2).ok();
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn decoded_invariant_violations_are_corrupt() {
+        // Hand-build a payload whose powers[0] is not the identity: locate
+        // the 3x3 identity bit pattern (unique to powers[0] in this
+        // snapshot), break one entry, and re-stamp the CRC so only the
+        // invariant check can object.
+        let mut cache = SweepCache::new(&sys_mimo());
+        cache.unfolded(2).unwrap();
+        let mut bytes = to_bytes(&cache);
+        let identity: Vec<u8> = Matrix::identity(3)
+            .as_slice()
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
+        let payload_start = 20;
+        let pos = bytes[payload_start..]
+            .windows(identity.len())
+            .position(|w| w == identity)
+            .map(|p| p + payload_start)
+            .expect("identity pattern present");
+        bytes[pos..pos + 8].copy_from_slice(&2.5f64.to_bits().to_le_bytes());
+        let crc = crc32(&bytes[payload_start..]);
+        bytes[8..12].copy_from_slice(&crc.to_le_bytes());
+        let err = from_bytes(&bytes).expect_err("invariant violation must be caught");
+        assert!(err.to_string().contains("invariant"), "{err}");
+    }
+}

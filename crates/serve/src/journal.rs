@@ -1,0 +1,516 @@
+//! Write-ahead request journal: the durability half of idempotency.
+//!
+//! A durable server (one started with a journal directory) appends a
+//! record to `journal.log` *and fsyncs it* before acknowledging any
+//! keyed request, then appends a completion record when the answer is
+//! known. The file is append-only; each record is self-checking:
+//!
+//! ```text
+//! [u32 len LE][u32 crc32 LE][payload: compact JSON, `len` bytes]
+//! ```
+//!
+//! `crc32` covers the payload bytes (the same IEEE polynomial the cache
+//! snapshots use, [`lintra::engine::snapshot::crc32`]). The payload is
+//! one of four record kinds keyed by the request's idempotency key:
+//!
+//! * `admit` — the full request line, journaled before execution;
+//! * `done` — the full success response line; retries of this key are
+//!   answered from the journal, bit-identically, with zero recompute;
+//! * `fail` — a deterministic failure (validation, numerical,
+//!   convergence): re-running would fail identically, so retries are
+//!   answered from the journal too;
+//! * `abort` — a non-deterministic failure (resource, I/O): the attempt
+//!   is complete but a retry deserves a fresh execution.
+//!
+//! # Torn writes vs corruption
+//!
+//! A crash can tear the last record mid-write. [`scan`] distinguishes
+//! the two failure shapes the ISSUE's crash gate exercises:
+//!
+//! * a record whose declared length runs past end-of-file is a **torn
+//!   tail** — the expected artifact of `kill -9` between `write` and
+//!   `fsync`. Recovery truncates to the last complete record and the
+//!   journal stays in service ([`ScanOutcome::TornTail`]);
+//! * a record that is fully present but fails its CRC (or carries an
+//!   undecodable payload) is **corruption** — the file can no longer be
+//!   trusted, so the whole journal is quarantined under a
+//!   `journal.log.quarantined-N` name and the server starts with a
+//!   fresh one, surfacing `IO-JOURNAL-CORRUPT`
+//!   ([`ScanOutcome::Corrupt`]). Never a panic, never silent reuse.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use lintra::engine::snapshot::{crc32, quarantine};
+use lintra_bench::json::Json;
+
+/// File name of the write-ahead journal inside the durability directory.
+pub const JOURNAL_FILE: &str = "journal.log";
+
+/// Directory name for cache snapshots inside the durability directory.
+pub const SNAPSHOT_DIR: &str = "snapshots";
+
+/// Ceiling on one record's payload, bytes. Journal payloads are request
+/// or response lines; anything larger than this is not one of ours, so
+/// the scanner classifies it as corruption instead of allocating.
+pub const MAX_RECORD_LEN: usize = 1 << 24;
+
+/// What a journal record witnesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// Request admitted (journaled before execution began).
+    Admit,
+    /// Request completed successfully; `line` is the response.
+    Done,
+    /// Request completed with a deterministic failure; `line` is the
+    /// response. Retries are served from the journal.
+    Fail,
+    /// Request attempt ended with a non-deterministic failure
+    /// (resource/I/O). The admit is settled but retries recompute.
+    Abort,
+}
+
+impl RecordKind {
+    /// The wire tag stored in the record payload.
+    pub fn tag(self) -> &'static str {
+        match self {
+            RecordKind::Admit => "admit",
+            RecordKind::Done => "done",
+            RecordKind::Fail => "fail",
+            RecordKind::Abort => "abort",
+        }
+    }
+
+    fn from_tag(tag: &str) -> Option<RecordKind> {
+        match tag {
+            "admit" => Some(RecordKind::Admit),
+            "done" => Some(RecordKind::Done),
+            "fail" => Some(RecordKind::Fail),
+            "abort" => Some(RecordKind::Abort),
+            _ => None,
+        }
+    }
+
+    /// True for the completion kinds a retry may be answered from.
+    pub fn serves_retries(self) -> bool {
+        matches!(self, RecordKind::Done | RecordKind::Fail)
+    }
+}
+
+/// One decoded journal record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// What this record witnesses.
+    pub kind: RecordKind,
+    /// The request's idempotency key.
+    pub rid: String,
+    /// The journaled wire line: the request line for [`RecordKind::Admit`],
+    /// the response line otherwise.
+    pub line: String,
+}
+
+/// How a journal scan ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScanOutcome {
+    /// Every byte accounted for.
+    Clean,
+    /// The final record was torn mid-write; bytes before `valid_len`
+    /// decoded cleanly and the tail should be truncated away.
+    TornTail {
+        /// Offset of the last byte worth keeping.
+        valid_len: u64,
+    },
+    /// A fully-present record failed its checksum or would not decode:
+    /// the file is untrustworthy and must be quarantined.
+    Corrupt {
+        /// Offset of the offending record's length prefix.
+        offset: u64,
+        /// Human-readable description of the first violation.
+        detail: String,
+    },
+}
+
+/// Decodes journal bytes into records, classifying any damage.
+///
+/// Total: never panics, for arbitrary input. Records before the first
+/// damaged byte always decode (the valid-prefix property the journal
+/// property sweep asserts).
+pub fn scan(bytes: &[u8]) -> (Vec<JournalRecord>, ScanOutcome) {
+    let mut records = Vec::new();
+    let mut pos: usize = 0;
+    while pos < bytes.len() {
+        let rest = &bytes[pos..];
+        if rest.len() < 8 {
+            // A header torn mid-write: not enough bytes to even state a
+            // length. Normal kill-9 artifact.
+            return (
+                records,
+                ScanOutcome::TornTail {
+                    valid_len: pos as u64,
+                },
+            );
+        }
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        let stored_crc = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+        if len > MAX_RECORD_LEN {
+            // A length this absurd cannot come from a torn append of one
+            // of our records; the header itself is damaged.
+            return (
+                records,
+                ScanOutcome::Corrupt {
+                    offset: pos as u64,
+                    detail: format!(
+                        "record length {len} exceeds the {MAX_RECORD_LEN}-byte ceiling"
+                    ),
+                },
+            );
+        }
+        if rest.len() < 8 + len {
+            // The payload ran past end-of-file: torn tail.
+            return (
+                records,
+                ScanOutcome::TornTail {
+                    valid_len: pos as u64,
+                },
+            );
+        }
+        let payload = &rest[8..8 + len];
+        let actual_crc = crc32(payload);
+        if actual_crc != stored_crc {
+            return (records, ScanOutcome::Corrupt {
+                offset: pos as u64,
+                detail: format!(
+                    "record checksum mismatch (stored {stored_crc:#010x}, computed {actual_crc:#010x})"
+                ),
+            });
+        }
+        match decode_payload(payload) {
+            Ok(record) => records.push(record),
+            Err(detail) => {
+                return (
+                    records,
+                    ScanOutcome::Corrupt {
+                        offset: pos as u64,
+                        detail,
+                    },
+                );
+            }
+        }
+        pos += 8 + len;
+    }
+    (records, ScanOutcome::Clean)
+}
+
+fn decode_payload(payload: &[u8]) -> Result<JournalRecord, String> {
+    let text = std::str::from_utf8(payload).map_err(|e| format!("payload is not UTF-8: {e}"))?;
+    let doc = Json::parse(text).map_err(|e| format!("payload is not JSON: {e}"))?;
+    let tag = doc
+        .get("t")
+        .and_then(Json::as_str)
+        .ok_or("payload lacks a string \"t\" tag")?;
+    let kind = RecordKind::from_tag(tag).ok_or_else(|| format!("unknown record tag \"{tag}\""))?;
+    let rid = doc
+        .get("rid")
+        .and_then(Json::as_str)
+        .ok_or("payload lacks a string \"rid\"")?
+        .to_string();
+    let line = doc
+        .get("line")
+        .and_then(Json::as_str)
+        .ok_or("payload lacks a string \"line\"")?
+        .to_string();
+    Ok(JournalRecord { kind, rid, line })
+}
+
+/// Encodes one record in the on-disk framing (header + JSON payload).
+pub fn encode_record(kind: RecordKind, rid: &str, line: &str) -> Vec<u8> {
+    let payload = Json::obj([
+        ("t", Json::Str(kind.tag().to_string())),
+        ("rid", Json::Str(rid.to_string())),
+        ("line", Json::Str(line.trim_end_matches('\n').to_string())),
+    ])
+    .render_compact()
+    .into_bytes();
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// What replaying the journal found at startup.
+#[derive(Debug, Default)]
+pub struct JournalRecovery {
+    /// Keys with a settled outcome. `Done`/`Fail` keys carry the exact
+    /// response line a retry is answered with; `Abort` keys are settled
+    /// but retries recompute.
+    pub completed: HashMap<String, (RecordKind, String)>,
+    /// Admitted-but-unfinished request lines, in admission order — the
+    /// server re-executes these before accepting new work.
+    pub incomplete: Vec<(String, String)>,
+    /// Where a corrupt journal was moved, if one was found.
+    pub quarantined: Option<PathBuf>,
+    /// True when a torn tail was truncated away (normal crash artifact).
+    pub torn_tail: bool,
+}
+
+/// The append side of the write-ahead journal.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Opens (creating if needed) the journal inside `dir`, replaying
+    /// whatever survives there.
+    ///
+    /// A torn tail is truncated in place; a corrupt file is renamed to
+    /// a `journal.log.quarantined-N` sibling and a fresh journal is
+    /// started — the caller reports `IO-JOURNAL-CORRUPT` but keeps
+    /// serving.
+    ///
+    /// # Errors
+    ///
+    /// Only real I/O failures (unreadable directory, failed rename)
+    /// error out; damaged journal *content* never does.
+    pub fn open_dir(dir: &Path) -> Result<(Journal, JournalRecovery), std::io::Error> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(JOURNAL_FILE);
+        let mut recovery = JournalRecovery::default();
+        let mut records = Vec::new();
+        if path.exists() {
+            let mut bytes = Vec::new();
+            File::open(&path)?.read_to_end(&mut bytes)?;
+            let (scanned, outcome) = scan(&bytes);
+            match outcome {
+                ScanOutcome::Clean => records = scanned,
+                ScanOutcome::TornTail { valid_len } => {
+                    let f = OpenOptions::new().write(true).open(&path)?;
+                    f.set_len(valid_len)?;
+                    f.sync_all()?;
+                    recovery.torn_tail = true;
+                    records = scanned;
+                }
+                ScanOutcome::Corrupt { .. } => {
+                    // The records decoded before the damage are NOT
+                    // reused: a file that lied once is not trusted to
+                    // have told the truth earlier.
+                    recovery.quarantined = Some(quarantine(&path)?);
+                }
+            }
+        }
+        let mut admitted: Vec<(String, String)> = Vec::new();
+        for r in records {
+            match r.kind {
+                RecordKind::Admit => {
+                    if !recovery.completed.contains_key(&r.rid)
+                        && !admitted.iter().any(|(rid, _)| *rid == r.rid)
+                    {
+                        admitted.push((r.rid, r.line));
+                    }
+                }
+                kind => {
+                    admitted.retain(|(rid, _)| *rid != r.rid);
+                    recovery.completed.insert(r.rid, (kind, r.line));
+                }
+            }
+        }
+        recovery.incomplete = admitted;
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok((Journal { file, path }, recovery))
+    }
+
+    /// Path of the live journal file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record and fsyncs it — the record is durable when
+    /// this returns. Called *before* the response leaves the server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying write/fsync failure; the caller maps
+    /// it to `IO-FAILURE`.
+    pub fn append(
+        &mut self,
+        kind: RecordKind,
+        rid: &str,
+        line: &str,
+    ) -> Result<(), std::io::Error> {
+        self.file.write_all(&encode_record(kind, rid, line))?;
+        self.file.sync_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record_bytes(pairs: &[(RecordKind, &str, &str)]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (kind, rid, line) in pairs {
+            out.extend_from_slice(&encode_record(*kind, rid, line));
+        }
+        out
+    }
+
+    #[test]
+    fn scan_round_trips_encoded_records() {
+        let bytes = record_bytes(&[
+            (RecordKind::Admit, "k1", "{\"id\":\"a\",\"op\":\"ping\"}"),
+            (RecordKind::Done, "k1", "{\"id\":\"a\",\"ok\":true}"),
+            (RecordKind::Abort, "k2", "{\"id\":\"b\",\"ok\":false}"),
+        ]);
+        let (records, outcome) = scan(&bytes);
+        assert_eq!(outcome, ScanOutcome::Clean);
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].kind, RecordKind::Admit);
+        assert_eq!(records[0].rid, "k1");
+        assert_eq!(records[1].line, "{\"id\":\"a\",\"ok\":true}");
+        assert_eq!(records[2].kind, RecordKind::Abort);
+    }
+
+    #[test]
+    fn every_truncation_is_a_torn_tail_preserving_the_valid_prefix() {
+        let bytes = record_bytes(&[
+            (RecordKind::Admit, "k1", "line-one"),
+            (RecordKind::Done, "k1", "line-two"),
+        ]);
+        let first_len = encode_record(RecordKind::Admit, "k1", "line-one").len();
+        let boundaries = [0, first_len, bytes.len()];
+        for cut in 0..=bytes.len() {
+            let (records, outcome) = scan(&bytes[..cut]);
+            // The valid prefix always decodes: every record whose bytes
+            // fully survive the cut is returned.
+            let whole = boundaries.iter().filter(|b| **b <= cut).count() - 1;
+            assert_eq!(records.len(), whole, "cut {cut}");
+            match outcome {
+                ScanOutcome::Clean => {
+                    assert!(boundaries.contains(&cut), "cut {cut} cannot be clean");
+                }
+                ScanOutcome::TornTail { valid_len } => {
+                    assert!(
+                        !boundaries.contains(&cut),
+                        "boundary cut {cut} is not a tear"
+                    );
+                    assert_eq!(valid_len, boundaries[whole] as u64, "cut {cut}");
+                }
+                ScanOutcome::Corrupt { .. } => panic!("truncation at {cut} must not be corruption"),
+            }
+        }
+    }
+
+    #[test]
+    fn a_flipped_payload_bit_is_corruption_not_a_torn_tail() {
+        let bytes = record_bytes(&[(RecordKind::Admit, "k1", "payload-under-test")]);
+        for byte in 8..bytes.len() {
+            for bit in 0..8 {
+                let mut damaged = bytes.clone();
+                damaged[byte] ^= 1 << bit;
+                let (records, outcome) = scan(&damaged);
+                assert!(records.is_empty(), "byte {byte} bit {bit}");
+                assert!(
+                    matches!(outcome, ScanOutcome::Corrupt { .. }),
+                    "byte {byte} bit {bit}: {outcome:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn an_absurd_length_prefix_is_corruption() {
+        let mut bytes = vec![0u8; 8];
+        bytes[..4].copy_from_slice(&(u32::MAX).to_le_bytes());
+        let (records, outcome) = scan(&bytes);
+        assert!(records.is_empty());
+        assert!(matches!(outcome, ScanOutcome::Corrupt { .. }));
+    }
+
+    #[test]
+    #[allow(clippy::expect_used)]
+    fn open_dir_truncates_torn_tails_and_keeps_serving() {
+        let dir = std::env::temp_dir().join(format!("lintra-journal-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let (mut j, _) = Journal::open_dir(&dir).expect("open");
+            j.append(RecordKind::Admit, "k1", "req-1").expect("append");
+            j.append(RecordKind::Done, "k1", "resp-1").expect("append");
+        }
+        // Tear the tail: drop the last 3 bytes of the done record.
+        let path = dir.join(JOURNAL_FILE);
+        let len = std::fs::metadata(&path).expect("meta").len();
+        let f = OpenOptions::new().write(true).open(&path).expect("open rw");
+        f.set_len(len - 3).expect("truncate");
+        drop(f);
+
+        let (mut j, recovery) = Journal::open_dir(&dir).expect("reopen");
+        assert!(recovery.torn_tail, "tear must be detected");
+        assert!(recovery.quarantined.is_none(), "a tear is not corruption");
+        assert_eq!(
+            recovery.incomplete,
+            vec![("k1".to_string(), "req-1".to_string())]
+        );
+        // The journal is still appendable and the tear healed.
+        j.append(RecordKind::Done, "k1", "resp-1b").expect("append");
+        let (_, recovery) = Journal::open_dir(&dir).expect("third open");
+        assert_eq!(
+            recovery.completed.get("k1"),
+            Some(&(RecordKind::Done, "resp-1b".to_string()))
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[allow(clippy::expect_used)]
+    fn open_dir_quarantines_corruption_and_starts_fresh() {
+        let dir =
+            std::env::temp_dir().join(format!("lintra-journal-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let (mut j, _) = Journal::open_dir(&dir).expect("open");
+            j.append(RecordKind::Admit, "k1", "req-1").expect("append");
+            j.append(RecordKind::Done, "k1", "resp-1").expect("append");
+        }
+        // Flip one bit inside the last record's payload: the record is
+        // fully present, so this must read as corruption, not a tear.
+        let path = dir.join(JOURNAL_FILE);
+        let mut bytes = std::fs::read(&path).expect("read");
+        let target = bytes.len() - 4;
+        bytes[target] ^= 0x10;
+        std::fs::write(&path, &bytes).expect("write damage");
+
+        let (_, recovery) = Journal::open_dir(&dir).expect("reopen");
+        let quarantined = recovery.quarantined.expect("must quarantine");
+        assert!(quarantined.exists());
+        assert!(
+            recovery.completed.is_empty() && recovery.incomplete.is_empty(),
+            "a quarantined journal contributes nothing"
+        );
+        // The fresh journal starts empty and usable.
+        let (mut j, _) = Journal::open_dir(&dir).expect("third open");
+        j.append(RecordKind::Admit, "k9", "req-9").expect("append");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn completion_precedence_matches_the_dedup_policy() {
+        let bytes = record_bytes(&[
+            (RecordKind::Admit, "done-key", "r1"),
+            (RecordKind::Admit, "abort-key", "r2"),
+            (RecordKind::Admit, "open-key", "r3"),
+            (RecordKind::Done, "done-key", "resp-ok"),
+            (RecordKind::Abort, "abort-key", "resp-abort"),
+        ]);
+        let (records, outcome) = scan(&bytes);
+        assert_eq!(outcome, ScanOutcome::Clean);
+        assert_eq!(records.len(), 5);
+        assert!(RecordKind::Done.serves_retries());
+        assert!(RecordKind::Fail.serves_retries());
+        assert!(!RecordKind::Abort.serves_retries());
+        assert!(!RecordKind::Admit.serves_retries());
+    }
+}

@@ -14,6 +14,15 @@
 //! | execution | per-point panic isolation (engine) | `RES-WORKER-PANIC` |
 //! | engine | circuit breaker on consecutive panics | `RES-CIRCUIT-OPEN` |
 //! | lifecycle | graceful drain on shutdown/SIGTERM | `RES-SHUTDOWN` |
+//! | durability | write-ahead journal + idempotency keys | `RES-DUPLICATE-REQUEST` |
+//! | durability | quarantine of damaged journal / snapshots | `IO-JOURNAL-CORRUPT`, `IO-SNAPSHOT-CORRUPT` |
+//!
+//! With [`ServerConfig::journal_dir`] set, the server also survives
+//! `kill -9`: requests are fsynced to a write-ahead journal before
+//! execution, sweep caches are snapshotted crash-safely, and on restart
+//! orphaned requests replay while completed `request_id`s are answered
+//! from the journal byte-identically ([`server::RecoveryReport`]). See
+//! [`journal`] for the record format and damage taxonomy.
 //!
 //! Every failure crosses the wire with the same class/code taxonomy local
 //! [`lintra::LintraError`]s carry, so the CLI maps remote failures to the
@@ -42,9 +51,11 @@
 
 pub mod breaker;
 pub mod client;
+pub mod journal;
 pub mod server;
 pub mod signal;
 
 pub use breaker::{BreakerConfig, CircuitBreaker};
 pub use client::{Client, ClientError, RetryPolicy};
-pub use server::{start, ServerConfig, ServerHandle, ServerStats};
+pub use journal::{Journal, JournalRecovery, RecordKind, ScanOutcome};
+pub use server::{start, RecoveryReport, ServerConfig, ServerHandle, ServerStats};

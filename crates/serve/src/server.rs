@@ -32,17 +32,40 @@
 //! `worker-panic`, `conn-drop`) so the full failure matrix can be driven
 //! deterministically from a test. Production servers reject the member
 //! with `VAL-CONFIG`.
+//!
+//! # Durability
+//!
+//! A server started with [`ServerConfig::journal_dir`] is *durable*:
+//!
+//! * every request carrying a `lintra-wire/v2` `request_id` is appended
+//!   to a write-ahead journal and **fsync'd before execution begins**
+//!   ([`crate::journal`]);
+//! * completions are journaled too, so a retry of a settled key is
+//!   answered with the journaled, bit-identical result — zero sweep
+//!   recompute ([`ServerStats::deduped`]) — while the *same* key
+//!   arriving twice concurrently is rejected with
+//!   `RES-DUPLICATE-REQUEST`;
+//! * on restart, admitted-but-unfinished requests are re-executed
+//!   before the listener opens ([`ServerStats::replayed`],
+//!   [`RecoveryReport`]);
+//! * sweep caches are checkpointed to crash-safe snapshots
+//!   ([`lintra::engine::snapshot`]) and reloaded on restart; a corrupt
+//!   snapshot or journal is quarantined (`IO-SNAPSHOT-CORRUPT` /
+//!   `IO-JOURNAL-CORRUPT`) — the server always starts.
 
+use std::collections::{HashMap, HashSet};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-use lintra::engine::{CancelReason, CancelToken, EngineError, SweepCtl, ThreadPool};
+use lintra::engine::{
+    snapshot, CacheStats, CancelReason, CancelToken, EngineError, SweepCache, SweepCtl, ThreadPool,
+};
 use lintra::linsys::count::{op_count, TrivialityRule};
-use lintra::linsys::unfold;
 use lintra::opt::multi::ProcessorSelection;
 use lintra::opt::{asic, multi, single, Strategy, TechConfig};
 use lintra::suite::by_name;
@@ -53,6 +76,7 @@ use lintra_bench::wire::{WireFailure, WireOp, WireRequest, WireResponse};
 use lintra_bench::{table2_rows_par, table3_rows_par, table4_rows_par};
 
 use crate::breaker::{BreakerConfig, CircuitBreaker};
+use crate::journal::{Journal, RecordKind, SNAPSHOT_DIR};
 
 /// How often blocked reads and the accept loop re-check the drain flag.
 const POLL: Duration = Duration::from_millis(20);
@@ -85,6 +109,11 @@ pub struct ServerConfig {
     /// Per-point delay injected by the `slow-sweep` fault (and the sleep
     /// used by `slow-worker`, which sleeps `3 × stall_budget`).
     pub chaos_point_delay: Duration,
+    /// Durability directory (`None` = stateless). When set, the server
+    /// keeps a write-ahead request journal (`journal.log`) and cache
+    /// snapshots (`snapshots/*.snap`) here, replays unfinished work on
+    /// startup, and answers retried `request_id`s from the journal.
+    pub journal_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -99,6 +128,7 @@ impl Default for ServerConfig {
             jobs: None,
             chaos: false,
             chaos_point_delay: Duration::from_millis(20),
+            journal_dir: None,
         }
     }
 }
@@ -115,6 +145,10 @@ pub struct ServerStats {
     pub requests_failed: u64,
     /// Requests shed with `RES-OVERLOAD`.
     pub shed: u64,
+    /// Retried `request_id`s answered from the journal (zero recompute).
+    pub deduped: u64,
+    /// Journaled requests re-executed during startup recovery.
+    pub replayed: u64,
 }
 
 #[derive(Debug, Default)]
@@ -123,6 +157,39 @@ struct Counters {
     requests_ok: AtomicU64,
     requests_failed: AtomicU64,
     shed: AtomicU64,
+    deduped: AtomicU64,
+    replayed: AtomicU64,
+}
+
+/// What startup recovery found in the durability directory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Settled keys loaded from the journal (servable to retries).
+    pub answered: usize,
+    /// Admitted-but-unfinished requests re-executed before the listener
+    /// opened.
+    pub replayed: usize,
+    /// True when a torn journal tail was truncated away (the normal
+    /// `kill -9` artifact; not corruption).
+    pub torn_tail: bool,
+    /// Where a corrupt journal was moved, if one was found
+    /// (`IO-JOURNAL-CORRUPT`).
+    pub journal_quarantined: Option<PathBuf>,
+    /// Cache snapshots loaded and warm.
+    pub snapshots_loaded: usize,
+    /// Corrupt cache snapshots quarantined (`IO-SNAPSHOT-CORRUPT`).
+    pub snapshots_quarantined: usize,
+}
+
+/// Idempotency state guarded by one lock: the journal's append handle,
+/// the settled-key map, and the keys currently executing.
+struct Durability {
+    journal: Journal,
+    /// Settled keys → (how they settled, the exact response line).
+    completed: HashMap<String, (RecordKind, String)>,
+    /// Keys admitted but not yet settled (concurrent duplicates are
+    /// rejected with `RES-DUPLICATE-REQUEST`).
+    inflight_ids: HashSet<String>,
 }
 
 struct Shared {
@@ -132,6 +199,11 @@ struct Shared {
     inflight: AtomicUsize,
     draining: AtomicBool,
     stats: Counters,
+    /// Shared per-design sweep caches: repeated sweeps reuse the
+    /// incremental-unfold chain, and durable servers snapshot them.
+    caches: Mutex<HashMap<String, SweepCache>>,
+    /// `Some` iff [`ServerConfig::journal_dir`] was set.
+    durability: Option<Mutex<Durability>>,
 }
 
 /// A running server; dropping it (or calling [`ServerHandle::shutdown`])
@@ -141,6 +213,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    recovery: Option<RecoveryReport>,
 }
 
 impl std::fmt::Debug for ServerHandle {
@@ -166,7 +239,28 @@ impl ServerHandle {
             requests_ok: c.requests_ok.load(Ordering::SeqCst),
             requests_failed: c.requests_failed.load(Ordering::SeqCst),
             shed: c.shed.load(Ordering::SeqCst),
+            deduped: c.deduped.load(Ordering::SeqCst),
+            replayed: c.replayed.load(Ordering::SeqCst),
         }
+    }
+
+    /// What startup recovery found (`None` on a stateless server).
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// Aggregate hit/miss counters across the shared sweep caches —
+    /// the crash gate's "zero recompute" witness: a dedup-served retry
+    /// adds no misses here.
+    pub fn cache_stats(&self) -> CacheStats {
+        let caches = lock_unpoisoned(&self.shared.caches);
+        caches.values().fold(CacheStats::default(), |acc, c| {
+            let s = c.stats();
+            CacheStats {
+                hits: acc.hits + s.hits,
+                misses: acc.misses + s.misses,
+            }
+        })
     }
 
     /// Graceful drain: stop accepting, answer new requests with
@@ -184,6 +278,8 @@ impl ServerHandle {
         for h in handles {
             let _ = h.join();
         }
+        // Checkpoint the warm caches so the next start resumes them.
+        persist_snapshots(&self.shared);
         self.stats()
     }
 }
@@ -202,11 +298,19 @@ fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 
 /// Binds and starts serving in background threads.
 ///
+/// A durable server ([`ServerConfig::journal_dir`]) recovers *before*
+/// the listener opens: the journal is scanned (torn tail truncated,
+/// corruption quarantined), snapshots are loaded (corruption
+/// quarantined), and admitted-but-unfinished requests are re-executed —
+/// so the first client to connect sees a consistent service.
+///
 /// # Errors
 ///
-/// Returns an `IO-FAILURE` error when the bind fails and a `VAL-CONFIG`
-/// error for an invalid worker-count configuration (explicit `Some(0)` or
-/// a garbage `LINTRA_JOBS`).
+/// Returns an `IO-FAILURE` error when the bind fails (or the durability
+/// directory is unusable) and a `VAL-CONFIG` error for an invalid
+/// worker-count configuration (explicit `Some(0)` or a garbage
+/// `LINTRA_JOBS`). Damaged journal or snapshot *content* never fails
+/// startup — it is quarantined and reported in [`RecoveryReport`].
 pub fn start(config: ServerConfig) -> Result<ServerHandle, LintraError> {
     let pool = match config.jobs {
         Some(0) => {
@@ -219,6 +323,32 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, LintraError> {
         Some(n) => ThreadPool::new(n),
         None => ThreadPool::from_env().map_err(LintraError::from)?,
     };
+
+    // Recover durable state before anything can observe the server.
+    let mut recovery = None;
+    let mut durability = None;
+    let mut caches: HashMap<String, SweepCache> = HashMap::new();
+    let mut incomplete: Vec<(String, String)> = Vec::new();
+    if let Some(dir) = &config.journal_dir {
+        let (journal, rec) = Journal::open_dir(dir).map_err(LintraError::from)?;
+        let mut report = RecoveryReport {
+            answered: rec.completed.len(),
+            torn_tail: rec.torn_tail,
+            journal_quarantined: rec.quarantined,
+            ..RecoveryReport::default()
+        };
+        load_snapshots(&dir.join(SNAPSHOT_DIR), &mut caches, &mut report)
+            .map_err(LintraError::from)?;
+        incomplete = rec.incomplete;
+        report.replayed = incomplete.len();
+        recovery = Some(report);
+        durability = Some(Mutex::new(Durability {
+            journal,
+            completed: rec.completed,
+            inflight_ids: HashSet::new(),
+        }));
+    }
+
     let listener = TcpListener::bind(config.addr.as_str()).map_err(LintraError::from)?;
     let addr = listener.local_addr().map_err(LintraError::from)?;
     listener.set_nonblocking(true).map_err(LintraError::from)?;
@@ -230,7 +360,18 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, LintraError> {
         inflight: AtomicUsize::new(0),
         draining: AtomicBool::new(false),
         stats: Counters::default(),
+        caches: Mutex::new(caches),
+        durability,
     });
+
+    // Replay unfinished admissions synchronously: each settles with a
+    // journaled completion, so a retry of its key dedups instead of
+    // recomputing.
+    for (rid, line) in incomplete {
+        replay_request(&shared, &rid, &line);
+        shared.stats.replayed.fetch_add(1, Ordering::SeqCst);
+    }
+
     let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
     let accept = {
@@ -244,7 +385,121 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, LintraError> {
         shared,
         accept: Some(accept),
         conns,
+        recovery,
     })
+}
+
+/// Loads every `*.snap` in `dir` into `caches`; a snapshot that fails
+/// its checksum or invariants is quarantined, never trusted and never
+/// fatal.
+fn load_snapshots(
+    dir: &std::path::Path,
+    caches: &mut HashMap<String, SweepCache>,
+    report: &mut RecoveryReport,
+) -> Result<(), std::io::Error> {
+    if !dir.exists() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("snap") {
+            continue;
+        }
+        let Some(design) = path.file_stem().and_then(|s| s.to_str()).map(String::from) else {
+            continue;
+        };
+        match snapshot::load(&path) {
+            Ok(cache) => {
+                caches.insert(design, cache);
+                report.snapshots_loaded += 1;
+            }
+            Err(snapshot::SnapshotError::Corrupt { .. }) => {
+                snapshot::quarantine(&path)?;
+                report.snapshots_quarantined += 1;
+            }
+            Err(snapshot::SnapshotError::Io(e)) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Re-executes one journaled-but-unfinished request at startup and
+/// journals its completion. The original client is gone; what matters
+/// is that the key settles so retries are answered from the journal.
+fn replay_request(shared: &Arc<Shared>, rid: &str, line: &str) {
+    let resp = match WireRequest::parse(line) {
+        Ok(req) => {
+            let budget = req
+                .deadline_ms
+                .map(Duration::from_millis)
+                .unwrap_or(shared.config.default_deadline)
+                .min(shared.config.max_deadline);
+            let token = CancelToken::with_deadline(budget);
+            match execute(shared, &req, &token) {
+                Ok(result) => WireResponse::ok(req.id, result),
+                Err(e) => WireResponse::err(req.id, failure_of(&e)),
+            }
+        }
+        // A journaled line that no longer parses settles as a
+        // deterministic validation failure (it would never succeed).
+        Err(reason) => WireResponse::err(
+            "",
+            WireFailure {
+                class: ErrorClass::Validation,
+                code: "VAL-MALFORMED-REQUEST".to_string(),
+                message: format!("journaled request no longer parses: {reason}"),
+            },
+        ),
+    };
+    settle(shared, rid, &resp);
+}
+
+/// How a completed attempt is recorded: deterministic outcomes serve
+/// retries; resource/I-O outcomes settle the admit but let retries
+/// recompute.
+fn completion_kind(resp: &WireResponse) -> RecordKind {
+    match &resp.outcome {
+        Ok(_) => RecordKind::Done,
+        Err(f) => match f.class {
+            ErrorClass::Validation | ErrorClass::Numerical | ErrorClass::Convergence => {
+                RecordKind::Fail
+            }
+            ErrorClass::Resource | ErrorClass::Io => RecordKind::Abort,
+        },
+    }
+}
+
+/// Journals a completion and publishes it to the dedup map. Append
+/// errors are tolerated: the admit record alone means a crash replays
+/// the request, which is the safe direction.
+fn settle(shared: &Arc<Shared>, rid: &str, resp: &WireResponse) {
+    let Some(dur) = &shared.durability else {
+        return;
+    };
+    let kind = completion_kind(resp);
+    let line = resp.render_line();
+    let trimmed = line.trim_end().to_string();
+    let mut d = lock_unpoisoned(dur);
+    d.inflight_ids.remove(rid);
+    let _ = d.journal.append(kind, rid, &trimmed);
+    d.completed.insert(rid.to_string(), (kind, trimmed));
+}
+
+/// Best-effort checkpoint of every warm sweep cache into the durability
+/// directory (atomic write-rename per design). Snapshots are an
+/// optimization: a failed save costs recompute, never correctness.
+fn persist_snapshots(shared: &Arc<Shared>) {
+    let Some(dir) = &shared.config.journal_dir else {
+        return;
+    };
+    let snap_dir = dir.join(SNAPSHOT_DIR);
+    if std::fs::create_dir_all(&snap_dir).is_err() {
+        return;
+    }
+    let caches = lock_unpoisoned(&shared.caches);
+    for (design, cache) in caches.iter() {
+        let _ = snapshot::save(cache, &snap_dir.join(format!("{design}.snap")));
+    }
 }
 
 fn accept_loop(
@@ -390,6 +645,14 @@ fn handle_line(shared: &Arc<Shared>, line: &str) -> LineOutcome {
         }
     };
 
+    // Version negotiation: a frame declaring a version this build does
+    // not speak is a *configuration* disagreement (VAL-CONFIG), answered
+    // with the right correlation id — never misread as a v1/v2 frame.
+    if let Err(reason) = req.check_version() {
+        shared.stats.requests_failed.fetch_add(1, Ordering::SeqCst);
+        return reject(&req.id, ErrorClass::Validation, "VAL-CONFIG", reason);
+    }
+
     // Chaos gate: reject typos always, reject injection on production
     // servers, honor conn-drop by closing without a response.
     if let Some(fault) = req.fault.as_deref() {
@@ -467,6 +730,69 @@ fn handle_line(shared: &Arc<Shared>, line: &str) -> LineOutcome {
         );
     }
 
+    // Durable idempotency (keyed requests on a durable server only):
+    // a settled key answers from the journal bit-identically with zero
+    // recompute; a key still executing is rejected; a fresh key is
+    // journaled and fsync'd *before* execution begins, so a crash
+    // between here and the response replays it on restart.
+    let mut journaled = false;
+    if let (Some(dur), Some(rid)) = (&shared.durability, req.request_id.as_deref()) {
+        let mut d = lock_unpoisoned(dur);
+        if let Some((kind, stored)) = d.completed.get(rid) {
+            if kind.serves_retries() {
+                let stored = stored.clone();
+                drop(d);
+                shared.stats.deduped.fetch_add(1, Ordering::SeqCst);
+                return match WireResponse::parse(&stored) {
+                    Ok(mut resp) => {
+                        // The result bytes are the journaled bytes; only
+                        // the correlation id echoes the retry's.
+                        resp.id = req.id.clone();
+                        if resp.outcome.is_ok() {
+                            shared.stats.requests_ok.fetch_add(1, Ordering::SeqCst);
+                        } else {
+                            shared.stats.requests_failed.fetch_add(1, Ordering::SeqCst);
+                        }
+                        LineOutcome::Respond(resp)
+                    }
+                    Err(e) => {
+                        shared.stats.requests_failed.fetch_add(1, Ordering::SeqCst);
+                        reject(
+                            &req.id,
+                            ErrorClass::Io,
+                            "IO-FAILURE",
+                            format!("journaled response for request_id `{rid}` is unreadable: {e}"),
+                        )
+                    }
+                };
+            }
+            // An aborted attempt (resource/I-O) settles the admit but
+            // earns the retry a fresh execution: fall through.
+        }
+        if !d.inflight_ids.insert(rid.to_string()) {
+            drop(d);
+            shared.stats.requests_failed.fetch_add(1, Ordering::SeqCst);
+            return reject(
+                &req.id,
+                ErrorClass::Resource,
+                "RES-DUPLICATE-REQUEST",
+                format!("request_id `{rid}` is already executing; await its outcome, then retry"),
+            );
+        }
+        if let Err(e) = d.journal.append(RecordKind::Admit, rid, line) {
+            d.inflight_ids.remove(rid);
+            drop(d);
+            shared.stats.requests_failed.fetch_add(1, Ordering::SeqCst);
+            return reject(
+                &req.id,
+                ErrorClass::Io,
+                "IO-FAILURE",
+                format!("write-ahead journal append failed: {e}"),
+            );
+        }
+        journaled = true;
+    }
+
     // Deadline fixed at admission; observed between sweep points.
     let budget = req
         .deadline_ms
@@ -485,16 +811,22 @@ fn handle_line(shared: &Arc<Shared>, line: &str) -> LineOutcome {
         shared.breaker.record_success();
     }
 
-    match outcome {
+    let resp = match outcome {
         Ok(result) => {
             shared.stats.requests_ok.fetch_add(1, Ordering::SeqCst);
-            LineOutcome::Respond(WireResponse::ok(req.id, result))
+            WireResponse::ok(req.id.clone(), result)
         }
         Err(e) => {
             shared.stats.requests_failed.fetch_add(1, Ordering::SeqCst);
-            LineOutcome::Respond(WireResponse::err(req.id, failure_of(&e)))
+            WireResponse::err(req.id.clone(), failure_of(&e))
+        }
+    };
+    if journaled {
+        if let Some(rid) = req.request_id.as_deref() {
+            settle(shared, rid, &resp);
         }
     }
+    LineOutcome::Respond(resp)
 }
 
 /// Injected misbehavior for one sweep point (chaos servers only).
@@ -631,8 +963,18 @@ fn execute(
             let results = shared.pool.map_ctl(
                 points,
                 |i| {
+                    // Chaos faults fire BEFORE the cache lock: a stalled
+                    // point never blocks siblings out of the cache, and
+                    // an injected panic never lands while the cache is
+                    // mid-update. Cached unfolds are bit-identical to
+                    // from-scratch `unfold` (the cache's contract), so
+                    // rerouting the sweep changes no response bytes.
                     chaos_delay(fault, i as usize, target, cfg);
-                    unfold(&d.system, i).map(|u| {
+                    let mut caches = lock_unpoisoned(&shared.caches);
+                    let cache = caches
+                        .entry(d.name.to_string())
+                        .or_insert_with(|| SweepCache::new(&d.system));
+                    cache.unfolded(i).map(|u| {
                         let c = op_count(&u.system, TrivialityRule::ZeroOne);
                         let n = f64::from(i + 1);
                         (i, c.muls as f64 / n, c.adds as f64 / n)
@@ -650,6 +992,11 @@ fn execute(
                     Json::Num(muls),
                     Json::Num(adds),
                 ]));
+            }
+            // A durable server checkpoints the freshly-warmed cache so a
+            // crash-restart resumes it instead of recomputing the chain.
+            if cfg.journal_dir.is_some() {
+                persist_snapshots(shared);
             }
             Ok(Json::obj([
                 ("design", Json::Str(d.name.to_string())),

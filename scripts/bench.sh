@@ -23,4 +23,7 @@ echo "== bench: bench_report --out ${OUT} $* =="
 echo "== bench: schema check =="
 ./target/release/bench_report --check "${OUT}"
 
+echo "== bench: trajectory (smoke runs filtered) =="
+./target/release/bench_report --trajectory-summary BENCH_TRAJECTORY.jsonl
+
 echo "bench: wrote ${OUT}"

@@ -5,7 +5,8 @@
 #
 # 1. release build + full test suite (the ROADMAP tier-1 bar),
 # 2. clippy with warnings denied — including `unwrap_used`/`expect_used`
-#    in the pipeline crates (see [workspace.lints] in Cargo.toml).
+#    in the pipeline crates (see [workspace.lints] in Cargo.toml),
+# 3. rustfmt drift check (the tree is formatted; keep it that way).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,6 +19,9 @@ cargo test -q
 echo "== lint gate: cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace -- -D warnings
 
+echo "== format gate: cargo fmt --check =="
+cargo fmt --check
+
 echo "== engine: differential + golden-snapshot tests =="
 cargo test --release -p lintra-engine -q
 cargo test --release -p lintra-bench --test parallel_equivalence --test golden_tables -q
@@ -27,5 +31,8 @@ echo "== bench trajectory: scripts/bench.sh --smoke =="
 
 echo "== service: scripts/chaos.sh =="
 ./scripts/chaos.sh
+
+echo "== durability: scripts/crash.sh =="
+./scripts/crash.sh
 
 echo "verify: all checks passed"

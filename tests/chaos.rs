@@ -182,13 +182,15 @@ fn deadline_expiring_mid_sweep_returns_res_deadline_within_twice_the_deadline() 
     // inside the documented 2× bound.
     let deadline_ms = 300;
     let req = WireRequest {
-        id: "deadline".to_string(),
-        op: WireOp::Sweep {
-            design: "chemical".to_string(),
-            max_i: 200,
-        },
         deadline_ms: Some(deadline_ms),
         fault: Some("slow-sweep".to_string()),
+        ..WireRequest::new(
+            "deadline",
+            WireOp::Sweep {
+                design: "chemical".to_string(),
+                max_i: 200,
+            },
+        )
     };
     let started = Instant::now();
     let resp = client.request(&req).expect("transport");
@@ -210,13 +212,15 @@ fn an_already_expired_deadline_never_hangs() {
     let server = start(chaos_config()).expect("server starts");
     let client = fast_client(&server);
     let req = WireRequest {
-        id: "tiny".to_string(),
-        op: WireOp::Sweep {
-            design: "iir5".to_string(),
-            max_i: 64,
-        },
         deadline_ms: Some(1),
         fault: Some("slow-sweep".to_string()),
+        ..WireRequest::new(
+            "tiny",
+            WireOp::Sweep {
+                design: "iir5".to_string(),
+                max_i: 64,
+            },
+        )
     };
     let started = Instant::now();
     let resp = client.request(&req).expect("transport");
@@ -288,13 +292,14 @@ fn overload_is_shed_with_res_overload_not_queued() {
         move || {
             let client = Client::new(addr);
             let req = WireRequest {
-                id: "filler".to_string(),
-                op: WireOp::Sweep {
-                    design: "chemical".to_string(),
-                    max_i: 30,
-                },
-                deadline_ms: None,
                 fault: Some("slow-sweep".to_string()),
+                ..WireRequest::new(
+                    "filler",
+                    WireOp::Sweep {
+                        design: "chemical".to_string(),
+                        max_i: 30,
+                    },
+                )
             };
             client.request(&req).expect("transport")
         }
@@ -413,13 +418,14 @@ fn shutdown_drains_inflight_requests_and_rejects_new_work() {
         move || {
             let client = Client::new(addr);
             let req = WireRequest {
-                id: "inflight".to_string(),
-                op: WireOp::Sweep {
-                    design: "chemical".to_string(),
-                    max_i: 20,
-                },
-                deadline_ms: None,
                 fault: Some("slow-sweep".to_string()),
+                ..WireRequest::new(
+                    "inflight",
+                    WireOp::Sweep {
+                        design: "chemical".to_string(),
+                        max_i: 20,
+                    },
+                )
             };
             client.request(&req).expect("transport")
         }

@@ -71,14 +71,47 @@ fn service_codes_are_documented() {
         "RES-DEADLINE",
         "RES-WORKER-STALL",
         "RES-WORKER-PANIC",
+        "RES-DUPLICATE-REQUEST",
         "VAL-MALFORMED-REQUEST",
         "VAL-CONFIG",
+        "IO-JOURNAL-CORRUPT",
+        "IO-SNAPSHOT-CORRUPT",
     ] {
         assert!(
             codes.iter().any(|(c, _)| *c == required),
             "{required} must stay in documented_codes()"
         );
     }
+}
+
+#[test]
+fn durability_codes_map_to_their_classes() {
+    let codes = lintra::diag::documented_codes();
+    let class_of = |code: &str| {
+        codes
+            .iter()
+            .find(|(c, _)| *c == code)
+            .map(|(_, class)| *class)
+    };
+    assert_eq!(
+        class_of("RES-DUPLICATE-REQUEST"),
+        Some(ErrorClass::Resource)
+    );
+    assert_eq!(class_of("IO-JOURNAL-CORRUPT"), Some(ErrorClass::Io));
+    assert_eq!(class_of("IO-SNAPSHOT-CORRUPT"), Some(ErrorClass::Io));
+
+    // A corrupt snapshot surfaces as IO-SNAPSHOT-CORRUPT through the
+    // standard From conversion; an I/O failure stays IO-FAILURE.
+    let corrupt = LintraError::from(lintra::engine::SnapshotError::Corrupt {
+        detail: "checksum mismatch".to_string(),
+    });
+    assert_eq!(corrupt.code(), "IO-SNAPSHOT-CORRUPT");
+    assert_eq!(corrupt.class(), ErrorClass::Io);
+    assert_eq!(corrupt.exit_code(), 6);
+    let io = LintraError::from(lintra::engine::SnapshotError::Io(std::io::Error::other(
+        "disk full",
+    )));
+    assert_eq!(io.code(), "IO-FAILURE");
 }
 
 #[test]
