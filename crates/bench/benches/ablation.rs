@@ -5,6 +5,8 @@
 //! (c) balanced-tree vs chain association (critical-path effect),
 //! (d) triviality class {0, ±1} vs {0, ±1, ±2^k}.
 
+#![allow(clippy::expect_used)] // bench harness: a failed precondition should abort loudly
+
 use lintra::dfg::{build, OpTiming};
 use lintra::linsys::count::{op_count, TrivialityRule};
 use lintra::linsys::unfold;

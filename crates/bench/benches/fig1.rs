@@ -1,6 +1,8 @@
 //! Figure 1 bench: prints the regenerated delay-vs-voltage series once,
 //! then times its generation.
 
+#![allow(clippy::expect_used)] // bench harness: a failed precondition should abort loudly
+
 use lintra_bench::timing::bench;
 use std::hint::black_box;
 

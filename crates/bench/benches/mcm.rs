@@ -2,6 +2,8 @@
 //! worked example, then times the pairwise-matching synthesis at several
 //! problem sizes.
 
+#![allow(clippy::expect_used)] // bench harness: a failed precondition should abort loudly
+
 use lintra::matrix::rng::SplitMix64;
 use lintra::mcm::{naive_cost, synthesize, Recoding};
 use lintra_bench::timing::bench;

@@ -1,6 +1,8 @@
 //! Table 2 bench: prints the regenerated single-processor table, then
 //! times the full per-design optimization.
 
+#![allow(clippy::expect_used)] // bench harness: a failed precondition should abort loudly
+
 use lintra::opt::{single, TechConfig};
 use lintra::suite::suite;
 use lintra_bench::timing::bench;

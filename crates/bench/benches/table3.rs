@@ -1,6 +1,8 @@
 //! Table 3 bench: prints the regenerated multiprocessor table, then times
 //! the schedule-based speedup measurement.
 
+#![allow(clippy::expect_used)] // bench harness: a failed precondition should abort loudly
+
 use lintra::opt::multi::{self, ProcessorSelection};
 use lintra::opt::TechConfig;
 use lintra::suite::by_name;

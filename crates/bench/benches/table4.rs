@@ -1,6 +1,8 @@
 //! Table 4 bench: prints the regenerated ASIC energy table, then times the
 //! full unfold → Horner → MCM flow.
 
+#![allow(clippy::expect_used)] // bench harness: a failed precondition should abort loudly
+
 use lintra::opt::{asic, TechConfig};
 use lintra::suite::by_name;
 use lintra_bench::timing::bench;

@@ -2,6 +2,8 @@
 //! representative design, then times the unfolding transformation and the
 //! §3 heuristic search.
 
+#![allow(clippy::expect_used)] // bench harness: a failed precondition should abort loudly
+
 use lintra::linsys::count::{best_unfolding, TrivialityRule};
 use lintra::linsys::unfold;
 use lintra::suite::{by_name, dense_synthetic};

@@ -15,7 +15,10 @@ fn main() {
         let constants: Vec<i64> = (0..n).map(|_| rng.range_i64(1, 1i64 << bits)).collect();
         let naive = naive_cost(&constants, Recoding::Csd);
         let sol = synthesize(&constants, Recoding::Csd);
-        sol.verify().expect("mcm plan must be correct");
+        if let Err(e) = sol.verify() {
+            eprintln!("mcm plan failed verification at n={n}: {e}");
+            std::process::exit(1);
+        }
         println!(
             "{n},{:.2},{:.2},{}",
             naive.adds as f64 / n as f64,

@@ -333,7 +333,7 @@ pub fn mean(xs: &[f64]) -> f64 {
 /// Median of a slice (averaging the middle pair for even lengths).
 pub fn median(xs: &[f64]) -> f64 {
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    v.sort_by(f64::total_cmp);
     let n = v.len();
     if n % 2 == 1 {
         v[n / 2]

@@ -179,13 +179,20 @@ fn help(out: &mut impl Write) -> Result<(), CliError> {
          \x20 tables [--v0 V] [--jobs N] [--seq]  regenerate paper Tables 2-4\n\
          \x20 mcm <c1> <c2> ... [--binary]  synthesize a shared shift-add network\n\
          \x20 serve [--addr A] [--jobs N] [--max-inflight N] [--chaos] [--journal-dir DIR]\n\
+         \x20       [--replica-of P] [--peers A,B] [--epoch-dir DIR]\n\
+         \x20       [--failover-grace-ms G] [--heartbeat-ms H]\n\
          \x20                               run the optimization service (drains on SIGTERM);\n\
          \x20                               --journal-dir makes it durable: write-ahead journal,\n\
-         \x20                               crash recovery, request_id dedup, cache snapshots\n\
-         \x20 request <ping|optimize|sweep|tables> [design] --addr A\n\
+         \x20                               crash recovery, request_id dedup, cache snapshots;\n\
+         \x20                               --replica-of makes it a follower that replicates the\n\
+         \x20                               primary's journal and promotes itself on failover;\n\
+         \x20                               --peers lets replicas arbitrate and fence stale epochs\n\
+         \x20 request <ping|optimize|sweep|tables> [design] --addr A[,B,...]\n\
          \x20         [--strategy S] [--v0 V] [--processors N] [--max I]\n\
          \x20         [--deadline-ms D] [--retries N] [--request-id K]\n\
          \x20                               send one request to a running server;\n\
+         \x20                               --addr takes an ordered endpoint list — the client\n\
+         \x20                               walks past dead or non-primary replicas;\n\
          \x20                               --request-id K makes the request idempotent\n\
          \x20 recover <dir>                 inspect a durability directory read-only\n\n\
          `--jobs N` fans work out over the parallel sweep engine; output is\n\
@@ -426,6 +433,26 @@ fn cmd_serve(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     if let Some(dir) = flag_value(args, "--journal-dir") {
         config.journal_dir = Some(std::path::PathBuf::from(dir));
     }
+    if let Some(primary) = flag_value(args, "--replica-of") {
+        config.replica_of = Some(primary.to_string());
+    }
+    if let Some(peers) = flag_value(args, "--peers") {
+        config.peers = peers
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
+    }
+    if let Some(dir) = flag_value(args, "--epoch-dir") {
+        config.epoch_dir = Some(std::path::PathBuf::from(dir));
+    }
+    if let Some(ms) = parse_millis(args, "--failover-grace-ms")? {
+        config.failover_grace = Duration::from_millis(ms);
+    }
+    if let Some(ms) = parse_millis(args, "--heartbeat-ms")? {
+        config.heartbeat = Duration::from_millis(ms);
+    }
 
     signal::install();
     let server = lintra_serve::start(config)?;
@@ -447,9 +474,39 @@ fn cmd_serve(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     // The port line is parsed by scripts (`--addr` port 0 binds an
     // ephemeral port), so flush past any pipe buffering immediately.
     writeln!(out, "listening on {}", server.addr())?;
+    if let Some(info) = server.role_info() {
+        if let Some(primary) = &info.primary {
+            writeln!(out, "replicating from {primary} at epoch {}", info.epoch)?;
+        }
+    }
     out.flush()?;
+    // Role transitions (promotion, fencing) are reported as they happen;
+    // failover scripts grep these lines.
+    let mut last_role = server.role_info().map(|i| i.role);
     while !signal::shutdown_requested() {
         std::thread::sleep(Duration::from_millis(50));
+        let info = server.role_info();
+        let role = info.as_ref().map(|i| i.role);
+        if role != last_role {
+            if let Some(info) = &info {
+                match info.role {
+                    "primary" => writeln!(
+                        out,
+                        "promoted: epoch {} ({} replayed)",
+                        info.epoch, info.promoted_replayed
+                    )?,
+                    "fenced" => writeln!(
+                        out,
+                        "fenced: epoch {} superseded by epoch {}",
+                        info.epoch,
+                        info.fenced_by.unwrap_or_default()
+                    )?,
+                    other => writeln!(out, "role: {other} at epoch {}", info.epoch)?,
+                }
+                out.flush()?;
+            }
+            last_role = role;
+        }
     }
     writeln!(out, "shutdown requested; draining in-flight requests")?;
     let stats = server.shutdown();

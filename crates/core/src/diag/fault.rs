@@ -52,11 +52,23 @@ pub enum Fault {
     /// server must answer with `VAL-MALFORMED-REQUEST` instead of
     /// dropping the connection or crashing.
     MalformedRequest,
+    /// The primary→follower replication link drops mid-stream; the
+    /// follower must reconnect with jittered backoff and resume from its
+    /// acked sequence number without losing or duplicating records.
+    ReplLinkDrop,
+    /// A follower that acks slowly (stalls between records); the primary
+    /// must keep serving at full speed and the follower must catch up to
+    /// a byte-identical journal once the stall clears.
+    LaggingFollower,
+    /// A deposed primary that comes back with its old epoch and tries to
+    /// stream; followers must refuse with `RES-STALE-EPOCH` and the
+    /// revived process must fence itself.
+    StaleEpochPrimary,
 }
 
 impl Fault {
     /// All fault classes, for exhaustive harness sweeps.
-    pub fn all() -> [Fault; 8] {
+    pub fn all() -> [Fault; 11] {
         [
             Fault::UnstableSystem,
             Fault::NanCoefficients,
@@ -66,6 +78,9 @@ impl Fault {
             Fault::SlowWorker,
             Fault::ConnDrop,
             Fault::MalformedRequest,
+            Fault::ReplLinkDrop,
+            Fault::LaggingFollower,
+            Fault::StaleEpochPrimary,
         ]
     }
 }

@@ -137,10 +137,13 @@ pub fn documented_codes() -> &'static [(&'static str, ErrorClass)] {
         ("RES-CIRCUIT-OPEN", ErrorClass::Resource),
         ("RES-SHUTDOWN", ErrorClass::Resource),
         ("RES-DUPLICATE-REQUEST", ErrorClass::Resource),
+        ("RES-STALE-EPOCH", ErrorClass::Resource),
+        ("RES-NOT-PRIMARY", ErrorClass::Resource),
         ("CNV-BISECTION", ErrorClass::Convergence),
         ("IO-FAILURE", ErrorClass::Io),
         ("IO-JOURNAL-CORRUPT", ErrorClass::Io),
         ("IO-SNAPSHOT-CORRUPT", ErrorClass::Io),
+        ("IO-REPL-CORRUPT", ErrorClass::Io),
     ]
 }
 

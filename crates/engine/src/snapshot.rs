@@ -345,6 +345,57 @@ pub fn load(path: &Path) -> Result<SweepCache, SnapshotError> {
     from_bytes(&bytes)
 }
 
+/// What [`install_dir`] found in a snapshot directory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstallReport {
+    /// Snapshots that verified and were installed.
+    pub loaded: usize,
+    /// Corrupt snapshots moved aside with [`quarantine`].
+    pub quarantined: usize,
+}
+
+/// Loads every `*.snap` in `dir` into `caches`, keyed by file stem.
+///
+/// This is the shared install path for both server startup recovery and
+/// follower promotion: a snapshot that fails its checksum or invariants
+/// is quarantined — never trusted, never fatal — and a missing directory
+/// simply installs nothing.
+///
+/// # Errors
+///
+/// Only real filesystem failures (unreadable directory, failed rename)
+/// error out; damaged snapshot *content* never does.
+pub fn install_dir(
+    dir: &Path,
+    caches: &mut std::collections::HashMap<String, crate::cache::SweepCache>,
+) -> Result<InstallReport, std::io::Error> {
+    let mut report = InstallReport::default();
+    if !dir.exists() {
+        return Ok(report);
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("snap") {
+            continue;
+        }
+        let Some(design) = path.file_stem().and_then(|s| s.to_str()).map(String::from) else {
+            continue;
+        };
+        match load(&path) {
+            Ok(cache) => {
+                caches.insert(design, cache);
+                report.loaded += 1;
+            }
+            Err(SnapshotError::Corrupt { .. }) => {
+                quarantine(&path)?;
+                report.quarantined += 1;
+            }
+            Err(SnapshotError::Io(e)) => return Err(e),
+        }
+    }
+    Ok(report)
+}
+
 /// Moves a corrupt file aside to `<path>.quarantined-<n>` (first free
 /// `n`), preserving the evidence while the caller starts fresh.
 ///

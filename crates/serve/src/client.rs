@@ -18,9 +18,26 @@
 //!   most twice that (the server's documented bound) plus a grace period
 //!   for the response before declaring the attempt dead.
 //!
-//! Classified failure responses other than overload (`RES-DEADLINE`,
-//! `VAL-CONFIG`, …) are *not* retried: the server answered
-//! authoritatively, and the caller decides what to do with the verdict.
+//! * **Failover awareness** — a client may carry an ordered list of
+//!   [`Client::endpoints`] (`"host:a,host:b"`). Within each attempt the
+//!   endpoints are walked in order, advancing — without sleeping — past
+//!   dead servers and past authoritative `RES-NOT-PRIMARY` /
+//!   `RES-STALE-EPOCH` redirects, so a request lands on whichever
+//!   replica is currently primary. The walk position is remembered
+//!   across attempts of one call, and the idempotency key
+//!   (`request_id`) rides along unchanged, so a retry that lands on a
+//!   freshly promoted follower is answered from its replicated journal
+//!   byte-identically.
+//! * **Fail fast when the deadline is hopeless** — when the next backoff
+//!   sleep could not possibly leave room for a response within the
+//!   request's own budget, the client returns
+//!   [`ClientError::DeadlineExhausted`] (`RES-DEADLINE`) immediately
+//!   instead of sleeping past the point of no return.
+//!
+//! Classified failure responses other than overload and the failover
+//! redirects (`RES-DEADLINE`, `VAL-CONFIG`, …) are *not* retried: the
+//! server answered authoritatively, and the caller decides what to do
+//! with the verdict.
 
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
@@ -61,8 +78,9 @@ impl Default for RetryPolicy {
 
 impl RetryPolicy {
     /// The jittered sleep before retry `attempt` (0-based): full
-    /// exponential backoff scaled into `[0.5, 1.0)`.
-    fn backoff(&self, attempt: u32, rng: &mut SplitMix64) -> Duration {
+    /// exponential backoff scaled into `[0.5, 1.0)` — the sleep is
+    /// always in `[min(base·2ᵃ, max)/2, min(base·2ᵃ, max))`.
+    pub fn backoff(&self, attempt: u32, rng: &mut SplitMix64) -> Duration {
         let exp = self
             .base_backoff
             .saturating_mul(2u32.saturating_pow(attempt))
@@ -83,13 +101,25 @@ pub enum ClientError {
         /// Description of the last failure.
         last_error: String,
     },
+    /// The request's own deadline budget cannot survive the next backoff
+    /// sleep: retrying would only return an answer the caller has
+    /// already given up on. Resource-class, kin of the server's
+    /// `RES-DEADLINE`.
+    DeadlineExhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The response budget that ran out.
+        budget: Duration,
+    },
 }
 
 impl ClientError {
-    /// Exit code for CLI use: transport failures are I/O-class.
+    /// Exit code for CLI use: transport failures are I/O-class, an
+    /// exhausted deadline is resource-class.
     pub fn exit_code(&self) -> i32 {
         match self {
             ClientError::Transport { .. } => ErrorClass::Io.exit_code(),
+            ClientError::DeadlineExhausted { .. } => ErrorClass::Resource.exit_code(),
         }
     }
 }
@@ -106,6 +136,14 @@ impl std::fmt::Display for ClientError {
                     "request failed after {attempts} attempt(s): {last_error}"
                 )
             }
+            ClientError::DeadlineExhausted { attempts, budget } => {
+                write!(
+                    f,
+                    "RES-DEADLINE: response budget of {} ms exhausted after {attempts} attempt(s); \
+                     not sleeping past the deadline",
+                    budget.as_millis()
+                )
+            }
         }
     }
 }
@@ -117,8 +155,11 @@ impl std::error::Error for ClientError {}
 /// notice at this payload size).
 #[derive(Debug, Clone)]
 pub struct Client {
-    /// Server address (`host:port`).
-    pub addr: String,
+    /// Ordered server endpoints (`host:port` each). The first is the
+    /// preferred server; the rest are failover replicas, walked in order
+    /// when the preferred one is dead or answers `RES-NOT-PRIMARY` /
+    /// `RES-STALE-EPOCH`.
+    pub endpoints: Vec<String>,
     /// Retry/backoff tuning.
     pub policy: RetryPolicy,
     /// Per-attempt TCP connect budget.
@@ -127,11 +168,28 @@ pub struct Client {
     pub request_timeout: Duration,
 }
 
+/// The replication redirects an endpoint walk advances past without
+/// sleeping: the server answered, but authoritatively said "not me".
+fn is_redirect(resp: &WireResponse) -> bool {
+    matches!(
+        &resp.outcome,
+        Err(f) if f.code == "RES-NOT-PRIMARY" || f.code == "RES-STALE-EPOCH"
+    )
+}
+
 impl Client {
-    /// A client with default resilience tuning.
+    /// A client with default resilience tuning. `addr` is one address or
+    /// a comma-separated ordered endpoint list (`"host:a,host:b"`).
     pub fn new(addr: impl Into<String>) -> Client {
+        let addr = addr.into();
+        let endpoints: Vec<String> = addr
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
         Client {
-            addr: addr.into(),
+            endpoints,
             policy: RetryPolicy::default(),
             connect_timeout: Duration::from_secs(2),
             request_timeout: Duration::from_secs(60),
@@ -157,38 +215,84 @@ impl Client {
     }
 
     /// Sends one request, retrying transport failures (and optionally
-    /// overload sheds) with jittered exponential backoff.
+    /// overload sheds) with jittered exponential backoff. With several
+    /// [`Client::endpoints`], each attempt walks the list in order,
+    /// advancing — without sleeping — past dead endpoints and past
+    /// `RES-NOT-PRIMARY` / `RES-STALE-EPOCH` redirects; the walk
+    /// position survives across attempts, so once a promoted replica
+    /// answers, later attempts go straight to it.
     ///
     /// # Errors
     ///
     /// Returns [`ClientError::Transport`] when every attempt failed to
-    /// produce a parseable response. A response carrying a classified
-    /// failure is an `Ok` — inspect [`WireResponse::outcome`].
+    /// produce a parseable response, and
+    /// [`ClientError::DeadlineExhausted`] when the next backoff sleep
+    /// could not leave room for an answer within the response budget. A
+    /// response carrying a classified failure is an `Ok` — inspect
+    /// [`WireResponse::outcome`].
     pub fn request(&self, req: &WireRequest) -> Result<WireResponse, ClientError> {
         let mut hasher = DefaultHasher::new();
         req.id.hash(&mut hasher);
         let mut rng = SplitMix64::new(self.policy.seed ^ hasher.finish());
         let attempts = self.policy.max_attempts.max(1);
         let budget = self.response_budget(req);
-        let mut last_error = String::new();
+        let started = Instant::now();
+        let mut last_error = "no endpoints configured".to_string();
+        let mut cursor = 0usize;
         for attempt in 0..attempts {
             if attempt > 0 {
-                std::thread::sleep(self.policy.backoff(attempt - 1, &mut rng));
-            }
-            match self.try_once(req, budget) {
-                Ok(resp) => {
-                    let overload_shed = matches!(
-                        &resp.outcome,
-                        Err(f) if f.code == "RES-OVERLOAD"
-                    );
-                    if overload_shed && self.policy.retry_overload && attempt + 1 < attempts {
-                        last_error = "shed with RES-OVERLOAD".to_string();
-                        continue;
-                    }
-                    return Ok(resp);
+                let sleep = self.policy.backoff(attempt - 1, &mut rng);
+                if started.elapsed().saturating_add(sleep) >= budget {
+                    // Sleeping would run out the caller's own deadline:
+                    // fail fast instead of answering after it matters.
+                    return Err(ClientError::DeadlineExhausted {
+                        attempts: attempt,
+                        budget,
+                    });
                 }
-                Err(e) => last_error = e,
+                std::thread::sleep(sleep);
             }
+            // Walk the endpoint list at most once per attempt.
+            for _ in 0..self.endpoints.len().max(1) {
+                let Some(endpoint) = self.endpoints.get(cursor % self.endpoints.len().max(1))
+                else {
+                    break;
+                };
+                match self.try_once(endpoint, req, budget) {
+                    Ok(resp) if is_redirect(&resp) => {
+                        let code = resp
+                            .outcome
+                            .as_ref()
+                            .err()
+                            .map(|f| f.code.clone())
+                            .unwrap_or_default();
+                        last_error = format!("{endpoint} answered {code}");
+                        cursor += 1;
+                        if self.endpoints.len() <= 1 {
+                            // Nowhere else to go: surface the verdict.
+                            return Ok(resp);
+                        }
+                    }
+                    Ok(resp) => {
+                        let overload_shed = matches!(
+                            &resp.outcome,
+                            Err(f) if f.code == "RES-OVERLOAD"
+                        );
+                        if overload_shed && self.policy.retry_overload && attempt + 1 < attempts {
+                            last_error = "shed with RES-OVERLOAD".to_string();
+                            break;
+                        }
+                        return Ok(resp);
+                    }
+                    Err(e) => {
+                        last_error = e;
+                        cursor += 1;
+                    }
+                }
+            }
+            // A full redirect cycle (every endpoint said "not me") falls
+            // through to the next attempt: a promotion is likely in
+            // flight and finishes during the backoff sleep.
         }
         Err(ClientError::Transport {
             attempts,
@@ -196,13 +300,17 @@ impl Client {
         })
     }
 
-    fn try_once(&self, req: &WireRequest, budget: Duration) -> Result<WireResponse, String> {
-        let addr = self
-            .addr
+    fn try_once(
+        &self,
+        endpoint: &str,
+        req: &WireRequest,
+        budget: Duration,
+    ) -> Result<WireResponse, String> {
+        let addr = endpoint
             .to_socket_addrs()
-            .map_err(|e| format!("resolving {}: {e}", self.addr))?
+            .map_err(|e| format!("resolving {endpoint}: {e}"))?
             .next()
-            .ok_or_else(|| format!("{} resolves to no address", self.addr))?;
+            .ok_or_else(|| format!("{endpoint} resolves to no address"))?;
         let mut stream = TcpStream::connect_timeout(&addr, self.connect_timeout)
             .map_err(|e| format!("connecting to {addr}: {e}"))?;
         let _ = stream.set_nodelay(true);
@@ -300,8 +408,10 @@ mod tests {
         };
         let req = WireRequest::new("x", lintra_bench::wire::WireOp::Ping);
         let err = client.request(&req).expect_err("nothing listens on port 1");
-        let ClientError::Transport { attempts, .. } = err;
-        assert_eq!(attempts, 2);
+        match &err {
+            ClientError::Transport { attempts, .. } => assert_eq!(*attempts, 2),
+            other => panic!("expected a transport failure, got {other:?}"),
+        }
         assert_eq!(err.exit_code(), 6);
     }
 
@@ -312,5 +422,79 @@ mod tests {
         assert_eq!(client.response_budget(&req), client.request_timeout);
         req.deadline_ms = Some(300);
         assert_eq!(client.response_budget(&req), Duration::from_millis(1100));
+    }
+
+    #[test]
+    fn endpoint_lists_parse_from_comma_separated_addresses() {
+        let client = Client::new(" 127.0.0.1:9001 ,127.0.0.1:9002,, ");
+        assert_eq!(
+            client.endpoints,
+            vec!["127.0.0.1:9001".to_string(), "127.0.0.1:9002".to_string()]
+        );
+        assert_eq!(Client::new("127.0.0.1:9001").endpoints.len(), 1);
+    }
+
+    #[test]
+    fn backoff_stays_within_documented_bounds_across_a_seed_sweep() {
+        // The contract: every sleep is in [min(base·2ᵃ, max)/2,
+        // min(base·2ᵃ, max)). Sweep seeds and attempts to pin it down.
+        let p = RetryPolicy {
+            base_backoff: Duration::from_millis(40),
+            max_backoff: Duration::from_millis(640),
+            ..RetryPolicy::default()
+        };
+        for seed in 0..64u64 {
+            let mut rng = SplitMix64::new(seed);
+            for attempt in 0..8u32 {
+                let exp = p
+                    .base_backoff
+                    .saturating_mul(2u32.saturating_pow(attempt))
+                    .min(p.max_backoff);
+                let b = p.backoff(attempt, &mut rng);
+                assert!(
+                    b >= exp / 2 && b < exp,
+                    "seed {seed} attempt {attempt}: {b:?} outside [{:?}, {:?})",
+                    exp / 2,
+                    exp
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hopeless_deadlines_fail_fast_instead_of_sleeping() {
+        // A dead endpoint plus a backoff far larger than the response
+        // budget: the client must return RES-DEADLINE *quickly* rather
+        // than sleeping through the whole backoff schedule.
+        let client = Client {
+            policy: RetryPolicy {
+                max_attempts: 5,
+                base_backoff: Duration::from_secs(30),
+                ..RetryPolicy::default()
+            },
+            connect_timeout: Duration::from_millis(200),
+            ..Client::new("127.0.0.1:1")
+        };
+        let mut req = WireRequest::new("x", lintra_bench::wire::WireOp::Ping);
+        req.deadline_ms = Some(100); // budget: 700 ms ≪ 15 s minimum sleep
+        let started = Instant::now();
+        let err = client.request(&req).expect_err("nothing listens on port 1");
+        let waited = started.elapsed();
+        match &err {
+            ClientError::DeadlineExhausted { attempts, budget } => {
+                assert_eq!(*attempts, 1, "gave up before the second attempt");
+                assert_eq!(*budget, Duration::from_millis(700));
+            }
+            other => panic!("expected DeadlineExhausted, got {other:?}"),
+        }
+        assert_eq!(err.exit_code(), 4, "deadline exhaustion is resource-class");
+        assert!(
+            err.to_string().contains("RES-DEADLINE"),
+            "display names the diagnostic: {err}"
+        );
+        assert!(
+            waited < Duration::from_secs(5),
+            "failed fast, not after the backoff schedule: {waited:?}"
+        );
     }
 }

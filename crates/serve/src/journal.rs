@@ -83,7 +83,8 @@ impl RecordKind {
         }
     }
 
-    fn from_tag(tag: &str) -> Option<RecordKind> {
+    /// Inverse of [`RecordKind::tag`]; `None` for an unknown tag.
+    pub fn from_tag(tag: &str) -> Option<RecordKind> {
         match tag {
             "admit" => Some(RecordKind::Admit),
             "done" => Some(RecordKind::Done),
@@ -224,20 +225,56 @@ fn decode_payload(payload: &[u8]) -> Result<JournalRecord, String> {
     Ok(JournalRecord { kind, rid, line })
 }
 
-/// Encodes one record in the on-disk framing (header + JSON payload).
-pub fn encode_record(kind: RecordKind, rid: &str, line: &str) -> Vec<u8> {
-    let payload = Json::obj([
+/// The canonical payload bytes of one record — exactly what the CRC in
+/// the on-disk framing covers. Replication ships `(kind, rid, line)`
+/// plus this CRC; the follower re-encodes with this same function, so a
+/// matching checksum guarantees its journal file is byte-identical to
+/// the primary's.
+pub fn payload_bytes(kind: RecordKind, rid: &str, line: &str) -> Vec<u8> {
+    Json::obj([
         ("t", Json::Str(kind.tag().to_string())),
         ("rid", Json::Str(rid.to_string())),
         ("line", Json::Str(line.trim_end_matches('\n').to_string())),
     ])
     .render_compact()
-    .into_bytes();
+    .into_bytes()
+}
+
+/// Encodes one record in the on-disk framing (header + JSON payload).
+pub fn encode_record(kind: RecordKind, rid: &str, line: &str) -> Vec<u8> {
+    let payload = payload_bytes(kind, rid, line);
     let mut out = Vec::with_capacity(8 + payload.len());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&crc32(&payload).to_le_bytes());
     out.extend_from_slice(&payload);
     out
+}
+
+/// The dedup map: settled `request_id` → the kind that settled it and
+/// the exact response line a retry is answered with.
+pub type CompletedMap = HashMap<String, (RecordKind, String)>;
+
+/// Folds a record sequence into the dedup map and the ordered list of
+/// admitted-but-unsettled requests — the one replay policy shared by
+/// startup recovery and follower promotion.
+pub fn fold_records(records: &[JournalRecord]) -> (CompletedMap, Vec<(String, String)>) {
+    let mut completed: CompletedMap = HashMap::new();
+    let mut admitted: Vec<(String, String)> = Vec::new();
+    for r in records {
+        match r.kind {
+            RecordKind::Admit => {
+                if !completed.contains_key(&r.rid) && !admitted.iter().any(|(rid, _)| *rid == r.rid)
+                {
+                    admitted.push((r.rid.clone(), r.line.clone()));
+                }
+            }
+            kind => {
+                admitted.retain(|(rid, _)| *rid != r.rid);
+                completed.insert(r.rid.clone(), (kind, r.line.clone()));
+            }
+        }
+    }
+    (completed, admitted)
 }
 
 /// What replaying the journal found at startup.
@@ -254,6 +291,11 @@ pub struct JournalRecovery {
     pub quarantined: Option<PathBuf>,
     /// True when a torn tail was truncated away (normal crash artifact).
     pub torn_tail: bool,
+    /// Every surviving record in journal order — the seed of the
+    /// replication log (sequence number = index + 1). Empty when the
+    /// journal was quarantined: a file that lied once contributes
+    /// nothing, to replicas included.
+    pub records: Vec<JournalRecord>,
 }
 
 /// The append side of the write-ahead journal.
@@ -302,23 +344,10 @@ impl Journal {
                 }
             }
         }
-        let mut admitted: Vec<(String, String)> = Vec::new();
-        for r in records {
-            match r.kind {
-                RecordKind::Admit => {
-                    if !recovery.completed.contains_key(&r.rid)
-                        && !admitted.iter().any(|(rid, _)| *rid == r.rid)
-                    {
-                        admitted.push((r.rid, r.line));
-                    }
-                }
-                kind => {
-                    admitted.retain(|(rid, _)| *rid != r.rid);
-                    recovery.completed.insert(r.rid, (kind, r.line));
-                }
-            }
-        }
+        let (completed, admitted) = fold_records(&records);
+        recovery.completed = completed;
         recovery.incomplete = admitted;
+        recovery.records = records;
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
         Ok((Journal { file, path }, recovery))
     }

@@ -16,6 +16,7 @@
 //! | lifecycle | graceful drain on shutdown/SIGTERM | `RES-SHUTDOWN` |
 //! | durability | write-ahead journal + idempotency keys | `RES-DUPLICATE-REQUEST` |
 //! | durability | quarantine of damaged journal / snapshots | `IO-JOURNAL-CORRUPT`, `IO-SNAPSHOT-CORRUPT` |
+//! | replication | WAL shipping, epoch fencing, automatic failover | `RES-NOT-PRIMARY`, `RES-STALE-EPOCH`, `IO-REPL-CORRUPT` |
 //!
 //! With [`ServerConfig::journal_dir`] set, the server also survives
 //! `kill -9`: requests are fsynced to a write-ahead journal before
@@ -23,6 +24,15 @@
 //! orphaned requests replay while completed `request_id`s are answered
 //! from the journal byte-identically ([`server::RecoveryReport`]). See
 //! [`journal`] for the record format and damage taxonomy.
+//!
+//! A durable server can also *replicate*: a follower started with
+//! [`ServerConfig::replica_of`] streams the primary's journal into its
+//! own (CRC-verified, fsync-before-ack), promotes itself with a higher
+//! epoch when the primary goes silent, and fences the deposed primary so
+//! no split brain survives — while [`Client`] walks an ordered endpoint
+//! list and carries its idempotency key across the failover, so retries
+//! of settled work are answered byte-identically with zero recompute.
+//! See [`replicate`] for the protocol.
 //!
 //! Every failure crosses the wire with the same class/code taxonomy local
 //! [`lintra::LintraError`]s carry, so the CLI maps remote failures to the
@@ -52,10 +62,12 @@
 pub mod breaker;
 pub mod client;
 pub mod journal;
+pub mod replicate;
 pub mod server;
 pub mod signal;
 
 pub use breaker::{BreakerConfig, CircuitBreaker};
 pub use client::{Client, ClientError, RetryPolicy};
 pub use journal::{Journal, JournalRecovery, RecordKind, ScanOutcome};
-pub use server::{start, RecoveryReport, ServerConfig, ServerHandle, ServerStats};
+pub use replicate::{query_status, ReplChaos, ReplMsg, Role, StatusView};
+pub use server::{start, RecoveryReport, RoleInfo, ServerConfig, ServerHandle, ServerStats};

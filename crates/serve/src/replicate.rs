@@ -1,0 +1,1183 @@
+//! Primary→follower WAL shipping, failover, and epoch fencing.
+//!
+//! A durable server ([`crate::ServerConfig::journal_dir`]) can replicate:
+//! the **primary** streams its write-ahead journal records — the same
+//! `[u32 len][u32 crc32][JSON]` records `journal.log` holds, framed for
+//! transport with a monotonically increasing *epoch* and *sequence
+//! number* — to any follower that dials in. A **follower** (started with
+//! [`crate::ServerConfig::replica_of`]) connects to its primary, appends
+//! each shipped record to its own journal, **CRC-verifies and fsyncs it
+//! before acking**, keeps its dedup map and `SweepCache` snapshots warm
+//! by replaying acked records, and answers read-only `recover`-style
+//! status queries — while rejecting compute requests with
+//! `RES-NOT-PRIMARY`.
+//!
+//! # Transport
+//!
+//! Replication rides the server's ordinary newline-delimited-JSON TCP
+//! listener. A line whose top-level object carries a `"repl"` member is
+//! a replication message ([`ReplMsg`]); everything else is a normal wire
+//! request. The follower dials the primary and sends
+//! `{"repl":"hello","epoch":E,"have":S}`; the primary answers with a
+//! stream of `rec` messages from sequence `S+1` (sequence numbers are
+//! 1-based journal record indices), interleaving `hb` heartbeats while
+//! idle, and reads `ack` messages back on the same socket.
+//!
+//! Each `rec` carries the CRC32 of the record's canonical payload bytes
+//! ([`crate::journal::payload_bytes`]). The follower re-encodes and
+//! re-checksums before appending, so an acked follower journal is
+//! **byte-identical** to the primary's — a checksum mismatch is
+//! `IO-REPL-CORRUPT`: the record is refused and the link torn down to
+//! resync from the acked prefix.
+//!
+//! # Epochs and fencing
+//!
+//! Every replicated deployment lives in an *epoch* (term), persisted in
+//! a small atomically-replaced `epoch` file. All replication messages
+//! carry the sender's epoch, and **lower epochs are always refused**:
+//!
+//! * a follower that observes records from a lower epoch than its own
+//!   refuses them (`RES-STALE-EPOCH`) and treats the sender as deposed;
+//! * a primary that receives a `hello` carrying a higher epoch knows it
+//!   was deposed while away: it **fences itself** — every subsequent
+//!   request, pings included, is answered `RES-STALE-EPOCH`;
+//! * a server started with [`crate::ServerConfig::peers`] also polls
+//!   peer status and self-fences the moment any peer reports a higher
+//!   epoch, so a revived stale primary is fenced even before the new
+//!   primary dials it.
+//!
+//! # Failure detection and promotion
+//!
+//! The follower expects a record or heartbeat within
+//! [`crate::ServerConfig::failover_grace`]; reconnects use the client's
+//! jittered exponential backoff ([`crate::RetryPolicy::backoff`]). When
+//! the grace expires, the follower arbitrates: it queries each peer's
+//! `(role, epoch, seq)` and
+//!
+//! * **adopts** a peer that already promoted (follows it instead),
+//! * **defers** to any live peer with more acked records (or, on a tie,
+//!   the lexicographically smaller address) — so the *highest-acked*
+//!   follower wins and a double promotion resolves deterministically,
+//! * otherwise **promotes**: bumps the epoch past every epoch it has
+//!   observed, persists it, installs cache snapshots
+//!   ([`lintra::engine::snapshot::install_dir`]), replays
+//!   admitted-but-unsettled journal records, and only then serves as
+//!   primary. Retried `request_id`s settled before the failover are
+//!   answered from the replicated journal byte-identically, with zero
+//!   recompute.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use lintra::engine::snapshot::{crc32, install_dir};
+use lintra::matrix::rng::SplitMix64;
+use lintra_bench::json::Json;
+use lintra_bench::wire::{WireOp, WireRequest};
+
+use crate::client::RetryPolicy;
+use crate::journal::{fold_records, payload_bytes, JournalRecord, RecordKind, SNAPSHOT_DIR};
+use crate::server::{lock_unpoisoned, persist_snapshots, replay_request, Shared};
+use crate::signal;
+
+/// File name of the persisted epoch inside the epoch directory.
+pub const EPOCH_FILE: &str = "epoch";
+
+/// Connect/read budget for one-shot peer queries (status, fence hello).
+const PEER_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// How often blocked replication reads re-check for shutdown.
+const POLL: Duration = Duration::from_millis(20);
+
+/// What a replicated server currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Accepts writes, streams its journal to followers.
+    Primary,
+    /// Replicates from a primary; answers pings and status queries,
+    /// rejects compute with `RES-NOT-PRIMARY`.
+    Follower,
+    /// Mid-promotion: replaying unsettled records before taking writes.
+    Promoting,
+    /// Deposed: a higher epoch exists; every request is refused with
+    /// `RES-STALE-EPOCH`.
+    Fenced,
+}
+
+impl Role {
+    /// Stable lowercase label (wire + logs).
+    pub fn label(self) -> &'static str {
+        match self {
+            Role::Primary => "primary",
+            Role::Follower => "follower",
+            Role::Promoting => "promoting",
+            Role::Fenced => "fenced",
+        }
+    }
+}
+
+/// Role plus the addresses that parameterize it.
+#[derive(Debug, Clone)]
+pub struct RoleState {
+    /// Current role.
+    pub role: Role,
+    /// The primary this follower replicates from (follower/promoting).
+    pub primary: Option<String>,
+}
+
+/// Deterministic replication-fault knobs, for chaos tests only.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplChaos {
+    /// Primary side: tear the follower link down once, right after this
+    /// many records were streamed on one connection
+    /// (`Fault::ReplLinkDrop`). The follower must resync from its acked
+    /// prefix on reconnect.
+    pub drop_link_after: Option<u64>,
+    /// Follower side: stall for the given duration before acking the
+    /// record at the given sequence number (`Fault::LaggingFollower`).
+    /// The primary must keep serving at full speed meanwhile.
+    pub lag: Option<(u64, Duration)>,
+}
+
+/// Shared replication state of one server (present iff durable).
+pub struct ReplState {
+    /// This server's own listen address (tiebreaks promotion races).
+    pub(crate) self_addr: Mutex<String>,
+    /// Current epoch (term). Monotonic; persisted in [`EPOCH_FILE`].
+    pub(crate) epoch: AtomicU64,
+    /// Where the epoch is persisted.
+    pub(crate) epoch_path: PathBuf,
+    /// Current role.
+    pub(crate) role: Mutex<RoleState>,
+    /// In-memory image of the journal, in record order; sequence number
+    /// `s` is `log[s - 1]`. Seeded from recovery, appended on every
+    /// journal append, streamed to followers.
+    pub(crate) log: Mutex<Vec<JournalRecord>>,
+    /// Signalled when `log` grows (wakes idle follower streams).
+    pub(crate) log_grew: Condvar,
+    /// Highest acked sequence per follower address (observability).
+    pub(crate) acks: Mutex<HashMap<String, u64>>,
+    /// The epoch that superseded ours (0 = not fenced).
+    pub(crate) fenced_by: AtomicU64,
+    /// Records replayed during promotion.
+    pub(crate) promoted_replayed: AtomicU64,
+    /// The address of the primary this server was deposed-promoted from
+    /// (set at promotion; the guard loop keeps fencing it).
+    pub(crate) former_primary: Mutex<Option<String>>,
+    /// Replication records refused for a checksum mismatch
+    /// (`IO-REPL-CORRUPT`).
+    pub(crate) corrupt_refused: AtomicU64,
+    /// Chaos link drops already consumed (each fires once).
+    pub(crate) chaos_drops_done: AtomicU64,
+}
+
+impl ReplState {
+    pub(crate) fn new(
+        epoch_path: PathBuf,
+        replica_of: Option<String>,
+        records: Vec<JournalRecord>,
+    ) -> ReplState {
+        let epoch = load_epoch(&epoch_path);
+        let role = match replica_of {
+            Some(primary) => RoleState {
+                role: Role::Follower,
+                primary: Some(primary),
+            },
+            None => RoleState {
+                role: Role::Primary,
+                primary: None,
+            },
+        };
+        ReplState {
+            self_addr: Mutex::new(String::new()),
+            epoch: AtomicU64::new(epoch),
+            epoch_path,
+            role: Mutex::new(role),
+            log: Mutex::new(records),
+            log_grew: Condvar::new(),
+            acks: Mutex::new(HashMap::new()),
+            fenced_by: AtomicU64::new(0),
+            promoted_replayed: AtomicU64::new(0),
+            former_primary: Mutex::new(None),
+            corrupt_refused: AtomicU64::new(0),
+            chaos_drops_done: AtomicU64::new(0),
+        }
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Current sequence number (= records in the log).
+    pub fn seq(&self) -> u64 {
+        lock_unpoisoned(&self.log).len() as u64
+    }
+
+    /// Snapshot of the current role.
+    pub fn role_state(&self) -> RoleState {
+        lock_unpoisoned(&self.role).clone()
+    }
+
+    pub(crate) fn set_role(&self, role: Role, primary: Option<String>) {
+        *lock_unpoisoned(&self.role) = RoleState { role, primary };
+    }
+
+    /// Records refused with `IO-REPL-CORRUPT` so far.
+    pub fn corrupt_refused(&self) -> u64 {
+        self.corrupt_refused.load(Ordering::SeqCst)
+    }
+
+    /// Fences this server: a higher epoch exists, so every subsequent
+    /// request is answered `RES-STALE-EPOCH`.
+    pub(crate) fn fence(&self, superseded_by: u64) {
+        self.fenced_by.store(superseded_by, Ordering::SeqCst);
+        self.set_role(Role::Fenced, None);
+    }
+
+    /// Adopts a higher epoch observed on the wire, persisting it.
+    fn adopt_epoch(&self, epoch: u64) {
+        if epoch > self.epoch() {
+            let _ = store_epoch(&self.epoch_path, epoch);
+            self.epoch.store(epoch, Ordering::SeqCst);
+        }
+    }
+}
+
+// --- epoch persistence ----------------------------------------------------
+
+/// Loads the persisted epoch; a missing or unreadable file is epoch 1
+/// (the first term of a fresh deployment).
+pub fn load_epoch(path: &Path) -> u64 {
+    std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .filter(|&e| e >= 1)
+        .unwrap_or(1)
+}
+
+/// Atomically persists the epoch (write temp sibling, fsync, rename).
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem failure.
+pub fn store_epoch(path: &Path, epoch: u64) -> Result<(), std::io::Error> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(format!("{epoch}\n").as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+// --- wire messages --------------------------------------------------------
+
+/// One replication message (a JSON line with a `"repl"` discriminator).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplMsg {
+    /// Follower → primary: start streaming after `have`.
+    Hello {
+        /// Sender's epoch.
+        epoch: u64,
+        /// Records the follower already holds.
+        have: u64,
+        /// Follower's own listen address (ack bookkeeping).
+        from: String,
+    },
+    /// Primary → follower: one journal record.
+    Rec {
+        /// Sender's epoch.
+        epoch: u64,
+        /// 1-based journal position of this record.
+        seq: u64,
+        /// CRC32 of the record's canonical payload bytes.
+        crc: u32,
+        /// Record kind.
+        kind: RecordKind,
+        /// Idempotency key.
+        rid: String,
+        /// Journaled wire line.
+        line: String,
+    },
+    /// Primary → follower: liveness while idle.
+    Hb {
+        /// Sender's epoch.
+        epoch: u64,
+        /// Sender's current sequence number.
+        seq: u64,
+    },
+    /// Follower → primary: records up to `seq` are fsync'd.
+    Ack {
+        /// Highest durable sequence.
+        seq: u64,
+    },
+    /// Either direction: refusal with a diagnostic code
+    /// (`RES-STALE-EPOCH`, `RES-NOT-PRIMARY`, `IO-REPL-CORRUPT`).
+    Err {
+        /// Diagnostic code.
+        code: String,
+        /// Sender's epoch.
+        epoch: u64,
+    },
+    /// Read-only status query (any peer).
+    Status,
+    /// Answer to [`ReplMsg::Status`].
+    StatusReply {
+        /// Role label ([`Role::label`]).
+        role: String,
+        /// Current epoch.
+        epoch: u64,
+        /// Current sequence number.
+        seq: u64,
+        /// Settled keys servable to retries.
+        answered: u64,
+        /// The primary a follower replicates from, if any.
+        primary: Option<String>,
+    },
+}
+
+fn num(doc: &Json, key: &str) -> Option<u64> {
+    let v = doc.get(key).and_then(Json::as_num)?;
+    (v.is_finite() && v >= 0.0 && v.fract() == 0.0).then_some(v as u64)
+}
+
+fn text(doc: &Json, key: &str) -> Option<String> {
+    doc.get(key).and_then(Json::as_str).map(str::to_string)
+}
+
+impl ReplMsg {
+    /// Parses a wire line as a replication message. `None` when the line
+    /// is not a replication message at all (no `"repl"` member);
+    /// `Some(Err)`-like malformed replication frames also return `None`
+    /// — the caller treats them as protocol violations and drops the
+    /// link.
+    pub fn parse(line: &str) -> Option<ReplMsg> {
+        let doc = Json::parse(line).ok()?;
+        let tag = doc.get("repl").and_then(Json::as_str)?.to_string();
+        match tag.as_str() {
+            "hello" => Some(ReplMsg::Hello {
+                epoch: num(&doc, "epoch")?,
+                have: num(&doc, "have")?,
+                from: text(&doc, "from").unwrap_or_default(),
+            }),
+            "rec" => Some(ReplMsg::Rec {
+                epoch: num(&doc, "epoch")?,
+                seq: num(&doc, "seq")?,
+                crc: u32::try_from(num(&doc, "crc")?).ok()?,
+                kind: RecordKind::from_tag(&text(&doc, "t")?)?,
+                rid: text(&doc, "rid")?,
+                line: text(&doc, "line")?,
+            }),
+            "hb" => Some(ReplMsg::Hb {
+                epoch: num(&doc, "epoch")?,
+                seq: num(&doc, "seq")?,
+            }),
+            "ack" => Some(ReplMsg::Ack {
+                seq: num(&doc, "seq")?,
+            }),
+            "err" => Some(ReplMsg::Err {
+                code: text(&doc, "code")?,
+                epoch: num(&doc, "epoch")?,
+            }),
+            "status" => Some(ReplMsg::Status),
+            "status-reply" => Some(ReplMsg::StatusReply {
+                role: text(&doc, "role")?,
+                epoch: num(&doc, "epoch")?,
+                seq: num(&doc, "seq")?,
+                answered: num(&doc, "answered")?,
+                primary: text(&doc, "primary"),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Renders the message as one newline-terminated wire line.
+    pub fn render_line(&self) -> String {
+        let obj = match self {
+            ReplMsg::Hello { epoch, have, from } => Json::obj([
+                ("repl", Json::Str("hello".to_string())),
+                ("epoch", Json::Num(*epoch as f64)),
+                ("have", Json::Num(*have as f64)),
+                ("from", Json::Str(from.clone())),
+            ]),
+            ReplMsg::Rec {
+                epoch,
+                seq,
+                crc,
+                kind,
+                rid,
+                line,
+            } => Json::obj([
+                ("repl", Json::Str("rec".to_string())),
+                ("epoch", Json::Num(*epoch as f64)),
+                ("seq", Json::Num(*seq as f64)),
+                ("crc", Json::Num(f64::from(*crc))),
+                ("t", Json::Str(kind.tag().to_string())),
+                ("rid", Json::Str(rid.clone())),
+                ("line", Json::Str(line.clone())),
+            ]),
+            ReplMsg::Hb { epoch, seq } => Json::obj([
+                ("repl", Json::Str("hb".to_string())),
+                ("epoch", Json::Num(*epoch as f64)),
+                ("seq", Json::Num(*seq as f64)),
+            ]),
+            ReplMsg::Ack { seq } => Json::obj([
+                ("repl", Json::Str("ack".to_string())),
+                ("seq", Json::Num(*seq as f64)),
+            ]),
+            ReplMsg::Err { code, epoch } => Json::obj([
+                ("repl", Json::Str("err".to_string())),
+                ("code", Json::Str(code.clone())),
+                ("epoch", Json::Num(*epoch as f64)),
+            ]),
+            ReplMsg::Status => Json::obj([("repl", Json::Str("status".to_string()))]),
+            ReplMsg::StatusReply {
+                role,
+                epoch,
+                seq,
+                answered,
+                primary,
+            } => {
+                let mut members = vec![
+                    ("repl", Json::Str("status-reply".to_string())),
+                    ("role", Json::Str(role.clone())),
+                    ("epoch", Json::Num(*epoch as f64)),
+                    ("seq", Json::Num(*seq as f64)),
+                    ("answered", Json::Num(*answered as f64)),
+                ];
+                if let Some(p) = primary {
+                    members.push(("primary", Json::Str(p.clone())));
+                }
+                Json::obj(members)
+            }
+        };
+        let mut line = obj.render_compact();
+        line.push('\n');
+        line
+    }
+}
+
+/// A peer's answer to a status query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatusView {
+    /// Role label.
+    pub role: String,
+    /// Peer's epoch.
+    pub epoch: u64,
+    /// Peer's sequence number (acked records).
+    pub seq: u64,
+    /// Settled keys servable to retries.
+    pub answered: u64,
+    /// The primary the peer replicates from, if it is a follower.
+    pub primary: Option<String>,
+}
+
+// --- socket plumbing ------------------------------------------------------
+
+fn connect(addr: &str, timeout: Duration) -> Result<TcpStream, String> {
+    let sock = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("resolving {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{addr} resolves to no address"))?;
+    let stream =
+        TcpStream::connect_timeout(&sock, timeout).map_err(|e| format!("connecting: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    Ok(stream)
+}
+
+/// Reads one newline-terminated line under `timeout`. `Ok(None)` = EOF.
+fn read_line(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    timeout: Duration,
+) -> Result<Option<String>, String> {
+    let started = Instant::now();
+    loop {
+        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=pos).collect();
+            return Ok(Some(String::from_utf8_lossy(&line).trim_end().to_string()));
+        }
+        let left = timeout
+            .checked_sub(started.elapsed())
+            .filter(|d| !d.is_zero())
+            .ok_or("timed out waiting for a line")?;
+        stream
+            .set_read_timeout(Some(left.min(POLL)))
+            .map_err(|e| format!("configuring socket: {e}"))?;
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(None),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) => return Err(format!("reading: {e}")),
+        }
+    }
+}
+
+/// One-shot status query against any replicated server. `None` when the
+/// peer is unreachable, not replicated, or answers garbage.
+pub fn query_status(addr: &str, timeout: Duration) -> Option<StatusView> {
+    let mut stream = connect(addr, timeout).ok()?;
+    stream
+        .write_all(ReplMsg::Status.render_line().as_bytes())
+        .ok()?;
+    let mut buf = Vec::new();
+    let line = read_line(&mut stream, &mut buf, timeout).ok()??;
+    match ReplMsg::parse(&line)? {
+        ReplMsg::StatusReply {
+            role,
+            epoch,
+            seq,
+            answered,
+            primary,
+        } => Some(StatusView {
+            role,
+            epoch,
+            seq,
+            answered,
+            primary,
+        }),
+        _ => None,
+    }
+}
+
+// --- primary side: streaming ----------------------------------------------
+
+/// Streams journal records to one follower; runs on the connection
+/// thread that received the follower's hello. Returns when the link
+/// drops, the server drains, this server stops being primary, or a
+/// chaos-configured link drop fires.
+pub(crate) fn stream_to_follower(
+    shared: &Arc<Shared>,
+    mut stream: TcpStream,
+    hello_epoch: u64,
+    mut cursor: u64,
+    peer: String,
+) {
+    let Some(repl) = &shared.repl else { return };
+    // A hello from a higher epoch means this server was deposed while it
+    // was away: fence immediately, refuse the stream.
+    if hello_epoch > repl.epoch() {
+        repl.fence(hello_epoch);
+        let _ = stream.write_all(
+            ReplMsg::Err {
+                code: "RES-STALE-EPOCH".to_string(),
+                epoch: repl.epoch(),
+            }
+            .render_line()
+            .as_bytes(),
+        );
+        return;
+    }
+    match repl.role_state().role {
+        Role::Primary => {}
+        role => {
+            let code = match role {
+                Role::Fenced => "RES-STALE-EPOCH",
+                _ => "RES-NOT-PRIMARY",
+            };
+            let _ = stream.write_all(
+                ReplMsg::Err {
+                    code: code.to_string(),
+                    epoch: repl.epoch(),
+                }
+                .render_line()
+                .as_bytes(),
+            );
+            return;
+        }
+    }
+
+    let heartbeat = shared.config.heartbeat;
+    let chaos_drop = shared
+        .config
+        .repl_chaos
+        .as_ref()
+        .and_then(|c| c.drop_link_after);
+    let mut sent_on_conn: u64 = 0;
+    let mut last_sent = Instant::now();
+    let mut ackbuf: Vec<u8> = Vec::new();
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(1)))
+        .is_err()
+    {
+        return;
+    }
+    loop {
+        if shared.draining.load(Ordering::SeqCst) || repl.role_state().role != Role::Primary {
+            return;
+        }
+        // Pick up anything appended past the cursor, waiting briefly for
+        // growth so an idle stream doesn't spin.
+        let batch: Vec<JournalRecord> = {
+            let mut log = lock_unpoisoned(&repl.log);
+            if (log.len() as u64) <= cursor {
+                let wait = heartbeat.min(Duration::from_millis(100));
+                let (guard, _) = repl
+                    .log_grew
+                    .wait_timeout(log, wait)
+                    .unwrap_or_else(PoisonError::into_inner);
+                log = guard;
+            }
+            log.get(cursor as usize..)
+                .map(<[_]>::to_vec)
+                .unwrap_or_default()
+        };
+        let epoch = repl.epoch();
+        for rec in batch {
+            if let Some(n) = chaos_drop {
+                if sent_on_conn >= n
+                    && repl
+                        .chaos_drops_done
+                        .compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                {
+                    // Injected ReplLinkDrop: tear the link down once.
+                    return;
+                }
+            }
+            let seq = cursor + 1;
+            let crc = crc32(&payload_bytes(rec.kind, &rec.rid, &rec.line));
+            let msg = ReplMsg::Rec {
+                epoch,
+                seq,
+                crc,
+                kind: rec.kind,
+                rid: rec.rid,
+                line: rec.line,
+            };
+            if stream.write_all(msg.render_line().as_bytes()).is_err() {
+                return;
+            }
+            cursor = seq;
+            sent_on_conn += 1;
+            last_sent = Instant::now();
+        }
+        if last_sent.elapsed() >= heartbeat {
+            let msg = ReplMsg::Hb {
+                epoch,
+                seq: repl.seq(),
+            };
+            if stream.write_all(msg.render_line().as_bytes()).is_err() {
+                return;
+            }
+            last_sent = Instant::now();
+        }
+        // Drain acks without blocking the stream.
+        let mut chunk = [0u8; 1024];
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => {
+                ackbuf.extend_from_slice(&chunk[..n]);
+                while let Some(pos) = ackbuf.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = ackbuf.drain(..=pos).collect();
+                    let line = String::from_utf8_lossy(&line);
+                    if let Some(ReplMsg::Ack { seq }) = ReplMsg::parse(line.trim_end()) {
+                        let mut acks = lock_unpoisoned(&repl.acks);
+                        let entry = acks.entry(peer.clone()).or_insert(0);
+                        *entry = (*entry).max(seq);
+                    }
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+// --- follower side --------------------------------------------------------
+
+/// Why one follower connection ended.
+enum StreamEnd {
+    /// The link dropped or the primary went silent past the grace.
+    Dead,
+    /// The dialed server proved it is stale (lower epoch, or it told us
+    /// so); failover already happened somewhere — arbitrate immediately.
+    Stale,
+    /// The dialed server is not (yet) a primary; retry shortly.
+    NotYet,
+    /// This server is draining.
+    Draining,
+}
+
+/// The follower thread: replicate, detect failure, arbitrate, promote.
+/// After a successful promotion it morphs into the guard loop that keeps
+/// the deposed primary fenced.
+pub(crate) fn follower_loop(shared: Arc<Shared>) {
+    let Some(repl) = shared.repl.clone() else {
+        return;
+    };
+    let self_addr = lock_unpoisoned(&repl.self_addr).clone();
+    let mut hasher = DefaultHasher::new();
+    self_addr.hash(&mut hasher);
+    let mut rng = SplitMix64::new(0xF0110E5 ^ hasher.finish());
+    let grace = shared.config.failover_grace;
+    let policy = RetryPolicy {
+        max_attempts: u32::MAX,
+        base_backoff: Duration::from_millis(25),
+        max_backoff: (grace / 4).max(Duration::from_millis(25)),
+        retry_overload: false,
+        seed: 0,
+    };
+    let mut attempt: u32 = 0;
+    let mut last_contact = Instant::now();
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        let rs = repl.role_state();
+        let primary = match (rs.role, rs.primary) {
+            (Role::Follower, Some(p)) => p,
+            (Role::Primary, _) => break, // promoted: fall through to the guard
+            _ => return,
+        };
+        let end = match connect(&primary, Duration::from_millis(500)) {
+            Ok(stream) => {
+                attempt = 0;
+                follow_stream(&shared, &repl, stream, &self_addr, &mut last_contact)
+            }
+            Err(_) => StreamEnd::Dead,
+        };
+        match end {
+            StreamEnd::Draining => return,
+            StreamEnd::Stale => {
+                // The old primary is provably deposed: arbitrate now.
+                if !arbitrate(&shared, &repl, &self_addr, &primary) {
+                    return;
+                }
+                last_contact = Instant::now();
+            }
+            StreamEnd::Dead | StreamEnd::NotYet => {
+                if last_contact.elapsed() > grace {
+                    if !arbitrate(&shared, &repl, &self_addr, &primary) {
+                        return;
+                    }
+                    last_contact = Instant::now();
+                } else {
+                    std::thread::sleep(policy.backoff(attempt.min(16), &mut rng));
+                    attempt = attempt.saturating_add(1);
+                }
+            }
+        }
+    }
+    guard_loop(&shared);
+}
+
+/// One connected stretch of following: hello, then append/ack records
+/// until the link ends.
+fn follow_stream(
+    shared: &Arc<Shared>,
+    repl: &Arc<ReplState>,
+    mut stream: TcpStream,
+    self_addr: &str,
+    last_contact: &mut Instant,
+) -> StreamEnd {
+    let hello = ReplMsg::Hello {
+        epoch: repl.epoch(),
+        have: repl.seq(),
+        from: self_addr.to_string(),
+    };
+    if stream.write_all(hello.render_line().as_bytes()).is_err() {
+        return StreamEnd::Dead;
+    }
+    *last_contact = Instant::now();
+    let grace = shared.config.failover_grace;
+    let lag = shared.config.repl_chaos.as_ref().and_then(|c| c.lag);
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            return StreamEnd::Draining;
+        }
+        if last_contact.elapsed() > grace {
+            return StreamEnd::Dead;
+        }
+        let line = match read_line(&mut stream, &mut buf, POLL) {
+            Ok(Some(line)) => line,
+            Ok(None) => return StreamEnd::Dead,
+            Err(_) => continue, // poll timeout: re-check drain and grace
+        };
+        match ReplMsg::parse(&line) {
+            Some(ReplMsg::Rec {
+                epoch,
+                seq,
+                crc,
+                kind,
+                rid,
+                line,
+            }) => {
+                if epoch < repl.epoch() {
+                    // Records from a lower epoch are refused, always.
+                    let _ = stream.write_all(
+                        ReplMsg::Err {
+                            code: "RES-STALE-EPOCH".to_string(),
+                            epoch: repl.epoch(),
+                        }
+                        .render_line()
+                        .as_bytes(),
+                    );
+                    return StreamEnd::Stale;
+                }
+                repl.adopt_epoch(epoch);
+                *last_contact = Instant::now();
+                let have = repl.seq();
+                if seq <= have {
+                    // Already durable (reconnect overlap): re-ack.
+                    let _ = stream.write_all(ReplMsg::Ack { seq: have }.render_line().as_bytes());
+                    continue;
+                }
+                if seq != have + 1 {
+                    // A gap means the stream lost sync; resync fresh.
+                    return StreamEnd::Dead;
+                }
+                if crc32(&payload_bytes(kind, &rid, &line)) != crc {
+                    // IO-REPL-CORRUPT: never append a record that fails
+                    // its checksum; drop the link and resync.
+                    repl.corrupt_refused.fetch_add(1, Ordering::SeqCst);
+                    let _ = stream.write_all(
+                        ReplMsg::Err {
+                            code: "IO-REPL-CORRUPT".to_string(),
+                            epoch: repl.epoch(),
+                        }
+                        .render_line()
+                        .as_bytes(),
+                    );
+                    return StreamEnd::Dead;
+                }
+                if !apply_record(shared, repl, kind, &rid, &line) {
+                    return StreamEnd::Dead;
+                }
+                if let Some((lag_seq, delay)) = lag {
+                    if seq == lag_seq {
+                        // Injected LaggingFollower: stall before the ack.
+                        std::thread::sleep(delay);
+                    }
+                }
+                if stream
+                    .write_all(ReplMsg::Ack { seq }.render_line().as_bytes())
+                    .is_err()
+                {
+                    return StreamEnd::Dead;
+                }
+            }
+            Some(ReplMsg::Hb { epoch, seq: _ }) => {
+                if epoch < repl.epoch() {
+                    return StreamEnd::Stale;
+                }
+                repl.adopt_epoch(epoch);
+                *last_contact = Instant::now();
+            }
+            Some(ReplMsg::Err { code, epoch }) => {
+                repl.adopt_epoch(epoch);
+                return match code.as_str() {
+                    "RES-STALE-EPOCH" => StreamEnd::Stale,
+                    _ => StreamEnd::NotYet,
+                };
+            }
+            // Anything else on a follower link is a protocol violation.
+            _ => return StreamEnd::Dead,
+        }
+    }
+}
+
+/// Appends one verified record to the local journal (fsync'd) and keeps
+/// the dedup map and cache warmth current. Returns false on an
+/// unappendable journal (the link is torn down; a resync retries).
+fn apply_record(
+    shared: &Arc<Shared>,
+    repl: &Arc<ReplState>,
+    kind: RecordKind,
+    rid: &str,
+    line: &str,
+) -> bool {
+    {
+        let Some(dur) = &shared.durability else {
+            return false;
+        };
+        let mut d = lock_unpoisoned(dur);
+        if d.journal.append(kind, rid, line).is_err() {
+            return false;
+        }
+        if kind != RecordKind::Admit {
+            d.completed
+                .insert(rid.to_string(), (kind, line.to_string()));
+        }
+        let mut log = lock_unpoisoned(&repl.log);
+        log.push(JournalRecord {
+            kind,
+            rid: rid.to_string(),
+            line: line.to_string(),
+        });
+        repl.log_grew.notify_all();
+    }
+    // Replay acked sweep admits into the local cache so this follower's
+    // snapshots stay warm for a future promotion.
+    if kind == RecordKind::Admit {
+        if let Some(tx) = &shared.warm_tx {
+            if let Ok(req) = WireRequest::parse(line) {
+                if let WireOp::Sweep { design, max_i } = req.op {
+                    let _ = tx.send((design, max_i));
+                }
+            }
+        }
+    }
+    true
+}
+
+/// The cache warmer: replays acked sweep admits into the shared caches
+/// off the replication path, checkpointing snapshots as designs warm.
+pub(crate) fn warm_loop(shared: &Arc<Shared>, rx: &std::sync::mpsc::Receiver<(String, u32)>) {
+    while !shared.draining.load(Ordering::SeqCst) {
+        let (design, max_i) = match rx.recv_timeout(POLL * 5) {
+            Ok(job) => job,
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+        };
+        let Some(d) = lintra::suite::by_name(&design) else {
+            continue;
+        };
+        for i in 0..=max_i {
+            if shared.draining.load(Ordering::SeqCst) {
+                return;
+            }
+            let mut caches = lock_unpoisoned(&shared.caches);
+            let cache = caches
+                .entry(d.name.to_string())
+                .or_insert_with(|| lintra::engine::SweepCache::new(&d.system));
+            let _ = cache.unfolded(i);
+        }
+        persist_snapshots(shared);
+    }
+}
+
+// --- arbitration, promotion, fencing --------------------------------------
+
+/// Decides what to do about a dead (or deposed) primary. Returns `false`
+/// when the follower thread should exit (promoted → guard loop runs
+/// separately via the caller's break, or fenced).
+fn arbitrate(
+    shared: &Arc<Shared>,
+    repl: &Arc<ReplState>,
+    self_addr: &str,
+    dead_primary: &str,
+) -> bool {
+    let my_epoch = repl.epoch();
+    let my_seq = repl.seq();
+    let mut max_epoch = my_epoch;
+    let mut defer = false;
+    for peer in &shared.config.peers {
+        if peer == self_addr {
+            continue;
+        }
+        let Some(st) = query_status(peer, PEER_TIMEOUT) else {
+            continue; // an unreachable peer never blocks failover
+        };
+        max_epoch = max_epoch.max(st.epoch);
+        if st.role == "primary" && st.epoch >= my_epoch {
+            // Someone already promoted: follow them.
+            repl.set_role(Role::Follower, Some(peer.clone()));
+            return true;
+        }
+        if st.role != "fenced"
+            && (st.seq > my_seq || (st.seq == my_seq && peer.as_str() < self_addr))
+        {
+            // A better-acked (or tie-winning) peer exists: defer to it.
+            defer = true;
+        }
+    }
+    if defer {
+        // Wait one beat and re-arbitrate; the deferred-to peer either
+        // promotes (we adopt it next round) or dies (we stop deferring).
+        std::thread::sleep(shared.config.heartbeat);
+        return true;
+    }
+    promote(shared, repl, max_epoch, dead_primary);
+    true
+}
+
+/// Promotes this follower: new epoch, snapshot install, replay of
+/// unsettled records, then primary duty.
+fn promote(shared: &Arc<Shared>, repl: &Arc<ReplState>, observed_epoch: u64, deposed: &str) {
+    repl.set_role(Role::Promoting, None);
+    let new_epoch = observed_epoch.max(repl.epoch()) + 1;
+    // Best-effort persistence: an unpersistable epoch costs this server a
+    // deferral after its next restart, never a split brain (the epoch is
+    // still carried on every wire message).
+    let _ = store_epoch(&repl.epoch_path, new_epoch);
+    repl.epoch.store(new_epoch, Ordering::SeqCst);
+    *lock_unpoisoned(&repl.former_primary) = Some(deposed.to_string());
+
+    // Install whatever snapshots exist without clobbering warmer
+    // in-memory caches.
+    if let Some(dir) = &shared.config.journal_dir {
+        let mut fresh = HashMap::new();
+        if install_dir(&dir.join(SNAPSHOT_DIR), &mut fresh).is_ok() {
+            let mut caches = lock_unpoisoned(&shared.caches);
+            for (design, cache) in fresh {
+                caches.entry(design).or_insert(cache);
+            }
+        }
+    }
+
+    // Replay admitted-but-unsettled records so every key the old primary
+    // acked is settled here before the first client request lands.
+    let incomplete = {
+        let log = lock_unpoisoned(&repl.log);
+        let (completed, incomplete) = fold_records(&log);
+        if let Some(dur) = &shared.durability {
+            let mut d = lock_unpoisoned(dur);
+            d.completed = completed;
+        }
+        incomplete
+    };
+    for (rid, line) in incomplete {
+        if signal::shutdown_requested() {
+            break;
+        }
+        replay_request(shared, &rid, &line);
+        shared.stats.replayed.fetch_add(1, Ordering::SeqCst);
+        repl.promoted_replayed.fetch_add(1, Ordering::SeqCst);
+    }
+    persist_snapshots(shared);
+    repl.set_role(Role::Primary, None);
+}
+
+/// Sends one fencing hello to a possibly-revived deposed primary; its
+/// hello handler fences it on sight of our higher epoch. If the reply
+/// proves *we* are the stale side, fence ourselves instead.
+fn fence_hello(repl: &Arc<ReplState>, target: &str, self_addr: &str) {
+    let Ok(mut stream) = connect(target, PEER_TIMEOUT) else {
+        return;
+    };
+    let hello = ReplMsg::Hello {
+        epoch: repl.epoch(),
+        have: repl.seq(),
+        from: self_addr.to_string(),
+    };
+    if stream.write_all(hello.render_line().as_bytes()).is_err() {
+        return;
+    }
+    let mut buf = Vec::new();
+    if let Ok(Some(line)) = read_line(&mut stream, &mut buf, PEER_TIMEOUT) {
+        match ReplMsg::parse(&line) {
+            Some(ReplMsg::Rec { epoch, .. } | ReplMsg::Hb { epoch, .. })
+                if epoch > repl.epoch() =>
+            {
+                repl.fence(epoch);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The standing guard: keeps a deposed primary fenced and self-fences
+/// the moment any peer reports a higher epoch. Runs on any server with
+/// peers configured, and on every promoted follower.
+pub(crate) fn guard_loop(shared: &Arc<Shared>) {
+    let Some(repl) = &shared.repl else { return };
+    let self_addr = lock_unpoisoned(&repl.self_addr).clone();
+    let interval = shared.config.heartbeat.max(Duration::from_millis(100));
+    while !shared.draining.load(Ordering::SeqCst) {
+        if repl.role_state().role == Role::Primary {
+            let my_epoch = repl.epoch();
+            if let Some(former) = lock_unpoisoned(&repl.former_primary).clone() {
+                fence_hello(repl, &former, &self_addr);
+            }
+            for peer in &shared.config.peers {
+                if peer == &self_addr {
+                    continue;
+                }
+                if let Some(st) = query_status(peer, PEER_TIMEOUT) {
+                    if st.epoch > my_epoch {
+                        repl.fence(st.epoch);
+                        break;
+                    }
+                }
+            }
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repl_messages_round_trip_the_wire() {
+        let msgs = [
+            ReplMsg::Hello {
+                epoch: 3,
+                have: 17,
+                from: "127.0.0.1:9000".to_string(),
+            },
+            ReplMsg::Rec {
+                epoch: 2,
+                seq: 5,
+                crc: 0xDEAD_BEEF,
+                kind: RecordKind::Admit,
+                rid: "k1".to_string(),
+                line: "{\"id\":\"a\",\"op\":\"ping\"}".to_string(),
+            },
+            ReplMsg::Hb { epoch: 2, seq: 9 },
+            ReplMsg::Ack { seq: 5 },
+            ReplMsg::Err {
+                code: "RES-STALE-EPOCH".to_string(),
+                epoch: 4,
+            },
+            ReplMsg::Status,
+            ReplMsg::StatusReply {
+                role: "follower".to_string(),
+                epoch: 2,
+                seq: 5,
+                answered: 3,
+                primary: Some("127.0.0.1:9001".to_string()),
+            },
+        ];
+        for msg in msgs {
+            let line = msg.render_line();
+            assert!(line.ends_with('\n'));
+            let parsed = ReplMsg::parse(line.trim_end()).expect("parses");
+            assert_eq!(parsed, msg);
+        }
+    }
+
+    #[test]
+    fn non_repl_lines_are_not_repl_messages() {
+        assert_eq!(ReplMsg::parse("{\"id\":\"a\",\"op\":\"ping\"}"), None);
+        assert_eq!(ReplMsg::parse("not json"), None);
+        assert_eq!(ReplMsg::parse("{\"repl\":\"bogus\"}"), None);
+        // Negative / fractional numbers are rejected, not truncated.
+        assert_eq!(ReplMsg::parse("{\"repl\":\"ack\",\"seq\":-1}"), None);
+        assert_eq!(ReplMsg::parse("{\"repl\":\"ack\",\"seq\":1.5}"), None);
+    }
+
+    #[test]
+    fn epoch_file_round_trips_and_defaults_to_one() {
+        let dir = std::env::temp_dir().join(format!("lintra-epoch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join(EPOCH_FILE);
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(load_epoch(&path), 1, "missing file is epoch 1");
+        store_epoch(&path, 7).expect("store");
+        assert_eq!(load_epoch(&path), 7);
+        std::fs::write(&path, "garbage").expect("write");
+        assert_eq!(load_epoch(&path), 1, "unreadable content is epoch 1");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn role_labels_are_stable() {
+        assert_eq!(Role::Primary.label(), "primary");
+        assert_eq!(Role::Follower.label(), "follower");
+        assert_eq!(Role::Promoting.label(), "promoting");
+        assert_eq!(Role::Fenced.label(), "fenced");
+    }
+}

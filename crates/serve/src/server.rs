@@ -52,6 +52,18 @@
 //!   ([`lintra::engine::snapshot`]) and reloaded on restart; a corrupt
 //!   snapshot or journal is quarantined (`IO-SNAPSHOT-CORRUPT` /
 //!   `IO-JOURNAL-CORRUPT`) — the server always starts.
+//!
+//! # Replication
+//!
+//! A durable server can replicate ([`crate::replicate`]): started with
+//! [`ServerConfig::replica_of`] it is a *follower* — it streams the
+//! primary's journal into its own (fsync-before-ack), keeps caches warm,
+//! answers pings and replication status queries, rejects compute with
+//! `RES-NOT-PRIMARY`, and promotes itself (new epoch, snapshot install,
+//! replay of unsettled records) when the primary stays silent past
+//! [`ServerConfig::failover_grace`]. A deposed primary is *fenced*: once
+//! a higher epoch exists, every request it receives — pings included —
+//! is refused with `RES-STALE-EPOCH`.
 
 use std::collections::{HashMap, HashSet};
 use std::io::{ErrorKind, Read, Write};
@@ -76,7 +88,9 @@ use lintra_bench::wire::{WireFailure, WireOp, WireRequest, WireResponse};
 use lintra_bench::{table2_rows_par, table3_rows_par, table4_rows_par};
 
 use crate::breaker::{BreakerConfig, CircuitBreaker};
-use crate::journal::{Journal, RecordKind, SNAPSHOT_DIR};
+use crate::journal::{Journal, JournalRecord, RecordKind, SNAPSHOT_DIR};
+use crate::replicate::{self, ReplChaos, ReplMsg, ReplState, Role};
+use crate::signal;
 
 /// How often blocked reads and the accept loop re-check the drain flag.
 const POLL: Duration = Duration::from_millis(20);
@@ -114,6 +128,22 @@ pub struct ServerConfig {
     /// snapshots (`snapshots/*.snap`) here, replays unfinished work on
     /// startup, and answers retried `request_id`s from the journal.
     pub journal_dir: Option<PathBuf>,
+    /// Replicate from this primary (`host:port`). Requires
+    /// [`ServerConfig::journal_dir`]; the server starts as a follower.
+    pub replica_of: Option<String>,
+    /// Peer replica addresses consulted during failover arbitration and
+    /// watched for higher epochs (a primary self-fences when a peer
+    /// reports one). Requires [`ServerConfig::journal_dir`].
+    pub peers: Vec<String>,
+    /// Where the epoch file lives (`None` = the journal directory).
+    pub epoch_dir: Option<PathBuf>,
+    /// How long a follower tolerates primary silence before arbitrating
+    /// a failover.
+    pub failover_grace: Duration,
+    /// Primary→follower heartbeat interval while the stream is idle.
+    pub heartbeat: Duration,
+    /// Deterministic replication-fault injection (tests only).
+    pub repl_chaos: Option<ReplChaos>,
 }
 
 impl Default for ServerConfig {
@@ -129,6 +159,12 @@ impl Default for ServerConfig {
             chaos: false,
             chaos_point_delay: Duration::from_millis(20),
             journal_dir: None,
+            replica_of: None,
+            peers: Vec::new(),
+            epoch_dir: None,
+            failover_grace: Duration::from_secs(2),
+            heartbeat: Duration::from_millis(250),
+            repl_chaos: None,
         }
     }
 }
@@ -152,13 +188,13 @@ pub struct ServerStats {
 }
 
 #[derive(Debug, Default)]
-struct Counters {
+pub(crate) struct Counters {
     connections: AtomicU64,
     requests_ok: AtomicU64,
     requests_failed: AtomicU64,
     shed: AtomicU64,
     deduped: AtomicU64,
-    replayed: AtomicU64,
+    pub(crate) replayed: AtomicU64,
 }
 
 /// What startup recovery found in the durability directory.
@@ -183,27 +219,50 @@ pub struct RecoveryReport {
 
 /// Idempotency state guarded by one lock: the journal's append handle,
 /// the settled-key map, and the keys currently executing.
-struct Durability {
-    journal: Journal,
+pub(crate) struct Durability {
+    pub(crate) journal: Journal,
     /// Settled keys → (how they settled, the exact response line).
-    completed: HashMap<String, (RecordKind, String)>,
+    pub(crate) completed: HashMap<String, (RecordKind, String)>,
     /// Keys admitted but not yet settled (concurrent duplicates are
     /// rejected with `RES-DUPLICATE-REQUEST`).
     inflight_ids: HashSet<String>,
 }
 
-struct Shared {
-    config: ServerConfig,
+pub(crate) struct Shared {
+    pub(crate) config: ServerConfig,
     pool: ThreadPool,
     breaker: CircuitBreaker,
     inflight: AtomicUsize,
-    draining: AtomicBool,
-    stats: Counters,
+    pub(crate) draining: AtomicBool,
+    pub(crate) stats: Counters,
     /// Shared per-design sweep caches: repeated sweeps reuse the
     /// incremental-unfold chain, and durable servers snapshot them.
-    caches: Mutex<HashMap<String, SweepCache>>,
+    pub(crate) caches: Mutex<HashMap<String, SweepCache>>,
     /// `Some` iff [`ServerConfig::journal_dir`] was set.
-    durability: Option<Mutex<Durability>>,
+    pub(crate) durability: Option<Mutex<Durability>>,
+    /// Replication state (`Some` iff durable — every durable server can
+    /// stream to followers; only configured followers dial out).
+    pub(crate) repl: Option<Arc<ReplState>>,
+    /// Feed of acked sweep admits for the follower's cache warmer.
+    pub(crate) warm_tx: Option<std::sync::mpsc::Sender<(String, u32)>>,
+}
+
+/// A replicated server's role, epoch, and progress — the operator's view
+/// ([`ServerHandle::role_info`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoleInfo {
+    /// Role label: `primary`, `follower`, `promoting`, or `fenced`.
+    pub role: &'static str,
+    /// Current epoch (term).
+    pub epoch: u64,
+    /// Journal records held (the replication sequence number).
+    pub seq: u64,
+    /// The primary a follower replicates from, if any.
+    pub primary: Option<String>,
+    /// The higher epoch that fenced this server, if fenced.
+    pub fenced_by: Option<u64>,
+    /// Requests replayed during a promotion on this process.
+    pub promoted_replayed: u64,
 }
 
 /// A running server; dropping it (or calling [`ServerHandle::shutdown`])
@@ -214,6 +273,7 @@ pub struct ServerHandle {
     accept: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
     recovery: Option<RecoveryReport>,
+    repl_threads: Vec<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for ServerHandle {
@@ -249,6 +309,22 @@ impl ServerHandle {
         self.recovery.as_ref()
     }
 
+    /// Replication role, epoch, and progress (`None` on a stateless
+    /// server — replication requires durability).
+    pub fn role_info(&self) -> Option<RoleInfo> {
+        let repl = self.shared.repl.as_ref()?;
+        let rs = repl.role_state();
+        let fenced_by = repl.fenced_by.load(Ordering::SeqCst);
+        Some(RoleInfo {
+            role: rs.role.label(),
+            epoch: repl.epoch(),
+            seq: repl.seq(),
+            primary: rs.primary,
+            fenced_by: (fenced_by != 0).then_some(fenced_by),
+            promoted_replayed: repl.promoted_replayed.load(Ordering::SeqCst),
+        })
+    }
+
     /// Aggregate hit/miss counters across the shared sweep caches —
     /// the crash gate's "zero recompute" witness: a dedup-served retry
     /// adds no misses here.
@@ -269,6 +345,13 @@ impl ServerHandle {
     pub fn shutdown(mut self) -> ServerStats {
         self.shared.draining.store(true, Ordering::SeqCst);
         if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Wake any idle follower streams so they observe the drain.
+        if let Some(repl) = &self.shared.repl {
+            repl.log_grew.notify_all();
+        }
+        for h in std::mem::take(&mut self.repl_threads) {
             let _ = h.join();
         }
         let handles = {
@@ -292,7 +375,7 @@ impl Drop for ServerHandle {
     }
 }
 
-fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
@@ -312,6 +395,13 @@ fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 /// `LINTRA_JOBS`). Damaged journal or snapshot *content* never fails
 /// startup — it is quarantined and reported in [`RecoveryReport`].
 pub fn start(config: ServerConfig) -> Result<ServerHandle, LintraError> {
+    if (config.replica_of.is_some() || !config.peers.is_empty()) && config.journal_dir.is_none() {
+        return Err(LintraError::new(
+            ErrorClass::Validation,
+            "VAL-CONFIG",
+            "replication requires durability: set journal_dir alongside replica_of/peers",
+        ));
+    }
     let pool = match config.jobs {
         Some(0) => {
             return Err(LintraError::new(
@@ -327,6 +417,7 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, LintraError> {
     // Recover durable state before anything can observe the server.
     let mut recovery = None;
     let mut durability = None;
+    let mut repl = None;
     let mut caches: HashMap<String, SweepCache> = HashMap::new();
     let mut incomplete: Vec<(String, String)> = Vec::new();
     if let Some(dir) = &config.journal_dir {
@@ -340,18 +431,36 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, LintraError> {
         load_snapshots(&dir.join(SNAPSHOT_DIR), &mut caches, &mut report)
             .map_err(LintraError::from)?;
         incomplete = rec.incomplete;
-        report.replayed = incomplete.len();
         recovery = Some(report);
+        let epoch_dir = config.epoch_dir.as_ref().unwrap_or(dir);
+        std::fs::create_dir_all(epoch_dir).map_err(LintraError::from)?;
+        repl = Some(Arc::new(ReplState::new(
+            epoch_dir.join(replicate::EPOCH_FILE),
+            config.replica_of.clone(),
+            rec.records,
+        )));
         durability = Some(Mutex::new(Durability {
             journal,
             completed: rec.completed,
             inflight_ids: HashSet::new(),
         }));
     }
+    let is_follower = config.replica_of.is_some();
 
     let listener = TcpListener::bind(config.addr.as_str()).map_err(LintraError::from)?;
     let addr = listener.local_addr().map_err(LintraError::from)?;
     listener.set_nonblocking(true).map_err(LintraError::from)?;
+    if let Some(repl) = &repl {
+        *lock_unpoisoned(&repl.self_addr) = addr.to_string();
+    }
+
+    let spawn_warmer = is_follower;
+    let (warm_tx, warm_rx) = if spawn_warmer {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (Some(tx), Some(rx))
+    } else {
+        (None, None)
+    };
 
     let shared = Arc::new(Shared {
         breaker: CircuitBreaker::new(config.breaker),
@@ -362,14 +471,28 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, LintraError> {
         stats: Counters::default(),
         caches: Mutex::new(caches),
         durability,
+        repl,
+        warm_tx,
     });
 
     // Replay unfinished admissions synchronously: each settles with a
     // journaled completion, so a retry of its key dedups instead of
-    // recomputing.
-    for (rid, line) in incomplete {
-        replay_request(&shared, &rid, &line);
-        shared.stats.replayed.fetch_add(1, Ordering::SeqCst);
+    // recomputing. A follower skips this — its unsettled records replay
+    // at promotion, when it becomes the one answering for them. A
+    // shutdown signal aborts the replay at the next record boundary.
+    let mut replayed = 0usize;
+    if !is_follower {
+        for (rid, line) in incomplete {
+            if signal::shutdown_requested() {
+                break;
+            }
+            replay_request(&shared, &rid, &line);
+            shared.stats.replayed.fetch_add(1, Ordering::SeqCst);
+            replayed += 1;
+        }
+    }
+    if let Some(report) = recovery.as_mut() {
+        report.replayed = replayed;
     }
 
     let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -380,53 +503,63 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, LintraError> {
         thread::spawn(move || accept_loop(&shared, &listener, &conns))
     };
 
+    let mut repl_threads = Vec::new();
+    if is_follower {
+        let sh = Arc::clone(&shared);
+        repl_threads.push(thread::spawn(move || replicate::follower_loop(sh)));
+        if let Some(rx) = warm_rx {
+            let sh = Arc::clone(&shared);
+            repl_threads.push(thread::spawn(move || replicate::warm_loop(&sh, &rx)));
+        }
+    } else if shared.repl.is_some() && !shared.config.peers.is_empty() {
+        let sh = Arc::clone(&shared);
+        repl_threads.push(thread::spawn(move || replicate::guard_loop(&sh)));
+    }
+
     Ok(ServerHandle {
         addr,
         shared,
         accept: Some(accept),
         conns,
         recovery,
+        repl_threads,
     })
 }
 
-/// Loads every `*.snap` in `dir` into `caches`; a snapshot that fails
-/// its checksum or invariants is quarantined, never trusted and never
-/// fatal.
+/// Loads every `*.snap` in `dir` into `caches` via the engine's shared
+/// install path ([`snapshot::install_dir`] — also used at promotion); a
+/// snapshot that fails its checksum or invariants is quarantined, never
+/// trusted and never fatal.
 fn load_snapshots(
     dir: &std::path::Path,
     caches: &mut HashMap<String, SweepCache>,
     report: &mut RecoveryReport,
 ) -> Result<(), std::io::Error> {
-    if !dir.exists() {
-        return Ok(());
-    }
-    for entry in std::fs::read_dir(dir)? {
-        let path = entry?.path();
-        if path.extension().and_then(|e| e.to_str()) != Some("snap") {
-            continue;
-        }
-        let Some(design) = path.file_stem().and_then(|s| s.to_str()).map(String::from) else {
-            continue;
-        };
-        match snapshot::load(&path) {
-            Ok(cache) => {
-                caches.insert(design, cache);
-                report.snapshots_loaded += 1;
-            }
-            Err(snapshot::SnapshotError::Corrupt { .. }) => {
-                snapshot::quarantine(&path)?;
-                report.snapshots_quarantined += 1;
-            }
-            Err(snapshot::SnapshotError::Io(e)) => return Err(e),
-        }
-    }
+    let installed = snapshot::install_dir(dir, caches)?;
+    report.snapshots_loaded += installed.loaded;
+    report.snapshots_quarantined += installed.quarantined;
     Ok(())
+}
+
+/// Appends one record to the in-memory replication log and wakes idle
+/// follower streams. Called with the durability lock held, right after
+/// the matching journal append succeeded, so the log mirrors the journal
+/// byte-for-byte and in order.
+fn publish_record(shared: &Shared, kind: RecordKind, rid: &str, line: &str) {
+    let Some(repl) = &shared.repl else { return };
+    let mut log = lock_unpoisoned(&repl.log);
+    log.push(JournalRecord {
+        kind,
+        rid: rid.to_string(),
+        line: line.trim_end_matches('\n').to_string(),
+    });
+    repl.log_grew.notify_all();
 }
 
 /// Re-executes one journaled-but-unfinished request at startup and
 /// journals its completion. The original client is gone; what matters
 /// is that the key settles so retries are answered from the journal.
-fn replay_request(shared: &Arc<Shared>, rid: &str, line: &str) {
+pub(crate) fn replay_request(shared: &Arc<Shared>, rid: &str, line: &str) {
     let resp = match WireRequest::parse(line) {
         Ok(req) => {
             let budget = req
@@ -481,14 +614,16 @@ fn settle(shared: &Arc<Shared>, rid: &str, resp: &WireResponse) {
     let trimmed = line.trim_end().to_string();
     let mut d = lock_unpoisoned(dur);
     d.inflight_ids.remove(rid);
-    let _ = d.journal.append(kind, rid, &trimmed);
+    if d.journal.append(kind, rid, &trimmed).is_ok() {
+        publish_record(shared, kind, rid, &trimmed);
+    }
     d.completed.insert(rid.to_string(), (kind, trimmed));
 }
 
 /// Best-effort checkpoint of every warm sweep cache into the durability
 /// directory (atomic write-rename per design). Snapshots are an
 /// optimization: a failed save costs recompute, never correctness.
-fn persist_snapshots(shared: &Arc<Shared>) {
+pub(crate) fn persist_snapshots(shared: &Arc<Shared>) {
     let Some(dir) = &shared.config.journal_dir else {
         return;
     };
@@ -554,7 +689,31 @@ fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
         while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
             let line: Vec<u8> = buf.drain(..=pos).collect();
             let line = String::from_utf8_lossy(&line);
-            match handle_line(shared, line.trim_end()) {
+            let line = line.trim_end();
+            // Replication messages share the listener with client
+            // traffic; a `"repl"`-keyed line never reaches handle_line.
+            if shared.repl.is_some() {
+                if let Some(msg) = ReplMsg::parse(line) {
+                    match msg {
+                        ReplMsg::Status => {
+                            let reply = status_reply(shared);
+                            if stream.write_all(reply.render_line().as_bytes()).is_err() {
+                                return;
+                            }
+                            continue;
+                        }
+                        ReplMsg::Hello { epoch, have, from } => {
+                            // The connection becomes a follower stream.
+                            replicate::stream_to_follower(shared, stream, epoch, have, from);
+                            return;
+                        }
+                        // Anything else arriving cold is a protocol
+                        // violation: close.
+                        _ => return,
+                    }
+                }
+            }
+            match handle_line(shared, line) {
                 LineOutcome::Drop => return,
                 LineOutcome::Respond(resp) => {
                     if stream.write_all(resp.render_line().as_bytes()).is_err() {
@@ -575,6 +734,35 @@ fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
             Err(_) => return,
         }
+    }
+}
+
+/// Renders this server's replication status (role, epoch, sequence,
+/// answered keys) for a `{"repl":"status"}` query.
+fn status_reply(shared: &Arc<Shared>) -> ReplMsg {
+    let answered = shared
+        .durability
+        .as_ref()
+        .map(|d| lock_unpoisoned(d).completed.len() as u64)
+        .unwrap_or(0);
+    match &shared.repl {
+        Some(repl) => {
+            let rs = repl.role_state();
+            ReplMsg::StatusReply {
+                role: rs.role.label().to_string(),
+                epoch: repl.epoch(),
+                seq: repl.seq(),
+                answered,
+                primary: rs.primary,
+            }
+        }
+        None => ReplMsg::StatusReply {
+            role: "stateless".to_string(),
+            epoch: 0,
+            seq: 0,
+            answered,
+            primary: None,
+        },
     }
 }
 
@@ -651,6 +839,47 @@ fn handle_line(shared: &Arc<Shared>, line: &str) -> LineOutcome {
     if let Err(reason) = req.check_version() {
         shared.stats.requests_failed.fetch_add(1, Ordering::SeqCst);
         return reject(&req.id, ErrorClass::Validation, "VAL-CONFIG", reason);
+    }
+
+    // Replication role gate. A fenced server refuses everything — pings
+    // included — so nothing keeps trusting a deposed primary. A
+    // follower answers pings (health) but sends compute to the primary.
+    if let Some(repl) = &shared.repl {
+        let rs = repl.role_state();
+        match rs.role {
+            Role::Fenced => {
+                shared.stats.requests_failed.fetch_add(1, Ordering::SeqCst);
+                let by = repl.fenced_by.load(Ordering::SeqCst);
+                return reject(
+                    &req.id,
+                    ErrorClass::Resource,
+                    "RES-STALE-EPOCH",
+                    format!(
+                        "epoch {} was superseded by epoch {by}; this server is fenced \
+                         — talk to the current primary",
+                        repl.epoch()
+                    ),
+                );
+            }
+            Role::Follower | Role::Promoting if !matches!(req.op, WireOp::Ping) => {
+                shared.stats.requests_failed.fetch_add(1, Ordering::SeqCst);
+                let hint = rs
+                    .primary
+                    .map(|p| format!("; the primary is {p}"))
+                    .unwrap_or_default();
+                return reject(
+                    &req.id,
+                    ErrorClass::Resource,
+                    "RES-NOT-PRIMARY",
+                    format!(
+                        "this server is a {} replica and does not accept compute \
+                         requests{hint}",
+                        rs.role.label()
+                    ),
+                );
+            }
+            _ => {}
+        }
     }
 
     // Chaos gate: reject typos always, reject injection on production
@@ -790,6 +1019,7 @@ fn handle_line(shared: &Arc<Shared>, line: &str) -> LineOutcome {
                 format!("write-ahead journal append failed: {e}"),
             );
         }
+        publish_record(shared, RecordKind::Admit, rid, line);
         journaled = true;
     }
 

@@ -8,6 +8,11 @@
 #    a request through it, delivers a real SIGTERM mid-flight, and
 #    asserts the process drains (exit 0, drain report printed, the
 #    in-flight response delivered).
+
+# Hard wall-clock cap: a wedged server must fail this gate, not hang it.
+if [ -z "${LINTRA_TIMEOUT_WRAPPED:-}" ]; then
+    LINTRA_TIMEOUT_WRAPPED=1 exec timeout --kill-after=10 900 "$0" "$@"
+fi
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -15,6 +15,11 @@
 #       sweep recompute (dedup counter in the drain report);
 #    d. corrupt a journal record in place, restart: the journal must be
 #       quarantined (never a panic) and the server must still start.
+
+# Hard wall-clock cap: a wedged server must fail this gate, not hang it.
+if [ -z "${LINTRA_TIMEOUT_WRAPPED:-}" ]; then
+    LINTRA_TIMEOUT_WRAPPED=1 exec timeout --kill-after=10 900 "$0" "$@"
+fi
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

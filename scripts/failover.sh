@@ -1,0 +1,179 @@
+#!/usr/bin/env bash
+# Failover gate: the in-process replication suite plus a real kill -9
+# promotion driven through live processes.
+#
+#   ./scripts/failover.sh
+#
+# 1. runs tests/replication.rs and tests/signal_replay.rs, then
+# 2. drives the full failover story with real processes:
+#    a. start a primary and a follower (`--replica-of`); a settled keyed
+#       sweep must replicate into a byte-identical follower journal;
+#    b. SIGKILL the primary while a second keyed sweep is in flight: the
+#       follower must promote itself with a higher epoch and replay the
+#       orphaned admit before taking writes;
+#    c. retry both request_ids through the failover-aware client
+#       (`--addr follower,primary`): the settled key comes back
+#       byte-identical, and the drain report proves both retries were
+#       journal-served (zero recompute);
+#    d. restart the old primary on its stale epoch with `--peers`: it
+#       must fence itself, and a direct ping must fail RES-STALE-EPOCH
+#       with the resource exit code (4).
+
+# Hard wall-clock cap: a wedged server must fail this gate, not hang it.
+if [ -z "${LINTRA_TIMEOUT_WRAPPED:-}" ]; then
+    LINTRA_TIMEOUT_WRAPPED=1 exec timeout --kill-after=10 900 "$0" "$@"
+fi
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== failover: in-process replication suites =="
+cargo test --release -p lintra-serve --test replication -q
+cargo test --release -p lintra-serve --test signal_replay -q
+
+echo "== failover: building the CLI =="
+cargo build --release -p lintra-cli
+
+LINTRA=target/release/lintra
+PDIR="$(mktemp -d)"
+FDIR="$(mktemp -d)"
+PLOG="$(mktemp)"
+FLOG="$(mktemp)"
+FIRST="$(mktemp)"
+RETRY="$(mktemp)"
+P_PID=""
+F_PID=""
+cleanup() {
+    [ -n "$P_PID" ] && kill -9 "$P_PID" 2>/dev/null || true
+    [ -n "$F_PID" ] && kill -9 "$F_PID" 2>/dev/null || true
+    rm -rf "$PDIR" "$FDIR" "$PLOG" "$FLOG" "$FIRST" "$RETRY"
+}
+trap cleanup EXIT
+
+wait_for() { # <log> <grep pattern> <description>
+    for _ in $(seq 1 600); do
+        grep -q "$2" "$1" && return 0
+        sleep 0.1
+    done
+    echo "failover: FAIL — timed out waiting for $3" >&2
+    cat "$1" >&2
+    exit 1
+}
+
+addr_of() {
+    sed -n 's/^listening on //p' "$1" | head -n1
+}
+
+echo "== failover: primary + follower pair =="
+"$LINTRA" serve --addr 127.0.0.1:0 --jobs 2 --journal-dir "$PDIR" >"$PLOG" &
+P_PID=$!
+wait_for "$PLOG" '^listening on ' "the primary's address"
+PADDR="$(addr_of "$PLOG")"
+echo "primary on $PADDR (pid $P_PID)"
+
+"$LINTRA" serve --addr 127.0.0.1:0 --jobs 2 --journal-dir "$FDIR" \
+    --replica-of "$PADDR" --failover-grace-ms 1000 --heartbeat-ms 100 >"$FLOG" &
+F_PID=$!
+wait_for "$FLOG" '^listening on ' "the follower's address"
+FADDR="$(addr_of "$FLOG")"
+wait_for "$FLOG" "^replicating from " "the follower's hello"
+echo "follower on $FADDR (pid $F_PID), $(grep '^replicating from' "$FLOG")"
+
+echo "== failover: settled work replicates byte-identically =="
+"$LINTRA" request sweep iir10 --max 200 --addr "$PADDR" \
+    --request-id failover-settled-1 >"$FIRST"
+grep -q '"rows"' "$FIRST"
+for _ in $(seq 1 100); do
+    cmp -s "$PDIR/journal.log" "$FDIR/journal.log" && break
+    sleep 0.1
+done
+cmp "$PDIR/journal.log" "$FDIR/journal.log" || {
+    echo "failover: FAIL — follower journal never converged byte-identically" >&2
+    exit 1
+}
+echo "follower journal is byte-identical to the primary's"
+
+echo "== failover: kill -9 the primary mid-sweep =="
+"$LINTRA" request sweep iir10 --max 600 --addr "$PADDR" \
+    --request-id failover-inflight-1 --retries 1 >/dev/null 2>&1 &
+REQ_PID=$!
+sleep 0.4
+kill -9 "$P_PID"
+wait "$P_PID" 2>/dev/null || true
+wait "$REQ_PID" 2>/dev/null || true
+P_PID=""
+REC="$("$LINTRA" recover "$FDIR")"
+echo "$REC" | grep -q 'incomplete: failover-inflight-1' || {
+    echo "failover: FAIL — the in-flight admit never replicated" >&2
+    echo "$REC" >&2
+    exit 1
+}
+echo "primary killed; the orphaned admit is on the follower"
+
+# The follower's grace expires, it promotes with a higher epoch, and the
+# orphaned admit replays before it takes writes.
+wait_for "$FLOG" '^promoted: epoch 2 (1 replayed)' "the follower's promotion"
+echo "follower $(grep '^promoted:' "$FLOG")"
+
+echo "== failover: retries are journal-served across the failover =="
+"$LINTRA" request sweep iir10 --max 200 --addr "$FADDR,$PADDR" \
+    --request-id failover-settled-1 >"$RETRY"
+cmp "$FIRST" "$RETRY" || {
+    echo "failover: FAIL — settled retry is not byte-identical" >&2
+    diff "$FIRST" "$RETRY" >&2 || true
+    exit 1
+}
+echo "settled key answered byte-identically by the promoted follower"
+"$LINTRA" request sweep iir10 --max 600 --addr "$FADDR,$PADDR" \
+    --request-id failover-inflight-1 >"$RETRY"
+grep -q '"rows"' "$RETRY" || {
+    echo "failover: FAIL — replayed in-flight key not served" >&2
+    exit 1
+}
+echo "in-flight key served from the promotion replay"
+
+echo "== failover: the revived stale primary is fenced =="
+: >"$PLOG"
+"$LINTRA" serve --addr 127.0.0.1:0 --jobs 2 --journal-dir "$PDIR" \
+    --peers "$FADDR" --heartbeat-ms 100 >"$PLOG" &
+P_PID=$!
+wait_for "$PLOG" '^listening on ' "the revived primary's address"
+PADDR2="$(addr_of "$PLOG")"
+wait_for "$PLOG" '^fenced: epoch 1 superseded by epoch 2' "the stale primary's fencing"
+echo "revived primary $(grep '^fenced:' "$PLOG")"
+
+set +e
+"$LINTRA" request ping --addr "$PADDR2" --retries 1 >"$RETRY" 2>&1
+RC=$?
+set -e
+if [ "$RC" -ne 4 ]; then
+    echo "failover: FAIL — ping to the fenced primary exited $RC, want 4" >&2
+    cat "$RETRY" >&2
+    exit 1
+fi
+grep -q 'RES-STALE-EPOCH' "$RETRY" || {
+    echo "failover: FAIL — fenced refusal lacks RES-STALE-EPOCH" >&2
+    cat "$RETRY" >&2
+    exit 1
+}
+echo "fenced primary refuses pings with RES-STALE-EPOCH (exit 4)"
+
+# Drain the promoted follower: both retries must have been journal-served.
+kill -TERM "$F_PID"
+wait "$F_PID" || {
+    echo "failover: FAIL — promoted follower did not exit 0 after SIGTERM" >&2
+    cat "$FLOG" >&2
+    exit 1
+}
+F_PID=""
+grep -q '^drained: .* 2 deduped' "$FLOG" || {
+    echo "failover: FAIL — retries were recomputed instead of journal-served" >&2
+    cat "$FLOG" >&2
+    exit 1
+}
+echo "zero recompute: $(grep '^drained:' "$FLOG")"
+
+kill -TERM "$P_PID" 2>/dev/null || true
+wait "$P_PID" 2>/dev/null || true
+P_PID=""
+
+echo "failover: all checks passed"

@@ -35,4 +35,7 @@ echo "== service: scripts/chaos.sh =="
 echo "== durability: scripts/crash.sh =="
 ./scripts/crash.sh
 
+echo "== replication: scripts/failover.sh =="
+./scripts/failover.sh
+
 echo "verify: all checks passed"

@@ -76,6 +76,9 @@ fn service_codes_are_documented() {
         "VAL-CONFIG",
         "IO-JOURNAL-CORRUPT",
         "IO-SNAPSHOT-CORRUPT",
+        "RES-STALE-EPOCH",
+        "RES-NOT-PRIMARY",
+        "IO-REPL-CORRUPT",
     ] {
         assert!(
             codes.iter().any(|(c, _)| *c == required),
@@ -99,6 +102,9 @@ fn durability_codes_map_to_their_classes() {
     );
     assert_eq!(class_of("IO-JOURNAL-CORRUPT"), Some(ErrorClass::Io));
     assert_eq!(class_of("IO-SNAPSHOT-CORRUPT"), Some(ErrorClass::Io));
+    assert_eq!(class_of("RES-STALE-EPOCH"), Some(ErrorClass::Resource));
+    assert_eq!(class_of("RES-NOT-PRIMARY"), Some(ErrorClass::Resource));
+    assert_eq!(class_of("IO-REPL-CORRUPT"), Some(ErrorClass::Io));
 
     // A corrupt snapshot surfaces as IO-SNAPSHOT-CORRUPT through the
     // standard From conversion; an I/O failure stays IO-FAILURE.

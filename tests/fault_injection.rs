@@ -162,6 +162,35 @@ fn every_fault_class_has_a_defined_outcome_in_every_optimizer() {
                     assert_eq!(lines, fault::malformed_request_lines(seed));
                     assert!(lines.len() >= 5);
                 }
+                Fault::ReplLinkDrop | Fault::LaggingFollower | Fault::StaleEpochPrimary => {
+                    // Replication faults live above the optimizer layer:
+                    // the deterministic injection knob is
+                    // `lintra_serve::ReplChaos` and the driven loop
+                    // (resync, catch-up, fencing) runs in the serve
+                    // crate's tests/replication.rs. Here we pin the
+                    // contract this crate owns: the diagnostics the
+                    // faults must surface stay documented with their
+                    // frozen classes.
+                    let codes = lintra::diag::documented_codes();
+                    let class_of = |code: &str| {
+                        codes
+                            .iter()
+                            .find(|(c, _)| *c == code)
+                            .map(|(_, class)| *class)
+                    };
+                    let required = match fault {
+                        Fault::ReplLinkDrop | Fault::LaggingFollower => {
+                            ("IO-REPL-CORRUPT", ErrorClass::Io)
+                        }
+                        _ => ("RES-STALE-EPOCH", ErrorClass::Resource),
+                    };
+                    assert_eq!(class_of(required.0), Some(required.1), "{fault:?}");
+                    assert_eq!(
+                        class_of("RES-NOT-PRIMARY"),
+                        Some(ErrorClass::Resource),
+                        "{fault:?}: replicas must keep redirecting compute"
+                    );
+                }
             }
         }
     }

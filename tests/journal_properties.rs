@@ -22,6 +22,7 @@ const KINDS: [RecordKind; 4] = [
 
 /// A random but well-formed journal: records, their byte offsets, and
 /// the concatenated bytes.
+#[allow(clippy::type_complexity)]
 fn random_journal(
     rng: &mut SplitMix64,
 ) -> (Vec<(RecordKind, String, String)>, Vec<usize>, Vec<u8>) {

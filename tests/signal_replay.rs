@@ -1,0 +1,67 @@
+//! Shutdown-during-recovery gate (own test binary: the shutdown flag is
+//! sticky process-wide state, so this test cannot share a process with
+//! any other).
+//!
+//! A server restarted under a large replay backlog must honor
+//! SIGTERM/SIGINT *during* the replay: the loop aborts at the next
+//! record boundary and the process exits cleanly instead of grinding
+//! through the whole backlog first.
+
+#![allow(clippy::expect_used)] // tests: a failed precondition should abort loudly
+
+use std::time::Duration;
+
+use lintra_bench::wire::{WireOp, WireRequest};
+use lintra_serve::{signal, start, Journal, RecordKind, ServerConfig};
+
+#[test]
+fn shutdown_requested_during_recovery_aborts_the_replay_at_a_record_boundary() {
+    let dir = std::env::temp_dir().join(format!("lintra-sigreplay-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // A journal full of orphaned admits — the worst-case replay backlog.
+    {
+        let (mut journal, _) = Journal::open_dir(&dir).expect("open journal");
+        for i in 0..16 {
+            let rid = format!("backlog-{i}");
+            let line = WireRequest::new(
+                format!("corr-{i}"),
+                WireOp::Sweep {
+                    design: "chemical".to_string(),
+                    max_i: 40,
+                },
+            )
+            .with_request_id(&rid)
+            .render_line();
+            journal
+                .append(RecordKind::Admit, &rid, line.trim_end())
+                .expect("append admit");
+        }
+    }
+
+    // The operator's SIGTERM lands before (or during) the replay; the
+    // flag is sticky, so raising it up front is the deterministic
+    // equivalent of a signal arriving mid-loop.
+    signal::request_shutdown();
+
+    let started = std::time::Instant::now();
+    let server = start(ServerConfig {
+        jobs: Some(2),
+        journal_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("startup still succeeds");
+    let rec = server.recovery().expect("durable server").clone();
+    assert_eq!(
+        rec.replayed, 0,
+        "the replay aborted at the first record boundary: {rec:?}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "an aborted replay must not grind through the backlog"
+    );
+    // The admits stay orphaned (not settled, not lost): a later restart
+    // without the signal replays them. Shutdown drains immediately.
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
