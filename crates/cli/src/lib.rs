@@ -483,9 +483,19 @@ fn cmd_serve(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     // Role transitions (promotion, fencing) are reported as they happen;
     // failover scripts grep these lines.
     let mut last_role = server.role_info().map(|i| i.role);
+    let mut diverged_reported = false;
     while !signal::shutdown_requested() {
         std::thread::sleep(Duration::from_millis(50));
         let info = server.role_info();
+        if !diverged_reported && info.as_ref().is_some_and(|i| i.diverged) {
+            writeln!(
+                out,
+                "diverged: journal is not a prefix of the primary's (IO-REPL-CORRUPT); \
+                 replication stopped, promotion disabled — wipe the journal dir and re-seed"
+            )?;
+            out.flush()?;
+            diverged_reported = true;
+        }
         let role = info.as_ref().map(|i| i.role);
         if role != last_role {
             if let Some(info) = &info {

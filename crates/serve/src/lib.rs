@@ -28,11 +28,14 @@
 //! A durable server can also *replicate*: a follower started with
 //! [`ServerConfig::replica_of`] streams the primary's journal into its
 //! own (CRC-verified, fsync-before-ack), promotes itself with a higher
-//! epoch when the primary goes silent, and fences the deposed primary so
-//! no split brain survives — while [`Client`] walks an ordered endpoint
-//! list and carries its idempotency key across the failover, so retries
-//! of settled work are answered byte-identically with zero recompute.
-//! See [`replicate`] for the protocol.
+//! collision-free epoch when the primary goes silent, and durably
+//! fences the deposed primary — no two servers ever serve the same
+//! epoch, divergent journals are refused at resync, and any duel
+//! resolves to the strictly higher epoch — while [`Client`] walks an
+//! ordered endpoint list and carries its idempotency key across the
+//! failover, so retries of settled work are answered byte-identically
+//! with zero recompute. See [`replicate`] for the protocol and its
+//! partition caveat.
 //!
 //! Every failure crosses the wire with the same class/code taxonomy local
 //! [`lintra::LintraError`]s carry, so the CLI maps remote failures to the
@@ -69,5 +72,8 @@ pub mod signal;
 pub use breaker::{BreakerConfig, CircuitBreaker};
 pub use client::{Client, ClientError, RetryPolicy};
 pub use journal::{Journal, JournalRecovery, RecordKind, ScanOutcome};
-pub use replicate::{query_status, ReplChaos, ReplMsg, Role, StatusView};
+pub use replicate::{
+    load_epoch_state, prefix_crc, query_status, store_epoch, store_epoch_state, EpochState,
+    ReplChaos, ReplMsg, Role, StatusView,
+};
 pub use server::{start, RecoveryReport, RoleInfo, ServerConfig, ServerHandle, ServerStats};

@@ -43,8 +43,18 @@
 //!   request, pings included, is answered `RES-STALE-EPOCH`;
 //! * a server started with [`crate::ServerConfig::peers`] also polls
 //!   peer status and self-fences the moment any peer reports a higher
-//!   epoch, so a revived stale primary is fenced even before the new
-//!   primary dials it.
+//!   epoch — or a *primary at the same epoch* with a
+//!   lexicographically smaller address (the equal-epoch tiebreak; it
+//!   can only arise through operator error, because promotion epochs
+//!   are collision-free, see below) — so a revived stale primary is
+//!   fenced even before the new primary dials it.
+//!
+//! Fencing is **durable**: [`ReplState::fence`] persists the
+//! superseding epoch together with a `fenced` marker, so a fenced
+//! server that restarts (without `--replica-of`) comes back fenced
+//! instead of re-opening for writes at its stale epoch. An epoch file
+//! that exists but does not parse is a **startup error** — silently
+//! resetting to epoch 1 could un-fence a deposed primary.
 //!
 //! # Failure detection and promotion
 //!
@@ -52,19 +62,46 @@
 //! [`crate::ServerConfig::failover_grace`]; reconnects use the client's
 //! jittered exponential backoff ([`crate::RetryPolicy::backoff`]). When
 //! the grace expires, the follower arbitrates: it queries each peer's
-//! `(role, epoch, seq)` and
+//! `(role, epoch, seq)` (skipping any peer whose status nonce proves it
+//! is this very server under an alias) and
 //!
 //! * **adopts** a peer that already promoted (follows it instead),
 //! * **defers** to any live peer with more acked records (or, on a tie,
 //!   the lexicographically smaller address) — so the *highest-acked*
-//!   follower wins and a double promotion resolves deterministically,
+//!   follower wins and a double promotion resolves deterministically;
+//!   each deferral is logged so a perpetual defer loop is visible,
 //! * otherwise **promotes**: bumps the epoch past every epoch it has
-//!   observed, persists it, installs cache snapshots
-//!   ([`lintra::engine::snapshot::install_dir`]), replays
+//!   observed — to the next epoch *congruent to this node's slot* in
+//!   the sorted cluster membership (`peers` ∪ self), so two nodes can
+//!   never promote to the **same** epoch — persists it, installs cache
+//!   snapshots ([`lintra::engine::snapshot::install_dir`]), replays
 //!   admitted-but-unsettled journal records, and only then serves as
 //!   primary. Retried `request_id`s settled before the failover are
 //!   answered from the replicated journal byte-identically, with zero
 //!   recompute.
+//!
+//! Arbitration is quorum-less: an unreachable peer never blocks
+//! failover, which is what lets a two-node pair fail over at all. The
+//! price is that during a *full partition* both sides of a pair may
+//! serve an epoch each (never the same epoch). The duel resolves
+//! deterministically the moment connectivity heals — the strictly
+//! lower epoch fences — and writes accepted by the losing side are
+//! never silently merged: its journal has diverged, which the resync
+//! handshake detects (below) and refuses with `IO-REPL-CORRUPT`.
+//!
+//! # Divergence detection
+//!
+//! The resync protocol only works when the follower's journal is a
+//! strict prefix of the primary's. That is not a matter of trust: the
+//! `hello` carries a chained **prefix checksum** over the follower's
+//! whole journal, and the primary verifies it against the same prefix
+//! of its own log (and that `have` does not exceed its own sequence)
+//! before streaming a single record. A mismatch — e.g. a deposed
+//! primary with an unreplicated acked suffix restarted with
+//! `--replica-of` the new primary — is refused with `IO-REPL-CORRUPT`;
+//! the refused follower marks itself *diverged*, stops resyncing, and
+//! will never promote. The operator wipes its journal directory and
+//! re-seeds it from the live primary.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -72,7 +109,7 @@ use std::hash::{Hash, Hasher};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -173,41 +210,93 @@ pub struct ReplState {
     /// Replication records refused for a checksum mismatch
     /// (`IO-REPL-CORRUPT`).
     pub(crate) corrupt_refused: AtomicU64,
+    /// True once the primary proved this follower's journal is not a
+    /// prefix of its own (`IO-REPL-CORRUPT` at hello): replication has
+    /// stopped and this server will never promote.
+    pub(crate) diverged: AtomicBool,
+    /// Random per-process identity carried in status replies, so a
+    /// status query that loops back to this very server (hostname vs IP
+    /// alias, `0.0.0.0` bind) is recognized as self, not a peer.
+    pub(crate) nonce: u64,
     /// Chaos link drops already consumed (each fires once).
     pub(crate) chaos_drops_done: AtomicU64,
 }
 
 impl ReplState {
+    /// Builds the replication state from the persisted epoch file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`load_epoch_state`]'s refusal of an unreadable or
+    /// unparseable epoch file — silently resetting a corrupt file to
+    /// epoch 1 could un-fence a deposed primary, so startup fails
+    /// instead.
     pub(crate) fn new(
         epoch_path: PathBuf,
         replica_of: Option<String>,
         records: Vec<JournalRecord>,
-    ) -> ReplState {
-        let epoch = load_epoch(&epoch_path);
-        let role = match replica_of {
-            Some(primary) => RoleState {
-                role: Role::Follower,
-                primary: Some(primary),
-            },
-            None => RoleState {
-                role: Role::Primary,
-                primary: None,
-            },
+    ) -> Result<ReplState, std::io::Error> {
+        let state = load_epoch_state(&epoch_path)?;
+        let (role, fenced_by) = match (replica_of, state.fenced) {
+            // An explicit `--replica-of` rejoin clears a persisted
+            // fence: the operator chose a primary to resync from, and
+            // the hello's prefix checksum guards against a divergent
+            // journal sneaking back in.
+            (Some(primary), fenced) => {
+                if fenced {
+                    let _ = store_epoch(&epoch_path, state.epoch);
+                }
+                (
+                    RoleState {
+                        role: Role::Follower,
+                        primary: Some(primary),
+                    },
+                    0,
+                )
+            }
+            // A fenced server restarted as-is stays fenced: re-opening
+            // for writes at a stale epoch would accept (and ack) work
+            // the real primary never sees.
+            (None, true) => (
+                RoleState {
+                    role: Role::Fenced,
+                    primary: None,
+                },
+                state.epoch,
+            ),
+            (None, false) => (
+                RoleState {
+                    role: Role::Primary,
+                    primary: None,
+                },
+                0,
+            ),
         };
-        ReplState {
+        let mut hasher = DefaultHasher::new();
+        std::process::id().hash(&mut hasher);
+        epoch_path.hash(&mut hasher);
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap_or_default()
+            .hash(&mut hasher);
+        Ok(ReplState {
             self_addr: Mutex::new(String::new()),
-            epoch: AtomicU64::new(epoch),
+            epoch: AtomicU64::new(state.epoch),
             epoch_path,
             role: Mutex::new(role),
             log: Mutex::new(records),
             log_grew: Condvar::new(),
             acks: Mutex::new(HashMap::new()),
-            fenced_by: AtomicU64::new(0),
+            fenced_by: AtomicU64::new(fenced_by),
             promoted_replayed: AtomicU64::new(0),
             former_primary: Mutex::new(None),
             corrupt_refused: AtomicU64::new(0),
+            diverged: AtomicBool::new(false),
+            // JSON numbers are f64: keep the nonce within 2^53 so it
+            // round-trips the wire exactly.
+            nonce: hasher.finish() & ((1 << 53) - 1),
             chaos_drops_done: AtomicU64::new(0),
-        }
+        })
     }
 
     /// Current epoch.
@@ -234,9 +323,25 @@ impl ReplState {
         self.corrupt_refused.load(Ordering::SeqCst)
     }
 
+    /// True once this follower's journal was proven to have diverged
+    /// from its primary's (it will never resync or promote).
+    pub fn diverged(&self) -> bool {
+        self.diverged.load(Ordering::SeqCst)
+    }
+
     /// Fences this server: a higher epoch exists, so every subsequent
-    /// request is answered `RES-STALE-EPOCH`.
+    /// request is answered `RES-STALE-EPOCH`. The fence is persisted
+    /// (best-effort) so a restart comes back fenced instead of
+    /// re-opening for writes at the stale epoch; the in-memory fence
+    /// holds regardless.
     pub(crate) fn fence(&self, superseded_by: u64) {
+        let _ = store_epoch_state(
+            &self.epoch_path,
+            EpochState {
+                epoch: superseded_by.max(self.epoch()),
+                fenced: true,
+            },
+        );
         self.fenced_by.store(superseded_by, Ordering::SeqCst);
         self.set_role(Role::Fenced, None);
     }
@@ -252,29 +357,89 @@ impl ReplState {
 
 // --- epoch persistence ----------------------------------------------------
 
-/// Loads the persisted epoch; a missing or unreadable file is epoch 1
-/// (the first term of a fresh deployment).
-pub fn load_epoch(path: &Path) -> u64 {
-    std::fs::read_to_string(path)
-        .ok()
-        .and_then(|s| s.trim().parse::<u64>().ok())
-        .filter(|&e| e >= 1)
-        .unwrap_or(1)
+/// The persisted epoch file content: the term, plus whether this server
+/// was fenced in it (`<epoch>\n` or `<epoch> fenced\n`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochState {
+    /// The epoch (term), at least 1.
+    pub epoch: u64,
+    /// True when this server was fenced: a restart must come back
+    /// fenced, not primary.
+    pub fenced: bool,
 }
 
-/// Atomically persists the epoch (write temp sibling, fsync, rename).
+/// Loads the persisted epoch state. A missing file is a fresh
+/// deployment (epoch 1, not fenced).
+///
+/// # Errors
+///
+/// An epoch file that exists but cannot be read **or parsed** is an
+/// error, never a silent reset to epoch 1: a reset could revive a
+/// fenced or deposed primary at a stale term and lose acked writes.
+pub fn load_epoch_state(path: &Path) -> Result<EpochState, std::io::Error> {
+    let raw = match std::fs::read_to_string(path) {
+        Ok(raw) => raw,
+        Err(e) if e.kind() == ErrorKind::NotFound => {
+            return Ok(EpochState {
+                epoch: 1,
+                fenced: false,
+            })
+        }
+        Err(e) => return Err(e),
+    };
+    let mut tokens = raw.split_whitespace();
+    let epoch = tokens
+        .next()
+        .and_then(|t| t.parse::<u64>().ok())
+        .filter(|&e| e >= 1);
+    let fenced = match tokens.next() {
+        None => Some(false),
+        Some("fenced") => Some(true),
+        Some(_) => None,
+    };
+    match (epoch, fenced, tokens.next()) {
+        (Some(epoch), Some(fenced), None) => Ok(EpochState { epoch, fenced }),
+        _ => Err(std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!(
+                "epoch file {} is unparseable ({raw:?}); refusing to guess — \
+                 restore it or remove it to restart the deployment at epoch 1",
+                path.display()
+            ),
+        )),
+    }
+}
+
+/// Atomically persists the epoch state (write temp sibling, fsync,
+/// rename).
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem failure.
+pub fn store_epoch_state(path: &Path, state: EpochState) -> Result<(), std::io::Error> {
+    let tmp = path.with_extension("tmp");
+    let marker = if state.fenced { " fenced" } else { "" };
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(format!("{}{marker}\n", state.epoch).as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Atomically persists an un-fenced epoch.
 ///
 /// # Errors
 ///
 /// Propagates the underlying filesystem failure.
 pub fn store_epoch(path: &Path, epoch: u64) -> Result<(), std::io::Error> {
-    let tmp = path.with_extension("tmp");
-    {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(format!("{epoch}\n").as_bytes())?;
-        f.sync_all()?;
-    }
-    std::fs::rename(&tmp, path)
+    store_epoch_state(
+        path,
+        EpochState {
+            epoch,
+            fenced: false,
+        },
+    )
 }
 
 // --- wire messages --------------------------------------------------------
@@ -288,6 +453,11 @@ pub enum ReplMsg {
         epoch: u64,
         /// Records the follower already holds.
         have: u64,
+        /// Chained prefix checksum ([`prefix_crc`]) over all `have`
+        /// records, so the primary can prove the follower's journal is
+        /// a strict prefix of its own before streaming (a mismatch is
+        /// divergence: `IO-REPL-CORRUPT`, not resyncable).
+        pcrc: u32,
         /// Follower's own listen address (ack bookkeeping).
         from: String,
     },
@@ -338,6 +508,9 @@ pub enum ReplMsg {
         seq: u64,
         /// Settled keys servable to retries.
         answered: u64,
+        /// The answering process's identity nonce: a querier whose own
+        /// nonce matches is talking to itself through an address alias.
+        nonce: u64,
         /// The primary a follower replicates from, if any.
         primary: Option<String>,
     },
@@ -365,6 +538,7 @@ impl ReplMsg {
             "hello" => Some(ReplMsg::Hello {
                 epoch: num(&doc, "epoch")?,
                 have: num(&doc, "have")?,
+                pcrc: u32::try_from(num(&doc, "pcrc")?).ok()?,
                 from: text(&doc, "from").unwrap_or_default(),
             }),
             "rec" => Some(ReplMsg::Rec {
@@ -392,6 +566,7 @@ impl ReplMsg {
                 epoch: num(&doc, "epoch")?,
                 seq: num(&doc, "seq")?,
                 answered: num(&doc, "answered")?,
+                nonce: num(&doc, "nonce")?,
                 primary: text(&doc, "primary"),
             }),
             _ => None,
@@ -401,10 +576,16 @@ impl ReplMsg {
     /// Renders the message as one newline-terminated wire line.
     pub fn render_line(&self) -> String {
         let obj = match self {
-            ReplMsg::Hello { epoch, have, from } => Json::obj([
+            ReplMsg::Hello {
+                epoch,
+                have,
+                pcrc,
+                from,
+            } => Json::obj([
                 ("repl", Json::Str("hello".to_string())),
                 ("epoch", Json::Num(*epoch as f64)),
                 ("have", Json::Num(*have as f64)),
+                ("pcrc", Json::Num(f64::from(*pcrc))),
                 ("from", Json::Str(from.clone())),
             ]),
             ReplMsg::Rec {
@@ -443,6 +624,7 @@ impl ReplMsg {
                 epoch,
                 seq,
                 answered,
+                nonce,
                 primary,
             } => {
                 let mut members = vec![
@@ -451,6 +633,7 @@ impl ReplMsg {
                     ("epoch", Json::Num(*epoch as f64)),
                     ("seq", Json::Num(*seq as f64)),
                     ("answered", Json::Num(*answered as f64)),
+                    ("nonce", Json::Num(*nonce as f64)),
                 ];
                 if let Some(p) = primary {
                     members.push(("primary", Json::Str(p.clone())));
@@ -475,8 +658,24 @@ pub struct StatusView {
     pub seq: u64,
     /// Settled keys servable to retries.
     pub answered: u64,
+    /// The answering process's identity nonce ([`ReplMsg::StatusReply`]).
+    pub nonce: u64,
     /// The primary the peer replicates from, if it is a follower.
     pub primary: Option<String>,
+}
+
+/// Chained CRC32 over a run of journal records: each record's canonical
+/// payload bytes ([`payload_bytes`]) are checksummed together with the
+/// accumulator so far, so two journals share a prefix checksum iff they
+/// share the prefix byte-for-byte. The empty prefix is 0.
+pub fn prefix_crc(records: &[JournalRecord]) -> u32 {
+    let mut acc: u32 = 0;
+    for rec in records {
+        let mut bytes = acc.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&payload_bytes(rec.kind, &rec.rid, &rec.line));
+        acc = crc32(&bytes);
+    }
+    acc
 }
 
 // --- socket plumbing ------------------------------------------------------
@@ -537,12 +736,14 @@ pub fn query_status(addr: &str, timeout: Duration) -> Option<StatusView> {
             epoch,
             seq,
             answered,
+            nonce,
             primary,
         } => Some(StatusView {
             role,
             epoch,
             seq,
             answered,
+            nonce,
             primary,
         }),
         _ => None,
@@ -560,6 +761,7 @@ pub(crate) fn stream_to_follower(
     mut stream: TcpStream,
     hello_epoch: u64,
     mut cursor: u64,
+    hello_pcrc: u32,
     peer: String,
 ) {
     let Some(repl) = &shared.repl else { return };
@@ -594,6 +796,32 @@ pub(crate) fn stream_to_follower(
             );
             return;
         }
+    }
+
+    // Resync is only sound when the follower's journal is a strict
+    // prefix of ours. Verify, don't assume: a follower claiming more
+    // records than we hold, or whose prefix checksum disagrees with the
+    // same prefix of our log (a deposed primary with an unreplicated
+    // acked suffix, rejoined as a follower), has *diverged* — streaming
+    // from `have + 1` would silently leave its journal, dedup map, and
+    // retry answers permanently disagreeing with ours.
+    let prefix_matches = {
+        let log = lock_unpoisoned(&repl.log);
+        usize::try_from(cursor)
+            .ok()
+            .and_then(|have| log.get(..have))
+            .is_some_and(|prefix| prefix_crc(prefix) == hello_pcrc)
+    };
+    if !prefix_matches {
+        let _ = stream.write_all(
+            ReplMsg::Err {
+                code: "IO-REPL-CORRUPT".to_string(),
+                epoch: repl.epoch(),
+            }
+            .render_line()
+            .as_bytes(),
+        );
+        return;
     }
 
     let heartbeat = shared.config.heartbeat;
@@ -704,6 +932,9 @@ enum StreamEnd {
     Stale,
     /// The dialed server is not (yet) a primary; retry shortly.
     NotYet,
+    /// The primary proved our journal is not a prefix of its own
+    /// (`IO-REPL-CORRUPT` at hello): stop replicating, never promote.
+    Diverged,
     /// This server is draining.
     Draining,
 }
@@ -748,6 +979,20 @@ pub(crate) fn follower_loop(shared: Arc<Shared>) {
         };
         match end {
             StreamEnd::Draining => return,
+            StreamEnd::Diverged => {
+                // Resyncing would silently fork journals; promotion
+                // would serve a history the cluster never agreed on.
+                // Park as a read-only follower until the operator wipes
+                // this journal directory and re-seeds it.
+                repl.diverged.store(true, Ordering::SeqCst);
+                eprintln!(
+                    "replication: journal diverged from primary {primary} \
+                     (IO-REPL-CORRUPT): this follower's journal is not a prefix \
+                     of the primary's; replication stopped and promotion \
+                     disabled — wipe the journal directory and re-seed"
+                );
+                return;
+            }
             StreamEnd::Stale => {
                 // The old primary is provably deposed: arbitrate now.
                 if !arbitrate(&shared, &repl, &self_addr, &primary) {
@@ -780,10 +1025,14 @@ fn follow_stream(
     self_addr: &str,
     last_contact: &mut Instant,
 ) -> StreamEnd {
-    let hello = ReplMsg::Hello {
-        epoch: repl.epoch(),
-        have: repl.seq(),
-        from: self_addr.to_string(),
+    let hello = {
+        let log = lock_unpoisoned(&repl.log);
+        ReplMsg::Hello {
+            epoch: repl.epoch(),
+            have: log.len() as u64,
+            pcrc: prefix_crc(&log),
+            from: self_addr.to_string(),
+        }
     };
     if stream.write_all(hello.render_line().as_bytes()).is_err() {
         return StreamEnd::Dead;
@@ -878,6 +1127,7 @@ fn follow_stream(
                 repl.adopt_epoch(epoch);
                 return match code.as_str() {
                     "RES-STALE-EPOCH" => StreamEnd::Stale,
+                    "IO-REPL-CORRUPT" => StreamEnd::Diverged,
                     _ => StreamEnd::NotYet,
                 };
             }
@@ -968,6 +1218,12 @@ fn arbitrate(
     self_addr: &str,
     dead_primary: &str,
 ) -> bool {
+    if repl.diverged() {
+        // A diverged journal must never be promoted into the cluster's
+        // history (the follower loop also exits on divergence; this is
+        // belt and braces).
+        return false;
+    }
     let my_epoch = repl.epoch();
     let my_seq = repl.seq();
     let mut max_epoch = my_epoch;
@@ -979,6 +1235,12 @@ fn arbitrate(
         let Some(st) = query_status(peer, PEER_TIMEOUT) else {
             continue; // an unreachable peer never blocks failover
         };
+        if st.nonce == repl.nonce {
+            // `peer` is this very server under an alias (hostname vs
+            // IP, 0.0.0.0 bind): deferring to it would deadlock the
+            // failover forever.
+            continue;
+        }
         max_epoch = max_epoch.max(st.epoch);
         if st.role == "primary" && st.epoch >= my_epoch {
             // Someone already promoted: follow them.
@@ -989,6 +1251,11 @@ fn arbitrate(
             && (st.seq > my_seq || (st.seq == my_seq && peer.as_str() < self_addr))
         {
             // A better-acked (or tie-winning) peer exists: defer to it.
+            eprintln!(
+                "replication: arbitration deferring to {peer} \
+                 (peer seq {} epoch {} vs ours seq {my_seq} epoch {my_epoch})",
+                st.seq, st.epoch
+            );
             defer = true;
         }
     }
@@ -1002,11 +1269,43 @@ fn arbitrate(
     true
 }
 
+/// This node's collision-free epoch arithmetic: the cluster size
+/// (sorted, deduplicated `peers` ∪ self) and this node's index in it.
+/// Promotion epochs are chosen congruent to the index, so no two
+/// cluster members — even fully partitioned from each other — can ever
+/// promote to the *same* epoch; the strictly-higher-epoch fencing paths
+/// then resolve any duel deterministically once connectivity heals.
+fn epoch_stride_slot(peers: &[String], self_addr: &str) -> (u64, u64) {
+    let mut cluster: Vec<&str> = peers
+        .iter()
+        .map(String::as_str)
+        .chain([self_addr])
+        .collect();
+    cluster.sort_unstable();
+    cluster.dedup();
+    let slot = cluster
+        .iter()
+        .position(|a| *a == self_addr)
+        .unwrap_or_default() as u64;
+    (cluster.len() as u64, slot)
+}
+
 /// Promotes this follower: new epoch, snapshot install, replay of
 /// unsettled records, then primary duty.
 fn promote(shared: &Arc<Shared>, repl: &Arc<ReplState>, observed_epoch: u64, deposed: &str) {
     repl.set_role(Role::Promoting, None);
-    let new_epoch = observed_epoch.max(repl.epoch()) + 1;
+    // The next epoch past everything observed that lands on this node's
+    // slot in the cluster: collision-free by construction, so even two
+    // followers partitioned from each other promote to *different*
+    // epochs and the lower one fences once the partition heals.
+    let (stride, slot) = {
+        let self_addr = lock_unpoisoned(&repl.self_addr).clone();
+        epoch_stride_slot(&shared.config.peers, &self_addr)
+    };
+    let mut new_epoch = observed_epoch.max(repl.epoch()) + 1;
+    while new_epoch % stride != slot {
+        new_epoch += 1;
+    }
     // Best-effort persistence: an unpersistable epoch costs this server a
     // deferral after its next restart, never a split brain (the epoch is
     // still carried on every wire message).
@@ -1027,16 +1326,17 @@ fn promote(shared: &Arc<Shared>, repl: &Arc<ReplState>, observed_epoch: u64, dep
     }
 
     // Replay admitted-but-unsettled records so every key the old primary
-    // acked is settled here before the first client request lands.
-    let incomplete = {
-        let log = lock_unpoisoned(&repl.log);
-        let (completed, incomplete) = fold_records(&log);
-        if let Some(dur) = &shared.durability {
-            let mut d = lock_unpoisoned(dur);
-            d.completed = completed;
-        }
-        incomplete
-    };
+    // acked is settled here before the first client request lands. The
+    // log guard is dropped before the durability lock is taken: every
+    // other path (publish_record, apply_record) locks durability first
+    // and the log second, and holding both here in the opposite order
+    // is one refactor away from an ABBA deadlock.
+    let records = lock_unpoisoned(&repl.log).clone();
+    let (completed, incomplete) = fold_records(&records);
+    drop(records);
+    if let Some(dur) = &shared.durability {
+        lock_unpoisoned(dur).completed = completed;
+    }
     for (rid, line) in incomplete {
         if signal::shutdown_requested() {
             break;
@@ -1056,10 +1356,14 @@ fn fence_hello(repl: &Arc<ReplState>, target: &str, self_addr: &str) {
     let Ok(mut stream) = connect(target, PEER_TIMEOUT) else {
         return;
     };
-    let hello = ReplMsg::Hello {
-        epoch: repl.epoch(),
-        have: repl.seq(),
-        from: self_addr.to_string(),
+    let hello = {
+        let log = lock_unpoisoned(&repl.log);
+        ReplMsg::Hello {
+            epoch: repl.epoch(),
+            have: log.len() as u64,
+            pcrc: prefix_crc(&log),
+            from: self_addr.to_string(),
+        }
     };
     if stream.write_all(hello.render_line().as_bytes()).is_err() {
         return;
@@ -1078,8 +1382,12 @@ fn fence_hello(repl: &Arc<ReplState>, target: &str, self_addr: &str) {
 }
 
 /// The standing guard: keeps a deposed primary fenced and self-fences
-/// the moment any peer reports a higher epoch. Runs on any server with
-/// peers configured, and on every promoted follower.
+/// the moment any peer reports a higher epoch — or a primary at the
+/// *same* epoch with a lexicographically smaller address (the
+/// equal-epoch tiebreak; unreachable among configured peers because
+/// promotion epochs are collision-free, but an operator can seed two
+/// servers into the same term by hand). Runs on any server with peers
+/// configured, and on every promoted follower.
 pub(crate) fn guard_loop(shared: &Arc<Shared>) {
     let Some(repl) = &shared.repl else { return };
     let self_addr = lock_unpoisoned(&repl.self_addr).clone();
@@ -1094,11 +1402,24 @@ pub(crate) fn guard_loop(shared: &Arc<Shared>) {
                 if peer == &self_addr {
                     continue;
                 }
-                if let Some(st) = query_status(peer, PEER_TIMEOUT) {
-                    if st.epoch > my_epoch {
-                        repl.fence(st.epoch);
-                        break;
-                    }
+                let Some(st) = query_status(peer, PEER_TIMEOUT) else {
+                    continue;
+                };
+                if st.nonce == repl.nonce {
+                    continue; // an alias of this very server
+                }
+                let superseded = st.epoch > my_epoch
+                    || (st.epoch == my_epoch
+                        && st.role == "primary"
+                        && peer.as_str() < self_addr.as_str());
+                if superseded {
+                    eprintln!(
+                        "replication: peer {peer} holds epoch {} (role {}) \
+                         against our epoch {my_epoch}: fencing ourselves",
+                        st.epoch, st.role
+                    );
+                    repl.fence(st.epoch);
+                    break;
                 }
             }
         }
@@ -1116,6 +1437,7 @@ mod tests {
             ReplMsg::Hello {
                 epoch: 3,
                 have: 17,
+                pcrc: 0x1234_5678,
                 from: "127.0.0.1:9000".to_string(),
             },
             ReplMsg::Rec {
@@ -1138,6 +1460,7 @@ mod tests {
                 epoch: 2,
                 seq: 5,
                 answered: 3,
+                nonce: (1 << 53) - 1,
                 primary: Some("127.0.0.1:9001".to_string()),
             },
         ];
@@ -1160,17 +1483,131 @@ mod tests {
     }
 
     #[test]
-    fn epoch_file_round_trips_and_defaults_to_one() {
+    fn epoch_file_round_trips_and_rejects_garbage() {
         let dir = std::env::temp_dir().join(format!("lintra-epoch-{}", std::process::id()));
         std::fs::create_dir_all(&dir).expect("mkdir");
         let path = dir.join(EPOCH_FILE);
         let _ = std::fs::remove_file(&path);
-        assert_eq!(load_epoch(&path), 1, "missing file is epoch 1");
+        assert_eq!(
+            load_epoch_state(&path).expect("missing file is fine"),
+            EpochState {
+                epoch: 1,
+                fenced: false
+            },
+            "missing file is a fresh deployment"
+        );
         store_epoch(&path, 7).expect("store");
-        assert_eq!(load_epoch(&path), 7);
-        std::fs::write(&path, "garbage").expect("write");
-        assert_eq!(load_epoch(&path), 1, "unreadable content is epoch 1");
+        assert_eq!(
+            load_epoch_state(&path).expect("readable"),
+            EpochState {
+                epoch: 7,
+                fenced: false
+            }
+        );
+        store_epoch_state(
+            &path,
+            EpochState {
+                epoch: 9,
+                fenced: true,
+            },
+        )
+        .expect("store fenced");
+        assert_eq!(
+            load_epoch_state(&path).expect("readable"),
+            EpochState {
+                epoch: 9,
+                fenced: true
+            },
+            "the fenced marker survives a restart"
+        );
+        // An existing-but-unparseable file must be an error, never a
+        // silent reset to epoch 1 (that could un-fence a deposed
+        // primary).
+        for garbage in ["garbage", "0", "-3", "7 fenced extra", "7 sideways"] {
+            std::fs::write(&path, garbage).expect("write");
+            assert!(
+                load_epoch_state(&path).is_err(),
+                "{garbage:?} must not parse"
+            );
+        }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prefix_crc_distinguishes_divergent_prefixes() {
+        let rec = |rid: &str, line: &str| JournalRecord {
+            kind: RecordKind::Admit,
+            rid: rid.to_string(),
+            line: line.to_string(),
+        };
+        let a = [
+            rec("k1", "{\"op\":\"ping\"}"),
+            rec("k2", "{\"op\":\"ping\"}"),
+        ];
+        let b = [
+            rec("k1", "{\"op\":\"ping\"}"),
+            rec("k2", "{\"op\":\"pong\"}"),
+        ];
+        assert_eq!(prefix_crc(&[]), 0, "empty prefix is 0");
+        assert_eq!(prefix_crc(&a), prefix_crc(&a.to_vec()));
+        assert_eq!(
+            prefix_crc(&a[..1]),
+            prefix_crc(&b[..1]),
+            "identical prefixes agree"
+        );
+        assert_ne!(prefix_crc(&a), prefix_crc(&b), "divergent tails disagree");
+        assert_ne!(
+            prefix_crc(&a[..1]),
+            prefix_crc(&a),
+            "a longer journal has a different checksum"
+        );
+    }
+
+    #[test]
+    fn promotion_epochs_are_collision_free_across_the_cluster() {
+        let a = "127.0.0.1:9000".to_string();
+        let b = "127.0.0.1:9001".to_string();
+        let c = "127.0.0.1:9002".to_string();
+        // Each member computes its slot from its own peer list (which
+        // omits itself); the cluster view must still agree.
+        let view = |self_addr: &str| {
+            let peers: Vec<String> = [&a, &b, &c]
+                .iter()
+                .filter(|p| p.as_str() != self_addr)
+                .map(|p| p.to_string())
+                .collect();
+            epoch_stride_slot(&peers, self_addr)
+        };
+        let next = |observed: u64, (stride, slot): (u64, u64)| {
+            let mut e = observed + 1;
+            while e % stride != slot {
+                e += 1;
+            }
+            e
+        };
+        for observed in 1..20 {
+            let picks = [
+                next(observed, view(&a)),
+                next(observed, view(&b)),
+                next(observed, view(&c)),
+            ];
+            for i in 0..picks.len() {
+                for j in i + 1..picks.len() {
+                    assert_ne!(
+                        picks[i], picks[j],
+                        "two members promoted from epoch {observed} to the same epoch"
+                    );
+                }
+            }
+            for pick in picks {
+                assert!(pick > observed, "promotion must advance the epoch");
+            }
+        }
+        // No peers configured: the classic observed + 1.
+        assert_eq!(next(1, epoch_stride_slot(&[], &a)), 2);
+        // A self-alias in the peer list only widens the stride.
+        let aliased = epoch_stride_slot(&[a.clone(), "0.0.0.0:9000".to_string()], &a);
+        assert_eq!(aliased.0, 2);
     }
 
     #[test]

@@ -263,6 +263,10 @@ pub struct RoleInfo {
     pub fenced_by: Option<u64>,
     /// Requests replayed during a promotion on this process.
     pub promoted_replayed: u64,
+    /// True when this follower's journal was proven to have diverged
+    /// from its primary's (`IO-REPL-CORRUPT` at hello): replication
+    /// stopped and it will never promote; wipe and re-seed.
+    pub diverged: bool,
 }
 
 /// A running server; dropping it (or calling [`ServerHandle::shutdown`])
@@ -322,6 +326,7 @@ impl ServerHandle {
             primary: rs.primary,
             fenced_by: (fenced_by != 0).then_some(fenced_by),
             promoted_replayed: repl.promoted_replayed.load(Ordering::SeqCst),
+            diverged: repl.diverged(),
         })
     }
 
@@ -434,11 +439,16 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, LintraError> {
         recovery = Some(report);
         let epoch_dir = config.epoch_dir.as_ref().unwrap_or(dir);
         std::fs::create_dir_all(epoch_dir).map_err(LintraError::from)?;
-        repl = Some(Arc::new(ReplState::new(
-            epoch_dir.join(replicate::EPOCH_FILE),
-            config.replica_of.clone(),
-            rec.records,
-        )));
+        // A corrupt epoch file is a startup error: silently resetting
+        // it to epoch 1 could revive a fenced primary at a stale term.
+        repl = Some(Arc::new(
+            ReplState::new(
+                epoch_dir.join(replicate::EPOCH_FILE),
+                config.replica_of.clone(),
+                rec.records,
+            )
+            .map_err(|e| LintraError::from(e).context("loading the replication epoch file"))?,
+        ));
         durability = Some(Mutex::new(Durability {
             journal,
             completed: rec.completed,
@@ -702,9 +712,14 @@ fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
                             }
                             continue;
                         }
-                        ReplMsg::Hello { epoch, have, from } => {
+                        ReplMsg::Hello {
+                            epoch,
+                            have,
+                            pcrc,
+                            from,
+                        } => {
                             // The connection becomes a follower stream.
-                            replicate::stream_to_follower(shared, stream, epoch, have, from);
+                            replicate::stream_to_follower(shared, stream, epoch, have, pcrc, from);
                             return;
                         }
                         // Anything else arriving cold is a protocol
@@ -753,6 +768,7 @@ fn status_reply(shared: &Arc<Shared>) -> ReplMsg {
                 epoch: repl.epoch(),
                 seq: repl.seq(),
                 answered,
+                nonce: repl.nonce,
                 primary: rs.primary,
             }
         }
@@ -761,6 +777,7 @@ fn status_reply(shared: &Arc<Shared>) -> ReplMsg {
             epoch: 0,
             seq: 0,
             answered,
+            nonce: 0,
             primary: None,
         },
     }
@@ -850,16 +867,22 @@ fn handle_line(shared: &Arc<Shared>, line: &str) -> LineOutcome {
             Role::Fenced => {
                 shared.stats.requests_failed.fetch_add(1, Ordering::SeqCst);
                 let by = repl.fenced_by.load(Ordering::SeqCst);
-                return reject(
-                    &req.id,
-                    ErrorClass::Resource,
-                    "RES-STALE-EPOCH",
+                let epoch = repl.epoch();
+                // After a restart the superseded epoch is no longer
+                // known — the epoch file only carries the superseding
+                // one — so name just the fence in that case.
+                let message = if epoch < by {
                     format!(
-                        "epoch {} was superseded by epoch {by}; this server is fenced \
-                         — talk to the current primary",
-                        repl.epoch()
-                    ),
-                );
+                        "epoch {epoch} was superseded by epoch {by}; this server is \
+                         fenced — talk to the current primary"
+                    )
+                } else {
+                    format!(
+                        "this server is durably fenced as of epoch {by} — talk to the \
+                         current primary, or rejoin it with --replica-of"
+                    )
+                };
+                return reject(&req.id, ErrorClass::Resource, "RES-STALE-EPOCH", message);
             }
             Role::Follower | Role::Promoting if !matches!(req.op, WireOp::Ping) => {
                 shared.stats.requests_failed.fetch_add(1, Ordering::SeqCst);

@@ -26,7 +26,9 @@ use std::time::{Duration, Instant};
 use lintra_bench::wire::{WireOp, WireRequest, WireResponse};
 use lintra_serve::journal::{payload_bytes, JOURNAL_FILE};
 use lintra_serve::replicate::store_epoch;
-use lintra_serve::{query_status, start, Client, RecordKind, ReplChaos, ReplMsg, ServerConfig};
+use lintra_serve::{
+    load_epoch_state, query_status, start, Client, RecordKind, ReplChaos, ReplMsg, ServerConfig,
+};
 
 fn temp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("lintra-repl-{tag}-{}", std::process::id()));
@@ -436,6 +438,181 @@ fn double_promotion_resolves_to_exactly_one_primary() {
         .expect("one primary");
     assert!(winner_epoch >= 2, "promotion bumped the epoch");
 
+    b.shutdown();
+    a.shutdown();
+    let _ = std::fs::remove_dir_all(&adir);
+    let _ = std::fs::remove_dir_all(&bdir);
+}
+
+#[test]
+fn divergent_follower_is_refused_at_hello_and_never_promotes() {
+    let (pdir, fdir) = (temp_dir("diverge-p"), temp_dir("diverge-f"));
+    // The primary settles one keyed sweep: two journal records.
+    let primary = start(repl_config(&pdir)).expect("primary");
+    let paddr = primary.addr().to_string();
+    let resp = raw_request(&paddr, &keyed_sweep("corr-d", "diverge-key", 6));
+    assert!(WireResponse::parse(&resp)
+        .expect("parseable")
+        .outcome
+        .is_ok());
+
+    // The follower's journal holds a record the primary never wrote —
+    // the shape of a deposed primary with an unreplicated acked suffix
+    // rejoined with --replica-of. Resyncing from `have + 1` would
+    // silently keep the divergent record forever.
+    {
+        let (mut journal, _) = lintra_serve::Journal::open_dir(&fdir).expect("open journal");
+        journal
+            .append(
+                RecordKind::Admit,
+                "ghost-key",
+                "{\"id\":\"g\",\"op\":\"ping\"}",
+            )
+            .expect("append divergent record");
+    }
+    let follower = start(ServerConfig {
+        failover_grace: Duration::from_millis(300),
+        ..follower_config(&fdir, &paddr)
+    })
+    .expect("follower");
+
+    // The hello's prefix checksum betrays the divergence: the primary
+    // refuses with IO-REPL-CORRUPT and the follower parks itself.
+    wait_until("divergence detected", || {
+        follower.role_info().is_some_and(|ri| ri.diverged)
+    });
+    // Well past the failover grace, the diverged follower has neither
+    // promoted nor resynced: its journal still holds exactly the one
+    // divergent record, and the role is still follower.
+    std::thread::sleep(Duration::from_millis(900));
+    let ri = follower.role_info().expect("replicated");
+    assert_eq!(ri.role, "follower", "a diverged journal never promotes");
+    assert!(ri.diverged);
+    assert_eq!(ri.seq, 1, "no records were shipped to a diverged journal");
+
+    follower.shutdown();
+    primary.shutdown();
+    let _ = std::fs::remove_dir_all(&pdir);
+    let _ = std::fs::remove_dir_all(&fdir);
+}
+
+#[test]
+fn fencing_is_durable_across_a_restart() {
+    let (pdir, fdir) = (temp_dir("refence-p"), temp_dir("refence-f"));
+    // A follower that already lived through epoch 2 fences the epoch-1
+    // primary on first contact (same setup as the stale-epoch test).
+    std::fs::create_dir_all(&fdir).expect("mkdir");
+    store_epoch(&fdir.join("epoch"), 2).expect("seed epoch");
+    let primary = start(repl_config(&pdir)).expect("primary");
+    let paddr = primary.addr().to_string();
+    let follower = start(follower_config(&fdir, &paddr)).expect("follower");
+    wait_until("primary fenced", || {
+        primary.role_info().expect("replicated").role == "fenced"
+    });
+    follower.shutdown();
+    primary.shutdown();
+
+    // The fence survived: the epoch file records the superseding epoch
+    // plus the marker, and a plain restart comes back *fenced* — not
+    // primary — so it cannot accept (and later lose) writes.
+    let state = load_epoch_state(&pdir.join("epoch")).expect("epoch file readable");
+    assert!(state.fenced, "the fence was persisted: {state:?}");
+    // The follower fences the primary on first contact (epoch 2) and
+    // again after promoting (epoch 3); either way the file carries the
+    // highest superseding epoch seen, never the server's own stale 1.
+    assert!(state.epoch >= 2, "the superseding epoch was persisted");
+    let revived = start(repl_config(&pdir)).expect("revived");
+    let ri = revived.role_info().expect("replicated");
+    assert_eq!(ri.role, "fenced", "a fenced server restarts fenced");
+    let ping = raw_request(
+        &revived.addr().to_string(),
+        "{\"id\":\"p\",\"op\":\"ping\"}",
+    );
+    let failure = WireResponse::parse(&ping)
+        .expect("parseable")
+        .outcome
+        .expect_err("still fenced");
+    assert_eq!(failure.code, "RES-STALE-EPOCH");
+    revived.shutdown();
+
+    // An explicit --replica-of rejoin clears the marker: the operator
+    // chose a primary to resync from.
+    let surrogate = start(follower_config(&pdir, &dead_addr())).expect("rejoin");
+    let state = load_epoch_state(&pdir.join("epoch")).expect("epoch file readable");
+    assert!(!state.fenced, "an explicit rejoin clears the fence marker");
+    surrogate.shutdown();
+    let _ = std::fs::remove_dir_all(&pdir);
+    let _ = std::fs::remove_dir_all(&fdir);
+}
+
+#[test]
+fn corrupt_epoch_file_fails_startup_instead_of_resetting() {
+    let dir = temp_dir("epoch-garbage");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    std::fs::write(dir.join("epoch"), "not-an-epoch").expect("write");
+    let err = start(repl_config(&dir)).expect_err("corrupt epoch file must not start");
+    assert_eq!(err.class(), lintra::ErrorClass::Io, "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn self_alias_in_the_peer_list_never_blocks_promotion() {
+    let dir = temp_dir("self-alias");
+    // The operator lists this very server under `0.0.0.0:<port>` — an
+    // alias that sorts lexicographically below the bound
+    // `127.0.0.1:<port>`, so an address-string tiebreak would defer to
+    // it every round and never promote. The status nonce sees through
+    // the alias.
+    let own = dead_addr();
+    let port = own.rsplit(':').next().expect("port");
+    let follower = start(ServerConfig {
+        addr: own.clone(),
+        peers: vec![format!("0.0.0.0:{port}")],
+        ..follower_config(&dir, &dead_addr())
+    })
+    .expect("follower");
+    wait_until("promotion past the self-alias", || {
+        follower.role_info().is_some_and(|ri| ri.role == "primary")
+    });
+    follower.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn equal_epoch_primaries_resolve_to_exactly_one() {
+    let (adir, bdir) = (temp_dir("duel-a"), temp_dir("duel-b"));
+    // Promotion epochs are collision-free, so an equal-epoch duel can
+    // only be seeded by operator error: both servers hand-seeded into
+    // epoch 5 and started as primaries of the same cluster. The guard
+    // loops must resolve it deterministically — the lexicographically
+    // larger address fences itself.
+    for dir in [&adir, &bdir] {
+        std::fs::create_dir_all(dir).expect("mkdir");
+        store_epoch(&dir.join("epoch"), 5).expect("seed epoch");
+    }
+    let (a_addr, b_addr) = (dead_addr(), dead_addr());
+    let a = start(ServerConfig {
+        addr: a_addr.clone(),
+        peers: vec![b_addr.clone()],
+        ..repl_config(&adir)
+    })
+    .expect("primary a");
+    let b = start(ServerConfig {
+        addr: b_addr.clone(),
+        peers: vec![a_addr.clone()],
+        ..repl_config(&bdir)
+    })
+    .expect("primary b");
+    let loser_first = a.addr().to_string() > b.addr().to_string();
+    let (winner, loser) = if loser_first { (&b, &a) } else { (&a, &b) };
+    wait_until("the larger address fences itself", || {
+        loser.role_info().is_some_and(|ri| ri.role == "fenced")
+    });
+    assert_eq!(
+        winner.role_info().expect("replicated").role,
+        "primary",
+        "exactly one primary survives the duel"
+    );
     b.shutdown();
     a.shutdown();
     let _ = std::fs::remove_dir_all(&adir);
