@@ -23,12 +23,13 @@ use lintra::suite::suite;
 use lintra::LintraError;
 use lintra_bench::json::Json;
 use lintra_bench::report::{
-    real_trajectory_lines, to_json, trajectory_line, utc_timestamp, validate, Entry, RunMeta,
+    real_trajectory_lines, to_json, trajectory_line, utc_timestamp, validate, EgraphEntry, Entry,
+    RunMeta, RunShape,
 };
 use lintra_bench::timing::measure;
 use lintra_bench::{
-    table2_rows, table2_rows_engine, table3_rows, table3_rows_engine, table4_rows,
-    table4_rows_engine, unfold_sweep, unfold_sweep_cached,
+    egraph_rows, egraph_rows_engine, table2_rows, table2_rows_engine, table3_rows,
+    table3_rows_engine, table4_rows, table4_rows_engine, unfold_sweep, unfold_sweep_cached,
 };
 
 /// Unfolding depth for the sweep workload.
@@ -197,13 +198,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             || table4_rows_engine(v0, &pool),
         )?,
     ];
-    let sweeps = vec![sweep_entry(&pool, reps)?];
+    // The equality-saturation search runs at Table 4's 5 V operating
+    // point so its fixed-script baselines are exactly the Table 4 rows.
+    let v0_asic = 5.0;
+    let sweeps = vec![
+        sweep_entry(&pool, reps)?,
+        run_table(
+            "egraph_suite",
+            v0_asic,
+            reps,
+            || egraph_rows(v0_asic),
+            || egraph_rows_engine(v0_asic, &pool),
+        )?,
+    ];
+    let egraph: Vec<EgraphEntry> = egraph_rows(v0_asic)?
+        .into_iter()
+        .map(|row| EgraphEntry {
+            name: row.name.to_string(),
+            fixed_nj: row.result.script.total_j() * 1e9,
+            extracted_nj: row.result.optimized.total_j() * 1e9,
+            saturated: row.result.stats.saturated(),
+        })
+        .collect();
+    for e in &egraph {
+        eprintln!(
+            "  egraph {}: fixed {:.2} nJ  extracted {:.2} nJ  x{:.3}{}",
+            e.name,
+            e.fixed_nj,
+            e.extracted_nj,
+            e.vs_fixed(),
+            if e.saturated { "" } else { "  (budget)" }
+        );
+    }
 
     let meta = RunMeta {
         git_sha: git_sha(),
         generated_utc: now_utc(),
     };
-    let doc = to_json(&meta, cores, pool.jobs(), reps, smoke, &tables, &sweeps);
+    let shape = RunShape {
+        cores,
+        jobs: pool.jobs(),
+        reps,
+        smoke,
+    };
+    let doc = to_json(&meta, shape, &tables, &sweeps, &egraph);
     let text = doc.render();
     // Re-parse what will land on disk and gate on the schema: a report the
     // smoke check would reject must never be written silently.

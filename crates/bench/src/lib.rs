@@ -12,7 +12,7 @@ use lintra::engine::{CacheStats, SweepCache, ThreadPool};
 use lintra::linsys::count::{op_count, TrivialityRule};
 use lintra::linsys::unfold;
 use lintra::opt::multi::ProcessorSelection;
-use lintra::opt::{asic, multi, single, TechConfig};
+use lintra::opt::{asic, multi, saturate, single, TechConfig};
 use lintra::power::VoltageModel;
 use lintra::suite::{suite, Design};
 use lintra::LintraError;
@@ -148,6 +148,59 @@ pub fn table4_rows(initial_voltage: f64) -> Result<Vec<Table4Row>, LintraError> 
         });
     }
     Ok(rows)
+}
+
+/// One row of the equality-saturation comparison: the fixed §5 script
+/// next to the e-graph search seeded from the same flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EgraphRow {
+    /// The design.
+    pub name: &'static str,
+    /// The saturation result (carries the fixed-script baseline in
+    /// `result.script`).
+    pub result: saturate::SaturateResult,
+}
+
+/// Equality-saturation search over every suite design: extracted energy
+/// next to the fixed §5 script's energy, at the script's own operating
+/// point. By construction `result.vs_script() ≥ 1` for every row.
+///
+/// # Errors
+///
+/// Propagates optimizer failures as a classified [`LintraError`].
+pub fn egraph_rows(initial_voltage: f64) -> Result<Vec<EgraphRow>, LintraError> {
+    let tech = TechConfig::dac96(initial_voltage);
+    let cfg = saturate::SaturateConfig::default();
+    let mut rows = Vec::new();
+    for d in suite() {
+        rows.push(EgraphRow {
+            name: d.name,
+            result: saturate::optimize(&d.system, &tech, &cfg)
+                .map_err(|e| LintraError::from(e).context(format!("design {}", d.name)))?,
+        });
+    }
+    Ok(rows)
+}
+
+/// Parallel [`egraph_rows`] (see [`table2_rows_engine`] for the
+/// contract).
+///
+/// # Errors
+///
+/// Identical to [`egraph_rows`]; additionally reports a worker panic as
+/// a resource-class error.
+pub fn egraph_rows_engine(
+    initial_voltage: f64,
+    pool: &ThreadPool,
+) -> Result<(Vec<EgraphRow>, CacheStats), LintraError> {
+    let tech = TechConfig::dac96(initial_voltage);
+    let cfg = saturate::SaturateConfig::default();
+    suite_fanout(pool, |d, cache| {
+        Ok(EgraphRow {
+            name: d.name,
+            result: saturate::optimize_cached(&d.system, &tech, &cfg, cache)?,
+        })
+    })
 }
 
 /// The §2 phenomenon: per-sample operation counts of one design across an

@@ -19,7 +19,12 @@ use lintra::engine::CacheStats;
 /// runs across PRs. `v3` added the boolean `smoke` flag: `--smoke` runs
 /// (single rep, CI gate) are tagged so trajectory consumers can filter
 /// them out instead of plotting their noisy timings alongside real runs.
-pub const SCHEMA: &str = "lintra-bench-trajectory/v3";
+/// `v4` added the `egraph` array: per-design energy of the
+/// equality-saturation extraction next to the fixed §5 script, so the
+/// trajectory records not just how fast the tables run but whether the
+/// search keeps beating (or matching) the hand-fixed transformation
+/// order.
+pub const SCHEMA: &str = "lintra-bench-trajectory/v4";
 
 /// Schema-family prefix shared by every trajectory line version.
 /// [`real_trajectory_lines`] accepts any version with this prefix so
@@ -120,16 +125,66 @@ impl Entry {
     }
 }
 
-/// Builds the full `BENCH_N.json` document. `smoke` marks a fast CI
-/// run whose timings are not measurement-grade.
+/// One design of the equality-saturation comparison: extracted energy
+/// next to the fixed §5 script's energy, both per sample at the script's
+/// operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EgraphEntry {
+    /// Design name, e.g. `"iir5"`.
+    pub name: String,
+    /// Fixed §5 script energy per sample, nanojoules.
+    pub fixed_nj: f64,
+    /// Extraction-winner energy per sample, nanojoules (`≤ fixed_nj` by
+    /// the never-worse construction of the strategy).
+    pub extracted_nj: f64,
+    /// Whether the saturation loop reached a fixpoint within budget.
+    pub saturated: bool,
+}
+
+impl EgraphEntry {
+    /// Fixed-over-extracted energy ratio (`≥ 1` means the search matched
+    /// or beat the script).
+    pub fn vs_fixed(&self) -> f64 {
+        if self.extracted_nj > 0.0 {
+            self.fixed_nj / self.extracted_nj
+        } else {
+            f64::NAN
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::Str(self.name.clone())),
+            ("fixed_nj", Json::Num(self.fixed_nj)),
+            ("extracted_nj", Json::Num(self.extracted_nj)),
+            ("vs_fixed", Json::Num(self.vs_fixed())),
+            ("saturated", Json::Bool(self.saturated)),
+        ])
+    }
+}
+
+/// How the run was shaped: parallelism and repetition knobs recorded in
+/// the report header. `smoke` marks a fast CI run whose timings are not
+/// measurement-grade.
+#[derive(Debug, Clone, Copy)]
+pub struct RunShape {
+    /// Physical cores detected on the machine.
+    pub cores: usize,
+    /// Worker threads the pool actually used.
+    pub jobs: usize,
+    /// Timing repetitions per entry.
+    pub reps: u32,
+    /// Fast-CI run; timings are not measurement-grade.
+    pub smoke: bool,
+}
+
+/// Builds the full `BENCH_N.json` document.
 pub fn to_json(
     meta: &RunMeta,
-    cores: usize,
-    jobs: usize,
-    reps: u32,
-    smoke: bool,
+    shape: RunShape,
     tables: &[Entry],
     sweeps: &[Entry],
+    egraph: &[EgraphEntry],
 ) -> Json {
     let total = |pick: fn(&Entry) -> f64| tables.iter().chain(sweeps.iter()).map(pick).sum::<f64>();
     let (seq, par) = (total(|e| e.seq_s), total(|e| e.par_s));
@@ -137,10 +192,10 @@ pub fn to_json(
         ("schema", Json::Str(SCHEMA.to_string())),
         ("git_sha", Json::Str(meta.git_sha.clone())),
         ("generated_utc", Json::Str(meta.generated_utc.clone())),
-        ("cores", Json::Num(cores as f64)),
-        ("jobs", Json::Num(jobs as f64)),
-        ("reps", Json::Num(f64::from(reps))),
-        ("smoke", Json::Bool(smoke)),
+        ("cores", Json::Num(shape.cores as f64)),
+        ("jobs", Json::Num(shape.jobs as f64)),
+        ("reps", Json::Num(f64::from(shape.reps))),
+        ("smoke", Json::Bool(shape.smoke)),
         (
             "tables",
             Json::Arr(tables.iter().map(Entry::to_json).collect()),
@@ -148,6 +203,10 @@ pub fn to_json(
         (
             "sweeps",
             Json::Arr(sweeps.iter().map(Entry::to_json).collect()),
+        ),
+        (
+            "egraph",
+            Json::Arr(egraph.iter().map(EgraphEntry::to_json).collect()),
         ),
         (
             "totals",
@@ -312,6 +371,46 @@ pub fn validate(doc: &Json) -> Result<(), String> {
             }
         }
     }
+    let egraph = doc
+        .get("egraph")
+        .and_then(Json::as_arr)
+        .ok_or("missing array field \"egraph\"")?;
+    if egraph.is_empty() {
+        return Err("expected at least one egraph entry".to_string());
+    }
+    for e in egraph {
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("egraph entry missing \"name\"")?;
+        let mut nj = [0.0; 2];
+        for (slot, key) in nj.iter_mut().zip(["fixed_nj", "extracted_nj"]) {
+            let v = e
+                .get(key)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("{name}: missing numeric field {key:?}"))?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!(
+                    "{name}: {key:?} must be finite non-negative, got {v}"
+                ));
+            }
+            *slot = v;
+        }
+        // The never-worse guarantee of the strategy, frozen into the
+        // schema so a regression fails the smoke check.
+        if nj[1] > nj[0] * (1.0 + 1e-9) {
+            return Err(format!(
+                "{name}: extracted_nj {} exceeds fixed_nj {}",
+                nj[1], nj[0]
+            ));
+        }
+        e.get("vs_fixed")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("{name}: missing numeric field \"vs_fixed\""))?;
+        e.get("saturated")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| format!("{name}: missing boolean field \"saturated\""))?;
+    }
     let totals = doc.get("totals").ok_or("missing object field \"totals\"")?;
     for key in ["seq_s", "par_s", "speedup"] {
         totals
@@ -340,18 +439,34 @@ mod tests {
         }
     }
 
+    fn sample_egraph(name: &str) -> EgraphEntry {
+        EgraphEntry {
+            name: name.to_string(),
+            fixed_nj: 12.5,
+            extracted_nj: 10.0,
+            saturated: true,
+        }
+    }
+
     fn sample_doc() -> Json {
         let tables = [
             sample_entry("table2"),
             sample_entry("table3"),
             sample_entry("table4"),
         ];
-        let sweeps = [sample_entry("unfold_sweep")];
+        let sweeps = [sample_entry("unfold_sweep"), sample_entry("egraph_suite")];
+        let egraph = [sample_egraph("iir5"), sample_egraph("dist")];
         let meta = RunMeta {
             git_sha: "abc1234".to_string(),
             generated_utc: utc_timestamp(1_754_438_400),
         };
-        to_json(&meta, 4, 4, 3, false, &tables, &sweeps)
+        let shape = RunShape {
+            cores: 4,
+            jobs: 4,
+            reps: 3,
+            smoke: false,
+        };
+        to_json(&meta, shape, &tables, &sweeps, &egraph)
     }
 
     #[test]
@@ -367,7 +482,7 @@ mod tests {
     fn speedup_and_totals_are_consistent() {
         let doc = sample_doc();
         let totals = doc.get("totals").unwrap();
-        assert!((totals.get("seq_s").unwrap().as_num().unwrap() - 0.8).abs() < 1e-12);
+        assert!((totals.get("seq_s").unwrap().as_num().unwrap() - 1.0).abs() < 1e-12);
         assert!((totals.get("speedup").unwrap().as_num().unwrap() - 2.0).abs() < 1e-12);
         let t0 = &doc.get("tables").unwrap().as_arr().unwrap()[0];
         assert!((t0.get("speedup").unwrap().as_num().unwrap() - 2.0).abs() < 1e-12);
@@ -441,6 +556,39 @@ mod tests {
             validate(&doc).is_err(),
             "non-boolean smoke must be rejected"
         );
+
+        let mut doc = sample_doc();
+        if let Json::Obj(m) = &mut doc {
+            m.remove("egraph");
+        }
+        assert!(
+            validate(&doc).is_err(),
+            "missing egraph array must be rejected"
+        );
+
+        let mut doc = sample_doc();
+        if let Json::Obj(m) = &mut doc {
+            if let Some(Json::Arr(rows)) = m.get_mut("egraph") {
+                if let Some(Json::Obj(row)) = rows.first_mut() {
+                    row.insert("extracted_nj".into(), Json::Num(99.0));
+                }
+            }
+        }
+        assert!(
+            validate(&doc).is_err(),
+            "extraction worse than the fixed script must be rejected"
+        );
+    }
+
+    #[test]
+    fn egraph_entries_carry_the_never_worse_ratio() {
+        let e = sample_egraph("iir5");
+        assert!((e.vs_fixed() - 1.25).abs() < 1e-12);
+        let doc = sample_doc();
+        let rows = doc.get("egraph").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!((rows[0].get("vs_fixed").unwrap().as_num().unwrap() - 1.25).abs() < 1e-12);
+        assert_eq!(rows[0].get("saturated").and_then(Json::as_bool), Some(true));
     }
 
     #[test]

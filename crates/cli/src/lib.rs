@@ -5,7 +5,7 @@ use lintra::engine::{SweepCache, ThreadPool};
 use lintra::linsys::count::{op_count, TrivialityRule};
 use lintra::mcm::{naive_cost, synthesize, Recoding};
 use lintra::opt::multi::ProcessorSelection;
-use lintra::opt::{asic, multi, single, Strategy, TechConfig};
+use lintra::opt::{asic, multi, saturate, single, Strategy, TechConfig};
 use lintra::suite::{by_name, suite, Design};
 use lintra::{ErrorClass, LintraError};
 use lintra_bench::render::{render_table2, render_table3, render_table4};
@@ -174,7 +174,7 @@ fn help(out: &mut impl Write) -> Result<(), CliError> {
          commands:\n\
          \x20 suite                         list the benchmark designs\n\
          \x20 show <design>                 print a design's dimensions and stats\n\
-         \x20 optimize <design> [--strategy single|multi|asic] [--v0 V] [--processors N] [--jobs N]\n\
+         \x20 optimize <design> [--strategy single|multi|asic|egraph] [--v0 V] [--processors N] [--jobs N]\n\
          \x20 sweep <design> [--max I]      ops/sample vs unfolding factor\n\
          \x20 tables [--v0 V] [--jobs N] [--seq]  regenerate paper Tables 2-4\n\
          \x20 mcm <c1> <c2> ... [--binary]  synthesize a shared shift-add network\n\
@@ -295,6 +295,30 @@ fn cmd_optimize(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
             writeln!(out, "initial:   {}", r.initial)?;
             writeln!(out, "optimized: {}", r.optimized)?;
             writeln!(out, "energy improvement: x{:.1}", r.improvement())?;
+        }
+        Strategy::Egraph => {
+            let r = saturate::optimize(&d.system, &tech, &saturate::SaturateConfig::default())?;
+            writeln!(
+                out,
+                "strategy: equality saturation over the ASIC script from {v0} V"
+            )?;
+            warn(out, &r.diagnostics)?;
+            writeln!(
+                out,
+                "batch n = {} -> {:.2} V; saturation: {}",
+                r.unfolding + 1,
+                r.voltage,
+                r.stats
+            )?;
+            writeln!(out, "initial:   {}", r.initial)?;
+            writeln!(out, "script:    {}", r.script)?;
+            writeln!(out, "optimized: {}", r.optimized)?;
+            writeln!(
+                out,
+                "energy improvement: x{:.1} (x{:.3} vs fixed script)",
+                r.improvement(),
+                r.vs_script()
+            )?;
         }
     }
     Ok(())

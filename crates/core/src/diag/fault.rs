@@ -64,11 +64,15 @@ pub enum Fault {
     /// stream; followers must refuse with `RES-STALE-EPOCH` and the
     /// revived process must fence itself.
     StaleEpochPrimary,
+    /// An equality-saturation budget too small for even one sweep; the
+    /// egraph strategy must degrade to a best-so-far extraction with a
+    /// `RES-SATURATION-BUDGET` diagnostic, never panic or hang.
+    SaturationBudget,
 }
 
 impl Fault {
     /// All fault classes, for exhaustive harness sweeps.
-    pub fn all() -> [Fault; 11] {
+    pub fn all() -> [Fault; 12] {
         [
             Fault::UnstableSystem,
             Fault::NanCoefficients,
@@ -81,8 +85,16 @@ impl Fault {
             Fault::ReplLinkDrop,
             Fault::LaggingFollower,
             Fault::StaleEpochPrimary,
+            Fault::SaturationBudget,
         ]
     }
+}
+
+/// An equality-saturation configuration whose budget cannot complete even
+/// one sweep — the deterministic trigger for the `RES-SATURATION-BUDGET`
+/// degradation path.
+pub fn tiny_saturation_budget() -> lintra_opt::saturate::SaturateConfig {
+    lintra_opt::saturate::SaturateConfig::tiny_budget()
 }
 
 /// Coefficient matrices `(A, B, C, D)` of a `(p, q, r)` system whose `A`

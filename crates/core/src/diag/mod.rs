@@ -23,6 +23,7 @@ use std::error::Error;
 use std::fmt;
 
 use lintra_dfg::DfgError;
+use lintra_egraph::EgraphError;
 use lintra_engine::EngineError;
 use lintra_filters::DesignFilterError;
 use lintra_fixed::FixedSimError;
@@ -139,6 +140,7 @@ pub fn documented_codes() -> &'static [(&'static str, ErrorClass)] {
         ("RES-DUPLICATE-REQUEST", ErrorClass::Resource),
         ("RES-STALE-EPOCH", ErrorClass::Resource),
         ("RES-NOT-PRIMARY", ErrorClass::Resource),
+        ("RES-SATURATION-BUDGET", ErrorClass::Resource),
         ("CNV-BISECTION", ErrorClass::Convergence),
         ("IO-FAILURE", ErrorClass::Io),
         ("IO-JOURNAL-CORRUPT", ErrorClass::Io),
@@ -369,6 +371,23 @@ impl From<OptError> for LintraError {
             OptError::Schedule(inner) => LintraError::from(inner).context("optimizing"),
             OptError::Voltage(inner) => LintraError::from(inner).context("optimizing"),
             OptError::Engine(inner) => LintraError::from(inner).context("optimizing"),
+            OptError::Egraph(inner) => LintraError::from(inner).context("optimizing"),
+        }
+    }
+}
+
+impl From<EgraphError> for LintraError {
+    fn from(e: EgraphError) -> Self {
+        match e {
+            EgraphError::Graph(inner) => LintraError::from(inner).context("equality saturation"),
+            EgraphError::Budget { .. } => {
+                LintraError::wrap(ErrorClass::Resource, "RES-SATURATION-BUDGET", e)
+            }
+            EgraphError::UnsupportedGraph { .. }
+            | EgraphError::InterfaceMismatch { .. }
+            | EgraphError::Unextractable { .. } => {
+                LintraError::wrap(ErrorClass::Validation, "VAL-GRAPH", e)
+            }
         }
     }
 }

@@ -46,6 +46,7 @@
 pub mod diag;
 
 pub use lintra_dfg as dfg;
+pub use lintra_egraph as egraph;
 pub use lintra_engine as engine;
 pub use lintra_filters as filters;
 pub use lintra_fixed as fixed;

@@ -14,6 +14,9 @@
 //!   coefficient followed by a balanced binary adder tree,
 //! * critical-path analysis ([`Dfg::critical_path`],
 //!   [`Dfg::feedback_critical_path`]) with per-operation timings,
+//! * the unified [`cost::CostModel`] trait pricing nodes, censuses and
+//!   graphs (op counts, processor cycles, critical path here; the `C·V²`
+//!   energy model implements it from `lintra-power`),
 //! * bit-true [`Dfg::simulate`] used to prove builders equivalent to the
 //!   state-space semantics,
 //! * [`Dfg::to_dot`] for inspection.
@@ -41,6 +44,8 @@
 //! ```
 
 pub mod build;
+pub mod cost;
 mod graph;
 
+pub use cost::{CostModel, CriticalPathCost, CycleCost, OpCountCost};
 pub use graph::{Dfg, DfgError, NodeId, NodeKind, OpCounts, OpTiming};

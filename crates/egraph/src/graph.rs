@@ -1,0 +1,968 @@
+//! The e-graph itself: hashconsing, union-find, congruence closure,
+//! bounded saturation and cost-based extraction.
+
+use crate::{RuleSet, SaturationBudget, SaturationStats, StopReason};
+use lintra_dfg::{CostModel, Dfg, DfgError, NodeId, NodeKind, OpCountCost};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+/// An e-class reference. Ids are not stable across unions — resolve
+/// through [`EGraph::find`] before comparing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Id(pub(crate) u32);
+
+impl Id {
+    /// The raw index (for diagnostics only).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The DFG node language with e-class children. Constants are stored as
+/// `f64` bit patterns so hashing and equality are exact (`-0.0` and `0.0`
+/// are distinct shapes, as are distinct NaN payloads — though validated
+/// DFGs never contain non-finite constants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ENode {
+    /// Primary input (sample offset within the batch, channel).
+    Input {
+        /// Sample offset within the processed batch.
+        sample: usize,
+        /// Input channel.
+        channel: usize,
+    },
+    /// Previous-iteration state variable.
+    StateIn {
+        /// State index.
+        index: usize,
+    },
+    /// Literal constant (`f64::to_bits`).
+    Const(u64),
+    /// Two-operand addition.
+    Add(Id, Id),
+    /// Two-operand subtraction (`first − second`).
+    Sub(Id, Id),
+    /// Multiplication by a constant (`f64::to_bits`).
+    MulConst(u64, Id),
+    /// Multiplication by `2^amount`.
+    Shift(i32, Id),
+    /// Arithmetic negation.
+    Neg(Id),
+    /// A register; value passes through.
+    Delay(Id),
+}
+
+impl ENode {
+    /// Child e-classes, in operand order.
+    pub(crate) fn children(&self) -> [Option<Id>; 2] {
+        match *self {
+            ENode::Input { .. } | ENode::StateIn { .. } | ENode::Const(_) => [None, None],
+            ENode::Add(a, b) | ENode::Sub(a, b) => [Some(a), Some(b)],
+            ENode::MulConst(_, a) | ENode::Shift(_, a) | ENode::Neg(a) | ENode::Delay(a) => {
+                [Some(a), None]
+            }
+        }
+    }
+
+    /// The same shape with every child mapped.
+    pub(crate) fn map_children(self, f: &mut impl FnMut(Id) -> Id) -> ENode {
+        match self {
+            ENode::Input { .. } | ENode::StateIn { .. } | ENode::Const(_) => self,
+            ENode::Add(a, b) => ENode::Add(f(a), f(b)),
+            ENode::Sub(a, b) => ENode::Sub(f(a), f(b)),
+            ENode::MulConst(c, a) => ENode::MulConst(c, f(a)),
+            ENode::Shift(s, a) => ENode::Shift(s, f(a)),
+            ENode::Neg(a) => ENode::Neg(f(a)),
+            ENode::Delay(a) => ENode::Delay(f(a)),
+        }
+    }
+
+    /// The [`NodeKind`] this e-node extracts to — the bridge to
+    /// [`CostModel::node_cost`].
+    pub fn to_kind(&self) -> NodeKind {
+        match *self {
+            ENode::Input { sample, channel } => NodeKind::Input { sample, channel },
+            ENode::StateIn { index } => NodeKind::StateIn { index },
+            ENode::Const(bits) => NodeKind::Const(f64::from_bits(bits)),
+            ENode::Add(..) => NodeKind::Add,
+            ENode::Sub(..) => NodeKind::Sub,
+            ENode::MulConst(bits, _) => NodeKind::MulConst(f64::from_bits(bits)),
+            ENode::Shift(s, _) => NodeKind::Shift(s),
+            ENode::Neg(_) => NodeKind::Neg,
+            ENode::Delay(_) => NodeKind::Delay,
+        }
+    }
+}
+
+/// Where a DFG's sinks landed in the e-graph: one e-class per output
+/// (keyed by `(sample, channel)`) and per next-state variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphRoots {
+    /// Output roots, in the source graph's node order.
+    pub outputs: Vec<((usize, usize), Id)>,
+    /// Next-state roots, in the source graph's node order.
+    pub states: Vec<(usize, Id)>,
+}
+
+/// Error from e-graph construction or extraction. Saturation itself never
+/// errors — budget exhaustion is reported through [`SaturationStats`]; the
+/// [`EgraphError::Budget`] variant exists for callers that *require* a
+/// saturated result (strict mode).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EgraphError {
+    /// The input DFG failed validation.
+    Graph(DfgError),
+    /// The input DFG uses a sink node (output/state) as a predecessor.
+    UnsupportedGraph {
+        /// What was wrong.
+        detail: String,
+    },
+    /// Two graphs asked to be united compute different interfaces
+    /// (mismatched output keys or state indices).
+    InterfaceMismatch {
+        /// What differed.
+        detail: String,
+    },
+    /// A required e-class has no representative grounded in leaves (only
+    /// possible on hand-built e-graphs, never on one loaded from a DFG).
+    Unextractable {
+        /// The offending e-class.
+        class: u32,
+    },
+    /// Saturation stopped on a budget and the caller demanded a fixpoint.
+    Budget {
+        /// Sweeps performed.
+        iterations: usize,
+        /// E-nodes created.
+        enodes: usize,
+    },
+}
+
+impl fmt::Display for EgraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EgraphError::Graph(e) => write!(f, "invalid dataflow graph: {e}"),
+            EgraphError::UnsupportedGraph { detail } => {
+                write!(f, "unsupported dataflow graph: {detail}")
+            }
+            EgraphError::InterfaceMismatch { detail } => {
+                write!(f, "graphs compute different interfaces: {detail}")
+            }
+            EgraphError::Unextractable { class } => {
+                write!(f, "e-class {class} has no extractable representative")
+            }
+            EgraphError::Budget { iterations, enodes } => {
+                write!(
+                    f,
+                    "equality saturation exhausted its budget after {iterations} iterations \
+                     and {enodes} e-nodes without reaching a fixpoint"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EgraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EgraphError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DfgError> for EgraphError {
+    fn from(e: DfgError) -> Self {
+        EgraphError::Graph(e)
+    }
+}
+
+/// One extracted realization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Extraction {
+    /// The extracted graph (validated, simulable).
+    pub dfg: Dfg,
+    /// Its cost under the extraction's model (true DAG cost — shared
+    /// subexpressions counted once).
+    pub cost: f64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct EClass {
+    nodes: Vec<ENode>,
+    /// E-nodes that reference this class, with the class they live in.
+    parents: Vec<(ENode, u32)>,
+}
+
+/// A hashconsed e-graph over [`ENode`] with congruence closure.
+#[derive(Debug, Clone, Default)]
+pub struct EGraph {
+    /// Union-find parent pointers; `uf[i] == i` marks a canonical class.
+    /// `Cell` so lookups can path-halve behind `&self` — without the
+    /// compression, merge cascades leave chains that turn every `find`
+    /// into a long walk and large saturations quadratic.
+    uf: Vec<std::cell::Cell<u32>>,
+    /// Class contents, indexed by canonical id (`None` once merged away).
+    classes: Vec<Option<EClass>>,
+    /// Canonical e-node → class.
+    memo: HashMap<ENode, u32>,
+    /// Classes whose contents need re-canonicalization after unions.
+    dirty: Vec<u32>,
+    /// Parent entries whose keys went stale because a child class merged
+    /// away: `(e-node as registered, its class, the surviving child
+    /// root)`. Only these need congruence repair — the surviving root's
+    /// own parents still canonicalize to themselves, and re-walking them
+    /// on every union is what makes merge cascades quadratic.
+    pending: Vec<(ENode, u32, u32)>,
+}
+
+impl EGraph {
+    /// An empty e-graph.
+    pub fn new() -> EGraph {
+        EGraph::default()
+    }
+
+    fn find_u(&self, mut x: u32) -> u32 {
+        loop {
+            let p = self.uf[x as usize].get();
+            if p == x {
+                return x;
+            }
+            // Path halving: point x at its grandparent and step there.
+            let gp = self.uf[p as usize].get();
+            self.uf[x as usize].set(gp);
+            x = gp;
+        }
+    }
+
+    /// Canonical representative of an e-class.
+    pub fn find(&self, id: Id) -> Id {
+        Id(self.find_u(id.0))
+    }
+
+    fn canon(&self, n: ENode) -> ENode {
+        n.map_children(&mut |c| Id(self.find_u(c.0)))
+    }
+
+    /// Total e-nodes ever created (the node-budget counter: hashconsing
+    /// makes each shape count once).
+    pub fn len(&self) -> usize {
+        self.uf.len()
+    }
+
+    /// `true` before anything was added.
+    pub fn is_empty(&self) -> bool {
+        self.uf.is_empty()
+    }
+
+    /// Live (canonical) e-classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Canonical ids of all live classes, in id order (snapshot).
+    pub(crate) fn class_ids(&self) -> Vec<Id> {
+        self.classes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.as_ref().map(|_| Id(i as u32)))
+            .collect()
+    }
+
+    /// The e-nodes of a class (canonical id assumed; resolves internally).
+    pub(crate) fn class_nodes(&self, id: Id) -> &[ENode] {
+        match &self.classes[self.find_u(id.0) as usize] {
+            Some(c) => &c.nodes,
+            None => &[],
+        }
+    }
+
+    /// Adds an e-node (hashconsed) and returns its class.
+    pub fn add(&mut self, node: ENode) -> Id {
+        let node = self.canon(node);
+        if let Some(&c) = self.memo.get(&node) {
+            return Id(self.find_u(c));
+        }
+        let id = self.uf.len() as u32;
+        self.uf.push(std::cell::Cell::new(id));
+        self.classes.push(Some(EClass {
+            nodes: vec![node],
+            parents: Vec::new(),
+        }));
+        for child in node.children().into_iter().flatten() {
+            if let Some(c) = &mut self.classes[child.0 as usize] {
+                c.parents.push((node, id));
+            }
+        }
+        self.memo.insert(node, id);
+        Id(id)
+    }
+
+    /// Merges two e-classes; returns `true` if they were distinct. Call
+    /// [`rebuild`](EGraph::rebuild) before relying on congruence again.
+    pub fn union(&mut self, a: Id, b: Id) -> bool {
+        let a = self.find_u(a.0);
+        let b = self.find_u(b.0);
+        if a == b {
+            return false;
+        }
+        // The smaller id stays canonical — deterministic across runs.
+        let (root, dead) = if a < b { (a, b) } else { (b, a) };
+        self.uf[dead as usize].set(root);
+        let taken = self.classes[dead as usize].take().unwrap_or_default();
+        if let Some(r) = &mut self.classes[root as usize] {
+            r.nodes.extend(taken.nodes);
+        }
+        self.pending
+            .extend(taken.parents.into_iter().map(|(n, c)| (n, c, root)));
+        self.dirty.push(root);
+        true
+    }
+
+    /// Restores the congruence invariant after unions: re-canonicalizes
+    /// the parents of every touched class and merges classes that became
+    /// structurally identical, to a fixpoint.
+    pub fn rebuild(&mut self) {
+        // Congruence repair: re-key exactly the parent entries whose child
+        // canonicalization changed. An entry is registered with *every*
+        // child class at add time, so whichever child merges away carries
+        // it here; copies left in other children's lists keep a stale key,
+        // which `canon` resolves whenever their turn comes.
+        while !self.pending.is_empty() {
+            let batch = std::mem::take(&mut self.pending);
+            for (pnode, pclass, child) in batch {
+                self.memo.remove(&pnode);
+                let canon = self.canon(pnode);
+                let mut pc = self.find_u(pclass);
+                if let Some(&existing) = self.memo.get(&canon) {
+                    let ex = self.find_u(existing);
+                    if ex != pc {
+                        self.union(Id(ex), Id(pc));
+                        pc = self.find_u(pc);
+                    }
+                }
+                self.memo.insert(canon, pc);
+                // Re-attach to the surviving child root so the entry is
+                // found again the next time that class merges.
+                let ch = self.find_u(child);
+                if let Some(cl) = &mut self.classes[ch as usize] {
+                    cl.parents.push((canon, pc));
+                }
+            }
+        }
+        // Content pass: canonicalize and dedupe the nodes and parents of
+        // every class that absorbed a merge (no new unions can arise).
+        let mut touched = std::mem::take(&mut self.dirty);
+        for c in &mut touched {
+            *c = self.find_u(*c);
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for c in touched {
+            let Some(cl) = &mut self.classes[c as usize] else {
+                continue;
+            };
+            let nodes = std::mem::take(&mut cl.nodes);
+            let parents = std::mem::take(&mut cl.parents);
+            let mut canon_nodes: Vec<ENode> = nodes.into_iter().map(|n| self.canon(n)).collect();
+            canon_nodes.sort_unstable();
+            canon_nodes.dedup();
+            let mut canon_parents: Vec<(ENode, u32)> = parents
+                .into_iter()
+                .map(|(n, c)| (self.canon(n), self.find_u(c)))
+                .collect();
+            canon_parents.sort_unstable();
+            canon_parents.dedup();
+            if let Some(cl) = &mut self.classes[c as usize] {
+                cl.nodes = canon_nodes;
+                cl.parents = canon_parents;
+            }
+        }
+    }
+
+    /// Loads a DFG into the e-graph (hashconsing against what is already
+    /// there) and returns where its sinks landed.
+    ///
+    /// # Errors
+    ///
+    /// [`EgraphError::Graph`] when the DFG fails validation and
+    /// [`EgraphError::UnsupportedGraph`] when a sink node is used as a
+    /// predecessor.
+    pub fn add_dfg(&mut self, g: &Dfg) -> Result<GraphRoots, EgraphError> {
+        g.validate()?;
+        let mut map: Vec<Option<Id>> = vec![None; g.len()];
+        let mut roots = GraphRoots {
+            outputs: Vec::new(),
+            states: Vec::new(),
+        };
+        for (id, n) in g.iter() {
+            let child = |k: usize| -> Result<Id, EgraphError> {
+                map[n.preds[k].0].ok_or_else(|| EgraphError::UnsupportedGraph {
+                    detail: format!("node {} uses a sink node as a predecessor", id.0),
+                })
+            };
+            let added = match n.kind {
+                NodeKind::Input { sample, channel } => {
+                    Some(self.add(ENode::Input { sample, channel }))
+                }
+                NodeKind::StateIn { index } => Some(self.add(ENode::StateIn { index })),
+                NodeKind::Const(c) => Some(self.add(ENode::Const(c.to_bits()))),
+                NodeKind::Add => {
+                    let (a, b) = (child(0)?, child(1)?);
+                    Some(self.add(ENode::Add(a, b)))
+                }
+                NodeKind::Sub => {
+                    let (a, b) = (child(0)?, child(1)?);
+                    Some(self.add(ENode::Sub(a, b)))
+                }
+                NodeKind::MulConst(c) => {
+                    let a = child(0)?;
+                    Some(self.add(ENode::MulConst(c.to_bits(), a)))
+                }
+                NodeKind::Shift(s) => {
+                    let a = child(0)?;
+                    Some(self.add(ENode::Shift(s, a)))
+                }
+                NodeKind::Neg => {
+                    let a = child(0)?;
+                    Some(self.add(ENode::Neg(a)))
+                }
+                NodeKind::Delay => {
+                    let a = child(0)?;
+                    Some(self.add(ENode::Delay(a)))
+                }
+                NodeKind::Output { sample, channel } => {
+                    roots.outputs.push(((sample, channel), child(0)?));
+                    None
+                }
+                NodeKind::StateOut { index } => {
+                    roots.states.push((index, child(0)?));
+                    None
+                }
+            };
+            map[id.0] = added;
+        }
+        Ok(roots)
+    }
+
+    /// Builds an e-graph from a DFG.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`EGraph::add_dfg`].
+    pub fn from_dfg(g: &Dfg) -> Result<(EGraph, GraphRoots), EgraphError> {
+        let mut eg = EGraph::new();
+        let roots = eg.add_dfg(g)?;
+        Ok((eg, roots))
+    }
+
+    /// Asserts that two root sets compute the same interface and unites
+    /// them root-by-root — how whole-graph rewrites (Horner restructuring,
+    /// shared MCM networks) enter the e-graph. Returns `true` if anything
+    /// merged; the congruence invariant is restored before returning.
+    ///
+    /// # Errors
+    ///
+    /// [`EgraphError::InterfaceMismatch`] when the output keys or state
+    /// indices differ (including duplicates).
+    pub fn union_roots(&mut self, a: &GraphRoots, b: &GraphRoots) -> Result<bool, EgraphError> {
+        let index = |r: &GraphRoots| -> (BTreeMap<(usize, usize), Id>, BTreeMap<usize, Id>) {
+            (
+                r.outputs.iter().copied().collect(),
+                r.states.iter().copied().collect(),
+            )
+        };
+        let (ao, as_) = index(a);
+        let (bo, bs) = index(b);
+        if ao.len() != a.outputs.len() || bo.len() != b.outputs.len() {
+            return Err(EgraphError::InterfaceMismatch {
+                detail: "duplicate output keys".to_string(),
+            });
+        }
+        let a_keys: BTreeSet<_> = ao.keys().collect();
+        let b_keys: BTreeSet<_> = bo.keys().collect();
+        if a_keys != b_keys {
+            return Err(EgraphError::InterfaceMismatch {
+                detail: format!("output keys differ: {a_keys:?} vs {b_keys:?}"),
+            });
+        }
+        let a_states: BTreeSet<_> = as_.keys().collect();
+        let b_states: BTreeSet<_> = bs.keys().collect();
+        if a_states != b_states {
+            return Err(EgraphError::InterfaceMismatch {
+                detail: format!("state indices differ: {a_states:?} vs {b_states:?}"),
+            });
+        }
+        let mut changed = false;
+        for (k, &ia) in &ao {
+            if let Some(&ib) = bo.get(k) {
+                changed |= self.union(ia, ib);
+            }
+        }
+        for (k, &ia) in &as_ {
+            if let Some(&ib) = bs.get(k) {
+                changed |= self.union(ia, ib);
+            }
+        }
+        self.rebuild();
+        Ok(changed)
+    }
+
+    /// Applies the rule set to a bounded fixpoint. Never panics, never
+    /// hangs, never errors: hitting a budget stops the sweep and leaves a
+    /// congruent e-graph behind, so extraction still works on the best
+    /// representations found so far.
+    pub fn saturate(&mut self, rules: &RuleSet, budget: &SaturationBudget) -> SaturationStats {
+        let mut iterations = 0;
+        let stop = 'outer: loop {
+            if iterations >= budget.max_iterations {
+                break StopReason::IterationBudget;
+            }
+            iterations += 1;
+            let mut pairs: Vec<(u32, ENode)> = Vec::new();
+            for (c, class) in self.classes.iter().enumerate() {
+                if let Some(class) = class {
+                    for n in &class.nodes {
+                        pairs.push((c as u32, *n));
+                    }
+                }
+            }
+            let mut changed = false;
+            for (c, node) in pairs {
+                if self.uf.len() >= budget.max_enodes {
+                    break 'outer StopReason::NodeBudget;
+                }
+                changed |= rules.apply(self, Id(c), &node);
+            }
+            // Whole-graph rules (linear collection) run once per sweep;
+            // they add at most one hub e-node per class, so the budget
+            // check above still bounds growth to the same order.
+            if self.uf.len() >= budget.max_enodes {
+                break 'outer StopReason::NodeBudget;
+            }
+            changed |= rules.sweep(self);
+            self.rebuild();
+            if !changed {
+                break StopReason::Saturated;
+            }
+        };
+        self.rebuild();
+        SaturationStats {
+            iterations,
+            enodes: self.uf.len(),
+            classes: self.class_count(),
+            stop,
+        }
+    }
+
+    /// Minimum-cost extraction under a [`CostModel`]: per e-class, the
+    /// representative minimizing `node_cost + Σ child costs` (relaxed to a
+    /// fixpoint, so cyclic classes resolve to their grounded
+    /// representatives), emitted as a deduplicated DAG. The reported cost
+    /// is [`CostModel::graph_cost`] of the extracted graph — shared
+    /// subexpressions counted once.
+    ///
+    /// # Errors
+    ///
+    /// [`EgraphError::Unextractable`] when a root class has no grounded
+    /// representative.
+    pub fn extract(
+        &self,
+        roots: &GraphRoots,
+        model: &dyn CostModel,
+    ) -> Result<Extraction, EgraphError> {
+        let mut weight = |_c: u32, _i: usize, n: &ENode| model.node_cost(&n.to_kind());
+        let dfg = self.extract_by(roots, &mut weight)?;
+        let cost = model.graph_cost(&dfg);
+        Ok(Extraction { dfg, cost })
+    }
+
+    /// Deterministic sampling of *alternative* representatives: op-count
+    /// extraction with a seeded per-(class, node) jitter, so different
+    /// seeds surface different (still grounded) realizations. The property
+    /// harness uses this to check that every representative simulates
+    /// identically.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`EGraph::extract`].
+    pub fn extract_seeded(&self, roots: &GraphRoots, seed: u64) -> Result<Extraction, EgraphError> {
+        let base = OpCountCost;
+        let mut weight = |c: u32, i: usize, n: &ENode| {
+            let mut h =
+                seed ^ (u64::from(c) << 32) ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            // splitmix64 finalizer — deterministic, seed-sensitive.
+            h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            h ^= h >> 31;
+            base.node_cost(&n.to_kind()) + (h >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+        };
+        let dfg = self.extract_by(roots, &mut weight)?;
+        let cost = OpCountCost.graph_cost(&dfg);
+        Ok(Extraction { dfg, cost })
+    }
+
+    fn extract_by(
+        &self,
+        roots: &GraphRoots,
+        weight: &mut dyn FnMut(u32, usize, &ENode) -> f64,
+    ) -> Result<Dfg, EgraphError> {
+        let n = self.uf.len();
+        // best[c] = (cost, chosen node) for canonical class c. Relaxation
+        // with strictly-improving updates: converges in at most the
+        // dependency depth, and the strict inequality keeps the chosen
+        // assignment acyclic.
+        let mut best: Vec<Option<(f64, ENode)>> = vec![None; n];
+        for _pass in 0..=n {
+            let mut changed = false;
+            for (c, class) in self.classes.iter().enumerate() {
+                let Some(class) = class else { continue };
+                for (i, node) in class.nodes.iter().enumerate() {
+                    let node = self.canon(*node);
+                    let mut cost = weight(c as u32, i, &node);
+                    let mut grounded = true;
+                    for child in node.children().into_iter().flatten() {
+                        match &best[self.find_u(child.0) as usize] {
+                            Some((cc, _)) => cost += cc,
+                            None => {
+                                grounded = false;
+                                break;
+                            }
+                        }
+                    }
+                    if !grounded || !cost.is_finite() {
+                        continue;
+                    }
+                    if best[c].is_none_or(|(b, _)| cost < b) {
+                        best[c] = Some((cost, node));
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Emit the chosen representatives as a deduplicated DAG.
+        let mut dfg = Dfg::new();
+        let mut node_of: Vec<Option<NodeId>> = vec![None; n];
+        let mut on_stack = vec![false; n];
+        enum Task {
+            Visit(u32),
+            Build(u32),
+        }
+        let mut emit_root = |dfg: &mut Dfg, root: Id| -> Result<NodeId, EgraphError> {
+            let root = self.find_u(root.0);
+            let mut stack = vec![Task::Visit(root)];
+            while let Some(task) = stack.pop() {
+                match task {
+                    Task::Visit(c) => {
+                        if node_of[c as usize].is_some() {
+                            continue;
+                        }
+                        if on_stack[c as usize] {
+                            return Err(EgraphError::Unextractable { class: c });
+                        }
+                        on_stack[c as usize] = true;
+                        let Some((_, node)) = best[c as usize] else {
+                            return Err(EgraphError::Unextractable { class: c });
+                        };
+                        stack.push(Task::Build(c));
+                        for child in node.children().into_iter().flatten() {
+                            stack.push(Task::Visit(self.find_u(child.0)));
+                        }
+                    }
+                    Task::Build(c) => {
+                        let Some((_, node)) = best[c as usize] else {
+                            return Err(EgraphError::Unextractable { class: c });
+                        };
+                        let mut preds = Vec::new();
+                        for child in node.children().into_iter().flatten() {
+                            match node_of[self.find_u(child.0) as usize] {
+                                Some(id) => preds.push(id),
+                                None => return Err(EgraphError::Unextractable { class: c }),
+                            }
+                        }
+                        let id = dfg.push(node.to_kind(), preds)?;
+                        node_of[c as usize] = Some(id);
+                        on_stack[c as usize] = false;
+                    }
+                }
+            }
+            node_of[root as usize].ok_or(EgraphError::Unextractable { class: root })
+        };
+        let mut outs = Vec::with_capacity(roots.outputs.len());
+        for &((sample, channel), root) in &roots.outputs {
+            outs.push((sample, channel, emit_root(&mut dfg, root)?));
+        }
+        let mut states = Vec::with_capacity(roots.states.len());
+        for &(index, root) in &roots.states {
+            states.push((index, emit_root(&mut dfg, root)?));
+        }
+        for (sample, channel, pred) in outs {
+            dfg.push(NodeKind::Output { sample, channel }, vec![pred])?;
+        }
+        for (index, pred) in states {
+            dfg.push(NodeKind::StateOut { index }, vec![pred])?;
+        }
+        dfg.validate()?;
+        Ok(dfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RuleSet, SaturationBudget, StopReason};
+    use lintra_dfg::{NodeKind, OpCountCost};
+
+    /// y = 0.75·x + s; s' = 0.5·s — a one-pole filter fragment.
+    fn small_filter() -> Dfg {
+        let mut g = Dfg::new();
+        let x = g
+            .push(
+                NodeKind::Input {
+                    sample: 0,
+                    channel: 0,
+                },
+                vec![],
+            )
+            .unwrap();
+        let s = g.push(NodeKind::StateIn { index: 0 }, vec![]).unwrap();
+        let m = g.push(NodeKind::MulConst(0.75), vec![x]).unwrap();
+        let a = g.push(NodeKind::Add, vec![m, s]).unwrap();
+        let d = g.push(NodeKind::MulConst(0.5), vec![s]).unwrap();
+        g.push(
+            NodeKind::Output {
+                sample: 0,
+                channel: 0,
+            },
+            vec![a],
+        )
+        .unwrap();
+        g.push(NodeKind::StateOut { index: 0 }, vec![d]).unwrap();
+        g
+    }
+
+    #[test]
+    fn dfg_round_trips_through_an_unsaturated_egraph() {
+        let g = small_filter();
+        let (eg, roots) = EGraph::from_dfg(&g).unwrap();
+        assert_eq!(roots.outputs.len(), 1);
+        assert_eq!(roots.states.len(), 1);
+        let ex = eg.extract(&roots, &OpCountCost).unwrap();
+        assert_eq!(ex.dfg.op_counts(), g.op_counts());
+        let inputs = std::collections::HashMap::from([((0usize, 0usize), 1.5)]);
+        let (o1, s1) = g.simulate(&[0.25], &inputs).unwrap();
+        let (o2, s2) = ex.dfg.simulate(&[0.25], &inputs).unwrap();
+        assert_eq!(o1, o2);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn hashconsing_shares_identical_shapes() {
+        let mut eg = EGraph::new();
+        let x = eg.add(ENode::Input {
+            sample: 0,
+            channel: 0,
+        });
+        let a1 = eg.add(ENode::Shift(2, x));
+        let a2 = eg.add(ENode::Shift(2, x));
+        assert_eq!(a1, a2);
+        assert_eq!(eg.len(), 2);
+    }
+
+    #[test]
+    fn congruence_merges_parents_of_merged_children() {
+        let mut eg = EGraph::new();
+        let x = eg.add(ENode::Input {
+            sample: 0,
+            channel: 0,
+        });
+        let y = eg.add(ENode::StateIn { index: 0 });
+        let fx = eg.add(ENode::Neg(x));
+        let fy = eg.add(ENode::Neg(y));
+        assert_ne!(eg.find(fx), eg.find(fy));
+        eg.union(x, y);
+        eg.rebuild();
+        assert_eq!(eg.find(fx), eg.find(fy), "congruence closure");
+    }
+
+    #[test]
+    fn iteration_budget_stops_gracefully() {
+        let g = small_filter();
+        let (mut eg, roots) = EGraph::from_dfg(&g).unwrap();
+        let stats = eg.saturate(
+            &RuleSet::extended(),
+            &SaturationBudget {
+                max_enodes: usize::MAX,
+                max_iterations: 1,
+            },
+        );
+        assert_eq!(stats.stop, StopReason::IterationBudget);
+        assert!(!stats.saturated());
+        // Best-so-far extraction still works.
+        let ex = eg.extract(&roots, &OpCountCost).unwrap();
+        ex.dfg.validate().unwrap();
+    }
+
+    #[test]
+    fn node_budget_stops_mid_sweep() {
+        let g = small_filter();
+        let (mut eg, roots) = EGraph::from_dfg(&g).unwrap();
+        let n = eg.len();
+        let stats = eg.saturate(
+            &RuleSet::extended(),
+            &SaturationBudget {
+                max_enodes: n + 2,
+                max_iterations: 100,
+            },
+        );
+        assert_eq!(stats.stop, StopReason::NodeBudget);
+        let ex = eg.extract(&roots, &OpCountCost).unwrap();
+        ex.dfg.validate().unwrap();
+    }
+
+    #[test]
+    fn union_roots_requires_matching_interfaces() {
+        let g = small_filter();
+        let mut eg = EGraph::new();
+        let a = eg.add_dfg(&g).unwrap();
+
+        let mut other = Dfg::new();
+        let x = other
+            .push(
+                NodeKind::Input {
+                    sample: 0,
+                    channel: 0,
+                },
+                vec![],
+            )
+            .unwrap();
+        other
+            .push(
+                NodeKind::Output {
+                    sample: 0,
+                    channel: 0,
+                },
+                vec![x],
+            )
+            .unwrap();
+        let b = eg.add_dfg(&other).unwrap();
+        let err = eg.union_roots(&a, &b).unwrap_err();
+        assert!(matches!(err, EgraphError::InterfaceMismatch { .. }));
+        assert!(err.to_string().contains("state indices differ"));
+    }
+
+    #[test]
+    fn union_roots_merges_equivalent_realizations() {
+        // Same computation written two ways: 4·x vs x ≪ 2.
+        let mut mul = Dfg::new();
+        let x = mul
+            .push(
+                NodeKind::Input {
+                    sample: 0,
+                    channel: 0,
+                },
+                vec![],
+            )
+            .unwrap();
+        let m = mul.push(NodeKind::MulConst(4.0), vec![x]).unwrap();
+        mul.push(
+            NodeKind::Output {
+                sample: 0,
+                channel: 0,
+            },
+            vec![m],
+        )
+        .unwrap();
+
+        let mut shift = Dfg::new();
+        let x2 = shift
+            .push(
+                NodeKind::Input {
+                    sample: 0,
+                    channel: 0,
+                },
+                vec![],
+            )
+            .unwrap();
+        let s = shift.push(NodeKind::Shift(2), vec![x2]).unwrap();
+        shift
+            .push(
+                NodeKind::Output {
+                    sample: 0,
+                    channel: 0,
+                },
+                vec![s],
+            )
+            .unwrap();
+
+        let mut eg = EGraph::new();
+        let a = eg.add_dfg(&mul).unwrap();
+        let b = eg.add_dfg(&shift).unwrap();
+        assert!(eg.union_roots(&a, &b).unwrap());
+        // After the union the cheaper form (the shift) wins extraction
+        // under a model that prices multipliers above shifts.
+        let model = lintra_dfg::CycleCost {
+            w_mul: 3.0,
+            w_add: 1.0,
+        };
+        let ex = eg.extract(&a, &model).unwrap();
+        assert_eq!(ex.dfg.op_counts().muls, 0);
+        assert_eq!(ex.dfg.op_counts().shifts, 1);
+    }
+
+    #[test]
+    fn seeded_extraction_is_deterministic_and_varies_with_seed() {
+        let g = small_filter();
+        let (mut eg, roots) = EGraph::from_dfg(&g).unwrap();
+        eg.saturate(&RuleSet::exact(), &SaturationBudget::default());
+        let e1 = eg.extract_seeded(&roots, 42).unwrap();
+        let e2 = eg.extract_seeded(&roots, 42).unwrap();
+        assert_eq!(e1, e2, "same seed, same extraction");
+        // Different seeds may pick different representatives; every one
+        // must still be a valid graph.
+        for seed in 0..8 {
+            let e = eg.extract_seeded(&roots, seed).unwrap();
+            e.dfg.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn unextractable_class_is_an_error_not_a_hang() {
+        // A class whose only member references itself through a cycle:
+        // x = Neg(y), y = Neg(x) unioned with nothing grounded.
+        let mut eg = EGraph::new();
+        let x = eg.add(ENode::Input {
+            sample: 0,
+            channel: 0,
+        });
+        let a = eg.add(ENode::Neg(x));
+        // Make `a`'s class self-referential only: union a with Neg(a).
+        let na = eg.add(ENode::Neg(a));
+        eg.union(a, na);
+        eg.rebuild();
+        // `a` still extracts (Neg(x) is grounded), proving cyclic class
+        // membership alone is not fatal.
+        let roots = GraphRoots {
+            outputs: vec![((0, 0), a)],
+            states: vec![],
+        };
+        let ex = eg.extract(&roots, &OpCountCost).unwrap();
+        ex.dfg.validate().unwrap();
+    }
+
+    #[test]
+    fn errors_display_and_chain() {
+        let e = EgraphError::Budget {
+            iterations: 3,
+            enodes: 99,
+        };
+        assert!(e.to_string().contains("3 iterations"));
+        let g = EgraphError::InterfaceMismatch { detail: "x".into() };
+        assert!(g.to_string().contains("different interfaces"));
+    }
+}

@@ -8,7 +8,7 @@
 //! multiply-accumulate datapath at the initial voltage.
 
 use crate::{scale_or_fallback, DiagCode, Diagnostic, OptError, TechConfig};
-use lintra_dfg::{build, OpTiming};
+use lintra_dfg::{build, CostModel, CriticalPathCost, OpCounts, OpTiming};
 use lintra_engine::SweepCache;
 use lintra_linsys::{LinsysError, StateSpace};
 use lintra_mcm::Recoding;
@@ -88,9 +88,8 @@ fn required_unfolding<H>(
 where
     H: FnMut(u32) -> Result<HornerForm, LinsysError>,
 {
-    let base_cp = build::from_state_space(sys)?
-        .critical_path(&cfg.timing)
-        .max(1.0);
+    let clock = CriticalPathCost { timing: cfg.timing };
+    let base_cp = clock.graph_cost(&build::from_state_space(sys)?).max(1.0);
     let v0 = tech.initial_voltage;
     // A supply at (or below) the threshold or the floor has no voltage
     // headroom for unfolding to buy; ask for no slowdown rather than
@@ -177,16 +176,42 @@ fn optimize_impl<H>(
 where
     H: FnMut(u32) -> Result<HornerForm, LinsysError>,
 {
+    Ok(script_with_graphs(sys, tech, cfg, horner)?.result)
+}
+
+/// Everything [`optimize`] computes plus the intermediate graphs, so the
+/// equality-saturation strategy can seed its e-graph with the script's
+/// realizations instead of re-deriving them.
+pub(crate) struct ScriptArtifacts {
+    /// The fixed-script result exactly as [`optimize`] returns it.
+    pub result: AsicResult,
+    /// The unfolded generalized-Horner graph (pre-MCM, real multipliers).
+    pub horner_dfg: lintra_dfg::Dfg,
+    /// The post-MCM shift-add graph the script's accounting prices.
+    pub shifted: lintra_dfg::Dfg,
+}
+
+pub(crate) fn script_with_graphs<H>(
+    sys: &StateSpace,
+    tech: &TechConfig,
+    cfg: &AsicConfig,
+    horner: &mut H,
+) -> Result<ScriptArtifacts, OptError>
+where
+    H: FnMut(u32) -> Result<HornerForm, LinsysError>,
+{
     let (p, q, r) = sys.dims();
     let mut diagnostics = Vec::new();
 
-    // Initial design: maximally fast multiply-accumulate datapath at V0.
+    // Initial design: maximally fast multiply-accumulate datapath at V0,
+    // priced through the unified energy cost model.
     let base = build::from_state_space(sys)?;
     let bc = base.op_counts();
     let regs0 = (r + p + q) as u64;
-    let initial =
-        tech.energy
-            .energy_per_sample(bc.adds, bc.muls, bc.shifts, regs0, tech.initial_voltage);
+    let initial = tech.energy_cost(tech.initial_voltage).breakdown(&OpCounts {
+        delays: regs0,
+        ..bc
+    });
 
     // Transformed design.
     let unfolding = required_unfolding(sys, tech, cfg, &mut diagnostics, horner)?;
@@ -203,7 +228,8 @@ where
     debug_assert_eq!(oc.muls, 0, "mcm pass must remove every multiplier");
 
     // Feasible voltage: everything the unfolding earned, clamped at V_min.
-    let base_cp = base.critical_path(&cfg.timing).max(1.0);
+    let clock = CriticalPathCost { timing: cfg.timing };
+    let base_cp = clock.graph_cost(&base).max(1.0);
     let fb = shifted.feedback_critical_path(&cfg.timing).max(1.0);
     let available = n as f64 * base_cp / fb;
     let scaling = scale_or_fallback(
@@ -218,17 +244,25 @@ where
     // per sample.
     let per = |x: u64| -> u64 { x.div_ceil(n) };
     let regs = per(r as u64) + (p + q) as u64;
-    let optimized =
-        tech.energy
-            .energy_per_sample(per(oc.adds), 0, per(oc.shifts), regs, scaling.voltage);
+    let optimized = tech.energy_cost(scaling.voltage).breakdown(&OpCounts {
+        adds: per(oc.adds),
+        muls: 0,
+        shifts: per(oc.shifts),
+        delays: regs,
+        negs: 0,
+    });
 
-    Ok(AsicResult {
-        unfolding,
-        voltage: scaling.voltage,
-        initial,
-        optimized,
-        mcm,
-        diagnostics,
+    Ok(ScriptArtifacts {
+        result: AsicResult {
+            unfolding,
+            voltage: scaling.voltage,
+            initial,
+            optimized,
+            mcm,
+            diagnostics,
+        },
+        horner_dfg,
+        shifted,
     })
 }
 

@@ -25,12 +25,14 @@
 
 pub mod asic;
 pub mod multi;
+pub mod saturate;
 pub mod single;
 
-use lintra_dfg::DfgError;
+use lintra_dfg::{CycleCost, DfgError};
+use lintra_egraph::EgraphError;
 use lintra_engine::EngineError;
 use lintra_linsys::LinsysError;
-use lintra_power::{EnergyModel, VoltageError, VoltageModel, VoltageScaling};
+use lintra_power::{EnergyCost, EnergyModel, VoltageError, VoltageModel, VoltageScaling};
 use lintra_sched::{ProcessorModel, ScheduleError};
 use std::fmt;
 
@@ -50,6 +52,10 @@ pub enum OptError {
     /// A parallel sweep worker failed (a sweep point panicked in the
     /// engine's thread pool).
     Engine(EngineError),
+    /// The equality-saturation search failed (invalid graph handed to the
+    /// e-graph, or budget exhaustion under
+    /// [`saturate::SaturateConfig::require_saturation`]).
+    Egraph(EgraphError),
 }
 
 impl fmt::Display for OptError {
@@ -60,6 +66,7 @@ impl fmt::Display for OptError {
             OptError::Schedule(e) => write!(f, "scheduling failed: {e}"),
             OptError::Voltage(e) => write!(f, "voltage scaling failed: {e}"),
             OptError::Engine(e) => write!(f, "parallel sweep failed: {e}"),
+            OptError::Egraph(e) => write!(f, "equality saturation failed: {e}"),
         }
     }
 }
@@ -72,6 +79,7 @@ impl std::error::Error for OptError {
             OptError::Schedule(e) => Some(e),
             OptError::Voltage(e) => Some(e),
             OptError::Engine(e) => Some(e),
+            OptError::Egraph(e) => Some(e),
         }
     }
 }
@@ -106,6 +114,12 @@ impl From<EngineError> for OptError {
     }
 }
 
+impl From<EgraphError> for OptError {
+    fn from(e: EgraphError) -> Self {
+        OptError::Egraph(e)
+    }
+}
+
 /// Machine-readable class of a [`Diagnostic`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DiagCode {
@@ -119,6 +133,10 @@ pub enum DiagCode {
     /// The unfolding search hit its configured cap before reaching the
     /// slack needed for the voltage floor.
     UnfoldingCapped,
+    /// Equality saturation stopped on a node/iteration budget before
+    /// reaching a fixpoint; extraction used the best representations found
+    /// so far (service code `RES-SATURATION-BUDGET`).
+    SaturationBudget,
 }
 
 /// A non-fatal warning emitted while an optimizer degraded gracefully.
@@ -211,6 +229,24 @@ impl TechConfig {
             processor: ProcessorModel::unit(),
         }
     }
+
+    /// The processor's instruction timing as the unified cycle cost model
+    /// — the weights the §3/§4 unfolding searches minimize.
+    pub fn cycle_cost(&self) -> CycleCost {
+        CycleCost {
+            w_mul: self.processor.cycles_mul as f64,
+            w_add: self.processor.cycles_add as f64,
+        }
+    }
+
+    /// The datapath energy model at a given supply voltage as the unified
+    /// cost model — the §5 accounting and the e-graph extraction objective.
+    pub fn energy_cost(&self, voltage: f64) -> EnergyCost {
+        EnergyCost {
+            model: self.energy,
+            voltage,
+        }
+    }
 }
 
 /// The three optimization strategies, under the names the CLI's
@@ -226,6 +262,9 @@ pub enum Strategy {
     Multi,
     /// §5: the unfold → Horner → MCM ASIC script.
     Asic,
+    /// The §5 script followed by equality-saturation search over the DFG
+    /// with cost-based extraction (never worse than the fixed script).
+    Egraph,
 }
 
 impl Strategy {
@@ -235,12 +274,18 @@ impl Strategy {
             Strategy::Single => "single",
             Strategy::Multi => "multi",
             Strategy::Asic => "asic",
+            Strategy::Egraph => "egraph",
         }
     }
 
     /// Every strategy, for exhaustive sweeps and help texts.
-    pub const fn all() -> [Strategy; 3] {
-        [Strategy::Single, Strategy::Multi, Strategy::Asic]
+    pub const fn all() -> [Strategy; 4] {
+        [
+            Strategy::Single,
+            Strategy::Multi,
+            Strategy::Asic,
+            Strategy::Egraph,
+        ]
     }
 
     /// Parses a strategy name.

@@ -95,9 +95,8 @@ pub fn optimize(
     tech: &TechConfig,
     selection: ProcessorSelection,
 ) -> Result<MultiProcessorResult, OptError> {
-    let wm = tech.processor.cycles_mul as f64;
-    let wa = tech.processor.cycles_add as f64;
-    let choice = best_unfolding(sys, TrivialityRule::ZeroOne, wm, wa)?;
+    let cycles = tech.cycle_cost();
+    let choice = best_unfolding(sys, TrivialityRule::ZeroOne, cycles.w_mul, cycles.w_add)?;
     let i = choice.unfolding;
 
     let evaluate = |n: usize| -> Result<MultiProcessorResult, OptError> {
@@ -172,10 +171,14 @@ pub fn optimize_with_pool(
     selection: ProcessorSelection,
     pool: &ThreadPool,
 ) -> Result<MultiProcessorResult, OptError> {
-    let wm = tech.processor.cycles_mul as f64;
-    let wa = tech.processor.cycles_add as f64;
+    let cycles = tech.cycle_cost();
     let mut cache = SweepCache::new(sys);
-    let choice = lintra_engine::best_unfolding(&mut cache, TrivialityRule::ZeroOne, wm, wa)?;
+    let choice = lintra_engine::best_unfolding(
+        &mut cache,
+        TrivialityRule::ZeroOne,
+        cycles.w_mul,
+        cycles.w_add,
+    )?;
     let i = choice.unfolding;
 
     // Hoisted out of the per-n sweep: both graphs and the base schedule

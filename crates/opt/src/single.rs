@@ -9,12 +9,26 @@
 //! `S_max` still buys a *linear* reduction via clock slowdown or shutdown.
 
 use crate::{scale_or_fallback, Diagnostic, OptError, TechConfig};
+use lintra_dfg::{CostModel, CycleCost, OpCounts};
 use lintra_engine::SweepCache;
 use lintra_linsys::count::{
     best_unfolding, dense_iopt, dense_op_count, op_count, OpCount, TrivialityRule, UnfoldingChoice,
 };
 use lintra_linsys::{LinsysError, StateSpace};
 use lintra_power::VoltageScaling;
+
+/// Prices a linsys instruction census through the unified cycle model.
+/// Bit-identical to `OpCount::cycles` (the census default multiplies
+/// first; parity is pinned in `lintra_dfg::cost`'s tests).
+fn instr_cycles(model: &CycleCost, ops: &OpCount) -> f64 {
+    model.census_cost(&OpCounts {
+        adds: ops.adds,
+        muls: ops.muls,
+        shifts: ops.shifts,
+        delays: 0,
+        negs: 0,
+    })
+}
 
 /// One column group of Table 2 (either the dense-analysis columns or the
 /// real-coefficient heuristic columns).
@@ -109,8 +123,8 @@ where
     F: FnOnce(TrivialityRule, f64, f64) -> Result<UnfoldingChoice, LinsysError>,
 {
     let (p, q, r) = sys.dims();
-    let wm = tech.processor.cycles_mul as f64;
-    let wa = tech.processor.cycles_add as f64;
+    let cycles = tech.cycle_cost();
+    let (wm, wa) = (cycles.w_mul, cycles.w_add);
     let mut diagnostics = Vec::new();
 
     // Dense analysis.
@@ -118,7 +132,8 @@ where
     let iopt = dense_iopt(pu, qu, ru, wm, wa);
     let ops0 = dense_op_count(pu, qu, ru, 0);
     let opsi = dense_op_count(pu, qu, ru, iopt);
-    let dense_speedup = ops0.cycles(wm, wa) / (opsi.cycles(wm, wa) / (iopt + 1) as f64);
+    let dense_speedup =
+        instr_cycles(&cycles, &ops0) / (instr_cycles(&cycles, &opsi) / (iopt + 1) as f64);
     let dense = UnfoldingOutcome {
         ops_initial: ops0,
         unfolding: iopt,

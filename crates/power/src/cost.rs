@@ -1,0 +1,132 @@
+//! The `C·V²` energy model as a [`CostModel`].
+//!
+//! [`EnergyCost`] prices a DFG (or an operation census) in joules per
+//! sample at a fixed supply voltage, delegating the census arithmetic to
+//! [`EnergyModel::energy_per_sample`] so the numbers are bit-identical to
+//! the pre-trait ASIC accounting (Table 4). The parity-freeze tests in
+//! `tests/egraph_differential.rs` pin this down per suite design.
+
+use crate::energy::{EnergyBreakdown, EnergyModel, OpEnergy};
+use lintra_dfg::{CostModel, Dfg, NodeKind, OpCounts};
+
+/// Joules per sample at a fixed supply voltage — the paper's `E = C·V²`
+/// per-operation model over a DFG.
+///
+/// [`OpCounts::delays`] are priced as clocked registers; [`NodeKind::Neg`]
+/// folds into the consuming adder and costs nothing, mirroring
+/// [`lintra_dfg::OpTiming::of`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyCost {
+    /// Per-operation switched capacitances.
+    pub model: EnergyModel,
+    /// Supply voltage the graph runs at.
+    pub voltage: f64,
+}
+
+impl EnergyCost {
+    /// Full per-class energy accounting for a census (the [`CostModel`]
+    /// methods collapse this to its total).
+    pub fn breakdown(&self, counts: &OpCounts) -> EnergyBreakdown {
+        self.model.energy_per_sample(
+            counts.adds,
+            counts.muls,
+            counts.shifts,
+            counts.delays,
+            self.voltage,
+        )
+    }
+}
+
+impl CostModel for EnergyCost {
+    fn name(&self) -> &'static str {
+        "energy"
+    }
+
+    fn node_cost(&self, kind: &NodeKind) -> f64 {
+        let op = match kind {
+            NodeKind::Add | NodeKind::Sub => OpEnergy::Add,
+            NodeKind::MulConst(_) => OpEnergy::Mult,
+            NodeKind::Shift(_) => OpEnergy::Shift,
+            NodeKind::Delay => OpEnergy::Register,
+            _ => return 0.0,
+        };
+        self.model.energy_of(op, self.voltage)
+    }
+
+    fn census_cost(&self, counts: &OpCounts) -> f64 {
+        self.breakdown(counts).total_j()
+    }
+
+    fn graph_cost(&self, g: &Dfg) -> f64 {
+        self.census_cost(&g.op_counts())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_cost_is_bit_identical_to_energy_per_sample() {
+        let model = EnergyModel::asic_16bit();
+        for v in [1.1, 3.3, 5.0] {
+            let cost = EnergyCost { model, voltage: v };
+            for (adds, muls, shifts, delays) in
+                [(0u64, 0u64, 0u64, 0u64), (10, 10, 0, 5), (41, 0, 33, 7)]
+            {
+                let counts = OpCounts {
+                    adds,
+                    muls,
+                    shifts,
+                    delays,
+                    negs: 3,
+                };
+                let legacy = model.energy_per_sample(adds, muls, shifts, delays, v);
+                assert_eq!(cost.breakdown(&counts), legacy);
+                assert_eq!(cost.census_cost(&counts), legacy.total_j());
+            }
+        }
+    }
+
+    #[test]
+    fn node_costs_follow_the_class_energies() {
+        let model = EnergyModel::asic_16bit();
+        let cost = EnergyCost {
+            model,
+            voltage: 3.3,
+        };
+        assert_eq!(
+            cost.node_cost(&NodeKind::Add),
+            model.energy_of(OpEnergy::Add, 3.3)
+        );
+        assert_eq!(
+            cost.node_cost(&NodeKind::Sub),
+            model.energy_of(OpEnergy::Add, 3.3)
+        );
+        assert_eq!(
+            cost.node_cost(&NodeKind::MulConst(0.7)),
+            model.energy_of(OpEnergy::Mult, 3.3)
+        );
+        assert_eq!(
+            cost.node_cost(&NodeKind::Shift(-2)),
+            model.energy_of(OpEnergy::Shift, 3.3)
+        );
+        assert_eq!(
+            cost.node_cost(&NodeKind::Delay),
+            model.energy_of(OpEnergy::Register, 3.3)
+        );
+        assert_eq!(cost.node_cost(&NodeKind::Neg), 0.0);
+        assert_eq!(cost.node_cost(&NodeKind::Const(1.0)), 0.0);
+    }
+
+    #[test]
+    fn sixteen_to_one_multiplier_ratio_survives_the_trait() {
+        let cost = EnergyCost {
+            model: EnergyModel::asic_16bit(),
+            voltage: 1.1,
+        };
+        let mul = cost.node_cost(&NodeKind::MulConst(0.3));
+        let add = cost.node_cost(&NodeKind::Add);
+        assert!((mul / add - 16.0).abs() < 1e-12);
+    }
+}

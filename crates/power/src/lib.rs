@@ -12,7 +12,9 @@
 //! * the voltage-scaling bookkeeping used by all three optimization
 //!   strategies ([`VoltageScaling`]), and
 //! * a per-operation energy model ([`EnergyModel`]) used for the ASIC
-//!   experiments of Table 4.
+//!   experiments of Table 4, exposed to optimizers and the e-graph
+//!   extractor through the unified [`lintra_dfg::CostModel`] trait as
+//!   [`EnergyCost`].
 //!
 //! # Examples
 //!
@@ -30,10 +32,12 @@
 //! # }
 //! ```
 
+mod cost;
 mod energy;
 pub mod shutdown;
 mod voltage;
 
+pub use cost::EnergyCost;
 pub use energy::{EnergyBreakdown, EnergyModel, OpEnergy};
 pub use shutdown::{power_down_break_even, relative_power, IdleStrategy};
 pub use voltage::{VoltageError, VoltageModel, VoltageModelError, VoltageScaling};

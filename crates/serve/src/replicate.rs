@@ -1549,7 +1549,8 @@ mod tests {
             rec("k2", "{\"op\":\"pong\"}"),
         ];
         assert_eq!(prefix_crc(&[]), 0, "empty prefix is 0");
-        assert_eq!(prefix_crc(&a), prefix_crc(&a.to_vec()));
+        let cloned = a.to_vec();
+        assert_eq!(prefix_crc(&a), prefix_crc(&cloned));
         assert_eq!(
             prefix_crc(&a[..1]),
             prefix_crc(&b[..1]),

@@ -79,7 +79,7 @@ use lintra::engine::{
 };
 use lintra::linsys::count::{op_count, TrivialityRule};
 use lintra::opt::multi::ProcessorSelection;
-use lintra::opt::{asic, multi, single, Strategy, TechConfig};
+use lintra::opt::{asic, multi, saturate, single, Strategy, TechConfig};
 use lintra::suite::by_name;
 use lintra::{ErrorClass, LintraError};
 use lintra_bench::json::Json;
@@ -1196,6 +1196,23 @@ fn execute(
                                 },
                             )
                         }
+                        Strategy::Egraph => saturate::optimize(
+                            &d.system,
+                            &tech,
+                            &saturate::SaturateConfig::default(),
+                        )
+                        .map(|r| {
+                            Json::obj([
+                                ("strategy", Json::Str("egraph".to_string())),
+                                ("design", Json::Str(d.name.to_string())),
+                                ("unfolding", Json::Num(f64::from(r.unfolding))),
+                                ("voltage", Json::Num(r.voltage)),
+                                ("improvement", Json::Num(r.improvement())),
+                                ("vs_script", Json::Num(r.vs_script())),
+                                ("saturated", Json::Bool(r.stats.saturated())),
+                                ("diagnostics", Json::Num(r.diagnostics.len() as f64)),
+                            ])
+                        }),
                     }
                 },
                 ctl,

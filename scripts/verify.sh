@@ -26,6 +26,13 @@ echo "== engine: differential + golden-snapshot tests =="
 cargo test --release -p lintra-engine -q
 cargo test --release -p lintra-bench --test parallel_equivalence --test golden_tables -q
 
+echo "== egraph: property + differential harness (release, hard timeout) =="
+# The saturation search is budgeted, never unbounded — a hang here is a
+# bug, so the harness runs under a hard wall-clock cap.
+timeout --kill-after=10 900 cargo test --release -p lintra-egraph -q
+timeout --kill-after=10 900 cargo test --release -p lintra \
+  --test egraph_properties --test egraph_differential -q
+
 echo "== bench trajectory: scripts/bench.sh --smoke =="
 ./scripts/bench.sh --smoke
 

@@ -79,6 +79,7 @@ fn service_codes_are_documented() {
         "RES-STALE-EPOCH",
         "RES-NOT-PRIMARY",
         "IO-REPL-CORRUPT",
+        "RES-SATURATION-BUDGET",
     ] {
         assert!(
             codes.iter().any(|(c, _)| *c == required),

@@ -8,7 +8,7 @@ use lintra::diag::fault::{self, Fault};
 use lintra::engine::{SweepCtl, ThreadPool};
 use lintra::linsys::StateSpace;
 use lintra::opt::multi::ProcessorSelection;
-use lintra::opt::{asic, multi, single, DiagCode, OptError, TechConfig};
+use lintra::opt::{asic, multi, saturate, single, DiagCode, OptError, TechConfig};
 use lintra::{ErrorClass, LintraError};
 
 /// A healthy small design for the faults that poison something other than
@@ -161,6 +161,43 @@ fn every_fault_class_has_a_defined_outcome_in_every_optimizer() {
                     let lines = fault::malformed_request_lines(seed);
                     assert_eq!(lines, fault::malformed_request_lines(seed));
                     assert!(lines.len() >= 5);
+                }
+                Fault::SaturationBudget => {
+                    // A budget exhausted on the very first sweep must
+                    // degrade to a best-so-far extraction with the
+                    // documented diagnostic — never an error, never a
+                    // result worse than the fixed script.
+                    let sys = healthy_system(seed);
+                    let starved = fault::tiny_saturation_budget();
+                    let r = saturate::optimize(&sys, &tech, &starved)
+                        .expect("budget exhaustion degrades, not errors");
+                    assert!(!r.stats.saturated(), "{fault:?}: budget must bite");
+                    let diag = r
+                        .diagnostics
+                        .iter()
+                        .find(|d| d.code == DiagCode::SaturationBudget)
+                        .expect("budget stop must surface a diagnostic");
+                    assert!(
+                        diag.message.contains("RES-SATURATION-BUDGET"),
+                        "{fault:?}: {diag}"
+                    );
+                    assert!(r.optimized.total_j().is_finite());
+                    assert!(
+                        r.vs_script() >= 1.0 - 1e-12,
+                        "{fault:?}: best-so-far must never lose to the script"
+                    );
+                    // A strict caller sees the same budget stop as a
+                    // typed, classified error instead.
+                    let strict = saturate::SaturateConfig {
+                        require_saturation: true,
+                        ..starved
+                    };
+                    let err = saturate::optimize(&sys, &tech, &strict)
+                        .map(|_| ())
+                        .expect_err("strict mode must refuse an unsaturated result");
+                    let e = classify(err);
+                    assert_eq!(e.class(), ErrorClass::Resource, "{fault:?}: {e}");
+                    assert_eq!(e.code(), "RES-SATURATION-BUDGET", "{fault:?}: {e}");
                 }
                 Fault::ReplLinkDrop | Fault::LaggingFollower | Fault::StaleEpochPrimary => {
                     // Replication faults live above the optimizer layer:
