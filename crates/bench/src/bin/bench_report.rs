@@ -11,25 +11,32 @@
 //!   report (plus its trajectory line) is tagged `"smoke": true` so
 //!   trajectory consumers can filter the noisy timings out
 //! - `--check <path>` only parse + schema-validate an existing report
+//! - `--perf-gate <path>` fail if the report's `egraph_suite` sequential
+//!   time exceeds the wall-clock budget (`--budget-s`, default 6 s)
 //! - `--trajectory-summary <path>` only read a `BENCH_TRAJECTORY.jsonl`,
 //!   drop smoke-tagged lines, and print the real-run speedup history
 //!
 //! The written report is always re-parsed and schema-validated before the
 //! process exits 0, so a green run guarantees a well-formed
-//! `lintra-bench-trajectory/v1` document.
+//! `lintra-bench-trajectory/v5` document. All engine paths share one
+//! [`SuiteCaches`] registry, so later entries and warm repetitions reuse
+//! every unfold chain built earlier in the run.
 
-use lintra::engine::{CacheStats, SweepCache, ThreadPool};
+use std::cell::Cell;
+
+use lintra::engine::{CacheStats, ThreadPool};
+use lintra::matrix::{kernel_counters, reset_kernel_counters};
 use lintra::suite::suite;
 use lintra::LintraError;
 use lintra_bench::json::Json;
 use lintra_bench::report::{
     real_trajectory_lines, to_json, trajectory_line, utc_timestamp, validate, EgraphEntry, Entry,
-    RunMeta, RunShape,
+    RunMeta, RunShape, SaturationTiming,
 };
-use lintra_bench::timing::measure;
+use lintra_bench::timing::measure_all;
 use lintra_bench::{
-    egraph_rows, egraph_rows_engine, table2_rows, table2_rows_engine, table3_rows,
-    table3_rows_engine, table4_rows, table4_rows_engine, unfold_sweep, unfold_sweep_cached,
+    egraph_rows, egraph_rows_engine, median, sweep_rows_engine, table2_rows, table2_rows_engine,
+    table3_rows, table3_rows_engine, table4_rows, table4_rows_engine, unfold_sweep, SuiteCaches,
 };
 
 /// Unfolding depth for the sweep workload.
@@ -43,6 +50,11 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
 }
 
 /// Times one table: sequential rows, engine rows, bit-identity check.
+///
+/// The reported cache counters cover *every* engine invocation of the
+/// entry — the bit-identity check plus all timed repetitions — so with
+/// the suite-wide cache registry the warm repetitions show up as the
+/// hits they are instead of being discarded.
 fn run_table<R: PartialEq + std::fmt::Debug>(
     name: &'static str,
     v0: f64,
@@ -51,12 +63,21 @@ fn run_table<R: PartialEq + std::fmt::Debug>(
     eng: impl Fn() -> Result<(Vec<R>, CacheStats), LintraError>,
 ) -> Result<Entry, Box<dyn std::error::Error>> {
     let seq_rows = seq()?;
-    let (par_rows, cache) = eng()?;
+    let (par_rows, first) = eng()?;
     if seq_rows != par_rows {
         return Err(format!("{name}: engine rows differ from sequential rows").into());
     }
-    let seq_s = measure(reps, || seq().map(|r| r.len()));
-    let par_s = measure(reps, || eng().map(|r| r.0.len()));
+    let cache_total = Cell::new(first);
+    let seq_reps = measure_all(reps, || seq().map(|r| r.len()));
+    let par_reps = measure_all(reps, || {
+        eng().map(|r| {
+            cache_total.set(cache_total.get() + r.1);
+            r.0.len()
+        })
+    });
+    let min = |xs: &[f64]| xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let (seq_s, par_s) = (min(&seq_reps), min(&par_reps));
+    let cache = cache_total.get();
     eprintln!(
         "  {name}: seq {seq_s:.4}s  engine {par_s:.4}s  speedup x{:.2}  cache hit rate {:.1}%",
         seq_s / par_s,
@@ -68,53 +89,8 @@ fn run_table<R: PartialEq + std::fmt::Debug>(
         rows: seq_rows.len(),
         seq_s,
         par_s,
-        cache,
-    })
-}
-
-/// The sweep workload: per-sample op counts for every suite design at
-/// unfoldings `0..=SWEEP_MAX_I`, fanned out one design per sweep point.
-fn sweep_entry(pool: &ThreadPool, reps: u32) -> Result<Entry, Box<dyn std::error::Error>> {
-    type SweepRows = Vec<Vec<(u32, f64, f64)>>;
-    let seq = || -> Result<SweepRows, LintraError> {
-        suite()
-            .iter()
-            .map(|d| unfold_sweep(d, SWEEP_MAX_I))
-            .collect()
-    };
-    let eng = || -> Result<(SweepRows, CacheStats), LintraError> {
-        let results = pool.map(suite(), |d| {
-            let mut cache = SweepCache::new(&d.system);
-            unfold_sweep_cached(SWEEP_MAX_I, &mut cache).map(|rows| (rows, cache.stats()))
-        });
-        let mut rows = Vec::new();
-        let mut stats = CacheStats::default();
-        for res in results {
-            let (r, s) = res.map_err(LintraError::from)??;
-            rows.push(r);
-            stats = stats + s;
-        }
-        Ok((rows, stats))
-    };
-
-    let seq_rows = seq()?;
-    let (par_rows, cache) = eng()?;
-    if seq_rows != par_rows {
-        return Err("unfold_sweep: engine rows differ from sequential rows".into());
-    }
-    let seq_s = measure(reps, || seq().map(|r| r.len()));
-    let par_s = measure(reps, || eng().map(|r| r.0.len()));
-    eprintln!(
-        "  unfold_sweep: seq {seq_s:.4}s  engine {par_s:.4}s  speedup x{:.2}  cache hit rate {:.1}%",
-        seq_s / par_s,
-        cache.hit_rate() * 100.0
-    );
-    Ok(Entry {
-        name: "unfold_sweep",
-        v0: 3.3,
-        rows: seq_rows.len(),
-        seq_s,
-        par_s,
+        seq_median_s: median(&seq_reps),
+        par_median_s: median(&par_reps),
         cache,
     })
 }
@@ -127,6 +103,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let doc = Json::parse(&text)?;
         validate(&doc).map_err(|e| format!("{path}: {e}"))?;
         println!("{path}: valid {}", lintra_bench::report::SCHEMA);
+        return Ok(());
+    }
+
+    if let Some(path) = flag_value(&args, "--perf-gate") {
+        // Wall-clock regression gate: the indexed match engine and the
+        // memoized MCM pass brought the sequential e-graph suite from
+        // ~12 s to ~1 s; a report blowing the budget means one of the
+        // hot loops regressed. The budget is generous (CI machines are
+        // slow and shared) but far below the pre-optimization baseline.
+        let budget: f64 = flag_value(&args, "--budget-s")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(6.0);
+        let text = std::fs::read_to_string(&path)?;
+        let doc = Json::parse(&text)?;
+        validate(&doc).map_err(|e| format!("{path}: {e}"))?;
+        let sweeps = doc
+            .get("sweeps")
+            .and_then(Json::as_arr)
+            .ok_or("missing sweeps")?;
+        let seq_s = sweeps
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("egraph_suite"))
+            .and_then(|e| e.get("seq_s"))
+            .and_then(Json::as_num)
+            .ok_or("no egraph_suite sweep entry")?;
+        if seq_s > budget {
+            return Err(format!(
+                "{path}: egraph_suite sequential time {seq_s:.2}s exceeds the {budget:.2}s budget"
+            )
+            .into());
+        }
+        println!("{path}: egraph_suite seq {seq_s:.2}s within {budget:.2}s budget");
         return Ok(());
     }
 
@@ -175,43 +183,67 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         reps
     );
 
+    // One cache registry for the whole run: tables, sweep, and e-graph
+    // entries all reuse each design's unfold chains, and the timed
+    // repetitions run warm. Kernel counters likewise cover the full run.
+    reset_kernel_counters();
+    let caches = SuiteCaches::new();
     let tables = vec![
         run_table(
             "table2",
             v0,
             reps,
             || table2_rows(v0),
-            || table2_rows_engine(v0, &pool),
+            || table2_rows_engine(v0, &pool, &caches),
         )?,
         run_table(
             "table3",
             v0,
             reps,
             || table3_rows(v0),
-            || table3_rows_engine(v0, &pool),
+            || table3_rows_engine(v0, &pool, &caches),
         )?,
         run_table(
             "table4",
             v0,
             reps,
             || table4_rows(v0),
-            || table4_rows_engine(v0, &pool),
+            || table4_rows_engine(v0, &pool, &caches),
         )?,
     ];
     // The equality-saturation search runs at Table 4's 5 V operating
     // point so its fixed-script baselines are exactly the Table 4 rows.
     let v0_asic = 5.0;
     let sweeps = vec![
-        sweep_entry(&pool, reps)?,
+        run_table(
+            "unfold_sweep",
+            v0,
+            reps,
+            || {
+                suite()
+                    .iter()
+                    .map(|d| unfold_sweep(d, SWEEP_MAX_I))
+                    .collect()
+            },
+            || sweep_rows_engine(SWEEP_MAX_I, &pool, &caches),
+        )?,
         run_table(
             "egraph_suite",
             v0_asic,
             reps,
             || egraph_rows(v0_asic),
-            || egraph_rows_engine(v0_asic, &pool),
+            || egraph_rows_engine(v0_asic, &pool, &caches),
         )?,
     ];
-    let egraph: Vec<EgraphEntry> = egraph_rows(v0_asic)?
+    let egraph_results = egraph_rows(v0_asic)?;
+    let saturation = egraph_results
+        .iter()
+        .fold(SaturationTiming::default(), |acc, row| SaturationTiming {
+            match_s: acc.match_s + row.result.stats.match_s,
+            apply_s: acc.apply_s + row.result.stats.apply_s,
+            rebuild_s: acc.rebuild_s + row.result.stats.rebuild_s,
+        });
+    let egraph: Vec<EgraphEntry> = egraph_results
         .into_iter()
         .map(|row| EgraphEntry {
             name: row.name.to_string(),
@@ -220,6 +252,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             saturated: row.result.stats.saturated(),
         })
         .collect();
+    eprintln!(
+        "  saturation: match {:.4}s  apply {:.4}s  rebuild {:.4}s",
+        saturation.match_s, saturation.apply_s, saturation.rebuild_s
+    );
     for e in &egraph {
         eprintln!(
             "  egraph {}: fixed {:.2} nJ  extracted {:.2} nJ  x{:.3}{}",
@@ -241,7 +277,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         reps,
         smoke,
     };
-    let doc = to_json(&meta, shape, &tables, &sweeps, &egraph);
+    let kernels = kernel_counters();
+    eprintln!(
+        "  kernels: {} scalar multiplies, {} allocations saved by buffer reuse",
+        kernels.mults, kernels.allocs_saved
+    );
+    let doc = to_json(&meta, shape, &tables, &sweeps, &egraph, saturation, kernels);
     let text = doc.render();
     // Re-parse what will land on disk and gate on the schema: a report the
     // smoke check would reject must never be written silently.

@@ -10,6 +10,7 @@
 
 use crate::json::Json;
 use lintra::engine::CacheStats;
+use lintra::matrix::KernelCounters;
 
 /// Report schema identifier; bump on breaking layout changes.
 ///
@@ -23,8 +24,13 @@ use lintra::engine::CacheStats;
 /// equality-saturation extraction next to the fixed §5 script, so the
 /// trajectory records not just how fast the tables run but whether the
 /// search keeps beating (or matching) the hand-fixed transformation
-/// order.
-pub const SCHEMA: &str = "lintra-bench-trajectory/v4";
+/// order. `v5` added per-entry `seq_median_s`/`par_median_s` (median
+/// across repetitions, next to the best-of minimum), the top-level
+/// `saturation` object (match/apply/rebuild wall-time breakdown of the
+/// e-graph suite), and the top-level `kernels` object (process-wide
+/// matrix-kernel counters: scalar multiplies performed, allocations
+/// avoided by buffer reuse).
+pub const SCHEMA: &str = "lintra-bench-trajectory/v5";
 
 /// Schema-family prefix shared by every trajectory line version.
 /// [`real_trajectory_lines`] accepts any version with this prefix so
@@ -90,6 +96,10 @@ pub struct Entry {
     pub seq_s: f64,
     /// Best-of-`reps` engine (parallel path) wall time, seconds.
     pub par_s: f64,
+    /// Median-of-`reps` sequential wall time, seconds.
+    pub seq_median_s: f64,
+    /// Median-of-`reps` engine wall time, seconds.
+    pub par_median_s: f64,
     /// Aggregated incremental-unfold cache counters from the engine run.
     pub cache: CacheStats,
 }
@@ -112,6 +122,8 @@ impl Entry {
             ("rows", Json::Num(self.rows as f64)),
             ("seq_s", Json::Num(self.seq_s)),
             ("par_s", Json::Num(self.par_s)),
+            ("seq_median_s", Json::Num(self.seq_median_s)),
+            ("par_median_s", Json::Num(self.par_median_s)),
             ("speedup", Json::Num(self.speedup())),
             (
                 "cache",
@@ -163,6 +175,36 @@ impl EgraphEntry {
     }
 }
 
+/// Wall-time breakdown of the equality-saturation loop, summed across
+/// the e-graph suite: where the saturation iterations actually spend
+/// their time (rule matching, rewrite application, congruence rebuild).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SaturationTiming {
+    /// Seconds spent e-matching rule patterns.
+    pub match_s: f64,
+    /// Seconds spent applying matched rewrites.
+    pub apply_s: f64,
+    /// Seconds spent restoring congruence after unions.
+    pub rebuild_s: f64,
+}
+
+impl SaturationTiming {
+    fn to_json(self) -> Json {
+        Json::obj([
+            ("match_s", Json::Num(self.match_s)),
+            ("apply_s", Json::Num(self.apply_s)),
+            ("rebuild_s", Json::Num(self.rebuild_s)),
+        ])
+    }
+}
+
+fn kernels_to_json(k: KernelCounters) -> Json {
+    Json::obj([
+        ("mults", Json::Num(k.mults as f64)),
+        ("allocs_saved", Json::Num(k.allocs_saved as f64)),
+    ])
+}
+
 /// How the run was shaped: parallelism and repetition knobs recorded in
 /// the report header. `smoke` marks a fast CI run whose timings are not
 /// measurement-grade.
@@ -185,6 +227,8 @@ pub fn to_json(
     tables: &[Entry],
     sweeps: &[Entry],
     egraph: &[EgraphEntry],
+    saturation: SaturationTiming,
+    kernels: KernelCounters,
 ) -> Json {
     let total = |pick: fn(&Entry) -> f64| tables.iter().chain(sweeps.iter()).map(pick).sum::<f64>();
     let (seq, par) = (total(|e| e.seq_s), total(|e| e.par_s));
@@ -208,6 +252,8 @@ pub fn to_json(
             "egraph",
             Json::Arr(egraph.iter().map(EgraphEntry::to_json).collect()),
         ),
+        ("saturation", saturation.to_json()),
+        ("kernels", kernels_to_json(kernels)),
         (
             "totals",
             Json::obj([
@@ -351,7 +397,15 @@ pub fn validate(doc: &Json) -> Result<(), String> {
                 .get("name")
                 .and_then(Json::as_str)
                 .ok_or_else(|| format!("{kind} entry missing \"name\""))?;
-            for key in ["v0", "rows", "seq_s", "par_s", "speedup"] {
+            for key in [
+                "v0",
+                "rows",
+                "seq_s",
+                "par_s",
+                "seq_median_s",
+                "par_median_s",
+                "speedup",
+            ] {
                 let v = e
                     .get(key)
                     .and_then(Json::as_num)
@@ -411,6 +465,34 @@ pub fn validate(doc: &Json) -> Result<(), String> {
             .and_then(Json::as_bool)
             .ok_or_else(|| format!("{name}: missing boolean field \"saturated\""))?;
     }
+    let saturation = doc
+        .get("saturation")
+        .ok_or("missing object field \"saturation\"")?;
+    for key in ["match_s", "apply_s", "rebuild_s"] {
+        let v = saturation
+            .get(key)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("saturation: missing numeric field {key:?}"))?;
+        if !v.is_finite() || v < 0.0 {
+            return Err(format!(
+                "saturation: {key:?} must be finite non-negative, got {v}"
+            ));
+        }
+    }
+    let kernels = doc
+        .get("kernels")
+        .ok_or("missing object field \"kernels\"")?;
+    for key in ["mults", "allocs_saved"] {
+        let v = kernels
+            .get(key)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("kernels: missing numeric field {key:?}"))?;
+        if !v.is_finite() || v < 0.0 {
+            return Err(format!(
+                "kernels: {key:?} must be finite non-negative, got {v}"
+            ));
+        }
+    }
     let totals = doc.get("totals").ok_or("missing object field \"totals\"")?;
     for key in ["seq_s", "par_s", "speedup"] {
         totals
@@ -432,6 +514,8 @@ mod tests {
             rows: 8,
             seq_s: 0.2,
             par_s: 0.1,
+            seq_median_s: 0.25,
+            par_median_s: 0.12,
             cache: CacheStats {
                 hits: 30,
                 misses: 10,
@@ -466,7 +550,16 @@ mod tests {
             reps: 3,
             smoke: false,
         };
-        to_json(&meta, shape, &tables, &sweeps, &egraph)
+        let saturation = SaturationTiming {
+            match_s: 0.05,
+            apply_s: 0.02,
+            rebuild_s: 0.01,
+        };
+        let kernels = KernelCounters {
+            mults: 1_000_000,
+            allocs_saved: 4_000,
+        };
+        to_json(&meta, shape, &tables, &sweeps, &egraph, saturation, kernels)
     }
 
     #[test]
@@ -568,6 +661,40 @@ mod tests {
 
         let mut doc = sample_doc();
         if let Json::Obj(m) = &mut doc {
+            m.remove("saturation");
+        }
+        assert!(
+            validate(&doc).is_err(),
+            "missing saturation breakdown must be rejected"
+        );
+
+        let mut doc = sample_doc();
+        if let Json::Obj(m) = &mut doc {
+            m.insert(
+                "kernels".into(),
+                Json::obj([("mults", Json::Num(-1.0)), ("allocs_saved", Json::Num(0.0))]),
+            );
+        }
+        assert!(
+            validate(&doc).is_err(),
+            "negative kernel counters must be rejected"
+        );
+
+        let mut doc = sample_doc();
+        if let Json::Obj(m) = &mut doc {
+            if let Some(Json::Arr(t)) = m.get_mut("tables") {
+                if let Some(Json::Obj(row)) = t.first_mut() {
+                    row.remove("seq_median_s");
+                }
+            }
+        }
+        assert!(
+            validate(&doc).is_err(),
+            "missing per-entry median must be rejected"
+        );
+
+        let mut doc = sample_doc();
+        if let Json::Obj(m) = &mut doc {
             if let Some(Json::Arr(rows)) = m.get_mut("egraph") {
                 if let Some(Json::Obj(row)) = rows.first_mut() {
                     row.insert("extracted_nj".into(), Json::Num(99.0));
@@ -589,6 +716,20 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert!((rows[0].get("vs_fixed").unwrap().as_num().unwrap() - 1.25).abs() < 1e-12);
         assert_eq!(rows[0].get("saturated").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn v5_carries_saturation_and_kernel_observability() {
+        let doc = sample_doc();
+        let sat = doc.get("saturation").unwrap();
+        assert!((sat.get("match_s").unwrap().as_num().unwrap() - 0.05).abs() < 1e-12);
+        assert!((sat.get("rebuild_s").unwrap().as_num().unwrap() - 0.01).abs() < 1e-12);
+        let k = doc.get("kernels").unwrap();
+        assert_eq!(k.get("mults").and_then(Json::as_num), Some(1_000_000.0));
+        assert_eq!(k.get("allocs_saved").and_then(Json::as_num), Some(4_000.0));
+        let t0 = &doc.get("tables").unwrap().as_arr().unwrap()[0];
+        assert_eq!(t0.get("seq_median_s").and_then(Json::as_num), Some(0.25));
+        assert_eq!(t0.get("par_median_s").and_then(Json::as_num), Some(0.12));
     }
 
     #[test]

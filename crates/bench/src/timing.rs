@@ -47,14 +47,24 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
 /// per run — the same noise-robust statistic [`bench`] reports, but
 /// returned instead of printed so the bench-trajectory report can compute
 /// speedups and write them to `BENCH_2.json`.
-pub fn measure<T>(reps: u32, mut f: impl FnMut() -> T) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..reps.max(1) {
-        let t = Instant::now();
-        black_box(f());
-        best = best.min(t.elapsed().as_secs_f64());
-    }
-    best
+pub fn measure<T>(reps: u32, f: impl FnMut() -> T) -> f64 {
+    measure_all(reps, f)
+        .into_iter()
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Wall-clock time for `reps` runs of `f`, one entry per repetition in
+/// run order — the raw samples behind [`measure`], so the report can
+/// publish the median next to the minimum instead of discarding
+/// everything but the best run.
+pub fn measure_all<T>(reps: u32, mut f: impl FnMut() -> T) -> Vec<f64> {
+    (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .collect()
 }
 
 /// Formats a duration in seconds with an adaptive unit.
@@ -86,6 +96,14 @@ mod tests {
     fn measure_returns_finite_positive_seconds() {
         let s = measure(3, || (0..1000u64).sum::<u64>());
         assert!(s.is_finite() && s >= 0.0);
+    }
+
+    #[test]
+    fn measure_all_returns_one_sample_per_rep() {
+        let xs = measure_all(4, || (0..1000u64).sum::<u64>());
+        assert_eq!(xs.len(), 4);
+        assert!(xs.iter().all(|x| x.is_finite() && *x >= 0.0));
+        assert_eq!(measure_all(0, || ()).len(), 1, "reps clamps to 1");
     }
 
     #[test]

@@ -1,10 +1,16 @@
 //! The e-graph itself: hashconsing, union-find, congruence closure,
 //! bounded saturation and cost-based extraction.
 
+use crate::rules::{McmPlanMemo, RuleScratch};
 use crate::{RuleSet, SaturationBudget, SaturationStats, StopReason};
 use lintra_dfg::{CostModel, Dfg, DfgError, NodeId, NodeKind, OpCountCost};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::time::Instant;
+
+/// Number of distinct [`ENode`] operator kinds ([`ENode::kind_ordinal`]
+/// is always below this) — the width of the engine's kind→rule index.
+pub(crate) const KIND_COUNT: usize = 9;
 
 /// An e-class reference. Ids are not stable across unions — resolve
 /// through [`EGraph::find`] before comparing.
@@ -74,6 +80,22 @@ impl ENode {
             ENode::Shift(s, a) => ENode::Shift(s, f(a)),
             ENode::Neg(a) => ENode::Neg(f(a)),
             ENode::Delay(a) => ENode::Delay(f(a)),
+        }
+    }
+
+    /// Dense ordinal of the node's operator kind — the index into the
+    /// saturation engine's kind→rule masks (see [`KIND_COUNT`]).
+    pub(crate) fn kind_ordinal(&self) -> usize {
+        match self {
+            ENode::Input { .. } => 0,
+            ENode::StateIn { .. } => 1,
+            ENode::Const(_) => 2,
+            ENode::Add(..) => 3,
+            ENode::Sub(..) => 4,
+            ENode::MulConst(..) => 5,
+            ENode::Shift(..) => 6,
+            ENode::Neg(_) => 7,
+            ENode::Delay(_) => 8,
         }
     }
 
@@ -323,6 +345,14 @@ impl EGraph {
     /// the parents of every touched class and merges classes that became
     /// structurally identical, to a fixpoint.
     pub fn rebuild(&mut self) {
+        let _ = self.rebuild_collect();
+    }
+
+    /// [`EGraph::rebuild`], additionally returning the canonical ids of
+    /// every class whose contents were re-canonicalized (sorted,
+    /// deduplicated) — the seed of the saturation engine's dirty-class
+    /// worklist.
+    fn rebuild_collect(&mut self) -> Vec<u32> {
         // Congruence repair: re-key exactly the parent entries whose child
         // canonicalization changed. An entry is registered with *every*
         // child class at add time, so whichever child merges away carries
@@ -358,7 +388,7 @@ impl EGraph {
         }
         touched.sort_unstable();
         touched.dedup();
-        for c in touched {
+        for &c in &touched {
             let Some(cl) = &mut self.classes[c as usize] else {
                 continue;
             };
@@ -378,6 +408,7 @@ impl EGraph {
                 cl.parents = canon_parents;
             }
         }
+        touched
     }
 
     /// Loads a DFG into the e-graph (hashconsing against what is already
@@ -512,7 +543,169 @@ impl EGraph {
     /// hangs, never errors: hitting a budget stops the sweep and leaves a
     /// congruent e-graph behind, so extraction still works on the best
     /// representations found so far.
+    ///
+    /// The engine is incremental where the naive loop rescans:
+    ///
+    /// * **Kind-indexed candidates** — pairs are enqueued with the rule
+    ///   mask for their operator kind ([`ENode::kind_ordinal`]), so leaf
+    ///   nodes never enter the queue and each pair dispatches only to
+    ///   rules that can match it.
+    /// * **Dirty-class worklist** — after the first full pass, only
+    ///   classes whose contents changed, classes holding a node that
+    ///   references one (every rule reads at most one level down), and
+    ///   classes of freshly created e-nodes are re-matched. Skipped pairs
+    ///   are provably no-ops: rule application is idempotent under
+    ///   hashconsing, so the engine reaches the same fixpoint — and
+    ///   performs the same sequence of e-node insertions — as
+    ///   [`EGraph::saturate_reference`].
+    /// * **Per-rule backoff** — a rule that fires more than an egg-style
+    ///   match limit in one iteration is banned for a few iterations so
+    ///   explosive rules can't starve the rest. A ban compromises
+    ///   worklist coverage, so a lifted ban forces a full pass, and
+    ///   `Saturated` is only ever declared after a clean pass with every
+    ///   rule active.
     pub fn saturate(&mut self, rules: &RuleSet, budget: &SaturationBudget) -> SaturationStats {
+        let masks = rules.node_masks();
+        let mut sched = Backoff::new(rules.rules().len());
+        let mut scratch = RuleScratch::default();
+        let mut plans = McmPlanMemo::new();
+        let mut iterations = 0usize;
+        let (mut match_s, mut apply_s, mut rebuild_s) = (0.0f64, 0.0f64, 0.0f64);
+        // Scratch buffers reused across iterations: the candidate list,
+        // the current worklist and the one under construction.
+        let mut pairs: Vec<(u32, ENode, u32)> = Vec::new();
+        let mut work: Vec<u32> = Vec::new();
+        let mut next_work: Vec<u32> = Vec::new();
+        let mut full = true;
+        let mut seen_len;
+        let stop = 'outer: loop {
+            if iterations >= budget.max_iterations {
+                break StopReason::IterationBudget;
+            }
+            iterations += 1;
+            let (banned, ban_lifted) = sched.begin(iterations);
+            if ban_lifted {
+                // The rule missed arbitrary pairs while banned; only a
+                // full pass restores the worklist invariant.
+                full = true;
+            }
+            // Match phase: assemble the kind-indexed candidate list.
+            let t = Instant::now();
+            pairs.clear();
+            if full {
+                for (c, class) in self.classes.iter().enumerate() {
+                    if let Some(class) = class {
+                        for n in &class.nodes {
+                            let m = masks[n.kind_ordinal()];
+                            if m != 0 {
+                                pairs.push((c as u32, *n, m));
+                            }
+                        }
+                    }
+                }
+            } else {
+                for &c in &work {
+                    if let Some(class) = &self.classes[c as usize] {
+                        for n in &class.nodes {
+                            let m = masks[n.kind_ordinal()];
+                            if m != 0 {
+                                pairs.push((c, *n, m));
+                            }
+                        }
+                    }
+                }
+            }
+            seen_len = self.uf.len();
+            match_s += t.elapsed().as_secs_f64();
+            // Apply phase: dispatch each pair to its unbanned rules.
+            let t = Instant::now();
+            let mut changed = false;
+            for &(c, node, mask) in &pairs {
+                if self.uf.len() >= budget.max_enodes {
+                    apply_s += t.elapsed().as_secs_f64();
+                    break 'outer StopReason::NodeBudget;
+                }
+                let fired = rules.apply_masked(self, Id(c), &node, mask & !banned, &mut scratch);
+                if fired != 0 {
+                    changed = true;
+                    sched.record(fired);
+                }
+            }
+            // Whole-graph rules (linear collection, shared MCM) run once
+            // per sweep; they add at most one hub e-node per class, so
+            // the budget check above still bounds growth to the same
+            // order.
+            if self.uf.len() >= budget.max_enodes {
+                apply_s += t.elapsed().as_secs_f64();
+                break 'outer StopReason::NodeBudget;
+            }
+            changed |= rules.sweep(self, &mut plans);
+            apply_s += t.elapsed().as_secs_f64();
+            // Rebuild phase; its touched set seeds the next worklist.
+            let t = Instant::now();
+            let touched = self.rebuild_collect();
+            rebuild_s += t.elapsed().as_secs_f64();
+            sched.end(iterations);
+            if !changed {
+                if banned == 0 {
+                    break StopReason::Saturated;
+                }
+                // Clean pass, but banned rules never saw it: unban
+                // everything and re-verify the fixpoint with a full pass.
+                sched.unban_all();
+                full = true;
+                continue;
+            }
+            // Next worklist: touched classes, classes holding a node that
+            // references one, and the classes of e-nodes created this
+            // iteration.
+            let t = Instant::now();
+            next_work.clear();
+            for &c in &touched {
+                next_work.push(c);
+                if let Some(cl) = &self.classes[c as usize] {
+                    for &(_, pc) in &cl.parents {
+                        next_work.push(self.find_u(pc));
+                    }
+                }
+            }
+            for id in seen_len..self.uf.len() {
+                next_work.push(self.find_u(id as u32));
+            }
+            next_work.sort_unstable();
+            next_work.dedup();
+            next_work.retain(|&c| self.classes[c as usize].is_some());
+            std::mem::swap(&mut work, &mut next_work);
+            full = false;
+            match_s += t.elapsed().as_secs_f64();
+        };
+        let t = Instant::now();
+        self.rebuild();
+        rebuild_s += t.elapsed().as_secs_f64();
+        SaturationStats {
+            iterations,
+            enodes: self.uf.len(),
+            classes: self.class_count(),
+            stop,
+            match_s,
+            apply_s,
+            rebuild_s,
+        }
+    }
+
+    /// The pre-index reference engine: every `(class, node)` pair is
+    /// re-matched against every rule on every iteration, with no
+    /// scheduling and no worklist. Semantically the baseline for
+    /// [`EGraph::saturate`] — the differential tests drive both engines
+    /// over the same graphs and require identical results. Quadratically
+    /// slower on large graphs; kept for testing, not for production use.
+    pub fn saturate_reference(
+        &mut self,
+        rules: &RuleSet,
+        budget: &SaturationBudget,
+    ) -> SaturationStats {
+        let mut scratch = RuleScratch::default();
+        let mut plans = McmPlanMemo::new();
         let mut iterations = 0;
         let stop = 'outer: loop {
             if iterations >= budget.max_iterations {
@@ -532,15 +725,12 @@ impl EGraph {
                 if self.uf.len() >= budget.max_enodes {
                     break 'outer StopReason::NodeBudget;
                 }
-                changed |= rules.apply(self, Id(c), &node);
+                changed |= rules.apply(self, Id(c), &node, &mut scratch);
             }
-            // Whole-graph rules (linear collection) run once per sweep;
-            // they add at most one hub e-node per class, so the budget
-            // check above still bounds growth to the same order.
             if self.uf.len() >= budget.max_enodes {
                 break 'outer StopReason::NodeBudget;
             }
-            changed |= rules.sweep(self);
+            changed |= rules.sweep(self, &mut plans);
             self.rebuild();
             if !changed {
                 break StopReason::Saturated;
@@ -552,6 +742,9 @@ impl EGraph {
             enodes: self.uf.len(),
             classes: self.class_count(),
             stop,
+            match_s: 0.0,
+            apply_s: 0.0,
+            rebuild_s: 0.0,
         }
     }
 
@@ -709,6 +902,84 @@ impl EGraph {
         }
         dfg.validate()?;
         Ok(dfg)
+    }
+}
+
+/// Egg-style per-rule backoff. A rule that changes the e-graph more than
+/// `MATCH_LIMIT << times_banned` times in one iteration is banned for
+/// `BAN_LENGTH << times_banned` iterations, so an explosive rule (say,
+/// associativity on a deeply unfolded graph) can't starve the others
+/// inside a small iteration budget. The limits are deliberately high:
+/// small graphs — everything the property harness and the differential
+/// tests saturate — never trip them, which keeps the scheduled engine
+/// behaviourally identical to the reference engine wherever bit-identity
+/// is asserted.
+struct Backoff {
+    /// Productive applications per rule, this iteration.
+    applied: Vec<u32>,
+    /// First iteration on which the rule is active again (0 = never
+    /// banned).
+    banned_until: Vec<usize>,
+    /// Escalation counter: each ban doubles the next limit and ban span.
+    times_banned: Vec<u32>,
+}
+
+impl Backoff {
+    const MATCH_LIMIT: u32 = 1000;
+    const BAN_LENGTH: usize = 2;
+
+    fn new(rules: usize) -> Backoff {
+        Backoff {
+            applied: vec![0; rules],
+            banned_until: vec![0; rules],
+            times_banned: vec![0; rules],
+        }
+    }
+
+    /// Starts an iteration: resets the per-iteration counters and returns
+    /// the banned-rule bitmask plus whether any ban expired right now
+    /// (the caller owes a full pass to restore worklist coverage).
+    fn begin(&mut self, iter: usize) -> (u32, bool) {
+        let mut banned = 0u32;
+        let mut lifted = false;
+        for i in 0..self.applied.len() {
+            self.applied[i] = 0;
+            if self.banned_until[i] > iter {
+                banned |= 1 << i;
+            } else if self.banned_until[i] == iter {
+                lifted = true;
+                self.banned_until[i] = 0;
+            }
+        }
+        (banned, lifted)
+    }
+
+    /// Tallies one pair's firing record (bit `i` = rule `i` changed the
+    /// e-graph).
+    fn record(&mut self, fired: u32) {
+        let mut m = fired;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            self.applied[i] += 1;
+        }
+    }
+
+    /// Ends an iteration: bans any rule that fired past its limit.
+    fn end(&mut self, iter: usize) {
+        for i in 0..self.applied.len() {
+            let escalation = self.times_banned[i].min(20);
+            if self.applied[i] > Self::MATCH_LIMIT << escalation {
+                self.times_banned[i] += 1;
+                self.banned_until[i] = iter + 1 + (Self::BAN_LENGTH << escalation);
+            }
+        }
+    }
+
+    /// Clears every ban (escalation counters survive), so a final clean
+    /// full pass can certify the fixpoint.
+    fn unban_all(&mut self) {
+        self.banned_until.fill(0);
     }
 }
 

@@ -99,7 +99,14 @@ pub enum StopReason {
 }
 
 /// Outcome of one [`EGraph::saturate`] run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// The `*_s` fields break the wall-clock down by engine phase: `match_s`
+/// is candidate-list assembly (worklist + kind index), `apply_s` is rule
+/// application including the whole-graph sweeps, `rebuild_s` is
+/// congruence restoration. They are observability, not results —
+/// equality deliberately ignores them so differential tests can compare
+/// two runs' *outcomes* without the clock getting a vote.
+#[derive(Debug, Clone, Copy)]
 pub struct SaturationStats {
     /// Sweeps performed (including the final no-change sweep).
     pub iterations: usize,
@@ -109,6 +116,12 @@ pub struct SaturationStats {
     pub classes: usize,
     /// Why the loop ended.
     pub stop: StopReason,
+    /// Seconds spent assembling candidate lists (match phase).
+    pub match_s: f64,
+    /// Seconds spent applying rules, including whole-graph sweeps.
+    pub apply_s: f64,
+    /// Seconds spent restoring congruence after unions.
+    pub rebuild_s: f64,
 }
 
 impl SaturationStats {
@@ -116,7 +129,24 @@ impl SaturationStats {
     pub fn saturated(&self) -> bool {
         self.stop == StopReason::Saturated
     }
+
+    /// Total engine time across all phases, in seconds.
+    pub fn total_s(&self) -> f64 {
+        self.match_s + self.apply_s + self.rebuild_s
+    }
 }
+
+impl PartialEq for SaturationStats {
+    fn eq(&self, other: &Self) -> bool {
+        // Timings excluded: two runs with identical outcomes are equal.
+        self.iterations == other.iterations
+            && self.enodes == other.enodes
+            && self.classes == other.classes
+            && self.stop == other.stop
+    }
+}
+
+impl Eq for SaturationStats {}
 
 impl fmt::Display for SaturationStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -125,6 +155,9 @@ impl fmt::Display for SaturationStats {
             StopReason::IterationBudget => "iteration budget exhausted",
             StopReason::NodeBudget => "e-node budget exhausted",
         };
+        // Timings are deliberately absent: Display feeds deterministic
+        // surfaces (diagnostics, logs compared across runs). The phase
+        // breakdown travels through the fields and the bench report.
         write!(
             f,
             "{} iterations, {} e-nodes, {} e-classes ({stop})",

@@ -9,9 +9,29 @@
 //! ASIC script already accepts, and live in [`RuleSet::extended`] /
 //! [`RuleSet::asic`].
 
-use crate::graph::{EGraph, ENode, Id};
+use crate::graph::{EGraph, ENode, Id, KIND_COUNT};
 use lintra_mcm::{quantize, synthesize, McmSolution, OutputRef, Recoding, Source, Term};
 use std::collections::HashMap;
+
+/// Reusable child-class snapshots for the rule arms. Rules read one level
+/// down (a node plus the nodes of one child class) while mutating the
+/// e-graph, so each arm snapshots the child's nodes first; these buffers
+/// make that snapshot allocation-free across the whole saturation run.
+/// Two buffers because the factoring direction of
+/// [`Rule::MulDistribute`] holds both operands' snapshots at once.
+#[derive(Debug, Default)]
+pub(crate) struct RuleScratch {
+    left: Vec<ENode>,
+    right: Vec<ENode>,
+}
+
+/// Snapshots class `c`'s nodes into `buf` and returns them as a slice the
+/// caller can iterate while freely mutating the e-graph.
+fn snap<'s>(buf: &'s mut Vec<ENode>, eg: &EGraph, c: Id) -> &'s [ENode] {
+    buf.clear();
+    buf.extend_from_slice(eg.class_nodes(c));
+    buf
+}
 
 /// One rewrite rule over the [`ENode`] language.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -127,11 +147,39 @@ impl Rule {
         )
     }
 
+    /// Bitmask over [`ENode::kind_ordinal`] values this rule can fire on —
+    /// the op-kind index the saturation engine consults before dispatching
+    /// a `(class, node)` pair to the rule. Whole-graph sweep rules return
+    /// zero: they enter through [`RuleSet`]'s sweep hook, never per-node.
+    pub(crate) fn kind_mask(&self) -> u16 {
+        const ADD: u16 = 1 << 3;
+        const SUB: u16 = 1 << 4;
+        const MUL: u16 = 1 << 5;
+        const SHIFT: u16 = 1 << 6;
+        const NEG: u16 = 1 << 7;
+        match self {
+            Rule::AddCommute | Rule::AddZero | Rule::AddAssoc => ADD,
+            Rule::SubToAddNeg => SUB | ADD,
+            Rule::NegNeg => NEG,
+            Rule::MulOne | Rule::MulFuse | Rule::CsdDecompose { .. } => MUL,
+            Rule::MulPow2 => MUL | SHIFT,
+            Rule::ShiftFuse => SHIFT,
+            Rule::MulDistribute => MUL | ADD,
+            Rule::CollectLinear | Rule::McmShare { .. } => 0,
+        }
+    }
+
     /// Applies the rule to one `(class, node)` pair, performing any unions
     /// directly. Returns `true` if the e-graph changed (new e-nodes or a
     /// real merge). Callers sweep a snapshot, so `node` may predate recent
     /// merges; everything here re-canonicalizes through the union-find.
-    pub(crate) fn apply(&self, eg: &mut EGraph, class: Id, node: &ENode) -> bool {
+    pub(crate) fn apply(
+        &self,
+        eg: &mut EGraph,
+        class: Id,
+        node: &ENode,
+        scratch: &mut RuleScratch,
+    ) -> bool {
         let before = eg.len();
         let mut merged = false;
         match (self, *node) {
@@ -147,20 +195,18 @@ impl Rule {
             (Rule::SubToAddNeg, ENode::Add(a, b)) => {
                 // Reverse direction: a + (−c) → a − c, so extraction can
                 // pick the single-op form.
-                for m in matches(eg, b, |n| match n {
-                    ENode::Neg(c) => Some(c),
-                    _ => None,
-                }) {
-                    let n = eg.add(ENode::Sub(a, m));
-                    merged |= eg.union(class, n);
+                for &n in snap(&mut scratch.left, eg, b) {
+                    if let ENode::Neg(m) = n {
+                        let s = eg.add(ENode::Sub(a, m));
+                        merged |= eg.union(class, s);
+                    }
                 }
             }
             (Rule::NegNeg, ENode::Neg(a)) => {
-                for m in matches(eg, a, |n| match n {
-                    ENode::Neg(b) => Some(b),
-                    _ => None,
-                }) {
-                    merged |= eg.union(class, m);
+                for &n in snap(&mut scratch.left, eg, a) {
+                    if let ENode::Neg(m) = n {
+                        merged |= eg.union(class, m);
+                    }
                 }
             }
             (Rule::MulOne, ENode::MulConst(bits, a)) => {
@@ -195,13 +241,12 @@ impl Rule {
                 if j == 0 {
                     merged = eg.union(class, a);
                 }
-                for (k, b) in matches(eg, a, |n| match n {
-                    ENode::Shift(k, b) => Some((k, b)),
-                    _ => None,
-                }) {
-                    if let Some(s) = j.checked_add(k) {
-                        let n = eg.add(ENode::Shift(s, b));
-                        merged |= eg.union(class, n);
+                for &n in snap(&mut scratch.left, eg, a) {
+                    if let ENode::Shift(k, b) = n {
+                        if let Some(s) = j.checked_add(k) {
+                            let fused = eg.add(ENode::Shift(s, b));
+                            merged |= eg.union(class, fused);
+                        }
                     }
                 }
             }
@@ -214,38 +259,36 @@ impl Rule {
                 }
             }
             (Rule::AddAssoc, ENode::Add(a, b)) => {
-                for (c, d) in matches(eg, a, |n| match n {
-                    ENode::Add(c, d) => Some((c, d)),
-                    _ => None,
-                }) {
-                    let db = eg.add(ENode::Add(d, b));
-                    let n = eg.add(ENode::Add(c, db));
-                    merged |= eg.union(class, n);
+                for &n in snap(&mut scratch.left, eg, a) {
+                    if let ENode::Add(c, d) = n {
+                        let db = eg.add(ENode::Add(d, b));
+                        let assoc = eg.add(ENode::Add(c, db));
+                        merged |= eg.union(class, assoc);
+                    }
                 }
             }
             (Rule::MulDistribute, ENode::MulConst(bits, a)) => {
-                for (x, y) in matches(eg, a, |n| match n {
-                    ENode::Add(x, y) => Some((x, y)),
-                    _ => None,
-                }) {
-                    let mx = eg.add(ENode::MulConst(bits, x));
-                    let my = eg.add(ENode::MulConst(bits, y));
-                    let n = eg.add(ENode::Add(mx, my));
-                    merged |= eg.union(class, n);
+                for &n in snap(&mut scratch.left, eg, a) {
+                    if let ENode::Add(x, y) = n {
+                        let mx = eg.add(ENode::MulConst(bits, x));
+                        let my = eg.add(ENode::MulConst(bits, y));
+                        let sum = eg.add(ENode::Add(mx, my));
+                        merged |= eg.union(class, sum);
+                    }
                 }
             }
             (Rule::MulDistribute, ENode::Add(a, b)) => {
                 // Factoring direction: c·x + c·y → c·(x + y).
-                let left = matches(eg, a, |n| match n {
-                    ENode::MulConst(c, x) => Some((c, x)),
-                    _ => None,
-                });
-                let right = matches(eg, b, |n| match n {
-                    ENode::MulConst(c, y) => Some((c, y)),
-                    _ => None,
-                });
-                for &(c1, x) in &left {
-                    for &(c2, y) in &right {
+                snap(&mut scratch.left, eg, a);
+                snap(&mut scratch.right, eg, b);
+                for &ln in &scratch.left {
+                    let ENode::MulConst(c1, x) = ln else {
+                        continue;
+                    };
+                    for &rn in &scratch.right {
+                        let ENode::MulConst(c2, y) = rn else {
+                            continue;
+                        };
                         if c1 == c2 {
                             let sum = eg.add(ENode::Add(x, y));
                             let n = eg.add(ENode::MulConst(c1, sum));
@@ -256,14 +299,13 @@ impl Rule {
             }
             (Rule::MulFuse, ENode::MulConst(bits, a)) => {
                 let c1 = f64::from_bits(bits);
-                for (c2bits, b) in matches(eg, a, |n| match n {
-                    ENode::MulConst(c2, b) => Some((c2, b)),
-                    _ => None,
-                }) {
-                    let p = c1 * f64::from_bits(c2bits);
-                    if p.is_finite() {
-                        let n = eg.add(ENode::MulConst(p.to_bits(), b));
-                        merged |= eg.union(class, n);
+                for &n in snap(&mut scratch.left, eg, a) {
+                    if let ENode::MulConst(c2bits, b) = n {
+                        let p = c1 * f64::from_bits(c2bits);
+                        if p.is_finite() {
+                            let fusedn = eg.add(ENode::MulConst(p.to_bits(), b));
+                            merged |= eg.union(class, fusedn);
+                        }
                     }
                 }
             }
@@ -487,12 +529,6 @@ fn linear_of_class(
     res
 }
 
-/// Collects `f`-matching projections of the e-nodes in class `a` (snapshot,
-/// so the caller can keep mutating the e-graph).
-fn matches<T>(eg: &EGraph, a: Id, f: impl Fn(ENode) -> Option<T>) -> Vec<T> {
-    eg.class_nodes(a).iter().copied().filter_map(f).collect()
-}
-
 /// `true` when the class contains a literal zero of either sign.
 fn has_zero(eg: &EGraph, a: Id) -> bool {
     eg.class_nodes(a)
@@ -546,7 +582,12 @@ fn csd_network(
 /// groups can't stall a sweep.
 const MAX_GROUP_CONSTS: usize = 128;
 
-fn mcm_share_sweep(eg: &mut EGraph, frac_bits: u32, recoding: Recoding) -> bool {
+fn mcm_share_sweep(
+    eg: &mut EGraph,
+    frac_bits: u32,
+    recoding: Recoding,
+    plans: &mut McmPlanMemo,
+) -> bool {
     let before = eg.len();
     // Analysis phase (read-only): group multiplier e-nodes by canonical
     // base class.
@@ -582,7 +623,11 @@ fn mcm_share_sweep(eg: &mut EGraph, frac_bits: u32, recoding: Recoding) -> bool 
         if consts.len() > MAX_GROUP_CONSTS {
             continue;
         }
-        let mut em = CsdEmitter::new(synthesize(&consts, recoding));
+        let plan = plans
+            .entry((recoding, consts.clone()))
+            .or_insert_with(|| synthesize(&consts, recoding))
+            .clone();
+        let mut em = CsdEmitter::new(plan);
         for (q, class) in muls {
             let Ok(idx) = consts.binary_search(&q) else {
                 continue;
@@ -764,20 +809,70 @@ impl RuleSet {
         self.rules.iter().all(Rule::bit_exact)
     }
 
-    pub(crate) fn apply(&self, eg: &mut EGraph, class: Id, node: &ENode) -> bool {
+    /// Per-ordinal rule-index masks: `masks[k]` has bit `i` set when rule
+    /// `i` can fire on an e-node whose [`ENode::kind_ordinal`] is `k`.
+    /// The saturation engine builds its candidate list through this index
+    /// so leaf nodes (inputs, states, constants, delays) are never even
+    /// enqueued and each pair only dispatches to rules that can match it.
+    pub(crate) fn node_masks(&self) -> [u32; KIND_COUNT] {
+        let mut masks = [0u32; KIND_COUNT];
+        for (i, rule) in self.rules.iter().enumerate() {
+            let km = rule.kind_mask();
+            for (ord, slot) in masks.iter_mut().enumerate() {
+                if km & (1 << ord) != 0 {
+                    *slot |= 1 << i;
+                }
+            }
+        }
+        masks
+    }
+
+    /// Applies every rule to one pair (the reference engine's path).
+    pub(crate) fn apply(
+        &self,
+        eg: &mut EGraph,
+        class: Id,
+        node: &ENode,
+        scratch: &mut RuleScratch,
+    ) -> bool {
         let mut changed = false;
         for rule in &self.rules {
-            changed |= rule.apply(eg, class, node);
+            changed |= rule.apply(eg, class, node, scratch);
         }
         changed
+    }
+
+    /// Applies exactly the rules selected by `mask` (bit `i` = rule `i`),
+    /// in rule-set order, and returns the mask of rules that changed the
+    /// e-graph — the per-rule firing record the backoff scheduler tallies.
+    pub(crate) fn apply_masked(
+        &self,
+        eg: &mut EGraph,
+        class: Id,
+        node: &ENode,
+        mask: u32,
+        scratch: &mut RuleScratch,
+    ) -> u32 {
+        let mut fired = 0u32;
+        let mut m = mask;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if self.rules[i].apply(eg, class, node, scratch) {
+                fired |= 1 << i;
+            }
+        }
+        fired
     }
 
     /// Whole-graph rules, run once per saturation sweep (after the
     /// per-node pass). [`Rule::CollectLinear`] lives here because its
     /// bottom-up analysis shares one memo across the whole e-graph;
     /// [`Rule::McmShare`] because MCM grouping is inherently a property
-    /// of the whole graph, not of one e-node.
-    pub(crate) fn sweep(&self, eg: &mut EGraph) -> bool {
+    /// of the whole graph, not of one e-node. `plans` memoizes shared-MCM
+    /// syntheses by constant set across the sweeps of one saturation run
+    /// (unfolded designs repeat the same constant groups every sample).
+    pub(crate) fn sweep(&self, eg: &mut EGraph, plans: &mut McmPlanMemo) -> bool {
         let mut changed = false;
         for rule in &self.rules {
             match rule {
@@ -785,13 +880,17 @@ impl RuleSet {
                 Rule::McmShare {
                     frac_bits,
                     recoding,
-                } => changed |= mcm_share_sweep(eg, *frac_bits, *recoding),
+                } => changed |= mcm_share_sweep(eg, *frac_bits, *recoding, plans),
                 _ => {}
             }
         }
         changed
     }
 }
+
+/// Memoized shared-MCM plans, keyed by the recoding and the sorted,
+/// deduplicated quantized constant set — the full input to [`synthesize`].
+pub(crate) type McmPlanMemo = HashMap<(Recoding, Vec<i64>), McmSolution>;
 
 #[cfg(test)]
 mod tests {

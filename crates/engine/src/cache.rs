@@ -20,7 +20,7 @@
 //! a miss, never to a wrong result.
 
 use lintra_linsys::{LinsysError, StateSpace, UnfoldedSystem};
-use lintra_matrix::{expm, Matrix, MatrixError};
+use lintra_matrix::{expm_with, ExpmWorkspace, Matrix, MatrixError};
 use lintra_transform::horner::HornerForm;
 
 /// Hit/miss counters for a cache. A "hit" is one matrix product (or one
@@ -47,6 +47,18 @@ impl CacheStats {
     fn absorb(&mut self, required: u64, computed: u64) {
         self.hits += required - computed;
         self.misses += computed;
+    }
+
+    /// Counters accumulated since an `earlier` snapshot of the same
+    /// cache — the per-call increment of a long-lived cache. Saturating,
+    /// so a cache reset between snapshots reads as zero rather than
+    /// wrapping.
+    #[must_use]
+    pub fn since(self, earlier: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+        }
     }
 }
 
@@ -244,9 +256,11 @@ impl SweepCache {
         }
         for m in self.cab.len()..n.saturating_sub(1) {
             // Same value chain as `&(sys.c() * &powers[m]) * sys.b()`:
-            // `ca[m]` holds the bit-identical inner product already.
+            // `ca[m]` holds the bit-identical inner product already, so
+            // only the outer product is computed here — the inner one is
+            // an honest cache hit even on a cold chain.
             self.cab.push(&self.ca[m] * self.sys.b());
-            computed += 2; // from-scratch recomputes the inner product too
+            computed += 1;
         }
         self.stats.absorb(required, computed);
 
@@ -347,6 +361,9 @@ fn matrix_bits_eq(a: &Matrix, b: &Matrix) -> bool {
 #[derive(Debug, Clone, Default)]
 pub struct ExpmMemo {
     entries: Vec<(u64, Matrix, Matrix)>,
+    /// Padé/squaring buffers reused across misses: a memo already
+    /// implies repeated exponentials, so the workspace stays warm.
+    ws: ExpmWorkspace,
     stats: CacheStats,
 }
 
@@ -365,8 +382,8 @@ impl ExpmMemo {
     ///
     /// # Errors
     ///
-    /// Exactly those of [`expm`] (errors are not memoized — a failing
-    /// input fails identically every time and stays cheap).
+    /// Exactly those of [`lintra_matrix::expm`] (errors are not memoized
+    /// — a failing input fails identically every time and stays cheap).
     pub fn expm(&mut self, a: &Matrix) -> Result<Matrix, MatrixError> {
         let h = matrix_bit_hash(a);
         if let Some((_, _, e)) = self
@@ -377,7 +394,7 @@ impl ExpmMemo {
             self.stats.hits += 1;
             return Ok(e.clone());
         }
-        let e = expm(a)?;
+        let e = expm_with(a, &mut self.ws)?;
         self.stats.misses += 1;
         self.entries.push((h, a.clone(), e.clone()));
         Ok(e)
@@ -388,6 +405,7 @@ impl ExpmMemo {
 mod tests {
     use super::*;
     use lintra_linsys::unfold;
+    use lintra_matrix::expm;
 
     fn sys_mimo() -> StateSpace {
         StateSpace::new(
@@ -428,7 +446,9 @@ mod tests {
         let mut cache = SweepCache::new(&sys_mimo());
         cache.unfolded(5).unwrap();
         let after_first = cache.stats();
-        assert_eq!(after_first.hits, 0, "cold cache computes everything");
+        // Even a cold unfold reuses the cached `C·A^k` inside each of the
+        // n−1 sub-diagonals, where from-scratch recomputes it.
+        assert_eq!(after_first.hits, 5, "cold cache hits only via C·A^k");
         cache.unfolded(5).unwrap();
         let after_second = cache.stats();
         assert_eq!(
@@ -445,9 +465,9 @@ mod tests {
         cache.unfolded(6).unwrap();
         let before = cache.stats().misses;
         cache.unfolded(7).unwrap();
-        // i=7 adds one power, one A^kB, one C·A^k, one sub-diagonal
-        // (counted as 2 products to mirror the from-scratch cost).
-        assert_eq!(cache.stats().misses - before, 5);
+        // i=7 adds one power, one A^kB, one C·A^k, and one sub-diagonal
+        // outer product (its inner `C·A^k` is served from the cache).
+        assert_eq!(cache.stats().misses - before, 4);
     }
 
     #[test]

@@ -19,12 +19,41 @@ const PADE6: [f64; 7] = [
     1.0 / 665_280.0,
 ];
 
+/// Reusable buffers for [`expm_with`].
+///
+/// The Padé loop of a from-scratch [`expm`] allocates four matrices per
+/// term (`A^k`, the scaled term, and the updated `p`/`q` accumulators)
+/// plus one per squaring step. A workspace keeps all of them alive
+/// between calls, so repeated exponentials — every plant discretization
+/// in the bench suite — run allocation-free at steady state. One
+/// workspace serves inputs of any size; buffers regrow on demand.
+#[derive(Debug, Clone, Default)]
+pub struct ExpmWorkspace {
+    scaled: Matrix,
+    term: Matrix,
+    term_next: Matrix,
+    t: Matrix,
+    p: Matrix,
+    q: Matrix,
+    square: Matrix,
+}
+
+impl ExpmWorkspace {
+    /// An empty workspace.
+    pub fn new() -> ExpmWorkspace {
+        ExpmWorkspace::default()
+    }
+}
+
 /// Computes the matrix exponential `e^A`.
 ///
 /// Uses scaling and squaring: `A` is scaled by `2^-s` until its max-norm is
 /// below 0.5, the \[6/6\] Padé approximant is evaluated, and the result is
 /// squared `s` times. Accuracy is ample for the well-conditioned plant
 /// matrices used in this workspace (entries of magnitude ≲ 10³).
+///
+/// Equivalent to [`expm_with`] on a throwaway [`ExpmWorkspace`]; callers
+/// that exponentiate repeatedly should hold a workspace instead.
 ///
 /// # Errors
 ///
@@ -46,6 +75,20 @@ const PADE6: [f64; 7] = [
 /// # }
 /// ```
 pub fn expm(a: &Matrix) -> Result<Matrix, MatrixError> {
+    expm_with(a, &mut ExpmWorkspace::new())
+}
+
+/// [`expm`] writing every intermediate into `ws`'s reused buffers.
+///
+/// Bit-identical to [`expm`]: the same operand values flow through the
+/// same operations in the same order — the destination-passing kernels
+/// only change where results land, never what they are. The differential
+/// test holds the reference implementation to `to_bits` equality.
+///
+/// # Errors
+///
+/// Exactly those of [`expm`].
+pub fn expm_with(a: &Matrix, ws: &mut ExpmWorkspace) -> Result<Matrix, MatrixError> {
     if !a.is_square() {
         return Err(MatrixError::NotSquare { shape: a.shape() });
     }
@@ -62,26 +105,31 @@ pub fn expm(a: &Matrix) -> Result<Matrix, MatrixError> {
     } else {
         0
     };
-    let scaled = a.scale(0.5_f64.powi(s as i32));
+    a.scale_into(0.5_f64.powi(s as i32), &mut ws.scaled);
 
     // Evaluate p(A) and q(A) = p(-A) sharing the powers of A.
-    let mut term = Matrix::identity(n);
-    let mut p = term.scale(PADE6[0]);
-    let mut q = term.scale(PADE6[0]);
+    ws.term.reset_zeros(n, n);
+    for i in 0..n {
+        ws.term[(i, i)] = 1.0;
+    }
+    ws.term.scale_into(PADE6[0], &mut ws.p);
+    ws.term.scale_into(PADE6[0], &mut ws.q);
     for (k, &c) in PADE6.iter().enumerate().skip(1) {
-        term = &term * &scaled;
-        let t = term.scale(c);
+        ws.term.try_mul_into(&ws.scaled, &mut ws.term_next)?;
+        std::mem::swap(&mut ws.term, &mut ws.term_next);
+        ws.term.scale_into(c, &mut ws.t);
         if k % 2 == 0 {
-            q = &q + &t;
+            ws.q += &ws.t;
         } else {
-            q = &q - &t;
+            ws.q -= &ws.t;
         }
-        p = &p + &t;
+        ws.p += &ws.t;
     }
 
-    let mut e = Lu::new(&q)?.solve(&p)?;
+    let mut e = Lu::new(&ws.q)?.solve(&ws.p)?;
     for _ in 0..s {
-        e = &e * &e;
+        e.try_mul_into(&e, &mut ws.square)?;
+        std::mem::swap(&mut e, &mut ws.square);
     }
     e.check_finite("expm result")?;
     Ok(e)
@@ -185,6 +233,91 @@ mod tests {
                 "Padé and Taylor series disagree for {n}x{n} matrix:\n{a}"
             );
         }
+    }
+
+    /// The pre-workspace implementation, kept verbatim as the oracle:
+    /// the naive `try_mul` kernel and freshly allocated term/t/p/q per
+    /// step. `expm_with` must reproduce its output to the bit.
+    fn expm_reference(a: &Matrix) -> Result<Matrix, MatrixError> {
+        if !a.is_square() {
+            return Err(MatrixError::NotSquare { shape: a.shape() });
+        }
+        a.check_finite("expm")?;
+        let n = a.rows();
+        if n == 0 {
+            return Ok(Matrix::zeros(0, 0));
+        }
+        let norm = a.max_abs() * n as f64;
+        let s = if norm > 0.5 {
+            (norm / 0.5).log2().ceil() as u32
+        } else {
+            0
+        };
+        let scaled = a.scale(0.5_f64.powi(s as i32));
+        let mut term = Matrix::identity(n);
+        let mut p = term.scale(PADE6[0]);
+        let mut q = term.scale(PADE6[0]);
+        for (k, &c) in PADE6.iter().enumerate().skip(1) {
+            term = term.try_mul(&scaled)?;
+            let t = term.scale(c);
+            if k % 2 == 0 {
+                q = &q + &t;
+            } else {
+                q = &q - &t;
+            }
+            p = &p + &t;
+        }
+        let mut e = Lu::new(&q)?.solve(&p)?;
+        for _ in 0..s {
+            e = e.try_mul(&e)?;
+        }
+        e.check_finite("expm result")?;
+        Ok(e)
+    }
+
+    #[test]
+    fn workspace_expm_is_bit_identical_to_reference() {
+        use crate::rng::SplitMix64;
+        let mut ws = ExpmWorkspace::new();
+        let mut rng = SplitMix64::new(0x6b65_726e);
+        for case in 0..40u32 {
+            let n = rng.next_below(6) as usize + 1;
+            // Every third case has a norm large enough to force the
+            // scaling-and-squaring branch through the workspace too.
+            let spread = if case % 3 == 0 { 6.0 } else { 0.4 };
+            let a = Matrix::from_fn(n, n, |_, _| rng.range_f64(-spread, spread));
+            let want = expm_reference(&a).unwrap();
+            // The workspace is warm from previous (differently sized)
+            // cases — reuse must not leak state between calls.
+            let got = expm_with(&a, &mut ws).unwrap();
+            assert_eq!(want.shape(), got.shape(), "case {case}");
+            assert!(
+                want.as_slice()
+                    .iter()
+                    .zip(got.as_slice())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "bit mismatch in case {case} ({n}x{n})"
+            );
+        }
+    }
+
+    #[test]
+    fn workspace_expm_error_paths_match_expm() {
+        let mut ws = ExpmWorkspace::new();
+        assert!(matches!(
+            expm_with(&Matrix::zeros(2, 3), &mut ws),
+            Err(MatrixError::NotSquare { .. })
+        ));
+        let mut bad = Matrix::zeros(2, 2);
+        bad[(0, 1)] = f64::NAN;
+        assert!(matches!(
+            expm_with(&bad, &mut ws),
+            Err(MatrixError::NonFinite { op: "expm" })
+        ));
+        assert_eq!(
+            expm_with(&Matrix::zeros(0, 0), &mut ws).unwrap(),
+            Matrix::zeros(0, 0)
+        );
     }
 
     #[test]

@@ -31,12 +31,14 @@ pub mod lu;
 mod matrix;
 mod norms;
 pub mod rng;
+mod stats;
 
 pub use block::{block_diag, hstack, vstack};
 pub use eigen::{eigenvalues, spectral_radius_exact};
-pub use expm::expm;
+pub use expm::{expm, expm_with, ExpmWorkspace};
 pub use matrix::Matrix;
 pub use norms::{spectral_radius_estimate, SpectralRadius};
+pub use stats::{kernel_counters, reset_kernel_counters, KernelCounters};
 
 /// Error type for shape mismatches and singular systems.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,6 +1,23 @@
-use crate::MatrixError;
+use crate::{stats, MatrixError};
+use std::cell::RefCell;
 use std::fmt;
-use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// Flop threshold below which [`Matrix::try_mul_into`] uses the plain
+/// `ikj` loop: for tiny operands the transpose pass costs more than the
+/// locality it buys.
+const MUL_SMALL_FLOPS: usize = 4096;
+
+/// Column-tile width of the blocked kernel: one tile of transposed-RHS
+/// rows (`MUL_BLOCK × k` doubles) stays cache-resident while every LHS
+/// row streams past it once.
+const MUL_BLOCK: usize = 64;
+
+thread_local! {
+    /// Transposed-RHS scratch reused by every [`Matrix::try_mul_into`]
+    /// call on this thread, so steady-state products allocate nothing.
+    static RHS_T: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
 
 /// An owned, row-major, dense `f64` matrix.
 ///
@@ -299,6 +316,7 @@ impl Matrix {
                 rhs: rhs.shape(),
             });
         }
+        self.count_product_mults(rhs.cols);
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {
             for k in 0..self.cols {
@@ -314,6 +332,124 @@ impl Matrix {
             }
         }
         Ok(out)
+    }
+
+    /// Destination-passing matrix product: writes `self * rhs` into
+    /// `out`, reusing `out`'s backing storage and a thread-local
+    /// transposed copy of `rhs`, so steady-state callers allocate
+    /// nothing. Large products run a cache-blocked, transposed-RHS
+    /// kernel (contiguous dot products, one register accumulator per
+    /// output entry); tiny ones keep the plain `ikj` loop.
+    ///
+    /// The result is **bit-identical** to [`Matrix::try_mul`]: each
+    /// output entry accumulates over `k` in the same ascending order with
+    /// the same exact-zero skip, so the sequence of f64 operations per
+    /// entry is the naive kernel's. The differential tests assert
+    /// `to_bits` equality, never a tolerance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::ShapeMismatch`] when
+    /// `self.cols() != rhs.rows()`; `out` is left untouched in that case.
+    pub fn try_mul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), MatrixError> {
+        if self.cols != rhs.rows {
+            return Err(MatrixError::ShapeMismatch {
+                op: "mul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let (m, inner, n) = (self.rows, self.cols, rhs.cols);
+        out.reset_zeros(m, n);
+        if m == 0 || n == 0 || inner == 0 {
+            return Ok(());
+        }
+        self.count_product_mults(n);
+        if m * inner * n <= MUL_SMALL_FLOPS {
+            // The `try_mul` loop verbatim, minus the fresh allocation.
+            for (arow, orow) in self
+                .data
+                .chunks_exact(inner)
+                .zip(out.data.chunks_exact_mut(n))
+            {
+                for (a, brow) in arow.iter().zip(rhs.data.chunks_exact(n)) {
+                    if *a == 0.0 {
+                        continue;
+                    }
+                    for (o, b) in orow.iter_mut().zip(brow) {
+                        *o += a * b;
+                    }
+                }
+            }
+            return Ok(());
+        }
+        RHS_T.with(|cell| {
+            let mut bt = cell.borrow_mut();
+            if !bt.is_empty() && bt.capacity() >= inner * n {
+                stats::count_allocs_saved(1);
+            }
+            bt.clear();
+            bt.resize(inner * n, 0.0);
+            for (k, brow) in rhs.data.chunks_exact(n).enumerate() {
+                for (j, &v) in brow.iter().enumerate() {
+                    bt[j * inner + k] = v;
+                }
+            }
+            let mut jb = 0;
+            while jb < n {
+                let je = (jb + MUL_BLOCK).min(n);
+                for (arow, orow) in self
+                    .data
+                    .chunks_exact(inner)
+                    .zip(out.data.chunks_exact_mut(n))
+                {
+                    for j in jb..je {
+                        let btj = &bt[j * inner..(j + 1) * inner];
+                        let mut acc = 0.0;
+                        for (a, b) in arow.iter().zip(btj) {
+                            if *a == 0.0 {
+                                continue;
+                            }
+                            acc += a * b;
+                        }
+                        orow[j] = acc;
+                    }
+                }
+                jb = je;
+            }
+        });
+        Ok(())
+    }
+
+    /// Reshapes `self` in place to an all-zero `rows × cols` matrix,
+    /// reusing the backing storage when its capacity suffices.
+    pub fn reset_zeros(&mut self, rows: usize, cols: usize) {
+        if rows * cols > 0 && self.data.capacity() >= rows * cols {
+            stats::count_allocs_saved(1);
+        }
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Destination-passing [`Matrix::scale`]: writes `self · s` into
+    /// `out`, reusing its storage. Bit-identical to `scale`.
+    pub fn scale_into(&self, s: f64, out: &mut Matrix) {
+        if !self.data.is_empty() && out.data.capacity() >= self.data.len() {
+            stats::count_allocs_saved(1);
+        }
+        out.rows = self.rows;
+        out.cols = self.cols;
+        out.data.clear();
+        out.data.extend(self.data.iter().map(|x| x * s));
+    }
+
+    /// One counter update per product: the kernels skip exact-zero LHS
+    /// entries, so the multiply count is `nnz(self) · rhs_cols`.
+    fn count_product_mults(&self, rhs_cols: usize) {
+        let nnz = self.data.iter().filter(|&&a| a != 0.0).count();
+        stats::count_mults(nnz as u64 * rhs_cols as u64);
     }
 
     /// Returns `true` when every entry of `self - other` has absolute value
@@ -334,6 +470,14 @@ impl Matrix {
         }
         let zeros = self.data.iter().filter(|&&x| x == 0.0).count();
         zeros as f64 / self.data.len() as f64
+    }
+}
+
+impl Default for Matrix {
+    /// The empty `0 × 0` matrix — the natural starting destination for
+    /// the `*_into` kernels.
+    fn default() -> Matrix {
+        Matrix::zeros(0, 0)
     }
 }
 
@@ -387,7 +531,7 @@ impl fmt::Display for Matrix {
 }
 
 macro_rules! elementwise {
-    ($trait:ident, $method:ident, $op:tt, $name:literal) => {
+    ($trait:ident, $method:ident, $op:tt, $assign:tt, $name:literal) => {
         impl $trait for &Matrix {
             type Output = Matrix;
 
@@ -410,28 +554,75 @@ macro_rules! elementwise {
             }
         }
 
+        // By value the owned left-hand buffer is updated in place and
+        // moved out, so `a + b` costs zero allocations instead of one.
+        impl $trait<&Matrix> for Matrix {
+            type Output = Matrix;
+
+            fn $method(mut self, rhs: &Matrix) -> Matrix {
+                assert_eq!(
+                    self.shape(),
+                    rhs.shape(),
+                    concat!("shape mismatch in ", $name)
+                );
+                for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+                    *a $assign *b;
+                }
+                stats::count_allocs_saved(1);
+                self
+            }
+        }
+
         impl $trait for Matrix {
             type Output = Matrix;
 
             fn $method(self, rhs: Matrix) -> Matrix {
-                (&self).$method(&rhs)
+                self.$method(&rhs)
             }
         }
     };
 }
 
-elementwise!(Add, add, +, "add");
-elementwise!(Sub, sub, -, "sub");
+elementwise!(Add, add, +, +=, "add");
+elementwise!(Sub, sub, -, -=, "sub");
+
+macro_rules! elementwise_assign {
+    ($trait:ident, $method:ident, $assign:tt, $name:literal) => {
+        impl $trait<&Matrix> for Matrix {
+            fn $method(&mut self, rhs: &Matrix) {
+                assert_eq!(
+                    self.shape(),
+                    rhs.shape(),
+                    concat!("shape mismatch in ", $name)
+                );
+                for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+                    *a $assign *b;
+                }
+                stats::count_allocs_saved(1);
+            }
+        }
+    };
+}
+
+elementwise_assign!(AddAssign, add_assign, +=, "add_assign");
+elementwise_assign!(SubAssign, sub_assign, -=, "sub_assign");
 
 impl Mul for &Matrix {
     type Output = Matrix;
 
+    /// Runs the blocked destination-passing kernel
+    /// ([`Matrix::try_mul_into`]), which is differentially tested
+    /// bit-identical to [`Matrix::try_mul`].
+    ///
     /// # Panics
     ///
     /// Panics on inner-dimension mismatch; use [`Matrix::try_mul`] for a
     /// fallible variant.
     fn mul(self, rhs: &Matrix) -> Matrix {
-        self.try_mul(rhs).expect("matrix product shape mismatch")
+        let mut out = Matrix::zeros(0, 0);
+        self.try_mul_into(rhs, &mut out)
+            .expect("matrix product shape mismatch");
+        out
     }
 }
 
@@ -599,5 +790,117 @@ mod tests {
         assert_eq!(Matrix::zeros(0, 0).max_abs(), 0.0);
         let m = Matrix::from_rows(&[&[-3.0, 2.0]]);
         assert_eq!(m.max_abs(), 3.0);
+    }
+
+    fn bits_eq(a: &Matrix, b: &Matrix) -> bool {
+        a.shape() == b.shape()
+            && a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits())
+    }
+
+    /// Random matrix with exact zeros (≈20%) and negative zeros (≈10%)
+    /// mixed in, so the kernels' zero-skip and sign-of-zero paths are
+    /// both exercised.
+    fn random_matrix(rng: &mut crate::rng::SplitMix64, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |_, _| match rng.next_below(10) {
+            0 | 1 => 0.0,
+            2 => -0.0,
+            _ => rng.range_f64(-2.0, 2.0),
+        })
+    }
+
+    #[test]
+    fn mul_into_is_bit_identical_to_try_mul() {
+        use crate::rng::SplitMix64;
+        let mut rng = SplitMix64::new(0x6d75_6c69);
+        let mut out = Matrix::default(); // reused destination across cases
+        for case in 0..60 {
+            let m = rng.next_below(40) as usize + 1;
+            let k = rng.next_below(40) as usize + 1;
+            let n = rng.next_below(90) as usize + 1; // crosses the 64-col tile
+            let a = random_matrix(&mut rng, m, k);
+            let b = random_matrix(&mut rng, k, n);
+            let want = a.try_mul(&b).unwrap();
+            a.try_mul_into(&b, &mut out).unwrap();
+            assert!(bits_eq(&want, &out), "case {case}: {m}x{k} * {k}x{n}");
+        }
+    }
+
+    #[test]
+    fn mul_into_handles_degenerate_shapes() {
+        let mut out = Matrix::default();
+        for (m, k, n) in [(0, 3, 2), (2, 0, 3), (3, 2, 0), (0, 0, 0)] {
+            let a = Matrix::zeros(m, k);
+            let b = Matrix::zeros(k, n);
+            let want = a.try_mul(&b).unwrap();
+            a.try_mul_into(&b, &mut out).unwrap();
+            assert_eq!(out, want, "{m}x{k} * {k}x{n}");
+        }
+    }
+
+    #[test]
+    fn mul_into_leaves_out_untouched_on_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let sentinel = Matrix::from_rows(&[&[7.0, 8.0]]);
+        let mut out = sentinel.clone();
+        assert_eq!(
+            a.try_mul_into(&b, &mut out).unwrap_err(),
+            MatrixError::ShapeMismatch {
+                op: "mul",
+                lhs: (2, 3),
+                rhs: (2, 3)
+            }
+        );
+        assert_eq!(out, sentinel);
+    }
+
+    #[test]
+    fn by_value_add_sub_match_by_ref() {
+        use crate::rng::SplitMix64;
+        let mut rng = SplitMix64::new(0x6164_6473);
+        for _ in 0..20 {
+            let m = rng.next_below(12) as usize + 1;
+            let n = rng.next_below(12) as usize + 1;
+            let a = random_matrix(&mut rng, m, n);
+            let b = random_matrix(&mut rng, m, n);
+            assert!(bits_eq(&(&a + &b), &(a.clone() + b.clone())));
+            assert!(bits_eq(&(&a + &b), &(a.clone() + &b)));
+            assert!(bits_eq(&(&a - &b), &(a.clone() - b.clone())));
+            assert!(bits_eq(&(&a - &b), &(a.clone() - &b)));
+            let mut acc = a.clone();
+            acc += &b;
+            assert!(bits_eq(&(&a + &b), &acc));
+            let mut acc = a.clone();
+            acc -= &b;
+            assert!(bits_eq(&(&a - &b), &acc));
+        }
+    }
+
+    #[test]
+    fn scale_into_matches_scale() {
+        let m = Matrix::from_rows(&[&[1.0, -2.0], &[0.0, 0.5]]);
+        let mut out = Matrix::default();
+        m.scale_into(0.3, &mut out);
+        assert!(bits_eq(&out, &m.scale(0.3)));
+        m.scale_into(-1.5, &mut out); // reuse the same destination
+        assert!(bits_eq(&out, &m.scale(-1.5)));
+    }
+
+    #[test]
+    fn kernel_counters_track_mults_and_reuse() {
+        // Counters are process-global and other tests run concurrently,
+        // so assert monotone lower bounds over a local snapshot delta.
+        let before = crate::kernel_counters();
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[2.0, 3.0]]);
+        let b = Matrix::identity(2);
+        let mut out = Matrix::default();
+        a.try_mul_into(&b, &mut out).unwrap(); // 3 nonzeros * 2 cols
+        a.try_mul_into(&b, &mut out).unwrap(); // destination reused
+        let d = crate::kernel_counters().since(before);
+        assert!(d.mults >= 12, "mults delta {} too small", d.mults);
+        assert!(d.allocs_saved >= 1, "no reuse recorded");
     }
 }

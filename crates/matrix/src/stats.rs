@@ -1,0 +1,68 @@
+//! Process-wide kernel counters: observability for the dense kernels.
+//!
+//! Two questions the bench report wants answered about a run: how many
+//! scalar multiplications the matrix kernels actually performed (the
+//! paper's cost currency is multiplications), and how many matrix-buffer
+//! allocations destination-passing reuse avoided. Both counters are
+//! process-global relaxed atomics — cheap enough to leave on
+//! unconditionally, and explicitly observability-only: no computed
+//! result anywhere depends on them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static MULTS: AtomicU64 = AtomicU64::new(0);
+static ALLOCS_SAVED: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the kernel counters (monotone since process start or the
+/// last [`reset_kernel_counters`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelCounters {
+    /// Scalar multiply–accumulates performed by the matrix-product
+    /// kernels. Exact-zero left-hand entries are skipped by the kernels
+    /// and not counted, so this tracks work done, not `m·k·n`.
+    pub mults: u64,
+    /// Matrix-buffer allocations avoided by destination passing or
+    /// in-place reuse: a [`Matrix::try_mul_into`](crate::Matrix::try_mul_into)
+    /// destination or transposed-RHS scratch whose capacity sufficed, an
+    /// owned `+`/`-` operand updated in place, a warm
+    /// [`ExpmWorkspace`](crate::ExpmWorkspace) buffer.
+    pub allocs_saved: u64,
+}
+
+impl KernelCounters {
+    /// Counter increments since an `earlier` snapshot.
+    #[must_use]
+    pub fn since(self, earlier: KernelCounters) -> KernelCounters {
+        KernelCounters {
+            mults: self.mults.saturating_sub(earlier.mults),
+            allocs_saved: self.allocs_saved.saturating_sub(earlier.allocs_saved),
+        }
+    }
+}
+
+/// Current counter values.
+pub fn kernel_counters() -> KernelCounters {
+    KernelCounters {
+        mults: MULTS.load(Ordering::Relaxed),
+        allocs_saved: ALLOCS_SAVED.load(Ordering::Relaxed),
+    }
+}
+
+/// Resets both counters to zero. Bench harnesses call this at the start
+/// of a measured region; library code never does.
+pub fn reset_kernel_counters() {
+    MULTS.store(0, Ordering::Relaxed);
+    ALLOCS_SAVED.store(0, Ordering::Relaxed);
+}
+
+pub(crate) fn count_mults(n: u64) {
+    if n > 0 {
+        MULTS.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+pub(crate) fn count_allocs_saved(n: u64) {
+    if n > 0 {
+        ALLOCS_SAVED.fetch_add(n, Ordering::Relaxed);
+    }
+}

@@ -87,9 +87,15 @@ pub fn synthesize(constants: &[i64], recoding: Recoding) -> McmSolution {
         ));
     }
 
-    // Iterative pairwise matching over the expression pool.
-    while let Some(best) = best_match(&exprs) {
+    // Iterative pairwise matching over the expression pool. The memo keeps
+    // the best match of every pair and only recomputes pairs whose
+    // endpoints were rewritten by the previous extraction, so each
+    // iteration costs O(E) pair scans instead of O(E²).
+    let mut memo = PairMemo::new(&exprs);
+    while let Some(best) = memo.global_best() {
+        let (i, j) = (best.i, best.j);
         apply_match(&mut exprs, best);
+        memo.refresh(&exprs, i, j);
     }
 
     McmSolution { exprs, outputs }
@@ -161,40 +167,132 @@ fn match_under(
     (src, dst)
 }
 
-/// Scans all pairs and transforms for the largest match of size ≥ 2.
-fn best_match(exprs: &[Expr]) -> Option<Match> {
+/// Best match within one fixed pair `(i, j)`: the first candidate
+/// transform (in sorted `(shift, flip)` order) reaching the pair's maximal
+/// match size ≥ 2. `cands` is caller-provided scratch.
+fn pair_best(exprs: &[Expr], i: usize, j: usize, cands: &mut Vec<(i64, bool)>) -> Option<Match> {
+    // Candidate transforms come from aligning any term of i with any
+    // term of j that has the same source.
+    cands.clear();
+    for t in &exprs[i].terms {
+        for u in &exprs[j].terms {
+            if t.source == u.source {
+                cands.push((u.shift as i64 - t.shift as i64, t.neg ^ u.neg));
+            }
+        }
+    }
+    cands.sort_unstable();
+    cands.dedup();
     let mut best: Option<Match> = None;
-    for i in 0..exprs.len() {
-        for j in i..exprs.len() {
-            // Candidate transforms come from aligning any term of i with any
-            // term of j that has the same source.
-            let mut cands: Vec<(i64, bool)> = Vec::new();
-            for t in &exprs[i].terms {
-                for u in &exprs[j].terms {
-                    if t.source == u.source {
-                        cands.push((u.shift as i64 - t.shift as i64, t.neg ^ u.neg));
-                    }
+    for &(shift, flip) in cands.iter() {
+        if i == j && shift == 0 && !flip {
+            continue; // identity self-match is meaningless
+        }
+        let (src, dst) = match_under(exprs, i, j, shift, flip);
+        if src.len() >= 2 {
+            let cand = Match {
+                i,
+                j,
+                shift,
+                flip,
+                src,
+                dst,
+            };
+            if best.as_ref().is_none_or(|b| cand.len() > b.len()) {
+                best = Some(cand);
+            }
+        }
+    }
+    best
+}
+
+/// Per-pair memo of within-pair best matches.
+///
+/// A match for pair `(a, b)` depends only on `exprs[a]` and `exprs[b]`, so
+/// after an extraction rewrites expressions `i` and `j` and appends the
+/// shared expression `k`, every pair avoiding `{i, j, k}` keeps its cached
+/// match. Selection order is identical to a full rescan: pairs are scanned
+/// in ascending `(i, j)` with a strictly-greater size test, and each
+/// cached entry was itself chosen by the same rule over sorted candidate
+/// transforms — so the memoized loop extracts exactly the same sequence of
+/// matches as the O(E²)-per-iteration rescan (asserted by a test below).
+struct PairMemo {
+    /// `best[i][j - i]` = best match within pair `(i, j)`, `i ≤ j`.
+    best: Vec<Vec<Option<Match>>>,
+    /// Scratch for candidate transforms, reused across pair scans.
+    cands: Vec<(i64, bool)>,
+}
+
+impl PairMemo {
+    fn new(exprs: &[Expr]) -> PairMemo {
+        let mut memo = PairMemo {
+            best: Vec::with_capacity(exprs.len()),
+            cands: Vec::new(),
+        };
+        for i in 0..exprs.len() {
+            let row = (i..exprs.len())
+                .map(|j| pair_best(exprs, i, j, &mut memo.cands))
+                .collect();
+            memo.best.push(row);
+        }
+        memo
+    }
+
+    /// Re-scans every pair touching `i`, `j`, or an expression appended
+    /// since the last refresh; all other entries stay cached.
+    fn refresh(&mut self, exprs: &[Expr], i: usize, j: usize) {
+        let e = exprs.len();
+        // New expressions extend existing rows and add fresh rows; those
+        // pairs are computed here for the first time.
+        for a in 0..self.best.len() {
+            for b in (a + self.best[a].len())..e {
+                let m = pair_best(exprs, a, b, &mut self.cands);
+                self.best[a].push(m);
+            }
+        }
+        for a in self.best.len()..e {
+            let row = (a..e)
+                .map(|b| pair_best(exprs, a, b, &mut self.cands))
+                .collect();
+            self.best.push(row);
+        }
+        // Pairs with a rewritten endpoint.
+        for d in [i, j] {
+            for a in 0..e {
+                let (lo, hi) = if a <= d { (a, d) } else { (d, a) };
+                self.best[lo][hi - lo] = pair_best(exprs, lo, hi, &mut self.cands);
+            }
+        }
+    }
+
+    /// The match a full rescan would select: first pair in ascending
+    /// `(i, j)` order whose cached match is strictly larger than every
+    /// earlier one.
+    fn global_best(&self) -> Option<Match> {
+        let mut best: Option<&Match> = None;
+        for row in &self.best {
+            for m in row.iter().flatten() {
+                if best.is_none_or(|b| m.len() > b.len()) {
+                    best = Some(m);
                 }
             }
-            cands.sort_unstable();
-            cands.dedup();
-            for (shift, flip) in cands {
-                if i == j && shift == 0 && !flip {
-                    continue; // identity self-match is meaningless
-                }
-                let (src, dst) = match_under(exprs, i, j, shift, flip);
-                if src.len() >= 2 {
-                    let cand = Match {
-                        i,
-                        j,
-                        shift,
-                        flip,
-                        src,
-                        dst,
-                    };
-                    if best.as_ref().is_none_or(|b| cand.len() > b.len()) {
-                        best = Some(cand);
-                    }
+        }
+        best.cloned()
+    }
+}
+
+/// Scans all pairs and transforms for the largest match of size ≥ 2 —
+/// the reference implementation the memoized loop must agree with.
+#[cfg(test)]
+fn best_match(exprs: &[Expr]) -> Option<Match> {
+    let mut best: Option<Match> = None;
+    let mut cands = Vec::new();
+    for i in 0..exprs.len() {
+        for j in i..exprs.len() {
+            let cand = pair_best(exprs, i, j, &mut cands);
+            if let Some(c) = cand {
+                if best.as_ref().is_none_or(|b| c.len() > b.len()) {
+                    best = Some(c);
                 }
             }
         }
@@ -333,6 +431,44 @@ mod tests {
                     "worse than naive for {set:?} {recoding:?}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn memoized_matching_equals_full_rescan() {
+        // Drive the memoized loop and the O(E²) rescan side by side on the
+        // same pool and assert they extract the same match at every step.
+        for set in [
+            vec![185i64, 235, 77, 1997, 45],
+            (1..=24).map(|k| (k * 37 % 255) + 1).collect(),
+            vec![3, 5, 9, 17, 33, 65, 129, 257],
+        ] {
+            let mut exprs: Vec<Expr> = set
+                .iter()
+                .map(|&c| Expr {
+                    terms: recode(c, Recoding::Csd)
+                        .iter()
+                        .map(|d| Term {
+                            source: Source::Input,
+                            shift: d.shift,
+                            neg: d.neg,
+                        })
+                        .collect(),
+                })
+                .collect();
+            let mut naive = exprs.clone();
+            let mut memo = PairMemo::new(&exprs);
+            loop {
+                let fast = memo.global_best();
+                let slow = best_match(&naive);
+                assert_eq!(fast, slow, "divergence on {set:?}");
+                let Some(m) = fast else { break };
+                let (i, j) = (m.i, m.j);
+                apply_match(&mut exprs, m.clone());
+                apply_match(&mut naive, m);
+                memo.refresh(&exprs, i, j);
+            }
+            assert_eq!(exprs, naive);
         }
     }
 

@@ -22,9 +22,42 @@ use crate::{DiagCode, Diagnostic, OptError, TechConfig};
 use lintra_dfg::build;
 use lintra_egraph::{EGraph, EgraphError, RuleSet, SaturationBudget, SaturationStats};
 use lintra_engine::SweepCache;
-use lintra_linsys::{unfold, LinsysError, StateSpace};
+use lintra_linsys::{unfold, LinsysError, StateSpace, UnfoldedSystem};
 use lintra_power::EnergyBreakdown;
 use lintra_transform::horner::HornerForm;
+
+/// Source of the script's intermediate forms: the strategy needs both the
+/// Horner restructurings (for the unfolding search) and the plain
+/// unfolded system (to seed the e-graph). Routing both through one trait
+/// lets the cached path serve the unfold seed from the same power chain
+/// the Horner search just built instead of re-deriving it from scratch.
+trait ScriptForms {
+    fn horner(&mut self, i: u32) -> Result<HornerForm, LinsysError>;
+    fn unfolded(&mut self, i: u32) -> Result<UnfoldedSystem, LinsysError>;
+}
+
+/// From-scratch forms for the uncached entry point.
+struct FreshForms<'a>(&'a StateSpace);
+
+impl ScriptForms for FreshForms<'_> {
+    fn horner(&mut self, i: u32) -> Result<HornerForm, LinsysError> {
+        HornerForm::new(self.0, i)
+    }
+
+    fn unfolded(&mut self, i: u32) -> Result<UnfoldedSystem, LinsysError> {
+        unfold(self.0, i)
+    }
+}
+
+impl ScriptForms for &mut SweepCache {
+    fn horner(&mut self, i: u32) -> Result<HornerForm, LinsysError> {
+        SweepCache::horner(self, i)
+    }
+
+    fn unfolded(&mut self, i: u32) -> Result<UnfoldedSystem, LinsysError> {
+        SweepCache::unfolded(self, i)
+    }
+}
 
 /// Configuration of the equality-saturation strategy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -116,11 +149,14 @@ pub fn optimize(
     tech: &TechConfig,
     cfg: &SaturateConfig,
 ) -> Result<SaturateResult, OptError> {
-    optimize_impl(sys, tech, cfg, &mut |i| HornerForm::new(sys, i))
+    optimize_impl(sys, tech, cfg, &mut FreshForms(sys))
 }
 
-/// [`optimize`] with the Horner restructurings served by an incremental
-/// [`SweepCache`], mirroring [`crate::asic::optimize_cached`].
+/// [`optimize`] with the Horner restructurings *and* the unfolded
+/// e-graph seed served by an incremental [`SweepCache`], mirroring
+/// [`crate::asic::optimize_cached`]. The unfold reuses the power chain
+/// the Horner search just built, so the seed costs only the coupling
+/// blocks the search did not touch.
 ///
 /// # Errors
 ///
@@ -131,19 +167,20 @@ pub fn optimize_cached(
     cfg: &SaturateConfig,
     cache: &mut SweepCache,
 ) -> Result<SaturateResult, OptError> {
-    optimize_impl(sys, tech, cfg, &mut |i| cache.horner(i))
+    let mut forms = cache;
+    optimize_impl(sys, tech, cfg, &mut forms)
 }
 
-fn optimize_impl<H>(
+fn optimize_impl<F>(
     sys: &StateSpace,
     tech: &TechConfig,
     cfg: &SaturateConfig,
-    horner: &mut H,
+    forms: &mut F,
 ) -> Result<SaturateResult, OptError>
 where
-    H: FnMut(u32) -> Result<HornerForm, LinsysError>,
+    F: ScriptForms,
 {
-    let art = script_with_graphs(sys, tech, &cfg.asic, horner)?;
+    let art = script_with_graphs(sys, tech, &cfg.asic, &mut |i| forms.horner(i))?;
     let script = art.result;
     let mut diagnostics = script.diagnostics.clone();
 
@@ -152,7 +189,7 @@ where
     // the §5 shift-add network. Rooting them in the same e-classes makes
     // each a candidate and lets the rule library recombine them.
     let (mut eg, roots) = EGraph::from_dfg(&art.horner_dfg)?;
-    let unfolded = build::from_unfolded(&unfold(sys, script.unfolding)?)?;
+    let unfolded = build::from_unfolded(&forms.unfolded(script.unfolding)?)?;
     let unfolded_roots = eg.add_dfg(&unfolded)?;
     eg.union_roots(&roots, &unfolded_roots)?;
     let script_roots = eg.add_dfg(&art.shifted)?;

@@ -51,8 +51,7 @@ struct GroupEmitter {
 }
 
 impl GroupEmitter {
-    fn new(constants: &[i64], recoding: Recoding) -> GroupEmitter {
-        let plan = synthesize(constants, recoding);
+    fn from_plan(constants: &[i64], plan: McmSolution) -> GroupEmitter {
         let outputs = constants.iter().enumerate().map(|(i, &c)| (c, i)).collect();
         GroupEmitter {
             expr_nodes: vec![None; plan.exprs.len()],
@@ -189,12 +188,20 @@ pub fn expand_multiplications(
         groups: groups.len() as u64,
         ..Default::default()
     };
+    // Unfolded graphs repeat the same coefficient rows across samples
+    // (block-Toeplitz structure), so many groups share one constant set;
+    // synthesize each distinct set once and clone the plan.
+    let mut plans: HashMap<Vec<i64>, McmSolution> = HashMap::new();
     let mut emitters: HashMap<usize, GroupEmitter> = groups
         .into_iter()
         .map(|(pred, mut consts)| {
             consts.sort_unstable();
             consts.dedup();
-            (pred, GroupEmitter::new(&consts, config.recoding))
+            let plan = plans
+                .entry(consts.clone())
+                .or_insert_with(|| synthesize(&consts, config.recoding))
+                .clone();
+            (pred, GroupEmitter::from_plan(&consts, plan))
         })
         .collect();
 

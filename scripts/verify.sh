@@ -36,6 +36,12 @@ timeout --kill-after=10 900 cargo test --release -p lintra \
 echo "== bench trajectory: scripts/bench.sh --smoke =="
 ./scripts/bench.sh --smoke
 
+echo "== perf gate: egraph_suite sequential wall-clock budget =="
+# The smoke run just rewrote BENCH_2.json; the indexed match engine and
+# memoized MCM pass keep the sequential e-graph suite around ~1 s, so a
+# report over the 6 s budget is a hot-loop regression, not noise.
+./target/release/bench_report --perf-gate BENCH_2.json --budget-s 6.0
+
 echo "== service: scripts/chaos.sh =="
 ./scripts/chaos.sh
 
