@@ -163,6 +163,7 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         Some("serve") => cmd_serve(&args[1..], out),
         Some("request") => cmd_request(&args[1..], out),
         Some("recover") => cmd_recover(&args[1..], out),
+        Some("sim") => cmd_sim(&args[1..], out),
         Some(other) => Err(usage(format!("unknown command `{other}`"))),
     }
 }
@@ -194,7 +195,12 @@ fn help(out: &mut impl Write) -> Result<(), CliError> {
          \x20                               --addr takes an ordered endpoint list — the client\n\
          \x20                               walks past dead or non-primary replicas;\n\
          \x20                               --request-id K makes the request idempotent\n\
-         \x20 recover <dir>                 inspect a durability directory read-only\n\n\
+         \x20 recover <dir>                 inspect a durability directory read-only\n\
+         \x20 sim [--seed N] [--swarm K] [--seconds S] [--nodes N] [--clients C]\n\
+         \x20     [--sim-ms MS] [--bug none|colliding-epoch] [--trace]\n\
+         \x20                               deterministically simulate the replicated cluster\n\
+         \x20                               under seeded faults; every run reproduces from its\n\
+         \x20                               seed, failures print the fault schedule and exit 5\n\n\
          `--jobs N` fans work out over the parallel sweep engine; output is\n\
          bit-identical to the sequential path."
     )?;
@@ -406,7 +412,7 @@ fn cmd_mcm(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
 /// Positional (non-flag) arguments, skipping each value-taking flag's
 /// value so `--addr 127.0.0.1:80` does not masquerade as a positional.
 fn positionals(args: &[String]) -> Vec<&str> {
-    const BOOLEAN_FLAGS: [&str; 3] = ["--binary", "--seq", "--chaos"];
+    const BOOLEAN_FLAGS: [&str; 4] = ["--binary", "--seq", "--chaos", "--trace"];
     let mut found = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -710,6 +716,109 @@ fn cmd_recover(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         }
     } else {
         writeln!(out, "snapshots: none")?;
+    }
+    Ok(())
+}
+
+/// `lintra sim`: deterministic simulation of the replicated cluster —
+/// one seed, a fixed swarm (`--swarm K`), or a wall-clock-budgeted
+/// swarm (`--seconds S`). Every run is a pure function of
+/// `(seed, config)`; a violated invariant prints the seed plus the
+/// compact fault-schedule trace and exits 5 with `CNV-SIM-INVARIANT`.
+fn cmd_sim(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    use lintra_sim::{run_sim, SimBug, SimConfig};
+
+    let parse_u64 = |name: &str, default: u64| -> Result<u64, CliError> {
+        match flag_value(args, name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| usage(format!("{name} expects an integer, got `{v}`"))),
+        }
+    };
+    let first = parse_u64("--seed", 1)?;
+    let swarm = parse_u64("--swarm", 1)?.max(1);
+    let seconds = match flag_value(args, "--seconds") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<f64>()
+                .map_err(|_| usage(format!("--seconds expects a wall-clock budget, got `{v}`")))?,
+        ),
+    };
+    let trace = args.iter().any(|a| a == "--trace");
+    let mut config = SimConfig::default();
+    if let Some(n) = parse_usize(args, "--nodes")? {
+        if n < 2 {
+            return Err(usage("--nodes expects a cluster of at least 2"));
+        }
+        config.nodes = n;
+    }
+    if let Some(n) = parse_usize(args, "--clients")? {
+        config.clients = n;
+    }
+    if let Some(ms) = parse_millis(args, "--sim-ms")? {
+        config.sim_ms = ms.max(100);
+    }
+    if let Some(bug) = flag_value(args, "--bug") {
+        config.bug = match bug {
+            "none" => SimBug::None,
+            "colliding-epoch" => SimBug::CollidingPromotionEpoch,
+            other => {
+                return Err(usage(format!(
+                    "--bug expects none|colliding-epoch, got `{other}`"
+                )))
+            }
+        };
+    }
+
+    let started = std::time::Instant::now();
+    let mut first_failure: Option<lintra_sim::SimReport> = None;
+    let mut ran = 0u64;
+    for seed in first..first.saturating_add(swarm) {
+        if let Some(budget) = seconds {
+            if started.elapsed().as_secs_f64() >= budget {
+                break;
+            }
+        }
+        let report = run_sim(seed, &config);
+        ran += 1;
+        writeln!(
+            out,
+            "seed {:>6} {} — {} events, {} settled, {} deduped, {} promotions, {} fences",
+            report.seed,
+            if report.passed() { "PASS" } else { "FAIL" },
+            report.events,
+            report.settled,
+            report.deduped,
+            report.promotions,
+            report.fences
+        )?;
+        if trace || !report.passed() {
+            for line in &report.trace {
+                writeln!(out, "  {line}")?;
+            }
+        }
+        if !report.passed() && first_failure.is_none() {
+            first_failure = Some(report);
+        }
+    }
+    writeln!(
+        out,
+        "{ran} seed(s) simulated in {:.2}s wall clock",
+        started.elapsed().as_secs_f64()
+    )?;
+    if let Some(report) = first_failure {
+        return Err(CliError::Remote(WireFailure {
+            class: ErrorClass::Convergence,
+            code: "CNV-SIM-INVARIANT".to_string(),
+            message: format!(
+                "seed {} violated {} invariant(s): {}; reproduce with `lintra sim --seed {} --trace`",
+                report.seed,
+                report.violations.len(),
+                report.violations.join("; "),
+                report.seed
+            ),
+        }));
     }
     Ok(())
 }
@@ -1032,5 +1141,40 @@ mod tests {
         assert!(out.contains("listening on 127.0.0.1:"), "{out}");
         assert!(out.contains("draining"), "{out}");
         assert!(out.contains("drained:"), "{out}");
+    }
+    #[test]
+    fn sim_single_seed_reports_pass_and_counters() {
+        let out = run_ok(&["sim", "--seed", "42", "--sim-ms", "4000"]);
+        assert!(out.contains("seed     42 PASS"), "{out}");
+        assert!(out.contains("1 seed(s) simulated"), "{out}");
+    }
+
+    #[test]
+    fn sim_with_injected_bug_exits_convergence_class_with_the_repro_seed() {
+        let args: Vec<String> = ["sim", "--seed", "10", "--bug", "colliding-epoch"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut buf = Vec::new();
+        let err = run(&args, &mut buf).expect_err("the injected bug must fail a seed");
+        assert_eq!(err.exit_code(), ErrorClass::Convergence.exit_code());
+        let msg = err.to_string();
+        assert!(msg.contains("CNV-SIM-INVARIANT"), "{msg}");
+        assert!(msg.contains("reproduce with `lintra sim --seed"), "{msg}");
+        // The failing run printed its fault-schedule trace.
+        let out = String::from_utf8(buf).expect("utf8 output");
+        assert!(out.contains("FAIL"), "{out}");
+        assert!(out.contains("fault:"), "{out}");
+    }
+
+    #[test]
+    fn sim_rejects_unknown_bug_names() {
+        let args: Vec<String> = ["sim", "--bug", "nonesuch"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut buf = Vec::new();
+        let err = run(&args, &mut buf).expect_err("unknown bug name");
+        assert_eq!(err.exit_code(), 2);
     }
 }

@@ -142,6 +142,7 @@ pub fn documented_codes() -> &'static [(&'static str, ErrorClass)] {
         ("RES-NOT-PRIMARY", ErrorClass::Resource),
         ("RES-SATURATION-BUDGET", ErrorClass::Resource),
         ("CNV-BISECTION", ErrorClass::Convergence),
+        ("CNV-SIM-INVARIANT", ErrorClass::Convergence),
         ("IO-FAILURE", ErrorClass::Io),
         ("IO-JOURNAL-CORRUPT", ErrorClass::Io),
         ("IO-SNAPSHOT-CORRUPT", ErrorClass::Io),

@@ -41,13 +41,15 @@
 
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
-use std::io::{ErrorKind, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
 use lintra::matrix::rng::SplitMix64;
 use lintra::ErrorClass;
 use lintra_bench::wire::{WireRequest, WireResponse};
+
+use crate::clock::{Clock, SystemClock};
+use crate::transport::{NetError, TcpTransport, Transport};
 
 /// Retry tuning; the default is three attempts with 50 ms → 2 s backoff.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -166,6 +168,12 @@ pub struct Client {
     pub connect_timeout: Duration,
     /// Response wait for requests without a `deadline_ms` of their own.
     pub request_timeout: Duration,
+    /// Network seam; [`TcpTransport`] by default, swapped for an
+    /// in-memory network under simulation.
+    pub transport: Arc<dyn Transport>,
+    /// Time seam; [`SystemClock`] by default, swapped for virtual time
+    /// under simulation.
+    pub clock: Arc<dyn Clock>,
 }
 
 /// The replication redirects an endpoint walk advances past without
@@ -193,6 +201,8 @@ impl Client {
             policy: RetryPolicy::default(),
             connect_timeout: Duration::from_secs(2),
             request_timeout: Duration::from_secs(60),
+            transport: Arc::new(TcpTransport),
+            clock: Arc::new(SystemClock::new()),
         }
     }
 
@@ -236,13 +246,14 @@ impl Client {
         let mut rng = SplitMix64::new(self.policy.seed ^ hasher.finish());
         let attempts = self.policy.max_attempts.max(1);
         let budget = self.response_budget(req);
-        let started = Instant::now();
+        let started = self.clock.now();
         let mut last_error = "no endpoints configured".to_string();
         let mut cursor = 0usize;
         for attempt in 0..attempts {
             if attempt > 0 {
                 let sleep = self.policy.backoff(attempt - 1, &mut rng);
-                if started.elapsed().saturating_add(sleep) >= budget {
+                let elapsed = self.clock.now().saturating_sub(started);
+                if elapsed.saturating_add(sleep) >= budget {
                     // Sleeping would run out the caller's own deadline:
                     // fail fast instead of answering after it matters.
                     return Err(ClientError::DeadlineExhausted {
@@ -250,7 +261,7 @@ impl Client {
                         budget,
                     });
                 }
-                std::thread::sleep(sleep);
+                self.clock.sleep(sleep);
             }
             // Walk the endpoint list at most once per attempt.
             for _ in 0..self.endpoints.len().max(1) {
@@ -306,37 +317,28 @@ impl Client {
         req: &WireRequest,
         budget: Duration,
     ) -> Result<WireResponse, String> {
-        let addr = endpoint
-            .to_socket_addrs()
-            .map_err(|e| format!("resolving {endpoint}: {e}"))?
-            .next()
-            .ok_or_else(|| format!("{endpoint} resolves to no address"))?;
-        let mut stream = TcpStream::connect_timeout(&addr, self.connect_timeout)
-            .map_err(|e| format!("connecting to {addr}: {e}"))?;
-        let _ = stream.set_nodelay(true);
-        stream
-            .set_write_timeout(Some(self.connect_timeout))
-            .map_err(|e| format!("configuring socket: {e}"))?;
-        stream
-            .write_all(req.render_line().as_bytes())
+        let mut conn = self
+            .transport
+            .connect(endpoint, self.connect_timeout)
+            .map_err(|e| e.to_string())?;
+        conn.send(req.render_line().as_bytes())
             .map_err(|e| format!("sending request: {e}"))?;
 
         // Read up to the newline under the overall response budget.
-        let started = Instant::now();
+        let deadline = self.clock.deadline(budget);
         let mut line: Vec<u8> = Vec::new();
         let mut chunk = [0u8; 1024];
         while !line.contains(&b'\n') {
-            let left = budget
-                .checked_sub(started.elapsed())
-                .filter(|d| !d.is_zero())
-                .ok_or_else(|| format!("no response within {} ms", budget.as_millis()))?;
-            stream
-                .set_read_timeout(Some(left))
-                .map_err(|e| format!("configuring socket: {e}"))?;
-            match stream.read(&mut chunk) {
-                Ok(0) => return Err("connection closed before a response".to_string()),
+            let left = deadline.saturating_sub(self.clock.now());
+            if left.is_zero() {
+                return Err(format!("no response within {} ms", budget.as_millis()));
+            }
+            match conn.recv(&mut chunk, left) {
                 Ok(n) => line.extend_from_slice(&chunk[..n]),
-                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                Err(NetError::Closed) => {
+                    return Err("connection closed before a response".to_string())
+                }
+                Err(NetError::Timeout) => {
                     return Err(format!("no response within {} ms", budget.as_millis()))
                 }
                 Err(e) => return Err(format!("reading response: {e}")),
@@ -358,6 +360,7 @@ impl Client {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Instant;
 
     #[test]
     fn backoff_grows_exponentially_and_caps() {

@@ -64,16 +64,21 @@
 
 pub mod breaker;
 pub mod client;
+pub mod clock;
 pub mod journal;
 pub mod replicate;
 pub mod server;
 pub mod signal;
+pub mod transport;
 
 pub use breaker::{BreakerConfig, CircuitBreaker};
 pub use client::{Client, ClientError, RetryPolicy};
+pub use clock::{Clock, SystemClock};
 pub use journal::{Journal, JournalRecovery, RecordKind, ScanOutcome};
 pub use replicate::{
-    load_epoch_state, prefix_crc, query_status, store_epoch, store_epoch_state, EpochState,
-    ReplChaos, ReplMsg, Role, StatusView,
+    epoch_stride_slot, load_epoch_state, prefix_crc, promotion_epoch, query_status,
+    query_status_via, store_epoch, store_epoch_state, EpochState, ReplChaos, ReplMsg, Role,
+    StatusView,
 };
 pub use server::{start, RecoveryReport, RoleInfo, ServerConfig, ServerHandle, ServerStats};
+pub use transport::{read_line, Acceptor, Conn, NetError, TcpTransport, Transport};

@@ -106,12 +106,11 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::io::{ErrorKind, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::io::{ErrorKind, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use lintra::engine::snapshot::{crc32, install_dir};
 use lintra::matrix::rng::SplitMix64;
@@ -119,9 +118,11 @@ use lintra_bench::json::Json;
 use lintra_bench::wire::{WireOp, WireRequest};
 
 use crate::client::RetryPolicy;
+use crate::clock::{Clock, SystemClock};
 use crate::journal::{fold_records, payload_bytes, JournalRecord, RecordKind, SNAPSHOT_DIR};
 use crate::server::{lock_unpoisoned, persist_snapshots, replay_request, Shared};
 use crate::signal;
+use crate::transport::{read_line, Conn, NetError, TcpTransport, Transport};
 
 /// File name of the persisted epoch inside the epoch directory.
 pub const EPOCH_FILE: &str = "epoch";
@@ -235,6 +236,7 @@ impl ReplState {
         epoch_path: PathBuf,
         replica_of: Option<String>,
         records: Vec<JournalRecord>,
+        clock: &dyn Clock,
     ) -> Result<ReplState, std::io::Error> {
         let state = load_epoch_state(&epoch_path)?;
         let (role, fenced_by) = match (replica_of, state.fenced) {
@@ -272,13 +274,18 @@ impl ReplState {
                 0,
             ),
         };
+        // The nonce only has to distinguish *processes* talking through
+        // address aliases. A process-wide counter makes it unique within
+        // this process even under a frozen or coarse clock (two ReplStates
+        // built in the same tick), the pid separates processes on one
+        // host, and the monotonic clock reading separates hosts — no
+        // `SystemTime` involved, so simulation runs stay deterministic.
+        static NONCE_SEQ: AtomicU64 = AtomicU64::new(0);
         let mut hasher = DefaultHasher::new();
         std::process::id().hash(&mut hasher);
         epoch_path.hash(&mut hasher);
-        std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .unwrap_or_default()
-            .hash(&mut hasher);
+        NONCE_SEQ.fetch_add(1, Ordering::SeqCst).hash(&mut hasher);
+        clock.now().hash(&mut hasher);
         Ok(ReplState {
             self_addr: Mutex::new(String::new()),
             epoch: AtomicU64::new(state.epoch),
@@ -293,8 +300,9 @@ impl ReplState {
             corrupt_refused: AtomicU64::new(0),
             diverged: AtomicBool::new(false),
             // JSON numbers are f64: keep the nonce within 2^53 so it
-            // round-trips the wire exactly.
-            nonce: hasher.finish() & ((1 << 53) - 1),
+            // round-trips the wire exactly. One SplitMix64 step disperses
+            // the hash so counter-adjacent nonces are far apart.
+            nonce: SplitMix64::new(hasher.finish()).next_u64() & ((1 << 53) - 1),
             chaos_drops_done: AtomicU64::new(0),
         })
     }
@@ -680,56 +688,25 @@ pub fn prefix_crc(records: &[JournalRecord]) -> u32 {
 
 // --- socket plumbing ------------------------------------------------------
 
-fn connect(addr: &str, timeout: Duration) -> Result<TcpStream, String> {
-    let sock = addr
-        .to_socket_addrs()
-        .map_err(|e| format!("resolving {addr}: {e}"))?
-        .next()
-        .ok_or_else(|| format!("{addr} resolves to no address"))?;
-    let stream =
-        TcpStream::connect_timeout(&sock, timeout).map_err(|e| format!("connecting: {e}"))?;
-    let _ = stream.set_nodelay(true);
-    Ok(stream)
-}
-
-/// Reads one newline-terminated line under `timeout`. `Ok(None)` = EOF.
-fn read_line(
-    stream: &mut TcpStream,
-    buf: &mut Vec<u8>,
-    timeout: Duration,
-) -> Result<Option<String>, String> {
-    let started = Instant::now();
-    loop {
-        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
-            let line: Vec<u8> = buf.drain(..=pos).collect();
-            return Ok(Some(String::from_utf8_lossy(&line).trim_end().to_string()));
-        }
-        let left = timeout
-            .checked_sub(started.elapsed())
-            .filter(|d| !d.is_zero())
-            .ok_or("timed out waiting for a line")?;
-        stream
-            .set_read_timeout(Some(left.min(POLL)))
-            .map_err(|e| format!("configuring socket: {e}"))?;
-        let mut chunk = [0u8; 4096];
-        match stream.read(&mut chunk) {
-            Ok(0) => return Ok(None),
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
-            Err(e) => return Err(format!("reading: {e}")),
-        }
-    }
-}
-
-/// One-shot status query against any replicated server. `None` when the
-/// peer is unreachable, not replicated, or answers garbage.
+/// One-shot status query against any replicated server over real TCP.
+/// `None` when the peer is unreachable, not replicated, or answers
+/// garbage. Library-internal paths use [`query_status_via`] so the
+/// transport and clock stay injectable.
 pub fn query_status(addr: &str, timeout: Duration) -> Option<StatusView> {
-    let mut stream = connect(addr, timeout).ok()?;
-    stream
-        .write_all(ReplMsg::Status.render_line().as_bytes())
-        .ok()?;
+    query_status_via(&TcpTransport, &SystemClock::new(), addr, timeout)
+}
+
+/// [`query_status`] over an explicit [`Transport`]/[`Clock`] pair.
+pub fn query_status_via(
+    transport: &dyn Transport,
+    clock: &dyn Clock,
+    addr: &str,
+    timeout: Duration,
+) -> Option<StatusView> {
+    let mut conn = transport.connect(addr, timeout).ok()?;
+    conn.send(ReplMsg::Status.render_line().as_bytes()).ok()?;
     let mut buf = Vec::new();
-    let line = read_line(&mut stream, &mut buf, timeout).ok()??;
+    let line = read_line(conn.as_mut(), &mut buf, timeout, POLL, clock).ok()??;
     match ReplMsg::parse(&line)? {
         ReplMsg::StatusReply {
             role,
@@ -758,18 +735,19 @@ pub fn query_status(addr: &str, timeout: Duration) -> Option<StatusView> {
 /// chaos-configured link drop fires.
 pub(crate) fn stream_to_follower(
     shared: &Arc<Shared>,
-    mut stream: TcpStream,
+    mut conn: Box<dyn Conn>,
     hello_epoch: u64,
     mut cursor: u64,
     hello_pcrc: u32,
     peer: String,
 ) {
     let Some(repl) = &shared.repl else { return };
+    let clock = shared.config.clock.as_ref();
     // A hello from a higher epoch means this server was deposed while it
     // was away: fence immediately, refuse the stream.
     if hello_epoch > repl.epoch() {
         repl.fence(hello_epoch);
-        let _ = stream.write_all(
+        let _ = conn.send(
             ReplMsg::Err {
                 code: "RES-STALE-EPOCH".to_string(),
                 epoch: repl.epoch(),
@@ -786,7 +764,7 @@ pub(crate) fn stream_to_follower(
                 Role::Fenced => "RES-STALE-EPOCH",
                 _ => "RES-NOT-PRIMARY",
             };
-            let _ = stream.write_all(
+            let _ = conn.send(
                 ReplMsg::Err {
                     code: code.to_string(),
                     epoch: repl.epoch(),
@@ -813,7 +791,7 @@ pub(crate) fn stream_to_follower(
             .is_some_and(|prefix| prefix_crc(prefix) == hello_pcrc)
     };
     if !prefix_matches {
-        let _ = stream.write_all(
+        let _ = conn.send(
             ReplMsg::Err {
                 code: "IO-REPL-CORRUPT".to_string(),
                 epoch: repl.epoch(),
@@ -831,14 +809,8 @@ pub(crate) fn stream_to_follower(
         .as_ref()
         .and_then(|c| c.drop_link_after);
     let mut sent_on_conn: u64 = 0;
-    let mut last_sent = Instant::now();
+    let mut last_sent = clock.now();
     let mut ackbuf: Vec<u8> = Vec::new();
-    if stream
-        .set_read_timeout(Some(Duration::from_millis(1)))
-        .is_err()
-    {
-        return;
-    }
     loop {
         if shared.draining.load(Ordering::SeqCst) || repl.role_state().role != Role::Primary {
             return;
@@ -882,27 +854,26 @@ pub(crate) fn stream_to_follower(
                 rid: rec.rid,
                 line: rec.line,
             };
-            if stream.write_all(msg.render_line().as_bytes()).is_err() {
+            if conn.send(msg.render_line().as_bytes()).is_err() {
                 return;
             }
             cursor = seq;
             sent_on_conn += 1;
-            last_sent = Instant::now();
+            last_sent = clock.now();
         }
-        if last_sent.elapsed() >= heartbeat {
+        if clock.now().saturating_sub(last_sent) >= heartbeat {
             let msg = ReplMsg::Hb {
                 epoch,
                 seq: repl.seq(),
             };
-            if stream.write_all(msg.render_line().as_bytes()).is_err() {
+            if conn.send(msg.render_line().as_bytes()).is_err() {
                 return;
             }
-            last_sent = Instant::now();
+            last_sent = clock.now();
         }
         // Drain acks without blocking the stream.
         let mut chunk = [0u8; 1024];
-        match stream.read(&mut chunk) {
-            Ok(0) => return,
+        match conn.recv(&mut chunk, Duration::from_millis(1)) {
             Ok(n) => {
                 ackbuf.extend_from_slice(&chunk[..n]);
                 while let Some(pos) = ackbuf.iter().position(|&b| b == b'\n') {
@@ -915,7 +886,7 @@ pub(crate) fn stream_to_follower(
                     }
                 }
             }
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(NetError::Timeout) => {}
             Err(_) => return,
         }
     }
@@ -946,6 +917,8 @@ pub(crate) fn follower_loop(shared: Arc<Shared>) {
     let Some(repl) = shared.repl.clone() else {
         return;
     };
+    let clock = shared.config.clock.as_ref();
+    let transport = shared.config.transport.as_ref();
     let self_addr = lock_unpoisoned(&repl.self_addr).clone();
     let mut hasher = DefaultHasher::new();
     self_addr.hash(&mut hasher);
@@ -959,7 +932,7 @@ pub(crate) fn follower_loop(shared: Arc<Shared>) {
         seed: 0,
     };
     let mut attempt: u32 = 0;
-    let mut last_contact = Instant::now();
+    let mut last_contact = clock.now();
     loop {
         if shared.draining.load(Ordering::SeqCst) {
             return;
@@ -970,10 +943,10 @@ pub(crate) fn follower_loop(shared: Arc<Shared>) {
             (Role::Primary, _) => break, // promoted: fall through to the guard
             _ => return,
         };
-        let end = match connect(&primary, Duration::from_millis(500)) {
-            Ok(stream) => {
+        let end = match transport.connect(&primary, Duration::from_millis(500)) {
+            Ok(conn) => {
                 attempt = 0;
-                follow_stream(&shared, &repl, stream, &self_addr, &mut last_contact)
+                follow_stream(&shared, &repl, conn, &self_addr, &mut last_contact)
             }
             Err(_) => StreamEnd::Dead,
         };
@@ -998,16 +971,16 @@ pub(crate) fn follower_loop(shared: Arc<Shared>) {
                 if !arbitrate(&shared, &repl, &self_addr, &primary) {
                     return;
                 }
-                last_contact = Instant::now();
+                last_contact = clock.now();
             }
             StreamEnd::Dead | StreamEnd::NotYet => {
-                if last_contact.elapsed() > grace {
+                if clock.now().saturating_sub(last_contact) > grace {
                     if !arbitrate(&shared, &repl, &self_addr, &primary) {
                         return;
                     }
-                    last_contact = Instant::now();
+                    last_contact = clock.now();
                 } else {
-                    std::thread::sleep(policy.backoff(attempt.min(16), &mut rng));
+                    clock.sleep(policy.backoff(attempt.min(16), &mut rng));
                     attempt = attempt.saturating_add(1);
                 }
             }
@@ -1021,10 +994,11 @@ pub(crate) fn follower_loop(shared: Arc<Shared>) {
 fn follow_stream(
     shared: &Arc<Shared>,
     repl: &Arc<ReplState>,
-    mut stream: TcpStream,
+    mut conn: Box<dyn Conn>,
     self_addr: &str,
-    last_contact: &mut Instant,
+    last_contact: &mut Duration,
 ) -> StreamEnd {
+    let clock = shared.config.clock.as_ref();
     let hello = {
         let log = lock_unpoisoned(&repl.log);
         ReplMsg::Hello {
@@ -1034,10 +1008,10 @@ fn follow_stream(
             from: self_addr.to_string(),
         }
     };
-    if stream.write_all(hello.render_line().as_bytes()).is_err() {
+    if conn.send(hello.render_line().as_bytes()).is_err() {
         return StreamEnd::Dead;
     }
-    *last_contact = Instant::now();
+    *last_contact = clock.now();
     let grace = shared.config.failover_grace;
     let lag = shared.config.repl_chaos.as_ref().and_then(|c| c.lag);
     let mut buf: Vec<u8> = Vec::new();
@@ -1045,10 +1019,10 @@ fn follow_stream(
         if shared.draining.load(Ordering::SeqCst) {
             return StreamEnd::Draining;
         }
-        if last_contact.elapsed() > grace {
+        if clock.now().saturating_sub(*last_contact) > grace {
             return StreamEnd::Dead;
         }
-        let line = match read_line(&mut stream, &mut buf, POLL) {
+        let line = match read_line(conn.as_mut(), &mut buf, POLL, POLL, clock) {
             Ok(Some(line)) => line,
             Ok(None) => return StreamEnd::Dead,
             Err(_) => continue, // poll timeout: re-check drain and grace
@@ -1064,7 +1038,7 @@ fn follow_stream(
             }) => {
                 if epoch < repl.epoch() {
                     // Records from a lower epoch are refused, always.
-                    let _ = stream.write_all(
+                    let _ = conn.send(
                         ReplMsg::Err {
                             code: "RES-STALE-EPOCH".to_string(),
                             epoch: repl.epoch(),
@@ -1075,11 +1049,11 @@ fn follow_stream(
                     return StreamEnd::Stale;
                 }
                 repl.adopt_epoch(epoch);
-                *last_contact = Instant::now();
+                *last_contact = clock.now();
                 let have = repl.seq();
                 if seq <= have {
                     // Already durable (reconnect overlap): re-ack.
-                    let _ = stream.write_all(ReplMsg::Ack { seq: have }.render_line().as_bytes());
+                    let _ = conn.send(ReplMsg::Ack { seq: have }.render_line().as_bytes());
                     continue;
                 }
                 if seq != have + 1 {
@@ -1090,7 +1064,7 @@ fn follow_stream(
                     // IO-REPL-CORRUPT: never append a record that fails
                     // its checksum; drop the link and resync.
                     repl.corrupt_refused.fetch_add(1, Ordering::SeqCst);
-                    let _ = stream.write_all(
+                    let _ = conn.send(
                         ReplMsg::Err {
                             code: "IO-REPL-CORRUPT".to_string(),
                             epoch: repl.epoch(),
@@ -1106,11 +1080,11 @@ fn follow_stream(
                 if let Some((lag_seq, delay)) = lag {
                     if seq == lag_seq {
                         // Injected LaggingFollower: stall before the ack.
-                        std::thread::sleep(delay);
+                        clock.sleep(delay);
                     }
                 }
-                if stream
-                    .write_all(ReplMsg::Ack { seq }.render_line().as_bytes())
+                if conn
+                    .send(ReplMsg::Ack { seq }.render_line().as_bytes())
                     .is_err()
                 {
                     return StreamEnd::Dead;
@@ -1121,7 +1095,7 @@ fn follow_stream(
                     return StreamEnd::Stale;
                 }
                 repl.adopt_epoch(epoch);
-                *last_contact = Instant::now();
+                *last_contact = clock.now();
             }
             Some(ReplMsg::Err { code, epoch }) => {
                 repl.adopt_epoch(epoch);
@@ -1224,6 +1198,8 @@ fn arbitrate(
         // belt and braces).
         return false;
     }
+    let clock = shared.config.clock.as_ref();
+    let transport = shared.config.transport.as_ref();
     let my_epoch = repl.epoch();
     let my_seq = repl.seq();
     let mut max_epoch = my_epoch;
@@ -1232,7 +1208,7 @@ fn arbitrate(
         if peer == self_addr {
             continue;
         }
-        let Some(st) = query_status(peer, PEER_TIMEOUT) else {
+        let Some(st) = query_status_via(transport, clock, peer, PEER_TIMEOUT) else {
             continue; // an unreachable peer never blocks failover
         };
         if st.nonce == repl.nonce {
@@ -1262,7 +1238,7 @@ fn arbitrate(
     if defer {
         // Wait one beat and re-arbitrate; the deferred-to peer either
         // promotes (we adopt it next round) or dies (we stop deferring).
-        std::thread::sleep(shared.config.heartbeat);
+        clock.sleep(shared.config.heartbeat);
         return true;
     }
     promote(shared, repl, max_epoch, dead_primary);
@@ -1275,7 +1251,7 @@ fn arbitrate(
 /// cluster members — even fully partitioned from each other — can ever
 /// promote to the *same* epoch; the strictly-higher-epoch fencing paths
 /// then resolve any duel deterministically once connectivity heals.
-fn epoch_stride_slot(peers: &[String], self_addr: &str) -> (u64, u64) {
+pub fn epoch_stride_slot(peers: &[String], self_addr: &str) -> (u64, u64) {
     let mut cluster: Vec<&str> = peers
         .iter()
         .map(String::as_str)
@@ -1290,22 +1266,33 @@ fn epoch_stride_slot(peers: &[String], self_addr: &str) -> (u64, u64) {
     (cluster.len() as u64, slot)
 }
 
+/// The epoch a node at `self_addr` promotes to after observing
+/// `observed` as the highest epoch anywhere: the next epoch past
+/// `observed` that lands on this node's slot in the cluster.
+/// Collision-free by construction — even two followers partitioned from
+/// each other promote to *different* epochs, and the lower one fences
+/// once the partition heals.
+pub fn promotion_epoch(observed: u64, peers: &[String], self_addr: &str) -> u64 {
+    let (stride, slot) = epoch_stride_slot(peers, self_addr);
+    let mut new_epoch = observed + 1;
+    while new_epoch % stride != slot {
+        new_epoch += 1;
+    }
+    new_epoch
+}
+
 /// Promotes this follower: new epoch, snapshot install, replay of
 /// unsettled records, then primary duty.
 fn promote(shared: &Arc<Shared>, repl: &Arc<ReplState>, observed_epoch: u64, deposed: &str) {
     repl.set_role(Role::Promoting, None);
-    // The next epoch past everything observed that lands on this node's
-    // slot in the cluster: collision-free by construction, so even two
-    // followers partitioned from each other promote to *different*
-    // epochs and the lower one fences once the partition heals.
-    let (stride, slot) = {
+    let new_epoch = {
         let self_addr = lock_unpoisoned(&repl.self_addr).clone();
-        epoch_stride_slot(&shared.config.peers, &self_addr)
+        promotion_epoch(
+            observed_epoch.max(repl.epoch()),
+            &shared.config.peers,
+            &self_addr,
+        )
     };
-    let mut new_epoch = observed_epoch.max(repl.epoch()) + 1;
-    while new_epoch % stride != slot {
-        new_epoch += 1;
-    }
     // Best-effort persistence: an unpersistable epoch costs this server a
     // deferral after its next restart, never a split brain (the epoch is
     // still carried on every wire message).
@@ -1352,8 +1339,14 @@ fn promote(shared: &Arc<Shared>, repl: &Arc<ReplState>, observed_epoch: u64, dep
 /// Sends one fencing hello to a possibly-revived deposed primary; its
 /// hello handler fences it on sight of our higher epoch. If the reply
 /// proves *we* are the stale side, fence ourselves instead.
-fn fence_hello(repl: &Arc<ReplState>, target: &str, self_addr: &str) {
-    let Ok(mut stream) = connect(target, PEER_TIMEOUT) else {
+fn fence_hello(
+    transport: &dyn Transport,
+    clock: &dyn Clock,
+    repl: &Arc<ReplState>,
+    target: &str,
+    self_addr: &str,
+) {
+    let Ok(mut conn) = transport.connect(target, PEER_TIMEOUT) else {
         return;
     };
     let hello = {
@@ -1365,11 +1358,11 @@ fn fence_hello(repl: &Arc<ReplState>, target: &str, self_addr: &str) {
             from: self_addr.to_string(),
         }
     };
-    if stream.write_all(hello.render_line().as_bytes()).is_err() {
+    if conn.send(hello.render_line().as_bytes()).is_err() {
         return;
     }
     let mut buf = Vec::new();
-    if let Ok(Some(line)) = read_line(&mut stream, &mut buf, PEER_TIMEOUT) {
+    if let Ok(Some(line)) = read_line(conn.as_mut(), &mut buf, PEER_TIMEOUT, POLL, clock) {
         match ReplMsg::parse(&line) {
             Some(ReplMsg::Rec { epoch, .. } | ReplMsg::Hb { epoch, .. })
                 if epoch > repl.epoch() =>
@@ -1390,19 +1383,21 @@ fn fence_hello(repl: &Arc<ReplState>, target: &str, self_addr: &str) {
 /// configured, and on every promoted follower.
 pub(crate) fn guard_loop(shared: &Arc<Shared>) {
     let Some(repl) = &shared.repl else { return };
+    let clock = shared.config.clock.as_ref();
+    let transport = shared.config.transport.as_ref();
     let self_addr = lock_unpoisoned(&repl.self_addr).clone();
     let interval = shared.config.heartbeat.max(Duration::from_millis(100));
     while !shared.draining.load(Ordering::SeqCst) {
         if repl.role_state().role == Role::Primary {
             let my_epoch = repl.epoch();
             if let Some(former) = lock_unpoisoned(&repl.former_primary).clone() {
-                fence_hello(repl, &former, &self_addr);
+                fence_hello(transport, clock, repl, &former, &self_addr);
             }
             for peer in &shared.config.peers {
                 if peer == &self_addr {
                     continue;
                 }
-                let Some(st) = query_status(peer, PEER_TIMEOUT) else {
+                let Some(st) = query_status_via(transport, clock, peer, PEER_TIMEOUT) else {
                     continue;
                 };
                 if st.nonce == repl.nonce {
@@ -1423,7 +1418,7 @@ pub(crate) fn guard_loop(shared: &Arc<Shared>) {
                 }
             }
         }
-        std::thread::sleep(interval);
+        clock.sleep(interval);
     }
 }
 

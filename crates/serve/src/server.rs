@@ -66,8 +66,7 @@
 //! is refused with `RES-STALE-EPOCH`.
 
 use std::collections::{HashMap, HashSet};
-use std::io::{ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -88,9 +87,11 @@ use lintra_bench::wire::{WireFailure, WireOp, WireRequest, WireResponse};
 use lintra_bench::{table2_rows_par, table3_rows_par, table4_rows_par};
 
 use crate::breaker::{BreakerConfig, CircuitBreaker};
+use crate::clock::{Clock, SystemClock};
 use crate::journal::{Journal, JournalRecord, RecordKind, SNAPSHOT_DIR};
 use crate::replicate::{self, ReplChaos, ReplMsg, ReplState, Role};
 use crate::signal;
+use crate::transport::{Acceptor, Conn, NetError, TcpTransport, Transport};
 
 /// How often blocked reads and the accept loop re-check the drain flag.
 const POLL: Duration = Duration::from_millis(20);
@@ -144,6 +145,12 @@ pub struct ServerConfig {
     pub heartbeat: Duration,
     /// Deterministic replication-fault injection (tests only).
     pub repl_chaos: Option<ReplChaos>,
+    /// Time source: every `now`/`sleep`/deadline in the server goes
+    /// through this seam so the simulator can substitute virtual time.
+    pub clock: Arc<dyn Clock>,
+    /// Network: every connect/accept/read/write goes through this seam
+    /// so the simulator can substitute an in-memory network.
+    pub transport: Arc<dyn Transport>,
 }
 
 impl Default for ServerConfig {
@@ -165,6 +172,8 @@ impl Default for ServerConfig {
             failover_grace: Duration::from_secs(2),
             heartbeat: Duration::from_millis(250),
             repl_chaos: None,
+            clock: Arc::new(SystemClock::new()),
+            transport: Arc::new(TcpTransport),
         }
     }
 }
@@ -446,6 +455,7 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, LintraError> {
                 epoch_dir.join(replicate::EPOCH_FILE),
                 config.replica_of.clone(),
                 rec.records,
+                config.clock.as_ref(),
             )
             .map_err(|e| LintraError::from(e).context("loading the replication epoch file"))?,
         ));
@@ -457,9 +467,20 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, LintraError> {
     }
     let is_follower = config.replica_of.is_some();
 
-    let listener = TcpListener::bind(config.addr.as_str()).map_err(LintraError::from)?;
-    let addr = listener.local_addr().map_err(LintraError::from)?;
-    listener.set_nonblocking(true).map_err(LintraError::from)?;
+    let listener = config
+        .transport
+        .bind(config.addr.as_str())
+        .map_err(|e| LintraError::new(ErrorClass::Io, "IO-FAILURE", e.to_string()))?;
+    let addr: SocketAddr = listener.local_addr().parse().map_err(|_| {
+        LintraError::new(
+            ErrorClass::Io,
+            "IO-FAILURE",
+            format!(
+                "transport reported an unparseable address {}",
+                listener.local_addr()
+            ),
+        )
+    })?;
     if let Some(repl) = &repl {
         *lock_unpoisoned(&repl.self_addr) = addr.to_string();
     }
@@ -510,7 +531,7 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, LintraError> {
     let accept = {
         let shared = Arc::clone(&shared);
         let conns = Arc::clone(&conns);
-        thread::spawn(move || accept_loop(&shared, &listener, &conns))
+        thread::spawn(move || accept_loop(&shared, listener, &conns))
     };
 
     let mut repl_threads = Vec::new();
@@ -649,15 +670,15 @@ pub(crate) fn persist_snapshots(shared: &Arc<Shared>) {
 
 fn accept_loop(
     shared: &Arc<Shared>,
-    listener: &TcpListener,
+    mut listener: Box<dyn Acceptor>,
     conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
 ) {
     while !shared.draining.load(Ordering::SeqCst) {
         match listener.accept() {
-            Ok((stream, _peer)) => {
+            Ok(Some(conn)) => {
                 shared.stats.connections.fetch_add(1, Ordering::SeqCst);
                 let sh = Arc::clone(shared);
-                let handle = thread::spawn(move || connection_loop(&sh, stream));
+                let handle = thread::spawn(move || connection_loop(&sh, conn));
                 let mut guard = lock_unpoisoned(conns);
                 // Reap finished connection threads so a long-lived server
                 // does not accumulate handles without bound.
@@ -671,9 +692,9 @@ fn accept_loop(
                     let _ = h.join();
                 }
             }
-            // WouldBlock: nothing to accept; anything else: transient —
-            // either way, back off one poll tick and re-check drain.
-            Err(_) => thread::sleep(POLL),
+            // Nothing to accept, or a transient listener error — either
+            // way, back off one poll tick and re-check drain.
+            Ok(None) | Err(_) => shared.config.clock.sleep(POLL),
         }
     }
 }
@@ -685,16 +706,16 @@ enum LineOutcome {
     Drop,
 }
 
-fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
-    // The accept listener is non-blocking; the accepted stream must not
-    // inherit that. Reads poll on a timeout so the thread can observe the
-    // drain flag while idle.
-    if stream.set_nonblocking(false).is_err() || stream.set_read_timeout(Some(POLL)).is_err() {
-        return;
-    }
-    let _ = stream.set_nodelay(true);
+fn connection_loop(shared: &Arc<Shared>, mut conn: Box<dyn Conn>) {
+    let clock = shared.config.clock.as_ref();
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
+    // Slow-loris guard: the moment a partial frame starts accumulating,
+    // the sender is on the clock. A connection holding an unfinished
+    // line past the default deadline is answered `RES-DEADLINE` and
+    // closed, so it cannot pin this handler thread indefinitely. Idle
+    // connections (empty buffer) stay open.
+    let mut partial_since: Option<Duration> = None;
     loop {
         while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
             let line: Vec<u8> = buf.drain(..=pos).collect();
@@ -707,7 +728,7 @@ fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
                     match msg {
                         ReplMsg::Status => {
                             let reply = status_reply(shared);
-                            if stream.write_all(reply.render_line().as_bytes()).is_err() {
+                            if conn.send(reply.render_line().as_bytes()).is_err() {
                                 return;
                             }
                             continue;
@@ -719,7 +740,7 @@ fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
                             from,
                         } => {
                             // The connection becomes a follower stream.
-                            replicate::stream_to_follower(shared, stream, epoch, have, pcrc, from);
+                            replicate::stream_to_follower(shared, conn, epoch, have, pcrc, from);
                             return;
                         }
                         // Anything else arriving cold is a protocol
@@ -731,7 +752,7 @@ fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
             match handle_line(shared, line) {
                 LineOutcome::Drop => return,
                 LineOutcome::Respond(resp) => {
-                    if stream.write_all(resp.render_line().as_bytes()).is_err() {
+                    if conn.send(resp.render_line().as_bytes()).is_err() {
                         return;
                     }
                 }
@@ -743,10 +764,32 @@ fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
             // inside handle_line above and flush their response first.
             return;
         }
-        match stream.read(&mut chunk) {
-            Ok(0) => return, // EOF — client gone (possibly mid-line; drop the partial).
+        match (buf.is_empty(), partial_since) {
+            (true, _) => partial_since = None,
+            (false, None) => partial_since = Some(clock.now()),
+            (false, Some(since)) => {
+                if clock.now().saturating_sub(since) > shared.config.default_deadline {
+                    let resp = WireResponse::err(
+                        "",
+                        WireFailure {
+                            class: ErrorClass::Resource,
+                            code: "RES-DEADLINE".to_string(),
+                            message: format!(
+                                "request frame incomplete after {} ms; closing the connection",
+                                shared.config.default_deadline.as_millis()
+                            ),
+                        },
+                    );
+                    let _ = conn.send(resp.render_line().as_bytes());
+                    return;
+                }
+            }
+        }
+        match conn.recv(&mut chunk, POLL) {
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(NetError::Timeout) => {}
+            // EOF — client gone (possibly mid-line; drop the partial) —
+            // or a torn link: either way the conversation is over.
             Err(_) => return,
         }
     }
@@ -1085,8 +1128,8 @@ fn handle_line(shared: &Arc<Shared>, line: &str) -> LineOutcome {
 /// Injected misbehavior for one sweep point (chaos servers only).
 fn chaos_delay(fault: Option<&str>, point: usize, target: usize, cfg: &ServerConfig) {
     match fault {
-        Some("slow-sweep") => thread::sleep(cfg.chaos_point_delay),
-        Some("slow-worker") if point == target => thread::sleep(cfg.stall_budget * 3),
+        Some("slow-sweep") => cfg.clock.sleep(cfg.chaos_point_delay),
+        Some("slow-worker") if point == target => cfg.clock.sleep(cfg.stall_budget * 3),
         Some("worker-panic") if point == target => {
             panic!("injected worker panic (chaos fault, sweep point {point})")
         }
@@ -1299,6 +1342,8 @@ fn execute(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
 
     /// In-process config shaped for fast unit checks.
     fn test_config() -> ServerConfig {

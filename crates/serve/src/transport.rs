@@ -1,0 +1,331 @@
+//! The `Transport` seam: every socket the serve layer touches —
+//! outbound connects (client requests, replication hellos, status
+//! queries) and inbound accepted connections — goes through these
+//! traits, so the same protocol code runs over real TCP in production
+//! and over an in-memory network in the deterministic simulator
+//! (`lintra-sim`).
+//!
+//! The surface is deliberately narrow: byte streams with explicit,
+//! classified errors ([`NetError`]) and per-call read budgets. Framing
+//! (newline-delimited JSON) stays in the callers; [`read_line`] is the
+//! shared line-assembly helper.
+
+use std::fmt::Debug;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::clock::Clock;
+
+/// Why a transport operation failed — the three outcomes protocol code
+/// genuinely branches on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The wait budget elapsed with nothing to show. Retryable; the
+    /// connection itself is still usable.
+    Timeout,
+    /// The peer closed the stream (clean EOF) or the link is gone
+    /// (reset, broken pipe). The connection is dead.
+    Closed,
+    /// Everything else: refused connect, failed resolution, socket
+    /// configuration errors. Carries the description.
+    Failed(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Timeout => write!(f, "timed out"),
+            NetError::Closed => write!(f, "connection closed"),
+            NetError::Failed(detail) => write!(f, "{detail}"),
+        }
+    }
+}
+
+/// One established bidirectional byte stream.
+pub trait Conn: Send {
+    /// Writes the whole buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Closed`] when the peer is gone, [`NetError::Failed`]
+    /// for other socket failures.
+    fn send(&mut self, bytes: &[u8]) -> Result<(), NetError>;
+
+    /// Reads some bytes, waiting up to `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] when nothing arrived within the budget,
+    /// [`NetError::Closed`] on EOF, [`NetError::Failed`] otherwise.
+    /// Never returns `Ok(0)`.
+    fn recv(&mut self, buf: &mut [u8], timeout: Duration) -> Result<usize, NetError>;
+}
+
+/// A bound listener handing out accepted [`Conn`]s.
+pub trait Acceptor: Send {
+    /// Accepts one pending connection without blocking; `Ok(None)` when
+    /// none is waiting right now (the caller polls).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Failed`] for listener-level failures; the caller
+    /// treats them like an empty poll and retries.
+    fn accept(&mut self) -> Result<Option<Box<dyn Conn>>, NetError>;
+
+    /// The bound address (`host:port`), with an OS-assigned port
+    /// resolved.
+    fn local_addr(&self) -> String;
+}
+
+/// The factory: dial out, bind listeners.
+pub trait Transport: Send + Sync + Debug {
+    /// Connects to `addr` within `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Failed`] describing the resolution or connect
+    /// failure.
+    fn connect(&self, addr: &str, timeout: Duration) -> Result<Box<dyn Conn>, NetError>;
+
+    /// Binds a listener on `addr` (port `0` lets the OS pick).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Failed`] describing the bind failure.
+    fn bind(&self, addr: &str) -> Result<Box<dyn Acceptor>, NetError>;
+}
+
+/// Reads one newline-terminated line from `conn` under `timeout`,
+/// buffering partial reads in `buf` across calls. `Ok(None)` is EOF.
+/// Reads are sliced into `poll`-sized waits so a caller loop can keep
+/// observing shutdown flags between slices.
+///
+/// # Errors
+///
+/// [`NetError::Timeout`] when no full line arrived within the budget;
+/// [`NetError::Failed`] for socket failures.
+pub fn read_line(
+    conn: &mut dyn Conn,
+    buf: &mut Vec<u8>,
+    timeout: Duration,
+    poll: Duration,
+    clock: &dyn Clock,
+) -> Result<Option<String>, NetError> {
+    let deadline = clock.deadline(timeout);
+    loop {
+        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=pos).collect();
+            return Ok(Some(String::from_utf8_lossy(&line).trim_end().to_string()));
+        }
+        let left = deadline.saturating_sub(clock.now());
+        if left.is_zero() {
+            return Err(NetError::Timeout);
+        }
+        let mut chunk = [0u8; 4096];
+        match conn.recv(&mut chunk, left.min(poll)) {
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(NetError::Timeout) => {}
+            Err(NetError::Closed) => return Ok(None),
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+// --- production impls -----------------------------------------------------
+
+/// The production transport: real TCP with `TCP_NODELAY`, non-blocking
+/// accept, and per-call read timeouts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TcpTransport;
+
+impl Transport for TcpTransport {
+    fn connect(&self, addr: &str, timeout: Duration) -> Result<Box<dyn Conn>, NetError> {
+        let sock = addr
+            .to_socket_addrs()
+            .map_err(|e| NetError::Failed(format!("resolving {addr}: {e}")))?
+            .next()
+            .ok_or_else(|| NetError::Failed(format!("{addr} resolves to no address")))?;
+        let stream = TcpStream::connect_timeout(&sock, timeout)
+            .map_err(|e| NetError::Failed(format!("connecting to {sock}: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        // Bound outbound writes by the same budget: a peer that stops
+        // draining its socket errors the send instead of pinning the
+        // sender forever (the caller's failure handling reconnects).
+        let _ = stream.set_write_timeout(Some(timeout.max(Duration::from_millis(1))));
+        Ok(Box::new(TcpConn::new(stream)))
+    }
+
+    fn bind(&self, addr: &str) -> Result<Box<dyn Acceptor>, NetError> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| NetError::Failed(format!("binding {addr}: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| NetError::Failed(format!("configuring listener: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| NetError::Failed(format!("resolving bound address: {e}")))?;
+        Ok(Box::new(TcpAcceptor {
+            listener,
+            local: local.to_string(),
+        }))
+    }
+}
+
+struct TcpAcceptor {
+    listener: TcpListener,
+    local: String,
+}
+
+impl Acceptor for TcpAcceptor {
+    fn accept(&mut self) -> Result<Option<Box<dyn Conn>>, NetError> {
+        match self.listener.accept() {
+            Ok((stream, _peer)) => {
+                // The listener is non-blocking; the accepted stream must
+                // not inherit that (reads poll on per-call timeouts).
+                if stream.set_nonblocking(false).is_err() {
+                    return Ok(None);
+                }
+                let _ = stream.set_nodelay(true);
+                Ok(Some(Box::new(TcpConn::new(stream))))
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(NetError::Failed(format!("accepting: {e}"))),
+        }
+    }
+
+    fn local_addr(&self) -> String {
+        self.local.clone()
+    }
+}
+
+/// A [`Conn`] over one `TcpStream`. The read timeout is a socket
+/// attribute; it is re-set only when a call's budget differs from the
+/// last one, so tight poll loops cost one syscall per read, not two.
+struct TcpConn {
+    stream: TcpStream,
+    read_timeout: Option<Duration>,
+}
+
+impl TcpConn {
+    fn new(stream: TcpStream) -> TcpConn {
+        TcpConn {
+            stream,
+            read_timeout: None,
+        }
+    }
+}
+
+impl Conn for TcpConn {
+    fn send(&mut self, bytes: &[u8]) -> Result<(), NetError> {
+        self.stream.write_all(bytes).map_err(|e| match e.kind() {
+            ErrorKind::BrokenPipe | ErrorKind::ConnectionReset | ErrorKind::ConnectionAborted => {
+                NetError::Closed
+            }
+            _ => NetError::Failed(format!("sending: {e}")),
+        })
+    }
+
+    fn recv(&mut self, buf: &mut [u8], timeout: Duration) -> Result<usize, NetError> {
+        // A zero socket timeout means "block forever"; clamp up.
+        let timeout = timeout.max(Duration::from_millis(1));
+        if self.read_timeout != Some(timeout) {
+            self.stream
+                .set_read_timeout(Some(timeout))
+                .map_err(|e| NetError::Failed(format!("configuring socket: {e}")))?;
+            self.read_timeout = Some(timeout);
+        }
+        match self.stream.read(buf) {
+            Ok(0) => Err(NetError::Closed),
+            Ok(n) => Ok(n),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                Err(NetError::Timeout)
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::ConnectionReset) => Err(NetError::Closed),
+            Err(e) => Err(NetError::Failed(format!("reading: {e}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SystemClock;
+
+    #[test]
+    fn tcp_transport_round_trips_a_line_through_a_bound_acceptor() {
+        let transport = TcpTransport;
+        let mut acceptor = transport.bind("127.0.0.1:0").expect("bind");
+        let addr = acceptor.local_addr();
+        let mut client = transport
+            .connect(&addr, Duration::from_secs(2))
+            .expect("connect");
+        client.send(b"hello over the seam\n").expect("send");
+        let clock = SystemClock::new();
+        let deadline = clock.deadline(Duration::from_secs(5));
+        let mut server = loop {
+            if let Some(conn) = acceptor.accept().expect("accept") {
+                break conn;
+            }
+            assert!(!clock.expired(deadline), "accept timed out");
+            clock.sleep(Duration::from_millis(5));
+        };
+        let mut buf = Vec::new();
+        let line = read_line(
+            server.as_mut(),
+            &mut buf,
+            Duration::from_secs(2),
+            Duration::from_millis(20),
+            &clock,
+        )
+        .expect("read")
+        .expect("not EOF");
+        assert_eq!(line, "hello over the seam");
+        // Dropping the client surfaces EOF, not an error.
+        drop(client);
+        let eof = read_line(
+            server.as_mut(),
+            &mut buf,
+            Duration::from_secs(2),
+            Duration::from_millis(20),
+            &clock,
+        )
+        .expect("read after close");
+        assert_eq!(eof, None);
+    }
+
+    #[test]
+    fn connect_to_a_dead_port_is_a_classified_failure() {
+        match TcpTransport.connect("127.0.0.1:1", Duration::from_millis(200)) {
+            Ok(_) => panic!("port 1 refuses"),
+            Err(err) => assert!(matches!(err, NetError::Failed(_)), "{err:?}"),
+        }
+    }
+
+    #[test]
+    fn read_budget_expiry_is_a_timeout() {
+        let transport = TcpTransport;
+        let mut acceptor = transport.bind("127.0.0.1:0").expect("bind");
+        let addr = acceptor.local_addr();
+        let _client = transport
+            .connect(&addr, Duration::from_secs(2))
+            .expect("connect");
+        let clock = SystemClock::new();
+        let mut server = loop {
+            if let Some(conn) = acceptor.accept().expect("accept") {
+                break conn;
+            }
+            clock.sleep(Duration::from_millis(5));
+        };
+        let mut buf = Vec::new();
+        let err = read_line(
+            server.as_mut(),
+            &mut buf,
+            Duration::from_millis(60),
+            Duration::from_millis(20),
+            &clock,
+        )
+        .expect_err("nothing was sent");
+        assert_eq!(err, NetError::Timeout);
+    }
+}

@@ -1,0 +1,953 @@
+//! The simulated cluster node: a single-threaded, event-driven
+//! re-implementation of the `lintra-serve` replication state machine
+//! over the simulator's message-passing network.
+//!
+//! The node is a *model*, but not a toy: every wire line it sends or
+//! receives goes through the real codecs ([`ReplMsg`], [`WireRequest`],
+//! [`WireResponse`]), journals are real [`JournalRecord`] vectors
+//! checksummed with the real [`prefix_crc`], promotion epochs come from
+//! the real [`promotion_epoch`] arithmetic, and restart semantics mirror
+//! `ReplState::new` (journal and epoch state are durable; everything
+//! else is lost with the incarnation). What the model elides is the
+//! thread-per-connection plumbing — replaced by the event queue — and
+//! the optimizer itself, replaced by a deterministic pure function of
+//! the request so response byte-identity is checkable structurally.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+
+use lintra::engine::snapshot::crc32;
+use lintra::matrix::rng::SplitMix64;
+use lintra::ErrorClass;
+use lintra_bench::json::Json;
+use lintra_bench::wire::{WireFailure, WireRequest, WireResponse};
+use lintra_serve::journal::{fold_records, payload_bytes, CompletedMap, JournalRecord, RecordKind};
+use lintra_serve::replicate::{prefix_crc, promotion_epoch, EpochState, ReplMsg, Role};
+
+use crate::SimBug;
+
+/// Side effects a node handler asks the harness to perform.
+#[derive(Debug)]
+pub(crate) enum Out {
+    /// Send one wire line to an address (node or client).
+    Send { to: String, line: String },
+    /// Arm a timer against this node's current incarnation.
+    Timer { delay_ms: u64, timer: NodeTimer },
+    /// Append a line to the run trace.
+    Trace(String),
+    /// Report an invariant violation observed inside the node.
+    Violation(String),
+}
+
+/// Node-owned timers; all carry the incarnation that armed them, so a
+/// crash invalidates them wholesale.
+#[derive(Debug, Clone)]
+pub(crate) enum NodeTimer {
+    /// A journaled request finishes executing.
+    Exec { rid: String, reply_to: String },
+    /// Arbitration window closed: decide on the collected replies.
+    ArbDecide { round: u64 },
+}
+
+/// One simulated server.
+pub(crate) struct SimNode {
+    pub addr: String,
+    /// Full cluster address list (self included) — the promotion stride.
+    pub cluster: Vec<String>,
+    /// The primary this node was *configured* to replicate from
+    /// (restart semantics depend on it, exactly like `--replica-of`).
+    pub replica_of: Option<String>,
+    pub nonce: u64,
+
+    // --- durable state: survives crash/restart ---
+    pub journal: Vec<JournalRecord>,
+    pub epoch_state: EpochState,
+
+    // --- volatile state: lost with the incarnation ---
+    pub up: bool,
+    pub incarnation: u64,
+    pub role: Role,
+    /// Whom this follower currently follows (may differ from
+    /// `replica_of` after adopting a promoted peer).
+    pub primary: Option<String>,
+    pub former_primary: Option<String>,
+    pub completed: CompletedMap,
+    pub inflight: HashSet<String>,
+    /// Follower: the stream is live (hello accepted, records flowing).
+    pub synced: bool,
+    pub last_contact_ms: u64,
+    /// Primary: follower streams as (addr, next cursor). Vec keeps the
+    /// iteration order deterministic.
+    pub streams: Vec<(String, u64)>,
+    pub arb: Option<ArbState>,
+    pub arb_round: u64,
+    /// Times each rid was actually executed on this node (invariant 3).
+    pub exec_count: HashMap<String, u64>,
+    /// Journal length at the moment of fencing/divergence: the frozen
+    /// floor invariant 4 is checked against.
+    pub frozen_len: Option<usize>,
+    pub diverged: bool,
+    /// Timer skew: every delay is scaled by `skew_num / 10`.
+    pub skew_num: u64,
+    pub promotions: u64,
+    pub fences: u64,
+    pub deduped: u64,
+}
+
+/// Replies collected during one arbitration window.
+pub(crate) struct ArbState {
+    pub round: u64,
+    /// `(peer addr, role label, epoch, seq, nonce)` in arrival order.
+    pub replies: Vec<(String, String, u64, u64, u64)>,
+}
+
+impl SimNode {
+    pub(crate) fn new(index: usize, cluster: Vec<String>, replica_of: Option<String>) -> SimNode {
+        let addr = cluster
+            .get(index)
+            .cloned()
+            .unwrap_or_else(|| format!("n{index}"));
+        let role = if replica_of.is_some() {
+            Role::Follower
+        } else {
+            Role::Primary
+        };
+        SimNode {
+            addr,
+            primary: replica_of.clone(),
+            replica_of,
+            cluster,
+            nonce: index as u64 + 1,
+            journal: Vec::new(),
+            epoch_state: EpochState {
+                epoch: 1,
+                fenced: false,
+            },
+            up: true,
+            incarnation: 0,
+            role,
+            former_primary: None,
+            completed: CompletedMap::new(),
+            inflight: HashSet::new(),
+            synced: false,
+            last_contact_ms: 0,
+            streams: Vec::new(),
+            arb: None,
+            arb_round: 0,
+            exec_count: HashMap::new(),
+            frozen_len: None,
+            diverged: false,
+            skew_num: 10,
+            promotions: 0,
+            fences: 0,
+            deduped: 0,
+        }
+    }
+
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch_state.epoch
+    }
+
+    fn adopt_epoch(&mut self, epoch: u64) {
+        if epoch > self.epoch_state.epoch {
+            self.epoch_state.epoch = epoch; // durable, like store_epoch
+        }
+    }
+
+    fn fence(&mut self, superseded_by: u64, now_ms: u64, outs: &mut Vec<Out>) {
+        self.epoch_state = EpochState {
+            epoch: superseded_by.max(self.epoch_state.epoch),
+            fenced: true,
+        };
+        self.role = Role::Fenced;
+        self.primary = None;
+        self.streams.clear();
+        self.arb = None;
+        self.frozen_len = Some(self.journal.len());
+        self.fences += 1;
+        outs.push(Out::Trace(format!(
+            "t={now_ms}ms {}: fenced by epoch {superseded_by}",
+            self.addr
+        )));
+    }
+
+    /// Crash: volatile state is gone; journal and epoch file persist.
+    pub(crate) fn crash(&mut self) {
+        self.up = false;
+        self.incarnation += 1;
+    }
+
+    /// Restart, mirroring `ReplState::new`: a configured `--replica-of`
+    /// rejoin clears a persisted fence; a fenced standalone stays
+    /// fenced; an unfenced standalone comes back as primary and replays
+    /// its admitted-but-unsettled records before serving.
+    pub(crate) fn restart(&mut self, now_ms: u64, exec_ms: u64, outs: &mut Vec<Out>) {
+        self.up = true;
+        self.incarnation += 1;
+        let (completed, incomplete) = fold_records(&self.journal);
+        self.completed = completed;
+        self.inflight = HashSet::new();
+        self.streams = Vec::new();
+        self.arb = None;
+        self.synced = false;
+        self.last_contact_ms = now_ms;
+        self.former_primary = None;
+        self.diverged = false; // volatile, like the real AtomicBool
+        match (&self.replica_of, self.epoch_state.fenced) {
+            (Some(primary), fenced) => {
+                if fenced {
+                    self.epoch_state.fenced = false; // operator-chosen rejoin
+                }
+                self.frozen_len = None;
+                self.role = Role::Follower;
+                self.primary = Some(primary.clone());
+            }
+            (None, true) => {
+                self.role = Role::Fenced;
+                self.frozen_len = Some(self.journal.len());
+            }
+            (None, false) => {
+                self.role = Role::Primary;
+                self.frozen_len = None;
+                // Startup replay: settle every admitted-but-unfinished
+                // key so retries dedup instead of recomputing.
+                for (rid, line) in incomplete {
+                    self.execute(&rid, &line, now_ms, exec_ms, None, outs);
+                }
+            }
+        }
+        outs.push(Out::Trace(format!(
+            "t={now_ms}ms {}: restarted as {} (epoch {})",
+            self.addr,
+            self.role.label(),
+            self.epoch()
+        )));
+    }
+
+    /// The periodic tick: follower liveness and resync, primary heartbeat
+    /// and guard probing. Returns the side effects; the harness
+    /// reschedules the tick itself.
+    pub(crate) fn on_tick(&mut self, now_ms: u64, grace_ms: u64, peer_timeout_ms: u64) -> Vec<Out> {
+        let mut outs = Vec::new();
+        if !self.up {
+            return outs;
+        }
+        match self.role {
+            Role::Follower if !self.diverged => {
+                if !self.synced {
+                    if let Some(primary) = self.primary.clone() {
+                        outs.push(Out::Send {
+                            to: primary,
+                            line: self.hello_line(),
+                        });
+                    }
+                }
+                if now_ms.saturating_sub(self.last_contact_ms) > grace_ms && self.arb.is_none() {
+                    self.arb_round += 1;
+                    self.arb = Some(ArbState {
+                        round: self.arb_round,
+                        replies: Vec::new(),
+                    });
+                    for peer in self.peers() {
+                        outs.push(Out::Send {
+                            to: peer,
+                            line: ReplMsg::Status.render_line().trim_end().to_string(),
+                        });
+                    }
+                    outs.push(Out::Timer {
+                        delay_ms: peer_timeout_ms,
+                        timer: NodeTimer::ArbDecide {
+                            round: self.arb_round,
+                        },
+                    });
+                }
+            }
+            Role::Primary => {
+                let epoch = self.epoch();
+                let seq = self.journal.len() as u64;
+                for (addr, cursor) in self.streams.clone() {
+                    self.pump_stream(&addr, cursor, &mut outs);
+                    outs.push(Out::Send {
+                        to: addr,
+                        line: ReplMsg::Hb { epoch, seq }
+                            .render_line()
+                            .trim_end()
+                            .to_string(),
+                    });
+                }
+                // The guard: probe peers for a higher epoch, and keep a
+                // fencing hello aimed at the deposed primary.
+                for peer in self.peers() {
+                    outs.push(Out::Send {
+                        to: peer,
+                        line: ReplMsg::Status.render_line().trim_end().to_string(),
+                    });
+                }
+                if let Some(former) = self.former_primary.clone() {
+                    outs.push(Out::Send {
+                        to: former,
+                        line: self.hello_line(),
+                    });
+                }
+            }
+            _ => {}
+        }
+        outs
+    }
+
+    /// One wire line arrives from `from`.
+    pub(crate) fn on_line(
+        &mut self,
+        from: &str,
+        line: &str,
+        now_ms: u64,
+        exec_ms: u64,
+        bug: SimBug,
+    ) -> Vec<Out> {
+        let mut outs = Vec::new();
+        if !self.up {
+            return outs;
+        }
+        if let Some(msg) = ReplMsg::parse(line) {
+            self.on_repl(from, msg, now_ms, bug, &mut outs);
+        } else {
+            self.on_request(from, line, now_ms, exec_ms, &mut outs);
+        }
+        outs
+    }
+
+    fn on_repl(&mut self, from: &str, msg: ReplMsg, now_ms: u64, bug: SimBug, outs: &mut Vec<Out>) {
+        match msg {
+            ReplMsg::Hello {
+                epoch, have, pcrc, ..
+            } => self.on_hello(from, epoch, have, pcrc, now_ms, outs),
+            ReplMsg::Rec {
+                epoch,
+                seq,
+                crc,
+                kind,
+                rid,
+                line,
+            } => self.on_rec(from, epoch, seq, crc, kind, &rid, &line, now_ms, outs),
+            ReplMsg::Hb { epoch, seq } => self.on_hb(from, epoch, seq, now_ms, outs),
+            ReplMsg::Ack { .. } => {} // observability only, like the real primary
+            ReplMsg::Err { code, epoch } => self.on_peer_err(&code, epoch, now_ms, outs),
+            ReplMsg::Status => {
+                outs.push(Out::Send {
+                    to: from.to_string(),
+                    line: ReplMsg::StatusReply {
+                        role: self.role.label().to_string(),
+                        epoch: self.epoch(),
+                        seq: self.journal.len() as u64,
+                        answered: self.completed.len() as u64,
+                        nonce: self.nonce,
+                        primary: self.primary.clone(),
+                    }
+                    .render_line()
+                    .trim_end()
+                    .to_string(),
+                });
+            }
+            ReplMsg::StatusReply {
+                role,
+                epoch,
+                seq,
+                nonce,
+                ..
+            } => self.on_status_reply(from, &role, epoch, seq, nonce, now_ms, bug, outs),
+        }
+    }
+
+    /// Hello handling, mirroring `stream_to_follower`: a higher-epoch
+    /// hello fences us on sight; otherwise only a primary streams, and
+    /// only to a follower whose journal is a verified prefix of ours.
+    fn on_hello(
+        &mut self,
+        from: &str,
+        hello_epoch: u64,
+        have: u64,
+        pcrc: u32,
+        now_ms: u64,
+        outs: &mut Vec<Out>,
+    ) {
+        if hello_epoch > self.epoch() {
+            self.fence(hello_epoch, now_ms, outs);
+            outs.push(self.err_to(from, "RES-STALE-EPOCH"));
+            return;
+        }
+        match self.role {
+            Role::Primary => {}
+            Role::Fenced => {
+                outs.push(self.err_to(from, "RES-STALE-EPOCH"));
+                return;
+            }
+            _ => {
+                outs.push(self.err_to(from, "RES-NOT-PRIMARY"));
+                return;
+            }
+        }
+        let prefix_ok = usize::try_from(have)
+            .ok()
+            .and_then(|have| self.journal.get(..have))
+            .is_some_and(|prefix| prefix_crc(prefix) == pcrc);
+        if !prefix_ok {
+            outs.push(self.err_to(from, "IO-REPL-CORRUPT"));
+            return;
+        }
+        self.streams.retain(|(addr, _)| addr != from);
+        self.streams.push((from.to_string(), have));
+        self.pump_stream(from, have, outs);
+        outs.push(Out::Send {
+            to: from.to_string(),
+            line: ReplMsg::Hb {
+                epoch: self.epoch(),
+                seq: self.journal.len() as u64,
+            }
+            .render_line()
+            .trim_end()
+            .to_string(),
+        });
+    }
+
+    /// Streams every journal record past `cursor` to one follower.
+    fn pump_stream(&mut self, to: &str, cursor: u64, outs: &mut Vec<Out>) {
+        let epoch = self.epoch();
+        let from_idx = usize::try_from(cursor).unwrap_or(usize::MAX);
+        let records: Vec<JournalRecord> = self
+            .journal
+            .get(from_idx..)
+            .map(<[_]>::to_vec)
+            .unwrap_or_default();
+        let mut seq = cursor;
+        for rec in records {
+            seq += 1;
+            let crc = crc32(&payload_bytes(rec.kind, &rec.rid, &rec.line));
+            outs.push(Out::Send {
+                to: to.to_string(),
+                line: ReplMsg::Rec {
+                    epoch,
+                    seq,
+                    crc,
+                    kind: rec.kind,
+                    rid: rec.rid,
+                    line: rec.line,
+                }
+                .render_line()
+                .trim_end()
+                .to_string(),
+            });
+        }
+        for (addr, c) in &mut self.streams {
+            if addr == to {
+                *c = (*c).max(seq);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_rec(
+        &mut self,
+        from: &str,
+        epoch: u64,
+        seq: u64,
+        crc: u32,
+        kind: RecordKind,
+        rid: &str,
+        line: &str,
+        now_ms: u64,
+        outs: &mut Vec<Out>,
+    ) {
+        if self.role != Role::Follower || self.diverged {
+            return; // only a live follower consumes a stream
+        }
+        if epoch < self.epoch() {
+            outs.push(self.err_to(from, "RES-STALE-EPOCH"));
+            self.synced = false;
+            return;
+        }
+        self.adopt_epoch(epoch);
+        self.last_contact_ms = now_ms;
+        self.synced = true;
+        let have = self.journal.len() as u64;
+        if seq <= have {
+            outs.push(Out::Send {
+                to: from.to_string(),
+                line: ReplMsg::Ack { seq: have }
+                    .render_line()
+                    .trim_end()
+                    .to_string(),
+            });
+            return;
+        }
+        if seq != have + 1 {
+            // A gap: the stream lost sync (dropped message); re-hello.
+            self.synced = false;
+            return;
+        }
+        if crc32(&payload_bytes(kind, rid, line)) != crc {
+            outs.push(self.err_to(from, "IO-REPL-CORRUPT"));
+            self.synced = false;
+            return;
+        }
+        self.journal.push(JournalRecord {
+            kind,
+            rid: rid.to_string(),
+            line: line.to_string(),
+        });
+        if kind.serves_retries() || kind == RecordKind::Abort {
+            self.completed
+                .insert(rid.to_string(), (kind, line.to_string()));
+        }
+        outs.push(Out::Send {
+            to: from.to_string(),
+            line: ReplMsg::Ack { seq }.render_line().trim_end().to_string(),
+        });
+    }
+
+    fn on_hb(&mut self, from: &str, epoch: u64, seq: u64, now_ms: u64, outs: &mut Vec<Out>) {
+        if self.role != Role::Follower || self.diverged {
+            return;
+        }
+        if epoch < self.epoch() {
+            outs.push(self.err_to(from, "RES-STALE-EPOCH"));
+            self.synced = false;
+            return;
+        }
+        self.adopt_epoch(epoch);
+        self.last_contact_ms = now_ms;
+        if seq > self.journal.len() as u64 {
+            // The heartbeat proves records we never saw: resync.
+            self.synced = false;
+        } else {
+            self.synced = true;
+        }
+    }
+
+    /// A peer refused us. Mirrors `follow_stream`'s `StreamEnd`
+    /// mapping: stale → arbitrate at the next tick (grace is up),
+    /// corrupt → diverged, parked forever.
+    fn on_peer_err(&mut self, code: &str, epoch: u64, now_ms: u64, outs: &mut Vec<Out>) {
+        if self.role != Role::Follower {
+            return;
+        }
+        self.adopt_epoch(epoch);
+        match code {
+            "RES-STALE-EPOCH" => {
+                // The dialed primary is provably deposed: stop counting
+                // its silence as liveness so arbitration starts now.
+                self.synced = false;
+                self.last_contact_ms = 0;
+            }
+            "IO-REPL-CORRUPT" => {
+                self.diverged = true;
+                self.synced = false;
+                self.frozen_len = Some(self.journal.len());
+                outs.push(Out::Trace(format!(
+                    "t={now_ms}ms {}: journal diverged (IO-REPL-CORRUPT); parked read-only",
+                    self.addr
+                )));
+            }
+            _ => {
+                self.synced = false;
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_status_reply(
+        &mut self,
+        from: &str,
+        role: &str,
+        epoch: u64,
+        seq: u64,
+        nonce: u64,
+        now_ms: u64,
+        _bug: SimBug,
+        outs: &mut Vec<Out>,
+    ) {
+        if nonce == self.nonce {
+            return; // talking to ourselves through an alias
+        }
+        if let Some(arb) = &mut self.arb {
+            arb.replies
+                .push((from.to_string(), role.to_string(), epoch, seq, nonce));
+            return;
+        }
+        if self.role == Role::Primary {
+            // The guard: a higher epoch anywhere — or an equal-epoch
+            // primary with a lexicographically smaller address — wins.
+            let superseded = epoch > self.epoch()
+                || (epoch == self.epoch() && role == "primary" && from < self.addr.as_str());
+            if superseded {
+                self.fence(epoch, now_ms, outs);
+            }
+        }
+    }
+
+    /// The arbitration window closed: follow a live primary, defer to a
+    /// better-acked peer, or promote.
+    pub(crate) fn on_arb_decide(
+        &mut self,
+        round: u64,
+        now_ms: u64,
+        exec_ms: u64,
+        bug: SimBug,
+        outs: &mut Vec<Out>,
+    ) {
+        let Some(arb) = self.arb.take() else { return };
+        if arb.round != round || self.role != Role::Follower || self.diverged {
+            return;
+        }
+        let my_epoch = self.epoch();
+        let my_seq = self.journal.len() as u64;
+        let mut max_epoch = my_epoch;
+        let mut defer = false;
+        for (peer, role, epoch, seq, _) in &arb.replies {
+            max_epoch = max_epoch.max(*epoch);
+            if role == "primary" && *epoch >= my_epoch {
+                self.primary = Some(peer.clone());
+                self.synced = false;
+                self.last_contact_ms = now_ms;
+                outs.push(Out::Trace(format!(
+                    "t={now_ms}ms {}: adopting promoted primary {peer} (epoch {epoch})",
+                    self.addr
+                )));
+                return;
+            }
+            if role != "fenced"
+                && (*seq > my_seq || (*seq == my_seq && peer.as_str() < self.addr.as_str()))
+            {
+                defer = true;
+            }
+        }
+        if defer {
+            return; // grace is still expired: the next tick re-arbitrates
+        }
+        self.promote(max_epoch, now_ms, exec_ms, bug, outs);
+    }
+
+    fn promote(
+        &mut self,
+        observed: u64,
+        now_ms: u64,
+        exec_ms: u64,
+        bug: SimBug,
+        outs: &mut Vec<Out>,
+    ) {
+        let observed = observed.max(self.epoch());
+        let new_epoch = match bug {
+            // The injected fencing bug: pick observed + 1 like a naive
+            // implementation would, so two partitioned followers can
+            // promote into the *same* epoch.
+            SimBug::CollidingPromotionEpoch => observed + 1,
+            SimBug::None => promotion_epoch(observed, &self.cluster, &self.addr),
+        };
+        self.epoch_state = EpochState {
+            epoch: new_epoch,
+            fenced: false,
+        };
+        self.former_primary = self.primary.take();
+        self.role = Role::Primary;
+        self.streams.clear();
+        self.promotions += 1;
+        outs.push(Out::Trace(format!(
+            "t={now_ms}ms {}: promoted to epoch {new_epoch}",
+            self.addr
+        )));
+        // Replay admitted-but-unsettled records so every key the old
+        // primary acked is settled here before the first client lands.
+        let (_, incomplete) = fold_records(&self.journal);
+        for (rid, line) in incomplete {
+            self.execute(&rid, &line, now_ms, exec_ms, None, outs);
+        }
+    }
+
+    /// A client request line (the real wire schema).
+    fn on_request(
+        &mut self,
+        from: &str,
+        line: &str,
+        now_ms: u64,
+        exec_ms: u64,
+        outs: &mut Vec<Out>,
+    ) {
+        let req = match WireRequest::parse(line) {
+            Ok(req) => req,
+            Err(e) => {
+                outs.push(self.respond(
+                    from,
+                    &WireResponse::err(
+                        "",
+                        failure(ErrorClass::Validation, "VAL-MALFORMED-REQUEST", e),
+                    ),
+                ));
+                return;
+            }
+        };
+        match self.role {
+            Role::Fenced => {
+                outs.push(self.respond(
+                    from,
+                    &WireResponse::err(
+                        req.id,
+                        failure(
+                            ErrorClass::Resource,
+                            "RES-STALE-EPOCH",
+                            format!("this server was deposed at epoch {}", self.epoch()),
+                        ),
+                    ),
+                ));
+                return;
+            }
+            Role::Follower | Role::Promoting => {
+                outs.push(self.respond(
+                    from,
+                    &WireResponse::err(
+                        req.id,
+                        failure(
+                            ErrorClass::Resource,
+                            "RES-NOT-PRIMARY",
+                            "this server is a replica; ask the primary",
+                        ),
+                    ),
+                ));
+                return;
+            }
+            Role::Primary => {}
+        }
+        let Some(rid) = req.request_id.clone() else {
+            // Unkeyed requests answer immediately (ping-like).
+            outs.push(self.respond(from, &WireResponse::ok(req.id, Json::obj([]))));
+            return;
+        };
+        if let Some((kind, stored)) = self.completed.get(&rid) {
+            if kind.serves_retries() {
+                // Byte-identical journal-served retry, zero recompute.
+                self.deduped += 1;
+                let stored = stored.clone();
+                if let Ok(mut resp) = WireResponse::parse(&stored) {
+                    resp.id = req.id.clone();
+                    outs.push(self.respond(from, &resp));
+                } else {
+                    outs.push(self.respond(
+                        from,
+                        &WireResponse::err(
+                            req.id,
+                            failure(
+                                ErrorClass::Io,
+                                "IO-FAILURE",
+                                "journaled response unreadable",
+                            ),
+                        ),
+                    ));
+                }
+                return;
+            }
+        }
+        if self.inflight.contains(&rid) {
+            outs.push(self.respond(
+                from,
+                &WireResponse::err(
+                    req.id,
+                    failure(
+                        ErrorClass::Resource,
+                        "RES-DUPLICATE-REQUEST",
+                        format!("request_id `{rid}` is already executing"),
+                    ),
+                ),
+            ));
+            return;
+        }
+        // Admit: journal (fsync) before execution, replicate, execute.
+        self.append(RecordKind::Admit, &rid, line.trim_end(), outs);
+        self.inflight.insert(rid.clone());
+        outs.push(Out::Timer {
+            delay_ms: exec_ms,
+            timer: NodeTimer::Exec {
+                rid,
+                reply_to: from.to_string(),
+            },
+        });
+        let _ = now_ms;
+    }
+
+    /// The execution timer fired: settle the admitted request.
+    pub(crate) fn on_exec(
+        &mut self,
+        rid: &str,
+        reply_to: &str,
+        now_ms: u64,
+        exec_ms: u64,
+        outs: &mut Vec<Out>,
+    ) {
+        if self.role != Role::Primary {
+            // Deposed mid-execution: the admit stays unsettled in our
+            // journal; whoever promoted replays it.
+            self.inflight.remove(rid);
+            return;
+        }
+        let line = self
+            .journal
+            .iter()
+            .rev()
+            .find(|r| r.kind == RecordKind::Admit && r.rid == rid)
+            .map(|r| r.line.clone())
+            .unwrap_or_default();
+        self.execute(rid, &line, now_ms, exec_ms, Some(reply_to), outs);
+    }
+
+    /// Executes one admitted request: deterministic compute, Done/Fail
+    /// journal record, dedup-map publish, reply (when a client is still
+    /// attached). The `exec_count` bump is what invariant 3 audits.
+    fn execute(
+        &mut self,
+        rid: &str,
+        line: &str,
+        _now_ms: u64,
+        _exec_ms: u64,
+        reply_to: Option<&str>,
+        outs: &mut Vec<Out>,
+    ) {
+        if let Some((kind, _)) = self.completed.get(rid) {
+            if kind.serves_retries() {
+                outs.push(Out::Violation(format!(
+                    "{}: recomputed settled request_id `{rid}`",
+                    self.addr
+                )));
+            }
+        }
+        *self.exec_count.entry(rid.to_string()).or_insert(0) += 1;
+        self.inflight.remove(rid);
+        let resp = compute_response(rid, line);
+        let resp_line = resp.render_line().trim_end().to_string();
+        let kind = if resp.outcome.is_ok() {
+            RecordKind::Done
+        } else {
+            RecordKind::Fail
+        };
+        self.append(kind, rid, &resp_line, outs);
+        self.completed
+            .insert(rid.to_string(), (kind, resp_line.clone()));
+        if let Some(to) = reply_to {
+            outs.push(Out::Send {
+                to: to.to_string(),
+                line: resp_line,
+            });
+        }
+    }
+
+    /// Appends one record to the journal and streams it to every
+    /// follower immediately (the real primary's publish + notify path).
+    fn append(&mut self, kind: RecordKind, rid: &str, line: &str, outs: &mut Vec<Out>) {
+        self.journal.push(JournalRecord {
+            kind,
+            rid: rid.to_string(),
+            line: line.to_string(),
+        });
+        let epoch = self.epoch();
+        let seq = self.journal.len() as u64;
+        let crc = crc32(&payload_bytes(kind, rid, line));
+        let streams: Vec<String> = self
+            .streams
+            .iter()
+            .filter(|(_, cursor)| *cursor == seq - 1)
+            .map(|(addr, _)| addr.clone())
+            .collect();
+        for addr in streams {
+            outs.push(Out::Send {
+                to: addr.clone(),
+                line: ReplMsg::Rec {
+                    epoch,
+                    seq,
+                    crc,
+                    kind,
+                    rid: rid.to_string(),
+                    line: line.to_string(),
+                }
+                .render_line()
+                .trim_end()
+                .to_string(),
+            });
+            for (a, c) in &mut self.streams {
+                if *a == addr {
+                    *c = seq;
+                }
+            }
+        }
+    }
+
+    fn peers(&self) -> Vec<String> {
+        self.cluster
+            .iter()
+            .filter(|a| **a != self.addr)
+            .cloned()
+            .collect()
+    }
+
+    fn hello_line(&self) -> String {
+        ReplMsg::Hello {
+            epoch: self.epoch(),
+            have: self.journal.len() as u64,
+            pcrc: prefix_crc(&self.journal),
+            from: self.addr.clone(),
+        }
+        .render_line()
+        .trim_end()
+        .to_string()
+    }
+
+    fn err_to(&self, to: &str, code: &str) -> Out {
+        Out::Send {
+            to: to.to_string(),
+            line: ReplMsg::Err {
+                code: code.to_string(),
+                epoch: self.epoch(),
+            }
+            .render_line()
+            .trim_end()
+            .to_string(),
+        }
+    }
+
+    fn respond(&self, to: &str, resp: &WireResponse) -> Out {
+        Out::Send {
+            to: to.to_string(),
+            line: resp.render_line().trim_end().to_string(),
+        }
+    }
+}
+
+fn failure(class: ErrorClass, code: &str, message: impl Into<String>) -> WireFailure {
+    WireFailure {
+        class,
+        code: code.to_string(),
+        message: message.into(),
+    }
+}
+
+/// The simulated optimizer: a pure function of the request key, so a
+/// replay or a recompute on another node produces byte-identical output
+/// — which is exactly what lets the harness check response identity
+/// structurally while `exec_count` separately proves zero recompute.
+/// One in seven keys fails deterministically (a classified `Fail`
+/// completion), so the retry-serving path covers failures too.
+pub(crate) fn compute_response(rid: &str, line: &str) -> WireResponse {
+    let mut hasher = DefaultHasher::new();
+    rid.hash(&mut hasher);
+    line.hash(&mut hasher);
+    let mut rng = SplitMix64::new(hasher.finish());
+    let value = rng.next_u64() & ((1 << 53) - 1);
+    if value.is_multiple_of(7) {
+        WireResponse::err(
+            rid,
+            failure(
+                ErrorClass::Numerical,
+                "NUM-NONFINITE",
+                format!("simulated deterministic failure for `{rid}`"),
+            ),
+        )
+    } else {
+        WireResponse::ok(rid, Json::obj([("sim_result", Json::Num(value as f64))]))
+    }
+}

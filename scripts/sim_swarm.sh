@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Deterministic-simulation swarm: sweep seeded cluster simulations until
+# a wall-clock budget runs out (or a seed fails, which exits 5 with the
+# repro command).
+#
+#   ./scripts/sim_swarm.sh                  # ~30 s of seeds from 1
+#   ./scripts/sim_swarm.sh --seconds 300    # a longer soak
+#   ./scripts/sim_swarm.sh --seed 7000      # a different seed range
+#
+# Every run is reproducible from its seed: a failure prints
+# `reproduce with \`lintra sim --seed N --trace\``.
+
+# Hard wall-clock cap: the budget plus slack for the build.
+if [ -z "${LINTRA_TIMEOUT_WRAPPED:-}" ]; then
+    LINTRA_TIMEOUT_WRAPPED=1 exec timeout --kill-after=10 900 "$0" "$@"
+fi
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SECONDS_BUDGET=30
+FIRST_SEED=1
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --seconds) SECONDS_BUDGET="$2"; shift 2 ;;
+        --seed)    FIRST_SEED="$2"; shift 2 ;;
+        *) echo "usage: $0 [--seconds S] [--seed N]" >&2; exit 2 ;;
+    esac
+done
+
+echo "== sim swarm: building the CLI =="
+cargo build --release -p lintra-cli -q
+
+echo "== sim swarm: ${SECONDS_BUDGET}s of seeds from ${FIRST_SEED} =="
+# --swarm is an upper bound; --seconds is what actually stops the run.
+./target/release/lintra sim \
+    --seed "$FIRST_SEED" --swarm 1000000 --seconds "$SECONDS_BUDGET" \
+    | tail -n 5
+
+echo "sim swarm: all seeds held every invariant"

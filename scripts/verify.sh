@@ -42,6 +42,13 @@ echo "== perf gate: egraph_suite sequential wall-clock budget =="
 # report over the 6 s budget is a hot-loop regression, not noise.
 ./target/release/bench_report --perf-gate BENCH_2.json --budget-s 6.0
 
+echo "== simulation: fixed-seed swarm smoke =="
+# 64 deterministic seeds of the replicated-cluster simulation; every
+# event is virtual time, so the batch finishes in seconds. A failure
+# prints the seed + fault trace and exits 5 (CNV-SIM-INVARIANT).
+timeout --kill-after=10 30 ./target/release/lintra sim --seed 1 --swarm 64 \
+  | tail -n 1
+
 echo "== service: scripts/chaos.sh =="
 ./scripts/chaos.sh
 

@@ -155,6 +155,51 @@ fn a_client_dying_mid_write_leaves_the_server_serviceable() {
 }
 
 #[test]
+fn slow_loris_partial_frame_is_cut_off_with_res_deadline() {
+    // A short default deadline keeps the test fast; the guard measures
+    // from the first partial byte, so an idle connection is unaffected.
+    let server = start(ServerConfig {
+        default_deadline: Duration::from_millis(200),
+        ..chaos_config()
+    })
+    .expect("server starts");
+
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    // Drip half a request and then go silent — the classic slow loris.
+    let full = WireRequest::new("loris", WireOp::Ping).render_line();
+    let half = &full.as_bytes()[..full.len() / 2];
+    stream.write_all(half).expect("write partial frame");
+
+    // The server must answer RES-DEADLINE and close instead of letting
+    // the unfinished frame pin the handler thread forever.
+    let started = Instant::now();
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .expect("server answers the stalled frame");
+    let resp = WireResponse::parse(&line).expect("response parses");
+    let failure = resp.outcome.expect_err("partial frame must be rejected");
+    assert_eq!(failure.code, "RES-DEADLINE");
+    assert_eq!(failure.class, ErrorClass::Resource);
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "guard took {:?}; the deadline is 200 ms",
+        started.elapsed()
+    );
+
+    // ... and the connection is actually closed, not half-open.
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("read to EOF");
+    assert!(rest.is_empty(), "connection stayed open: {rest:?}");
+
+    // The guard only trims the abusive connection; the server is fine.
+    assert_serviceable(&fast_client(&server), "loris");
+    server.shutdown();
+}
+
+#[test]
 fn injected_slow_worker_is_flagged_as_res_worker_stall() {
     let server = start(chaos_config()).expect("server starts");
     let client = fast_client(&server);

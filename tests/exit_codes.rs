@@ -80,6 +80,7 @@ fn service_codes_are_documented() {
         "RES-NOT-PRIMARY",
         "IO-REPL-CORRUPT",
         "RES-SATURATION-BUDGET",
+        "CNV-SIM-INVARIANT",
     ] {
         assert!(
             codes.iter().any(|(c, _)| *c == required),

@@ -648,6 +648,87 @@ fn client_walks_the_endpoint_list_past_replicas_and_dead_servers() {
     let _ = std::fs::remove_dir_all(&fdir);
 }
 
+/// Asymmetric partition from the client's point of view: its first
+/// endpoint is a fenced ex-primary (reachable, but only redirects), its
+/// second is unreachable, and only the third serves. The walk must
+/// converge inside a *single* attempt — redirects and refused connects
+/// never burn the retry/backoff budget.
+#[test]
+fn client_walks_past_a_fenced_ex_primary_within_one_attempt() {
+    let (fenced_dir, pdir) = (temp_dir("part-fenced"), temp_dir("part-p"));
+    // Seed a durable fence marker so the server starts *fenced*, exactly
+    // as a deposed primary restarts after losing an epoch race.
+    std::fs::create_dir_all(&fenced_dir).expect("mkdir");
+    lintra_serve::store_epoch_state(
+        &fenced_dir.join("epoch"),
+        lintra_serve::EpochState {
+            epoch: 3,
+            fenced: true,
+        },
+    )
+    .expect("seed fence");
+    let fenced = start(repl_config(&fenced_dir)).expect("fenced server");
+    assert_eq!(
+        fenced.role_info().expect("replicated").role,
+        "fenced",
+        "precondition: the first endpoint refuses writes"
+    );
+    let primary = start(repl_config(&pdir)).expect("primary");
+
+    // max_attempts = 1: success proves the whole walk — redirect,
+    // refused connect, answer — fit in one attempt with zero backoff.
+    let client = Client::with_policy(
+        format!("{}, {}, {}", fenced.addr(), dead_addr(), primary.addr()),
+        lintra_serve::RetryPolicy {
+            max_attempts: 1,
+            ..lintra_serve::RetryPolicy::default()
+        },
+    );
+    let resp = client
+        .request(&WireRequest::new("part-walk", WireOp::Ping).with_request_id("part-walk"))
+        .expect("the walk converges in one attempt");
+    assert!(resp.outcome.is_ok(), "{resp:?}");
+
+    primary.shutdown();
+    fenced.shutdown();
+    let _ = std::fs::remove_dir_all(&fenced_dir);
+    let _ = std::fs::remove_dir_all(&pdir);
+}
+
+/// Full partition: every endpoint is unreachable. The client must fail
+/// fast with the deadline-classified error once the request's response
+/// budget is spent, instead of grinding through the whole exponential
+/// backoff schedule.
+#[test]
+fn fully_partitioned_client_fails_fast_with_deadline_exhausted() {
+    let client = Client::with_policy(
+        format!("{}, {}", dead_addr(), dead_addr()),
+        lintra_serve::RetryPolicy {
+            max_attempts: 10,
+            base_backoff: Duration::from_millis(200),
+            max_backoff: Duration::from_secs(2),
+            ..lintra_serve::RetryPolicy::default()
+        },
+    );
+    let mut req = WireRequest::new("part-dead", WireOp::Ping).with_request_id("part-dead");
+    req.deadline_ms = Some(50); // response budget: 2*50 + 500 = 600 ms
+
+    let started = Instant::now();
+    let err = client.request(&req).expect_err("every endpoint is dead");
+    let elapsed = started.elapsed();
+    assert!(
+        matches!(err, lintra_serve::ClientError::DeadlineExhausted { .. }),
+        "expected the fast RES-DEADLINE failure, got {err:?}"
+    );
+    assert_eq!(err.exit_code(), lintra::ErrorClass::Resource.exit_code());
+    // The full 10-attempt schedule would sleep for many seconds; the
+    // budget cap must stop it well short of that.
+    assert!(
+        elapsed < Duration::from_secs(3),
+        "client ground through the backoff schedule: {elapsed:?}"
+    );
+}
+
 #[test]
 fn corrupt_stream_records_are_refused_never_appended() {
     // This test acts as the *primary*: it accepts the follower's dials
