@@ -13,7 +13,7 @@ use lintra_bench::wire::{WireFailure, WireOp, WireRequest};
 use lintra_bench::{
     table2_rows, table2_rows_par, table3_rows, table3_rows_par, table4_rows, table4_rows_par,
 };
-use lintra_serve::{signal, Client, RetryPolicy, ServerConfig};
+use lintra_serve::{signal, Client, RetryPolicy, RouterConfig, ServerConfig};
 use std::fmt;
 use std::io::Write;
 use std::time::Duration;
@@ -161,6 +161,8 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         Some("tables") => cmd_tables(&args[1..], out),
         Some("mcm") => cmd_mcm(&args[1..], out),
         Some("serve") => cmd_serve(&args[1..], out),
+        Some("route") => cmd_route(&args[1..], out),
+        Some("cluster-status") => cmd_cluster_status(&args[1..], out),
         Some("request") => cmd_request(&args[1..], out),
         Some("recover") => cmd_recover(&args[1..], out),
         Some("sim") => cmd_sim(&args[1..], out),
@@ -180,7 +182,7 @@ fn help(out: &mut impl Write) -> Result<(), CliError> {
          \x20 tables [--v0 V] [--jobs N] [--seq]  regenerate paper Tables 2-4\n\
          \x20 mcm <c1> <c2> ... [--binary]  synthesize a shared shift-add network\n\
          \x20 serve [--addr A] [--jobs N] [--max-inflight N] [--chaos] [--journal-dir DIR]\n\
-         \x20       [--replica-of P] [--peers A,B] [--epoch-dir DIR]\n\
+         \x20       [--journal-rotate-bytes T] [--replica-of P] [--peers A,B] [--epoch-dir DIR]\n\
          \x20       [--failover-grace-ms G] [--heartbeat-ms H]\n\
          \x20                               run the optimization service (drains on SIGTERM);\n\
          \x20                               --journal-dir makes it durable: write-ahead journal,\n\
@@ -188,6 +190,14 @@ fn help(out: &mut impl Write) -> Result<(), CliError> {
          \x20                               --replica-of makes it a follower that replicates the\n\
          \x20                               primary's journal and promotes itself on failover;\n\
          \x20                               --peers lets replicas arbitrate and fence stale epochs\n\
+         \x20 route --shards a:1,a:2;b:1,b:2 [--addr A] [--probe-ms P] [--hedge-min-ms H]\n\
+         \x20       [--retry-ratio-milli R] [--retry-cap C] [--vnodes V] [--no-hedge]\n\
+         \x20                               route requests across replicated shard groups by\n\
+         \x20                               consistent hash: health-probed endpoints, per-shard\n\
+         \x20                               circuit breakers (RES-SHARD-DOWN degrades one shard,\n\
+         \x20                               not the cluster), a global retry budget\n\
+         \x20                               (RES-RETRY-BUDGET), and P99-hedged keyed requests\n\
+         \x20 cluster-status --addr A       one-line-per-shard health view from a running router\n\
          \x20 request <ping|optimize|sweep|tables> [design] --addr A[,B,...]\n\
          \x20         [--strategy S] [--v0 V] [--processors N] [--max I]\n\
          \x20         [--deadline-ms D] [--retries N] [--request-id K]\n\
@@ -200,7 +210,12 @@ fn help(out: &mut impl Write) -> Result<(), CliError> {
          \x20     [--sim-ms MS] [--bug none|colliding-epoch] [--trace]\n\
          \x20                               deterministically simulate the replicated cluster\n\
          \x20                               under seeded faults; every run reproduces from its\n\
-         \x20                               seed, failures print the fault schedule and exit 5\n\n\
+         \x20                               seed, failures print the fault schedule and exit 5\n\
+         \x20 sim --shards G [--replicas R] [--scenario none|primary-crash|blackout] [--group I]\n\
+         \x20     [--requests N] [--bug none|unbounded-retries] [--seed N] [--swarm K] [--trace]\n\
+         \x20                               simulate the sharded router over G replicated shard\n\
+         \x20                               groups: blackouts, failovers, retry-budget and\n\
+         \x20                               degradation invariants, all under virtual time\n\n\
          `--jobs N` fans work out over the parallel sweep engine; output is\n\
          bit-identical to the sequential path."
     )?;
@@ -412,7 +427,7 @@ fn cmd_mcm(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
 /// Positional (non-flag) arguments, skipping each value-taking flag's
 /// value so `--addr 127.0.0.1:80` does not masquerade as a positional.
 fn positionals(args: &[String]) -> Vec<&str> {
-    const BOOLEAN_FLAGS: [&str; 4] = ["--binary", "--seq", "--chaos", "--trace"];
+    const BOOLEAN_FLAGS: [&str; 5] = ["--binary", "--seq", "--chaos", "--trace", "--no-hedge"];
     let mut found = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -462,6 +477,13 @@ fn cmd_serve(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     }
     if let Some(dir) = flag_value(args, "--journal-dir") {
         config.journal_dir = Some(std::path::PathBuf::from(dir));
+    }
+    if let Some(bytes) = flag_value(args, "--journal-rotate-bytes") {
+        config.journal_rotate_bytes = Some(bytes.parse().map_err(|_| {
+            usage(format!(
+                "--journal-rotate-bytes expects a byte count, got `{bytes}`"
+            ))
+        })?);
     }
     if let Some(primary) = flag_value(args, "--replica-of") {
         config.replica_of = Some(primary.to_string());
@@ -559,6 +581,143 @@ fn cmd_serve(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         stats.shed,
         stats.deduped,
         stats.replayed
+    )?;
+    Ok(())
+}
+
+/// `lintra route`: runs the sharded-cluster router until SIGTERM.
+fn cmd_route(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    let shards_arg = flag_value(args, "--shards").ok_or_else(|| {
+        usage(
+            "route needs --shards `a:1,a:2;b:1,b:2` — shard groups separated by `;`, \
+             each group an ordered replica endpoint list",
+        )
+    })?;
+    let shards: Vec<Vec<String>> = shards_arg
+        .split(';')
+        .map(|group| {
+            group
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect::<Vec<String>>()
+        })
+        .filter(|g| !g.is_empty())
+        .collect();
+    let mut config = RouterConfig {
+        addr: flag_value(args, "--addr")
+            .unwrap_or("127.0.0.1:0")
+            .to_string(),
+        shards,
+        hedge: !args.iter().any(|a| a == "--no-hedge"),
+        ..RouterConfig::default()
+    };
+    if let Some(ms) = parse_millis(args, "--probe-ms")? {
+        config.probe_interval = Duration::from_millis(ms);
+    }
+    if let Some(ms) = parse_millis(args, "--hedge-min-ms")? {
+        config.hedge_min = Duration::from_millis(ms);
+    }
+    if let Some(n) = parse_usize(args, "--retry-ratio-milli")? {
+        config.retry_ratio_milli = n as u64;
+    }
+    if let Some(n) = parse_usize(args, "--retry-cap")? {
+        config.retry_cap = n as u64;
+    }
+    if let Some(n) = parse_usize(args, "--vnodes")? {
+        config.vnodes = n;
+    }
+    let shard_count = config.shards.len();
+
+    signal::install();
+    let router = lintra_serve::start_router(config)?;
+    writeln!(out, "routing {shard_count} shard group(s)")?;
+    // The port line is parsed by scripts, exactly like `serve`'s.
+    writeln!(out, "listening on {}", router.addr())?;
+    out.flush()?;
+    while !signal::shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    writeln!(out, "shutdown requested; stopping the router")?;
+    let (requests, forwarded, retries, shed, shard_down, hedges, hedge_wins) = router.stats();
+    router.shutdown();
+    writeln!(
+        out,
+        "routed: {requests} requests, {forwarded} forwarded, {retries} retries, \
+         {shed} shed (retry budget), {shard_down} shard-down, {hedges} hedges \
+         ({hedge_wins} won)"
+    )?;
+    Ok(())
+}
+
+/// `lintra cluster-status`: one-shot aggregated health view from a
+/// running router — the runbook's first stop during an incident.
+fn cmd_cluster_status(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    use lintra_bench::json::Json;
+    use lintra_serve::{read_line, SystemClock, TcpTransport, Transport};
+
+    let addr = flag_value(args, "--addr").ok_or_else(|| {
+        usage("cluster-status needs --addr host:port of a running `lintra route`")
+    })?;
+    let timeout = Duration::from_millis(parse_millis(args, "--timeout-ms")?.unwrap_or(2000));
+    let clock = SystemClock::new();
+    let mut conn = TcpTransport
+        .connect(addr, timeout)
+        .map_err(|e| CliError::Io(std::io::Error::other(e.to_string())))?;
+    conn.send(b"{\"router\":\"status\"}\n")
+        .map_err(|e| CliError::Io(std::io::Error::other(e.to_string())))?;
+    let mut buf = Vec::new();
+    let line = read_line(
+        conn.as_mut(),
+        &mut buf,
+        timeout,
+        Duration::from_millis(20),
+        &clock,
+    )
+    .map_err(|e| CliError::Io(std::io::Error::other(e.to_string())))?
+    .ok_or_else(|| CliError::Io(std::io::Error::other("router closed without answering")))?;
+    let doc = Json::parse(&line)
+        .map_err(|e| CliError::Io(std::io::Error::other(format!("unparseable status: {e}"))))?;
+    let num = |key: &str| doc.get(key).and_then(Json::as_num).unwrap_or(0.0) as u64;
+    writeln!(out, "cluster status from {addr}")?;
+    if let Some(Json::Arr(shards)) = doc.get("shards") {
+        for s in shards {
+            let idx = s.get("shard").and_then(Json::as_num).unwrap_or(-1.0) as i64;
+            let breaker = s.get("breaker").and_then(Json::as_str).unwrap_or("?");
+            let healthy = matches!(s.get("probed_healthy"), Some(Json::Bool(true)));
+            let preferred = s.get("preferred").and_then(Json::as_str).unwrap_or("?");
+            let p99 = match s.get("p99_ms").and_then(Json::as_num) {
+                Some(ms) => format!("{ms:.0} ms"),
+                None => "n/a".to_string(),
+            };
+            let endpoints = match s.get("endpoints") {
+                Some(Json::Arr(es)) => es
+                    .iter()
+                    .filter_map(Json::as_str)
+                    .collect::<Vec<_>>()
+                    .join(","),
+                _ => String::new(),
+            };
+            writeln!(
+                out,
+                "shard {idx}: {} breaker={breaker} preferred={preferred} p99={p99} [{endpoints}]",
+                if healthy { "healthy" } else { "DOWN" },
+            )?;
+        }
+    }
+    writeln!(
+        out,
+        "budget: {} milli-tokens; requests={} forwarded={} retries={} \
+         shed={} shard_down={} hedges={} hedge_wins={}",
+        num("retry_budget_milli"),
+        num("requests"),
+        num("forwarded"),
+        num("retries"),
+        num("shed_retry_budget"),
+        num("shard_down"),
+        num("hedges"),
+        num("hedge_wins")
     )?;
     Ok(())
 }
@@ -728,6 +887,10 @@ fn cmd_recover(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
 fn cmd_sim(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     use lintra_sim::{run_sim, SimBug, SimConfig};
 
+    if flag_value(args, "--shards").is_some() {
+        return cmd_sim_shards(args, out);
+    }
+
     let parse_u64 = |name: &str, default: u64| -> Result<u64, CliError> {
         match flag_value(args, name) {
             None => Ok(default),
@@ -816,6 +979,136 @@ fn cmd_sim(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
                 report.seed,
                 report.violations.len(),
                 report.violations.join("; "),
+                report.seed
+            ),
+        }));
+    }
+    Ok(())
+}
+
+/// `sim --shards`: the sharded-router simulation — M replicated shard
+/// groups behind a deterministic model of the `route` front end.
+fn cmd_sim_shards(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    use lintra_sim::{run_shard_sim, RouterSimBug, ShardScenario, ShardSimConfig};
+
+    let parse_u64 = |name: &str, default: u64| -> Result<u64, CliError> {
+        match flag_value(args, name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| usage(format!("{name} expects an integer, got `{v}`"))),
+        }
+    };
+    let first = parse_u64("--seed", 1)?;
+    let swarm = parse_u64("--swarm", 1)?.max(1);
+    let seconds = match flag_value(args, "--seconds") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<f64>()
+                .map_err(|_| usage(format!("--seconds expects a wall-clock budget, got `{v}`")))?,
+        ),
+    };
+    let trace = args.iter().any(|a| a == "--trace");
+    let mut config = ShardSimConfig {
+        // Long enough a queue that clients are still sending when the
+        // scenario fault lands at 1/8 of the run.
+        requests_per_client: 16,
+        ..ShardSimConfig::default()
+    };
+    if let Some(g) = parse_usize(args, "--shards")? {
+        if g < 2 {
+            return Err(usage("--shards expects at least 2 shard groups"));
+        }
+        config.groups = g;
+    }
+    if let Some(r) = parse_usize(args, "--replicas")? {
+        config.nodes_per_group = r.max(1);
+    }
+    if let Some(c) = parse_usize(args, "--clients")? {
+        config.clients = c;
+    }
+    if let Some(n) = parse_usize(args, "--requests")? {
+        config.requests_per_client = n;
+    }
+    if let Some(ms) = parse_millis(args, "--sim-ms")? {
+        config.sim_ms = ms.max(100);
+    }
+    let group = parse_usize(args, "--group")?.unwrap_or(0);
+    if let Some(s) = flag_value(args, "--scenario") {
+        config.scenario = match s {
+            "none" => ShardScenario::None,
+            "primary-crash" => ShardScenario::PrimaryCrash { group },
+            "blackout" => ShardScenario::Blackout { group },
+            other => {
+                return Err(usage(format!(
+                    "--scenario expects none|primary-crash|blackout, got `{other}`"
+                )))
+            }
+        };
+    }
+    if let Some(bug) = flag_value(args, "--bug") {
+        config.bug = match bug {
+            "none" => RouterSimBug::None,
+            "unbounded-retries" => RouterSimBug::UnboundedRetries,
+            other => {
+                return Err(usage(format!(
+                    "--bug expects none|unbounded-retries, got `{other}`"
+                )))
+            }
+        };
+    }
+
+    let started = std::time::Instant::now();
+    let mut first_failure: Option<lintra_sim::ShardSimReport> = None;
+    let mut ran = 0u64;
+    for seed in first..first.saturating_add(swarm) {
+        if let Some(budget) = seconds {
+            if started.elapsed().as_secs_f64() >= budget {
+                break;
+            }
+        }
+        let report = run_shard_sim(seed, &config);
+        ran += 1;
+        writeln!(
+            out,
+            "seed {:>6} {} — {} events, {} settled, {} forwarded, {} retries, {} hedges, \
+             {} shed, {} shard-down, {} promotions",
+            report.seed,
+            if report.passed() { "PASS" } else { "FAIL" },
+            report.events,
+            report.settled,
+            report.forwarded,
+            report.retries,
+            report.hedges,
+            report.shed,
+            report.shard_down,
+            report.promotions
+        )?;
+        if trace || !report.passed() {
+            for line in &report.trace {
+                writeln!(out, "  {line}")?;
+            }
+        }
+        if !report.passed() && first_failure.is_none() {
+            first_failure = Some(report);
+        }
+    }
+    writeln!(
+        out,
+        "{ran} seed(s) simulated in {:.2}s wall clock",
+        started.elapsed().as_secs_f64()
+    )?;
+    if let Some(report) = first_failure {
+        return Err(CliError::Remote(WireFailure {
+            class: ErrorClass::Convergence,
+            code: "CNV-SIM-INVARIANT".to_string(),
+            message: format!(
+                "seed {} violated {} invariant(s): {}; reproduce with \
+                 `lintra sim --shards {} --seed {} --trace`",
+                report.seed,
+                report.violations.len(),
+                report.violations.join("; "),
+                config.groups,
                 report.seed
             ),
         }));

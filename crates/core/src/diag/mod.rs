@@ -128,6 +128,7 @@ pub fn documented_codes() -> &'static [(&'static str, ErrorClass)] {
         ("VAL-SLOWDOWN", ErrorClass::Validation),
         ("VAL-CONFIG", ErrorClass::Validation),
         ("VAL-MALFORMED-REQUEST", ErrorClass::Validation),
+        ("VAL-FRAME-TOO-LARGE", ErrorClass::Validation),
         ("RES-NO-PROCESSORS", ErrorClass::Resource),
         ("RES-LATENCY", ErrorClass::Resource),
         ("RES-WORKER-PANIC", ErrorClass::Resource),
@@ -141,6 +142,8 @@ pub fn documented_codes() -> &'static [(&'static str, ErrorClass)] {
         ("RES-STALE-EPOCH", ErrorClass::Resource),
         ("RES-NOT-PRIMARY", ErrorClass::Resource),
         ("RES-SATURATION-BUDGET", ErrorClass::Resource),
+        ("RES-SHARD-DOWN", ErrorClass::Resource),
+        ("RES-RETRY-BUDGET", ErrorClass::Resource),
         ("CNV-BISECTION", ErrorClass::Convergence),
         ("CNV-SIM-INVARIANT", ErrorClass::Convergence),
         ("IO-FAILURE", ErrorClass::Io),

@@ -18,7 +18,7 @@
 //!   still rejected, so a recovering engine is never stampeded.
 
 use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Tuning for [`CircuitBreaker`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,7 +41,7 @@ impl Default for BreakerConfig {
 #[derive(Debug, Clone, Copy)]
 enum State {
     Closed { consecutive_failures: u32 },
-    Open { since: Instant },
+    Open { since: Duration },
     HalfOpen,
 }
 
@@ -71,19 +71,21 @@ impl CircuitBreaker {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    /// Asks to run one request through the engine.
+    /// Asks to run one request through the engine. `now` is the
+    /// caller's [`crate::Clock::now`] reading — time flows through the
+    /// clock seam so the simulator can drive the breaker virtually.
     ///
     /// # Errors
     ///
     /// Returns the time left until the next probe when the breaker is
     /// open (zero when a half-open probe is already in flight).
-    pub fn admit(&self) -> Result<(), Duration> {
+    pub fn admit(&self, now: Duration) -> Result<(), Duration> {
         let mut state = self.lock();
         match *state {
             State::Closed { .. } => Ok(()),
             State::HalfOpen => Err(Duration::ZERO),
             State::Open { since } => {
-                let waited = since.elapsed();
+                let waited = now.saturating_sub(since);
                 if waited >= self.config.cooldown {
                     // This caller becomes the probe.
                     *state = State::HalfOpen;
@@ -104,8 +106,8 @@ impl CircuitBreaker {
         };
     }
 
-    /// Reports an engine worker panic.
-    pub fn record_failure(&self) {
+    /// Reports an engine worker panic at the caller's clock reading.
+    pub fn record_failure(&self, now: Duration) {
         let mut state = self.lock();
         *state = match *state {
             State::Closed {
@@ -113,9 +115,7 @@ impl CircuitBreaker {
             } => {
                 let n = consecutive_failures + 1;
                 if n >= self.config.threshold {
-                    State::Open {
-                        since: Instant::now(),
-                    }
+                    State::Open { since: now }
                 } else {
                     State::Closed {
                         consecutive_failures: n,
@@ -124,9 +124,7 @@ impl CircuitBreaker {
             }
             // A failed probe (or a straggler failing while open) re-arms
             // the full cooldown.
-            State::HalfOpen | State::Open { .. } => State::Open {
-                since: Instant::now(),
-            },
+            State::HalfOpen | State::Open { .. } => State::Open { since: now },
         };
     }
 
@@ -151,23 +149,27 @@ mod tests {
         })
     }
 
+    fn at(ms: u64) -> Duration {
+        Duration::from_millis(ms)
+    }
+
     #[test]
     fn stays_closed_below_threshold() {
         let b = breaker(3, 1000);
-        b.record_failure();
-        b.record_failure();
-        assert!(b.admit().is_ok());
+        b.record_failure(at(0));
+        b.record_failure(at(1));
+        assert!(b.admit(at(2)).is_ok());
         assert_eq!(b.state_label(), "closed");
     }
 
     #[test]
     fn success_resets_the_streak() {
         let b = breaker(2, 1000);
-        b.record_failure();
+        b.record_failure(at(0));
         b.record_success();
-        b.record_failure();
+        b.record_failure(at(1));
         assert!(
-            b.admit().is_ok(),
+            b.admit(at(2)).is_ok(),
             "streak was reset, one failure is below threshold"
         );
     }
@@ -175,35 +177,43 @@ mod tests {
     #[test]
     fn opens_at_threshold_and_reports_retry_delay() {
         let b = breaker(2, 1000);
-        b.record_failure();
-        b.record_failure();
+        b.record_failure(at(0));
+        b.record_failure(at(0));
         assert_eq!(b.state_label(), "open");
-        let retry_in = b.admit().expect_err("open breaker rejects");
-        assert!(retry_in <= Duration::from_millis(1000));
-        assert!(
-            retry_in > Duration::from_millis(500),
-            "cooldown just started"
-        );
+        let retry_in = b.admit(at(100)).expect_err("open breaker rejects");
+        assert_eq!(retry_in, Duration::from_millis(900));
+    }
+
+    #[test]
+    fn cooldown_elapsing_on_the_virtual_clock_admits_one_probe() {
+        let b = breaker(1, 1000);
+        b.record_failure(at(500));
+        assert!(b.admit(at(1499)).is_err(), "1 ms early is still open");
+        assert!(b.admit(at(1500)).is_ok(), "cooldown elapsed: probe");
+        assert_eq!(b.state_label(), "half-open");
     }
 
     #[test]
     fn half_open_probe_success_closes() {
         let b = breaker(1, 0);
-        b.record_failure();
-        assert!(b.admit().is_ok(), "zero cooldown: immediately half-open");
+        b.record_failure(at(0));
+        assert!(
+            b.admit(at(0)).is_ok(),
+            "zero cooldown: immediately half-open"
+        );
         assert_eq!(b.state_label(), "half-open");
-        assert!(b.admit().is_err(), "only one probe at a time");
+        assert!(b.admit(at(0)).is_err(), "only one probe at a time");
         b.record_success();
         assert_eq!(b.state_label(), "closed");
-        assert!(b.admit().is_ok());
+        assert!(b.admit(at(0)).is_ok());
     }
 
     #[test]
     fn half_open_probe_failure_reopens() {
         let b = breaker(1, 0);
-        b.record_failure();
-        assert!(b.admit().is_ok());
-        b.record_failure();
+        b.record_failure(at(0));
+        assert!(b.admit(at(0)).is_ok());
+        b.record_failure(at(0));
         // Cooldown is zero, so it goes straight back to a probe slot; the
         // point is that the state passed through Open again.
         assert_eq!(b.state_label(), "open");

@@ -49,6 +49,11 @@ use lintra_bench::json::Json;
 /// File name of the write-ahead journal inside the durability directory.
 pub const JOURNAL_FILE: &str = "journal.log";
 
+/// Prefix of rotated journal segments (`journal.seg-N`). Segments are
+/// written whole (tmp + fsync + rename), so unlike the live log a
+/// damaged segment is always corruption, never a torn tail.
+pub const SEGMENT_PREFIX: &str = "journal.seg-";
+
 /// Directory name for cache snapshots inside the durability directory.
 pub const SNAPSHOT_DIR: &str = "snapshots";
 
@@ -277,6 +282,54 @@ pub fn fold_records(records: &[JournalRecord]) -> (CompletedMap, Vec<(String, St
     (completed, admitted)
 }
 
+/// Folds a record stream down to the records that still matter, in an
+/// order [`fold_records`] maps to the identical `(completed, admitted)`
+/// state: every settled key's final completion record (sorted by key,
+/// for determinism), then every admitted-but-unsettled request in its
+/// original admission order. This is the payload of a rotated segment.
+pub fn compact_records(records: &[JournalRecord]) -> Vec<JournalRecord> {
+    let (completed, admitted) = fold_records(records);
+    let mut keys: Vec<&String> = completed.keys().collect();
+    keys.sort();
+    let mut out = Vec::with_capacity(completed.len() + admitted.len());
+    for rid in keys {
+        if let Some((kind, line)) = completed.get(rid) {
+            out.push(JournalRecord {
+                kind: *kind,
+                rid: rid.clone(),
+                line: line.clone(),
+            });
+        }
+    }
+    for (rid, line) in &admitted {
+        out.push(JournalRecord {
+            kind: RecordKind::Admit,
+            rid: rid.clone(),
+            line: line.clone(),
+        });
+    }
+    out
+}
+
+/// Rotated segments inside `dir`, sorted by index (replay order).
+fn segment_paths(dir: &Path) -> Result<Vec<(u64, PathBuf)>, std::io::Error> {
+    let mut segs = Vec::new();
+    if dir.exists() {
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(idx) = name.strip_prefix(SEGMENT_PREFIX) {
+                if let Ok(n) = idx.parse::<u64>() {
+                    segs.push((n, entry.path()));
+                }
+            }
+        }
+    }
+    segs.sort_by_key(|(n, _)| *n);
+    Ok(segs)
+}
+
 /// What replaying the journal found at startup.
 #[derive(Debug, Default)]
 pub struct JournalRecovery {
@@ -303,11 +356,19 @@ pub struct JournalRecovery {
 pub struct Journal {
     file: File,
     path: PathBuf,
+    dir: PathBuf,
+    /// Bytes currently in the live log (mirrors the file length; the
+    /// file is opened append-only and only this struct writes it).
+    live_len: u64,
+    /// When `Some(t)`, an append that leaves the live log above `t`
+    /// bytes triggers compaction into a rotated segment.
+    rotate_bytes: Option<u64>,
 }
 
 impl Journal {
     /// Opens (creating if needed) the journal inside `dir`, replaying
-    /// whatever survives there.
+    /// whatever survives there. Rotation stays off; see
+    /// [`Journal::open_dir_with`].
     ///
     /// A torn tail is truncated in place; a corrupt file is renamed to
     /// a `journal.log.quarantined-N` sibling and a fresh journal is
@@ -319,37 +380,103 @@ impl Journal {
     /// Only real I/O failures (unreadable directory, failed rename)
     /// error out; damaged journal *content* never does.
     pub fn open_dir(dir: &Path) -> Result<(Journal, JournalRecovery), std::io::Error> {
+        Journal::open_dir_with(dir, None)
+    }
+
+    /// [`Journal::open_dir`] with size-capped rotation: when
+    /// `rotate_bytes` is `Some(t)`, an append that leaves the live log
+    /// above `t` bytes compacts the whole logical stream (settled
+    /// completions plus unsettled admits, see [`compact_records`]) into
+    /// a `journal.seg-N` segment and truncates the live log.
+    ///
+    /// Recovery always replays existing segments in index order before
+    /// the live log, whether or not rotation is enabled for this open —
+    /// a journal rotated once stays recoverable forever. A crash
+    /// between the segment rename and the live-log truncation leaves
+    /// records present in both; replaying them twice folds to the same
+    /// state (completions supersede, duplicate admits dedup), so the
+    /// overlap is harmless.
+    ///
+    /// Segments are written whole, so *any* damage to one (tear or
+    /// checksum) is corruption: the full set — every segment and the
+    /// live log — is quarantined together and the journal starts
+    /// fresh. A partial set that lied once proves nothing about the
+    /// rest.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Journal::open_dir`].
+    pub fn open_dir_with(
+        dir: &Path,
+        rotate_bytes: Option<u64>,
+    ) -> Result<(Journal, JournalRecovery), std::io::Error> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(JOURNAL_FILE);
         let mut recovery = JournalRecovery::default();
         let mut records = Vec::new();
-        if path.exists() {
+        let mut damaged = false;
+        let segments = segment_paths(dir)?;
+        for (_, seg_path) in &segments {
+            let mut bytes = Vec::new();
+            File::open(seg_path)?.read_to_end(&mut bytes)?;
+            let (scanned, outcome) = scan(&bytes);
+            if outcome == ScanOutcome::Clean {
+                records.extend(scanned);
+            } else {
+                damaged = true;
+                break;
+            }
+        }
+        if !damaged && path.exists() {
             let mut bytes = Vec::new();
             File::open(&path)?.read_to_end(&mut bytes)?;
             let (scanned, outcome) = scan(&bytes);
             match outcome {
-                ScanOutcome::Clean => records = scanned,
+                ScanOutcome::Clean => records.extend(scanned),
                 ScanOutcome::TornTail { valid_len } => {
                     let f = OpenOptions::new().write(true).open(&path)?;
                     f.set_len(valid_len)?;
                     f.sync_all()?;
                     recovery.torn_tail = true;
-                    records = scanned;
+                    records.extend(scanned);
                 }
-                ScanOutcome::Corrupt { .. } => {
-                    // The records decoded before the damage are NOT
-                    // reused: a file that lied once is not trusted to
-                    // have told the truth earlier.
-                    recovery.quarantined = Some(quarantine(&path)?);
+                ScanOutcome::Corrupt { .. } => damaged = true,
+            }
+        }
+        if damaged {
+            // The records decoded before the damage are NOT reused: a
+            // set of files that lied once is not trusted to have told
+            // the truth elsewhere. Quarantine every piece together.
+            records.clear();
+            let mut first = None;
+            for (_, seg_path) in &segments {
+                if seg_path.exists() {
+                    let q = quarantine(seg_path)?;
+                    first.get_or_insert(q);
                 }
             }
+            if path.exists() {
+                let q = quarantine(&path)?;
+                first.get_or_insert(q);
+            }
+            recovery.quarantined = first;
         }
         let (completed, admitted) = fold_records(&records);
         recovery.completed = completed;
         recovery.incomplete = admitted;
         recovery.records = records;
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok((Journal { file, path }, recovery))
+        let live_len = file.metadata()?.len();
+        Ok((
+            Journal {
+                file,
+                path,
+                dir: dir.to_path_buf(),
+                live_len,
+                rotate_bytes,
+            },
+            recovery,
+        ))
     }
 
     /// Path of the live journal file.
@@ -359,6 +486,8 @@ impl Journal {
 
     /// Appends one record and fsyncs it — the record is durable when
     /// this returns. Called *before* the response leaves the server.
+    /// May rotate afterwards when a size cap is configured; the record
+    /// is durable either way.
     ///
     /// # Errors
     ///
@@ -370,8 +499,70 @@ impl Journal {
         rid: &str,
         line: &str,
     ) -> Result<(), std::io::Error> {
-        self.file.write_all(&encode_record(kind, rid, line))?;
-        self.file.sync_data()
+        let encoded = encode_record(kind, rid, line);
+        self.file.write_all(&encoded)?;
+        self.file.sync_data()?;
+        self.live_len += encoded.len() as u64;
+        if let Some(cap) = self.rotate_bytes {
+            if self.live_len > cap {
+                self.rotate()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Compacts the full logical stream into a fresh `journal.seg-N`
+    /// and truncates the live log. Ordered for crash safety: the new
+    /// segment is durable (tmp + fsync + rename) before a single old
+    /// byte is touched, so every intermediate state replays to the
+    /// same fold.
+    fn rotate(&mut self) -> Result<(), std::io::Error> {
+        let segments = segment_paths(&self.dir)?;
+        let mut records = Vec::new();
+        for (_, seg_path) in &segments {
+            let mut bytes = Vec::new();
+            File::open(seg_path)?.read_to_end(&mut bytes)?;
+            let (scanned, outcome) = scan(&bytes);
+            if outcome != ScanOutcome::Clean {
+                // Damage since open: refuse to compact what we cannot
+                // trust. The live log keeps growing; recovery's
+                // quarantine policy owns this case.
+                return Ok(());
+            }
+            records.extend(scanned);
+        }
+        let mut bytes = Vec::new();
+        File::open(&self.path)?.read_to_end(&mut bytes)?;
+        let (scanned, outcome) = scan(&bytes);
+        if outcome != ScanOutcome::Clean {
+            return Ok(());
+        }
+        records.extend(scanned);
+
+        let next_idx = segments.last().map_or(1, |(n, _)| n + 1);
+        let mut payload = Vec::new();
+        for r in compact_records(&records) {
+            payload.extend_from_slice(&encode_record(r.kind, &r.rid, &r.line));
+        }
+        let seg_path = self.dir.join(format!("{SEGMENT_PREFIX}{next_idx}"));
+        let tmp_path = self.dir.join(format!("{SEGMENT_PREFIX}{next_idx}.tmp"));
+        {
+            let mut tmp = File::create(&tmp_path)?;
+            tmp.write_all(&payload)?;
+            tmp.sync_all()?;
+        }
+        std::fs::rename(&tmp_path, &seg_path)?;
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        // The segment is durable; everything it subsumes can go.
+        self.file.set_len(0)?;
+        self.file.sync_all()?;
+        self.live_len = 0;
+        for (_, old) in &segments {
+            let _ = std::fs::remove_file(old);
+        }
+        Ok(())
     }
 }
 
@@ -522,6 +713,155 @@ mod tests {
         // The fresh journal starts empty and usable.
         let (mut j, _) = Journal::open_dir(&dir).expect("third open");
         j.append(RecordKind::Admit, "k9", "req-9").expect("append");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn seg_indices(dir: &Path) -> Vec<u64> {
+        segment_paths(dir)
+            .unwrap_or_default()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect()
+    }
+
+    #[test]
+    fn compaction_is_fold_equivalent() {
+        let records = vec![
+            JournalRecord {
+                kind: RecordKind::Admit,
+                rid: "b".into(),
+                line: "req-b".into(),
+            },
+            JournalRecord {
+                kind: RecordKind::Admit,
+                rid: "a".into(),
+                line: "req-a".into(),
+            },
+            JournalRecord {
+                kind: RecordKind::Done,
+                rid: "b".into(),
+                line: "resp-b".into(),
+            },
+            JournalRecord {
+                kind: RecordKind::Admit,
+                rid: "c".into(),
+                line: "req-c".into(),
+            },
+            JournalRecord {
+                kind: RecordKind::Abort,
+                rid: "c".into(),
+                line: "resp-c".into(),
+            },
+            JournalRecord {
+                kind: RecordKind::Admit,
+                rid: "c".into(),
+                line: "req-c2".into(),
+            },
+        ];
+        let compacted = compact_records(&records);
+        assert_eq!(fold_records(&compacted), fold_records(&records));
+        // Settled keys keep exactly one record each; 'a' stays admitted.
+        assert!(compacted.len() < records.len());
+    }
+
+    #[test]
+    #[allow(clippy::expect_used)]
+    fn rotation_compacts_settled_work_and_recovery_replays_segments() {
+        let dir =
+            std::env::temp_dir().join(format!("lintra-journal-rotate-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let (mut j, _) = Journal::open_dir_with(&dir, Some(256)).expect("open");
+            for i in 0..32 {
+                let rid = format!("k{i:02}");
+                j.append(RecordKind::Admit, &rid, &format!("req-{rid}"))
+                    .expect("admit");
+                j.append(RecordKind::Done, &rid, &format!("resp-{rid}"))
+                    .expect("done");
+            }
+            // One key left unsettled across rotations.
+            j.append(RecordKind::Admit, "open-key", "req-open")
+                .expect("admit open");
+        }
+        let segs = seg_indices(&dir);
+        assert_eq!(segs.len(), 1, "old segments must be reaped: {segs:?}");
+        let live_len = std::fs::metadata(dir.join(JOURNAL_FILE))
+            .expect("meta")
+            .len();
+        assert!(live_len < 512, "live log must have been truncated");
+
+        let (_, rec) = Journal::open_dir(&dir).expect("reopen");
+        assert_eq!(rec.completed.len(), 32, "every settled key survives");
+        assert_eq!(
+            rec.completed.get("k07"),
+            Some(&(RecordKind::Done, "resp-k07".to_string()))
+        );
+        assert_eq!(
+            rec.incomplete,
+            vec![("open-key".to_string(), "req-open".to_string())]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[allow(clippy::expect_used)]
+    fn an_orphaned_overlapping_segment_still_folds_correctly() {
+        // Simulate a crash between segment rename and live-log
+        // truncation: the same records live in both places.
+        let dir =
+            std::env::temp_dir().join(format!("lintra-journal-overlap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let (mut j, _) = Journal::open_dir(&dir).expect("open");
+            j.append(RecordKind::Admit, "k1", "req-1").expect("a");
+            j.append(RecordKind::Done, "k1", "resp-1").expect("d");
+            j.append(RecordKind::Admit, "k2", "req-2").expect("a2");
+        }
+        let live = std::fs::read(dir.join(JOURNAL_FILE)).expect("read");
+        std::fs::write(dir.join(format!("{SEGMENT_PREFIX}1")), &live).expect("seed segment");
+
+        let (_, rec) = Journal::open_dir(&dir).expect("reopen");
+        assert_eq!(
+            rec.completed.get("k1"),
+            Some(&(RecordKind::Done, "resp-1".to_string()))
+        );
+        assert_eq!(
+            rec.incomplete,
+            vec![("k2".to_string(), "req-2".to_string())],
+            "the duplicate admit must fold away"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[allow(clippy::expect_used)]
+    fn a_damaged_segment_quarantines_the_whole_set() {
+        let dir =
+            std::env::temp_dir().join(format!("lintra-journal-segcorrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let (mut j, _) = Journal::open_dir_with(&dir, Some(64)).expect("open");
+            for i in 0..8 {
+                j.append(RecordKind::Done, &format!("k{i}"), "resp")
+                    .expect("append");
+            }
+        }
+        let seg = dir.join(format!(
+            "{SEGMENT_PREFIX}{}",
+            seg_indices(&dir).last().expect("a segment exists")
+        ));
+        let mut bytes = std::fs::read(&seg).expect("read seg");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&seg, &bytes).expect("damage");
+
+        let (_, rec) = Journal::open_dir(&dir).expect("reopen");
+        assert!(rec.quarantined.is_some(), "segment damage must quarantine");
+        assert!(
+            rec.completed.is_empty() && rec.records.is_empty(),
+            "a quarantined set contributes nothing"
+        );
+        assert!(seg_indices(&dir).is_empty(), "no segment may survive");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

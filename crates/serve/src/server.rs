@@ -129,6 +129,13 @@ pub struct ServerConfig {
     /// snapshots (`snapshots/*.snap`) here, replays unfinished work on
     /// startup, and answers retried `request_id`s from the journal.
     pub journal_dir: Option<PathBuf>,
+    /// Size-capped journal rotation: when `Some(t)`, an append that
+    /// leaves `journal.log` above `t` bytes compacts settled records
+    /// into a `journal.seg-N` segment and truncates the live log.
+    /// Requires [`ServerConfig::journal_dir`] and is incompatible with
+    /// replication — followers mirror the primary's journal *file*
+    /// byte-for-byte, and rotation rewrites it.
+    pub journal_rotate_bytes: Option<u64>,
     /// Replicate from this primary (`host:port`). Requires
     /// [`ServerConfig::journal_dir`]; the server starts as a follower.
     pub replica_of: Option<String>,
@@ -166,6 +173,7 @@ impl Default for ServerConfig {
             chaos: false,
             chaos_point_delay: Duration::from_millis(20),
             journal_dir: None,
+            journal_rotate_bytes: None,
             replica_of: None,
             peers: Vec::new(),
             epoch_dir: None,
@@ -416,6 +424,23 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, LintraError> {
             "replication requires durability: set journal_dir alongside replica_of/peers",
         ));
     }
+    if config.journal_rotate_bytes.is_some() {
+        if config.journal_dir.is_none() {
+            return Err(LintraError::new(
+                ErrorClass::Validation,
+                "VAL-CONFIG",
+                "journal rotation requires durability: set journal_dir",
+            ));
+        }
+        if config.replica_of.is_some() || !config.peers.is_empty() {
+            return Err(LintraError::new(
+                ErrorClass::Validation,
+                "VAL-CONFIG",
+                "journal rotation is incompatible with replication: followers mirror \
+                 the primary's journal byte-for-byte and rotation rewrites it",
+            ));
+        }
+    }
     let pool = match config.jobs {
         Some(0) => {
             return Err(LintraError::new(
@@ -435,7 +460,8 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, LintraError> {
     let mut caches: HashMap<String, SweepCache> = HashMap::new();
     let mut incomplete: Vec<(String, String)> = Vec::new();
     if let Some(dir) = &config.journal_dir {
-        let (journal, rec) = Journal::open_dir(dir).map_err(LintraError::from)?;
+        let (journal, rec) =
+            Journal::open_dir_with(dir, config.journal_rotate_bytes).map_err(LintraError::from)?;
         let mut report = RecoveryReport {
             answered: rec.completed.len(),
             torn_tail: rec.torn_tail,
@@ -723,30 +749,33 @@ fn connection_loop(shared: &Arc<Shared>, mut conn: Box<dyn Conn>) {
             let line = line.trim_end();
             // Replication messages share the listener with client
             // traffic; a `"repl"`-keyed line never reaches handle_line.
-            if shared.repl.is_some() {
-                if let Some(msg) = ReplMsg::parse(line) {
-                    match msg {
-                        ReplMsg::Status => {
-                            let reply = status_reply(shared);
-                            if conn.send(reply.render_line().as_bytes()).is_err() {
-                                return;
-                            }
-                            continue;
-                        }
-                        ReplMsg::Hello {
-                            epoch,
-                            have,
-                            pcrc,
-                            from,
-                        } => {
-                            // The connection becomes a follower stream.
-                            replicate::stream_to_follower(shared, conn, epoch, have, pcrc, from);
+            // Status is answered even without replication configured —
+            // health probers (the sharded router's, an operator's) must
+            // be able to ask a standalone server who it is, and the
+            // reply's `stateless` role is how they learn it serves.
+            if let Some(msg) = ReplMsg::parse(line) {
+                match msg {
+                    ReplMsg::Status => {
+                        let reply = status_reply(shared);
+                        if conn.send(reply.render_line().as_bytes()).is_err() {
                             return;
                         }
-                        // Anything else arriving cold is a protocol
-                        // violation: close.
-                        _ => return,
+                        continue;
                     }
+                    ReplMsg::Hello {
+                        epoch,
+                        have,
+                        pcrc,
+                        from,
+                    } if shared.repl.is_some() => {
+                        // The connection becomes a follower stream.
+                        replicate::stream_to_follower(shared, conn, epoch, have, pcrc, from);
+                        return;
+                    }
+                    // Anything else arriving cold — or a follower
+                    // handshake aimed at an unreplicated server — is a
+                    // protocol violation: close.
+                    _ => return,
                 }
             }
             match handle_line(shared, line) {
@@ -762,6 +791,26 @@ fn connection_loop(shared: &Arc<Shared>, mut conn: Box<dyn Conn>) {
             // Idle (or fully-answered) connection during a drain: close.
             // In-flight requests never reach here — they are executing
             // inside handle_line above and flush their response first.
+            return;
+        }
+        // Frame-size guard, the slow loris's fast sibling: a sender that
+        // streams past MAX_FRAME_BYTES without ever producing a newline
+        // is answered VAL-FRAME-TOO-LARGE and closed before its frame
+        // can grow the buffer without bound.
+        if buf.len() > crate::transport::MAX_FRAME_BYTES {
+            shared.stats.requests_failed.fetch_add(1, Ordering::SeqCst);
+            let resp = WireResponse::err(
+                "",
+                WireFailure {
+                    class: ErrorClass::Validation,
+                    code: "VAL-FRAME-TOO-LARGE".to_string(),
+                    message: format!(
+                        "request frame exceeds {} bytes without a newline; closing the connection",
+                        crate::transport::MAX_FRAME_BYTES
+                    ),
+                },
+            );
+            let _ = conn.send(resp.render_line().as_bytes());
             return;
         }
         match (buf.is_empty(), partial_since) {
@@ -1012,7 +1061,7 @@ fn handle_line(shared: &Arc<Shared>, line: &str) -> LineOutcome {
     };
 
     // Circuit breaker around the engine.
-    if let Err(retry_in) = shared.breaker.admit() {
+    if let Err(retry_in) = shared.breaker.admit(shared.config.clock.now()) {
         shared.stats.requests_failed.fetch_add(1, Ordering::SeqCst);
         return reject(
             &req.id,
@@ -1102,7 +1151,7 @@ fn handle_line(shared: &Arc<Shared>, line: &str) -> LineOutcome {
     // (success, deadline, validation error) proves the engine itself is
     // healthy and resets the streak.
     if matches!(&outcome, Err(e) if e.code() == "RES-WORKER-PANIC") {
-        shared.breaker.record_failure();
+        shared.breaker.record_failure(shared.config.clock.now());
     } else {
         shared.breaker.record_success();
     }

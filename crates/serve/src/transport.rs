@@ -17,7 +17,13 @@ use std::time::Duration;
 
 use crate::clock::Clock;
 
-/// Why a transport operation failed — the three outcomes protocol code
+/// Hard ceiling on one newline-delimited frame. A peer that streams
+/// more than this without a `\n` is not speaking the protocol; letting
+/// [`read_line`] keep buffering would turn one connection into an
+/// unbounded allocation.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Why a transport operation failed — the outcomes protocol code
 /// genuinely branches on.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NetError {
@@ -27,6 +33,10 @@ pub enum NetError {
     /// The peer closed the stream (clean EOF) or the link is gone
     /// (reset, broken pipe). The connection is dead.
     Closed,
+    /// The peer sent more than [`MAX_FRAME_BYTES`] without a newline.
+    /// The buffered bytes are poisoned; the caller must answer
+    /// `VAL-FRAME-TOO-LARGE` (if it answers at all) and close.
+    FrameTooLarge,
     /// Everything else: refused connect, failed resolution, socket
     /// configuration errors. Carries the description.
     Failed(String),
@@ -37,6 +47,9 @@ impl std::fmt::Display for NetError {
         match self {
             NetError::Timeout => write!(f, "timed out"),
             NetError::Closed => write!(f, "connection closed"),
+            NetError::FrameTooLarge => {
+                write!(f, "frame exceeds {MAX_FRAME_BYTES} bytes without a newline")
+            }
             NetError::Failed(detail) => write!(f, "{detail}"),
         }
     }
@@ -104,7 +117,9 @@ pub trait Transport: Send + Sync + Debug {
 /// # Errors
 ///
 /// [`NetError::Timeout`] when no full line arrived within the budget;
-/// [`NetError::Failed`] for socket failures.
+/// [`NetError::FrameTooLarge`] when more than [`MAX_FRAME_BYTES`]
+/// accumulated without a newline; [`NetError::Failed`] for socket
+/// failures.
 pub fn read_line(
     conn: &mut dyn Conn,
     buf: &mut Vec<u8>,
@@ -117,6 +132,9 @@ pub fn read_line(
         if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
             let line: Vec<u8> = buf.drain(..=pos).collect();
             return Ok(Some(String::from_utf8_lossy(&line).trim_end().to_string()));
+        }
+        if buf.len() > MAX_FRAME_BYTES {
+            return Err(NetError::FrameTooLarge);
         }
         let left = deadline.saturating_sub(clock.now());
         if left.is_zero() {
@@ -300,6 +318,37 @@ mod tests {
             Ok(_) => panic!("port 1 refuses"),
             Err(err) => assert!(matches!(err, NetError::Failed(_)), "{err:?}"),
         }
+    }
+
+    #[test]
+    fn a_newline_free_stream_past_the_cap_is_frame_too_large() {
+        struct Firehose;
+        impl Conn for Firehose {
+            fn send(&mut self, _bytes: &[u8]) -> Result<(), NetError> {
+                Ok(())
+            }
+            fn recv(&mut self, buf: &mut [u8], _timeout: Duration) -> Result<usize, NetError> {
+                buf.fill(b'x'); // never a newline
+                Ok(buf.len())
+            }
+        }
+        let clock = SystemClock::new();
+        let mut buf = Vec::new();
+        let err = read_line(
+            &mut Firehose,
+            &mut buf,
+            Duration::from_secs(5),
+            Duration::from_millis(20),
+            &clock,
+        )
+        .expect_err("a boundless frame must be rejected");
+        assert_eq!(err, NetError::FrameTooLarge);
+        // The reject fires just past the cap, not megabytes later.
+        assert!(
+            buf.len() <= MAX_FRAME_BYTES + 4096,
+            "buffered {}",
+            buf.len()
+        );
     }
 
     #[test]

@@ -36,12 +36,23 @@
 //! [`SimBug`] can re-introduce a known-fatal bug (colliding promotion
 //! epochs) to prove the invariant checks have teeth; the checked-in
 //! regression seed in `tests/sim.rs` catches it every time.
+//!
+//! A third layer, [`run_shard_sim`], extends the model to a *sharded*
+//! cluster: M replicated shard groups behind a deterministic model of
+//! the `lintra route` front end, built on the real
+//! [`ShardRing`](lintra_serve::ShardRing) /
+//! [`RetryBudget`](lintra_serve::RetryBudget) arithmetic, with its own
+//! invariants (partial degradation, bounded retry volume, no double
+//! execution, re-convergence) and its own injectable bug
+//! ([`RouterSimBug::UnboundedRetries`]).
 
 pub mod vclock;
 
 mod cluster;
 mod harness;
+mod shard;
 
+pub use shard::{run_shard_sim, RouterSimBug, ShardScenario, ShardSimConfig, ShardSimReport};
 pub use vclock::{Reply, ScriptedNet, SimClock};
 
 /// Deliberately re-introducible bugs: each one must be caught by an

@@ -58,4 +58,7 @@ echo "== durability: scripts/crash.sh =="
 echo "== replication: scripts/failover.sh =="
 ./scripts/failover.sh
 
+echo "== sharding: scripts/router_chaos.sh =="
+./scripts/router_chaos.sh
+
 echo "verify: all checks passed"

@@ -200,6 +200,49 @@ fn slow_loris_partial_frame_is_cut_off_with_res_deadline() {
 }
 
 #[test]
+fn a_newline_free_megabyte_flood_is_rejected_with_val_frame_too_large() {
+    let server = start(chaos_config()).expect("server starts");
+
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    // A sender that never produces a newline: the frame-size guard must
+    // cut it off just past MAX_FRAME_BYTES instead of buffering forever
+    // (the slow-loris guard would only fire after the full deadline).
+    let junk = vec![b'x'; 64 * 1024];
+    let mut sent = 0usize;
+    while sent <= lintra_serve::MAX_FRAME_BYTES + junk.len() {
+        if stream.write_all(&junk).is_err() {
+            break; // server already slammed the door mid-flood
+        }
+        sent += junk.len();
+    }
+
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .expect("server answers the oversized frame");
+    let resp = WireResponse::parse(&line).expect("response parses");
+    let failure = resp.outcome.expect_err("oversized frame must be rejected");
+    assert_eq!(failure.code, "VAL-FRAME-TOO-LARGE");
+    assert_eq!(failure.class, ErrorClass::Validation);
+    assert_eq!(failure.exit_code(), 2);
+
+    // ... and the connection is closed, not left half-open. Flood bytes
+    // still in flight when the server slams the door surface as a
+    // reset, which is just as closed as a clean EOF.
+    let mut rest = Vec::new();
+    match reader.read_to_end(&mut rest) {
+        Ok(_) => assert!(rest.is_empty(), "connection stayed open: {rest:?}"),
+        Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::ConnectionReset, "{e}"),
+    }
+
+    // The guard trims only the abusive connection; the server is fine.
+    assert_serviceable(&fast_client(&server), "frame-too-large");
+    server.shutdown();
+}
+
+#[test]
 fn injected_slow_worker_is_flagged_as_res_worker_stall() {
     let server = start(chaos_config()).expect("server starts");
     let client = fast_client(&server);

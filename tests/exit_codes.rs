@@ -81,6 +81,9 @@ fn service_codes_are_documented() {
         "IO-REPL-CORRUPT",
         "RES-SATURATION-BUDGET",
         "CNV-SIM-INVARIANT",
+        "VAL-FRAME-TOO-LARGE",
+        "RES-SHARD-DOWN",
+        "RES-RETRY-BUDGET",
     ] {
         assert!(
             codes.iter().any(|(c, _)| *c == required),
@@ -107,6 +110,12 @@ fn durability_codes_map_to_their_classes() {
     assert_eq!(class_of("RES-STALE-EPOCH"), Some(ErrorClass::Resource));
     assert_eq!(class_of("RES-NOT-PRIMARY"), Some(ErrorClass::Resource));
     assert_eq!(class_of("IO-REPL-CORRUPT"), Some(ErrorClass::Io));
+    assert_eq!(
+        class_of("VAL-FRAME-TOO-LARGE"),
+        Some(ErrorClass::Validation)
+    );
+    assert_eq!(class_of("RES-SHARD-DOWN"), Some(ErrorClass::Resource));
+    assert_eq!(class_of("RES-RETRY-BUDGET"), Some(ErrorClass::Resource));
 
     // A corrupt snapshot surfaces as IO-SNAPSHOT-CORRUPT through the
     // standard From conversion; an I/O failure stays IO-FAILURE.
